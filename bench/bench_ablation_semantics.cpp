@@ -1,0 +1,73 @@
+// Ablation — firing semantics and reward attachment: the two modeling
+// choices the paper leaves implicit. Shows that (a) only single-server
+// exponential semantics reproduces the 4-version headline, and (b) only
+// the operational-states-only reward attachment reproduces the interior
+// maximum of Fig. 3 (with the appendix matrices attached to degraded
+// states, more frequent rejuvenation is monotonically better).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nvp;
+  bench::banner("ablation", "firing semantics x reward attachment");
+
+  util::TextTable table({"semantics", "attachment", "E[R_4v]", "E[R_6v]",
+                         "|4v - paper|"});
+  for (const auto semantics : {core::FiringSemantics::kSingleServer,
+                               core::FiringSemantics::kInfiniteServer}) {
+    for (const auto attachment :
+         {core::RewardAttachment::kOperationalStatesOnly,
+          core::RewardAttachment::kAppendixMatrices}) {
+      core::ReliabilityAnalyzer::Options opts;
+      opts.attachment = attachment;
+      const core::ReliabilityAnalyzer analyzer(opts);
+      auto four = bench::four_version();
+      auto six = bench::six_version();
+      four.semantics = semantics;
+      six.semantics = semantics;
+      const double r4 = analyzer.analyze(four).expected_reliability;
+      const double r6 = analyzer.analyze(six).expected_reliability;
+      table.row(
+          {semantics == core::FiringSemantics::kSingleServer
+               ? "single-server"
+               : "infinite-server",
+           attachment == core::RewardAttachment::kOperationalStatesOnly
+               ? "operational-only"
+               : "appendix-matrices",
+           util::format("%.6f", r4), util::format("%.6f", r6),
+           util::format("%.6f", std::abs(r4 - 0.8233477))});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\npaper reference: E[R_4v] = 0.8233477, E[R_6v] = 0.93464665.\n"
+      "single-server is TimeNET's default and the only row family within "
+      "0.3%% of the paper.\n");
+
+  // Fig. 3 shape under both attachments: monotone vs interior maximum.
+  std::printf("\nFig. 3 shape vs reward attachment:\n");
+  for (const auto attachment :
+       {core::RewardAttachment::kOperationalStatesOnly,
+        core::RewardAttachment::kAppendixMatrices}) {
+    core::ReliabilityAnalyzer::Options opts;
+    opts.attachment = attachment;
+    const core::ReliabilityAnalyzer analyzer(opts);
+    const auto points = core::sweep_parameter(
+        analyzer, bench::six_version(), core::set_rejuvenation_interval(),
+        core::linspace(200.0, 1500.0, 14));
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+      if (points[i].expected_reliability >
+          points[best].expected_reliability)
+        best = i;
+    std::printf(
+        "  %-18s max E[R] = %.6f at 1/gamma = %.0f s (%s)\n",
+        attachment == core::RewardAttachment::kOperationalStatesOnly
+            ? "operational-only"
+            : "appendix-matrices",
+        points[best].expected_reliability, points[best].x,
+        best == 0 ? "boundary -> monotone benefit"
+                  : "interior maximum, matches Fig. 3");
+  }
+  return 0;
+}

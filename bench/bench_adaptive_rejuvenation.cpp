@@ -1,0 +1,70 @@
+// Extension — threat-adaptive rejuvenation under bursty attacks: a fixed
+// interval must be provisioned for the worst case; the adaptive controller
+// tightens only while the voter actually reports trouble. Compares static
+// intervals against the adaptive policy across attack intensities.
+
+#include "bench_common.hpp"
+#include "src/perception/system.hpp"
+
+namespace {
+
+double campaign(const nvp::core::SystemParameters& params, bool adaptive,
+                double attack_multiplier, std::uint64_t seed,
+                std::uint64_t* tightenings = nullptr) {
+  nvp::perception::NVersionPerceptionSystem::Config cfg;
+  cfg.params = params;
+  cfg.frame_interval = 1.0;
+  cfg.adaptive_rejuvenation = adaptive;
+  cfg.seed = seed;
+  nvp::perception::NVersionPerceptionSystem system(cfg);
+  const double duration = 1.5e6;
+  // Attack bursts: 30 minutes every 4 hours.
+  for (double start = 3600.0; start < duration; start += 4.0 * 3600.0)
+    system.add_attack_window({start, start + 1800.0, attack_multiplier});
+  const auto result = system.run(duration);
+  if (tightenings != nullptr && system.adaptive_controller() != nullptr)
+    *tightenings = system.adaptive_controller()->tightenings();
+  return result.paper_reliability();
+}
+
+}  // namespace
+
+int main() {
+  using namespace nvp;
+  bench::banner("extension",
+                "static vs threat-adaptive rejuvenation under attack "
+                "bursts");
+
+  util::TextTable table({"attack multiplier", "static 600 s",
+                         "static 150 s", "adaptive (600 s start)",
+                         "adaptive tightenings"});
+  std::vector<std::vector<double>> rows;
+  for (double multiplier : {1.0, 5.0, 20.0, 50.0}) {
+    auto static600 = core::SystemParameters::paper_six_version();
+    auto static150 = core::SystemParameters::paper_six_version();
+    static150.rejuvenation_interval = 150.0;
+    std::uint64_t tightenings = 0;
+    const double s600 = campaign(static600, false, multiplier, 7);
+    const double s150 = campaign(static150, false, multiplier, 7);
+    const double adaptive =
+        campaign(static600, true, multiplier, 7, &tightenings);
+    table.row({util::format("%.0fx", multiplier),
+               util::format("%.5f", s600), util::format("%.5f", s150),
+               util::format("%.5f", adaptive),
+               std::to_string(tightenings)});
+    rows.push_back({multiplier, s600, s150, adaptive,
+                    static_cast<double>(tightenings)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: under calm conditions the adaptive policy relaxes toward "
+      "long intervals (low overhead), and under attack it converges to the "
+      "aggressive schedule — tracking the better static policy in each "
+      "regime without knowing the attack calendar.\n");
+
+  bench::dump_csv("adaptive_rejuvenation.csv",
+                  {"attack_multiplier", "static_600", "static_150",
+                   "adaptive", "tightenings"},
+                  rows);
+  return 0;
+}

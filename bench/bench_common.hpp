@@ -1,0 +1,81 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses: consistent banner/printing,
+// CSV dumps of every reproduced series (so figures can be re-plotted with
+// external tools), and terminal rendering of the paper's figures.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/sweep.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/string_util.hpp"
+#include "src/util/table.hpp"
+
+namespace nvp::bench {
+
+/// Prints the harness banner.
+inline void banner(const std::string& experiment_id,
+                   const std::string& description) {
+  std::printf("=== %s — %s ===\n", experiment_id.c_str(),
+              description.c_str());
+}
+
+/// Directory for CSV outputs (created on demand): $NVP_BENCH_OUT or
+/// ./bench_results.
+inline std::filesystem::path output_dir() {
+  const char* env = std::getenv("NVP_BENCH_OUT");
+  std::filesystem::path dir = env != nullptr ? env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Writes named (x, series...) columns to CSV under output_dir().
+inline void dump_csv(const std::string& filename,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows) {
+  const auto path = (output_dir() / filename).string();
+  util::CsvWriter csv(path, header);
+  for (const auto& row : rows) csv.row(row);
+  std::printf("[data written to %s]\n", path.c_str());
+}
+
+/// Renders one or more reliability-vs-x series as a terminal chart.
+inline void chart(const std::string& x_label,
+                  const std::vector<util::Series>& series,
+                  std::optional<std::pair<double, double>> y_range = {}) {
+  util::AsciiChart plot(72, 18);
+  for (const auto& s : series) plot.add_series(s);
+  plot.set_labels(x_label, "E[R_sys]");
+  if (y_range) plot.set_y_range(y_range->first, y_range->second);
+  std::printf("%s", plot.render().c_str());
+}
+
+/// Converts sweep points to a chart series.
+inline util::Series to_series(const std::string& name,
+                              const std::vector<core::SweepPoint>& points) {
+  util::Series s;
+  s.name = name;
+  for (const auto& p : points) {
+    s.x.push_back(p.x);
+    s.y.push_back(p.expected_reliability);
+  }
+  return s;
+}
+
+/// The two reference configurations of the paper's evaluation.
+inline core::SystemParameters four_version() {
+  return core::SystemParameters::paper_four_version();
+}
+inline core::SystemParameters six_version() {
+  return core::SystemParameters::paper_six_version();
+}
+
+}  // namespace nvp::bench

@@ -1,0 +1,122 @@
+// Performance microbenchmarks (google-benchmark) for the analytic and
+// simulation machinery: reachability generation, CTMC steady state, the
+// MRGP/DSPN solver, the full analyzer pipeline, and simulator throughput —
+// across growing N so the state-space scaling is visible.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/model_factory.hpp"
+#include "src/core/reliability.hpp"
+#include "src/markov/ctmc.hpp"
+#include "src/markov/dspn_solver.hpp"
+#include "src/petri/reachability.hpp"
+#include "src/sim/dspn_simulator.hpp"
+
+namespace {
+
+using namespace nvp;
+
+core::SystemParameters params_for(int n, bool rejuvenation) {
+  core::SystemParameters params;
+  params.n_versions = n;
+  params.rejuvenation = rejuvenation;
+  return params;
+}
+
+void BM_ReachabilityNoRejuvenation(benchmark::State& state) {
+  const auto params = params_for(static_cast<int>(state.range(0)), false);
+  const auto model = core::PerceptionModelFactory::build(params);
+  for (auto _ : state) {
+    auto g = petri::TangibleReachabilityGraph::build(model.net);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_ReachabilityNoRejuvenation)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ReachabilityRejuvenation(benchmark::State& state) {
+  const auto params = params_for(static_cast<int>(state.range(0)), true);
+  const auto model = core::PerceptionModelFactory::build(params);
+  for (auto _ : state) {
+    auto g = petri::TangibleReachabilityGraph::build(model.net);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_ReachabilityRejuvenation)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_CtmcSteadyState(benchmark::State& state) {
+  const auto params = params_for(static_cast<int>(state.range(0)), false);
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  const auto chain = markov::Ctmc::from_graph(g);
+  for (auto _ : state) {
+    auto pi = markov::ctmc_steady_state(chain.generator);
+    benchmark::DoNotOptimize(pi.data());
+  }
+  state.SetLabel(std::to_string(g.size()) + " states");
+}
+BENCHMARK(BM_CtmcSteadyState)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DspnSolver(benchmark::State& state) {
+  const auto params = params_for(static_cast<int>(state.range(0)), true);
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  const markov::DspnSteadyStateSolver solver;
+  for (auto _ : state) {
+    auto result = solver.solve(g);
+    benchmark::DoNotOptimize(result.probabilities.data());
+  }
+  state.SetLabel(std::to_string(g.size()) + " states");
+}
+BENCHMARK(BM_DspnSolver)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_FullAnalyzerSixVersion(benchmark::State& state) {
+  const core::ReliabilityAnalyzer analyzer;
+  const auto params = core::SystemParameters::paper_six_version();
+  for (auto _ : state) {
+    auto result = analyzer.analyze(params);
+    benchmark::DoNotOptimize(result.expected_reliability);
+  }
+}
+BENCHMARK(BM_FullAnalyzerSixVersion);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto rewards = core::make_reliability_model(params);
+  const sim::DspnSimulator simulator(model.net);
+  const markov::MarkingReward reward = [&](const petri::Marking& m) {
+    return rewards->state_reliability(model.healthy(m),
+                                      model.compromised(m), model.down(m));
+  };
+  std::uint64_t seed = 1;
+  std::uint64_t firings = 0;
+  for (auto _ : state) {
+    sim::SimulationOptions opts;
+    opts.horizon = 1e5;
+    opts.seed = seed++;
+    const auto result = simulator.run({reward}, opts);
+    firings += result.timed_firings;
+    benchmark::DoNotOptimize(result.time_average_rewards[0]);
+  }
+  state.counters["firings/s"] = benchmark::Counter(
+      static_cast<double>(firings), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void BM_GeneralizedRewardEvaluation(benchmark::State& state) {
+  const core::GeneralizedReliability rewards(
+      10, core::VotingScheme::bft_rejuvenating(10, 2, 1), 0.08, 0.5, 0.5);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int i = 0; i <= 10; ++i)
+      for (int j = 0; i + j <= 10; ++j)
+        acc += rewards.state_reliability(i, j, 10 - i - j);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_GeneralizedRewardEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Extension — reactive detection vs proactive rejuvenation: the paper's
+// rejuvenation is time-based (proactive, blind to which modules are
+// compromised); an alternative is anomaly-detection-triggered recovery
+// (reactive, rate-limited by detection quality). This bench sweeps the
+// detection rate and compares four designs at the Table II defaults:
+// neither mechanism, detection only, rejuvenation only, and both.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nvp;
+  bench::banner("extension",
+                "reactive detection vs proactive rejuvenation");
+
+  const core::ReliabilityAnalyzer analyzer;
+
+  // Detection mean times to sweep (1/delta), from sluggish to sharp.
+  const double detection_means[] = {0.0,    3600.0, 1800.0, 900.0,
+                                    600.0,  300.0,  150.0,  60.0};
+
+  util::TextTable table({"mean time to detect (s)", "4v detection only",
+                         "6v rejuvenation only", "6v rejuvenation + "
+                         "detection"});
+  std::vector<std::vector<double>> rows;
+
+  const double rejuv_only =
+      analyzer.analyze(bench::six_version()).expected_reliability;
+  const double neither =
+      analyzer.analyze(bench::four_version()).expected_reliability;
+
+  for (double mean : detection_means) {
+    auto four = bench::four_version();
+    auto six = bench::six_version();
+    const double rate = mean > 0.0 ? 1.0 / mean : 0.0;
+    four.detection_rate = rate;
+    six.detection_rate = rate;
+    const double r4 = analyzer.analyze(four).expected_reliability;
+    const double r6 = analyzer.analyze(six).expected_reliability;
+    table.row({mean > 0.0 ? util::format("%.0f", mean) : "no detection",
+               util::format("%.6f", r4), util::format("%.6f", rejuv_only),
+               util::format("%.6f", r6)});
+    rows.push_back({mean, r4, rejuv_only, r6});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nbaselines: 4v with neither mechanism = %.6f; 6v rejuvenation "
+      "only = %.6f.\n"
+      "reading: a detector with mean latency well under 1/lambda_c "
+      "(~1523 s) beats blind rejuvenation — but needs to exist; the "
+      "time-based mechanism needs no detector and already recovers most "
+      "of the gap, and the combination dominates.\n",
+      neither, rejuv_only);
+
+  bench::dump_csv("reactive_vs_proactive.csv",
+                  {"mean_time_to_detect_s", "e_r_4v_detect",
+                   "e_r_6v_rejuv", "e_r_6v_both"},
+                  rows);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension — error-burst safety statistics: steady-state reliability
+// treats every frame alike, but consecutive misperceptions are what
+// actually endangers a vehicle. This bench measures burst statistics of
+// both reference architectures and of the threat-adaptive variant, at the
+// defaults and under elevated compromised-module inaccuracy.
+
+#include "bench_common.hpp"
+#include "src/perception/system.hpp"
+
+namespace {
+
+nvp::perception::CampaignResult run_campaign(
+    const nvp::core::SystemParameters& params, bool adaptive,
+    double p_prime, std::uint64_t seed) {
+  nvp::perception::NVersionPerceptionSystem::Config cfg;
+  cfg.params = params;
+  cfg.params.p_prime = p_prime;
+  cfg.frame_interval = 1.0;
+  cfg.adaptive_rejuvenation = adaptive;
+  cfg.seed = seed;
+  nvp::perception::NVersionPerceptionSystem system(cfg);
+  return system.run(2.0e6);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nvp;
+  bench::banner("extension", "error-burst safety statistics (2e6 s "
+                             "campaigns, 1 frame/s)");
+
+  for (double p_prime : {0.5, 0.8}) {
+    std::printf("\ncompromised inaccuracy p' = %.1f:\n", p_prime);
+    util::TextTable table({"architecture", "reliability", "errors",
+                           "longest burst", "bursts >= 3"});
+    struct Case {
+      const char* name;
+      core::SystemParameters params;
+      bool adaptive;
+    };
+    const Case cases[] = {
+        {"4v, no rejuvenation",
+         core::SystemParameters::paper_four_version(), false},
+        {"6v, static 600 s", core::SystemParameters::paper_six_version(),
+         false},
+        {"6v, threat-adaptive",
+         core::SystemParameters::paper_six_version(), true},
+    };
+    for (const Case& c : cases) {
+      const auto result = run_campaign(c.params, c.adaptive, p_prime, 42);
+      table.row({c.name, util::format("%.5f", result.paper_reliability()),
+                 std::to_string(result.errors),
+                 std::to_string(result.longest_error_burst),
+                 std::to_string(result.error_bursts_at_least_3)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  std::printf(
+      "\nreading: rejuvenation cuts both the error *rate* and — more "
+      "importantly for safety — the length of error bursts, because a "
+      "compromised module never survives past the next rejuvenation; the "
+      "adaptive variant reacts within a window of suspicious verdicts "
+      "instead of waiting out the fixed interval.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Extension — one-factor-at-a-time sensitivity ("tornado") report over all
+// Table II parameters, generalizing the paper's four single-parameter
+// sweeps (Fig. 4) into a ranked local-sensitivity table for both reference
+// architectures.
+
+#include "bench_common.hpp"
+#include "src/core/sensitivity.hpp"
+
+int main() {
+  using namespace nvp;
+  bench::banner("extension",
+                "parameter sensitivity tornado (+-10% around Table II)");
+
+  const core::ReliabilityAnalyzer analyzer;
+  for (const bool rejuvenation : {false, true}) {
+    const auto params =
+        rejuvenation ? bench::six_version() : bench::four_version();
+    std::printf("\n%s (baseline E[R] = %.6f):\n",
+                rejuvenation ? "6-version, rejuvenation"
+                             : "4-version, no rejuvenation",
+                analyzer.analyze(params).expected_reliability);
+    const auto report = core::sensitivity_report(analyzer, params, 0.10);
+    std::printf("%s", core::render_tornado(report).c_str());
+  }
+  std::printf(
+      "\nreading: without rejuvenation, p' dominates by an order of "
+      "magnitude (modules spend most time compromised — Fig. 4(d)); with "
+      "rejuvenation, compromised modules get flushed, so the healthy-state "
+      "parameters alpha and p take over (Fig. 4(b)/(c)) and every "
+      "sensitivity shrinks ~10x — rejuvenation decouples output "
+      "reliability from the threat parameters.\n");
+  return 0;
+}

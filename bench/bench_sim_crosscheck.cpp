@@ -1,0 +1,67 @@
+// Validation (not a paper artifact): three independent estimates of the
+// same quantity must agree — the analytic MRGP/CTMC solution, the
+// discrete-event DSPN simulation, and the executable Monte-Carlo
+// perception system. This is the evidence that the reproduction's numbers
+// are not an artifact of one implementation.
+
+#include "bench_common.hpp"
+#include "src/core/model_factory.hpp"
+#include "src/core/reliability.hpp"
+#include "src/perception/system.hpp"
+#include "src/sim/dspn_simulator.hpp"
+
+int main() {
+  using namespace nvp;
+  bench::banner("validation", "analytic vs DSPN-simulated vs Monte-Carlo");
+
+  util::TextTable table({"architecture", "analytic (Eq. 1)",
+                         "DSPN simulation (95% CI)", "Monte-Carlo system"});
+
+  for (const bool rejuvenation : {false, true}) {
+    const auto params =
+        rejuvenation ? bench::six_version() : bench::four_version();
+
+    // All three columns use the appendix attachment + generalized rewards:
+    // that's the convention the executable system realizes (inconclusive
+    // frames in degraded states are safe).
+    core::ReliabilityAnalyzer::Options opts;
+    opts.convention = core::RewardConvention::kGeneralized;
+    opts.attachment = core::RewardAttachment::kAppendixMatrices;
+    const auto analytic =
+        core::ReliabilityAnalyzer(opts).analyze(params);
+
+    const auto model = core::PerceptionModelFactory::build(params);
+    const auto rewards = core::make_reliability_model(
+        params, core::RewardConvention::kGeneralized);
+    sim::DspnSimulator simulator(model.net);
+    sim::SimulationOptions sim_opts;
+    sim_opts.warmup_time = 2e4;
+    sim_opts.horizon = 1.5e6;
+    sim_opts.seed = 12345;
+    const auto est = simulator.estimate(
+        [&](const petri::Marking& m) {
+          return rewards->state_reliability(
+              model.healthy(m), model.compromised(m), model.down(m));
+        },
+        sim_opts, 8);
+
+    perception::NVersionPerceptionSystem::Config cfg;
+    cfg.params = params;
+    cfg.seed = 999;
+    cfg.frame_interval = 2.0;
+    perception::NVersionPerceptionSystem system(cfg);
+    const auto campaign = system.run(3e6);
+
+    table.row({rejuvenation ? "6-version, rejuvenation"
+                            : "4-version, no rejuvenation",
+               util::format("%.5f", analytic.expected_reliability),
+               util::format("%.5f [%.5f, %.5f]", est.mean, est.ci.lo,
+                            est.ci.hi),
+               util::format("%.5f", campaign.paper_reliability())});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nall three columns estimate the same steady-state quantity; "
+      "agreement within the CI validates solver and model factory.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Adversarial attack campaign: subjects the perception system to bursts of
+// elevated attack pressure (the threat model's adversarial/evasion
+// attacks) and shows how the time-based rejuvenation mechanism contains
+// the damage — including what happens when the rejuvenation interval is
+// mis-tuned relative to the attack tempo.
+//
+// Usage: attack_campaign [--burst-multiplier=10] [--burst-minutes=30]
+//                        [--hours=12] [--seed=11]
+
+#include <cstdio>
+
+#include "src/perception/system.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/string_util.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+double campaign_reliability(const nvp::core::SystemParameters& params,
+                            double duration, double burst_multiplier,
+                            double burst_length, std::uint64_t seed) {
+  nvp::perception::NVersionPerceptionSystem::Config cfg;
+  cfg.params = params;
+  cfg.frame_interval = 1.0;
+  cfg.seed = seed;
+  nvp::perception::NVersionPerceptionSystem system(cfg);
+  // One attack burst every two hours.
+  for (double start = 1800.0; start < duration; start += 7200.0)
+    system.add_attack_window({start, start + burst_length,
+                              burst_multiplier});
+  return system.run(duration).paper_reliability();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nvp;
+  const util::CliArgs args(argc, argv);
+  const double burst_multiplier = args.get_double("burst-multiplier", 10.0);
+  const double burst_minutes = args.get_double("burst-minutes", 30.0);
+  const double hours = args.get_double("hours", 12.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const double duration = hours * 3600.0;
+  const double burst_length = burst_minutes * 60.0;
+
+  std::printf(
+      "attack campaign: %.0fx compromise-rate bursts of %.0f min every 2 h "
+      "over %.1f h\n\n",
+      burst_multiplier, burst_minutes, hours);
+
+  util::TextTable table({"architecture", "rejuv interval",
+                         "output reliability under attack"});
+
+  const auto four = core::SystemParameters::paper_four_version();
+  table.row({"4-version, no rejuvenation", "-",
+             util::format("%.5f",
+                          campaign_reliability(four, duration,
+                                               burst_multiplier,
+                                               burst_length, seed))});
+
+  for (double interval : {150.0, 300.0, 600.0, 1200.0, 2400.0}) {
+    auto six = core::SystemParameters::paper_six_version();
+    six.rejuvenation_interval = interval;
+    table.row({"6-version, rejuvenation", util::format("%.0f s", interval),
+               util::format("%.5f",
+                            campaign_reliability(six, duration,
+                                                 burst_multiplier,
+                                                 burst_length, seed))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: under bursty attacks the rejuvenation interval must stay "
+      "below the burst spacing to flush compromised modules before the "
+      "next burst lands; long intervals approach the unprotected "
+      "4-version system.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Using the DSPN substrate directly: builds a small
+// maintenance model unrelated to perception — a two-machine workcell with
+// a deterministic inspection clock — solves it analytically with the MRGP
+// solver, cross-checks with the discrete-event simulator, and exports DOT.
+// Demonstrates the petri/markov/sim layers as a general-purpose library.
+
+#include <cstdio>
+
+#include "src/markov/dspn_solver.hpp"
+#include "src/markov/rewards.hpp"
+#include "src/petri/dot_export.hpp"
+#include "src/petri/reachability.hpp"
+#include "src/sim/dspn_simulator.hpp"
+
+int main() {
+  using namespace nvp;
+
+  // Model: two machines wear out (exponential), a deterministic inspection
+  // every 50 time units repairs every worn machine at once (immediate),
+  // and a worn machine can also break down completely (exponential) and
+  // then needs a slow dedicated repair.
+  petri::PetriNet net("workcell");
+  const auto ok = net.add_place("ok", 2);
+  const auto worn = net.add_place("worn", 0);
+  const auto broken = net.add_place("broken", 0);
+  const auto clock_armed = net.add_place("clock_armed", 1);
+  const auto clock_expired = net.add_place("clock_expired", 0);
+
+  const auto wear = net.add_exponential("wear", 1.0 / 40.0);
+  net.add_input_arc(wear, ok);
+  net.add_output_arc(wear, worn);
+
+  const auto breakdown = net.add_exponential("breakdown", 1.0 / 120.0);
+  net.add_input_arc(breakdown, worn);
+  net.add_output_arc(breakdown, broken);
+
+  const auto repair = net.add_exponential("repair", 1.0 / 25.0);
+  net.add_input_arc(repair, broken);
+  net.add_output_arc(repair, ok);
+
+  const auto inspect = net.add_deterministic("inspect", 50.0);
+  net.add_input_arc(inspect, clock_armed);
+  net.add_output_arc(inspect, clock_expired);
+
+  // Inspection fixes all worn machines in zero time and re-arms the clock.
+  const auto service = net.add_immediate("service");
+  net.add_input_arc(service, clock_expired);
+  net.add_output_arc(service, clock_armed);
+  net.add_input_arc(service, worn, [worn](const petri::Marking& m) {
+    return m[worn.index];
+  });
+  net.add_output_arc(service, ok, [worn](const petri::Marking& m) {
+    return m[worn.index];
+  });
+
+  const auto graph = petri::TangibleReachabilityGraph::build(net);
+  std::printf("workcell DSPN: %zu places, %zu transitions, %zu tangible "
+              "states\n",
+              net.place_count(), net.transition_count(), graph.size());
+
+  const auto solution = markov::DspnSteadyStateSolver().solve(graph);
+
+  const markov::MarkingReward both_productive =
+      [ok](const petri::Marking& m) {
+        return m[ok.index] == 2 ? 1.0 : 0.0;
+      };
+  const markov::MarkingReward throughput = [ok](const petri::Marking& m) {
+    return static_cast<double>(m[ok.index]);  // machines producing
+  };
+  const double availability = markov::expected_reward(
+      graph, solution.probabilities, both_productive);
+  const double rate = markov::expected_reward(graph, solution.probabilities,
+                                              throughput);
+  std::printf("analytic: P(both machines productive) = %.6f, expected "
+              "productive machines = %.6f\n",
+              availability, rate);
+
+  sim::DspnSimulator simulator(net);
+  sim::SimulationOptions opts;
+  opts.warmup_time = 1000.0;
+  opts.horizon = 5e5;
+  opts.seed = 4242;
+  const auto estimate = simulator.estimate(both_productive, opts, 8);
+  std::printf("simulated: %.6f (95%% CI [%.6f, %.6f]) — %s\n",
+              estimate.mean, estimate.ci.lo, estimate.ci.hi,
+              estimate.ci.contains(availability) ? "consistent"
+                                                 : "INCONSISTENT");
+
+  std::printf("\nGraphviz DOT of the net:\n%s",
+              petri::to_dot(net).c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Rejuvenation-interval tuning: given a system configuration, finds the
+// interval 1/gamma that maximizes the expected output reliability (the
+// design question behind the paper's Fig. 3) and prints the sensitivity of
+// the optimum to the environment.
+//
+// Usage: interval_optimizer [--n=6] [--f=1] [--r=1] [--mttc=1523]
+//                           [--p=0.08] [--p-prime=0.5] [--lo=50]
+//                           [--hi=3000]
+
+#include <cstdio>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/sweep.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nvp;
+  const util::CliArgs args(argc, argv);
+
+  core::SystemParameters params = core::SystemParameters::paper_six_version();
+  params.n_versions = args.get_int("n", params.n_versions);
+  params.max_faulty = args.get_int("f", params.max_faulty);
+  params.max_rejuvenating = args.get_int("r", params.max_rejuvenating);
+  params.mean_time_to_compromise =
+      args.get_double("mttc", params.mean_time_to_compromise);
+  params.p = args.get_double("p", params.p);
+  params.p_prime = args.get_double("p-prime", params.p_prime);
+  const double lo = args.get_double("lo", 50.0);
+  const double hi = args.get_double("hi", 3000.0);
+
+  params.validate();
+  std::printf("configuration: %s\n\n", params.describe().c_str());
+
+  const core::ReliabilityAnalyzer analyzer;
+  const auto points = core::sweep_parameter(
+      analyzer, params, core::set_rejuvenation_interval(),
+      core::linspace(lo, hi, 30));
+  util::AsciiChart chart(72, 16);
+  util::Series series;
+  series.name = "E[R] vs interval";
+  for (const auto& p : points) {
+    series.x.push_back(p.x);
+    series.y.push_back(p.expected_reliability);
+  }
+  chart.add_series(series);
+  chart.set_labels("rejuvenation interval 1/gamma (s)", "E[R_sys]");
+  std::printf("%s\n", chart.render().c_str());
+
+  const auto optimum = core::optimize_rejuvenation_interval(
+      analyzer, params, lo, hi, 24, 0.5);
+  std::printf(
+      "optimal interval: 1/gamma = %.1f s  ->  E[R] = %.6f "
+      "(%zu model evaluations)\n",
+      optimum.x, optimum.expected_reliability, optimum.evaluations);
+
+  core::SystemParameters at_default = params;
+  at_default.rejuvenation_interval = 600.0;
+  std::printf("vs Table II default (600 s): E[R] = %.6f\n",
+              analyzer.analyze(at_default).expected_reliability);
+
+  // How robust is the optimum? Report the interval band within 0.1% of it.
+  double band_lo = optimum.x, band_hi = optimum.x;
+  for (const auto& p : points) {
+    if (p.expected_reliability >=
+        optimum.expected_reliability * 0.999) {
+      band_lo = std::min(band_lo, p.x);
+      band_hi = std::max(band_hi, p.x);
+    }
+  }
+  std::printf("intervals within 0.1%% of the optimum: [%.0f, %.0f] s\n",
+              band_lo, band_hi);
+  return 0;
+}

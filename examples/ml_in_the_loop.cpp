@@ -1,0 +1,78 @@
+// ML-in-the-loop validation (the paper's future work): the N module
+// versions are real trained classifiers; compromised modules receive
+// adversarially perturbed inputs. The campaign's empirical output
+// reliability is compared against the analytic DSPN prediction fed with
+// the *measured* error rates of the very same ensemble — closing the loop
+// between the modeling side (§IV) and an executable perception system.
+//
+// Usage: ml_in_the_loop [--hours=8] [--seed=77] [--no-rejuvenation]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/analyzer.hpp"
+#include "src/perception/ensemble_system.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nvp;
+  const util::CliArgs args(argc, argv);
+  const double hours = args.get_double("hours", 8.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 77));
+
+  perception::EnsemblePerceptionSystem::Config cfg;
+  if (args.has("no-rejuvenation")) {
+    cfg.params = core::SystemParameters::paper_four_version();
+  }
+  cfg.seed = seed;
+  cfg.frame_interval = 2.0;
+
+  std::printf("training %d diverse classifier versions...\n",
+              cfg.params.n_versions);
+  perception::EnsemblePerceptionSystem system(cfg);
+
+  std::printf("\nmeasured ensemble properties (vs the paper's inputs):\n");
+  std::printf("  p      = %.4f   (paper assumed 0.08)\n",
+              system.measured_p());
+  std::printf("  p'     = %.4f   (paper assumed 0.5)\n",
+              system.measured_p_prime());
+  std::printf("  alpha  = %.4f   (paper assumed 0.5)\n",
+              system.measured_alpha());
+
+  std::printf("\nrunning %.1f h campaign with adversarial input channels "
+              "on compromised modules...\n",
+              hours);
+  const auto result = system.run(hours * 3600.0);
+  std::printf(
+      "  frames %llu: correct %llu, errors %llu, inconclusive %llu, "
+      "unavailable %llu\n",
+      static_cast<unsigned long long>(result.frames),
+      static_cast<unsigned long long>(result.correct),
+      static_cast<unsigned long long>(result.errors),
+      static_cast<unsigned long long>(result.inconclusive),
+      static_cast<unsigned long long>(result.unavailable));
+  std::printf("  empirical output reliability = %.5f\n",
+              result.paper_reliability());
+
+  // Analytic prediction with the measured parameters. The common-cause
+  // sampler needs p <= alpha; the measured alpha of a diverse ensemble
+  // satisfies this comfortably.
+  core::SystemParameters analytic_params = cfg.params;
+  analytic_params.p = system.measured_p();
+  analytic_params.p_prime = system.measured_p_prime();
+  analytic_params.alpha =
+      std::max(system.measured_alpha(), system.measured_p() + 1e-6);
+  core::ReliabilityAnalyzer::Options opts;
+  opts.convention = core::RewardConvention::kGeneralized;
+  opts.attachment = core::RewardAttachment::kAppendixMatrices;
+  const auto analytic =
+      core::ReliabilityAnalyzer(opts).analyze(analytic_params);
+  std::printf(
+      "  analytic prediction (measured p, p', alpha) = %.5f\n"
+      "\nnote: the analytic bloc voter is pessimistic versus the deployed "
+      "label-matching voter, so the empirical value should sit at or above "
+      "the prediction.\n",
+      analytic.expected_reliability);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: evaluate the expected output reliability of the paper's two
+// reference architectures — a four-version perception system without
+// rejuvenation and a six-version system with time-based rejuvenation — and
+// report the improvement, reproducing the headline numbers of §V-B.
+//
+// Usage: quickstart [--p=0.08] [--p-prime=0.5] [--alpha=0.5]
+//                   [--interval=600]
+
+#include <cstdio>
+
+#include "src/core/analyzer.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nvp;
+  const util::CliArgs args(argc, argv);
+
+  core::SystemParameters four = core::SystemParameters::paper_four_version();
+  core::SystemParameters six = core::SystemParameters::paper_six_version();
+  for (core::SystemParameters* params : {&four, &six}) {
+    params->p = args.get_double("p", params->p);
+    params->p_prime = args.get_double("p-prime", params->p_prime);
+    params->alpha = args.get_double("alpha", params->alpha);
+  }
+  six.rejuvenation_interval =
+      args.get_double("interval", six.rejuvenation_interval);
+
+  const core::ReliabilityAnalyzer analyzer;
+  const auto r4 = analyzer.analyze(four);
+  const auto r6 = analyzer.analyze(six);
+
+  util::TextTable table({"architecture", "voting", "E[R_sys]", "states"});
+  table.row({"4-version, no rejuvenation", "3-out-of-4",
+             std::to_string(r4.expected_reliability),
+             std::to_string(r4.tangible_states)});
+  table.row({"6-version, rejuvenation", "4-out-of-6",
+             std::to_string(r6.expected_reliability),
+             std::to_string(r6.tangible_states)});
+  std::printf("%s", table.render().c_str());
+
+  std::printf(
+      "\nrejuvenation improves expected output reliability by %.2f%%\n",
+      (r6.expected_reliability / r4.expected_reliability - 1.0) * 100.0);
+  std::printf("(paper, same defaults: 0.8233477 vs 0.93464665, ~13%%)\n");
+
+  std::printf("\nmost likely module states of the 6-version system:\n");
+  for (std::size_t i = 0; i < r6.state_distribution.size() && i < 5; ++i) {
+    const auto& sp = r6.state_distribution[i];
+    std::printf("  (healthy=%d, compromised=%d, down=%d)  pi=%.6f  R=%.6f\n",
+                sp.healthy, sp.compromised, sp.down, sp.probability,
+                sp.reliability);
+  }
+  return 0;
+}

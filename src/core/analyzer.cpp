@@ -1,0 +1,74 @@
+#include "src/core/analyzer.hpp"
+
+#include <algorithm>
+
+#include "src/petri/reachability.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::core {
+
+AnalysisResult ReliabilityAnalyzer::analyze(
+    const SystemParameters& params) const {
+  const auto rewards = make_reliability_model(params, options_.convention);
+  return analyze(params, *rewards);
+}
+
+AnalysisResult ReliabilityAnalyzer::analyze(
+    const SystemParameters& params, const ReliabilityModel& rewards) const {
+  params.validate();
+  NVP_EXPECTS_MSG(rewards.versions() == params.n_versions,
+                  "reward model does not match the number of versions");
+
+  const BuiltModel model = PerceptionModelFactory::build(params);
+  const auto graph = petri::TangibleReachabilityGraph::build(model.net);
+  const markov::DspnSteadyStateSolver solver(options_.solver);
+  const auto solution = solver.solve(graph);
+
+  AnalysisResult result;
+  result.tangible_states = graph.size();
+  result.used_dspn_solver = !solution.pure_ctmc;
+
+  // Aggregate probability and reward mass by (i, j, k). Rewards are
+  // evaluated per tangible state because extensions (e.g. the voter
+  // life-cycle) can give states of the same module class different
+  // rewards; the class reliability reported is the conditional average.
+  std::map<std::tuple<int, int, int>, std::pair<double, double>> mass;
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    const petri::Marking& m = graph.marking(s);
+    const int i = model.healthy(m);
+    const int j = model.compromised(m);
+    const int k = model.down(m);
+    double reward = 0.0;
+    const bool degraded_zeroed =
+        options_.attachment == RewardAttachment::kOperationalStatesOnly &&
+        k > 0;
+    if (!degraded_zeroed && model.voter_up(m))
+      reward = rewards.state_reliability(i, j, k);
+    auto& [prob_mass, reward_mass] = mass[{i, j, k}];
+    prob_mass += solution.probabilities[s];
+    reward_mass += solution.probabilities[s] * reward;
+  }
+
+  double expected = 0.0;
+  for (const auto& [state, masses] : mass) {
+    const auto [i, j, k] = state;
+    const auto [prob, reward_mass] = masses;
+    StateProbability sp;
+    sp.healthy = i;
+    sp.compromised = j;
+    sp.down = k;
+    sp.probability = prob;
+    sp.reliability = prob > 0.0 ? reward_mass / prob : 0.0;
+    expected += reward_mass;
+    result.state_distribution.push_back(sp);
+  }
+  std::sort(result.state_distribution.begin(),
+            result.state_distribution.end(),
+            [](const StateProbability& a, const StateProbability& b) {
+              return a.probability > b.probability;
+            });
+  result.expected_reliability = expected;
+  return result;
+}
+
+}  // namespace nvp::core

@@ -1,0 +1,86 @@
+#include "src/core/architecture_space.hpp"
+
+#include <algorithm>
+
+#include "src/util/contracts.hpp"
+#include "src/util/string_util.hpp"
+
+namespace nvp::core {
+
+std::string ArchitectureResult::label() const {
+  return util::format("N=%d f=%d%s", n, f,
+                      rejuvenation
+                          ? util::format(" r=%d rejuv", r).c_str()
+                          : " plain");
+}
+
+std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
+    const SystemParameters& base) const {
+  NVP_EXPECTS(options_.max_versions >= 4);
+  ReliabilityAnalyzer::Options analyzer_options;
+  analyzer_options.convention = RewardConvention::kGeneralized;
+  analyzer_options.attachment = options_.attachment;
+  const ReliabilityAnalyzer analyzer(analyzer_options);
+
+  std::vector<ArchitectureResult> results;
+  for (int n = 4; n <= options_.max_versions; ++n) {
+    for (int f = 1; f <= options_.max_faulty; ++f) {
+      if (n >= 3 * f + 1) {
+        SystemParameters params = base;
+        params.n_versions = n;
+        params.max_faulty = f;
+        params.max_rejuvenating = 1;  // repair concurrency; unused voting-wise
+        params.rejuvenation = false;
+        const auto analysis = analyzer.analyze(params);
+        ArchitectureResult result;
+        result.n = n;
+        result.f = f;
+        result.r = 0;
+        result.rejuvenation = false;
+        result.expected_reliability = analysis.expected_reliability;
+        result.tangible_states = analysis.tangible_states;
+        results.push_back(result);
+      }
+      for (int r = 1; r <= options_.max_rejuvenating; ++r) {
+        if (n < 3 * f + 2 * r + 1) continue;
+        SystemParameters params = base;
+        params.n_versions = n;
+        params.max_faulty = f;
+        params.max_rejuvenating = r;
+        params.rejuvenation = true;
+        const auto analysis = analyzer.analyze(params);
+        ArchitectureResult result;
+        result.n = n;
+        result.f = f;
+        result.r = r;
+        result.rejuvenation = true;
+        result.expected_reliability = analysis.expected_reliability;
+        result.tangible_states = analysis.tangible_states;
+        results.push_back(result);
+      }
+    }
+  }
+
+  // Cost-efficiency proxy relative to the cheapest architecture.
+  for (auto& result : results)
+    result.reliability_per_module =
+        result.expected_reliability / static_cast<double>(result.n);
+
+  std::sort(results.begin(), results.end(),
+            [](const ArchitectureResult& a, const ArchitectureResult& b) {
+              return a.expected_reliability > b.expected_reliability;
+            });
+  return results;
+}
+
+std::vector<ArchitectureResult>
+ArchitectureSpaceExplorer::best_within_budget(const SystemParameters& base,
+                                              int budget) const {
+  auto all = explore(base);
+  std::vector<ArchitectureResult> feasible;
+  for (const auto& result : all)
+    if (result.n <= budget) feasible.push_back(result);
+  return feasible;
+}
+
+}  // namespace nvp::core

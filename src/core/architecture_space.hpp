@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/params.hpp"
+
+namespace nvp::core {
+
+/// One evaluated architecture point.
+struct ArchitectureResult {
+  int n = 0;
+  int f = 0;
+  int r = 0;
+  bool rejuvenation = false;
+  double expected_reliability = 0.0;
+  std::size_t tangible_states = 0;
+  /// Reliability gain per added module version over the cheapest feasible
+  /// architecture in the same family (cost proxy: module count).
+  double reliability_per_module = 0.0;
+
+  std::string label() const;
+};
+
+/// Explorer for the architecture space the paper opens but does not sweep:
+/// all feasible (N, f, r, rejuvenation) combinations in a range, evaluated
+/// under the generalized reliability model (the verbatim functions exist
+/// only for the paper's two points). Feasibility: n >= 3f + 1 without and
+/// n >= 3f + 2r + 1 with rejuvenation.
+class ArchitectureSpaceExplorer {
+ public:
+  struct Options {
+    int max_versions = 10;
+    int max_faulty = 2;
+    int max_rejuvenating = 2;
+    RewardAttachment attachment = RewardAttachment::kOperationalStatesOnly;
+  };
+
+  ArchitectureSpaceExplorer() = default;
+  explicit ArchitectureSpaceExplorer(Options options) : options_(options) {}
+
+  /// Evaluates every feasible architecture with the given Table II
+  /// parameters (n/f/r/rejuvenation fields of `base` are ignored), sorted
+  /// by descending expected reliability.
+  std::vector<ArchitectureResult> explore(
+      const SystemParameters& base) const;
+
+  /// The architecture with the highest expected reliability per module
+  /// count <= `budget` (the deployment question: how to spend a fixed
+  /// hardware budget). Returns nullopt-like empty result when none is
+  /// feasible within budget (budget < 4).
+  std::vector<ArchitectureResult> best_within_budget(
+      const SystemParameters& base, int budget) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace nvp::core

@@ -1,0 +1,303 @@
+#include "src/core/model_factory.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::core {
+
+using petri::Marking;
+using petri::PetriNet;
+using petri::PlaceId;
+using petri::TokenCount;
+using petri::TransitionId;
+
+namespace {
+
+/// Adds the H -> C -> N -> H life-cycle shared by both models.
+/// Single-server semantics uses the constant rates of Table II;
+/// infinite-server scales each rate by the number of tokens in the
+/// transition's input place.
+void add_lifecycle(PetriNet& net, const SystemParameters& params,
+                   PlaceId pmh, PlaceId pmc, PlaceId pmf) {
+  const double lambda_c = 1.0 / params.mean_time_to_compromise;
+  const double lambda = 1.0 / params.mean_time_to_failure;
+  const double mu = 1.0 / params.mean_time_to_repair;
+
+  const TransitionId tc = net.add_exponential("Tc", lambda_c);
+  net.add_input_arc(tc, pmh);
+  net.add_output_arc(tc, pmc);
+
+  const TransitionId tf = net.add_exponential("Tf", lambda);
+  net.add_input_arc(tf, pmc);
+  net.add_output_arc(tf, pmf);
+
+  const TransitionId tr = net.add_exponential("Tr", mu);
+  net.add_input_arc(tr, pmf);
+  net.add_output_arc(tr, pmh);
+
+  if (params.semantics == FiringSemantics::kInfiniteServer) {
+    net.set_rate_fn(tc, [lambda_c, pmh](const Marking& m) {
+      return lambda_c * static_cast<double>(m[pmh.index]);
+    });
+    net.set_rate_fn(tf, [lambda, pmc](const Marking& m) {
+      return lambda * static_cast<double>(m[pmc.index]);
+    });
+    net.set_rate_fn(tr, [mu, pmf](const Marking& m) {
+      return mu * static_cast<double>(m[pmf.index]);
+    });
+  }
+
+  // Extension: reactive detection-based recovery (Td: C -> H). Follows the
+  // same firing semantics as the other life-cycle transitions.
+  if (params.detection_rate > 0.0) {
+    const double delta = params.detection_rate;
+    const TransitionId td = net.add_exponential("Td", delta);
+    net.add_input_arc(td, pmc);
+    net.add_output_arc(td, pmh);
+    if (params.semantics == FiringSemantics::kInfiniteServer) {
+      net.set_rate_fn(td, [delta, pmc](const Marking& m) {
+        return delta * static_cast<double>(m[pmc.index]);
+      });
+    }
+  }
+}
+
+/// Extension: voter up/down life-cycle (relaxes assumption A.4).
+void add_voter_lifecycle(PetriNet& net, const SystemParameters& params,
+                         BuiltModel& model) {
+  if (!params.voter_can_fail) return;
+  const PlaceId pvu = net.add_place("Pvu", 1);
+  const PlaceId pvd = net.add_place("Pvd", 0);
+  model.pvu = pvu;
+  model.pvd = pvd;
+  const TransitionId tvf =
+      net.add_exponential("Tvf", 1.0 / params.voter_mtbf);
+  net.add_input_arc(tvf, pvu);
+  net.add_output_arc(tvf, pvd);
+  const TransitionId tvr =
+      net.add_exponential("Tvr", 1.0 / params.voter_mttr);
+  net.add_input_arc(tvr, pvd);
+  net.add_output_arc(tvr, pvu);
+}
+
+}  // namespace
+
+BuiltModel PerceptionModelFactory::build(const SystemParameters& params) {
+  params.validate();
+  return params.rejuvenation ? with_rejuvenation(params)
+                             : without_rejuvenation(params);
+}
+
+BuiltModel PerceptionModelFactory::without_rejuvenation(
+    const SystemParameters& params) {
+  params.validate();
+  NVP_EXPECTS(!params.rejuvenation);
+  BuiltModel model;
+  model.net = PetriNet("perception_no_rejuvenation");
+  model.pmh = model.net.add_place(
+      "Pmh", static_cast<TokenCount>(params.n_versions));
+  model.pmc = model.net.add_place("Pmc", 0);
+  model.pmf = model.net.add_place("Pmf", 0);
+  add_lifecycle(model.net, params, model.pmh, model.pmc, model.pmf);
+  add_voter_lifecycle(model.net, params, model);
+  model.net.validate();
+  return model;
+}
+
+BuiltModel PerceptionModelFactory::with_rejuvenation(
+    const SystemParameters& params) {
+  params.validate();
+  NVP_EXPECTS(params.rejuvenation);
+  const TokenCount r = static_cast<TokenCount>(params.max_rejuvenating);
+
+  BuiltModel model;
+  model.net = PetriNet("perception_rejuvenation");
+  PetriNet& net = model.net;
+  model.pmh =
+      net.add_place("Pmh", static_cast<TokenCount>(params.n_versions));
+  model.pmc = net.add_place("Pmc", 0);
+  model.pmf = net.add_place("Pmf", 0);
+  const PlaceId pmr = net.add_place("Pmr", 0);
+  const PlaceId pac = net.add_place("Pac", 0);
+  const PlaceId prc = net.add_place("Prc", 1);
+  const PlaceId ptr = net.add_place("Ptr", 0);
+  model.pmr = pmr;
+  model.pac = pac;
+  model.prc = prc;
+  model.ptr = ptr;
+  const PlaceId pmh = model.pmh, pmc = model.pmc, pmf = model.pmf;
+
+  add_lifecycle(net, params, pmh, pmc, pmf);
+
+  // --- Rejuvenation clock (Fig. 2(b)) -----------------------------------
+  // Trc: deterministic interval 1/gamma; Prc -> Ptr.
+  const TransitionId trc =
+      net.add_deterministic("Trc", params.rejuvenation_interval);
+  net.add_input_arc(trc, prc);
+  net.add_output_arc(trc, ptr);
+
+  // Trt: resets the clock once the batch is activated (guard g3:
+  // #Pmr + #Pac > 0); Ptr -> Prc.
+  const TransitionId trt = net.add_immediate("Trt", 1.0, /*priority=*/1);
+  net.add_input_arc(trt, ptr);
+  net.add_output_arc(trt, prc);
+  net.set_guard(trt, [pmr, pac](const Marking& m) {
+    return m[pmr.index] + m[pac.index] > 0;  // g3
+  });
+
+  // --- Rejuvenation mechanism (Fig. 2(c)) --------------------------------
+  // Tac: activates a batch of r rejuvenation credits when the clock has
+  // expired and the previous batch is fully drained. Guard g1 (see
+  // DESIGN.md §2): #Ptr >= 1 and #Pac + #Pmr == 0. Output arc weight
+  // w3 = r. Runs at higher priority than Trt so activation precedes the
+  // clock reset within the same vanishing chain (same net effect either
+  // way; this makes the intermediate markings deterministic).
+  const TransitionId tac = net.add_immediate("Tac", 1.0, /*priority=*/2);
+  net.add_output_arc(tac, pac, r);  // w3
+  net.set_guard(tac, [ptr, pac, pmr](const Marking& m) {
+    return m[ptr.index] >= 1 && (m[pac.index] + m[pmr.index]) == 0;  // g1
+  });
+
+  // Trj1: pick a compromised module for rejuvenation. Guard g2:
+  // #Pmf + #Pmr < r. Weight w1 = #Pmc / (#Pmc + #Pmh) (tiny when #Pmc = 0;
+  // the input arc from Pmc keeps it disabled then anyway).
+  const TransitionId trj1 = net.add_immediate("Trj1", 1.0, /*priority=*/1);
+  net.add_input_arc(trj1, pmc);
+  net.add_input_arc(trj1, pac);
+  net.add_output_arc(trj1, pmr);
+  net.set_guard(trj1, [pmf, pmr, r](const Marking& m) {
+    return m[pmf.index] + m[pmr.index] < r;  // g2
+  });
+  net.set_rate_fn(trj1, [pmc, pmh](const Marking& m) {
+    const double c = static_cast<double>(m[pmc.index]);
+    const double h = static_cast<double>(m[pmh.index]);
+    return c == 0.0 ? 1e-5 : c / (c + h);  // w1
+  });
+
+  // Trj2: pick a healthy module for rejuvenation. Guard g2; weight
+  // w2 = #Pmh / (#Pmc + #Pmh).
+  const TransitionId trj2 = net.add_immediate("Trj2", 1.0, /*priority=*/1);
+  net.add_input_arc(trj2, pmh);
+  net.add_input_arc(trj2, pac);
+  net.add_output_arc(trj2, pmr);
+  net.set_guard(trj2, [pmf, pmr, r](const Marking& m) {
+    return m[pmf.index] + m[pmr.index] < r;  // g2
+  });
+  net.set_rate_fn(trj2, [pmc, pmh](const Marking& m) {
+    const double c = static_cast<double>(m[pmc.index]);
+    const double h = static_cast<double>(m[pmh.index]);
+    return h == 0.0 ? 1e-5 : h / (c + h);  // w2
+  });
+
+  // Trj: completes the rejuvenation of the whole batch. Exponential with
+  // marking-dependent mean 1/mu_r = #Pmr * rejuvenation_duration. Input
+  // weight w5 = min(#Pmr, r), output weight w6 = #Pmr (Table I), guarded on
+  // #Pmr >= 1 so the marking-dependent expressions are well-defined.
+  const TransitionId trj = net.add_exponential("Trj", 1.0);
+  const double duration = params.rejuvenation_duration;
+  net.set_rate_fn(trj, [pmr, duration](const Marking& m) {
+    return 1.0 / (static_cast<double>(m[pmr.index]) * duration);
+  });
+  net.set_guard(trj, [pmr](const Marking& m) { return m[pmr.index] >= 1; });
+  net.add_input_arc(trj, pmr, [pmr, r](const Marking& m) {
+    return std::min(m[pmr.index], r);  // w5
+  });
+  net.add_output_arc(trj, pmh, [pmr](const Marking& m) {
+    return m[pmr.index];  // w6
+  });
+
+  add_voter_lifecycle(net, params, model);
+  net.validate();
+  return model;
+}
+
+BuiltModel PerceptionModelFactory::with_rejuvenation_erlang(
+    const SystemParameters& params, int stages) {
+  params.validate();
+  NVP_EXPECTS(params.rejuvenation);
+  NVP_EXPECTS_MSG(stages >= 1, "Erlangization needs at least one stage");
+  const TokenCount r = static_cast<TokenCount>(params.max_rejuvenating);
+  const auto k = static_cast<TokenCount>(stages);
+
+  BuiltModel model;
+  model.net = PetriNet("perception_rejuvenation_erlang");
+  PetriNet& net = model.net;
+  model.pmh =
+      net.add_place("Pmh", static_cast<TokenCount>(params.n_versions));
+  model.pmc = net.add_place("Pmc", 0);
+  model.pmf = net.add_place("Pmf", 0);
+  const PlaceId pmr = net.add_place("Pmr", 0);
+  const PlaceId pac = net.add_place("Pac", 0);
+  const PlaceId pstage = net.add_place("Pstage", 0);
+  model.pmr = pmr;
+  model.pac = pac;
+  const PlaceId pmh = model.pmh, pmc = model.pmc, pmf = model.pmf;
+
+  add_lifecycle(net, params, pmh, pmc, pmf);
+
+  // Erlang clock: `stages` exponential stage completions per period. The
+  // stage transition keeps running regardless of the rejuvenation state,
+  // mirroring the deterministic clock's always-enabled timer.
+  const TransitionId tstage = net.add_exponential(
+      "Tstage", static_cast<double>(stages) / params.rejuvenation_interval);
+  net.add_output_arc(tstage, pstage);
+  net.add_inhibitor_arc(tstage, pstage, k);
+
+  // Expiry handling (replaces Tac/Trt): when all stages have accumulated,
+  // either activate a new batch (guard g1) or just reset the clock
+  // (guard g3) — both consume the k stage tokens.
+  const TransitionId tac = net.add_immediate("Tac", 1.0, /*priority=*/2);
+  net.add_input_arc(tac, pstage, k);
+  net.add_output_arc(tac, pac, r);
+  net.set_guard(tac, [pac, pmr](const Marking& m) {
+    return (m[pac.index] + m[pmr.index]) == 0;  // g1
+  });
+  const TransitionId trt = net.add_immediate("Trt", 1.0, /*priority=*/1);
+  net.add_input_arc(trt, pstage, k);
+  net.set_guard(trt, [pac, pmr](const Marking& m) {
+    return (m[pac.index] + m[pmr.index]) > 0;  // g3
+  });
+
+  // Rejuvenation mechanism: identical to the deterministic-clock model.
+  const TransitionId trj1 = net.add_immediate("Trj1", 1.0, /*priority=*/1);
+  net.add_input_arc(trj1, pmc);
+  net.add_input_arc(trj1, pac);
+  net.add_output_arc(trj1, pmr);
+  net.set_guard(trj1, [pmf, pmr, r](const Marking& m) {
+    return m[pmf.index] + m[pmr.index] < r;  // g2
+  });
+  net.set_rate_fn(trj1, [pmc, pmh](const Marking& m) {
+    const double c = static_cast<double>(m[pmc.index]);
+    const double h = static_cast<double>(m[pmh.index]);
+    return c == 0.0 ? 1e-5 : c / (c + h);  // w1
+  });
+  const TransitionId trj2 = net.add_immediate("Trj2", 1.0, /*priority=*/1);
+  net.add_input_arc(trj2, pmh);
+  net.add_input_arc(trj2, pac);
+  net.add_output_arc(trj2, pmr);
+  net.set_guard(trj2, [pmf, pmr, r](const Marking& m) {
+    return m[pmf.index] + m[pmr.index] < r;  // g2
+  });
+  net.set_rate_fn(trj2, [pmc, pmh](const Marking& m) {
+    const double c = static_cast<double>(m[pmc.index]);
+    const double h = static_cast<double>(m[pmh.index]);
+    return h == 0.0 ? 1e-5 : h / (c + h);  // w2
+  });
+  const TransitionId trj = net.add_exponential("Trj", 1.0);
+  const double duration = params.rejuvenation_duration;
+  net.set_rate_fn(trj, [pmr, duration](const Marking& m) {
+    return 1.0 / (static_cast<double>(m[pmr.index]) * duration);
+  });
+  net.set_guard(trj, [pmr](const Marking& m) { return m[pmr.index] >= 1; });
+  net.add_input_arc(trj, pmr, [pmr, r](const Marking& m) {
+    return std::min(m[pmr.index], r);  // w5
+  });
+  net.add_output_arc(trj, pmh, [pmr](const Marking& m) {
+    return m[pmr.index];  // w6
+  });
+
+  add_voter_lifecycle(net, params, model);
+  net.validate();
+  return model;
+}
+
+}  // namespace nvp::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+
+#include "src/core/params.hpp"
+#include "src/petri/net.hpp"
+
+namespace nvp::core {
+
+/// A perception-system DSPN plus handles to its places, so rewards and
+/// diagnostics can read module counts out of markings.
+struct BuiltModel {
+  petri::PetriNet net;
+  petri::PlaceId pmh{0};  ///< healthy ML modules
+  petri::PlaceId pmc{0};  ///< compromised ML modules
+  petri::PlaceId pmf{0};  ///< non-operational (crashed) ML modules
+  // Rejuvenation-only places (Fig. 2(b, c)); unset for the Fig. 2(a) model.
+  std::optional<petri::PlaceId> pmr;  ///< rejuvenating ML modules
+  std::optional<petri::PlaceId> pac;  ///< activated rejuvenation credits
+  std::optional<petri::PlaceId> prc;  ///< rejuvenation clock armed
+  std::optional<petri::PlaceId> ptr;  ///< rejuvenation clock expired
+  // Voter-failure extension places (params.voter_can_fail).
+  std::optional<petri::PlaceId> pvu;  ///< voter up
+  std::optional<petri::PlaceId> pvd;  ///< voter down
+
+  /// Healthy module count i in a marking.
+  int healthy(const petri::Marking& m) const { return m[pmh.index]; }
+  /// Compromised module count j in a marking.
+  int compromised(const petri::Marking& m) const { return m[pmc.index]; }
+  /// Down-or-rejuvenating count k in a marking (#Pmf + #Pmr).
+  int down(const petri::Marking& m) const {
+    int k = m[pmf.index];
+    if (pmr) k += m[pmr->index];
+    return k;
+  }
+  /// True when the voter is operational in this marking (always true
+  /// unless the voter-failure extension is enabled).
+  bool voter_up(const petri::Marking& m) const {
+    return !pvd || m[pvd->index] == 0;
+  }
+};
+
+/// Builds the paper's DSPNs:
+///  * without rejuvenation — Fig. 2(a): Pmh --Tc--> Pmc --Tf--> Pmf
+///    --Tr--> Pmh, N tokens initially healthy;
+///  * with rejuvenation — Fig. 2(b, c): the same life-cycle plus the
+///    deterministic clock (Prc --Trc--> Ptr, reset by immediate Trt) and the
+///    rejuvenation mechanism (immediate Tac emits r credits into Pac;
+///    immediates Trj1/Trj2 move a compromised/healthy module into Pmr with
+///    probability proportional to #Pmc : #Pmh; exponential Trj returns all
+///    rejuvenating modules to Pmh), with the guard functions and
+///    marking-dependent arc weights of Table I.
+///
+/// Guard g1 is implemented as (#Ptr >= 1) && (#Pac + #Pmr == 0) — see
+/// DESIGN.md §2 ("Guard note") for why the paper's printed "= 1" cannot be
+/// literal.
+class PerceptionModelFactory {
+ public:
+  /// Builds the model matching `params` (validated first).
+  static BuiltModel build(const SystemParameters& params);
+
+  /// Fig. 2(a): N-version life-cycle without rejuvenation.
+  static BuiltModel without_rejuvenation(const SystemParameters& params);
+
+  /// Fig. 2(b, c): life-cycle + clock + rejuvenation mechanism.
+  static BuiltModel with_rejuvenation(const SystemParameters& params);
+
+  /// Erlangized variant of the rejuvenating model: the deterministic clock
+  /// Trc is replaced by `stages` exponential stages (rate stages/interval
+  /// each), so the whole model becomes a plain CTMC. As stages grows the
+  /// Erlang(k) period converges to the deterministic interval, which gives
+  ///  (a) an independent validation path for the MRGP solver, and
+  ///  (b) analytic *transient* solutions for the rejuvenating system
+  ///      (uniformization applies to CTMCs only).
+  /// State-space cost is roughly x(stages+1); keep stages <= ~32 for the
+  /// dense solvers. The returned model has no prc/ptr places; the stage
+  /// counter place is exposed via `pac`-style optional handles unused.
+  static BuiltModel with_rejuvenation_erlang(const SystemParameters& params,
+                                             int stages);
+};
+
+}  // namespace nvp::core

@@ -1,0 +1,37 @@
+#pragma once
+
+
+#include <functional>
+#include "src/core/analyzer.hpp"
+#include "src/core/params.hpp"
+
+namespace nvp::core {
+
+/// Result of a one-dimensional reliability maximization.
+struct Optimum {
+  double x = 0.0;
+  double expected_reliability = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Finds the rejuvenation interval 1/gamma in [lo, hi] that maximizes
+/// E[R_sys] (the knee of the paper's Fig. 3). A coarse grid scan locates the
+/// best bracket, then golden-section search refines it to `tolerance`
+/// seconds — robust even if the curve is only piecewise unimodal.
+Optimum optimize_rejuvenation_interval(const ReliabilityAnalyzer& analyzer,
+                                       const SystemParameters& base,
+                                       double lo, double hi,
+                                       std::size_t grid_points = 16,
+                                       double tolerance = 1.0);
+
+/// Generic variant for any parameter (uses the same grid + golden-section
+/// strategy).
+Optimum maximize_reliability(const ReliabilityAnalyzer& analyzer,
+                             const SystemParameters& base,
+                             const std::function<void(SystemParameters&,
+                                                      double)>& setter,
+                             double lo, double hi,
+                             std::size_t grid_points = 16,
+                             double tolerance = 1e-3);
+
+}  // namespace nvp::core

@@ -1,0 +1,76 @@
+#include "src/core/params.hpp"
+
+#include "src/util/contracts.hpp"
+#include "src/util/string_util.hpp"
+
+namespace nvp::core {
+
+int SystemParameters::voting_threshold() const {
+  return rejuvenation ? 2 * max_faulty + max_rejuvenating + 1
+                      : 2 * max_faulty + 1;
+}
+
+int SystemParameters::max_tolerable_down() const {
+  return n_versions - voting_threshold();
+}
+
+void SystemParameters::validate() const {
+  NVP_EXPECTS_MSG(n_versions >= 1, "N must be at least 1");
+  NVP_EXPECTS_MSG(max_faulty >= 0, "f must be non-negative");
+  NVP_EXPECTS_MSG(max_rejuvenating >= 0, "r must be non-negative");
+  if (rejuvenation) {
+    NVP_EXPECTS_MSG(max_rejuvenating >= 1,
+                    "rejuvenation requires r >= 1");
+    NVP_EXPECTS_MSG(n_versions >= 3 * max_faulty + 2 * max_rejuvenating + 1,
+                    "rejuvenating BFT voting requires n >= 3f + 2r + 1");
+    NVP_EXPECTS_MSG(rejuvenation_interval > 0.0,
+                    "rejuvenation interval must be positive");
+    NVP_EXPECTS_MSG(rejuvenation_duration > 0.0,
+                    "rejuvenation duration must be positive");
+  } else {
+    NVP_EXPECTS_MSG(n_versions >= 3 * max_faulty + 1,
+                    "BFT voting requires n >= 3f + 1");
+  }
+  NVP_EXPECTS_MSG(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+  NVP_EXPECTS_MSG(p >= 0.0 && p <= 1.0, "p must be in [0, 1]");
+  NVP_EXPECTS_MSG(p_prime >= 0.0 && p_prime <= 1.0,
+                  "p' must be in [0, 1]");
+  NVP_EXPECTS_MSG(mean_time_to_compromise > 0.0,
+                  "1/lambda_c must be positive");
+  NVP_EXPECTS_MSG(mean_time_to_failure > 0.0, "1/lambda must be positive");
+  NVP_EXPECTS_MSG(mean_time_to_repair > 0.0, "1/mu must be positive");
+  NVP_EXPECTS_MSG(detection_rate >= 0.0,
+                  "detection rate must be non-negative");
+  if (voter_can_fail) {
+    NVP_EXPECTS_MSG(voter_mtbf > 0.0, "voter MTBF must be positive");
+    NVP_EXPECTS_MSG(voter_mttr > 0.0, "voter MTTR must be positive");
+  }
+}
+
+std::string SystemParameters::describe() const {
+  return util::format(
+      "N=%d f=%d r=%d alpha=%.3g p=%.3g p'=%.3g 1/lc=%.6g 1/l=%.6g "
+      "1/mu=%.6g rejuv=%s interval=%.6g duration=%.6g semantics=%s",
+      n_versions, max_faulty, max_rejuvenating, alpha, p, p_prime,
+      mean_time_to_compromise, mean_time_to_failure, mean_time_to_repair,
+      rejuvenation ? "on" : "off", rejuvenation_interval,
+      rejuvenation_duration,
+      semantics == FiringSemantics::kSingleServer ? "single-server"
+                                                  : "infinite-server");
+}
+
+SystemParameters SystemParameters::paper_four_version() {
+  SystemParameters params;
+  params.n_versions = 4;
+  params.rejuvenation = false;
+  return params;
+}
+
+SystemParameters SystemParameters::paper_six_version() {
+  SystemParameters params;
+  params.n_versions = 6;
+  params.rejuvenation = true;
+  return params;
+}
+
+}  // namespace nvp::core

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+
+namespace nvp::core {
+
+/// Firing semantics of the exponential life-cycle transitions (Tc, Tf, Tr).
+/// The paper's numbers are produced by TimeNET's default single-server
+/// semantics (one compromise/failure/repair event in flight at a time, as in
+/// the threat model's "attackers can compromise the accuracy of one ML
+/// module per time"). Infinite-server scales each rate by the number of
+/// tokens enabling the transition and is provided for ablation.
+enum class FiringSemantics { kSingleServer, kInfiniteServer };
+
+/// Which reward (reliability) functions to attach to the states.
+///  * kPaperVerbatim — the exact Appendix A/B expressions, including the
+///    simplifications/typos discussed in DESIGN.md §5; this reproduces the
+///    paper's numbers.
+///  * kGeneralized   — the rigorous common-cause derivation for any (N,f,r).
+///  * kStrict        — like kGeneralized, but the reward is the probability
+///    that the voter actually produces a *correct* output (inconclusive
+///    outputs are not credited as reliable).
+enum class RewardConvention { kPaperVerbatim, kGeneralized, kStrict };
+
+/// Input parameters of the DSPN models (the paper's Table II) plus the
+/// architectural knobs (N, f, r, rejuvenation on/off, firing semantics).
+/// Times are in seconds, rates are implied as their reciprocals.
+struct SystemParameters {
+  int n_versions = 6;  ///< N: number of ML module versions
+  int max_faulty = 1;  ///< f: tolerated compromised modules
+  int max_rejuvenating = 1;  ///< r: simultaneous rejuvenations/recoveries
+
+  double alpha = 0.5;    ///< error-probability dependency between modules
+  double p = 0.08;       ///< inaccuracy of a healthy ML module
+  double p_prime = 0.5;  ///< inaccuracy of a compromised ML module
+
+  double mean_time_to_compromise = 1523.0;  ///< 1/lambda_c (transition Tc)
+  double mean_time_to_failure = 3000.0;     ///< 1/lambda (transition Tf)
+  double mean_time_to_repair = 3.0;         ///< 1/mu (transition Tr)
+  double rejuvenation_duration = 3.0;  ///< base of 1/mu_r = #Pmr * this (Trj)
+  double rejuvenation_interval = 600.0;  ///< 1/gamma (deterministic Trc)
+
+  bool rejuvenation = true;  ///< build the Fig. 2(b,c) model vs Fig. 2(a)
+  FiringSemantics semantics = FiringSemantics::kSingleServer;
+
+  // ---- extensions beyond the paper (all disabled by default) -----------
+
+  /// Reactive recovery: when > 0, a detection mechanism spots compromised
+  /// modules at this rate (transition Td: C -> H), modelling
+  /// anomaly-detection-triggered recovery as an alternative or complement
+  /// to the proactive time-based rejuvenation. 0 disables the mechanism.
+  double detection_rate = 0.0;
+
+  /// Voter failure model: assumption A.4 ignores voter failures "for the
+  /// sake of simplicity"; enabling this adds an up/down life-cycle for the
+  /// voter (exponential MTBF/MTTR) during whose down phase the system
+  /// produces no reliable output (reward 0).
+  bool voter_can_fail = false;
+  double voter_mtbf = 1.0e6;  ///< mean time between voter failures
+  double voter_mttr = 10.0;   ///< mean time to repair the voter
+
+  /// Voter correctness threshold: 2f+1 without rejuvenation, 2f+r+1 with
+  /// (assumptions A.2/A.3).
+  int voting_threshold() const;
+
+  /// Largest k (down/rejuvenating modules) for which the voter can still
+  /// gather `voting_threshold()` outputs: n - voting_threshold().
+  int max_tolerable_down() const;
+
+  /// Throws util::ContractViolation when a parameter is out of range
+  /// (probabilities outside [0,1], non-positive times, n < 3f+1 or
+  /// n < 3f+2r+1 with rejuvenation, ...).
+  void validate() const;
+
+  /// One-line human-readable description.
+  std::string describe() const;
+
+  /// The paper's four-version configuration (N = 4, f = 1, no
+  /// rejuvenation).
+  static SystemParameters paper_four_version();
+
+  /// The paper's six-version configuration (N = 6, f = 1, r = 1, with the
+  /// time-based rejuvenation mechanism).
+  static SystemParameters paper_six_version();
+};
+
+}  // namespace nvp::core

@@ -1,0 +1,257 @@
+#include "src/core/reliability.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::core {
+
+void ReliabilityModel::check_state(int i, int j, int k) const {
+  NVP_EXPECTS(i >= 0 && j >= 0 && k >= 0);
+  NVP_EXPECTS_MSG(i + j + k == versions(),
+                  "state (i, j, k) must sum to the number of versions");
+}
+
+double binomial_coefficient(int n, int k) {
+  NVP_EXPECTS(n >= 0);
+  if (k < 0 || k > n) return 0.0;
+  double acc = 1.0;
+  // Multiplicative form keeps intermediate values small for our n <= ~60.
+  for (int t = 1; t <= k; ++t)
+    acc = acc * static_cast<double>(n - k + t) / static_cast<double>(t);
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Paper Appendix A — four-version system, threshold 3 (f = 1), no
+// rejuvenation. Reliability defined only for k <= 1.
+// ---------------------------------------------------------------------------
+
+PaperFourVersionReliability::PaperFourVersionReliability(double p,
+                                                         double p_prime,
+                                                         double alpha)
+    : p_(p), pp_(p_prime), a_(alpha) {
+  NVP_EXPECTS(p >= 0.0 && p <= 1.0);
+  NVP_EXPECTS(p_prime >= 0.0 && p_prime <= 1.0);
+  NVP_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+}
+
+double PaperFourVersionReliability::state_reliability(int i, int j,
+                                                      int k) const {
+  check_state(i, j, k);
+  if (k > 1) return 0.0;
+  const double p = p_, pp = pp_, a = a_;
+  // Transcribed verbatim from the paper's Appendix A. Note two expressions
+  // that deviate from the rigorous combinatorial count (kept deliberately;
+  // they are what produced the paper's numbers):
+  //  * R_{2,2,0}: first term p*p'^2 marginalizes the healthy-module error
+  //    as p instead of p(2 - alpha);
+  //  * R_{0,4,0}: the 3-of-4 coefficient is 3 where C(4,3) = 4.
+  if (i == 4 && j == 0) return 1.0 - (p * a * a * a + 4 * p * a * a * (1 - a));
+  if (i == 3 && j == 1) return 1.0 - (p * a * a + 3 * p * a * (1 - a) * pp);
+  if (i == 3 && j == 0) return 1.0 - p * a * a;
+  if (i == 2 && j == 2) return 1.0 - (p * pp * pp + 2 * p * a * pp * (1 - pp));
+  if (i == 2 && j == 1) return 1.0 - p * a * pp;
+  if (i == 1 && j == 3)
+    return 1.0 - (pp * pp * pp + 3 * p * pp * pp * (1 - pp));
+  if (i == 1 && j == 2) return 1.0 - p * pp * pp;
+  if (i == 0 && j == 4)
+    return 1.0 - (pp * pp * pp * pp + 3 * pp * pp * pp * (1 - pp));
+  if (i == 0 && j == 3) return 1.0 - pp * pp * pp;
+  NVP_ASSERT(false);  // all (i, j) with k <= 1 are covered above
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Paper Appendix B — six-version system with rejuvenation, threshold 4
+// (f = 1, r = 1). Reliability defined only for k <= 2.
+// ---------------------------------------------------------------------------
+
+PaperSixVersionReliability::PaperSixVersionReliability(double p,
+                                                       double p_prime,
+                                                       double alpha)
+    : p_(p), pp_(p_prime), a_(alpha) {
+  NVP_EXPECTS(p >= 0.0 && p <= 1.0);
+  NVP_EXPECTS(p_prime >= 0.0 && p_prime <= 1.0);
+  NVP_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+}
+
+double PaperSixVersionReliability::state_reliability(int i, int j,
+                                                     int k) const {
+  check_state(i, j, k);
+  if (k > 2) return 0.0;
+  const double p = p_, pp = pp_, a = a_;
+  auto pw = [](double x, int e) { return std::pow(x, e); };
+  // Transcribed verbatim from the paper's Appendix B. Expressions deviating
+  // from the rigorous count (kept deliberately):
+  //  * R_{4,2,0}: first two terms marginalize inconsistently;
+  //  * R_{2,4,0}: the term 2p(1-a)p'^4 appears twice and the he[0] branch is
+  //    missing;
+  //  * R_{2,3,1}: first term uses p'^4 where only three compromised modules
+  //    exist (suspected typo for p'^3).
+  if (i == 6 && j == 0)
+    return 1.0 - (p * pw(a, 5) + 6 * p * pw(a, 4) * (1 - a) +
+                  15 * p * pw(a, 3) * pw(1 - a, 2));
+  if (i == 5 && j == 1)
+    return 1.0 - (p * pw(a, 4) + 5 * p * pw(a, 3) * (1 - a) +
+                  10 * p * pw(a, 2) * pw(1 - a, 2) * pp);
+  if (i == 5 && j == 0)
+    return 1.0 - (p * pw(a, 4) + 5 * p * pw(a, 3) * (1 - a));
+  if (i == 4 && j == 2)
+    return 1.0 - (p * pw(a, 3) * pw(pp, 2) +
+                  2 * p * pw(a, 3) * pp * (1 - pp) +
+                  4 * p * pw(a, 2) * (1 - a) * pw(pp, 2) +
+                  8 * p * pw(a, 2) * (1 - a) * pp * (1 - pp) +
+                  6 * p * a * pw(1 - a, 2) * pw(pp, 2));
+  if (i == 4 && j == 1)
+    return 1.0 - (p * pw(a, 3) + 4 * p * pw(a, 2) * (1 - a) * pp);
+  if (i == 4 && j == 0) return 1.0 - p * pw(a, 3);
+  if (i == 3 && j == 3)
+    return 1.0 - (p * pw(a, 2) * pw(pp, 3) +
+                  3 * p * pw(a, 2) * pw(pp, 2) * (1 - pp) +
+                  3 * p * a * (1 - a) * pw(pp, 3) +
+                  3 * p * pw(a, 2) * pp * pw(1 - pp, 2) +
+                  9 * p * a * (1 - a) * pw(pp, 2) * (1 - pp) +
+                  3 * p * pw(1 - a, 2) * pw(pp, 3));
+  if (i == 3 && j == 2)
+    return 1.0 - (p * pw(a, 2) * pw(pp, 2) +
+                  2 * p * pw(a, 2) * pp * (1 - pp) +
+                  3 * p * a * (1 - a) * pw(pp, 2));
+  if (i == 3 && j == 1) return 1.0 - p * pw(a, 2) * pp;
+  if (i == 2 && j == 4)
+    return 1.0 - (p * a * pw(pp, 4) + 4 * p * a * pw(pp, 3) * (1 - pp) +
+                  2 * p * (1 - a) * pw(pp, 4) +
+                  6 * p * a * pw(pp, 2) * pw(1 - pp, 2) +
+                  8 * p * (1 - a) * pw(pp, 3) * (1 - pp) +
+                  2 * p * (1 - a) * pw(pp, 4));
+  if (i == 2 && j == 3)
+    return 1.0 - (p * a * pw(pp, 4) + 3 * p * a * pw(pp, 2) * (1 - pp) +
+                  2 * p * (1 - a) * pw(pp, 3));
+  if (i == 2 && j == 2) return 1.0 - p * a * pw(pp, 2);
+  if (i == 1 && j == 5)
+    return 1.0 - (pw(pp, 5) + 5 * pw(pp, 4) * (1 - pp) +
+                  10 * p * pw(pp, 3) * pw(1 - pp, 2));
+  if (i == 1 && j == 4)
+    return 1.0 - (pw(pp, 4) + 4 * p * pw(pp, 3) * (1 - pp));
+  if (i == 1 && j == 3) return 1.0 - p * pw(pp, 3);
+  if (i == 0 && j == 6)
+    return 1.0 - (pw(pp, 6) + 6 * pw(pp, 5) * (1 - pp) +
+                  15 * pw(pp, 4) * pw(1 - pp, 2));
+  if (i == 0 && j == 5)
+    return 1.0 - (pw(pp, 5) + 5 * pw(pp, 4) * (1 - pp));
+  if (i == 0 && j == 4) return 1.0 - pw(pp, 4);
+  NVP_ASSERT(false);  // all (i, j) with k <= 2 are covered above
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Generalized model.
+// ---------------------------------------------------------------------------
+
+GeneralizedReliability::GeneralizedReliability(int n, VotingScheme voting,
+                                               double p, double p_prime,
+                                               double alpha, bool strict)
+    : n_(n), voting_(voting), p_(p), pp_(p_prime), a_(alpha),
+      strict_(strict) {
+  NVP_EXPECTS(n >= 1);
+  NVP_EXPECTS(voting.n() == n);
+  NVP_EXPECTS(p >= 0.0 && p <= 1.0);
+  NVP_EXPECTS(p_prime >= 0.0 && p_prime <= 1.0);
+  NVP_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  // The common-cause pmf must be a proper distribution for every i <= n:
+  // P(some healthy error) = p (1 - (1-a)^i) / a <= 1 (for a > 0); the
+  // worst case is i = n.
+  if (alpha > 0.0) {
+    const double total =
+        p / alpha * (1.0 - std::pow(1.0 - alpha, n));
+    NVP_EXPECTS_MSG(total <= 1.0 + 1e-12,
+                    "common-cause model needs p(1-(1-a)^n)/a <= 1 "
+                    "(p too large for this alpha)");
+  } else {
+    NVP_EXPECTS_MSG(p * n <= 1.0 + 1e-12,
+                    "common-cause model with alpha = 0 needs n p <= 1");
+  }
+}
+
+double GeneralizedReliability::healthy_error_pmf(int i, int h) const {
+  NVP_EXPECTS(i >= 0 && i <= n_);
+  NVP_EXPECTS(h >= 0);
+  if (h > i) return 0.0;
+  if (i == 0) return h == 0 ? 1.0 : 0.0;
+  if (h == 0) {
+    double some = 0.0;
+    for (int m = 1; m <= i; ++m) some += healthy_error_pmf(i, m);
+    return std::max(0.0, 1.0 - some);
+  }
+  // P(a specific subset of size h errs and the others do not) is
+  // p a^(h-1) (1-a)^(i-h); multiply by the number of subsets.
+  return binomial_coefficient(i, h) * p_ * std::pow(a_, h - 1) *
+         std::pow(1.0 - a_, i - h);
+}
+
+double GeneralizedReliability::compromised_error_pmf(int j, int c) const {
+  NVP_EXPECTS(j >= 0 && j <= n_);
+  NVP_EXPECTS(c >= 0);
+  if (c > j) return 0.0;
+  return binomial_coefficient(j, c) * std::pow(pp_, c) *
+         std::pow(1.0 - pp_, j - c);
+}
+
+double GeneralizedReliability::state_reliability(int i, int j, int k) const {
+  check_state(i, j, k);
+  const int t = voting_.threshold();
+  if (k > n_ - t) return 0.0;  // the voter can never decide in this state
+
+  if (!strict_) {
+    // 1 - P(at least t modules err).
+    double p_error = 0.0;
+    for (int h = 0; h <= i; ++h) {
+      const double ph = healthy_error_pmf(i, h);
+      if (ph == 0.0) continue;
+      for (int c = std::max(0, t - h); c <= j; ++c)
+        p_error += ph * compromised_error_pmf(j, c);
+    }
+    return 1.0 - p_error;
+  }
+
+  // Strict: P(at least t modules answer correctly). Operational modules
+  // i + j answer; a module is correct when it does not err.
+  double p_correct = 0.0;
+  for (int h = 0; h <= i; ++h) {
+    const double ph = healthy_error_pmf(i, h);
+    if (ph == 0.0) continue;
+    for (int c = 0; c <= j; ++c) {
+      const int correct = (i - h) + (j - c);
+      if (correct >= t) p_correct += ph * compromised_error_pmf(j, c);
+    }
+  }
+  return p_correct;
+}
+
+std::unique_ptr<ReliabilityModel> make_reliability_model(
+    const SystemParameters& params, RewardConvention convention) {
+  params.validate();
+  if (convention == RewardConvention::kPaperVerbatim) {
+    if (!params.rejuvenation && params.n_versions == 4 &&
+        params.max_faulty == 1)
+      return std::make_unique<PaperFourVersionReliability>(
+          params.p, params.p_prime, params.alpha);
+    if (params.rejuvenation && params.n_versions == 6 &&
+        params.max_faulty == 1 && params.max_rejuvenating == 1)
+      return std::make_unique<PaperSixVersionReliability>(
+          params.p, params.p_prime, params.alpha);
+    // No verbatim functions published for other configurations; fall back
+    // to the generalized derivation.
+  }
+  const VotingScheme voting =
+      params.rejuvenation
+          ? VotingScheme::bft_rejuvenating(params.n_versions,
+                                           params.max_faulty,
+                                           params.max_rejuvenating)
+          : VotingScheme::bft(params.n_versions, params.max_faulty);
+  return std::make_unique<GeneralizedReliability>(
+      params.n_versions, voting, params.p, params.p_prime, params.alpha,
+      convention == RewardConvention::kStrict);
+}
+
+}  // namespace nvp::core

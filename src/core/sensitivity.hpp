@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/params.hpp"
+
+namespace nvp::core {
+
+/// Local sensitivity of E[R_sys] to one input parameter.
+struct SensitivityEntry {
+  std::string parameter;
+  double base_value = 0.0;
+  /// E[R] when the parameter moves down/up by the relative step.
+  double value_down = 0.0;
+  double value_up = 0.0;
+  /// Scaled elasticity: (dE[R]/E[R]) / (dtheta/theta), central difference.
+  double elasticity = 0.0;
+
+  /// |value_up - value_down|: the tornado-width of the parameter.
+  double swing() const;
+};
+
+/// One-factor-at-a-time sensitivity analysis of E[R_sys] over the Table II
+/// parameters (alpha, p, p', 1/lambda_c, 1/lambda, 1/mu, and — for
+/// rejuvenating models — 1/gamma and the rejuvenation duration).
+/// Generalizes the paper's §V-B discussion into a single ranked "tornado"
+/// report.
+///
+/// `relative_step` is the one-sided relative perturbation (default 10%);
+/// probability parameters are clamped into [0, 1].
+std::vector<SensitivityEntry> sensitivity_report(
+    const ReliabilityAnalyzer& analyzer, const SystemParameters& base,
+    double relative_step = 0.1);
+
+/// Renders the report as a ranked text table (largest swing first).
+std::string render_tornado(const std::vector<SensitivityEntry>& report);
+
+}  // namespace nvp::core

@@ -1,0 +1,98 @@
+#include "src/core/sweep.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::core {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  NVP_EXPECTS(count >= 2);
+  NVP_EXPECTS(hi >= lo);
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = lo + (hi - lo) * static_cast<double>(i) /
+                      static_cast<double>(count - 1);
+  return out;
+}
+
+std::vector<SweepPoint> sweep_parameter(const ReliabilityAnalyzer& analyzer,
+                                        const SystemParameters& base,
+                                        const ParameterSetter& setter,
+                                        const std::vector<double>& values) {
+  NVP_EXPECTS(setter != nullptr);
+  std::vector<SweepPoint> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    SystemParameters params = base;
+    setter(params, v);
+    out.push_back({v, analyzer.analyze(params).expected_reliability});
+  }
+  return out;
+}
+
+std::vector<Crossover> find_crossovers(const ReliabilityAnalyzer& analyzer,
+                                       const SystemParameters& config_a,
+                                       const SystemParameters& config_b,
+                                       const ParameterSetter& setter,
+                                       const std::vector<double>& values,
+                                       double tolerance) {
+  NVP_EXPECTS(values.size() >= 2);
+  NVP_EXPECTS(tolerance > 0.0);
+  auto diff = [&](double x) {
+    SystemParameters a = config_a, b = config_b;
+    setter(a, x);
+    setter(b, x);
+    return analyzer.analyze(a).expected_reliability -
+           analyzer.analyze(b).expected_reliability;
+  };
+  std::vector<Crossover> out;
+  double prev_x = values[0];
+  double prev_d = diff(prev_x);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const double x = values[i];
+    const double d = diff(x);
+    if ((prev_d < 0.0) != (d < 0.0) && prev_d != 0.0) {
+      double lo = prev_x, hi = x, dlo = prev_d;
+      while (hi - lo > tolerance) {
+        const double mid = (lo + hi) / 2.0;
+        const double dm = diff(mid);
+        if ((dm < 0.0) == (dlo < 0.0)) {
+          lo = mid;
+          dlo = dm;
+        } else {
+          hi = mid;
+        }
+      }
+      const double xc = (lo + hi) / 2.0;
+      SystemParameters a = config_a;
+      setter(a, xc);
+      out.push_back({xc, analyzer.analyze(a).expected_reliability});
+    }
+    prev_x = x;
+    prev_d = d;
+  }
+  return out;
+}
+
+ParameterSetter set_mean_time_to_compromise() {
+  return [](SystemParameters& p, double v) { p.mean_time_to_compromise = v; };
+}
+
+ParameterSetter set_alpha() {
+  return [](SystemParameters& p, double v) { p.alpha = v; };
+}
+
+ParameterSetter set_p() {
+  return [](SystemParameters& p, double v) { p.p = v; };
+}
+
+ParameterSetter set_p_prime() {
+  return [](SystemParameters& p, double v) { p.p_prime = v; };
+}
+
+ParameterSetter set_rejuvenation_interval() {
+  return [](SystemParameters& p, double v) { p.rejuvenation_interval = v; };
+}
+
+}  // namespace nvp::core

@@ -1,0 +1,131 @@
+#include "src/core/transient.hpp"
+
+#include "src/core/model_factory.hpp"
+#include "src/core/reliability.hpp"
+#include "src/markov/absorption.hpp"
+#include "src/markov/ctmc.hpp"
+#include "src/markov/transient.hpp"
+#include "src/petri/reachability.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::core {
+
+namespace {
+
+struct CtmcModel {
+  BuiltModel model;
+  petri::TangibleReachabilityGraph graph;
+  markov::Ctmc chain;
+};
+
+CtmcModel build_ctmc(const SystemParameters& params) {
+  NVP_EXPECTS_MSG(!params.rejuvenation,
+                  "transient analysis is analytic only for models without "
+                  "the deterministic rejuvenation clock; simulate the "
+                  "rejuvenating model instead (sim::DspnSimulator)");
+  auto model = PerceptionModelFactory::build(params);
+  auto graph = petri::TangibleReachabilityGraph::build(model.net);
+  auto chain = markov::Ctmc::from_graph(graph);
+  return {std::move(model), std::move(graph), std::move(chain)};
+}
+
+}  // namespace
+
+std::vector<TransientPoint>
+TransientReliabilityAnalyzer::reliability_curve(
+    const SystemParameters& params,
+    const std::vector<double>& times) const {
+  params.validate();
+  const auto ctmc = build_ctmc(params);
+  const auto rewards = make_reliability_model(params, options_.convention);
+
+  linalg::Vector reward(ctmc.graph.size(), 0.0);
+  for (std::size_t s = 0; s < ctmc.graph.size(); ++s) {
+    const auto& m = ctmc.graph.marking(s);
+    const int k = ctmc.model.down(m);
+    reward[s] =
+        (options_.attachment == RewardAttachment::kOperationalStatesOnly &&
+         k > 0)
+            ? 0.0
+            : rewards->state_reliability(ctmc.model.healthy(m),
+                                         ctmc.model.compromised(m), k);
+  }
+
+  std::vector<TransientPoint> curve;
+  curve.reserve(times.size());
+  for (double t : times) {
+    NVP_EXPECTS(t >= 0.0);
+    const auto pi =
+        markov::ctmc_transient(ctmc.chain.generator, ctmc.chain.initial, t);
+    double value = 0.0;
+    for (std::size_t s = 0; s < pi.size(); ++s) value += pi[s] * reward[s];
+    curve.push_back({t, value});
+  }
+  return curve;
+}
+
+double TransientReliabilityAnalyzer::mean_time_to_unavailability(
+    const SystemParameters& params) const {
+  params.validate();
+  const auto ctmc = build_ctmc(params);
+  std::vector<bool> target(ctmc.graph.size(), false);
+  const int threshold = params.voting_threshold();
+  for (std::size_t s = 0; s < ctmc.graph.size(); ++s) {
+    const auto& m = ctmc.graph.marking(s);
+    const int operational =
+        ctmc.model.healthy(m) + ctmc.model.compromised(m);
+    target[s] = operational < threshold;
+  }
+  const auto result =
+      markov::mean_time_to_absorption(ctmc.chain.generator, target);
+  // Start state: all healthy.
+  double out = 0.0;
+  for (const auto& e : ctmc.graph.initial_distribution())
+    out += e.prob * result.expected_time[e.target];
+  return out;
+}
+
+double TransientReliabilityAnalyzer::average_reliability_over(
+    const SystemParameters& params, double horizon) const {
+  params.validate();
+  NVP_EXPECTS(horizon > 0.0);
+  const auto ctmc = build_ctmc(params);
+  const auto rewards = make_reliability_model(params, options_.convention);
+  const auto sojourn = markov::ctmc_accumulated_sojourn(
+      ctmc.chain.generator, ctmc.chain.initial, horizon);
+  double accumulated = 0.0;
+  for (std::size_t s = 0; s < sojourn.size(); ++s) {
+    const auto& m = ctmc.graph.marking(s);
+    const int k = ctmc.model.down(m);
+    const double reward =
+        (options_.attachment == RewardAttachment::kOperationalStatesOnly &&
+         k > 0)
+            ? 0.0
+            : rewards->state_reliability(ctmc.model.healthy(m),
+                                         ctmc.model.compromised(m), k);
+    accumulated += sojourn[s] * reward;
+  }
+  return accumulated / horizon;
+}
+
+double TransientReliabilityAnalyzer::unavailability_probability_by(
+    const SystemParameters& params, double deadline) const {
+  params.validate();
+  NVP_EXPECTS(deadline >= 0.0);
+  const auto ctmc = build_ctmc(params);
+  std::vector<bool> target(ctmc.graph.size(), false);
+  const int threshold = params.voting_threshold();
+  for (std::size_t s = 0; s < ctmc.graph.size(); ++s) {
+    const auto& m = ctmc.graph.marking(s);
+    target[s] = ctmc.model.healthy(m) + ctmc.model.compromised(m) <
+                threshold;
+  }
+  const auto by_state = markov::absorption_probability_by(
+      ctmc.chain.generator, target, deadline);
+  double out = 0.0;
+  for (const auto& e : ctmc.graph.initial_distribution())
+    out += e.prob * by_state[e.target];
+  return out;
+}
+
+}  // namespace nvp::core

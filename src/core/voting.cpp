@@ -1,0 +1,66 @@
+#include "src/core/voting.hpp"
+
+#include "src/util/contracts.hpp"
+#include "src/util/string_util.hpp"
+
+namespace nvp::core {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kCorrect:
+      return "correct";
+    case Verdict::kError:
+      return "error";
+    case Verdict::kInconclusive:
+      return "inconclusive";
+    case Verdict::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+VotingScheme::VotingScheme(int n, int threshold)
+    : n_(n), threshold_(threshold) {
+  NVP_EXPECTS(n >= 1);
+  NVP_EXPECTS_MSG(threshold >= 1 && threshold <= n,
+                  "voting threshold must be in [1, n]");
+}
+
+VotingScheme VotingScheme::bft(int n, int f) {
+  NVP_EXPECTS(f >= 0);
+  NVP_EXPECTS_MSG(n >= 3 * f + 1, "BFT requires n >= 3f + 1");
+  return VotingScheme(n, 2 * f + 1);
+}
+
+VotingScheme VotingScheme::bft_rejuvenating(int n, int f, int r) {
+  NVP_EXPECTS(f >= 0 && r >= 0);
+  NVP_EXPECTS_MSG(n >= 3 * f + 2 * r + 1,
+                  "rejuvenating BFT requires n >= 3f + 2r + 1");
+  return VotingScheme(n, 2 * f + r + 1);
+}
+
+VotingScheme VotingScheme::majority(int n) {
+  return VotingScheme(n, n / 2 + 1);
+}
+
+VotingScheme VotingScheme::unanimous(int n) { return VotingScheme(n, n); }
+
+VotingScheme VotingScheme::with_threshold(int n, int threshold) {
+  return VotingScheme(n, threshold);
+}
+
+Verdict VotingScheme::decide(int correct, int wrong, int silent) const {
+  NVP_EXPECTS(correct >= 0 && wrong >= 0 && silent >= 0);
+  NVP_EXPECTS_MSG(correct + wrong + silent == n_,
+                  "vote counts must sum to n");
+  if (silent > max_silent()) return Verdict::kUnavailable;
+  if (correct >= threshold_) return Verdict::kCorrect;
+  if (wrong >= threshold_) return Verdict::kError;
+  return Verdict::kInconclusive;
+}
+
+std::string VotingScheme::describe() const {
+  return util::format("%d-out-of-%d", threshold_, n_);
+}
+
+}  // namespace nvp::core

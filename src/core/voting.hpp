@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+namespace nvp::core {
+
+/// Outcome of one voting round over the ML modules' answers.
+enum class Verdict {
+  kCorrect,       ///< at least `threshold` modules agreed on the truth
+  kError,         ///< at least `threshold` modules agreed on a wrong answer
+  kInconclusive,  ///< neither side reached the threshold: safely skipped
+  kUnavailable    ///< too few operational modules to ever reach threshold
+};
+
+const char* to_string(Verdict v);
+
+/// Threshold voting scheme over N module outputs. Encodes the BFT-style
+/// rules of assumptions A.2/A.3: a decision (correct or erroneous) requires
+/// `threshold` agreeing outputs; anything else is inconclusive-but-safe.
+class VotingScheme {
+ public:
+  /// BFT voting for f tolerated faults: threshold 2f+1, requires
+  /// n >= 3f + 1.
+  static VotingScheme bft(int n, int f);
+
+  /// BFT voting with r concurrent rejuvenations: threshold 2f+r+1, requires
+  /// n >= 3f + 2r + 1 (Sousa et al.).
+  static VotingScheme bft_rejuvenating(int n, int f, int r);
+
+  /// Simple majority: threshold floor(n/2) + 1.
+  static VotingScheme majority(int n);
+
+  /// Unanimity: threshold n.
+  static VotingScheme unanimous(int n);
+
+  /// Custom threshold in [1, n].
+  static VotingScheme with_threshold(int n, int threshold);
+
+  int n() const { return n_; }
+  int threshold() const { return threshold_; }
+
+  /// Largest number of silent (down/rejuvenating) modules that still allows
+  /// a decision: n - threshold.
+  int max_silent() const { return n_ - threshold_; }
+
+  /// Decides a round given the number of modules voting for the correct
+  /// answer, the number voting for (any) wrong answer, and the number not
+  /// answering (down or rejuvenating). The three must sum to n.
+  ///
+  /// Wrong votes are counted as a bloc, matching the paper's reliability
+  /// functions: a perception error is declared when `threshold` modules are
+  /// wrong regardless of whether they agree on the same wrong label (the
+  /// pessimistic reading; see the plurality voter in nvp::perception for
+  /// the optimistic empirical variant).
+  Verdict decide(int correct, int wrong, int silent) const;
+
+  std::string describe() const;
+
+ private:
+  VotingScheme(int n, int threshold);
+  int n_;
+  int threshold_;
+};
+
+}  // namespace nvp::core

@@ -1,0 +1,60 @@
+#include "src/dataset/adversarial.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::dataset {
+
+AdversarialPerturbation::AdversarialPerturbation(
+    const Config& config, const std::vector<std::vector<double>>& prototypes)
+    : config_(config), prototypes_(prototypes), rng_(config.seed) {
+  NVP_EXPECTS(config.epsilon >= 0.0);
+  NVP_EXPECTS(config.transfer_noise >= 0.0);
+  NVP_EXPECTS(!prototypes.empty());
+}
+
+Sample AdversarialPerturbation::perturb(const Sample& clean) {
+  // Direction: toward the nearest wrong prototype.
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t target = 0;
+  for (std::size_t k = 0; k < prototypes_.size(); ++k) {
+    if (static_cast<int>(k) == clean.label) continue;
+    double dist = 0.0;
+    for (std::size_t d = 0; d < clean.features.size(); ++d) {
+      const double delta = prototypes_[k][d] - clean.features[d];
+      dist += delta * delta;
+    }
+    if (dist < best) {
+      best = dist;
+      target = k;
+    }
+  }
+  Sample adv = clean;
+  std::vector<double> dir(clean.features.size());
+  double norm = 0.0;
+  for (std::size_t d = 0; d < dir.size(); ++d) {
+    dir[d] = prototypes_[target][d] - clean.features[d];
+    norm += dir[d] * dir[d];
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (std::size_t d = 0; d < dir.size(); ++d) {
+      adv.features[d] += config_.epsilon * dir[d] / norm +
+                         rng_.normal(0.0, config_.transfer_noise);
+    }
+  }
+  return adv;
+}
+
+Dataset AdversarialPerturbation::perturb(const Dataset& clean) {
+  Dataset out;
+  out.num_classes = clean.num_classes;
+  out.dim = clean.dim;
+  out.samples.reserve(clean.samples.size());
+  for (const Sample& s : clean.samples) out.samples.push_back(perturb(s));
+  return out;
+}
+
+}  // namespace nvp::dataset

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "src/dataset/classifier.hpp"
+#include "src/dataset/gtsrb_synth.hpp"
+
+namespace nvp::dataset {
+
+/// Feature-space evasion attack standing in for the paper's adversarial /
+/// evasion attacks (§IV-A): each sample is pushed a distance `epsilon`
+/// toward the nearest *wrong* class prototype (the direction a white-box
+/// attacker with prototype knowledge would choose), optionally with additive
+/// noise modelling transferability loss. At the default strength the
+/// reference classifiers drop to roughly 50% accuracy — the paper's
+/// estimate p' = 0.5 for a compromised module.
+class AdversarialPerturbation {
+ public:
+  struct Config {
+    double epsilon = 0.45;      ///< attack strength (feature-space distance)
+    double transfer_noise = 0.2;  ///< attacker imprecision
+    std::uint64_t seed = 97;
+  };
+
+  AdversarialPerturbation(const Config& config,
+                          const std::vector<std::vector<double>>& prototypes);
+
+  /// Returns an adversarially perturbed copy of the sample.
+  Sample perturb(const Sample& clean);
+
+  /// Perturbs a whole dataset.
+  Dataset perturb(const Dataset& clean);
+
+ private:
+  Config config_;
+  const std::vector<std::vector<double>>& prototypes_;
+  util::RandomStream rng_;
+};
+
+}  // namespace nvp::dataset

@@ -1,0 +1,254 @@
+#include "src/dataset/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace nvp::dataset {
+
+namespace {
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+/// In-place softmax with max-shift for stability.
+void softmax(std::vector<double>& logits) {
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double& x : logits) {
+    x = std::exp(x - peak);
+    total += x;
+  }
+  for (double& x : logits) x /= total;
+}
+
+}  // namespace
+
+// ---- NearestCentroidClassifier --------------------------------------------
+
+NearestCentroidClassifier::NearestCentroidClassifier()
+    : name_("nearest-centroid") {}
+
+void NearestCentroidClassifier::fit(const Dataset& train) {
+  NVP_EXPECTS(!train.samples.empty());
+  centroids_.assign(static_cast<std::size_t>(train.num_classes),
+                    std::vector<double>(static_cast<std::size_t>(train.dim),
+                                        0.0));
+  std::vector<std::size_t> counts(
+      static_cast<std::size_t>(train.num_classes), 0);
+  for (const Sample& s : train.samples) {
+    auto& c = centroids_[static_cast<std::size_t>(s.label)];
+    for (std::size_t d = 0; d < c.size(); ++d) c[d] += s.features[d];
+    ++counts[static_cast<std::size_t>(s.label)];
+  }
+  for (std::size_t k = 0; k < centroids_.size(); ++k)
+    if (counts[k] > 0)
+      for (double& x : centroids_[k]) x /= static_cast<double>(counts[k]);
+}
+
+int NearestCentroidClassifier::predict(
+    const std::vector<double>& features) const {
+  NVP_EXPECTS(!centroids_.empty());
+  std::size_t best = 0;
+  double best_dist = squared_distance(features, centroids_[0]);
+  for (std::size_t k = 1; k < centroids_.size(); ++k) {
+    const double d = squared_distance(features, centroids_[k]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = k;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+// ---- SoftmaxRegressionClassifier ------------------------------------------
+
+SoftmaxRegressionClassifier::SoftmaxRegressionClassifier(Hyper hyper)
+    : name_("softmax-regression"), hyper_(hyper) {
+  NVP_EXPECTS(hyper.epochs >= 1);
+  NVP_EXPECTS(hyper.learning_rate > 0.0);
+  NVP_EXPECTS(hyper.l2 >= 0.0);
+}
+
+void SoftmaxRegressionClassifier::fit(const Dataset& train) {
+  NVP_EXPECTS(!train.samples.empty());
+  num_classes_ = train.num_classes;
+  dim_ = train.dim;
+  const std::size_t stride = static_cast<std::size_t>(dim_ + 1);
+  weights_.assign(static_cast<std::size_t>(num_classes_) * stride, 0.0);
+
+  util::RandomStream rng(hyper_.seed);
+  const std::size_t n = train.samples.size();
+  for (int epoch = 0; epoch < hyper_.epochs; ++epoch) {
+    const double lr =
+        hyper_.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (std::size_t idx : rng.permutation(n)) {
+      const Sample& s = train.samples[idx];
+      std::vector<double> probs = logits(s.features);
+      softmax(probs);
+      for (int k = 0; k < num_classes_; ++k) {
+        const double grad =
+            probs[static_cast<std::size_t>(k)] - (k == s.label ? 1.0 : 0.0);
+        double* row = weights_.data() + static_cast<std::size_t>(k) * stride;
+        for (int d = 0; d < dim_; ++d)
+          row[d] -= lr * (grad * s.features[static_cast<std::size_t>(d)] +
+                          hyper_.l2 * row[d]);
+        row[dim_] -= lr * grad;  // bias
+      }
+    }
+  }
+}
+
+std::vector<double> SoftmaxRegressionClassifier::logits(
+    const std::vector<double>& features) const {
+  NVP_EXPECTS(static_cast<int>(features.size()) == dim_);
+  const std::size_t stride = static_cast<std::size_t>(dim_ + 1);
+  std::vector<double> out(static_cast<std::size_t>(num_classes_), 0.0);
+  for (int k = 0; k < num_classes_; ++k) {
+    const double* row =
+        weights_.data() + static_cast<std::size_t>(k) * stride;
+    double acc = row[dim_];
+    for (int d = 0; d < dim_; ++d)
+      acc += row[d] * features[static_cast<std::size_t>(d)];
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+int SoftmaxRegressionClassifier::predict(
+    const std::vector<double>& features) const {
+  return static_cast<int>(argmax(logits(features)));
+}
+
+// ---- TinyMlpClassifier -----------------------------------------------------
+
+TinyMlpClassifier::TinyMlpClassifier(Hyper hyper)
+    : name_("tiny-mlp"), hyper_(hyper) {
+  NVP_EXPECTS(hyper.hidden >= 1);
+  NVP_EXPECTS(hyper.epochs >= 1);
+  NVP_EXPECTS(hyper.learning_rate > 0.0);
+  NVP_EXPECTS(hyper.momentum >= 0.0 && hyper.momentum < 1.0);
+}
+
+void TinyMlpClassifier::fit(const Dataset& train) {
+  NVP_EXPECTS(!train.samples.empty());
+  num_classes_ = train.num_classes;
+  dim_ = train.dim;
+  const auto h = static_cast<std::size_t>(hyper_.hidden);
+  const auto d_in = static_cast<std::size_t>(dim_);
+  const auto d_out = static_cast<std::size_t>(num_classes_);
+
+  util::RandomStream rng(hyper_.seed);
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(d_in));
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(h));
+  w1_.resize(h * d_in);
+  for (double& w : w1_) w = rng.normal(0.0, scale1);
+  b1_.assign(h, 0.0);
+  w2_.resize(d_out * h);
+  for (double& w : w2_) w = rng.normal(0.0, scale2);
+  b2_.assign(d_out, 0.0);
+
+  std::vector<double> vw1(w1_.size(), 0.0), vb1(b1_.size(), 0.0);
+  std::vector<double> vw2(w2_.size(), 0.0), vb2(b2_.size(), 0.0);
+  std::vector<double> hidden(h), probs(d_out), dhidden(h);
+
+  const std::size_t n = train.samples.size();
+  for (int epoch = 0; epoch < hyper_.epochs; ++epoch) {
+    const double lr =
+        hyper_.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (std::size_t idx : rng.permutation(n)) {
+      const Sample& s = train.samples[idx];
+      // Forward.
+      for (std::size_t j = 0; j < h; ++j) {
+        double acc = b1_[j];
+        const double* row = w1_.data() + j * d_in;
+        for (std::size_t d = 0; d < d_in; ++d) acc += row[d] * s.features[d];
+        hidden[j] = acc > 0.0 ? acc : 0.0;  // ReLU
+      }
+      for (std::size_t k = 0; k < d_out; ++k) {
+        double acc = b2_[k];
+        const double* row = w2_.data() + k * h;
+        for (std::size_t j = 0; j < h; ++j) acc += row[j] * hidden[j];
+        probs[k] = acc;
+      }
+      softmax(probs);
+      // Backward (cross-entropy).
+      std::fill(dhidden.begin(), dhidden.end(), 0.0);
+      for (std::size_t k = 0; k < d_out; ++k) {
+        const double grad =
+            probs[k] - (static_cast<int>(k) == s.label ? 1.0 : 0.0);
+        double* row = w2_.data() + k * h;
+        double* vrow = vw2.data() + k * h;
+        for (std::size_t j = 0; j < h; ++j) {
+          dhidden[j] += grad * row[j];
+          vrow[j] = hyper_.momentum * vrow[j] - lr * grad * hidden[j];
+          row[j] += vrow[j];
+        }
+        vb2[k] = hyper_.momentum * vb2[k] - lr * grad;
+        b2_[k] += vb2[k];
+      }
+      for (std::size_t j = 0; j < h; ++j) {
+        if (hidden[j] <= 0.0) continue;  // ReLU gate
+        double* row = w1_.data() + j * d_in;
+        double* vrow = vw1.data() + j * d_in;
+        for (std::size_t d = 0; d < d_in; ++d) {
+          vrow[d] =
+              hyper_.momentum * vrow[d] - lr * dhidden[j] * s.features[d];
+          row[d] += vrow[d];
+        }
+        vb1[j] = hyper_.momentum * vb1[j] - lr * dhidden[j];
+        b1_[j] += vb1[j];
+      }
+    }
+  }
+}
+
+std::vector<double> TinyMlpClassifier::forward_logits(
+    const std::vector<double>& features) const {
+  const auto h = static_cast<std::size_t>(hyper_.hidden);
+  const auto d_in = static_cast<std::size_t>(dim_);
+  const auto d_out = static_cast<std::size_t>(num_classes_);
+  std::vector<double> hidden(h), out(d_out);
+  for (std::size_t j = 0; j < h; ++j) {
+    double acc = b1_[j];
+    const double* row = w1_.data() + j * d_in;
+    for (std::size_t d = 0; d < d_in; ++d) acc += row[d] * features[d];
+    hidden[j] = acc > 0.0 ? acc : 0.0;
+  }
+  for (std::size_t k = 0; k < d_out; ++k) {
+    double acc = b2_[k];
+    const double* row = w2_.data() + k * h;
+    for (std::size_t j = 0; j < h; ++j) acc += row[j] * hidden[j];
+    out[k] = acc;
+  }
+  return out;
+}
+
+int TinyMlpClassifier::predict(const std::vector<double>& features) const {
+  NVP_EXPECTS(static_cast<int>(features.size()) == dim_);
+  return static_cast<int>(argmax(forward_logits(features)));
+}
+
+std::vector<std::unique_ptr<Classifier>> make_reference_ensemble() {
+  std::vector<std::unique_ptr<Classifier>> out;
+  out.push_back(std::make_unique<NearestCentroidClassifier>());
+  out.push_back(std::make_unique<SoftmaxRegressionClassifier>());
+  out.push_back(std::make_unique<TinyMlpClassifier>());
+  return out;
+}
+
+}  // namespace nvp::dataset

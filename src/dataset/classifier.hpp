@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dataset/gtsrb_synth.hpp"
+
+namespace nvp::dataset {
+
+/// Multi-class classifier interface. The three implementations below are
+/// the repository's stand-ins for the paper's LeNet / AlexNet / ResNet
+/// triple: genuinely *diverse* learners (different hypothesis classes and
+/// optimization), which is what N-version ML needs — not their depth.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Trains on the given split (may be called once).
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicted class of a feature vector.
+  virtual int predict(const std::vector<double>& features) const = 0;
+};
+
+/// Prototype learner: predicts the class whose training-mean feature vector
+/// is nearest (Euclidean). The "small and simple" member of the ensemble.
+class NearestCentroidClassifier : public Classifier {
+ public:
+  NearestCentroidClassifier();
+  const std::string& name() const override { return name_; }
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<double>& features) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<double>> centroids_;
+};
+
+/// Multinomial logistic regression (softmax) trained by mini-batch SGD with
+/// L2 regularization. The "linear discriminative" member.
+class SoftmaxRegressionClassifier : public Classifier {
+ public:
+  struct Hyper {
+    int epochs = 30;
+    double learning_rate = 0.5;
+    double l2 = 1e-4;
+    std::uint64_t seed = 7;
+  };
+
+  SoftmaxRegressionClassifier() : SoftmaxRegressionClassifier(Hyper{}) {}
+  explicit SoftmaxRegressionClassifier(Hyper hyper);
+  const std::string& name() const override { return name_; }
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<double>& features) const override;
+
+  /// Class scores (unnormalized logits), exposed for diagnostics.
+  std::vector<double> logits(const std::vector<double>& features) const;
+
+ private:
+  std::string name_;
+  Hyper hyper_;
+  int num_classes_ = 0;
+  int dim_ = 0;
+  std::vector<double> weights_;  // (num_classes x (dim + 1)), bias last
+};
+
+/// One-hidden-layer perceptron (ReLU + softmax) trained by SGD with
+/// momentum. The "nonlinear" member of the ensemble.
+class TinyMlpClassifier : public Classifier {
+ public:
+  struct Hyper {
+    int hidden = 48;
+    int epochs = 30;
+    double learning_rate = 0.01;
+    double momentum = 0.9;
+    std::uint64_t seed = 11;
+  };
+
+  TinyMlpClassifier() : TinyMlpClassifier(Hyper{}) {}
+  explicit TinyMlpClassifier(Hyper hyper);
+  const std::string& name() const override { return name_; }
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<double>& features) const override;
+
+ private:
+  std::vector<double> forward_logits(
+      const std::vector<double>& features) const;
+
+  std::string name_;
+  Hyper hyper_;
+  int num_classes_ = 0;
+  int dim_ = 0;
+  std::vector<double> w1_, b1_;  // hidden x dim, hidden
+  std::vector<double> w2_, b2_;  // classes x hidden, classes
+};
+
+/// The reference three-version ensemble (centroid, softmax, MLP).
+std::vector<std::unique_ptr<Classifier>> make_reference_ensemble();
+
+}  // namespace nvp::dataset

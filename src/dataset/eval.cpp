@@ -1,0 +1,68 @@
+#include "src/dataset/eval.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::dataset {
+
+double accuracy(const Classifier& clf, const Dataset& data) {
+  NVP_EXPECTS(!data.samples.empty());
+  std::size_t hits = 0;
+  for (const Sample& s : data.samples)
+    if (clf.predict(s.features) == s.label) ++hits;
+  return static_cast<double>(hits) /
+         static_cast<double>(data.samples.size());
+}
+
+EnsembleReport evaluate_ensemble(
+    const std::vector<std::unique_ptr<Classifier>>& ensemble,
+    const Dataset& data) {
+  NVP_EXPECTS(!ensemble.empty());
+  NVP_EXPECTS(!data.samples.empty());
+  EnsembleReport report;
+  std::vector<std::size_t> errors(ensemble.size(), 0);
+  std::size_t disagreements = 0;
+  std::size_t all_wrong = 0;
+
+  for (const Sample& s : data.samples) {
+    bool any_disagree = false;
+    bool every_wrong = true;
+    int first = 0;
+    for (std::size_t m = 0; m < ensemble.size(); ++m) {
+      const int pred = ensemble[m]->predict(s.features);
+      if (m == 0) first = pred;
+      if (pred != first) any_disagree = true;
+      if (pred != s.label)
+        ++errors[m];
+      else
+        every_wrong = false;
+    }
+    if (any_disagree) ++disagreements;
+    if (every_wrong) ++all_wrong;
+  }
+
+  const auto n = static_cast<double>(data.samples.size());
+  double sum = 0.0;
+  for (std::size_t m = 0; m < ensemble.size(); ++m) {
+    report.names.push_back(ensemble[m]->name());
+    report.inaccuracies.push_back(static_cast<double>(errors[m]) / n);
+    sum += report.inaccuracies.back();
+  }
+  report.mean_inaccuracy = sum / static_cast<double>(ensemble.size());
+  report.disagreement_rate = static_cast<double>(disagreements) / n;
+  report.simultaneous_error_rate = static_cast<double>(all_wrong) / n;
+  return report;
+}
+
+double estimate_alpha(const EnsembleReport& report, std::size_t versions) {
+  NVP_EXPECTS(versions >= 2);
+  if (report.mean_inaccuracy <= 0.0) return 0.0;
+  const double ratio =
+      report.simultaneous_error_rate / report.mean_inaccuracy;
+  if (ratio <= 0.0) return 0.0;
+  return std::min(
+      1.0, std::pow(ratio, 1.0 / static_cast<double>(versions - 1)));
+}
+
+}  // namespace nvp::dataset

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dataset/classifier.hpp"
+
+namespace nvp::dataset {
+
+/// Accuracy of one classifier on a split.
+double accuracy(const Classifier& clf, const Dataset& data);
+
+/// Per-classifier and ensemble statistics over a split — the quantities the
+/// paper extracts from its GTSRB experiment (§V-A): individual
+/// inaccuracies, their average (the model input p), and pairwise
+/// disagreement (version diversity, the premise behind alpha < 1).
+struct EnsembleReport {
+  std::vector<std::string> names;
+  std::vector<double> inaccuracies;
+  double mean_inaccuracy = 0.0;
+  /// Fraction of samples where at least one pair of classifiers disagrees.
+  double disagreement_rate = 0.0;
+  /// Fraction of samples where every classifier errs simultaneously —
+  /// the empirical common-cause mass driving alpha.
+  double simultaneous_error_rate = 0.0;
+};
+
+EnsembleReport evaluate_ensemble(
+    const std::vector<std::unique_ptr<Classifier>>& ensemble,
+    const Dataset& data);
+
+/// Estimates the error dependency alpha from ensemble behaviour: the paper's
+/// model implies P(all m err) = p * alpha^(m-1) for healthy modules, so
+/// alpha ~ (P(all err) / p)^(1/(m-1)).
+double estimate_alpha(const EnsembleReport& report, std::size_t versions);
+
+}  // namespace nvp::dataset

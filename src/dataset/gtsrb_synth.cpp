@@ -1,0 +1,72 @@
+#include "src/dataset/gtsrb_synth.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::dataset {
+
+namespace {
+
+void normalize(std::vector<double>& v) {
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0.0)
+    for (double& x : v) x /= norm;
+}
+
+}  // namespace
+
+SyntheticGtsrb::SyntheticGtsrb(const Config& config)
+    : config_(config), rng_(config.seed) {
+  NVP_EXPECTS(config.num_classes >= 2);
+  NVP_EXPECTS(config.dim >= 2);
+  NVP_EXPECTS(config.noise > 0.0);
+  NVP_EXPECTS(config.confusion_tightness >= 0.0 &&
+              config.confusion_tightness <= 1.0);
+
+  // Confusable groups of ~6 classes share a group anchor; members are the
+  // anchor plus a small offset, shrunk by confusion_tightness. This mimics
+  // GTSRB's speed-limit/triangle-warning families.
+  const int group_size = 6;
+  std::vector<double> anchor;
+  for (int c = 0; c < config.num_classes; ++c) {
+    if (c % group_size == 0) {
+      anchor.assign(static_cast<std::size_t>(config.dim), 0.0);
+      for (double& x : anchor) x = rng_.normal();
+      normalize(anchor);
+    }
+    std::vector<double> proto = anchor;
+    for (double& x : proto)
+      x += (1.0 - config.confusion_tightness) * rng_.normal(0.0, 0.8);
+    normalize(proto);
+    prototypes_.push_back(std::move(proto));
+  }
+
+  class_weights_.resize(static_cast<std::size_t>(config.num_classes));
+  for (int c = 0; c < config.num_classes; ++c)
+    class_weights_[static_cast<std::size_t>(c)] =
+        1.0 / std::pow(static_cast<double>(c + 1), config.popularity_skew);
+}
+
+Dataset SyntheticGtsrb::generate(std::size_t count) {
+  Dataset data;
+  data.num_classes = config_.num_classes;
+  data.dim = config_.dim;
+  data.samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Sample s;
+    s.label = static_cast<int>(rng_.discrete(class_weights_));
+    const auto& proto = prototypes_[static_cast<std::size_t>(s.label)];
+    const double hard =
+        rng_.bernoulli(config_.hard_fraction) ? rng_.uniform(1.5, 3.0) : 1.0;
+    s.features.resize(proto.size());
+    for (std::size_t d = 0; d < proto.size(); ++d)
+      s.features[d] = proto[d] + rng_.normal(0.0, config_.noise * hard);
+    data.samples.push_back(std::move(s));
+  }
+  return data;
+}
+
+}  // namespace nvp::dataset

@@ -1,0 +1,124 @@
+#include "src/linalg/dense_matrix.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix& DenseMatrix::operator+=(const DenseMatrix& other) {
+  NVP_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+DenseMatrix& DenseMatrix::operator-=(const DenseMatrix& other) {
+  NVP_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+DenseMatrix& DenseMatrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  NVP_EXPECTS(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.row_data(k);
+      double* orow = out.row_data(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector DenseMatrix::multiply(const Vector& x) const {
+  NVP_EXPECTS(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = row_data(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector DenseMatrix::left_multiply(const Vector& x) const {
+  NVP_EXPECTS(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = row_data(i);
+    for (std::size_t j = 0; j < cols_; ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+double DenseMatrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool DenseMatrix::all_finite() const {
+  for (double v : data_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+double norm2(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double sum(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  NVP_EXPECTS(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void normalize_l1(Vector& v) {
+  const double s = sum(v);
+  NVP_EXPECTS_MSG(s != 0.0, "normalize_l1: zero-sum vector");
+  for (double& x : v) x /= s;
+}
+
+}  // namespace nvp::linalg

@@ -1,0 +1,87 @@
+#include "src/linalg/iterative.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::linalg {
+
+IterativeResult gauss_seidel(const DenseMatrix& a, const Vector& b,
+                             const IterativeOptions& opts) {
+  NVP_EXPECTS(a.rows() == a.cols());
+  NVP_EXPECTS(b.size() == a.rows());
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    NVP_EXPECTS_MSG(a(i, i) != 0.0, "gauss_seidel: zero diagonal");
+
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  const double w = opts.relaxation;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = a.row_data(i);
+      double acc = b[i];
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) acc -= row[j] * res.x[j];
+      const double next = (1.0 - w) * res.x[i] + w * acc / row[i];
+      const double step = std::fabs(next - res.x[i]);
+      if (step > delta || std::isnan(step)) delta = step;
+      res.x[i] = next;
+    }
+    res.iterations = it + 1;
+    res.residual = delta;
+    if (!std::isfinite(delta)) {
+      // Divergence (the matrix is not GS-convergent); report failure so
+      // callers can fall back to a robust method.
+      res.converged = false;
+      break;
+    }
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+namespace {
+
+template <typename Matrix>
+IterativeResult stationary_impl(const Matrix& p,
+                                const IterativeOptions& opts) {
+  NVP_EXPECTS(p.rows() == p.cols());
+  const std::size_t n = p.rows();
+  NVP_EXPECTS(n > 0);
+  IterativeResult res;
+  res.x.assign(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    Vector next = p.left_multiply(res.x);
+    normalize_l1(next);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      delta = std::max(delta, std::fabs(next[i] - res.x[i]));
+    res.x = std::move(next);
+    res.iterations = it + 1;
+    res.residual = delta;
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+IterativeResult stationary_power_iteration(const SparseMatrixCsr& p,
+                                           const IterativeOptions& opts) {
+  return stationary_impl(p, opts);
+}
+
+IterativeResult stationary_power_iteration(const DenseMatrix& p,
+                                           const IterativeOptions& opts) {
+  return stationary_impl(p, opts);
+}
+
+}  // namespace nvp::linalg

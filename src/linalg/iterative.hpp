@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+
+#include "src/linalg/dense_matrix.hpp"
+#include "src/linalg/sparse_matrix.hpp"
+
+namespace nvp::linalg {
+
+/// Convergence controls shared by the iterative solvers.
+struct IterativeOptions {
+  std::size_t max_iterations = 100000;
+  double tolerance = 1e-12;  // max-norm of successive-iterate difference
+  double relaxation = 1.0;   // SOR factor; 1.0 = Gauss-Seidel
+};
+
+/// Result of an iterative solve.
+struct IterativeResult {
+  Vector x;
+  std::size_t iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Gauss-Seidel / SOR for A x = b on a dense matrix with nonzero diagonal.
+IterativeResult gauss_seidel(const DenseMatrix& a, const Vector& b,
+                             const IterativeOptions& opts = {});
+
+/// Power iteration for the stationary distribution of a row-stochastic
+/// matrix P (solves pi P = pi, pi >= 0, sum pi = 1). The matrix may be
+/// reducible in theory; callers should pass an irreducible chain.
+IterativeResult stationary_power_iteration(const SparseMatrixCsr& p,
+                                           const IterativeOptions& opts = {});
+
+/// Dense variant of stationary_power_iteration.
+IterativeResult stationary_power_iteration(const DenseMatrix& p,
+                                           const IterativeOptions& opts = {});
+
+}  // namespace nvp::linalg

@@ -1,0 +1,75 @@
+#include "src/linalg/lu.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::linalg {
+
+LuDecomposition::LuDecomposition(DenseMatrix a) : lu_(std::move(a)) {
+  NVP_EXPECTS(lu_.rows() == lu_.cols());
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at or below diagonal.
+    std::size_t piv = col;
+    double best = std::fabs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best == 0.0)
+      throw SingularMatrixError("LuDecomposition: singular at column " +
+                                std::to_string(col));
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(piv, c), lu_(col, c));
+      std::swap(perm_[piv], perm_[col]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double pivot = lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = lu_(r, col) / pivot;
+      lu_(r, col) = f;
+      if (f == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c)
+        lu_(r, c) -= f * lu_(col, c);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  NVP_EXPECTS(b.size() == n);
+  Vector x(n);
+  // Forward substitution with permuted b (L has implicit unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve_linear_system(DenseMatrix a, const Vector& b) {
+  return LuDecomposition(std::move(a)).solve(b);
+}
+
+}  // namespace nvp::linalg

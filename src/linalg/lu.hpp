@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/linalg/dense_matrix.hpp"
+
+namespace nvp::linalg {
+
+/// LU decomposition with partial pivoting (Doolittle). Factors once; solves
+/// many right-hand sides. Throws SingularMatrixError for (numerically)
+/// singular inputs.
+class LuDecomposition {
+ public:
+  /// Factors a square matrix. O(n^3).
+  explicit LuDecomposition(DenseMatrix a);
+
+  /// Solves A x = b. O(n^2) per solve.
+  Vector solve(const Vector& b) const;
+
+  /// Determinant of A (product of pivots with sign).
+  double determinant() const;
+
+  std::size_t size() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// Thrown by LuDecomposition for singular systems.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One-shot dense solve of A x = b.
+Vector solve_linear_system(DenseMatrix a, const Vector& b);
+
+}  // namespace nvp::linalg

@@ -1,0 +1,80 @@
+#include "src/linalg/sparse_matrix.hpp"
+
+#include <algorithm>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::linalg {
+
+SparseMatrixCsr::SparseMatrixCsr(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const auto& t : triplets) {
+    NVP_EXPECTS(t.row < rows && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(rows_ + 1, 0);
+  std::size_t i = 0;
+  while (i < triplets.size()) {
+    std::size_t j = i;
+    double v = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      v += triplets[j].value;
+      ++j;
+    }
+    if (v != 0.0) {
+      col_idx_.push_back(triplets[i].col);
+      values_.push_back(v);
+      ++row_ptr_[triplets[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+Vector SparseMatrixCsr::multiply(const Vector& x) const {
+  NVP_EXPECTS(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += values_[k] * x[col_idx_[k]];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector SparseMatrixCsr::left_multiply(const Vector& x) const {
+  NVP_EXPECTS(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_idx_[k]] += xr * values_[k];
+  }
+  return y;
+}
+
+double SparseMatrixCsr::at(std::size_t r, std::size_t c) const {
+  NVP_EXPECTS(r < rows_ && c < cols_);
+  const auto begin = col_idx_.begin() + static_cast<long>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<long>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+DenseMatrix SparseMatrixCsr::to_dense() const {
+  DenseMatrix m(rows_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      m(r, col_idx_[k]) += values_[k];
+  return m;
+}
+
+}  // namespace nvp::linalg

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/dense_matrix.hpp"
+
+namespace nvp::linalg {
+
+/// Coordinate-format triplet used to assemble sparse matrices.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Compressed-sparse-row matrix. Assembled from triplets (duplicates are
+/// summed); immutable afterwards. Used for the generator/transition matrices
+/// of larger state spaces.
+class SparseMatrixCsr {
+ public:
+  SparseMatrixCsr() = default;
+
+  /// Builds from triplets; duplicate (row, col) entries are summed; explicit
+  /// zeros are dropped.
+  SparseMatrixCsr(std::size_t rows, std::size_t cols,
+                  std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x.
+  Vector multiply(const Vector& x) const;
+
+  /// y = x^T A.
+  Vector left_multiply(const Vector& x) const;
+
+  /// Element lookup; O(log nnz(row)). Returns 0 for absent entries.
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Row accessors for iteration.
+  std::size_t row_begin(std::size_t r) const { return row_ptr_[r]; }
+  std::size_t row_end(std::size_t r) const { return row_ptr_[r + 1]; }
+  std::size_t col_index(std::size_t k) const { return col_idx_[k]; }
+  double value(std::size_t k) const { return values_[k]; }
+
+  /// Dense copy (for small matrices / tests).
+  DenseMatrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace nvp::linalg

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "src/linalg/dense_matrix.hpp"
+
+namespace nvp::markov {
+
+/// First-passage analysis of a CTMC toward a target set: expected hitting
+/// times and hitting probabilities within a deadline.
+struct AbsorptionResult {
+  /// Expected time to reach the target set from each state (0 for target
+  /// states, +inf for states that cannot reach the set).
+  linalg::Vector expected_time;
+};
+
+/// Mean time to absorption into `target` (boolean mask, one entry per
+/// state) for the CTMC with the given generator. Solves the linear system
+/// on the transient states; states from which the target is unreachable get
+/// +infinity.
+AbsorptionResult mean_time_to_absorption(
+    const linalg::DenseMatrix& generator, const std::vector<bool>& target);
+
+/// P(target reached within time t | start state) for each state: transient
+/// analysis of the modified chain where target states are absorbing.
+linalg::Vector absorption_probability_by(
+    const linalg::DenseMatrix& generator, const std::vector<bool>& target,
+    double t);
+
+}  // namespace nvp::markov

@@ -1,0 +1,114 @@
+#include "src/markov/ctmc.hpp"
+
+#include <cmath>
+
+#include "src/linalg/iterative.hpp"
+#include "src/linalg/lu.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::markov {
+
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+Ctmc Ctmc::from_graph(const petri::TangibleReachabilityGraph& g) {
+  const std::size_t n = g.size();
+  NVP_EXPECTS(n > 0);
+  Ctmc chain;
+  chain.generator = DenseMatrix(n, n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!g.deterministics(s).empty())
+      throw SolverError(
+          "Ctmc::from_graph: state " + std::to_string(s) +
+          " enables a deterministic transition; use the DSPN solver");
+    for (const petri::RateEdge& e : g.exponential_edges(s)) {
+      chain.generator(s, e.target) += e.rate;
+      chain.generator(s, s) -= e.rate;
+    }
+  }
+  chain.initial.assign(n, 0.0);
+  for (const petri::ProbEdge& e : g.initial_distribution())
+    chain.initial[e.target] = e.prob;
+  return chain;
+}
+
+namespace {
+
+Vector steady_state_direct(const DenseMatrix& q) {
+  const std::size_t n = q.rows();
+  // Solve pi Q = 0 with sum(pi) = 1: transpose to Q^T pi^T = 0 and replace
+  // the last balance equation by the normalization constraint.
+  DenseMatrix a = q.transposed();
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  Vector pi = linalg::LuDecomposition(std::move(a)).solve(b);
+  // Clean tiny negative round-off and renormalize.
+  for (double& x : pi) x = std::max(x, 0.0);
+  linalg::normalize_l1(pi);
+  return pi;
+}
+
+Vector steady_state_power(const DenseMatrix& q) {
+  const std::size_t n = q.rows();
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    lambda = std::max(lambda, -q(i, i));
+  NVP_EXPECTS_MSG(lambda > 0.0, "steady state of an all-absorbing chain");
+  lambda *= 1.02;
+  DenseMatrix p(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) p(i, j) = q(i, j) / lambda;
+    p(i, i) += 1.0;
+  }
+  auto res = linalg::stationary_power_iteration(p);
+  if (!res.converged)
+    throw SolverError("power iteration did not converge (residual " +
+                      std::to_string(res.residual) + ")");
+  return res.x;
+}
+
+Vector steady_state_gauss_seidel(const DenseMatrix& q) {
+  const std::size_t n = q.rows();
+  // pi Q = 0 with normalization folded in: solve (Q^T + e e_n^T) x = e_n
+  // is ill-shaped for GS; instead iterate the balance equations directly
+  // using the power method's uniformized chain as a fallback-friendly
+  // formulation. Gauss-Seidel works on A x = b with A = Q^T where the last
+  // row is replaced by ones.
+  DenseMatrix a = q.transposed();
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (a(i, i) == 0.0) return steady_state_power(q);
+  auto res = linalg::gauss_seidel(a, b);
+  if (!res.converged) return steady_state_power(q);
+  for (double& x : res.x) x = std::max(x, 0.0);
+  linalg::normalize_l1(res.x);
+  return res.x;
+}
+
+}  // namespace
+
+Vector ctmc_steady_state(const DenseMatrix& generator,
+                         SteadyStateMethod method) {
+  NVP_EXPECTS(generator.rows() == generator.cols());
+  NVP_EXPECTS(generator.rows() > 0);
+  switch (method) {
+    case SteadyStateMethod::kDirect:
+      try {
+        return steady_state_direct(generator);
+      } catch (const linalg::SingularMatrixError&) {
+        // Reducible chain: the power method still converges to a stationary
+        // distribution (dependent on the uniform start).
+        return steady_state_power(generator);
+      }
+    case SteadyStateMethod::kGaussSeidel:
+      return steady_state_gauss_seidel(generator);
+    case SteadyStateMethod::kPowerIteration:
+      return steady_state_power(generator);
+  }
+  throw SolverError("unknown steady-state method");
+}
+
+}  // namespace nvp::markov

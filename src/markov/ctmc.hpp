@@ -1,0 +1,47 @@
+#pragma once
+
+#include <stdexcept>
+
+#include "src/linalg/dense_matrix.hpp"
+#include "src/petri/reachability.hpp"
+
+namespace nvp::markov {
+
+/// Thrown when a chain does not satisfy a solver's requirements (absorbing
+/// states in a steady-state analysis, several concurrently enabled
+/// deterministic transitions, ...).
+class SolverError : public std::runtime_error {
+ public:
+  explicit SolverError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Continuous-time Markov chain in dense-generator form. `generator(i, j)`
+/// (i != j) is the rate from state i to j; diagonal entries make rows sum to
+/// zero.
+struct Ctmc {
+  linalg::DenseMatrix generator;
+  linalg::Vector initial;  // initial probability vector
+
+  std::size_t size() const { return generator.rows(); }
+
+  /// Extracts the CTMC of a reachability graph. Requires that no state
+  /// enables a deterministic transition (use DspnSteadyStateSolver
+  /// otherwise).
+  static Ctmc from_graph(const petri::TangibleReachabilityGraph& g);
+};
+
+/// Solution method for the stationary distribution.
+enum class SteadyStateMethod {
+  kDirect,         // LU on the normalized balance equations
+  kGaussSeidel,    // iterative, for larger chains
+  kPowerIteration  // on the uniformized DTMC
+};
+
+/// Stationary distribution pi of an irreducible CTMC (pi Q = 0, sum pi = 1).
+/// Throws SolverError if the chain has an absorbing state or the direct
+/// system is singular beyond recovery.
+linalg::Vector ctmc_steady_state(
+    const linalg::DenseMatrix& generator,
+    SteadyStateMethod method = SteadyStateMethod::kDirect);
+
+}  // namespace nvp::markov

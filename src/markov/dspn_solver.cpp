@@ -1,0 +1,137 @@
+#include "src/markov/dspn_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/markov/dtmc.hpp"
+#include "src/markov/transient.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::markov {
+
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+DspnSteadyStateResult DspnSteadyStateSolver::solve(
+    const petri::TangibleReachabilityGraph& g) const {
+  const std::size_t n = g.size();
+  NVP_EXPECTS(n > 0);
+
+  DspnSteadyStateResult result;
+  result.states = n;
+
+  if (!g.has_deterministic()) {
+    result.pure_ctmc = true;
+    const Ctmc chain = Ctmc::from_graph(g);
+    result.probabilities =
+        ctmc_steady_state(chain.generator, options_.ctmc_method);
+    return result;
+  }
+
+  // Sanity: at most one deterministic transition enabled per marking, and
+  // no fully absorbing tangible state.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (g.deterministics(s).size() > 1)
+      throw SolverError(
+          "DSPN solver: marking " + petri::to_string(g.marking(s)) +
+          " enables " + std::to_string(g.deterministics(s).size()) +
+          " deterministic transitions (at most one is supported)");
+    if (g.deterministics(s).empty() && g.exponential_edges(s).empty())
+      throw SolverError("DSPN solver: absorbing tangible marking " +
+                        petri::to_string(g.marking(s)) +
+                        " has no stationary distribution");
+  }
+
+  // Group states by the deterministic transition they enable; each group
+  // shares a subordinated generator, delay, and transient solution.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t s = 0; s < n; ++s)
+    if (!g.deterministics(s).empty())
+      groups[g.deterministics(s)[0].transition].push_back(s);
+
+  // Embedded Markov chain P over tangible states and conversion factors C:
+  // C(s, j) = expected time spent in j during one regeneration period that
+  // starts in s.
+  DenseMatrix p(n, n, 0.0);
+  DenseMatrix c(n, n, 0.0);
+
+  // Exponential-only states: one firing ends the period.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!g.deterministics(s).empty()) continue;
+    const double exit = g.exit_rate(s);
+    NVP_ASSERT(exit > 0.0);
+    for (const petri::RateEdge& e : g.exponential_edges(s))
+      p(s, e.target) += e.rate / exit;
+    c(s, s) = 1.0 / exit;
+  }
+
+  // Deterministic groups.
+  for (const auto& [det_transition, members] : groups) {
+    const double tau = g.deterministics(members[0])[0].delay;
+    for (std::size_t s : members)
+      NVP_ASSERT(g.deterministics(s)[0].delay == tau);
+
+    // Membership mask: states where this deterministic transition is
+    // enabled (the subordinated process regenerates upon leaving the set).
+    std::vector<char> in_set(n, 0);
+    for (std::size_t s : members) in_set[s] = 1;
+
+    // Subordinated generator: full exponential dynamics inside the set;
+    // rows of states outside the set are zero (absorbing).
+    DenseMatrix q(n, n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!in_set[s]) continue;
+      for (const petri::RateEdge& e : g.exponential_edges(s)) {
+        q(s, e.target) += e.rate;
+        q(s, s) -= e.rate;
+      }
+    }
+
+    const ExponentialPair pair = matrix_exponential_pair(q, tau);
+
+    for (std::size_t s : members) {
+      const double* omega_row = pair.omega.row_data(s);
+      const double* sojourn_row = pair.integral.row_data(s);
+      for (std::size_t u = 0; u < n; ++u) {
+        const double reach = omega_row[u];
+        if (reach <= 0.0) continue;
+        if (in_set[u]) {
+          // Still enabled at tau: the deterministic transition fires from
+          // state u and switches the marking.
+          for (const petri::ProbEdge& e : g.deterministics(u)[0].edges)
+            p(s, e.target) += reach * e.prob;
+        } else {
+          // Absorbed before tau: regeneration at the moment of entering u.
+          p(s, u) += reach;
+        }
+      }
+      for (std::size_t u = 0; u < n; ++u) {
+        // Sojourn credit only while the deterministic transition is
+        // enabled; time after absorption belongs to the next period.
+        if (in_set[u]) c(s, u) += sojourn_row[u];
+      }
+    }
+  }
+
+  const double row_err = max_row_sum_error(p);
+  if (row_err > 1e-8)
+    throw SolverError("DSPN solver: embedded chain rows are off by " +
+                      std::to_string(row_err));
+
+  const Vector nu = dtmc_stationary(p);
+
+  // pi(j) proportional to sum_s nu(s) C(s, j).
+  Vector pi = c.left_multiply(nu);
+  for (double& x : pi)
+    if (x < options_.clamp_epsilon) x = 0.0;
+  const double total = linalg::sum(pi);
+  if (!(total > 0.0))
+    throw SolverError("DSPN solver: zero total expected cycle time");
+  for (double& x : pi) x /= total;
+
+  result.probabilities = std::move(pi);
+  return result;
+}
+
+}  // namespace nvp::markov

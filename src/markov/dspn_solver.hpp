@@ -1,0 +1,65 @@
+#pragma once
+
+#include "src/linalg/dense_matrix.hpp"
+#include "src/markov/ctmc.hpp"
+#include "src/petri/reachability.hpp"
+
+namespace nvp::markov {
+
+/// Result of a stationary DSPN analysis.
+struct DspnSteadyStateResult {
+  /// Stationary probability of each tangible marking.
+  linalg::Vector probabilities;
+  /// True if the model degenerated to a plain CTMC (no deterministic
+  /// transition enabled anywhere).
+  bool pure_ctmc = false;
+  /// Number of tangible states.
+  std::size_t states = 0;
+};
+
+/// Stationary solver for DSPNs under the classical restriction that at most
+/// one deterministic transition is enabled in any tangible marking
+/// (Ajmone Marsan & Chiola; Lindemann; German). Implements the method of the
+/// embedded Markov chain over regeneration points:
+///
+///  * In a tangible marking without an enabled deterministic transition the
+///    regeneration period is the (exponential) sojourn; the embedded-chain
+///    row is the usual competing-exponentials distribution.
+///  * In a marking that enables deterministic transition d (constant delay
+///    tau, enabling-memory policy), the subordinated CTMC runs over the
+///    exponential transitions for up to tau time units. States in which d is
+///    no longer enabled are absorbing: entering one resets d's timer and is
+///    itself a regeneration point. If the process survives in the enabling
+///    set until tau, d fires and the marking switches according to the
+///    (vanishing-eliminated) firing distribution.
+///
+/// The transient quantities exp(Q_d tau) and \int_0^tau exp(Q_d t) dt are
+/// computed by uniformization with doubling (see transient.hpp) once per
+/// deterministic transition and shared by all starting states, and the
+/// stationary distribution follows from the embedded chain's stationary
+/// vector weighted by expected sojourn (conversion) factors.
+///
+/// Nets with no deterministic transition are solved directly as CTMCs, so
+/// this is the single entry point used by the reliability analyzer for both
+/// paper models.
+class DspnSteadyStateSolver {
+ public:
+  struct Options {
+    SteadyStateMethod ctmc_method = SteadyStateMethod::kDirect;
+    /// Probabilities below this are clamped to zero before normalizing.
+    double clamp_epsilon = 1e-15;
+  };
+
+  DspnSteadyStateSolver() = default;
+  explicit DspnSteadyStateSolver(Options options) : options_(options) {}
+
+  /// Computes the stationary distribution over tangible markings.
+  /// Throws SolverError if a tangible marking enables two or more
+  /// deterministic transitions, or if a state is absorbing.
+  DspnSteadyStateResult solve(const petri::TangibleReachabilityGraph& g) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace nvp::markov

@@ -1,0 +1,38 @@
+#include "src/markov/rewards.hpp"
+
+#include <map>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::markov {
+
+double expected_reward(const petri::TangibleReachabilityGraph& g,
+                       const linalg::Vector& pi,
+                       const MarkingReward& reward) {
+  NVP_EXPECTS(pi.size() == g.size());
+  NVP_EXPECTS(reward != nullptr);
+  double acc = 0.0;
+  for (std::size_t s = 0; s < g.size(); ++s)
+    acc += pi[s] * reward(g.marking(s));
+  return acc;
+}
+
+linalg::Vector reward_vector(const petri::TangibleReachabilityGraph& g,
+                             const MarkingReward& reward) {
+  NVP_EXPECTS(reward != nullptr);
+  linalg::Vector out(g.size(), 0.0);
+  for (std::size_t s = 0; s < g.size(); ++s) out[s] = reward(g.marking(s));
+  return out;
+}
+
+std::vector<std::pair<int, double>> mass_by_feature(
+    const petri::TangibleReachabilityGraph& g, const linalg::Vector& pi,
+    const std::function<int(const petri::Marking&)>& feature) {
+  NVP_EXPECTS(pi.size() == g.size());
+  std::map<int, double> acc;
+  for (std::size_t s = 0; s < g.size(); ++s)
+    acc[feature(g.marking(s))] += pi[s];
+  return {acc.begin(), acc.end()};
+}
+
+}  // namespace nvp::markov

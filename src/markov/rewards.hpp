@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+
+#include "src/linalg/dense_matrix.hpp"
+#include "src/petri/reachability.hpp"
+
+namespace nvp::markov {
+
+/// A reward rate assigned to markings (the paper's R_{i,j,k} assignments are
+/// rewards of this form).
+using MarkingReward = std::function<double(const petri::Marking&)>;
+
+/// Expected steady-state reward E[R] = sum_s pi(s) * reward(marking(s))
+/// (the paper's Eq. 1).
+double expected_reward(const petri::TangibleReachabilityGraph& g,
+                       const linalg::Vector& pi, const MarkingReward& reward);
+
+/// Per-state reward vector for diagnostics.
+linalg::Vector reward_vector(const petri::TangibleReachabilityGraph& g,
+                             const MarkingReward& reward);
+
+/// Probability mass aggregated by an integer-valued marking feature
+/// (e.g. number of healthy modules); returns feature -> probability pairs
+/// in ascending feature order.
+std::vector<std::pair<int, double>> mass_by_feature(
+    const petri::TangibleReachabilityGraph& g, const linalg::Vector& pi,
+    const std::function<int(const petri::Marking&)>& feature);
+
+}  // namespace nvp::markov

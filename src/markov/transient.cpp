@@ -1,0 +1,146 @@
+#include "src/markov/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/linalg/poisson.hpp"
+#include "src/markov/ctmc.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::markov {
+
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+namespace {
+
+double uniformization_rate(const DenseMatrix& q) {
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < q.rows(); ++i)
+    lambda = std::max(lambda, -q(i, i));
+  return lambda;
+}
+
+DenseMatrix uniformized_dtmc(const DenseMatrix& q, double lambda) {
+  const std::size_t n = q.rows();
+  DenseMatrix p(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) p(i, j) = q(i, j) / lambda;
+    p(i, i) += 1.0;
+  }
+  return p;
+}
+
+/// Base-step pair via uniformization series; requires lambda * t small
+/// (<= ~1) so a short series reaches machine precision.
+ExponentialPair base_pair(const DenseMatrix& p_u, double lambda, double t,
+                          std::size_t n) {
+  const auto terms = linalg::poisson_terms(lambda * t, 1e-16);
+  DenseMatrix omega(n, n, 0.0);
+  DenseMatrix integral(n, n, 0.0);
+  DenseMatrix power = DenseMatrix::identity(n);
+  double cdf = 0.0;
+  for (std::size_t k = 0; k <= terms.truncation; ++k) {
+    if (k > 0) power = power.multiply(p_u);
+    const double pmf = terms.pmf[k];
+    cdf += pmf;
+    const double ccdf = std::max(0.0, 1.0 - cdf);  // P(N >= k + 1)
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* prow = power.row_data(i);
+      double* orow = omega.row_data(i);
+      double* irow = integral.row_data(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        orow[j] += pmf * prow[j];
+        irow[j] += (ccdf / lambda) * prow[j];
+      }
+    }
+  }
+  return {std::move(omega), std::move(integral)};
+}
+
+}  // namespace
+
+ExponentialPair matrix_exponential_pair(const DenseMatrix& generator,
+                                        double tau) {
+  NVP_EXPECTS(generator.rows() == generator.cols());
+  NVP_EXPECTS(tau >= 0.0);
+  const std::size_t n = generator.rows();
+  if (tau == 0.0)
+    return {DenseMatrix::identity(n), DenseMatrix(n, n, 0.0)};
+
+  const double lambda = uniformization_rate(generator);
+  if (lambda == 0.0) {
+    // No activity: exp(0) = I, integral = tau * I.
+    DenseMatrix integral(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) integral(i, i) = tau;
+    return {DenseMatrix::identity(n), std::move(integral)};
+  }
+
+  // Halve tau until lambda * t0 <= 1, run the series there, double back up.
+  int doublings = 0;
+  double t0 = tau;
+  while (lambda * t0 > 1.0) {
+    t0 /= 2.0;
+    ++doublings;
+  }
+  const DenseMatrix p_u = uniformized_dtmc(generator, lambda);
+  ExponentialPair pair = base_pair(p_u, lambda, t0, n);
+  for (int d = 0; d < doublings; ++d) {
+    // integral(2t) = integral(t) + omega(t) * integral(t)
+    DenseMatrix growth = pair.omega.multiply(pair.integral);
+    pair.integral += growth;
+    pair.omega = pair.omega.multiply(pair.omega);
+  }
+  NVP_ENSURES(pair.omega.all_finite());
+  NVP_ENSURES(pair.integral.all_finite());
+  return pair;
+}
+
+Vector ctmc_transient(const DenseMatrix& generator, const Vector& pi0,
+                      double t) {
+  NVP_EXPECTS(generator.rows() == generator.cols());
+  NVP_EXPECTS(pi0.size() == generator.rows());
+  NVP_EXPECTS(t >= 0.0);
+  if (t == 0.0) return pi0;
+  const double lambda = uniformization_rate(generator);
+  if (lambda == 0.0) return pi0;
+  const DenseMatrix p_u = uniformized_dtmc(generator, lambda);
+  const auto terms = linalg::poisson_terms(lambda * t, 1e-14);
+  Vector acc(pi0.size(), 0.0);
+  Vector v = pi0;
+  for (std::size_t k = 0; k <= terms.truncation; ++k) {
+    if (k > 0) v = p_u.left_multiply(v);
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      acc[i] += terms.pmf[k] * v[i];
+  }
+  return acc;
+}
+
+Vector ctmc_accumulated_sojourn(const DenseMatrix& generator,
+                                const Vector& pi0, double t) {
+  NVP_EXPECTS(generator.rows() == generator.cols());
+  NVP_EXPECTS(pi0.size() == generator.rows());
+  NVP_EXPECTS(t >= 0.0);
+  if (t == 0.0) return Vector(pi0.size(), 0.0);
+  const double lambda = uniformization_rate(generator);
+  if (lambda == 0.0) {
+    Vector out = pi0;
+    for (double& x : out) x *= t;
+    return out;
+  }
+  const DenseMatrix p_u = uniformized_dtmc(generator, lambda);
+  const auto terms = linalg::poisson_terms(lambda * t, 1e-14);
+  Vector acc(pi0.size(), 0.0);
+  Vector v = pi0;
+  double cdf = 0.0;
+  for (std::size_t k = 0; k <= terms.truncation; ++k) {
+    if (k > 0) v = p_u.left_multiply(v);
+    cdf += terms.pmf[k];
+    const double ccdf = std::max(0.0, 1.0 - cdf);
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      acc[i] += (ccdf / lambda) * v[i];
+  }
+  return acc;
+}
+
+}  // namespace nvp::markov

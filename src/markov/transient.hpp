@@ -1,0 +1,34 @@
+#pragma once
+
+#include "src/linalg/dense_matrix.hpp"
+
+namespace nvp::markov {
+
+/// Matrix exponential pair for a CTMC generator Q and horizon tau:
+///   omega    = exp(Q * tau)                (transition probabilities)
+///   integral = \int_0^tau exp(Q t) dt      (expected sojourn times)
+/// Computed by uniformization on a small base step followed by doubling
+/// (omega(2t) = omega(t)^2, integral(2t) = integral(t) + omega(t)
+/// integral(t)), which keeps the cost at O(n^3 log(Lambda tau)) even for
+/// stiff horizons.
+struct ExponentialPair {
+  linalg::DenseMatrix omega;
+  linalg::DenseMatrix integral;
+};
+
+/// Computes the pair for a (possibly defective) generator: rows may sum to
+/// less than zero is not allowed, but absorbing rows (all zero) are fine.
+ExponentialPair matrix_exponential_pair(const linalg::DenseMatrix& generator,
+                                        double tau);
+
+/// Transient distribution pi(t) = pi0 * exp(Q t) by vector uniformization
+/// (cheaper than the full matrix when only one initial vector is needed).
+linalg::Vector ctmc_transient(const linalg::DenseMatrix& generator,
+                              const linalg::Vector& pi0, double t);
+
+/// Expected total time spent in each state over [0, t] starting from pi0:
+/// L(t) = pi0 * \int_0^t exp(Q u) du.
+linalg::Vector ctmc_accumulated_sojourn(const linalg::DenseMatrix& generator,
+                                        const linalg::Vector& pi0, double t);
+
+}  // namespace nvp::markov

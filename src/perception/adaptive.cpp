@@ -1,0 +1,29 @@
+#include "src/perception/adaptive.hpp"
+
+#include <algorithm>
+
+namespace nvp::perception {
+
+bool AdaptiveIntervalController::record_verdict(bool suspicious) {
+  ++window_count_;
+  if (suspicious) ++window_suspicious_;
+  if (window_count_ < config_.window_frames) return false;
+
+  const double rate = static_cast<double>(window_suspicious_) /
+                      static_cast<double>(window_count_);
+  window_count_ = 0;
+  window_suspicious_ = 0;
+
+  const double before = interval_;
+  if (rate >= config_.suspicion_threshold) {
+    interval_ = std::max(config_.min_interval, interval_ / 2.0);
+    if (interval_ != before) ++tightenings_;
+  } else {
+    interval_ = std::min(config_.max_interval,
+                         interval_ + config_.relax_step);
+    if (interval_ != before) ++relaxations_;
+  }
+  return interval_ != before;
+}
+
+}  // namespace nvp::perception

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::perception {
+
+/// Threat-adaptive rejuvenation-interval controller (in the spirit of
+/// threat-adaptive BFT — the paper's reference [20] — applied to the
+/// rejuvenation clock): a deployed system cannot observe compromises
+/// directly, but it can observe the voter's verdicts. The controller
+/// watches the rate of *suspicious* verdicts (errors + inconclusive
+/// rounds) over a sliding window and
+///
+///  * halves the rejuvenation interval (down to `min_interval`) when the
+///    suspicion rate crosses `suspicion_threshold` — flushing compromised
+///    modules faster while under pressure;
+///  * relaxes the interval additively (up to `max_interval`) while the
+///    system looks healthy — reclaiming the rejuvenation overhead.
+///
+/// Pure decision logic (no clocks), so it is unit-testable and reusable by
+/// both the Monte-Carlo system and a deployment.
+class AdaptiveIntervalController {
+ public:
+  struct Config {
+    double initial_interval = 600.0;
+    double min_interval = 60.0;
+    double max_interval = 3000.0;
+    std::uint64_t window_frames = 200;  ///< verdicts per decision window
+    double suspicion_threshold = 0.10;  ///< suspicious fraction triggering
+    double relax_step = 60.0;           ///< additive increase when calm
+  };
+
+  explicit AdaptiveIntervalController(const Config& config)
+      : config_(config), interval_(config.initial_interval) {
+    NVP_EXPECTS(config.min_interval > 0.0);
+    NVP_EXPECTS(config.max_interval >= config.min_interval);
+    NVP_EXPECTS(config.initial_interval >= config.min_interval &&
+                config.initial_interval <= config.max_interval);
+    NVP_EXPECTS(config.window_frames >= 1);
+    NVP_EXPECTS(config.suspicion_threshold > 0.0 &&
+                config.suspicion_threshold < 1.0);
+    NVP_EXPECTS(config.relax_step > 0.0);
+  }
+
+  /// Records one voting round; returns true if the interval changed (the
+  /// caller should push current_interval() into its rejuvenation clock).
+  bool record_verdict(bool suspicious);
+
+  double current_interval() const { return interval_; }
+  std::uint64_t tightenings() const { return tightenings_; }
+  std::uint64_t relaxations() const { return relaxations_; }
+
+ private:
+  Config config_;
+  double interval_;
+  std::uint64_t window_count_ = 0;
+  std::uint64_t window_suspicious_ = 0;
+  std::uint64_t tightenings_ = 0;
+  std::uint64_t relaxations_ = 0;
+};
+
+}  // namespace nvp::perception

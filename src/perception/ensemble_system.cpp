@@ -1,0 +1,252 @@
+#include "src/perception/ensemble_system.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::perception {
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+std::unique_ptr<dataset::Classifier> make_member(int index,
+                                                 std::uint64_t seed) {
+  switch (index % 3) {
+    case 0:
+      return std::make_unique<dataset::NearestCentroidClassifier>();
+    case 1: {
+      dataset::SoftmaxRegressionClassifier::Hyper hyper;
+      hyper.seed = seed;
+      return std::make_unique<dataset::SoftmaxRegressionClassifier>(hyper);
+    }
+    default: {
+      dataset::TinyMlpClassifier::Hyper hyper;
+      hyper.seed = seed;
+      return std::make_unique<dataset::TinyMlpClassifier>(hyper);
+    }
+  }
+}
+
+core::VotingScheme scheme_for(const core::SystemParameters& p) {
+  return p.rejuvenation
+             ? core::VotingScheme::bft_rejuvenating(p.n_versions,
+                                                    p.max_faulty,
+                                                    p.max_rejuvenating)
+             : core::VotingScheme::bft(p.n_versions, p.max_faulty);
+}
+
+}  // namespace
+
+EnsemblePerceptionSystem::EnsemblePerceptionSystem(const Config& config)
+    : config_(config),
+      rng_(config.seed),
+      generator_(config.data),
+      injector_(
+          FaultInjector::Config{config.params.mean_time_to_compromise,
+                                config.params.mean_time_to_failure,
+                                config.params.mean_time_to_repair,
+                                config.params.semantics},
+          config.seed ^ 0xFA17ULL),
+      rejuvenator_(
+          TimedRejuvenator::Config{config.params.rejuvenation,
+                                   config.params.rejuvenation_interval,
+                                   config.params.rejuvenation_duration,
+                                   config.params.max_rejuvenating},
+          config.seed ^ 0x4E30ULL) {
+  config.params.validate();
+  NVP_EXPECTS(config.train_samples >= 100);
+  NVP_EXPECTS(config.calibration_samples >= 100);
+
+  const core::VotingScheme scheme = scheme_for(config.params);
+  if (config.plurality_voter)
+    voter_ = std::make_unique<PluralityThresholdVoter>(scheme);
+  else
+    voter_ = std::make_unique<BlocThresholdVoter>(scheme);
+
+  // Train N diverse members: the three learner families cycled with
+  // different seeds, each on its own training draw (bagging-style
+  // diversity on top of hypothesis-class diversity).
+  util::SplitMix64 seeder(config.seed ^ 0x7EA1ULL);
+  for (int i = 0; i < config.params.n_versions; ++i) {
+    auto member = make_member(i, seeder.next());
+    const auto train = generator_.generate(config.train_samples);
+    member->fit(train);
+    classifiers_.push_back(std::move(member));
+    states_.push_back(ModuleState::kHealthy);
+  }
+  attack_ = std::make_unique<dataset::AdversarialPerturbation>(
+      config.attack, generator_.prototypes());
+
+  // Calibrate the measured p / p' on a held-out split.
+  const auto held_out = generator_.generate(config.calibration_samples);
+  clean_report_ = dataset::evaluate_ensemble(classifiers_, held_out);
+  adversarial_report_ =
+      dataset::evaluate_ensemble(classifiers_, attack_->perturb(held_out));
+
+  next_frame_ = config.frame_interval;
+}
+
+int EnsemblePerceptionSystem::count(ModuleState state) const {
+  int n = 0;
+  for (ModuleState s : states_)
+    if (s == state) ++n;
+  return n;
+}
+
+std::vector<int> EnsemblePerceptionSystem::indices_in(
+    ModuleState state) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    if (states_[i] == state) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+void EnsemblePerceptionSystem::start_rejuvenations(double now) {
+  const int failed = count(ModuleState::kFailed);
+  const int rejuvenating = count(ModuleState::kRejuvenating);
+  const int operational = count(ModuleState::kHealthy) +
+                          count(ModuleState::kCompromised);
+  const int starts =
+      rejuvenator_.claim_starts(failed, rejuvenating, operational);
+  for (int s = 0; s < starts; ++s) {
+    auto pool = indices_in(ModuleState::kHealthy);
+    const auto compromised = indices_in(ModuleState::kCompromised);
+    pool.insert(pool.end(), compromised.begin(), compromised.end());
+    NVP_ASSERT(!pool.empty());
+    states_[static_cast<std::size_t>(
+        pool[rng_.uniform_index(pool.size())])] =
+        ModuleState::kRejuvenating;
+  }
+  if (starts > 0)
+    rejuvenator_.schedule_completion(now,
+                                     count(ModuleState::kRejuvenating));
+}
+
+void EnsemblePerceptionSystem::process_frame(CampaignResult& result) {
+  // One fresh labelled sample; every module sees (its view of) it.
+  const auto clean = generator_.generate(1);
+  const dataset::Sample& sample = clean.samples.front();
+
+  std::vector<ModuleAnswer> answers;
+  answers.reserve(classifiers_.size());
+  for (std::size_t i = 0; i < classifiers_.size(); ++i) {
+    ModuleAnswer answer;
+    switch (states_[i]) {
+      case ModuleState::kHealthy:
+        answer.responded = true;
+        answer.label = classifiers_[i]->predict(sample.features);
+        break;
+      case ModuleState::kCompromised: {
+        // The attacker controls this module's input channel.
+        const auto adversarial = attack_->perturb(sample);
+        answer.responded = true;
+        answer.label = classifiers_[i]->predict(adversarial.features);
+        break;
+      }
+      case ModuleState::kFailed:
+      case ModuleState::kRejuvenating:
+        break;  // silent
+    }
+    answers.push_back(answer);
+  }
+
+  const VoteResult vote = voter_->vote(answers, sample.label);
+  ++result.frames;
+  switch (vote.verdict) {
+    case core::Verdict::kCorrect:
+      ++result.correct;
+      break;
+    case core::Verdict::kError:
+      ++result.errors;
+      break;
+    case core::Verdict::kInconclusive:
+      ++result.inconclusive;
+      break;
+    case core::Verdict::kUnavailable:
+      ++result.unavailable;
+      break;
+  }
+}
+
+CampaignResult EnsemblePerceptionSystem::run(double duration) {
+  NVP_EXPECTS(duration > 0.0);
+  CampaignResult result;
+  const double end_time = now_ + duration;
+
+  while (now_ < end_time) {
+    const int healthy = count(ModuleState::kHealthy);
+    const int compromised = count(ModuleState::kCompromised);
+    const int failed = count(ModuleState::kFailed);
+
+    double lifecycle_time = kNever;
+    LifecycleEventKind lifecycle_kind = LifecycleEventKind::kCompromise;
+    if (const auto ev =
+            injector_.sample_next(now_, healthy, compromised, failed)) {
+      lifecycle_time = ev->time;
+      lifecycle_kind = ev->kind;
+    }
+    const double next_time =
+        std::min({lifecycle_time, rejuvenator_.next_clock_tick(),
+                  rejuvenator_.next_completion(), next_frame_, end_time});
+
+    const int down = failed + count(ModuleState::kRejuvenating);
+    result.state_time_fraction[{healthy, compromised, down}] +=
+        next_time - now_;
+    now_ = next_time;
+    if (now_ >= end_time) break;
+
+    if (next_time == lifecycle_time) {
+      const ModuleState from =
+          lifecycle_kind == LifecycleEventKind::kCompromise
+              ? ModuleState::kHealthy
+              : lifecycle_kind == LifecycleEventKind::kFail
+                    ? ModuleState::kCompromised
+                    : ModuleState::kFailed;
+      const ModuleState to =
+          lifecycle_kind == LifecycleEventKind::kCompromise
+              ? ModuleState::kCompromised
+              : lifecycle_kind == LifecycleEventKind::kFail
+                    ? ModuleState::kFailed
+                    : ModuleState::kHealthy;
+      const auto pool = indices_in(from);
+      NVP_ASSERT(!pool.empty());
+      states_[static_cast<std::size_t>(
+          pool[rng_.uniform_index(pool.size())])] = to;
+      switch (lifecycle_kind) {
+        case LifecycleEventKind::kCompromise:
+          ++result.compromises;
+          break;
+        case LifecycleEventKind::kFail:
+          ++result.failures;
+          break;
+        case LifecycleEventKind::kRepair:
+          ++result.repairs;
+          start_rejuvenations(now_);
+          break;
+      }
+    } else if (next_time == rejuvenator_.next_clock_tick()) {
+      rejuvenator_.on_clock_tick(count(ModuleState::kRejuvenating));
+      start_rejuvenations(now_);
+    } else if (next_time == rejuvenator_.next_completion()) {
+      rejuvenator_.on_completion();
+      for (auto& state : states_)
+        if (state == ModuleState::kRejuvenating)
+          state = ModuleState::kHealthy;
+      start_rejuvenations(now_);
+    } else if (next_time == next_frame_) {
+      process_frame(result);
+      next_frame_ += config_.frame_interval;
+    }
+  }
+
+  result.rejuvenation_batches = rejuvenator_.batches_started();
+  double total = 0.0;
+  for (const auto& [_, t] : result.state_time_fraction) total += t;
+  if (total > 0.0)
+    for (auto& [_, t] : result.state_time_fraction) t /= total;
+  return result;
+}
+
+}  // namespace nvp::perception

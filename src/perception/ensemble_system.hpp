@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/params.hpp"
+#include "src/dataset/adversarial.hpp"
+#include "src/dataset/classifier.hpp"
+#include "src/dataset/eval.hpp"
+#include "src/dataset/gtsrb_synth.hpp"
+#include "src/perception/fault_injector.hpp"
+#include "src/perception/module_sim.hpp"
+#include "src/perception/rejuvenator.hpp"
+#include "src/perception/system.hpp"
+#include "src/perception/voter.hpp"
+
+namespace nvp::perception {
+
+/// ML-in-the-loop N-version perception: instead of parameterizing module
+/// errors with (p, p', alpha) like NVersionPerceptionSystem, the modules
+/// ARE trained classifiers (cycling the three diverse reference learners
+/// with different seeds), classifying synthetic traffic-sign samples:
+///
+///  * healthy modules see the clean sample;
+///  * compromised modules see an adversarially perturbed sample (the
+///    evasion attack of the threat model) — their error rate is whatever
+///    the attack achieves, not an assumed constant;
+///  * failed/rejuvenating modules are silent.
+///
+/// The module life-cycle (compromise/failure/repair/rejuvenation) follows
+/// the same continuous-time dynamics as the DSPN. This is the paper's
+/// "future work: experimentally analyze our proposed approach in
+/// perception systems" realized end-to-end: the measured campaign
+/// reliability can be compared against the analytic prediction fed with
+/// the *measured* p and p' of the very same ensemble.
+class EnsemblePerceptionSystem {
+ public:
+  struct Config {
+    /// Life-cycle and architecture parameters; the error parameters
+    /// (p, p', alpha) are ignored — they emerge from the classifiers.
+    core::SystemParameters params = core::SystemParameters::paper_six_version();
+    dataset::SyntheticGtsrb::Config data{};
+    dataset::AdversarialPerturbation::Config attack{};
+    std::size_t train_samples = 4000;
+    std::size_t calibration_samples = 1500;
+    double frame_interval = 1.0;
+    bool plurality_voter = true;  ///< deployed voters match labels
+    std::uint64_t seed = 77;
+  };
+
+  /// Trains the N classifiers and calibrates their clean/adversarial
+  /// error rates (takes a few seconds for MLP members).
+  explicit EnsemblePerceptionSystem(const Config& config);
+
+  /// Runs the campaign for `duration` simulated seconds.
+  CampaignResult run(double duration);
+
+  /// Measured mean inaccuracy of the healthy ensemble on clean data — the
+  /// empirical counterpart of the paper's p.
+  double measured_p() const { return clean_report_.mean_inaccuracy; }
+
+  /// Measured mean inaccuracy under the adversarial perturbation — the
+  /// empirical counterpart of p'.
+  double measured_p_prime() const {
+    return adversarial_report_.mean_inaccuracy;
+  }
+
+  /// Empirical error-dependency estimate (alpha) of the healthy ensemble.
+  double measured_alpha() const {
+    return dataset::estimate_alpha(clean_report_,
+                                   classifiers_.size());
+  }
+
+  const dataset::EnsembleReport& clean_report() const {
+    return clean_report_;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  void process_frame(CampaignResult& result);
+  int count(ModuleState state) const;
+  std::vector<int> indices_in(ModuleState state) const;
+  void start_rejuvenations(double now);
+
+  Config config_;
+  util::RandomStream rng_;
+  dataset::SyntheticGtsrb generator_;
+  std::vector<std::unique_ptr<dataset::Classifier>> classifiers_;
+  std::vector<ModuleState> states_;
+  std::unique_ptr<dataset::AdversarialPerturbation> attack_;
+  dataset::EnsembleReport clean_report_;
+  dataset::EnsembleReport adversarial_report_;
+  FaultInjector injector_;
+  TimedRejuvenator rejuvenator_;
+  std::unique_ptr<Voter> voter_;
+  double now_ = 0.0;
+  double next_frame_ = 0.0;
+};
+
+}  // namespace nvp::perception

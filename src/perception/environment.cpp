@@ -1,0 +1,38 @@
+#include "src/perception/environment.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::perception {
+
+Environment::Environment(const Config& config)
+    : config_(config), rng_(config.seed) {
+  NVP_EXPECTS(config.num_classes >= 2);
+  NVP_EXPECTS(config.frame_interval > 0.0);
+  NVP_EXPECTS(config.popularity_skew >= 0.0);
+  NVP_EXPECTS(config.hard_scene_fraction >= 0.0 &&
+              config.hard_scene_fraction <= 1.0);
+  class_weights_.resize(static_cast<std::size_t>(config.num_classes));
+  for (int c = 0; c < config.num_classes; ++c)
+    class_weights_[static_cast<std::size_t>(c)] =
+        1.0 / std::pow(static_cast<double>(c + 1), config.popularity_skew);
+}
+
+Frame Environment::next() {
+  Frame frame;
+  clock_ += config_.frame_interval;
+  frame.time = clock_;
+  frame.label = static_cast<int>(rng_.discrete(class_weights_));
+  // Smooth visibility drift (slow sinusoid) plus occasional hard scenes.
+  const double drift =
+      0.15 * (1.0 + std::sin(clock_ / 3600.0 * 2.0 * 3.14159265358979)) /
+      2.0;
+  const bool hard = rng_.bernoulli(config_.hard_scene_fraction);
+  frame.difficulty =
+      std::min(1.0, drift + (hard ? rng_.uniform(0.5, 1.0) : 0.0));
+  ++count_;
+  return frame;
+}
+
+}  // namespace nvp::perception

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace nvp::perception {
+
+/// Ground-truth perception request: at `time`, the environment contains an
+/// object of class `label` (e.g. a traffic sign), possibly under degraded
+/// observation conditions.
+struct Frame {
+  double time = 0.0;
+  int label = 0;
+  /// Observation difficulty in [0, 1]: 0 = ideal, 1 = hardest. Drives the
+  /// "adverse input" channel of the common-cause error model.
+  double difficulty = 0.0;
+};
+
+/// Synthetic driving environment producing a stream of ground-truth frames:
+/// class labels follow a configurable skewed popularity distribution (a few
+/// sign classes dominate, like GTSRB), and difficulty mixes a smooth
+/// day/visibility drift with occasional hard scenes (glare, occlusion).
+class Environment {
+ public:
+  struct Config {
+    int num_classes = 43;
+    double frame_interval = 1.0;  ///< seconds between perception requests
+    double popularity_skew = 1.0;  ///< Zipf-like exponent; 0 = uniform
+    double hard_scene_fraction = 0.1;
+    std::uint64_t seed = 1234;
+  };
+
+  explicit Environment(const Config& config);
+
+  /// Next frame in the stream (time advances by frame_interval).
+  Frame next();
+
+  /// Number of frames generated so far.
+  std::uint64_t frames_generated() const { return count_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  util::RandomStream rng_;
+  std::vector<double> class_weights_;
+  double clock_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace nvp::perception

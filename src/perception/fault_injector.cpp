@@ -1,0 +1,81 @@
+#include "src/perception/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::perception {
+
+FaultInjector::FaultInjector(const Config& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  NVP_EXPECTS(config.mean_time_to_compromise > 0.0);
+  NVP_EXPECTS(config.mean_time_to_failure > 0.0);
+  NVP_EXPECTS(config.mean_time_to_repair > 0.0);
+}
+
+void FaultInjector::add_attack_window(const AttackWindow& window) {
+  NVP_EXPECTS(window.end > window.start);
+  NVP_EXPECTS(window.rate_multiplier > 0.0);
+  windows_.push_back(window);
+}
+
+double FaultInjector::attack_multiplier_at(double t) const {
+  double m = 1.0;
+  for (const AttackWindow& w : windows_)
+    if (t >= w.start && t < w.end) m *= w.rate_multiplier;
+  return m;
+}
+
+std::optional<double> FaultInjector::next_boundary_after(double t) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const AttackWindow& w : windows_) {
+    if (w.start > t) best = std::min(best, w.start);
+    if (w.end > t) best = std::min(best, w.end);
+  }
+  if (!std::isfinite(best)) return std::nullopt;
+  return best;
+}
+
+std::optional<LifecycleEvent> FaultInjector::sample_next(double now,
+                                                         int healthy,
+                                                         int compromised,
+                                                         int failed) {
+  NVP_EXPECTS(healthy >= 0 && compromised >= 0 && failed >= 0);
+  const bool infinite =
+      config_.semantics == core::FiringSemantics::kInfiniteServer;
+  auto scaled = [&](double base_rate, int count) {
+    if (count == 0) return 0.0;
+    return infinite ? base_rate * static_cast<double>(count) : base_rate;
+  };
+  const double rate_c =
+      scaled(1.0 / config_.mean_time_to_compromise, healthy) *
+      attack_multiplier_at(now);
+  const double rate_f = scaled(1.0 / config_.mean_time_to_failure,
+                               compromised);
+  const double rate_r = scaled(1.0 / config_.mean_time_to_repair, failed);
+
+  double best_time = std::numeric_limits<double>::infinity();
+  LifecycleEventKind best_kind = LifecycleEventKind::kCompromise;
+  const struct {
+    double rate;
+    LifecycleEventKind kind;
+  } candidates[] = {
+      {rate_c, LifecycleEventKind::kCompromise},
+      {rate_f, LifecycleEventKind::kFail},
+      {rate_r, LifecycleEventKind::kRepair},
+  };
+  for (const auto& c : candidates) {
+    if (c.rate <= 0.0) continue;
+    const double t = now + rng_.exponential(c.rate);
+    if (t < best_time) {
+      best_time = t;
+      best_kind = c.kind;
+    }
+  }
+  if (!std::isfinite(best_time)) return std::nullopt;
+  return LifecycleEvent{best_time, best_kind};
+}
+
+}  // namespace nvp::perception

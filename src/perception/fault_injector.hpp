@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/core/params.hpp"
+#include "src/util/rng.hpp"
+
+namespace nvp::perception {
+
+/// Kinds of module life-cycle events driven by faults, attacks, and repair.
+enum class LifecycleEventKind { kCompromise, kFail, kRepair };
+
+/// One sampled life-cycle event.
+struct LifecycleEvent {
+  double time = 0.0;
+  LifecycleEventKind kind = LifecycleEventKind::kCompromise;
+};
+
+/// Generates the fault/attack/repair dynamics of §IV-A in continuous time,
+/// mirroring the DSPN's exponential transitions:
+///  * compromise (Tc): healthy -> compromised, rate 1/mttc — an adversarial
+///    or transient-fault event hitting one module at a time (single-server)
+///    or each healthy module independently (infinite-server ablation);
+///  * failure (Tf): compromised -> non-operational, rate 1/mttf;
+///  * repair (Tr): non-operational -> healthy, rate 1/mttr.
+///
+/// Attack campaigns: piecewise-constant windows multiply the compromise
+/// rate (e.g. an adversarial burst at x8 for ten minutes). Sampling stays
+/// exact because the system re-samples at every event and the injector
+/// reports window boundaries as resampling points.
+class FaultInjector {
+ public:
+  struct Config {
+    double mean_time_to_compromise = 1523.0;
+    double mean_time_to_failure = 3000.0;
+    double mean_time_to_repair = 3.0;
+    core::FiringSemantics semantics = core::FiringSemantics::kSingleServer;
+  };
+
+  /// A burst of elevated attack pressure.
+  struct AttackWindow {
+    double start = 0.0;
+    double end = 0.0;
+    double rate_multiplier = 1.0;
+  };
+
+  FaultInjector(const Config& config, std::uint64_t seed);
+
+  /// Registers an attack window (may overlap others; multipliers of
+  /// overlapping windows multiply).
+  void add_attack_window(const AttackWindow& window);
+
+  /// Effective compromise-rate multiplier at time t.
+  double attack_multiplier_at(double t) const;
+
+  /// Next attack-window boundary strictly after t (resampling point), if
+  /// any.
+  std::optional<double> next_boundary_after(double t) const;
+
+  /// Samples the earliest life-cycle event after `now` for the given module
+  /// counts, assuming rates stay constant (the caller must cap the result
+  /// at next_boundary_after(now) and re-sample). Returns nullopt if no
+  /// event can occur (all counts zero).
+  std::optional<LifecycleEvent> sample_next(double now, int healthy,
+                                            int compromised, int failed);
+
+ private:
+  Config config_;
+  util::RandomStream rng_;
+  std::vector<AttackWindow> windows_;
+};
+
+}  // namespace nvp::perception

@@ -1,0 +1,59 @@
+#include "src/perception/module_sim.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::perception {
+
+const char* to_string(ModuleState state) {
+  switch (state) {
+    case ModuleState::kHealthy:
+      return "healthy";
+    case ModuleState::kCompromised:
+      return "compromised";
+    case ModuleState::kFailed:
+      return "failed";
+    case ModuleState::kRejuvenating:
+      return "rejuvenating";
+  }
+  return "?";
+}
+
+MlModuleSim::MlModuleSim(int id, std::string name, std::uint64_t seed)
+    : id_(id), name_(std::move(name)), rng_(seed) {}
+
+ModuleAnswer MlModuleSim::classify(int true_label, bool adverse_input,
+                                   int adverse_label, double alpha,
+                                   double p_prime, int num_classes) {
+  NVP_EXPECTS(num_classes >= 2);
+  ModuleAnswer answer;
+  if (!operational()) return answer;
+  answer.responded = true;
+  ++answered_;
+
+  bool errs = false;
+  int label = true_label;
+  if (state_ == ModuleState::kHealthy) {
+    if (adverse_input && rng_.bernoulli(alpha)) {
+      errs = true;
+      label = adverse_label;  // common-cause victims agree on the wrong label
+    }
+  } else {  // compromised
+    if (rng_.bernoulli(p_prime)) {
+      errs = true;
+      label = wrong_label(true_label, num_classes);
+    }
+  }
+  if (errs) ++wrong_;
+  answer.label = label;
+  return answer;
+}
+
+int MlModuleSim::wrong_label(int true_label, int num_classes) {
+  // Uniform over the other classes.
+  const auto offset =
+      1 + static_cast<int>(rng_.uniform_index(
+              static_cast<std::uint64_t>(num_classes - 1)));
+  return (true_label + offset) % num_classes;
+}
+
+}  // namespace nvp::perception

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+
+#include "src/util/rng.hpp"
+
+namespace nvp::perception {
+
+/// Life-cycle state of one ML module version (§III of the paper).
+enum class ModuleState {
+  kHealthy,       ///< H: operating at nominal accuracy p
+  kCompromised,   ///< C: degraded accuracy p' after a fault/attack
+  kFailed,        ///< N: non-operational, awaiting repair
+  kRejuvenating,  ///< being proactively recycled; silent meanwhile
+};
+
+const char* to_string(ModuleState state);
+
+/// Per-frame answer of one module.
+struct ModuleAnswer {
+  bool responded = false;  ///< false when failed or rejuvenating
+  int label = 0;           ///< class label voted for (valid if responded)
+};
+
+/// Simulated ML module version. The error behaviour matches the analytic
+/// model exactly (so Monte-Carlo runs are comparable to Eq. 1):
+///
+///  * Healthy modules err through a common cause: per frame, one "adverse
+///    input" event occurs with probability q = p / alpha, and each healthy
+///    module independently succumbs to it with probability alpha. This
+///    yields P(a specific set of h >= 1 healthy modules errs) =
+///    p alpha^(h-1) (1-alpha)^(i-h), the Ege-style dependent-failure model
+///    of assumption A.1. (Requires p <= alpha.)
+///  * Compromised modules err independently with probability p' on every
+///    frame (their output is essentially randomized, assumption on p').
+///
+/// Wrong labels: common-cause victims all output the same wrong label
+/// (they misread the same adverse input); independent errors draw a
+/// uniformly random wrong label. The bloc-counting voter ignores labels,
+/// the plurality voter uses them.
+class MlModuleSim {
+ public:
+  MlModuleSim(int id, std::string name, std::uint64_t seed);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ModuleState state() const { return state_; }
+  void set_state(ModuleState state) { state_ = state; }
+
+  bool operational() const {
+    return state_ == ModuleState::kHealthy ||
+           state_ == ModuleState::kCompromised;
+  }
+
+  /// Classifies one frame. `adverse_input` and `adverse_label` are the
+  /// frame-wide common-cause draw shared by all modules (supplied by the
+  /// system); `alpha`, `p_prime`, and `num_classes` parameterize the error
+  /// model.
+  ModuleAnswer classify(int true_label, bool adverse_input,
+                        int adverse_label, double alpha, double p_prime,
+                        int num_classes);
+
+  /// Counters for diagnostics.
+  std::uint64_t frames_answered() const { return answered_; }
+  std::uint64_t frames_wrong() const { return wrong_; }
+
+ private:
+  int wrong_label(int true_label, int num_classes);
+
+  int id_;
+  std::string name_;
+  ModuleState state_ = ModuleState::kHealthy;
+  util::RandomStream rng_;
+  std::uint64_t answered_ = 0;
+  std::uint64_t wrong_ = 0;
+};
+
+}  // namespace nvp::perception

@@ -1,0 +1,80 @@
+#include "src/perception/rejuvenator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::perception {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}
+
+TimedRejuvenator::TimedRejuvenator(const Config& config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      next_tick_(config.enabled ? config.interval : kNever),
+      completion_(kNever) {
+  if (config.enabled) {
+    NVP_EXPECTS(config.interval > 0.0);
+    NVP_EXPECTS(config.duration > 0.0);
+    NVP_EXPECTS(config.max_rejuvenating >= 1);
+  }
+}
+
+void TimedRejuvenator::set_interval(double interval, double now) {
+  NVP_EXPECTS(config_.enabled);
+  NVP_EXPECTS(interval > 0.0);
+  NVP_EXPECTS(now >= 0.0);
+  config_.interval = interval;
+  next_tick_ = std::min(next_tick_, now + interval);
+}
+
+int TimedRejuvenator::on_clock_tick(int rejuvenating_now) {
+  NVP_EXPECTS(config_.enabled);
+  NVP_EXPECTS(rejuvenating_now >= 0);
+  next_tick_ += config_.interval;  // Trt: clock re-arms immediately
+  // Guard g1: a fresh batch only when the previous one fully drained.
+  if (credits_ == 0 && rejuvenating_now == 0) {
+    credits_ = config_.max_rejuvenating;
+    ++batches_;
+    return credits_;
+  }
+  return 0;
+}
+
+int TimedRejuvenator::claim_starts(int failed, int rejuvenating,
+                                   int operational) {
+  NVP_EXPECTS(failed >= 0 && rejuvenating >= 0 && operational >= 0);
+  if (!config_.enabled || credits_ == 0) return 0;
+  int starts = 0;
+  int f = failed, rej = rejuvenating, avail = operational;
+  // Guard g2 per credit: #failed + #rejuvenating < r, and a module must be
+  // available to pick (input arcs of Trj1/Trj2).
+  while (credits_ > 0 && f + rej < config_.max_rejuvenating && avail > 0) {
+    --credits_;
+    ++rej;
+    --avail;
+    ++starts;
+  }
+  return starts;
+}
+
+void TimedRejuvenator::schedule_completion(double now,
+                                           int rejuvenating_total) {
+  NVP_EXPECTS(config_.enabled);
+  NVP_EXPECTS(rejuvenating_total >= 1);
+  // Trj: exponential with marking-dependent mean #Pmr * duration. The whole
+  // batch completes together (arc weights w5/w6).
+  const double mean =
+      static_cast<double>(rejuvenating_total) * config_.duration;
+  completion_ = now + rng_.exponential(1.0 / mean);
+}
+
+void TimedRejuvenator::on_completion() {
+  NVP_EXPECTS(completion_ != kNever);
+  completion_ = kNever;
+}
+
+}  // namespace nvp::perception

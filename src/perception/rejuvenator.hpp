@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/rng.hpp"
+
+namespace nvp::perception {
+
+/// Time-based rejuvenation manager mirroring the DSPN of Fig. 2(b, c):
+///  * a deterministic clock expires every `interval` seconds;
+///  * on expiry, if no batch is pending or in progress, a batch of r
+///    "credits" is activated (Tac, guard g1) and the clock re-arms
+///    immediately (Trt, guard g3);
+///  * credits convert into rejuvenating modules only while fewer than r
+///    modules are failed-or-rejuvenating (guard g2), one module per credit,
+///    chosen uniformly among operational modules (weights w1/w2);
+///  * an in-progress batch of b modules completes after an exponential time
+///    with mean b * duration (transition Trj with 1/mu_r = #Pmr * duration).
+///
+/// The manager tracks clock, credits, and batch completion; the system
+/// supplies module counts and applies the state changes.
+class TimedRejuvenator {
+ public:
+  struct Config {
+    bool enabled = true;
+    double interval = 600.0;   ///< 1/gamma
+    double duration = 3.0;     ///< per-module mean rejuvenation time
+    int max_rejuvenating = 1;  ///< r
+  };
+
+  TimedRejuvenator(const Config& config, std::uint64_t seed);
+
+  const Config& config() const { return config_; }
+
+  /// Next clock expiry (infinity when disabled).
+  double next_clock_tick() const { return next_tick_; }
+
+  /// Retunes the interval (threat-adaptive rejuvenation): future re-arms
+  /// use the new value, and an already-armed expiry is pulled in when the
+  /// new interval would fire sooner than the pending one.
+  void set_interval(double interval, double now);
+
+  double interval() const { return config_.interval; }
+
+  /// Called when the clock expires: re-arms the clock; activates a new
+  /// credit batch iff no credits are pending and no batch is in progress
+  /// (guard g1). Returns the number of credits activated (0 or r).
+  int on_clock_tick(int rejuvenating_now);
+
+  /// Credits waiting for guard g2 to open.
+  int pending_credits() const { return credits_; }
+
+  /// Converts pending credits into rejuvenation starts: returns how many
+  /// modules should start rejuvenating now, given current failed and
+  /// rejuvenating counts and the number of operational modules available.
+  /// Decrements credits accordingly; the caller picks the victims.
+  int claim_starts(int failed, int rejuvenating, int operational);
+
+  /// Called when modules start rejuvenating, to (re)sample the batch
+  /// completion time: with b modules now in the batch, completion is
+  /// exponential with mean b * duration from now.
+  void schedule_completion(double now, int rejuvenating_total);
+
+  /// Completion time of the in-flight batch (infinity if none).
+  double next_completion() const { return completion_; }
+
+  /// Called when the batch completes; clears the completion timer.
+  void on_completion();
+
+  std::uint64_t batches_started() const { return batches_; }
+
+ private:
+  Config config_;
+  util::RandomStream rng_;
+  double next_tick_;
+  double completion_;
+  int credits_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace nvp::perception

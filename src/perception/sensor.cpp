@@ -1,0 +1,46 @@
+#include "src/perception/sensor.hpp"
+
+#include <algorithm>
+
+namespace nvp::perception {
+
+const char* to_string(SensorKind kind) {
+  switch (kind) {
+    case SensorKind::kCamera:
+      return "camera";
+    case SensorKind::kLidar:
+      return "lidar";
+    case SensorKind::kRadar:
+      return "radar";
+  }
+  return "?";
+}
+
+SensorModel::SensorModel(SensorKind kind, std::uint64_t seed)
+    : kind_(kind), rng_(seed) {}
+
+Observation SensorModel::observe(const Frame& frame) {
+  Observation obs;
+  obs.true_label = frame.label;
+  double transfer = 1.0;
+  double noise_floor = 0.0;
+  switch (kind_) {
+    case SensorKind::kCamera:
+      transfer = 1.0;  // fully exposed to visual difficulty
+      noise_floor = 0.02;
+      break;
+    case SensorKind::kLidar:
+      transfer = 0.4;  // robust to lighting, sensitive to rain/occlusion
+      noise_floor = 0.05;
+      break;
+    case SensorKind::kRadar:
+      transfer = 0.2;  // nearly lighting-independent, coarser labels
+      noise_floor = 0.08;
+      break;
+  }
+  obs.effective_difficulty = std::min(1.0, frame.difficulty * transfer);
+  obs.noise = std::min(1.0, noise_floor * rng_.uniform(0.5, 1.5));
+  return obs;
+}
+
+}  // namespace nvp::perception

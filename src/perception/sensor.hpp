@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/perception/environment.hpp"
+#include "src/util/rng.hpp"
+
+namespace nvp::perception {
+
+/// Kind of physical sensor feeding an ML module.
+enum class SensorKind { kCamera, kLidar, kRadar };
+
+const char* to_string(SensorKind kind);
+
+/// Sensor observation handed to an ML module: the (hidden) true label plus
+/// the per-sensor degradation the module experiences for this frame.
+struct Observation {
+  int true_label = 0;
+  /// Effective difficulty after sensor-specific transfer: cameras suffer
+  /// from visual difficulty, lidar/radar much less.
+  double effective_difficulty = 0.0;
+  /// Additive sensor noise level in [0, 1] (electronics, weather).
+  double noise = 0.0;
+};
+
+/// Simple sensor model: maps a ground-truth frame to an observation,
+/// attenuating or amplifying scene difficulty per sensor physics and adding
+/// a small random noise floor. Deliberately lightweight — the reliability
+/// models consume only error probabilities, but the examples use sensor
+/// diversity to justify version diversity (Fig. 1 of the paper).
+class SensorModel {
+ public:
+  SensorModel(SensorKind kind, std::uint64_t seed);
+
+  Observation observe(const Frame& frame);
+
+  SensorKind kind() const { return kind_; }
+  std::string name() const { return to_string(kind_); }
+
+ private:
+  SensorKind kind_;
+  util::RandomStream rng_;
+};
+
+}  // namespace nvp::perception

@@ -1,0 +1,295 @@
+#include "src/perception/system.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/contracts.hpp"
+#include "src/util/string_util.hpp"
+
+namespace nvp::perception {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+core::VotingScheme scheme_for(const core::SystemParameters& p) {
+  return p.rejuvenation
+             ? core::VotingScheme::bft_rejuvenating(p.n_versions,
+                                                    p.max_faulty,
+                                                    p.max_rejuvenating)
+             : core::VotingScheme::bft(p.n_versions, p.max_faulty);
+}
+
+SensorKind sensor_cycle(int i) {
+  switch (i % 3) {
+    case 0:
+      return SensorKind::kCamera;
+    case 1:
+      return SensorKind::kLidar;
+    default:
+      return SensorKind::kRadar;
+  }
+}
+}  // namespace
+
+NVersionPerceptionSystem::NVersionPerceptionSystem(const Config& config)
+    : config_(config),
+      rng_(config.seed),
+      injector_(
+          FaultInjector::Config{config.params.mean_time_to_compromise,
+                                config.params.mean_time_to_failure,
+                                config.params.mean_time_to_repair,
+                                config.params.semantics},
+          config.seed ^ 0xFA17ULL),
+      rejuvenator_(
+          TimedRejuvenator::Config{config.params.rejuvenation,
+                                   config.params.rejuvenation_interval,
+                                   config.params.rejuvenation_duration,
+                                   config.params.max_rejuvenating},
+          config.seed ^ 0x4E30ULL),
+      environment_(Environment::Config{config.num_classes,
+                                       config.frame_interval, 1.0, 0.1,
+                                       config.seed ^ 0xE417ULL}) {
+  config.params.validate();
+  NVP_EXPECTS(config.frame_interval > 0.0);
+  NVP_EXPECTS(config.num_classes >= 2);
+  // The common-cause generative model needs an adverse-input probability
+  // q = p / alpha <= 1.
+  NVP_EXPECTS_MSG(config.params.alpha <= 0.0
+                      ? config.params.p == 0.0
+                      : config.params.p <= config.params.alpha + 1e-12,
+                  "Monte-Carlo common-cause sampling requires p <= alpha");
+
+  const core::VotingScheme scheme = scheme_for(config.params);
+  if (config.plurality_voter)
+    voter_ = std::make_unique<PluralityThresholdVoter>(scheme);
+  else
+    voter_ = std::make_unique<BlocThresholdVoter>(scheme);
+
+  if (config.adaptive_rejuvenation) {
+    NVP_EXPECTS_MSG(config.params.rejuvenation,
+                    "adaptive rejuvenation needs the rejuvenating model");
+    AdaptiveIntervalController::Config adaptive = config.adaptive;
+    adaptive.initial_interval = config.params.rejuvenation_interval;
+    adaptive.max_interval =
+        std::max(adaptive.max_interval, adaptive.initial_interval);
+    adaptive.min_interval =
+        std::min(adaptive.min_interval, adaptive.initial_interval);
+    adaptive_.emplace(adaptive);
+  }
+
+  util::SplitMix64 seeder(config.seed ^ 0x5EED5EEDULL);
+  for (int i = 0; i < config.params.n_versions; ++i) {
+    modules_.emplace_back(i, util::format("mlm-%d", i), seeder.next());
+    sensors_.emplace_back(sensor_cycle(i), seeder.next());
+  }
+  next_frame_ = config.frame_interval;
+}
+
+void NVersionPerceptionSystem::add_attack_window(
+    const FaultInjector::AttackWindow& window) {
+  injector_.add_attack_window(window);
+}
+
+int NVersionPerceptionSystem::count(ModuleState state) const {
+  int n = 0;
+  for (const auto& m : modules_)
+    if (m.state() == state) ++n;
+  return n;
+}
+
+std::vector<int> NVersionPerceptionSystem::indices_in(
+    ModuleState state) const {
+  std::vector<int> out;
+  for (const auto& m : modules_)
+    if (m.state() == state) out.push_back(m.id());
+  return out;
+}
+
+void NVersionPerceptionSystem::start_rejuvenations(double now,
+                                                   CampaignResult& result) {
+  (void)result;
+  const int failed = count(ModuleState::kFailed);
+  const int rejuvenating = count(ModuleState::kRejuvenating);
+  auto healthy = indices_in(ModuleState::kHealthy);
+  auto compromised = indices_in(ModuleState::kCompromised);
+  const int operational =
+      static_cast<int>(healthy.size() + compromised.size());
+  const int starts =
+      rejuvenator_.claim_starts(failed, rejuvenating, operational);
+  if (starts == 0) return;
+  for (int s = 0; s < starts; ++s) {
+    // Weights w1/w2: pick uniformly among operational modules (the system
+    // cannot tell healthy from compromised).
+    std::vector<int> pool = healthy;
+    pool.insert(pool.end(), compromised.begin(), compromised.end());
+    NVP_ASSERT(!pool.empty());
+    const int victim = pool[rng_.uniform_index(pool.size())];
+    modules_[static_cast<std::size_t>(victim)].set_state(
+        ModuleState::kRejuvenating);
+    healthy = indices_in(ModuleState::kHealthy);
+    compromised = indices_in(ModuleState::kCompromised);
+  }
+  rejuvenator_.schedule_completion(now, count(ModuleState::kRejuvenating));
+}
+
+void NVersionPerceptionSystem::process_frame(const Frame& frame,
+                                             CampaignResult& result) {
+  // Frame-wide common-cause draw: an adverse input arrives with probability
+  // q = p / alpha; all healthy modules are exposed to the same one, each
+  // succumbing independently with probability alpha (see MlModuleSim).
+  const double alpha = config_.params.alpha;
+  const double q = alpha > 0.0 ? config_.params.p / alpha : 0.0;
+  const bool adverse = rng_.bernoulli(std::min(1.0, q));
+  int adverse_label = frame.label;
+  if (adverse) {
+    const auto offset =
+        1 + static_cast<int>(rng_.uniform_index(
+                static_cast<std::uint64_t>(config_.num_classes - 1)));
+    adverse_label = (frame.label + offset) % config_.num_classes;
+  }
+
+  std::vector<ModuleAnswer> answers;
+  answers.reserve(modules_.size());
+  for (auto& module : modules_) {
+    // Sensor observation currently informs diversity bookkeeping only; the
+    // error channel is fully parameterized by (p, p', alpha) to stay
+    // comparable with the analytic model.
+    if (module.operational())
+      sensors_[static_cast<std::size_t>(module.id())].observe(frame);
+    answers.push_back(module.classify(frame.label, adverse, adverse_label,
+                                      alpha, config_.params.p_prime,
+                                      config_.num_classes));
+  }
+  const VoteResult vote = voter_->vote(answers, frame.label);
+  ++result.frames;
+  switch (vote.verdict) {
+    case core::Verdict::kCorrect:
+      ++result.correct;
+      break;
+    case core::Verdict::kError:
+      ++result.errors;
+      break;
+    case core::Verdict::kInconclusive:
+      ++result.inconclusive;
+      break;
+    case core::Verdict::kUnavailable:
+      ++result.unavailable;
+      break;
+  }
+
+  // Threat-adaptive rejuvenation: feed the controller and retune the
+  // clock when it reacts. Suspicious = the voter could not certify a
+  // correct output.
+  if (adaptive_) {
+    const bool suspicious = vote.verdict != core::Verdict::kCorrect;
+    if (adaptive_->record_verdict(suspicious))
+      rejuvenator_.set_interval(adaptive_->current_interval(), frame.time);
+  }
+
+  // Error-burst bookkeeping (safety metric).
+  if (vote.verdict == core::Verdict::kError) {
+    ++current_error_burst_;
+    if (current_error_burst_ > result.longest_error_burst)
+      result.longest_error_burst = current_error_burst_;
+    if (current_error_burst_ == 3) ++result.error_bursts_at_least_3;
+  } else {
+    current_error_burst_ = 0;
+  }
+}
+
+CampaignResult NVersionPerceptionSystem::run(double duration) {
+  NVP_EXPECTS(duration > 0.0);
+  CampaignResult result;
+  const double end_time = now_ + duration;
+
+  while (now_ < end_time) {
+    // Candidate events: next life-cycle event (exponential, resampled each
+    // iteration — memoryless), rejuvenation clock tick, batch completion,
+    // attack-window boundary, next frame.
+    const int healthy = count(ModuleState::kHealthy);
+    const int compromised = count(ModuleState::kCompromised);
+    const int failed = count(ModuleState::kFailed);
+
+    double lifecycle_time = kNever;
+    LifecycleEventKind lifecycle_kind = LifecycleEventKind::kCompromise;
+    if (const auto ev =
+            injector_.sample_next(now_, healthy, compromised, failed)) {
+      lifecycle_time = ev->time;
+      lifecycle_kind = ev->kind;
+    }
+    const auto boundary = injector_.next_boundary_after(now_);
+    const double boundary_time = boundary.value_or(kNever);
+    const double tick_time = rejuvenator_.next_clock_tick();
+    const double completion_time = rejuvenator_.next_completion();
+    const double frame_time = next_frame_;
+
+    const double next_time =
+        std::min({lifecycle_time, boundary_time, tick_time, completion_time,
+                  frame_time, end_time});
+
+    // Accumulate state sojourn for the (i, j, k) distribution.
+    const int down = failed + count(ModuleState::kRejuvenating);
+    result.state_time_fraction[{healthy, compromised, down}] +=
+        next_time - now_;
+    now_ = next_time;
+    if (now_ >= end_time) break;
+
+    if (next_time == lifecycle_time) {
+      switch (lifecycle_kind) {
+        case LifecycleEventKind::kCompromise: {
+          const auto pool = indices_in(ModuleState::kHealthy);
+          NVP_ASSERT(!pool.empty());
+          modules_[static_cast<std::size_t>(
+                       pool[rng_.uniform_index(pool.size())])]
+              .set_state(ModuleState::kCompromised);
+          ++result.compromises;
+          break;
+        }
+        case LifecycleEventKind::kFail: {
+          const auto pool = indices_in(ModuleState::kCompromised);
+          NVP_ASSERT(!pool.empty());
+          modules_[static_cast<std::size_t>(
+                       pool[rng_.uniform_index(pool.size())])]
+              .set_state(ModuleState::kFailed);
+          ++result.failures;
+          break;
+        }
+        case LifecycleEventKind::kRepair: {
+          const auto pool = indices_in(ModuleState::kFailed);
+          NVP_ASSERT(!pool.empty());
+          modules_[static_cast<std::size_t>(
+                       pool[rng_.uniform_index(pool.size())])]
+              .set_state(ModuleState::kHealthy);
+          ++result.repairs;
+          // A repair may unblock guard g2 for pending credits.
+          start_rejuvenations(now_, result);
+          break;
+        }
+      }
+    } else if (next_time == tick_time) {
+      rejuvenator_.on_clock_tick(count(ModuleState::kRejuvenating));
+      start_rejuvenations(now_, result);
+    } else if (next_time == completion_time) {
+      rejuvenator_.on_completion();
+      for (auto& m : modules_)
+        if (m.state() == ModuleState::kRejuvenating)
+          m.set_state(ModuleState::kHealthy);
+      // Completion may let pending credits start a late batch.
+      start_rejuvenations(now_, result);
+    } else if (next_time == frame_time) {
+      process_frame(environment_.next(), result);
+      next_frame_ += config_.frame_interval;
+    }
+    // Attack-window boundaries need no action: the loop resamples rates.
+  }
+
+  result.rejuvenation_batches = rejuvenator_.batches_started();
+  // Normalize sojourn masses into fractions.
+  double total = 0.0;
+  for (const auto& [_, t] : result.state_time_fraction) total += t;
+  if (total > 0.0)
+    for (auto& [_, t] : result.state_time_fraction) t /= total;
+  return result;
+}
+
+}  // namespace nvp::perception

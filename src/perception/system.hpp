@@ -1,0 +1,128 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "src/core/params.hpp"
+#include "src/core/voting.hpp"
+#include "src/perception/adaptive.hpp"
+#include "src/perception/environment.hpp"
+#include "src/perception/fault_injector.hpp"
+#include "src/perception/module_sim.hpp"
+#include "src/perception/rejuvenator.hpp"
+#include "src/perception/sensor.hpp"
+#include "src/perception/voter.hpp"
+
+namespace nvp::perception {
+
+/// Aggregate outcome of a simulated campaign.
+struct CampaignResult {
+  std::uint64_t frames = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t inconclusive = 0;
+  std::uint64_t unavailable = 0;
+
+  std::uint64_t compromises = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t rejuvenation_batches = 0;
+
+  /// Safety-oriented burst statistics: consecutive perception errors are
+  /// far more dangerous than isolated ones (a vehicle can coast through
+  /// one bad frame). `longest_error_burst` is the maximum run of
+  /// consecutive error verdicts; `error_bursts_at_least_3` counts maximal
+  /// runs of length >= 3.
+  std::uint64_t longest_error_burst = 0;
+  std::uint64_t error_bursts_at_least_3 = 0;
+
+  /// Fraction of campaign time spent in each (healthy, compromised, down)
+  /// module-state class — directly comparable to the DSPN's stationary
+  /// distribution.
+  std::map<std::tuple<int, int, int>, double> state_time_fraction;
+
+  /// Empirical counterpart of the paper's E[R_sys]: frames are reliable
+  /// unless the voter erred or could not gather enough answers
+  /// (unavailable states carry reward 0 in the paper's matrices).
+  double paper_reliability() const {
+    return frames == 0 ? 0.0
+                       : 1.0 - static_cast<double>(errors + unavailable) /
+                                   static_cast<double>(frames);
+  }
+
+  /// Stricter metric: fraction of frames with a correct decision.
+  double strict_reliability() const {
+    return frames == 0
+               ? 0.0
+               : static_cast<double>(correct) / static_cast<double>(frames);
+  }
+};
+
+/// Executable N-version perception system: N simulated ML module versions
+/// fed by diverse sensors, a fault/attack injector, an optional time-based
+/// rejuvenation manager, and a BFT-style voter — the whole architecture of
+/// the paper's Fig. 1 as a Monte-Carlo system rather than a DSPN.
+///
+/// Its long-run empirical reliability converges to the analytic E[R_sys]
+/// of ReliabilityAnalyzer when configured with the same parameters and the
+/// bloc voter, which is the repository's end-to-end validation
+/// (DESIGN.md §6, bench_sim_crosscheck).
+class NVersionPerceptionSystem {
+ public:
+  struct Config {
+    core::SystemParameters params;  ///< architecture + Table II parameters
+    double frame_interval = 1.0;    ///< seconds between perception requests
+    int num_classes = 43;
+    bool plurality_voter = false;   ///< label-matching voter instead of bloc
+    /// Threat-adaptive rejuvenation: when set, the rejuvenation interval
+    /// follows an AdaptiveIntervalController fed with the voter's verdicts
+    /// instead of staying fixed (requires params.rejuvenation).
+    bool adaptive_rejuvenation = false;
+    AdaptiveIntervalController::Config adaptive{};
+    std::uint64_t seed = 2024;
+  };
+
+  explicit NVersionPerceptionSystem(const Config& config);
+
+  /// Runs the campaign for `duration` simulated seconds and returns the
+  /// aggregate statistics. May be called repeatedly; state persists across
+  /// calls (use a fresh system for independent replications).
+  CampaignResult run(double duration);
+
+  /// Registers an adversarial burst multiplying the compromise rate.
+  void add_attack_window(const FaultInjector::AttackWindow& window);
+
+  /// Read-only module access for inspection/examples.
+  const std::vector<MlModuleSim>& modules() const { return modules_; }
+
+  /// Adaptive controller state (valid when adaptive_rejuvenation is on).
+  const AdaptiveIntervalController* adaptive_controller() const {
+    return adaptive_ ? &*adaptive_ : nullptr;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  int count(ModuleState state) const;
+  std::vector<int> indices_in(ModuleState state) const;
+  void start_rejuvenations(double now, CampaignResult& result);
+  void process_frame(const Frame& frame, CampaignResult& result);
+
+  Config config_;
+  util::RandomStream rng_;
+  std::vector<MlModuleSim> modules_;
+  std::vector<SensorModel> sensors_;
+  FaultInjector injector_;
+  TimedRejuvenator rejuvenator_;
+  std::unique_ptr<Voter> voter_;
+  std::optional<AdaptiveIntervalController> adaptive_;
+  Environment environment_;
+  double now_ = 0.0;
+  double next_frame_ = 0.0;
+  std::uint64_t current_error_burst_ = 0;
+};
+
+}  // namespace nvp::perception

@@ -1,0 +1,73 @@
+#include "src/perception/voter.hpp"
+
+#include <map>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::perception {
+
+BlocThresholdVoter::BlocThresholdVoter(core::VotingScheme scheme)
+    : scheme_(scheme) {}
+
+VoteResult BlocThresholdVoter::vote(const std::vector<ModuleAnswer>& answers,
+                                    int true_label) const {
+  NVP_EXPECTS(static_cast<int>(answers.size()) == scheme_.n());
+  VoteResult result;
+  for (const ModuleAnswer& a : answers) {
+    if (!a.responded)
+      ++result.silent;
+    else if (a.label == true_label)
+      ++result.correct_votes;
+    else
+      ++result.wrong_votes;
+  }
+  result.verdict = scheme_.decide(result.correct_votes, result.wrong_votes,
+                                  result.silent);
+  if (result.verdict == core::Verdict::kCorrect)
+    result.decided_label = true_label;
+  return result;
+}
+
+PluralityThresholdVoter::PluralityThresholdVoter(core::VotingScheme scheme)
+    : scheme_(scheme) {}
+
+VoteResult PluralityThresholdVoter::vote(
+    const std::vector<ModuleAnswer>& answers, int true_label) const {
+  NVP_EXPECTS(static_cast<int>(answers.size()) == scheme_.n());
+  VoteResult result;
+  std::map<int, int> tally;
+  for (const ModuleAnswer& a : answers) {
+    if (!a.responded) {
+      ++result.silent;
+      continue;
+    }
+    ++tally[a.label];
+    if (a.label == true_label)
+      ++result.correct_votes;
+    else
+      ++result.wrong_votes;
+  }
+  if (result.silent > scheme_.max_silent()) {
+    result.verdict = core::Verdict::kUnavailable;
+    return result;
+  }
+  // A decision requires `threshold` *identical* labels.
+  int best_label = -1;
+  int best_count = 0;
+  for (const auto& [label, count] : tally) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  if (best_count >= scheme_.threshold()) {
+    result.decided_label = best_label;
+    result.verdict = best_label == true_label ? core::Verdict::kCorrect
+                                              : core::Verdict::kError;
+  } else {
+    result.verdict = core::Verdict::kInconclusive;
+  }
+  return result;
+}
+
+}  // namespace nvp::perception

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "src/core/voting.hpp"
+#include "src/perception/module_sim.hpp"
+
+namespace nvp::perception {
+
+/// Result of voting one frame.
+struct VoteResult {
+  core::Verdict verdict = core::Verdict::kInconclusive;
+  int correct_votes = 0;
+  int wrong_votes = 0;
+  int silent = 0;
+  int decided_label = -1;  ///< label announced (valid for kCorrect/kError)
+};
+
+/// Voter interface over the modules' per-frame answers.
+class Voter {
+ public:
+  virtual ~Voter() = default;
+
+  /// Decides a frame given all module answers and the ground truth.
+  virtual VoteResult vote(const std::vector<ModuleAnswer>& answers,
+                          int true_label) const = 0;
+};
+
+/// Bloc-counting threshold voter matching the paper's reliability
+/// functions: an error is declared when `threshold` modules answer
+/// incorrectly, regardless of whether they agree on the same wrong label
+/// (assumptions A.2/A.3, pessimistic).
+class BlocThresholdVoter : public Voter {
+ public:
+  explicit BlocThresholdVoter(core::VotingScheme scheme);
+
+  VoteResult vote(const std::vector<ModuleAnswer>& answers,
+                  int true_label) const override;
+
+ private:
+  core::VotingScheme scheme_;
+};
+
+/// Plurality threshold voter: an error requires `threshold` modules to agree
+/// on the *same* wrong label (optimistic; what a deployed label-matching
+/// voter would do). The gap between this and BlocThresholdVoter quantifies
+/// the pessimism of the paper's convention — explored in
+/// bench_ablation_rewards.
+class PluralityThresholdVoter : public Voter {
+ public:
+  explicit PluralityThresholdVoter(core::VotingScheme scheme);
+
+  VoteResult vote(const std::vector<ModuleAnswer>& answers,
+                  int true_label) const override;
+
+ private:
+  core::VotingScheme scheme_;
+};
+
+}  // namespace nvp::perception

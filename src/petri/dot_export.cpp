@@ -1,0 +1,69 @@
+#include "src/petri/dot_export.hpp"
+
+#include "src/util/string_util.hpp"
+
+namespace nvp::petri {
+
+using util::format;
+
+std::string to_dot(const PetriNet& net) {
+  std::string out = "digraph \"" + net.name() + "\" {\n  rankdir=LR;\n";
+  for (std::size_t p = 0; p < net.place_count(); ++p) {
+    const auto tokens = net.initial_marking()[p];
+    const std::string suffix =
+        tokens > 0 ? "\\n(" + std::to_string(tokens) + ")" : "";
+    out += format("  p%zu [shape=circle, label=\"%s%s\"];\n", p,
+                  net.place_name(p).c_str(), suffix.c_str());
+  }
+  for (std::size_t t = 0; t < net.transition_count(); ++t) {
+    const Transition& tr = net.transition(t);
+    const char* style = nullptr;
+    switch (tr.kind) {
+      case TransitionKind::kImmediate:
+        style = "shape=box, height=0.08, style=filled, fillcolor=black";
+        break;
+      case TransitionKind::kExponential:
+        style = "shape=box, style=\"\"";
+        break;
+      case TransitionKind::kDeterministic:
+        style = "shape=box, style=filled, fillcolor=gray30, fontcolor=white";
+        break;
+    }
+    out += format("  t%zu [%s, label=\"%s\"];\n", t, style, tr.name.c_str());
+    auto arc_label = [](const Arc& a) -> std::string {
+      if (a.weight_fn) return " [label=\"w(m)\"]";
+      if (a.weight != 1)
+        return " [label=\"" + std::to_string(a.weight) + "\"]";
+      return "";
+    };
+    for (const Arc& a : tr.inputs)
+      out += format("  p%zu -> t%zu%s;\n", a.place, t, arc_label(a).c_str());
+    for (const Arc& a : tr.outputs)
+      out += format("  t%zu -> p%zu%s;\n", t, a.place, arc_label(a).c_str());
+    for (const Arc& a : tr.inhibitors)
+      out += format("  p%zu -> t%zu [arrowhead=odot];\n", a.place, t);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const PetriNet& net, const TangibleReachabilityGraph& g) {
+  std::string out = "digraph \"" + net.name() + "_reach\" {\n";
+  for (std::size_t s = 0; s < g.size(); ++s)
+    out += format("  s%zu [shape=ellipse, label=\"%zu\\n%s\"];\n", s, s,
+                  to_string(g.marking(s)).c_str());
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    for (const RateEdge& e : g.exponential_edges(s))
+      out += format("  s%zu -> s%zu [label=\"%.4g\"];\n", s, e.target,
+                    e.rate);
+    for (const DeterministicInfo& d : g.deterministics(s))
+      for (const ProbEdge& e : d.edges)
+        out += format(
+            "  s%zu -> s%zu [style=dashed, label=\"%s:%.3g\"];\n", s,
+            e.target, net.transition(d.transition).name.c_str(), e.prob);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace nvp::petri

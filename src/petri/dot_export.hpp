@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "src/petri/net.hpp"
+#include "src/petri/reachability.hpp"
+
+namespace nvp::petri {
+
+/// Graphviz DOT rendering of the net structure, using the conventional
+/// notation: places as circles (annotated with initial tokens), immediate
+/// transitions as thin bars, exponential as white boxes, deterministic as
+/// filled boxes; inhibitor arcs with odot arrowheads.
+std::string to_dot(const PetriNet& net);
+
+/// Graphviz DOT rendering of a tangible reachability graph. Exponential
+/// edges are labelled with rates, deterministic switching edges with
+/// probabilities (dashed).
+std::string to_dot(const PetriNet& net, const TangibleReachabilityGraph& g);
+
+}  // namespace nvp::petri

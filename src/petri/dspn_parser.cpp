@@ -1,0 +1,355 @@
+#include "src/petri/dspn_parser.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/petri/expression.hpp"
+#include "src/util/string_util.hpp"
+
+namespace nvp::petri {
+
+namespace {
+
+/// One logical line: keyword plus raw remainder.
+struct Line {
+  std::size_t number = 0;
+  std::string text;  // trimmed, comment-stripped, non-empty
+};
+
+std::vector<Line> logical_lines(std::istream& input) {
+  std::vector<Line> lines;
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(input, raw)) {
+    ++number;
+    const auto comment = raw.find("//");
+    if (comment != std::string::npos) raw.resize(comment);
+    const std::string trimmed = util::trim(raw);
+    if (!trimmed.empty()) lines.push_back({number, trimmed});
+  }
+  return lines;
+}
+
+/// Splits off the first whitespace-delimited word; returns (word, rest).
+std::pair<std::string, std::string> split_word(const std::string& text) {
+  const auto end = text.find_first_of(" \t");
+  if (end == std::string::npos) return {text, ""};
+  return {text.substr(0, end), util::trim(text.substr(end + 1))};
+}
+
+int parse_int(const Line& line, const std::string& text,
+              const char* what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(line.number,
+                     std::string(what) + " expects an integer, got '" +
+                         text + "'");
+  }
+}
+
+/// Installs a rate/weight expression: constants are folded into the plain
+/// value, marking-dependent expressions become rate functions.
+void set_value(PetriNet& net, TransitionId id, const Expression& expr) {
+  if (!expr.is_constant()) net.set_rate_fn(id, expr.as_rate());
+  // Constant: the value was already passed at construction.
+}
+
+double constant_value(const Line& line, const PetriNet& net,
+                      const std::string& text, const char* what) {
+  try {
+    const auto expr = Expression::parse(text, net);
+    if (!expr.is_constant())
+      throw ParseError(line.number, std::string(what) +
+                                        " must be constant, got '" + text +
+                                        "'");
+    return expr.eval(net.initial_marking());
+  } catch (const ParseError&) {
+    throw;
+  } catch (const NetError& e) {
+    throw ParseError(line.number, e.what());
+  }
+}
+
+}  // namespace
+
+PetriNet parse_dspn(std::istream& input) {
+  const auto lines = logical_lines(input);
+
+  // Pass 1: net name and places (expressions need the full place set).
+  PetriNet net("model");
+  bool named = false;
+  for (const Line& line : lines) {
+    auto [keyword, rest] = split_word(line.text);
+    if (keyword == "net") {
+      if (named) throw ParseError(line.number, "duplicate 'net' line");
+      if (rest.empty())
+        throw ParseError(line.number, "'net' needs a name");
+      net = PetriNet(rest);
+      named = true;
+    } else if (keyword == "place") {
+      auto [name, tail] = split_word(rest);
+      if (name.empty())
+        throw ParseError(line.number, "'place' needs a name");
+      TokenCount initial = 0;
+      if (!tail.empty()) {
+        auto [eq, value] = split_word(tail);
+        if (eq != "=" || value.empty())
+          throw ParseError(line.number,
+                           "place syntax: place <name> [= <tokens>]");
+        initial = static_cast<TokenCount>(
+            parse_int(line, value, "initial marking"));
+      }
+      try {
+        net.add_place(name, initial);
+      } catch (const NetError& e) {
+        throw ParseError(line.number, e.what());
+      }
+    }
+  }
+
+  // Pass 2: transitions, arcs, inhibitors, guards (in file order;
+  // transitions must precede their arcs/guards).
+  for (const Line& line : lines) {
+    auto [keyword, rest] = split_word(line.text);
+    try {
+      if (keyword == "net" || keyword == "place") {
+        // handled in pass 1
+      } else if (keyword == "transition") {
+        auto [name, tail] = split_word(rest);
+        auto [kind, spec] = split_word(tail);
+        if (name.empty() || kind.empty())
+          throw ParseError(line.number,
+                           "transition syntax: transition <name> "
+                           "exp|imm|det ...");
+        if (kind == "exp") {
+          auto [rate_kw, expr_text] = split_word(spec);
+          if (rate_kw != "rate" || expr_text.empty())
+            throw ParseError(line.number,
+                             "exponential syntax: transition <name> exp "
+                             "rate <expr>");
+          const auto expr = Expression::parse(expr_text, net);
+          const double base =
+              expr.is_constant() ? expr.eval(net.initial_marking()) : 1.0;
+          const auto id = net.add_exponential(name, base);
+          set_value(net, id, expr);
+        } else if (kind == "imm") {
+          double weight = 1.0;
+          int priority = 1;
+          std::string weight_expr_text;
+          std::string remaining = spec;
+          while (!remaining.empty()) {
+            auto [option, tail2] = split_word(remaining);
+            if (option == "priority") {
+              auto [value, tail3] = split_word(tail2);
+              priority = parse_int(line, value, "priority");
+              remaining = tail3;
+            } else if (option == "weight") {
+              // The weight expression extends to the end of the line or
+              // to a trailing "priority" clause.
+              const auto prio_pos = tail2.rfind(" priority ");
+              if (prio_pos != std::string::npos) {
+                weight_expr_text = util::trim(tail2.substr(0, prio_pos));
+                auto [pkw, pval] =
+                    split_word(util::trim(tail2.substr(prio_pos + 1)));
+                (void)pkw;
+                priority = parse_int(line, pval, "priority");
+                remaining = "";
+              } else {
+                weight_expr_text = tail2;
+                remaining = "";
+              }
+            } else {
+              throw ParseError(line.number,
+                               "unknown immediate option '" + option + "'");
+            }
+          }
+          TransitionId id{0};
+          if (!weight_expr_text.empty()) {
+            const auto expr = Expression::parse(weight_expr_text, net);
+            weight =
+                expr.is_constant() ? expr.eval(net.initial_marking()) : 1.0;
+            id = net.add_immediate(name, weight, priority);
+            set_value(net, id, expr);
+          } else {
+            id = net.add_immediate(name, weight, priority);
+          }
+        } else if (kind == "det") {
+          auto [delay_kw, expr_text] = split_word(spec);
+          if (delay_kw != "delay" || expr_text.empty())
+            throw ParseError(line.number,
+                             "deterministic syntax: transition <name> det "
+                             "delay <number>");
+          net.add_deterministic(
+              name, constant_value(line, net, expr_text, "delay"));
+        } else {
+          throw ParseError(line.number,
+                           "unknown transition kind '" + kind + "'");
+        }
+      } else if (keyword == "arc") {
+        // arc <from> -> <to> [weight <expr>]
+        auto [from, tail] = split_word(rest);
+        auto [arrow, tail2] = split_word(tail);
+        auto [to, tail3] = split_word(tail2);
+        if (arrow != "->" || from.empty() || to.empty())
+          throw ParseError(line.number,
+                           "arc syntax: arc <from> -> <to> [weight <expr>]");
+        std::string weight_text;
+        if (!tail3.empty()) {
+          auto [weight_kw, expr_text] = split_word(tail3);
+          if (weight_kw != "weight" || expr_text.empty())
+            throw ParseError(line.number,
+                             "arc option must be 'weight <expr>'");
+          weight_text = expr_text;
+        }
+        // Determine direction by what resolves as a place.
+        const bool from_is_place = [&] {
+          try {
+            net.place(from);
+            return true;
+          } catch (const NetError&) {
+            return false;
+          }
+        }();
+        if (from_is_place) {
+          const auto place = net.place(from);
+          const auto transition = net.transition_id(to);
+          if (weight_text.empty()) {
+            net.add_input_arc(transition, place);
+          } else {
+            const auto expr = Expression::parse(weight_text, net);
+            if (expr.is_constant())
+              net.add_input_arc(transition, place,
+                                static_cast<TokenCount>(std::llround(
+                                    expr.eval(net.initial_marking()))));
+            else
+              net.add_input_arc(transition, place, expr.as_arc_weight());
+          }
+        } else {
+          const auto transition = net.transition_id(from);
+          const auto place = net.place(to);
+          if (weight_text.empty()) {
+            net.add_output_arc(transition, place);
+          } else {
+            const auto expr = Expression::parse(weight_text, net);
+            if (expr.is_constant())
+              net.add_output_arc(transition, place,
+                                 static_cast<TokenCount>(std::llround(
+                                     expr.eval(net.initial_marking()))));
+            else
+              net.add_output_arc(transition, place, expr.as_arc_weight());
+          }
+        }
+      } else if (keyword == "inhibit") {
+        // inhibit <place> -o <transition> [weight <int>]
+        auto [place_name, tail] = split_word(rest);
+        auto [arrow, tail2] = split_word(tail);
+        auto [transition_name, tail3] = split_word(tail2);
+        if (arrow != "-o" || place_name.empty() || transition_name.empty())
+          throw ParseError(
+              line.number,
+              "inhibitor syntax: inhibit <place> -o <transition> "
+              "[weight <int>]");
+        TokenCount weight = 1;
+        if (!tail3.empty()) {
+          auto [weight_kw, value] = split_word(tail3);
+          if (weight_kw != "weight" || value.empty())
+            throw ParseError(line.number,
+                             "inhibitor option must be 'weight <int>'");
+          weight = static_cast<TokenCount>(
+              parse_int(line, value, "inhibitor weight"));
+        }
+        net.add_inhibitor_arc(net.transition_id(transition_name),
+                              net.place(place_name), weight);
+      } else if (keyword == "guard") {
+        auto [transition_name, expr_text] = split_word(rest);
+        if (transition_name.empty() || expr_text.empty())
+          throw ParseError(line.number,
+                           "guard syntax: guard <transition> <expr>");
+        const auto expr = Expression::parse(expr_text, net);
+        net.set_guard(net.transition_id(transition_name), expr.as_guard());
+      } else {
+        throw ParseError(line.number,
+                         "unknown statement '" + keyword + "'");
+      }
+    } catch (const ParseError&) {
+      throw;
+    } catch (const NetError& e) {
+      throw ParseError(line.number, e.what());
+    }
+  }
+
+  net.validate();
+  return net;
+}
+
+PetriNet parse_dspn_string(const std::string& text) {
+  std::istringstream stream(text);
+  return parse_dspn(stream);
+}
+
+PetriNet load_dspn_file(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream)
+    throw std::runtime_error("cannot open model file: " + path);
+  return parse_dspn(stream);
+}
+
+std::string to_dspn_text(const PetriNet& net) {
+  std::string out = "net " + net.name() + "\n";
+  for (std::size_t p = 0; p < net.place_count(); ++p) {
+    out += "place " + net.place_name(p);
+    if (net.initial_marking()[p] != 0)
+      out += " = " + std::to_string(net.initial_marking()[p]);
+    out += "\n";
+  }
+  for (std::size_t t = 0; t < net.transition_count(); ++t) {
+    const Transition& tr = net.transition(t);
+    switch (tr.kind) {
+      case TransitionKind::kExponential:
+        out += util::format("transition %s exp rate %.17g",
+                            tr.name.c_str(), tr.value);
+        break;
+      case TransitionKind::kImmediate:
+        out += util::format("transition %s imm weight %.17g priority %d",
+                            tr.name.c_str(), tr.value, tr.priority);
+        break;
+      case TransitionKind::kDeterministic:
+        out += util::format("transition %s det delay %.17g",
+                            tr.name.c_str(), tr.value);
+        break;
+    }
+    if (tr.value_fn)
+      out += "  // marking-dependent rate/weight not serializable";
+    out += "\n";
+    for (const Arc& a : tr.inputs) {
+      out += "arc " + net.place_name(a.place) + " -> " + tr.name;
+      if (a.weight_fn)
+        out += " weight 1  // marking-dependent weight not serializable";
+      else if (a.weight != 1)
+        out += " weight " + std::to_string(a.weight);
+      out += "\n";
+    }
+    for (const Arc& a : tr.outputs) {
+      out += "arc " + tr.name + " -> " + net.place_name(a.place);
+      if (a.weight_fn)
+        out += " weight 1  // marking-dependent weight not serializable";
+      else if (a.weight != 1)
+        out += " weight " + std::to_string(a.weight);
+      out += "\n";
+    }
+    for (const Arc& a : tr.inhibitors) {
+      out += "inhibit " + net.place_name(a.place) + " -o " + tr.name;
+      if (a.weight != 1) out += " weight " + std::to_string(a.weight);
+      out += "\n";
+    }
+    if (tr.guard) out += "// guard on " + tr.name + " not serializable\n";
+  }
+  return out;
+}
+
+}  // namespace nvp::petri

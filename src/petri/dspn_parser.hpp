@@ -1,0 +1,76 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/petri/net.hpp"
+
+namespace nvp::petri {
+
+/// Thrown on malformed model files, annotated with the line number.
+class ParseError : public NetError {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : NetError("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parser for the textual DSPN format — the repository's equivalent of a
+/// TimeNET model file, so nets can be written, versioned, and solved
+/// without recompiling. One statement per line; `//` starts a comment
+/// (`#` is reserved for place markings in expressions).
+///
+///   net workcell
+///   place ok = 2
+///   place worn
+///   place clock = 1
+///   place expired
+///
+///   transition wear exp rate 1/40            // expressions allowed
+///   transition inspect det delay 50
+///   transition service imm priority 2 weight 1
+///   transition heal exp rate 0.5 * #worn     // marking-dependent
+///
+///   arc ok -> wear
+///   arc wear -> worn
+///   arc clock -> inspect
+///   arc inspect -> expired
+///   arc expired -> service
+///   arc service -> clock
+///   arc worn -> service weight #worn         // marking-dependent weight
+///   arc service -> ok weight #worn
+///   inhibit worn -o wear weight 3
+///   guard service #worn >= 0
+///
+/// Rates/weights/guards/arc weights accept the full marking-expression
+/// grammar of expression.hpp. Constant expressions are folded so plain
+/// numeric models carry no evaluation overhead.
+///
+/// Grammar per line (after comment stripping):
+///   net <name>
+///   place <name> [= <int>]
+///   transition <name> exp rate <expr>
+///   transition <name> imm [weight <expr>] [priority <int>]
+///   transition <name> det delay <number-expr>        (must be constant)
+///   arc <place> -> <transition> [weight <expr>]
+///   arc <transition> -> <place> [weight <expr>]
+///   inhibit <place> -o <transition> [weight <int>]
+///   guard <transition> <expr>
+PetriNet parse_dspn(std::istream& input);
+
+/// Parses from a string.
+PetriNet parse_dspn_string(const std::string& text);
+
+/// Loads a model file from disk; throws ParseError / std::runtime_error.
+PetriNet load_dspn_file(const std::string& path);
+
+/// Serializes a net back to the textual format. Marking-dependent
+/// rates/weights/guards installed programmatically (as opposed to parsed
+/// expressions) cannot be recovered and are emitted as comments.
+std::string to_dspn_text(const PetriNet& net);
+
+}  // namespace nvp::petri

@@ -1,0 +1,406 @@
+#include "src/petri/expression.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::petri {
+
+// ---- AST --------------------------------------------------------------------
+
+enum class Op {
+  kConstant,
+  kPlace,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kNot,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+  kMin,
+  kMax,
+  kIf,
+};
+
+struct Expression::Node {
+  Op op = Op::kConstant;
+  double value = 0.0;      // kConstant
+  std::size_t place = 0;   // kPlace
+  std::shared_ptr<const Node> a, b, c;
+};
+
+namespace {
+
+using Node = Expression::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+double eval_node(const Node& n, const Marking& m) {
+  switch (n.op) {
+    case Op::kConstant:
+      return n.value;
+    case Op::kPlace:
+      return static_cast<double>(m[n.place]);
+    case Op::kAdd:
+      return eval_node(*n.a, m) + eval_node(*n.b, m);
+    case Op::kSub:
+      return eval_node(*n.a, m) - eval_node(*n.b, m);
+    case Op::kMul:
+      return eval_node(*n.a, m) * eval_node(*n.b, m);
+    case Op::kDiv: {
+      const double denom = eval_node(*n.b, m);
+      if (denom == 0.0)
+        throw ExpressionError("division by zero in marking expression");
+      return eval_node(*n.a, m) / denom;
+    }
+    case Op::kNeg:
+      return -eval_node(*n.a, m);
+    case Op::kNot:
+      return eval_node(*n.a, m) == 0.0 ? 1.0 : 0.0;
+    case Op::kLt:
+      return eval_node(*n.a, m) < eval_node(*n.b, m) ? 1.0 : 0.0;
+    case Op::kLe:
+      return eval_node(*n.a, m) <= eval_node(*n.b, m) ? 1.0 : 0.0;
+    case Op::kGt:
+      return eval_node(*n.a, m) > eval_node(*n.b, m) ? 1.0 : 0.0;
+    case Op::kGe:
+      return eval_node(*n.a, m) >= eval_node(*n.b, m) ? 1.0 : 0.0;
+    case Op::kEq:
+      return eval_node(*n.a, m) == eval_node(*n.b, m) ? 1.0 : 0.0;
+    case Op::kNe:
+      return eval_node(*n.a, m) != eval_node(*n.b, m) ? 1.0 : 0.0;
+    case Op::kAnd:
+      return (eval_node(*n.a, m) != 0.0 && eval_node(*n.b, m) != 0.0)
+                 ? 1.0
+                 : 0.0;
+    case Op::kOr:
+      return (eval_node(*n.a, m) != 0.0 || eval_node(*n.b, m) != 0.0)
+                 ? 1.0
+                 : 0.0;
+    case Op::kMin:
+      return std::min(eval_node(*n.a, m), eval_node(*n.b, m));
+    case Op::kMax:
+      return std::max(eval_node(*n.a, m), eval_node(*n.b, m));
+    case Op::kIf:
+      return eval_node(*n.a, m) != 0.0 ? eval_node(*n.b, m)
+                                       : eval_node(*n.c, m);
+  }
+  throw ExpressionError("corrupt expression node");
+}
+
+bool node_is_constant(const Node& n) {
+  switch (n.op) {
+    case Op::kConstant:
+      return true;
+    case Op::kPlace:
+      return false;
+    default:
+      break;
+  }
+  if (n.a && !node_is_constant(*n.a)) return false;
+  if (n.b && !node_is_constant(*n.b)) return false;
+  if (n.c && !node_is_constant(*n.c)) return false;
+  return true;
+}
+
+// ---- lexer ------------------------------------------------------------------
+
+enum class TokenKind {
+  kNumber,
+  kHashIdent,  // #Place
+  kIdent,      // function name
+  kOperator,   // one of + - * / ( ) , < <= > >= == != && || !
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  double number = 0.0;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token out = current_;
+    advance();
+    return out;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_])))
+      ++pos_;
+    if (pos_ >= input_.size()) {
+      current_ = {TokenKind::kEnd, 0.0, ""};
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t consumed = 0;
+      current_.kind = TokenKind::kNumber;
+      try {
+        current_.number = std::stod(input_.substr(pos_), &consumed);
+      } catch (const std::exception&) {
+        throw ExpressionError("malformed number at '" +
+                              input_.substr(pos_, 12) + "'");
+      }
+      current_.text = input_.substr(pos_, consumed);
+      pos_ += consumed;
+      return;
+    }
+    if (c == '#') {
+      std::size_t end = pos_ + 1;
+      while (end < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '_'))
+        ++end;
+      if (end == pos_ + 1)
+        throw ExpressionError("'#' must be followed by a place name");
+      current_ = {TokenKind::kHashIdent, 0.0,
+                  input_.substr(pos_ + 1, end - pos_ - 1)};
+      pos_ = end;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '_'))
+        ++end;
+      current_ = {TokenKind::kIdent, 0.0, input_.substr(pos_, end - pos_)};
+      pos_ = end;
+      return;
+    }
+    // Multi-character operators first.
+    for (const char* op : {"<=", ">=", "==", "!=", "&&", "||"}) {
+      if (input_.compare(pos_, 2, op) == 0) {
+        current_ = {TokenKind::kOperator, 0.0, op};
+        pos_ += 2;
+        return;
+      }
+    }
+    if (std::string("+-*/(),<>!").find(c) != std::string::npos) {
+      current_ = {TokenKind::kOperator, 0.0, std::string(1, c)};
+      ++pos_;
+      return;
+    }
+    throw ExpressionError("unexpected character '" + std::string(1, c) +
+                          "' in expression");
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+// ---- parser -----------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const std::string& text, const PetriNet& net)
+      : lexer_(text), net_(net) {}
+
+  NodePtr parse() {
+    NodePtr expr = parse_or();
+    if (lexer_.peek().kind != TokenKind::kEnd)
+      throw ExpressionError("trailing input after expression: '" +
+                            lexer_.peek().text + "'");
+    return expr;
+  }
+
+ private:
+  bool accept_operator(const std::string& op) {
+    if (lexer_.peek().kind == TokenKind::kOperator &&
+        lexer_.peek().text == op) {
+      lexer_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_operator(const std::string& op) {
+    if (!accept_operator(op))
+      throw ExpressionError("expected '" + op + "', got '" +
+                            lexer_.peek().text + "'");
+  }
+
+  static NodePtr make(Op op, NodePtr a = nullptr, NodePtr b = nullptr,
+                      NodePtr c = nullptr) {
+    auto node = std::make_shared<Node>();
+    node->op = op;
+    node->a = std::move(a);
+    node->b = std::move(b);
+    node->c = std::move(c);
+    return node;
+  }
+
+  NodePtr parse_or() {
+    NodePtr left = parse_and();
+    while (accept_operator("||")) left = make(Op::kOr, left, parse_and());
+    return left;
+  }
+
+  NodePtr parse_and() {
+    NodePtr left = parse_comparison();
+    while (accept_operator("&&"))
+      left = make(Op::kAnd, left, parse_comparison());
+    return left;
+  }
+
+  NodePtr parse_comparison() {
+    NodePtr left = parse_additive();
+    static const std::pair<const char*, Op> kOps[] = {
+        {"<=", Op::kLe}, {">=", Op::kGe}, {"==", Op::kEq},
+        {"!=", Op::kNe}, {"<", Op::kLt},  {">", Op::kGt}};
+    for (const auto& [text, op] : kOps)
+      if (accept_operator(text)) return make(op, left, parse_additive());
+    return left;
+  }
+
+  NodePtr parse_additive() {
+    NodePtr left = parse_multiplicative();
+    while (true) {
+      if (accept_operator("+"))
+        left = make(Op::kAdd, left, parse_multiplicative());
+      else if (accept_operator("-"))
+        left = make(Op::kSub, left, parse_multiplicative());
+      else
+        return left;
+    }
+  }
+
+  NodePtr parse_multiplicative() {
+    NodePtr left = parse_unary();
+    while (true) {
+      if (accept_operator("*"))
+        left = make(Op::kMul, left, parse_unary());
+      else if (accept_operator("/"))
+        left = make(Op::kDiv, left, parse_unary());
+      else
+        return left;
+    }
+  }
+
+  NodePtr parse_unary() {
+    if (accept_operator("-")) return make(Op::kNeg, parse_unary());
+    if (accept_operator("!")) return make(Op::kNot, parse_unary());
+    return parse_primary();
+  }
+
+  NodePtr parse_primary() {
+    const Token token = lexer_.take();
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        auto node = std::make_shared<Node>();
+        node->op = Op::kConstant;
+        node->value = token.number;
+        return node;
+      }
+      case TokenKind::kHashIdent: {
+        auto node = std::make_shared<Node>();
+        node->op = Op::kPlace;
+        node->place = net_.place(token.text).index;  // throws if unknown
+        return node;
+      }
+      case TokenKind::kIdent: {
+        if (token.text == "min" || token.text == "max") {
+          expect_operator("(");
+          NodePtr a = parse_or();
+          expect_operator(",");
+          NodePtr b = parse_or();
+          expect_operator(")");
+          return make(token.text == "min" ? Op::kMin : Op::kMax, a, b);
+        }
+        if (token.text == "if") {
+          expect_operator("(");
+          NodePtr cond = parse_or();
+          expect_operator(",");
+          NodePtr then = parse_or();
+          expect_operator(",");
+          NodePtr otherwise = parse_or();
+          expect_operator(")");
+          return make(Op::kIf, cond, then, otherwise);
+        }
+        throw ExpressionError("unknown function or identifier '" +
+                              token.text +
+                              "' (place markings are written #Name)");
+      }
+      case TokenKind::kOperator:
+        if (token.text == "(") {
+          NodePtr inner = parse_or();
+          expect_operator(")");
+          return inner;
+        }
+        throw ExpressionError("unexpected operator '" + token.text + "'");
+      case TokenKind::kEnd:
+        throw ExpressionError("unexpected end of expression");
+    }
+    throw ExpressionError("unreachable");
+  }
+
+  Lexer lexer_;
+  const PetriNet& net_;
+};
+
+}  // namespace
+
+// ---- Expression -----------------------------------------------------------------
+
+Expression::Expression(std::shared_ptr<const Node> root, std::string text)
+    : root_(std::move(root)), text_(std::move(text)) {}
+
+Expression::Expression(Expression&&) noexcept = default;
+Expression& Expression::operator=(Expression&&) noexcept = default;
+Expression::Expression(const Expression&) = default;
+Expression& Expression::operator=(const Expression&) = default;
+Expression::~Expression() = default;
+
+Expression Expression::parse(const std::string& text, const PetriNet& net) {
+  Parser parser(text, net);
+  return Expression(parser.parse(), text);
+}
+
+double Expression::eval(const Marking& marking) const {
+  NVP_EXPECTS(root_ != nullptr);
+  return eval_node(*root_, marking);
+}
+
+bool Expression::is_constant() const {
+  NVP_EXPECTS(root_ != nullptr);
+  return node_is_constant(*root_);
+}
+
+GuardFn Expression::as_guard() const {
+  auto root = root_;
+  return [root](const Marking& m) { return eval_node(*root, m) != 0.0; };
+}
+
+RateFn Expression::as_rate() const {
+  auto root = root_;
+  return [root](const Marking& m) { return eval_node(*root, m); };
+}
+
+ArcWeightFn Expression::as_arc_weight() const {
+  auto root = root_;
+  return [root](const Marking& m) {
+    const double v = eval_node(*root, m);
+    return static_cast<TokenCount>(std::llround(v));
+  };
+}
+
+}  // namespace nvp::petri

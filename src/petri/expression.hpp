@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/petri/net.hpp"
+
+namespace nvp::petri {
+
+/// Thrown on lexical/syntactic/semantic errors in marking expressions.
+class ExpressionError : public NetError {
+ public:
+  explicit ExpressionError(const std::string& what) : NetError(what) {}
+};
+
+/// A marking expression in the TimeNET style: arithmetic over place
+/// markings (`#Place`), numeric literals, comparisons, boolean
+/// connectives, and the helpers `min`, `max`, and `if(cond, a, b)`.
+///
+///   #Pmc / (#Pmc + #Pmh)              — Table I weight w1
+///   (#Pmf + #Pmr) < 1                 — guard g2 with r = 1
+///   if(#Pmc == 0, 0.00001, #Pmc)      — guarded fallback weights
+///
+/// Expressions are parsed once against a net (place names resolve to
+/// indices at parse time) and evaluate in O(nodes) per marking. Boolean
+/// context treats nonzero as true; relational/boolean operators yield
+/// 1.0/0.0. Division by zero evaluates to an ExpressionError at eval time.
+///
+/// The textual DSPN format (dspn_parser.hpp) uses this type for rates,
+/// weights, guards, and arc multiplicities, which is what makes the file
+/// format as expressive as the programmatic API.
+class Expression {
+ public:
+  /// Parses `text` against `net` (for place-name resolution).
+  static Expression parse(const std::string& text, const PetriNet& net);
+
+  Expression(Expression&&) noexcept;
+  Expression& operator=(Expression&&) noexcept;
+  Expression(const Expression&);
+  Expression& operator=(const Expression&);
+  ~Expression();
+
+  /// Numeric value under a marking.
+  double eval(const Marking& marking) const;
+
+  /// Boolean value (nonzero = true).
+  bool eval_bool(const Marking& marking) const { return eval(marking) != 0.0; }
+
+  /// True if the expression references no place (constant).
+  bool is_constant() const;
+
+  /// The source text the expression was parsed from.
+  const std::string& text() const { return text_; }
+
+  /// Adapters for the PetriNet builder API. The returned callables share
+  /// the parsed AST (cheap to copy).
+  GuardFn as_guard() const;
+  RateFn as_rate() const;
+  ArcWeightFn as_arc_weight() const;
+
+  /// Opaque AST node (implementation detail, exposed for the definition in
+  /// expression.cpp only).
+  struct Node;
+
+ private:
+  explicit Expression(std::shared_ptr<const Node> root, std::string text);
+
+  std::shared_ptr<const Node> root_;
+  std::string text_;
+};
+
+}  // namespace nvp::petri

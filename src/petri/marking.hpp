@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace nvp::petri {
+
+/// Number of tokens in one place.
+using TokenCount = std::int32_t;
+
+/// A marking assigns a token count to every place, indexed by PlaceId order.
+using Marking = std::vector<TokenCount>;
+
+/// FNV-1a hash over the token counts, for marking interning.
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (TokenCount t : m) {
+      h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(t));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// Renders a marking as "(a, b, c)" for diagnostics.
+inline std::string to_string(const Marking& m) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(m[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace nvp::petri

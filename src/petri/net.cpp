@@ -1,0 +1,280 @@
+#include "src/petri/net.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::petri {
+
+PlaceId PetriNet::add_place(std::string name, TokenCount initial_tokens) {
+  NVP_EXPECTS(initial_tokens >= 0);
+  for (const auto& existing : place_names_)
+    if (existing == name)
+      throw NetError("duplicate place name: " + name);
+  place_names_.push_back(std::move(name));
+  initial_.push_back(initial_tokens);
+  return PlaceId{place_names_.size() - 1};
+}
+
+TransitionId PetriNet::add_immediate(std::string name, double weight,
+                                     int priority) {
+  if (weight <= 0.0)
+    throw NetError("immediate transition " + name +
+                   " needs a positive weight");
+  Transition t;
+  t.name = std::move(name);
+  t.kind = TransitionKind::kImmediate;
+  t.value = weight;
+  t.priority = priority;
+  transitions_.push_back(std::move(t));
+  return TransitionId{transitions_.size() - 1};
+}
+
+TransitionId PetriNet::add_exponential(std::string name, double rate) {
+  if (rate <= 0.0)
+    throw NetError("exponential transition " + name +
+                   " needs a positive rate");
+  Transition t;
+  t.name = std::move(name);
+  t.kind = TransitionKind::kExponential;
+  t.value = rate;
+  transitions_.push_back(std::move(t));
+  return TransitionId{transitions_.size() - 1};
+}
+
+TransitionId PetriNet::add_deterministic(std::string name, double delay) {
+  if (delay <= 0.0)
+    throw NetError("deterministic transition " + name +
+                   " needs a positive delay");
+  Transition t;
+  t.name = std::move(name);
+  t.kind = TransitionKind::kDeterministic;
+  t.value = delay;
+  transitions_.push_back(std::move(t));
+  return TransitionId{transitions_.size() - 1};
+}
+
+void PetriNet::set_rate_fn(TransitionId t, RateFn fn) {
+  check_transition(t);
+  NVP_EXPECTS(fn != nullptr);
+  auto& tr = transitions_[t.index];
+  if (tr.kind == TransitionKind::kDeterministic)
+    throw NetError("deterministic transition " + tr.name +
+                   " cannot have a marking-dependent delay");
+  tr.value_fn = std::move(fn);
+}
+
+void PetriNet::set_guard(TransitionId t, GuardFn guard) {
+  check_transition(t);
+  NVP_EXPECTS(guard != nullptr);
+  transitions_[t.index].guard = std::move(guard);
+}
+
+void PetriNet::add_input_arc(TransitionId t, PlaceId p, TokenCount weight) {
+  check_transition(t);
+  check_place(p);
+  if (weight <= 0) throw NetError("input arc weight must be positive");
+  transitions_[t.index].inputs.push_back(Arc{p.index, weight, nullptr});
+}
+
+void PetriNet::add_input_arc(TransitionId t, PlaceId p, ArcWeightFn weight) {
+  check_transition(t);
+  check_place(p);
+  NVP_EXPECTS(weight != nullptr);
+  transitions_[t.index].inputs.push_back(Arc{p.index, 1, std::move(weight)});
+}
+
+void PetriNet::add_output_arc(TransitionId t, PlaceId p, TokenCount weight) {
+  check_transition(t);
+  check_place(p);
+  if (weight <= 0) throw NetError("output arc weight must be positive");
+  transitions_[t.index].outputs.push_back(Arc{p.index, weight, nullptr});
+}
+
+void PetriNet::add_output_arc(TransitionId t, PlaceId p, ArcWeightFn weight) {
+  check_transition(t);
+  check_place(p);
+  NVP_EXPECTS(weight != nullptr);
+  transitions_[t.index].outputs.push_back(Arc{p.index, 1, std::move(weight)});
+}
+
+void PetriNet::add_inhibitor_arc(TransitionId t, PlaceId p,
+                                 TokenCount weight) {
+  check_transition(t);
+  check_place(p);
+  if (weight <= 0) throw NetError("inhibitor arc weight must be positive");
+  transitions_[t.index].inhibitors.push_back(Arc{p.index, weight, nullptr});
+}
+
+void PetriNet::set_initial_tokens(PlaceId p, TokenCount tokens) {
+  check_place(p);
+  NVP_EXPECTS(tokens >= 0);
+  initial_[p.index] = tokens;
+}
+
+const std::string& PetriNet::place_name(std::size_t p) const {
+  NVP_EXPECTS(p < place_names_.size());
+  return place_names_[p];
+}
+
+const Transition& PetriNet::transition(std::size_t t) const {
+  NVP_EXPECTS(t < transitions_.size());
+  return transitions_[t];
+}
+
+PlaceId PetriNet::place(const std::string& name) const {
+  for (std::size_t i = 0; i < place_names_.size(); ++i)
+    if (place_names_[i] == name) return PlaceId{i};
+  throw NetError("unknown place: " + name);
+}
+
+TransitionId PetriNet::transition_id(const std::string& name) const {
+  for (std::size_t i = 0; i < transitions_.size(); ++i)
+    if (transitions_[i].name == name) return TransitionId{i};
+  throw NetError("unknown transition: " + name);
+}
+
+bool PetriNet::is_enabled(std::size_t t, const Marking& m) const {
+  NVP_EXPECTS(t < transitions_.size());
+  NVP_EXPECTS(m.size() == place_names_.size());
+  const Transition& tr = transitions_[t];
+  if (tr.guard && !tr.guard(m)) return false;
+  for (const Arc& a : tr.inputs) {
+    const TokenCount w = a.eval(m);
+    if (w < 0)
+      throw NetError("negative input-arc weight on " + tr.name);
+    if (m[a.place] < w) return false;
+  }
+  for (const Arc& a : tr.inhibitors) {
+    const TokenCount w = a.eval(m);
+    if (w <= 0)
+      throw NetError("non-positive inhibitor-arc weight on " + tr.name);
+    if (m[a.place] >= w) return false;
+  }
+  return true;
+}
+
+double PetriNet::rate_or_weight(std::size_t t, const Marking& m) const {
+  NVP_EXPECTS(t < transitions_.size());
+  const Transition& tr = transitions_[t];
+  NVP_EXPECTS_MSG(tr.kind != TransitionKind::kDeterministic,
+                  "use deterministic_delay() for deterministic transitions");
+  const double v = tr.value_fn ? tr.value_fn(m) : tr.value;
+  if (!(v > 0.0))
+    throw NetError("transition " + tr.name +
+                   " has non-positive rate/weight in marking " +
+                   to_string(m));
+  return v;
+}
+
+double PetriNet::deterministic_delay(std::size_t t) const {
+  NVP_EXPECTS(t < transitions_.size());
+  const Transition& tr = transitions_[t];
+  NVP_EXPECTS(tr.kind == TransitionKind::kDeterministic);
+  return tr.value;
+}
+
+Marking PetriNet::fire(std::size_t t, const Marking& m) const {
+  if (!is_enabled(t, m))
+    throw NetError("firing disabled transition " + transitions_[t].name +
+                   " in marking " + to_string(m));
+  const Transition& tr = transitions_[t];
+  Marking out = m;
+  // All multiplicities are evaluated on the pre-firing marking m, then the
+  // update is applied atomically.
+  for (const Arc& a : tr.inputs) out[a.place] -= a.eval(m);
+  for (const Arc& a : tr.outputs) {
+    const TokenCount w = a.eval(m);
+    if (w < 0)
+      throw NetError("negative output-arc weight on " + tr.name);
+    out[a.place] += w;
+  }
+  for (TokenCount v : out)
+    if (v < 0)
+      throw NetError("negative marking after firing " + tr.name + " in " +
+                     to_string(m));
+  return out;
+}
+
+std::vector<std::size_t> PetriNet::enabled_immediates(const Marking& m) const {
+  std::vector<std::size_t> ids;
+  int best_priority = 0;
+  for (std::size_t t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].kind != TransitionKind::kImmediate) continue;
+    if (!is_enabled(t, m)) continue;
+    const int prio = transitions_[t].priority;
+    if (ids.empty() || prio > best_priority) {
+      ids.clear();
+      best_priority = prio;
+      ids.push_back(t);
+    } else if (prio == best_priority) {
+      ids.push_back(t);
+    }
+  }
+  return ids;
+}
+
+std::vector<std::size_t> PetriNet::enabled_exponentials(
+    const Marking& m) const {
+  std::vector<std::size_t> ids;
+  for (std::size_t t = 0; t < transitions_.size(); ++t)
+    if (transitions_[t].kind == TransitionKind::kExponential &&
+        is_enabled(t, m))
+      ids.push_back(t);
+  return ids;
+}
+
+std::vector<std::size_t> PetriNet::enabled_deterministics(
+    const Marking& m) const {
+  std::vector<std::size_t> ids;
+  for (std::size_t t = 0; t < transitions_.size(); ++t)
+    if (transitions_[t].kind == TransitionKind::kDeterministic &&
+        is_enabled(t, m))
+      ids.push_back(t);
+  return ids;
+}
+
+bool PetriNet::is_vanishing(const Marking& m) const {
+  for (std::size_t t = 0; t < transitions_.size(); ++t)
+    if (transitions_[t].kind == TransitionKind::kImmediate &&
+        is_enabled(t, m))
+      return true;
+  return false;
+}
+
+void PetriNet::validate() const {
+  std::set<std::string> names;
+  for (const auto& n : place_names_)
+    if (!names.insert(n).second)
+      throw NetError("duplicate place name: " + n);
+  names.clear();
+  for (const auto& tr : transitions_) {
+    if (!names.insert(tr.name).second)
+      throw NetError("duplicate transition name: " + tr.name);
+    if (tr.kind != TransitionKind::kDeterministic && !tr.value_fn &&
+        tr.value <= 0.0)
+      throw NetError("transition " + tr.name +
+                     " has non-positive rate/weight");
+    if (tr.kind == TransitionKind::kDeterministic && tr.value <= 0.0)
+      throw NetError("deterministic transition " + tr.name +
+                     " has non-positive delay");
+    for (const auto* arcs : {&tr.inputs, &tr.outputs, &tr.inhibitors})
+      for (const Arc& a : *arcs)
+        if (a.place >= place_names_.size())
+          throw NetError("arc on " + tr.name + " references invalid place");
+  }
+  if (place_names_.empty()) throw NetError("net has no places");
+}
+
+void PetriNet::check_place(PlaceId p) const {
+  if (p.index >= place_names_.size())
+    throw NetError("invalid place id");
+}
+
+void PetriNet::check_transition(TransitionId t) const {
+  if (t.index >= transitions_.size())
+    throw NetError("invalid transition id");
+}
+
+}  // namespace nvp::petri

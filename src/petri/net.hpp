@@ -1,0 +1,192 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/petri/marking.hpp"
+
+namespace nvp::petri {
+
+/// Strongly-typed handle to a place.
+struct PlaceId {
+  std::size_t index;
+};
+
+/// Strongly-typed handle to a transition.
+struct TransitionId {
+  std::size_t index;
+};
+
+/// DSPN transition classes. Immediate transitions fire in zero time with
+/// priority/weight conflict resolution; exponential transitions fire after an
+/// exponentially distributed delay; deterministic transitions fire after a
+/// constant delay with enabling-memory semantics (the timer keeps running
+/// while the transition stays enabled and resets when it gets disabled).
+enum class TransitionKind { kImmediate, kExponential, kDeterministic };
+
+/// Guard predicate over markings; a transition with a guard is enabled only
+/// when the guard holds (TimeNET "enabling function").
+using GuardFn = std::function<bool(const Marking&)>;
+
+/// Marking-dependent exponential rate or immediate weight.
+using RateFn = std::function<double(const Marking&)>;
+
+/// Marking-dependent arc multiplicity.
+using ArcWeightFn = std::function<TokenCount(const Marking&)>;
+
+/// Thrown when a net definition or an operation on it is invalid.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One arc endpoint with a constant or marking-dependent multiplicity.
+struct Arc {
+  std::size_t place;
+  TokenCount weight = 1;
+  ArcWeightFn weight_fn;  // overrides `weight` when set
+
+  /// Multiplicity under the given marking (always evaluated on the marking
+  /// in which the transition fires).
+  TokenCount eval(const Marking& m) const {
+    return weight_fn ? weight_fn(m) : weight;
+  }
+};
+
+/// Full description of one transition.
+struct Transition {
+  std::string name;
+  TransitionKind kind = TransitionKind::kExponential;
+  double value = 1.0;  // rate (exponential), weight (immediate), delay (det.)
+  RateFn value_fn;     // marking-dependent rate/weight; unused for det.
+  int priority = 1;    // immediate transitions only; higher fires first
+  GuardFn guard;       // optional enabling function
+  std::vector<Arc> inputs;
+  std::vector<Arc> outputs;
+  std::vector<Arc> inhibitors;
+};
+
+/// A Deterministic & Stochastic Petri Net. Built incrementally through the
+/// add_* methods; afterwards it answers enabledness/firing queries used by
+/// the reachability generator (analytic pipeline) and the discrete-event
+/// simulator.
+///
+/// Semantics implemented (matching the TimeNET feature subset the paper
+/// uses):
+///  * guards ("enabling functions") over the current marking;
+///  * marking-dependent exponential rates and immediate weights;
+///  * marking-dependent arc multiplicities, evaluated atomically on the
+///    pre-firing marking;
+///  * inhibitor arcs (transition disabled when tokens >= arc weight);
+///  * immediate priority levels; conflicts within a level are resolved
+///    probabilistically by normalized weights;
+///  * deterministic transitions with constant delay and enabling memory.
+class PetriNet {
+ public:
+  explicit PetriNet(std::string name = "net") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // ---- construction -----------------------------------------------------
+
+  /// Adds a place with an initial token count. Names must be unique.
+  PlaceId add_place(std::string name, TokenCount initial_tokens = 0);
+
+  /// Adds an immediate transition with constant weight and priority.
+  TransitionId add_immediate(std::string name, double weight = 1.0,
+                             int priority = 1);
+
+  /// Adds an exponential transition with constant rate (> 0).
+  TransitionId add_exponential(std::string name, double rate);
+
+  /// Adds a deterministic transition with constant delay (> 0).
+  TransitionId add_deterministic(std::string name, double delay);
+
+  /// Installs a marking-dependent rate (exponential) or weight (immediate).
+  /// The function must return a strictly positive value whenever the
+  /// transition is enabled. Not allowed for deterministic transitions.
+  void set_rate_fn(TransitionId t, RateFn fn);
+
+  /// Installs a guard; the transition is enabled only when it returns true.
+  void set_guard(TransitionId t, GuardFn guard);
+
+  /// Input arc: firing requires (and consumes) `weight` tokens.
+  void add_input_arc(TransitionId t, PlaceId p, TokenCount weight = 1);
+  void add_input_arc(TransitionId t, PlaceId p, ArcWeightFn weight);
+
+  /// Output arc: firing produces `weight` tokens.
+  void add_output_arc(TransitionId t, PlaceId p, TokenCount weight = 1);
+  void add_output_arc(TransitionId t, PlaceId p, ArcWeightFn weight);
+
+  /// Inhibitor arc: the transition is disabled while the place holds at
+  /// least `weight` tokens.
+  void add_inhibitor_arc(TransitionId t, PlaceId p, TokenCount weight = 1);
+
+  /// Overrides the initial token count of a place.
+  void set_initial_tokens(PlaceId p, TokenCount tokens);
+
+  // ---- introspection ----------------------------------------------------
+
+  std::size_t place_count() const { return place_names_.size(); }
+  std::size_t transition_count() const { return transitions_.size(); }
+  const std::string& place_name(std::size_t p) const;
+  const Transition& transition(std::size_t t) const;
+
+  /// Looks up a place by name; throws NetError if absent.
+  PlaceId place(const std::string& name) const;
+
+  /// Looks up a transition by name; throws NetError if absent.
+  TransitionId transition_id(const std::string& name) const;
+
+  /// The initial marking (one entry per place, in creation order).
+  Marking initial_marking() const { return initial_; }
+
+  // ---- dynamics ---------------------------------------------------------
+
+  /// True if transition t is enabled in marking m (guard, input arcs, and
+  /// inhibitor arcs all satisfied).
+  bool is_enabled(std::size_t t, const Marking& m) const;
+
+  /// Exponential rate or immediate weight of t in marking m. Must only be
+  /// called when t is enabled; throws NetError on non-positive values.
+  double rate_or_weight(std::size_t t, const Marking& m) const;
+
+  /// Constant delay of a deterministic transition.
+  double deterministic_delay(std::size_t t) const;
+
+  /// Fires t in m (must be enabled) and returns the successor marking. All
+  /// arc multiplicities are evaluated on m. Throws NetError if a place would
+  /// go negative.
+  Marking fire(std::size_t t, const Marking& m) const;
+
+  /// Indices of enabled immediate transitions restricted to the highest
+  /// enabled priority level; empty if the marking is tangible.
+  std::vector<std::size_t> enabled_immediates(const Marking& m) const;
+
+  /// Indices of enabled exponential transitions.
+  std::vector<std::size_t> enabled_exponentials(const Marking& m) const;
+
+  /// Indices of enabled deterministic transitions.
+  std::vector<std::size_t> enabled_deterministics(const Marking& m) const;
+
+  /// True if any immediate transition is enabled (i.e. m is vanishing).
+  bool is_vanishing(const Marking& m) const;
+
+  /// Structural sanity checks (unique names, arcs reference valid places,
+  /// positive constants). Throws NetError on the first problem.
+  void validate() const;
+
+ private:
+  void check_place(PlaceId p) const;
+  void check_transition(TransitionId t) const;
+
+  std::string name_;
+  std::vector<std::string> place_names_;
+  Marking initial_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace nvp::petri

@@ -1,0 +1,150 @@
+#include "src/petri/reachability.hpp"
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::petri {
+
+namespace {
+
+/// Exploration context shared by the recursive vanishing elimination.
+struct Explorer {
+  const PetriNet& net;
+  const ReachabilityOptions& opts;
+  std::vector<Marking>& markings;
+  std::unordered_map<Marking, std::size_t, MarkingHash>& index;
+  std::deque<std::size_t>& frontier;
+  // Memoized tangible-successor distributions of vanishing markings.
+  std::unordered_map<Marking, std::vector<ProbEdge>, MarkingHash> memo;
+  // Markings on the current immediate-firing path (cycle detection).
+  std::unordered_set<Marking, MarkingHash> path;
+
+  std::size_t intern(const Marking& m) {
+    auto it = index.find(m);
+    if (it != index.end()) return it->second;
+    if (markings.size() >= opts.max_tangible_states)
+      throw NetError("reachability: tangible state limit (" +
+                     std::to_string(opts.max_tangible_states) +
+                     ") exceeded");
+    const std::size_t id = markings.size();
+    markings.push_back(m);
+    index.emplace(m, id);
+    frontier.push_back(id);
+    return id;
+  }
+
+  /// Distribution over tangible states reachable from `m` by firing
+  /// immediate transitions only.
+  std::vector<ProbEdge> resolve(const Marking& m, std::size_t depth) {
+    if (depth > opts.max_vanishing_depth)
+      throw NetError("reachability: immediate-firing chain exceeds depth " +
+                     std::to_string(opts.max_vanishing_depth));
+    const auto imms = net.enabled_immediates(m);
+    if (imms.empty()) return {{intern(m), 1.0}};
+
+    if (auto it = memo.find(m); it != memo.end()) return it->second;
+    if (!path.insert(m).second)
+      throw NetError(
+          "reachability: cyclic immediate firing sequence at marking " +
+          to_string(m) +
+          " (vanishing loops are not supported by the stationary solvers)");
+
+    double total_weight = 0.0;
+    std::vector<double> weights(imms.size());
+    for (std::size_t i = 0; i < imms.size(); ++i) {
+      weights[i] = net.rate_or_weight(imms[i], m);
+      total_weight += weights[i];
+    }
+    NVP_ASSERT(total_weight > 0.0);
+
+    std::map<std::size_t, double> acc;
+    for (std::size_t i = 0; i < imms.size(); ++i) {
+      const double p = weights[i] / total_weight;
+      const Marking next = net.fire(imms[i], m);
+      for (const ProbEdge& e : resolve(next, depth + 1))
+        acc[e.target] += p * e.prob;
+    }
+    path.erase(m);
+
+    std::vector<ProbEdge> dist;
+    dist.reserve(acc.size());
+    for (const auto& [target, prob] : acc) dist.push_back({target, prob});
+    memo.emplace(m, dist);
+    return dist;
+  }
+};
+
+}  // namespace
+
+TangibleReachabilityGraph TangibleReachabilityGraph::build(
+    const PetriNet& net, const ReachabilityOptions& opts) {
+  net.validate();
+  TangibleReachabilityGraph g;
+  std::deque<std::size_t> frontier;
+  Explorer ex{net, opts, g.markings_, g.index_, frontier, {}, {}};
+
+  g.initial_ = ex.resolve(net.initial_marking(), 0);
+
+  while (!frontier.empty()) {
+    const std::size_t s = frontier.front();
+    frontier.pop_front();
+    // `markings_` may grow (and reallocate) during resolution; take a copy.
+    const Marking m = g.markings_[s];
+
+    if (g.exp_edges_.size() <= s) {
+      g.exp_edges_.resize(g.markings_.size());
+      g.det_info_.resize(g.markings_.size());
+    }
+
+    std::map<std::size_t, double> rate_acc;
+    for (std::size_t t : net.enabled_exponentials(m)) {
+      const double rate = net.rate_or_weight(t, m);
+      const Marking next = net.fire(t, m);
+      for (const ProbEdge& e : ex.resolve(next, 0))
+        rate_acc[e.target] += rate * e.prob;
+    }
+
+    std::vector<DeterministicInfo> dets;
+    for (std::size_t t : net.enabled_deterministics(m)) {
+      DeterministicInfo info;
+      info.transition = t;
+      info.delay = net.deterministic_delay(t);
+      const Marking next = net.fire(t, m);
+      info.edges = ex.resolve(next, 0);
+      dets.push_back(std::move(info));
+    }
+
+    if (g.exp_edges_.size() < g.markings_.size()) {
+      g.exp_edges_.resize(g.markings_.size());
+      g.det_info_.resize(g.markings_.size());
+    }
+    auto& edges = g.exp_edges_[s];
+    edges.clear();
+    for (const auto& [target, rate] : rate_acc)
+      edges.push_back({target, rate});
+    g.det_info_[s] = std::move(dets);
+    if (!g.det_info_[s].empty()) g.has_det_ = true;
+  }
+
+  g.exp_edges_.resize(g.markings_.size());
+  g.det_info_.resize(g.markings_.size());
+  g.exit_rates_.resize(g.markings_.size(), 0.0);
+  for (std::size_t s = 0; s < g.markings_.size(); ++s) {
+    double sum = 0.0;
+    for (const RateEdge& e : g.exp_edges_[s]) sum += e.rate;
+    g.exit_rates_[s] = sum;
+  }
+  return g;
+}
+
+std::optional<std::size_t> TangibleReachabilityGraph::find(
+    const Marking& m) const {
+  auto it = index_.find(m);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace nvp::petri

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/petri/net.hpp"
+
+namespace nvp::petri {
+
+/// Limits for state-space exploration.
+struct ReachabilityOptions {
+  std::size_t max_tangible_states = 200000;
+  /// Maximum chain length of immediate firings from one timed firing; longer
+  /// chains indicate an immediate livelock and abort the build.
+  std::size_t max_vanishing_depth = 10000;
+};
+
+/// Exponential transition edge between tangible states (rates of parallel
+/// paths to the same target are summed).
+struct RateEdge {
+  std::size_t target;
+  double rate;
+};
+
+/// Probability-weighted edge (initial distribution, deterministic switch).
+struct ProbEdge {
+  std::size_t target;
+  double prob;
+};
+
+/// Deterministic transition enabled in a tangible state, together with the
+/// distribution over tangible successors produced by its firing (after
+/// eliminating vanishing markings).
+struct DeterministicInfo {
+  std::size_t transition;  // index into the net's transitions
+  double delay;
+  std::vector<ProbEdge> edges;
+};
+
+/// The tangible reachability graph of a DSPN: vanishing markings (those with
+/// an enabled immediate transition) are eliminated on the fly, so the result
+/// is exactly the process the Markov solvers need — exponential rate edges
+/// between tangible markings plus, per state, the enabled deterministic
+/// transitions and their firing-switch distributions.
+///
+/// Immediate conflicts are resolved by priority then normalized weights;
+/// cyclic immediate firing sequences are rejected (NetError), matching the
+/// restriction in TimeNET's stationary analysis of well-specified nets.
+class TangibleReachabilityGraph {
+ public:
+  /// Explores the net from its initial marking.
+  static TangibleReachabilityGraph build(const PetriNet& net,
+                                         const ReachabilityOptions& opts = {});
+
+  /// Number of tangible states.
+  std::size_t size() const { return markings_.size(); }
+
+  /// Marking of tangible state s.
+  const Marking& marking(std::size_t s) const { return markings_[s]; }
+
+  /// Distribution over tangible states reached from the (possibly vanishing)
+  /// initial marking.
+  const std::vector<ProbEdge>& initial_distribution() const {
+    return initial_;
+  }
+
+  /// Outgoing exponential edges of state s (aggregated per target).
+  const std::vector<RateEdge>& exponential_edges(std::size_t s) const {
+    return exp_edges_[s];
+  }
+
+  /// Sum of outgoing exponential rates of state s.
+  double exit_rate(std::size_t s) const { return exit_rates_[s]; }
+
+  /// Deterministic transitions enabled in state s (usually 0 or 1).
+  const std::vector<DeterministicInfo>& deterministics(std::size_t s) const {
+    return det_info_[s];
+  }
+
+  /// True if any tangible state enables a deterministic transition.
+  bool has_deterministic() const { return has_det_; }
+
+  /// Index of a tangible marking, if reachable.
+  std::optional<std::size_t> find(const Marking& m) const;
+
+  /// States where a given predicate on the marking holds.
+  template <typename Pred>
+  std::vector<std::size_t> states_where(Pred&& pred) const {
+    std::vector<std::size_t> out;
+    for (std::size_t s = 0; s < markings_.size(); ++s)
+      if (pred(markings_[s])) out.push_back(s);
+    return out;
+  }
+
+ private:
+  std::vector<Marking> markings_;
+  std::unordered_map<Marking, std::size_t, MarkingHash> index_;
+  std::vector<std::vector<RateEdge>> exp_edges_;
+  std::vector<double> exit_rates_;
+  std::vector<std::vector<DeterministicInfo>> det_info_;
+  std::vector<ProbEdge> initial_;
+  bool has_det_ = false;
+};
+
+}  // namespace nvp::petri

@@ -1,0 +1,228 @@
+#include "src/petri/structural.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+#include "src/util/string_util.hpp"
+
+namespace nvp::petri {
+
+InvariantReport check_token_invariant(const TangibleReachabilityGraph& g,
+                                      const std::vector<double>& weights) {
+  NVP_EXPECTS(g.size() > 0);
+  NVP_EXPECTS(weights.size() == g.marking(0).size());
+  auto weighted_sum = [&](const Marking& m) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i)
+      s += weights[i] * static_cast<double>(m[i]);
+    return s;
+  };
+  InvariantReport rep;
+  rep.expected = weighted_sum(g.marking(0));
+  for (std::size_t s = 1; s < g.size(); ++s) {
+    const double v = weighted_sum(g.marking(s));
+    if (std::fabs(v - rep.expected) > 1e-9) {
+      rep.holds = false;
+      rep.violating_state = s;
+      rep.observed = v;
+      return rep;
+    }
+  }
+  rep.observed = rep.expected;
+  return rep;
+}
+
+std::vector<TokenCount> place_bounds(const TangibleReachabilityGraph& g) {
+  NVP_EXPECTS(g.size() > 0);
+  std::vector<TokenCount> bounds(g.marking(0).size(), 0);
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    const Marking& m = g.marking(s);
+    for (std::size_t p = 0; p < m.size(); ++p)
+      bounds[p] = std::max(bounds[p], m[p]);
+  }
+  return bounds;
+}
+
+GraphStats graph_stats(const TangibleReachabilityGraph& g) {
+  GraphStats st;
+  st.states = g.size();
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    st.exponential_edges += g.exponential_edges(s).size();
+    if (!g.deterministics(s).empty()) ++st.states_with_deterministic;
+    if (g.exponential_edges(s).empty() && g.deterministics(s).empty())
+      ++st.absorbing_states;
+    st.max_exit_rate = std::max(st.max_exit_rate, g.exit_rate(s));
+  }
+  return st;
+}
+
+std::vector<std::vector<double>> incidence_matrix(const PetriNet& net) {
+  const std::size_t places = net.place_count();
+  std::vector<std::vector<double>> c(net.transition_count(),
+                                     std::vector<double>(places, 0.0));
+  for (std::size_t t = 0; t < net.transition_count(); ++t) {
+    const Transition& tr = net.transition(t);
+    for (const Arc& a : tr.inputs) {
+      if (a.weight_fn)
+        throw NetError("incidence_matrix: transition " + tr.name +
+                       " has a marking-dependent input arc");
+      c[t][a.place] -= static_cast<double>(a.weight);
+    }
+    for (const Arc& a : tr.outputs) {
+      if (a.weight_fn)
+        throw NetError("incidence_matrix: transition " + tr.name +
+                       " has a marking-dependent output arc");
+      c[t][a.place] += static_cast<double>(a.weight);
+    }
+  }
+  return c;
+}
+
+namespace {
+
+/// Greatest common divisor of the non-zero magnitudes in a row, for
+/// canonicalizing candidate invariants.
+long long row_gcd(const std::vector<double>& row) {
+  long long g = 0;
+  for (double v : row) {
+    const auto x = static_cast<long long>(std::llround(std::fabs(v)));
+    if (x == 0) continue;
+    long long a = g, b = x;
+    while (b != 0) {
+      const long long r = a % b;
+      a = b;
+      b = r;
+    }
+    g = a == 0 ? x : a;
+  }
+  return g == 0 ? 1 : g;
+}
+
+bool support_subset(const std::vector<double>& small,
+                    const std::vector<double>& large) {
+  for (std::size_t p = 0; p < small.size(); ++p)
+    if (small[p] != 0.0 && large[p] == 0.0) return false;
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Farkas elimination: minimal non-negative integer vectors y (over
+/// `items` components) with y^T R = 0, where R is items x dims. Rows start
+/// as the identity annotated with their residual R[i], and each residual
+/// dimension is eliminated by combining rows of opposite sign.
+std::vector<std::vector<double>> farkas(
+    const std::vector<std::vector<double>>& residual_matrix,
+    std::size_t max_invariants, const char* what) {
+  const std::size_t items = residual_matrix.size();
+  const std::size_t dims = items == 0 ? 0 : residual_matrix[0].size();
+
+  struct Row {
+    std::vector<double> y;
+    std::vector<double> residual;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < items; ++i) {
+    Row row;
+    row.y.assign(items, 0.0);
+    row.y[i] = 1.0;
+    row.residual = residual_matrix[i];
+    rows.push_back(std::move(row));
+  }
+
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::vector<Row> next;
+    for (const Row& row : rows)
+      if (row.residual[d] == 0.0) next.push_back(row);
+    for (const Row& pos : rows) {
+      if (pos.residual[d] <= 0.0) continue;
+      for (const Row& neg : rows) {
+        if (neg.residual[d] >= 0.0) continue;
+        Row combo;
+        combo.y.resize(items);
+        combo.residual.resize(dims);
+        const double a = -neg.residual[d];
+        const double b = pos.residual[d];
+        for (std::size_t i = 0; i < items; ++i)
+          combo.y[i] = a * pos.y[i] + b * neg.y[i];
+        for (std::size_t u = 0; u < dims; ++u)
+          combo.residual[u] = a * pos.residual[u] + b * neg.residual[u];
+        const auto g = static_cast<double>(row_gcd(combo.y));
+        for (double& v : combo.y) v /= g;
+        for (double& v : combo.residual) v /= g;
+        next.push_back(std::move(combo));
+        if (next.size() > max_invariants * 8)
+          throw NetError(std::string(what) +
+                         ": intermediate row explosion; raise "
+                         "max_invariants or simplify the net");
+      }
+    }
+    rows = std::move(next);
+  }
+
+  // Minimize: drop zero rows, rows with strictly containing support, and
+  // duplicates.
+  std::vector<std::vector<double>> result;
+  for (const Row& row : rows) {
+    bool zero = true;
+    for (double v : row.y) zero &= v == 0.0;
+    if (!zero) result.push_back(row.y);
+  }
+  std::vector<std::vector<double>> minimal;
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    bool keep = true;
+    for (std::size_t j = 0; j < result.size() && keep; ++j) {
+      if (i == j) continue;
+      if (support_subset(result[j], result[i]) &&
+          !support_subset(result[i], result[j]))
+        keep = false;
+    }
+    for (std::size_t j = 0; j < i && keep; ++j)
+      if (result[j] == result[i]) keep = false;
+    if (keep) minimal.push_back(result[i]);
+    if (minimal.size() >= max_invariants) break;
+  }
+  return minimal;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> p_semiflows(const PetriNet& net,
+                                             std::size_t max_invariants) {
+  const auto c = incidence_matrix(net);  // transitions x places
+  // Residuals for place i: column i of C across transitions.
+  std::vector<std::vector<double>> residuals(
+      net.place_count(), std::vector<double>(net.transition_count()));
+  for (std::size_t p = 0; p < net.place_count(); ++p)
+    for (std::size_t t = 0; t < net.transition_count(); ++t)
+      residuals[p][t] = c[t][p];
+  return farkas(residuals, max_invariants, "p_semiflows");
+}
+
+std::vector<std::vector<double>> t_semiflows(const PetriNet& net,
+                                             std::size_t max_invariants) {
+  const auto c = incidence_matrix(net);  // transitions x places
+  return farkas(c, max_invariants, "t_semiflows");
+}
+
+std::vector<std::size_t> dead_markings(const TangibleReachabilityGraph& g) {
+  std::vector<std::size_t> dead;
+  for (std::size_t s = 0; s < g.size(); ++s)
+    if (g.exponential_edges(s).empty() && g.deterministics(s).empty())
+      dead.push_back(s);
+  return dead;
+}
+
+std::string describe(const GraphStats& s) {
+  return util::format(
+      "tangible states: %zu, exponential edges: %zu, states with "
+      "deterministic transition: %zu, absorbing states: %zu, max exit rate: "
+      "%.6g",
+      s.states, s.exponential_edges, s.states_with_deterministic,
+      s.absorbing_states, s.max_exit_rate);
+}
+
+}  // namespace nvp::petri

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/petri/reachability.hpp"
+
+namespace nvp::petri {
+
+/// Result of checking a weighted token invariant over the reachable markings.
+struct InvariantReport {
+  bool holds = true;
+  /// First violating state (valid only when !holds).
+  std::size_t violating_state = 0;
+  double expected = 0.0;
+  double observed = 0.0;
+};
+
+/// Checks that sum_i weights[i] * marking[i] is the same in every tangible
+/// reachable marking (a P-semiflow check over the explored state space).
+/// `weights` must have one entry per place.
+InvariantReport check_token_invariant(const TangibleReachabilityGraph& g,
+                                      const std::vector<double>& weights);
+
+/// Per-place maximum token count over the reachable tangible markings
+/// (empirical bound; a bounded net has finite entries by construction).
+std::vector<TokenCount> place_bounds(const TangibleReachabilityGraph& g);
+
+/// Summary of the reachability graph used by diagnostics and benches.
+struct GraphStats {
+  std::size_t states = 0;
+  std::size_t exponential_edges = 0;
+  std::size_t states_with_deterministic = 0;
+  std::size_t absorbing_states = 0;  // no outgoing exponential or det edges
+  double max_exit_rate = 0.0;
+};
+
+GraphStats graph_stats(const TangibleReachabilityGraph& g);
+
+/// Human-readable dump of a graph's statistics.
+std::string describe(const GraphStats& s);
+
+/// Incidence matrix C of a net with constant arc multiplicities:
+/// C[t][p] = (output weight) - (input weight) of transition t on place p.
+/// Throws NetError if any arc has a marking-dependent multiplicity (its
+/// incidence is not constant).
+std::vector<std::vector<double>> incidence_matrix(const PetriNet& net);
+
+/// Minimal-support P-semiflows (place invariants) of a net with constant
+/// arcs, computed by the Farkas algorithm: non-negative integer vectors y
+/// with y^T C^T = 0, i.e. sum_p y[p] * marking[p] is constant under every
+/// firing. The module-conservation and clock-token invariants of the
+/// perception models are instances. Throws NetError on marking-dependent
+/// arcs; cap the result with `max_invariants` against pathological nets.
+std::vector<std::vector<double>> p_semiflows(const PetriNet& net,
+                                             std::size_t max_invariants = 64);
+
+/// Minimal-support T-semiflows (transition invariants): non-negative
+/// integer vectors x with C^T x = 0 — firing every transition t exactly
+/// x[t] times reproduces the marking. A live, bounded net is covered by
+/// T-semiflows; their absence flags models that cannot return to their
+/// initial state. Same constant-arc restriction as p_semiflows.
+std::vector<std::vector<double>> t_semiflows(const PetriNet& net,
+                                             std::size_t max_invariants = 64);
+
+/// Tangible markings with no enabled transition at all (dead states). For
+/// a steady-state model this list must be empty; the DSPN solver rejects
+/// such nets, and this helper reports which markings are the problem.
+std::vector<std::size_t> dead_markings(const TangibleReachabilityGraph& g);
+
+}  // namespace nvp::petri

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/markov/rewards.hpp"
+#include "src/petri/net.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace nvp::sim {
+
+/// Controls for one simulated trajectory.
+struct SimulationOptions {
+  double warmup_time = 0.0;  ///< discard reward mass before this time
+  double horizon = 1.0e6;    ///< total simulated time (including warmup)
+  std::uint64_t seed = 0x5EEDULL;
+  /// Abort knob against immediate-transition livelocks.
+  std::size_t max_immediate_chain = 100000;
+};
+
+/// Result of one trajectory: time-averaged rewards over
+/// [warmup, horizon] plus basic event counts.
+struct TrajectoryResult {
+  std::vector<double> time_average_rewards;
+  std::uint64_t timed_firings = 0;
+  std::uint64_t immediate_firings = 0;
+};
+
+/// Statistical estimate from independent replications.
+struct ReplicationEstimate {
+  double mean = 0.0;
+  double std_error = 0.0;
+  util::ConfidenceInterval ci{};
+  std::size_t replications = 0;
+};
+
+/// Discrete-event simulator for the full DSPN semantics implemented by
+/// petri::PetriNet: immediate priorities/weights, guards, marking-dependent
+/// rates and arc multiplicities, inhibitor arcs, exponential firing times
+/// (resampled on every marking change — valid by memorylessness, and
+/// required anyway for marking-dependent rates), and deterministic
+/// transitions with enabling-memory timers.
+///
+/// It estimates long-run time-averaged rewards, which for an ergodic net
+/// converge to the stationary expectations computed analytically by
+/// markov::DspnSteadyStateSolver — the library's primary cross-validation
+/// path (DESIGN.md §6).
+class DspnSimulator {
+ public:
+  explicit DspnSimulator(const petri::PetriNet& net);
+
+  /// Runs one trajectory and returns the time-averaged value of each reward.
+  TrajectoryResult run(const std::vector<markov::MarkingReward>& rewards,
+                       const SimulationOptions& options) const;
+
+  /// Runs `replications` independent trajectories (seeds derived from
+  /// options.seed) and returns mean / CI of the first reward.
+  ReplicationEstimate estimate(const markov::MarkingReward& reward,
+                               const SimulationOptions& options,
+                               std::size_t replications,
+                               double confidence_level = 0.95) const;
+
+  /// Empirical stationary distribution of an integer marking feature
+  /// (time fraction per feature value) from one trajectory.
+  std::map<int, double> feature_distribution(
+      const std::function<int(const petri::Marking&)>& feature,
+      const SimulationOptions& options) const;
+
+ private:
+  const petri::PetriNet& net_;
+};
+
+}  // namespace nvp::sim

@@ -1,0 +1,42 @@
+#include "src/sim/estimators.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::sim {
+
+BatchMeansResult batch_means(const std::vector<double>& observations,
+                             std::size_t batches,
+                             double confidence_level) {
+  NVP_EXPECTS(batches >= 2);
+  NVP_EXPECTS_MSG(observations.size() >= 2 * batches,
+                  "need at least two observations per batch");
+  const std::size_t per_batch = observations.size() / batches;
+  util::RunningStats stats;
+  for (std::size_t b = 0; b < batches; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < per_batch; ++i)
+      acc += observations[b * per_batch + i];
+    stats.add(acc / static_cast<double>(per_batch));
+  }
+  BatchMeansResult out;
+  out.mean = stats.mean();
+  out.std_error = stats.std_error();
+  out.ci = util::confidence_interval(stats, confidence_level);
+  out.batches = batches;
+  return out;
+}
+
+bool precision_reached(const util::RunningStats& stats,
+                       double confidence_level, double relative_precision,
+                       double absolute_floor) {
+  NVP_EXPECTS(relative_precision > 0.0);
+  if (stats.count() < 3) return false;
+  const auto ci = util::confidence_interval(stats, confidence_level);
+  const double target =
+      std::max(absolute_floor, relative_precision * std::fabs(stats.mean()));
+  return ci.half_width() <= target;
+}
+
+}  // namespace nvp::sim

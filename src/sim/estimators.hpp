@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace nvp::sim {
+
+/// Batch-means estimate from a single long run: the observation sequence is
+/// split into `batches` contiguous batches whose means are treated as
+/// (approximately) independent samples.
+struct BatchMeansResult {
+  double mean = 0.0;
+  double std_error = 0.0;
+  util::ConfidenceInterval ci{};
+  std::size_t batches = 0;
+};
+
+/// Computes batch means over a sequence of per-interval observations.
+/// Requires observations.size() >= 2 * batches and batches >= 2.
+BatchMeansResult batch_means(const std::vector<double>& observations,
+                             std::size_t batches,
+                             double confidence_level = 0.95);
+
+/// Sequential-stopping helper: true once the half-width of the confidence
+/// interval is below `relative_precision * |mean|` (or below
+/// `absolute_floor` when the mean is near zero).
+bool precision_reached(const util::RunningStats& stats,
+                       double confidence_level, double relative_precision,
+                       double absolute_floor = 1e-9);
+
+}  // namespace nvp::sim

@@ -1,0 +1,32 @@
+#include "src/sim/event_queue.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::sim {
+
+std::uint64_t EventQueue::schedule(double time, std::size_t payload,
+                                   std::uint64_t generation) {
+  NVP_EXPECTS(time >= 0.0);
+  const std::uint64_t seq = next_sequence_++;
+  heap_.push(Event{time, seq, payload, generation});
+  return seq;
+}
+
+const Event& EventQueue::peek() const {
+  NVP_EXPECTS(!heap_.empty());
+  return heap_.top();
+}
+
+Event EventQueue::pop() {
+  NVP_EXPECTS(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_sequence_ = 0;
+}
+
+}  // namespace nvp::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace nvp::sim {
+
+/// One scheduled occurrence in simulated time. `sequence` breaks ties
+/// deterministically (FIFO among equal times), and `generation` lets owners
+/// lazily cancel events that were superseded (the classic "don't delete from
+/// the heap" trick).
+struct Event {
+  double time = 0.0;
+  std::uint64_t sequence = 0;
+  std::size_t payload = 0;     // owner-defined (e.g. transition index)
+  std::uint64_t generation = 0;
+};
+
+/// Min-heap of events ordered by (time, sequence). Stable and deterministic
+/// for reproducible simulations.
+class EventQueue {
+ public:
+  /// Schedules a payload at an absolute time; returns the event's sequence
+  /// number.
+  std::uint64_t schedule(double time, std::size_t payload,
+                         std::uint64_t generation);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest event without removing it. Requires !empty().
+  const Event& peek() const;
+
+  /// Removes and returns the earliest event. Requires !empty().
+  Event pop();
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace nvp::sim

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "src/sim/dspn_simulator.hpp"
+
+namespace nvp::sim {
+
+/// One time bucket of a simulated transient profile.
+struct ProfileBucket {
+  double time_lo = 0.0;
+  double time_hi = 0.0;
+  double mean = 0.0;
+  double std_error = 0.0;
+  util::ConfidenceInterval ci{};
+};
+
+/// Estimates the time-dependent expected reward E[R(t)] of a DSPN by
+/// independent replications: the horizon is cut into equal buckets, each
+/// replication contributes its time-averaged reward per bucket, and
+/// bucket means/CIs are computed across replications.
+///
+/// This is the transient counterpart of DspnSimulator::estimate and the
+/// only transient tool that works for Markov-regenerative models (the
+/// rejuvenating six-version system), where analytic uniformization does
+/// not apply.
+std::vector<ProfileBucket> transient_profile(
+    const DspnSimulator& simulator, const markov::MarkingReward& reward,
+    double horizon, std::size_t buckets, std::size_t replications,
+    std::uint64_t seed, double confidence_level = 0.95);
+
+}  // namespace nvp::sim

@@ -1,0 +1,114 @@
+#include "src/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::util {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '@', '#'};
+}
+
+void AsciiChart::add_series(Series s) {
+  NVP_EXPECTS(s.x.size() == s.y.size());
+  NVP_EXPECTS(!s.x.empty());
+  series_.push_back(std::move(s));
+}
+
+void AsciiChart::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+void AsciiChart::set_y_range(double lo, double hi) {
+  NVP_EXPECTS(hi > lo);
+  fixed_y_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiChart::render() const {
+  NVP_EXPECTS_MSG(!series_.empty(), "AsciiChart: no series added");
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -std::numeric_limits<double>::infinity();
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series_) {
+    for (double v : s.x) {
+      x_lo = std::min(x_lo, v);
+      x_hi = std::max(x_hi, v);
+    }
+    for (double v : s.y) {
+      y_lo = std::min(y_lo, v);
+      y_hi = std::max(y_hi, v);
+    }
+  }
+  if (fixed_y_) {
+    y_lo = y_lo_;
+    y_hi = y_hi_;
+  } else {
+    const double margin = (y_hi - y_lo) * 0.05;
+    y_lo -= margin;
+    y_hi += margin;
+  }
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series_[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double fx = (s.x[i] - x_lo) / (x_hi - x_lo);
+      const double fy = (s.y[i] - y_lo) / (y_hi - y_lo);
+      if (fy < 0.0 || fy > 1.0) continue;
+      auto cx = static_cast<std::size_t>(
+          std::min(fx * static_cast<double>(width_ - 1),
+                   static_cast<double>(width_ - 1)));
+      auto cy = static_cast<std::size_t>(
+          std::min(fy * static_cast<double>(height_ - 1),
+                   static_cast<double>(height_ - 1)));
+      grid[height_ - 1 - cy][cx] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!y_label_.empty()) out += y_label_ + "\n";
+  char buf[64];
+  for (std::size_t r = 0; r < height_; ++r) {
+    const double yv =
+        y_hi - (y_hi - y_lo) * static_cast<double>(r) /
+                   static_cast<double>(height_ - 1);
+    std::snprintf(buf, sizeof(buf), "%10.4g |", yv);
+    out += buf;
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(width_, '-') + '\n';
+  std::snprintf(buf, sizeof(buf), "%10.4g", x_lo);
+  out += std::string(11, ' ') + buf;
+  std::snprintf(buf, sizeof(buf), "%.4g", x_hi);
+  std::string right(buf);
+  const std::size_t pad =
+      width_ > right.size() + 10 ? width_ - right.size() - 10 : 1;
+  out += std::string(pad, ' ') + right + '\n';
+  if (!x_label_.empty())
+    out += std::string(11 + width_ / 2 - std::min(width_ / 2,
+                                                  x_label_.size() / 2),
+                       ' ') +
+           x_label_ + '\n';
+  out += "legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out += "  ";
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += " = " + series_[si].name;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace nvp::util

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvp::util {
+
+/// One named data series for an AsciiChart. X values must be finite; series
+/// may have different lengths and x grids.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Terminal line-chart renderer. The benchmark harnesses use it to draw the
+/// paper's figures directly in the terminal (the CSV dumps carry the exact
+/// numbers for external plotting).
+class AsciiChart {
+ public:
+  AsciiChart(std::size_t width = 72, std::size_t height = 20)
+      : width_(width), height_(height) {}
+
+  /// Adds a series; each series is drawn with its own glyph ('*', 'o', '+',
+  /// 'x', '@', '#', in order of addition).
+  void add_series(Series s);
+
+  /// Optional axis labels.
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Optional fixed y range (otherwise auto-scaled to the data with margin).
+  void set_y_range(double lo, double hi);
+
+  /// Renders the chart with y-axis ticks, x-axis ticks, and a legend.
+  std::string render() const;
+
+ private:
+  std::size_t width_, height_;
+  std::vector<Series> series_;
+  std::string x_label_, y_label_;
+  bool fixed_y_ = false;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+};
+
+}  // namespace nvp::util

@@ -1,0 +1,64 @@
+#include "src/util/cli.hpp"
+
+#include <stdexcept>
+
+namespace nvp::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                it->second + "'");
+  return v;
+}
+
+int CliArgs::get_int(const std::string& key, int fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::size_t pos = 0;
+  const int v = std::stoi(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                it->second + "'");
+  return v;
+}
+
+std::vector<std::string> CliArgs::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, _] : kv_) out.push_back(k);
+  return out;
+}
+
+}  // namespace nvp::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nvp::util {
+
+/// Tiny command-line parser for the example/benchmark binaries. Accepts
+/// `--key=value`, `--key value`, and boolean `--flag` forms. Unknown keys are
+/// kept and can be listed so binaries can reject typos.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if the flag was present (with or without a value).
+  bool has(const std::string& key) const;
+
+  /// String value, or `fallback` if absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric value, or `fallback` if absent. Throws std::invalid_argument on
+  /// non-numeric input.
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+
+  /// All `--key` names seen, for validation.
+  std::vector<std::string> keys() const;
+
+  /// Positional (non `--`) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nvp::util

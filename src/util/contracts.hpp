@@ -1,0 +1,61 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nvp::util {
+
+/// Thrown when a precondition, postcondition, or internal invariant is
+/// violated. Contract checks stay enabled in release builds: the library is
+/// used for numerical studies where silently wrong answers are worse than
+/// aborted runs.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg = {})
+      : std::logic_error(std::string(kind) + " failed: " + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg))) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg = {}) {
+  throw ContractViolation(kind, expr, file, line, msg);
+}
+}  // namespace detail
+
+}  // namespace nvp::util
+
+/// Precondition check; throws ContractViolation on failure.
+#define NVP_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::nvp::util::detail::contract_fail("precondition", #cond, __FILE__,  \
+                                         __LINE__);                        \
+  } while (0)
+
+/// Precondition check with a context message.
+#define NVP_EXPECTS_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::nvp::util::detail::contract_fail("precondition", #cond, __FILE__,  \
+                                         __LINE__, (msg));                 \
+  } while (0)
+
+/// Internal invariant check; throws ContractViolation on failure.
+#define NVP_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::nvp::util::detail::contract_fail("invariant", #cond, __FILE__,     \
+                                         __LINE__);                        \
+  } while (0)
+
+/// Postcondition check; throws ContractViolation on failure.
+#define NVP_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::nvp::util::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                         __LINE__);                        \
+  } while (0)

@@ -1,0 +1,56 @@
+#include "src/util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  NVP_EXPECTS(!header.empty());
+  write_line(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  NVP_EXPECTS_MSG(values.size() == arity_, "CSV row arity mismatch");
+  write_line(values);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> s;
+  s.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    s.emplace_back(buf);
+  }
+  row(s);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(values[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace nvp::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nvp::util {
+
+/// Minimal CSV writer used by the benchmark harnesses to dump the data
+/// series behind every reproduced figure (so they can be re-plotted with any
+/// external tool). Values containing separators or quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  void row(const std::vector<double>& values);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+  /// Formats one CSV field (quoting if needed). Exposed for testing.
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_line(const std::vector<std::string>& values);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace nvp::util

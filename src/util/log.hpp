@@ -1,0 +1,41 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nvp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line ("[LEVEL] message") to stderr if `level` passes
+/// the process-wide filter. Thread-safe at line granularity.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// RAII stream that emits its buffer as one log line on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace nvp::util
+
+#define NVP_LOG_DEBUG ::nvp::util::detail::LogStream(::nvp::util::LogLevel::kDebug)
+#define NVP_LOG_INFO ::nvp::util::detail::LogStream(::nvp::util::LogLevel::kInfo)
+#define NVP_LOG_WARN ::nvp::util::detail::LogStream(::nvp::util::LogLevel::kWarn)
+#define NVP_LOG_ERROR ::nvp::util::detail::LogStream(::nvp::util::LogLevel::kError)

@@ -1,0 +1,171 @@
+#include "src/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::util {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // consecutive zeros, but guard against hand-crafted seeds anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256StarStar::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256StarStar::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::split() {
+  // The child continues from the current position; the parent jumps 2^128
+  // steps ahead, so the two streams are disjoint and successive splits
+  // never overlap.
+  Xoshiro256StarStar child = *this;
+  jump();
+  return child;
+}
+
+double RandomStream::uniform01() {
+  // 53 uniform mantissa bits.
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  NVP_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t RandomStream::uniform_index(std::uint64_t n) {
+  NVP_EXPECTS(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t x;
+  do {
+    x = gen_.next();
+  } while (x >= limit);
+  return x % n;
+}
+
+double RandomStream::exponential(double rate) {
+  NVP_EXPECTS(rate > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double RandomStream::normal() {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 == 0.0);
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double RandomStream::normal(double mean, double stddev) {
+  NVP_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+bool RandomStream::bernoulli(double p) {
+  NVP_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+std::size_t RandomStream::discrete(std::span<const double> weights) {
+  NVP_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    NVP_EXPECTS_MSG(w >= 0.0, "discrete() weights must be non-negative");
+    total += w;
+  }
+  NVP_EXPECTS_MSG(total > 0.0, "discrete() needs a positive weight");
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (x < weights[i]) return i;
+    x -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::uint64_t RandomStream::poisson(double mean) {
+  NVP_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double prod = uniform01();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform01();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  const double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::vector<std::size_t> RandomStream::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(uniform_index(i));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+RandomStream RandomStream::split() { return RandomStream(gen_.split()); }
+
+}  // namespace nvp::util

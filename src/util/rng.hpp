@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nvp::util {
+
+/// SplitMix64 generator. Used to seed Xoshiro256StarStar and as a cheap
+/// stand-alone generator for non-critical randomness.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the library's reference PRNG. Deterministic across
+/// platforms, 256-bit state, passes BigCrush. Satisfies the C++
+/// UniformRandomBitGenerator requirements so it can also drive <random>.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by running SplitMix64 from `seed`.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  /// Next 64 random bits.
+  std::uint64_t next();
+
+  /// Equivalent to 2^128 calls to next(); used to derive independent
+  /// sub-streams for parallel replications.
+  void jump();
+
+  /// Splits off an independent sub-stream: the returned generator continues
+  /// from the current position while *this jumps 2^128 steps ahead.
+  Xoshiro256StarStar split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Random variate helpers on top of any 64-bit generator. All methods are
+/// deterministic functions of the generator stream (no hidden state), which
+/// keeps simulations reproducible.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Standard normal variate (Box–Muller, no caching).
+  double normal();
+
+  /// Normal variate with given mean and stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Index drawn from the (unnormalized, non-negative) weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Poisson variate with the given mean (inversion for small means,
+  /// normal approximation clamped at 0 for large means).
+  std::uint64_t poisson(double mean);
+
+  /// Fisher–Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Underlying bit generator (e.g. for std::shuffle).
+  Xoshiro256StarStar& generator() { return gen_; }
+
+  /// Derives an independent sub-stream (jump-ahead split).
+  RandomStream split();
+
+ private:
+  explicit RandomStream(Xoshiro256StarStar gen) : gen_(gen) {}
+  Xoshiro256StarStar gen_;
+};
+
+}  // namespace nvp::util

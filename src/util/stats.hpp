@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nvp::util {
+
+/// Numerically stable single-pass accumulator (Welford) for mean, variance,
+/// min and max of a stream of observations.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two observations.
+  double std_error() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval [lo, hi] around a sample mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width() const { return (hi - lo) / 2.0; }
+  bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/// Student-t critical value for the given two-sided confidence level
+/// (0 < level < 1) and degrees of freedom (>= 1). Uses a table for small df
+/// and the normal quantile beyond it.
+double student_t_critical(double level, std::size_t df);
+
+/// Confidence interval for the mean of the accumulated sample.
+/// Requires at least two observations.
+ConfidenceInterval confidence_interval(const RunningStats& s,
+                                       double level = 0.95);
+
+/// Standard normal quantile (Acklam's rational approximation, |err| < 1e-9).
+double normal_quantile(double p);
+
+/// Equal-width histogram over [lo, hi]; values outside the range are clamped
+/// into the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Multi-line ASCII rendering (one row per bin with a proportional bar).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact p-quantile (type-7 interpolation) of a sample. Sorts a copy.
+double quantile(std::span<const double> sample, double p);
+
+/// Sample mean of a span; 0 for an empty span.
+double mean_of(std::span<const double> sample);
+
+}  // namespace nvp::util

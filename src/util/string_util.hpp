@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvp::util {
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace nvp::util

@@ -1,0 +1,60 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NVP_EXPECTS(!header_.empty());
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> s;
+  char buf[64];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    s.emplace_back(buf);
+  }
+  row(std::move(s));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : header_[c];
+      out += "| ";
+      out += cell;
+      out.append(width[c] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  out += '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out.append(width[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+}  // namespace nvp::util

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvp::util {
+
+/// Aligned plain-text table renderer used by the experiment harnesses to
+/// print paper-style tables to the terminal.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; shorter rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience overload formatting doubles with the given precision.
+  void row_numeric(const std::vector<double>& cells, int precision = 6);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a header separator and column alignment.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nvp::util

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/model_factory.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/sweep.hpp"
+#include "src/petri/structural.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::core {
+namespace {
+
+// ---- model factory -----------------------------------------------------------
+
+TEST(ModelFactory, FourVersionStructure) {
+  const auto model = PerceptionModelFactory::build(
+      SystemParameters::paper_four_version());
+  EXPECT_EQ(model.net.place_count(), 3u);
+  EXPECT_EQ(model.net.transition_count(), 3u);
+  EXPECT_FALSE(model.pmr.has_value());
+  const auto m0 = model.net.initial_marking();
+  EXPECT_EQ(model.healthy(m0), 4);
+  EXPECT_EQ(model.compromised(m0), 0);
+  EXPECT_EQ(model.down(m0), 0);
+}
+
+TEST(ModelFactory, SixVersionStructure) {
+  const auto model = PerceptionModelFactory::build(
+      SystemParameters::paper_six_version());
+  EXPECT_EQ(model.net.place_count(), 7u);
+  // Tc, Tf, Tr, Trc, Trt, Tac, Trj1, Trj2, Trj.
+  EXPECT_EQ(model.net.transition_count(), 9u);
+  ASSERT_TRUE(model.pmr && model.pac && model.prc && model.ptr);
+  const auto m0 = model.net.initial_marking();
+  EXPECT_EQ(model.healthy(m0), 6);
+  EXPECT_EQ(m0[model.prc->index], 1);
+}
+
+TEST(ModelFactory, FourVersionStateSpaceSize) {
+  const auto model = PerceptionModelFactory::build(
+      SystemParameters::paper_four_version());
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  // (i, j, k) with i + j + k = 4 -> C(6, 2) = 15 states.
+  EXPECT_EQ(g.size(), 15u);
+  EXPECT_FALSE(g.has_deterministic());
+}
+
+TEST(ModelFactory, ModuleTokensConserved) {
+  for (const auto& params : {SystemParameters::paper_four_version(),
+                             SystemParameters::paper_six_version()}) {
+    const auto model = PerceptionModelFactory::build(params);
+    const auto g = petri::TangibleReachabilityGraph::build(model.net);
+    // Module tokens (Pmh + Pmc + Pmf [+ Pmr]) are conserved at N.
+    std::vector<double> weights(model.net.place_count(), 0.0);
+    weights[model.pmh.index] = 1.0;
+    weights[model.pmc.index] = 1.0;
+    weights[model.pmf.index] = 1.0;
+    if (model.pmr) weights[model.pmr->index] = 1.0;
+    const auto rep = petri::check_token_invariant(g, weights);
+    EXPECT_TRUE(rep.holds) << "violated at state " << rep.violating_state;
+    EXPECT_DOUBLE_EQ(rep.expected, params.n_versions);
+  }
+}
+
+TEST(ModelFactory, ClockTokenConserved) {
+  const auto model = PerceptionModelFactory::build(
+      SystemParameters::paper_six_version());
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  std::vector<double> weights(model.net.place_count(), 0.0);
+  weights[model.prc->index] = 1.0;
+  weights[model.ptr->index] = 1.0;
+  const auto rep = petri::check_token_invariant(g, weights);
+  EXPECT_TRUE(rep.holds);
+  EXPECT_DOUBLE_EQ(rep.expected, 1.0);
+}
+
+TEST(ModelFactory, ClockAlwaysArmedInTangibleStates) {
+  // Ptr always resolves through immediates: every tangible marking keeps
+  // the clock token in Prc, so exactly one deterministic transition is
+  // enabled everywhere — the precondition of the MRGP solver.
+  const auto model = PerceptionModelFactory::build(
+      SystemParameters::paper_six_version());
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    EXPECT_EQ(g.marking(s)[model.ptr->index], 0);
+    EXPECT_EQ(g.deterministics(s).size(), 1u);
+  }
+}
+
+TEST(ModelFactory, RejuvenatingBatchNeverExceedsR) {
+  for (int r : {1, 2}) {
+    SystemParameters params = SystemParameters::paper_six_version();
+    params.max_rejuvenating = r;
+    params.n_versions = 3 * params.max_faulty + 2 * r + 1;
+    const auto model = PerceptionModelFactory::build(params);
+    const auto g = petri::TangibleReachabilityGraph::build(model.net);
+    const auto bounds = petri::place_bounds(g);
+    EXPECT_LE(bounds[model.pmr->index], r) << "r = " << r;
+  }
+}
+
+TEST(ModelFactory, InfiniteServerChangesDynamics) {
+  SystemParameters params = SystemParameters::paper_four_version();
+  params.semantics = FiringSemantics::kInfiniteServer;
+  const auto model = PerceptionModelFactory::build(params);
+  const auto tc = model.net.transition_id("Tc");
+  auto m = model.net.initial_marking();  // 4 healthy
+  EXPECT_NEAR(model.net.rate_or_weight(tc.index, m), 4.0 / 1523.0, 1e-12);
+  SystemParameters single = SystemParameters::paper_four_version();
+  const auto model_ss = PerceptionModelFactory::build(single);
+  EXPECT_NEAR(model_ss.net.rate_or_weight(
+                  model_ss.net.transition_id("Tc").index, m),
+              1.0 / 1523.0, 1e-12);
+}
+
+TEST(ModelFactory, BuildValidatesParameters) {
+  SystemParameters params = SystemParameters::paper_six_version();
+  params.n_versions = 4;  // needs >= 6 with rejuvenation
+  EXPECT_THROW(PerceptionModelFactory::build(params),
+               util::ContractViolation);
+}
+
+// ---- analyzer ------------------------------------------------------------------
+
+TEST(Analyzer, ReproducesPaperHeadlineNumbers) {
+  const ReliabilityAnalyzer analyzer;
+  const auto four =
+      analyzer.analyze(SystemParameters::paper_four_version());
+  // Paper: 0.8233477 (TimeNET). Our DSPN semantics land within 0.25%.
+  EXPECT_NEAR(four.expected_reliability, 0.8233477, 0.0025);
+  EXPECT_FALSE(four.used_dspn_solver);
+
+  const auto six = analyzer.analyze(SystemParameters::paper_six_version());
+  // Paper: 0.93464665. Within 0.5%.
+  EXPECT_NEAR(six.expected_reliability, 0.93464665, 0.0045);
+  EXPECT_TRUE(six.used_dspn_solver);
+  // The headline claim: rejuvenation improves reliability by >= 13%.
+  EXPECT_GT(six.expected_reliability / four.expected_reliability, 1.13);
+}
+
+TEST(Analyzer, AppendixAttachmentMakesDegradedStatesSafe) {
+  // With the full appendix matrices, silent modules raise the per-state
+  // reliability (the voter is harder to mislead), so the expected
+  // reliability exceeds the operational-only attachment.
+  ReliabilityAnalyzer::Options full;
+  full.attachment = RewardAttachment::kAppendixMatrices;
+  const double with_k = ReliabilityAnalyzer(full)
+                            .analyze(SystemParameters::paper_six_version())
+                            .expected_reliability;
+  const double without_k =
+      ReliabilityAnalyzer()
+          .analyze(SystemParameters::paper_six_version())
+          .expected_reliability;
+  EXPECT_GT(with_k, without_k);
+  EXPECT_LT(with_k - without_k, 0.02);
+}
+
+TEST(Analyzer, StateDistributionSumsToOne) {
+  const ReliabilityAnalyzer analyzer;
+  for (const auto& params : {SystemParameters::paper_four_version(),
+                             SystemParameters::paper_six_version()}) {
+    const auto result = analyzer.analyze(params);
+    double total = 0.0;
+    for (const auto& sp : result.state_distribution) {
+      EXPECT_GE(sp.probability, 0.0);
+      EXPECT_GE(sp.reliability, 0.0);
+      EXPECT_LE(sp.reliability, 1.0);
+      EXPECT_EQ(sp.healthy + sp.compromised + sp.down, params.n_versions);
+      total += sp.probability;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Analyzer, ExpectedReliabilityConsistentWithDistribution) {
+  const ReliabilityAnalyzer analyzer;
+  const auto result = analyzer.analyze(SystemParameters::paper_six_version());
+  double recomputed = 0.0;
+  for (const auto& sp : result.state_distribution)
+    recomputed += sp.probability * sp.reliability;
+  EXPECT_NEAR(recomputed, result.expected_reliability, 1e-12);
+}
+
+TEST(Analyzer, RewardConventionsOrdering) {
+  // Strict <= generalized for the same chain, by construction.
+  for (const auto& params : {SystemParameters::paper_four_version(),
+                             SystemParameters::paper_six_version()}) {
+    ReliabilityAnalyzer::Options gen_opts;
+    gen_opts.convention = RewardConvention::kGeneralized;
+    ReliabilityAnalyzer::Options strict_opts;
+    strict_opts.convention = RewardConvention::kStrict;
+    const double gen = ReliabilityAnalyzer(gen_opts)
+                           .analyze(params)
+                           .expected_reliability;
+    const double strict = ReliabilityAnalyzer(strict_opts)
+                              .analyze(params)
+                              .expected_reliability;
+    EXPECT_LT(strict, gen);
+  }
+}
+
+TEST(Analyzer, CustomRewardModelMustMatchN) {
+  const ReliabilityAnalyzer analyzer;
+  const PaperFourVersionReliability four_rewards(0.08, 0.5, 0.5);
+  EXPECT_THROW(analyzer.analyze(SystemParameters::paper_six_version(),
+                                four_rewards),
+               util::ContractViolation);
+}
+
+TEST(Analyzer, RejuvenationHelpsAcrossSemantics) {
+  for (auto semantics : {FiringSemantics::kSingleServer,
+                         FiringSemantics::kInfiniteServer}) {
+    auto four = SystemParameters::paper_four_version();
+    auto six = SystemParameters::paper_six_version();
+    four.semantics = semantics;
+    six.semantics = semantics;
+    const ReliabilityAnalyzer analyzer;
+    EXPECT_GT(analyzer.analyze(six).expected_reliability,
+              analyzer.analyze(four).expected_reliability);
+  }
+}
+
+// ---- parameterized sweep over architectures (property-style) ---------------------
+
+struct ArchCase {
+  int n;
+  int f;
+  int r;
+  bool rejuvenation;
+};
+
+class ArchitectureSweep : public ::testing::TestWithParam<ArchCase> {};
+
+TEST_P(ArchitectureSweep, AnalyzerProducesValidReliability) {
+  const auto c = GetParam();
+  SystemParameters params;
+  params.n_versions = c.n;
+  params.max_faulty = c.f;
+  params.max_rejuvenating = c.r;
+  params.rejuvenation = c.rejuvenation;
+  ReliabilityAnalyzer::Options opts;
+  opts.convention = RewardConvention::kGeneralized;
+  const auto result = ReliabilityAnalyzer(opts).analyze(params);
+  EXPECT_GT(result.expected_reliability, 0.0);
+  EXPECT_LE(result.expected_reliability, 1.0);
+  EXPECT_GT(result.tangible_states, 0u);
+  EXPECT_EQ(result.used_dspn_solver, c.rejuvenation);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ArchitectureSweep,
+    ::testing::Values(ArchCase{4, 1, 1, false}, ArchCase{5, 1, 1, false},
+                      ArchCase{6, 1, 1, false}, ArchCase{7, 2, 1, false},
+                      ArchCase{6, 1, 1, true}, ArchCase{7, 1, 1, true},
+                      ArchCase{8, 1, 1, true}, ArchCase{8, 1, 2, true},
+                      ArchCase{10, 2, 1, true}),
+    [](const ::testing::TestParamInfo<ArchCase>& info) {
+      const auto& c = info.param;
+      return "n" + std::to_string(c.n) + "f" + std::to_string(c.f) + "r" +
+             std::to_string(c.r) + (c.rejuvenation ? "rejuv" : "plain");
+    });
+
+// ---- sweeps ------------------------------------------------------------------------
+
+TEST(Sweep, LinspaceEndpointsAndSpacing) {
+  const auto v = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.5);
+}
+
+TEST(Sweep, ReliabilityDecreasesWithP) {
+  const ReliabilityAnalyzer analyzer;
+  const auto points =
+      sweep_parameter(analyzer, SystemParameters::paper_six_version(),
+                      set_p(), {0.01, 0.05, 0.1, 0.2});
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LT(points[i].expected_reliability,
+              points[i - 1].expected_reliability);
+}
+
+TEST(Sweep, ReliabilityDecreasesWithAlphaGeneralized) {
+  // Under the rigorous reward model every state's reliability is monotone
+  // decreasing in alpha and the state probabilities do not depend on it,
+  // so E[R] is monotone.
+  ReliabilityAnalyzer::Options opts;
+  opts.convention = RewardConvention::kGeneralized;
+  const ReliabilityAnalyzer analyzer(opts);
+  const auto points =
+      sweep_parameter(analyzer, SystemParameters::paper_six_version(),
+                      set_alpha(), {0.1, 0.4, 0.7, 1.0});
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LT(points[i].expected_reliability,
+              points[i - 1].expected_reliability);
+}
+
+TEST(Sweep, ReliabilityDropsOverAlphaRangePaperVerbatim) {
+  // The verbatim appendix expressions are not perfectly monotone in alpha
+  // (a consequence of the simplified terms), but the end-to-end drop of
+  // Fig. 4(b) holds.
+  const ReliabilityAnalyzer analyzer;
+  const auto points =
+      sweep_parameter(analyzer, SystemParameters::paper_six_version(),
+                      set_alpha(), {0.1, 1.0});
+  EXPECT_LT(points.back().expected_reliability,
+            points.front().expected_reliability);
+}
+
+TEST(Sweep, ReliabilityIncreasesWithMttc) {
+  const ReliabilityAnalyzer analyzer;
+  const auto points = sweep_parameter(
+      analyzer, SystemParameters::paper_four_version(),
+      set_mean_time_to_compromise(), {500.0, 1500.0, 5000.0, 20000.0});
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GT(points[i].expected_reliability,
+              points[i - 1].expected_reliability);
+}
+
+TEST(Sweep, FindCrossoversLocatesPPrimeThreshold) {
+  // Fig. 4(d): the 6v (rejuvenating) and 4v curves cross near p' = 0.3.
+  const ReliabilityAnalyzer analyzer;
+  const auto crossovers = find_crossovers(
+      analyzer, SystemParameters::paper_six_version(),
+      SystemParameters::paper_four_version(), set_p_prime(),
+      linspace(0.1, 0.9, 9), 0.005);
+  ASSERT_FALSE(crossovers.empty());
+  EXPECT_NEAR(crossovers[0].x, 0.3, 0.12);
+}
+
+// ---- optimizer ----------------------------------------------------------------------
+
+TEST(Optimizer, FindsInteriorOptimumForFig3) {
+  const ReliabilityAnalyzer analyzer;
+  const auto optimum = optimize_rejuvenation_interval(
+      analyzer, SystemParameters::paper_six_version(), 100.0, 3000.0, 12,
+      5.0);
+  // Paper: maximum near 400-450 s. Accept a generous band; what matters is
+  // an interior optimum, not a boundary artifact.
+  EXPECT_GT(optimum.x, 120.0);
+  EXPECT_LT(optimum.x, 1200.0);
+  EXPECT_GT(optimum.evaluations, 10u);
+  // The optimum beats the default interval.
+  const auto at_default =
+      analyzer.analyze(SystemParameters::paper_six_version());
+  EXPECT_GE(optimum.expected_reliability,
+            at_default.expected_reliability - 1e-9);
+}
+
+TEST(Optimizer, GenericMaximizerOnSmoothFunction) {
+  // Maximize reliability over mttc — monotone, so the optimum sits at the
+  // upper bound.
+  const ReliabilityAnalyzer analyzer;
+  const auto optimum = maximize_reliability(
+      analyzer, SystemParameters::paper_four_version(),
+      [](SystemParameters& p, double v) { p.mean_time_to_compromise = v; },
+      1000.0, 5000.0, 8, 1.0);
+  EXPECT_NEAR(optimum.x, 5000.0, 20.0);
+}
+
+TEST(Optimizer, RequiresRejuvenatingModel) {
+  const ReliabilityAnalyzer analyzer;
+  EXPECT_THROW(optimize_rejuvenation_interval(
+                   analyzer, SystemParameters::paper_four_version(), 100.0,
+                   1000.0),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace nvp::core

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/reliability.hpp"
+#include "src/core/voting.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::core {
+namespace {
+
+constexpr double kP = 0.08;
+constexpr double kPPrime = 0.5;
+constexpr double kAlpha = 0.5;
+
+// ---- voting -------------------------------------------------------------------
+
+TEST(Voting, BftThresholds) {
+  EXPECT_EQ(VotingScheme::bft(4, 1).threshold(), 3);
+  EXPECT_EQ(VotingScheme::bft_rejuvenating(6, 1, 1).threshold(), 4);
+  EXPECT_EQ(VotingScheme::majority(5).threshold(), 3);
+  EXPECT_EQ(VotingScheme::majority(6).threshold(), 4);
+  EXPECT_EQ(VotingScheme::unanimous(5).threshold(), 5);
+}
+
+TEST(Voting, ReplicaRequirementsEnforced) {
+  EXPECT_THROW(VotingScheme::bft(3, 1), util::ContractViolation);
+  EXPECT_NO_THROW(VotingScheme::bft(4, 1));
+  EXPECT_THROW(VotingScheme::bft_rejuvenating(5, 1, 1),
+               util::ContractViolation);
+  EXPECT_NO_THROW(VotingScheme::bft_rejuvenating(6, 1, 1));
+}
+
+TEST(Voting, DecideCoversAllVerdicts) {
+  const auto scheme = VotingScheme::bft(4, 1);  // threshold 3
+  EXPECT_EQ(scheme.decide(3, 1, 0), Verdict::kCorrect);
+  EXPECT_EQ(scheme.decide(4, 0, 0), Verdict::kCorrect);
+  EXPECT_EQ(scheme.decide(1, 3, 0), Verdict::kError);
+  EXPECT_EQ(scheme.decide(2, 2, 0), Verdict::kInconclusive);
+  EXPECT_EQ(scheme.decide(2, 1, 1), Verdict::kInconclusive);
+  EXPECT_EQ(scheme.decide(1, 1, 2), Verdict::kUnavailable);
+}
+
+TEST(Voting, DecideValidatesCounts) {
+  const auto scheme = VotingScheme::bft(4, 1);
+  EXPECT_THROW(scheme.decide(2, 1, 0), util::ContractViolation);
+  EXPECT_THROW(scheme.decide(-1, 4, 1), util::ContractViolation);
+}
+
+TEST(Voting, MaxSilent) {
+  EXPECT_EQ(VotingScheme::bft(4, 1).max_silent(), 1);
+  EXPECT_EQ(VotingScheme::bft_rejuvenating(6, 1, 1).max_silent(), 2);
+}
+
+TEST(Voting, DescribeAndToString) {
+  EXPECT_EQ(VotingScheme::bft(4, 1).describe(), "3-out-of-4");
+  EXPECT_STREQ(to_string(Verdict::kCorrect), "correct");
+  EXPECT_STREQ(to_string(Verdict::kUnavailable), "unavailable");
+}
+
+// ---- binomial helper -------------------------------------------------------------
+
+TEST(Binomial, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, 2), 6.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(6, 3), 20.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(6, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(3, 4), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(3, -1), 0.0);
+}
+
+// ---- paper four-version functions -------------------------------------------------
+
+TEST(PaperFourVersion, MatchesHandComputedDefaults) {
+  const PaperFourVersionReliability r(kP, kPPrime, kAlpha);
+  EXPECT_NEAR(r.state_reliability(4, 0, 0), 0.95, 1e-12);
+  EXPECT_NEAR(r.state_reliability(3, 1, 0), 0.95, 1e-12);
+  EXPECT_NEAR(r.state_reliability(3, 0, 1), 0.98, 1e-12);
+  EXPECT_NEAR(r.state_reliability(2, 2, 0), 0.96, 1e-12);
+  EXPECT_NEAR(r.state_reliability(2, 1, 1), 0.98, 1e-12);
+  EXPECT_NEAR(r.state_reliability(1, 3, 0), 0.845, 1e-12);
+  EXPECT_NEAR(r.state_reliability(1, 2, 1), 0.98, 1e-12);
+  EXPECT_NEAR(r.state_reliability(0, 4, 0), 0.75, 1e-12);
+  EXPECT_NEAR(r.state_reliability(0, 3, 1), 0.875, 1e-12);
+}
+
+TEST(PaperFourVersion, ZeroWhenVoterCannotDecide) {
+  const PaperFourVersionReliability r(kP, kPPrime, kAlpha);
+  EXPECT_DOUBLE_EQ(r.state_reliability(2, 0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(r.state_reliability(1, 0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(r.state_reliability(0, 0, 4), 0.0);
+}
+
+TEST(PaperFourVersion, PerfectModulesGivePerfectReliability) {
+  const PaperFourVersionReliability r(0.0, 0.0, kAlpha);
+  EXPECT_DOUBLE_EQ(r.state_reliability(4, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r.state_reliability(0, 4, 0), 1.0);
+}
+
+TEST(PaperFourVersion, RejectsInvalidStatesAndParams) {
+  const PaperFourVersionReliability r(kP, kPPrime, kAlpha);
+  EXPECT_THROW(r.state_reliability(3, 2, 0), util::ContractViolation);
+  EXPECT_THROW(r.state_reliability(-1, 4, 1), util::ContractViolation);
+  EXPECT_THROW(PaperFourVersionReliability(1.5, 0.5, 0.5),
+               util::ContractViolation);
+}
+
+// ---- paper six-version functions ---------------------------------------------------
+
+TEST(PaperSixVersion, MatchesHandComputedDefaults) {
+  const PaperSixVersionReliability r(kP, kPPrime, kAlpha);
+  // R_{6,0,0} = 1 - [p a^5 + 6 p a^4 (1-a) + 15 p a^3 (1-a)^2]
+  EXPECT_NEAR(r.state_reliability(6, 0, 0),
+              1.0 - (0.08 * 0.03125 + 6 * 0.08 * 0.0625 * 0.5 +
+                     15 * 0.08 * 0.125 * 0.25),
+              1e-12);
+  // R_{4,0,2} = 1 - p a^3
+  EXPECT_NEAR(r.state_reliability(4, 0, 2), 1.0 - 0.08 * 0.125, 1e-12);
+  // R_{0,4,2} = 1 - p'^4
+  EXPECT_NEAR(r.state_reliability(0, 4, 2), 1.0 - 0.0625, 1e-12);
+  // R_{0,6,0} = 1 - [p'^6 + 6 p'^5 (1-p') + 15 p'^4 (1-p')^2]
+  EXPECT_NEAR(r.state_reliability(0, 6, 0),
+              1.0 - (std::pow(0.5, 6) + 6 * std::pow(0.5, 5) * 0.5 +
+                     15 * std::pow(0.5, 4) * 0.25),
+              1e-12);
+}
+
+TEST(PaperSixVersion, ZeroWhenVoterCannotDecide) {
+  const PaperSixVersionReliability r(kP, kPPrime, kAlpha);
+  EXPECT_DOUBLE_EQ(r.state_reliability(3, 0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(r.state_reliability(0, 0, 6), 0.0);
+  EXPECT_GT(r.state_reliability(4, 0, 2), 0.0);
+}
+
+TEST(PaperSixVersion, AllDefinedStatesAreProbabilities) {
+  const PaperSixVersionReliability r(kP, kPPrime, kAlpha);
+  for (int i = 0; i <= 6; ++i)
+    for (int j = 0; i + j <= 6; ++j) {
+      const int k = 6 - i - j;
+      const double value = r.state_reliability(i, j, k);
+      EXPECT_GE(value, 0.0) << "state " << i << "," << j << "," << k;
+      EXPECT_LE(value, 1.0) << "state " << i << "," << j << "," << k;
+    }
+}
+
+// ---- generalized model --------------------------------------------------------------
+
+GeneralizedReliability make_gen4(double p = kP, double pp = kPPrime,
+                                 double a = kAlpha, bool strict = false) {
+  return GeneralizedReliability(4, VotingScheme::bft(4, 1), p, pp, a,
+                                strict);
+}
+
+GeneralizedReliability make_gen6(double p = kP, double pp = kPPrime,
+                                 double a = kAlpha, bool strict = false) {
+  return GeneralizedReliability(6, VotingScheme::bft_rejuvenating(6, 1, 1),
+                                p, pp, a, strict);
+}
+
+TEST(Generalized, HealthyErrorPmfIsDistribution) {
+  const auto gen = make_gen6();
+  for (int i = 0; i <= 6; ++i) {
+    double total = 0.0;
+    for (int h = 0; h <= i; ++h) {
+      const double mass = gen.healthy_error_pmf(i, h);
+      EXPECT_GE(mass, 0.0);
+      total += mass;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "i = " << i;
+  }
+}
+
+TEST(Generalized, HealthyErrorPmfMatchesEgeModel) {
+  const auto gen = make_gen6();
+  // P(specific subset of h errs) * C(i, h) = C(i,h) p a^(h-1) (1-a)^(i-h).
+  EXPECT_NEAR(gen.healthy_error_pmf(4, 3),
+              4 * kP * kAlpha * kAlpha * (1 - kAlpha), 1e-14);
+  EXPECT_NEAR(gen.healthy_error_pmf(4, 4), kP * std::pow(kAlpha, 3), 1e-14);
+  EXPECT_NEAR(gen.healthy_error_pmf(1, 1), kP, 1e-14);
+}
+
+TEST(Generalized, CompromisedPmfIsBinomial) {
+  const auto gen = make_gen6();
+  EXPECT_NEAR(gen.compromised_error_pmf(3, 2),
+              3 * 0.25 * 0.5, 1e-14);
+  double total = 0.0;
+  for (int c = 0; c <= 5; ++c) total += gen.compromised_error_pmf(5, c);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Generalized, AgreesWithPaperFourVersionWhereExact) {
+  const PaperFourVersionReliability paper(kP, kPPrime, kAlpha);
+  const auto gen = make_gen4();
+  // States where Appendix A is the rigorous count (DESIGN.md §5).
+  const int exact_states[][3] = {{4, 0, 0}, {3, 1, 0}, {3, 0, 1},
+                                 {2, 1, 1}, {1, 3, 0}, {1, 2, 1},
+                                 {0, 3, 1}};
+  for (const auto& s : exact_states)
+    EXPECT_NEAR(paper.state_reliability(s[0], s[1], s[2]),
+                gen.state_reliability(s[0], s[1], s[2]), 1e-12)
+        << "state " << s[0] << "," << s[1] << "," << s[2];
+}
+
+TEST(Generalized, DocumentsPaperFourVersionDeviations) {
+  const PaperFourVersionReliability paper(kP, kPPrime, kAlpha);
+  const auto gen = make_gen4();
+  // R_{0,4,0}: the paper's 3 p'^3 (1-p') coefficient (C(4,3) = 4 in the
+  // rigorous count) makes the paper's value higher.
+  EXPECT_GT(paper.state_reliability(0, 4, 0),
+            gen.state_reliability(0, 4, 0));
+  EXPECT_NEAR(gen.state_reliability(0, 4, 0),
+              1.0 - (std::pow(kPPrime, 4) +
+                     4 * std::pow(kPPrime, 3) * (1 - kPPrime)),
+              1e-12);
+}
+
+TEST(Generalized, AgreesWithPaperSixVersionWhereExact) {
+  const PaperSixVersionReliability paper(kP, kPPrime, kAlpha);
+  const auto gen = make_gen6();
+  const int exact_states[][3] = {
+      {6, 0, 0}, {5, 1, 0}, {5, 0, 1}, {4, 1, 1}, {4, 0, 2}, {3, 3, 0},
+      {3, 2, 1}, {3, 1, 2}, {2, 2, 2}, {1, 5, 0}, {1, 4, 1}, {1, 3, 2},
+      {0, 6, 0}, {0, 5, 1}, {0, 4, 2}};
+  for (const auto& s : exact_states)
+    EXPECT_NEAR(paper.state_reliability(s[0], s[1], s[2]),
+                gen.state_reliability(s[0], s[1], s[2]), 1e-12)
+        << "state " << s[0] << "," << s[1] << "," << s[2];
+}
+
+TEST(Generalized, DocumentsPaperSixVersionDeviations) {
+  const PaperSixVersionReliability paper(kP, kPPrime, kAlpha);
+  const auto gen = make_gen6();
+  // The three states the Appendix simplifies or typos (DESIGN.md §5).
+  for (const auto& s : {std::array{4, 2, 0}, {2, 4, 0}, {2, 3, 1}})
+    EXPECT_GT(std::fabs(paper.state_reliability(s[0], s[1], s[2]) -
+                        gen.state_reliability(s[0], s[1], s[2])),
+              1e-6)
+        << "state " << s[0] << "," << s[1] << "," << s[2];
+}
+
+TEST(Generalized, MonotonicInP) {
+  double prev = 1.1;
+  for (double p : {0.01, 0.05, 0.1, 0.2, 0.4}) {
+    const auto gen = make_gen6(p, kPPrime, kAlpha);
+    const double r = gen.state_reliability(5, 1, 0);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Generalized, MonotonicInPPrime) {
+  double prev = 1.1;
+  for (double pp : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto gen = make_gen6(kP, pp, kAlpha);
+    const double r = gen.state_reliability(2, 4, 0);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Generalized, AlphaOneMeansPerfectCorrelation) {
+  // With alpha = 1 all healthy modules err together with probability p;
+  // in an all-healthy state the error probability is exactly p.
+  const auto gen = make_gen6(kP, kPPrime, 1.0);
+  EXPECT_NEAR(gen.state_reliability(6, 0, 0), 1.0 - kP, 1e-12);
+}
+
+TEST(Generalized, StrictNeverExceedsPaperConvention) {
+  const auto lax = make_gen6(kP, kPPrime, kAlpha, false);
+  const auto strict = make_gen6(kP, kPPrime, kAlpha, true);
+  for (int i = 0; i <= 6; ++i)
+    for (int j = 0; i + j <= 6; ++j) {
+      const int k = 6 - i - j;
+      EXPECT_LE(strict.state_reliability(i, j, k),
+                lax.state_reliability(i, j, k) + 1e-12);
+    }
+}
+
+TEST(Generalized, StrictAllHealthyClosedForm) {
+  // Strict reward in (6,0,0): P(at least 4 of 6 correct)
+  // = P(at most 2 healthy err).
+  const auto strict = make_gen6(kP, kPPrime, kAlpha, true);
+  const auto gen = make_gen6();
+  double expected = 0.0;
+  for (int h = 0; h <= 2; ++h) expected += gen.healthy_error_pmf(6, h);
+  EXPECT_NEAR(strict.state_reliability(6, 0, 0), expected, 1e-12);
+}
+
+TEST(Generalized, RejectsInconsistentParameters) {
+  // p > alpha makes the common-cause pmf exceed 1 for large i.
+  EXPECT_THROW(make_gen6(0.5, 0.5, 0.1), util::ContractViolation);
+  EXPECT_THROW(GeneralizedReliability(4, VotingScheme::bft(6, 1), kP,
+                                      kPPrime, kAlpha),
+               util::ContractViolation);
+}
+
+TEST(Generalized, ScalesToLargerSystems) {
+  // A 10-version f=2 r=1 system: thresholds and zero-states follow the
+  // formulas; all values are probabilities.
+  const GeneralizedReliability gen(
+      10, VotingScheme::bft_rejuvenating(10, 2, 1), kP, kPPrime, kAlpha);
+  for (int i = 0; i <= 10; ++i)
+    for (int j = 0; i + j <= 10; ++j) {
+      const int k = 10 - i - j;
+      const double r = gen.state_reliability(i, j, k);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+      if (k > 10 - 6) {
+        EXPECT_DOUBLE_EQ(r, 0.0);  // threshold 2f+r+1 = 6
+      }
+    }
+}
+
+// ---- factory ---------------------------------------------------------------------
+
+TEST(RewardFactory, SelectsPaperModelsForPaperConfigs) {
+  const auto four = SystemParameters::paper_four_version();
+  const auto model4 = make_reliability_model(four);
+  EXPECT_NE(dynamic_cast<PaperFourVersionReliability*>(model4.get()),
+            nullptr);
+  const auto six = SystemParameters::paper_six_version();
+  const auto model6 = make_reliability_model(six);
+  EXPECT_NE(dynamic_cast<PaperSixVersionReliability*>(model6.get()),
+            nullptr);
+}
+
+TEST(RewardFactory, FallsBackToGeneralized) {
+  SystemParameters params = SystemParameters::paper_six_version();
+  params.n_versions = 7;  // no verbatim functions published
+  const auto model = make_reliability_model(params);
+  EXPECT_NE(dynamic_cast<GeneralizedReliability*>(model.get()), nullptr);
+  EXPECT_EQ(model->versions(), 7);
+
+  const auto strict = make_reliability_model(
+      SystemParameters::paper_six_version(), RewardConvention::kStrict);
+  EXPECT_NE(dynamic_cast<GeneralizedReliability*>(strict.get()), nullptr);
+}
+
+// ---- parameters -------------------------------------------------------------------
+
+TEST(Parameters, PaperPresets) {
+  const auto four = SystemParameters::paper_four_version();
+  EXPECT_EQ(four.n_versions, 4);
+  EXPECT_FALSE(four.rejuvenation);
+  EXPECT_EQ(four.voting_threshold(), 3);
+  EXPECT_EQ(four.max_tolerable_down(), 1);
+  const auto six = SystemParameters::paper_six_version();
+  EXPECT_EQ(six.n_versions, 6);
+  EXPECT_TRUE(six.rejuvenation);
+  EXPECT_EQ(six.voting_threshold(), 4);
+  EXPECT_EQ(six.max_tolerable_down(), 2);
+  EXPECT_NO_THROW(four.validate());
+  EXPECT_NO_THROW(six.validate());
+  EXPECT_FALSE(six.describe().empty());
+}
+
+TEST(Parameters, ValidationCatchesBadValues) {
+  auto params = SystemParameters::paper_six_version();
+  params.n_versions = 5;  // < 3f + 2r + 1
+  EXPECT_THROW(params.validate(), util::ContractViolation);
+  params = SystemParameters::paper_four_version();
+  params.p = 1.5;
+  EXPECT_THROW(params.validate(), util::ContractViolation);
+  params = SystemParameters::paper_four_version();
+  params.mean_time_to_compromise = 0.0;
+  EXPECT_THROW(params.validate(), util::ContractViolation);
+  params = SystemParameters::paper_six_version();
+  params.rejuvenation_interval = -1.0;
+  EXPECT_THROW(params.validate(), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace nvp::core

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/dataset/adversarial.hpp"
+#include "src/dataset/classifier.hpp"
+#include "src/dataset/eval.hpp"
+#include "src/dataset/gtsrb_synth.hpp"
+
+namespace nvp::dataset {
+namespace {
+
+/// Shared fixture: one moderate dataset, trained ensemble. Training the
+/// MLP is the slow part, so do it once per suite.
+class TrainedEnsembleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    generator_ = new SyntheticGtsrb({});
+    train_ = new Dataset(generator_->generate(4000));
+    test_ = new Dataset(generator_->generate(1500));
+    ensemble_ = new std::vector<std::unique_ptr<Classifier>>(
+        make_reference_ensemble());
+    for (auto& clf : *ensemble_) clf->fit(*train_);
+  }
+  static void TearDownTestSuite() {
+    delete ensemble_;
+    delete test_;
+    delete train_;
+    delete generator_;
+    ensemble_ = nullptr;
+    test_ = nullptr;
+    train_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static SyntheticGtsrb* generator_;
+  static Dataset* train_;
+  static Dataset* test_;
+  static std::vector<std::unique_ptr<Classifier>>* ensemble_;
+};
+
+SyntheticGtsrb* TrainedEnsembleTest::generator_ = nullptr;
+Dataset* TrainedEnsembleTest::train_ = nullptr;
+Dataset* TrainedEnsembleTest::test_ = nullptr;
+std::vector<std::unique_ptr<Classifier>>* TrainedEnsembleTest::ensemble_ =
+    nullptr;
+
+// ---- generator ----------------------------------------------------------------
+
+TEST(SyntheticGtsrbTest, ShapesAndLabels) {
+  SyntheticGtsrb gen({});
+  const auto data = gen.generate(500);
+  EXPECT_EQ(data.size(), 500u);
+  EXPECT_EQ(data.num_classes, 43);
+  EXPECT_EQ(data.dim, 24);
+  std::set<int> labels;
+  for (const auto& s : data.samples) {
+    EXPECT_EQ(static_cast<int>(s.features.size()), data.dim);
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 43);
+    labels.insert(s.label);
+  }
+  EXPECT_GT(labels.size(), 20u);  // most classes appear
+}
+
+TEST(SyntheticGtsrbTest, DeterministicPerSeed) {
+  SyntheticGtsrb a({});
+  SyntheticGtsrb b({});
+  const auto da = a.generate(10);
+  const auto db = b.generate(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(da.samples[i].label, db.samples[i].label);
+    EXPECT_EQ(da.samples[i].features, db.samples[i].features);
+  }
+}
+
+TEST(SyntheticGtsrbTest, PrototypesAreUnitNorm) {
+  SyntheticGtsrb gen({});
+  for (const auto& proto : gen.prototypes()) {
+    double norm = 0.0;
+    for (double x : proto) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+  }
+}
+
+TEST(SyntheticGtsrbTest, NoiseControlsDifficulty) {
+  SyntheticGtsrb::Config easy_cfg;
+  easy_cfg.noise = 0.05;
+  SyntheticGtsrb::Config hard_cfg;
+  hard_cfg.noise = 0.6;
+  SyntheticGtsrb easy(easy_cfg), hard(hard_cfg);
+  NearestCentroidClassifier clf_easy, clf_hard;
+  const auto train_easy = easy.generate(2000);
+  const auto train_hard = hard.generate(2000);
+  clf_easy.fit(train_easy);
+  clf_hard.fit(train_hard);
+  EXPECT_GT(accuracy(clf_easy, easy.generate(1000)),
+            accuracy(clf_hard, hard.generate(1000)) + 0.1);
+}
+
+// ---- classifiers ----------------------------------------------------------------
+
+TEST_F(TrainedEnsembleTest, AllBeatChanceByALot) {
+  for (const auto& clf : *ensemble_) {
+    const double acc = accuracy(*clf, *test_);
+    EXPECT_GT(acc, 0.8) << clf->name();
+  }
+}
+
+TEST_F(TrainedEnsembleTest, MeanInaccuracyNearPaperP) {
+  const auto report = evaluate_ensemble(*ensemble_, *test_);
+  // Calibrated to the paper's measured p = 0.08 (+- 0.04 tolerance: the
+  // paper itself averages three very different networks).
+  EXPECT_NEAR(report.mean_inaccuracy, 0.08, 0.04);
+}
+
+TEST_F(TrainedEnsembleTest, EnsembleReportInternallyConsistent) {
+  const auto report = evaluate_ensemble(*ensemble_, *test_);
+  ASSERT_EQ(report.names.size(), 3u);
+  ASSERT_EQ(report.inaccuracies.size(), 3u);
+  double mean = 0.0;
+  for (double x : report.inaccuracies) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    mean += x;
+  }
+  EXPECT_NEAR(report.mean_inaccuracy, mean / 3.0, 1e-12);
+  // Simultaneous errors cannot exceed the worst individual inaccuracy.
+  EXPECT_LE(report.simultaneous_error_rate,
+            *std::max_element(report.inaccuracies.begin(),
+                              report.inaccuracies.end()) +
+                1e-12);
+}
+
+TEST_F(TrainedEnsembleTest, VersionsActuallyDisagree) {
+  const auto report = evaluate_ensemble(*ensemble_, *test_);
+  EXPECT_GT(report.disagreement_rate, 0.01);
+  EXPECT_LT(report.disagreement_rate, 0.9);
+}
+
+TEST_F(TrainedEnsembleTest, AlphaEstimateInUnitRange) {
+  const auto report = evaluate_ensemble(*ensemble_, *test_);
+  const double alpha = estimate_alpha(report, 3);
+  EXPECT_GT(alpha, 0.0);
+  EXPECT_LE(alpha, 1.0);
+}
+
+TEST_F(TrainedEnsembleTest, AdversarialPerturbationDegradesTowardPPrime) {
+  AdversarialPerturbation adv({}, generator_->prototypes());
+  const auto attacked = adv.perturb(*test_);
+  const auto clean = evaluate_ensemble(*ensemble_, *test_);
+  const auto report = evaluate_ensemble(*ensemble_, attacked);
+  EXPECT_GT(report.mean_inaccuracy, clean.mean_inaccuracy + 0.2);
+  // Calibrated to the paper's compromised estimate p' = 0.5.
+  EXPECT_NEAR(report.mean_inaccuracy, 0.5, 0.15);
+}
+
+TEST_F(TrainedEnsembleTest, StrongerAttackHurtsMore) {
+  AdversarialPerturbation::Config weak_cfg;
+  weak_cfg.epsilon = 0.1;
+  AdversarialPerturbation::Config strong_cfg;
+  strong_cfg.epsilon = 1.2;
+  AdversarialPerturbation weak(weak_cfg, generator_->prototypes());
+  AdversarialPerturbation strong(strong_cfg, generator_->prototypes());
+  const auto weak_report =
+      evaluate_ensemble(*ensemble_, weak.perturb(*test_));
+  const auto strong_report =
+      evaluate_ensemble(*ensemble_, strong.perturb(*test_));
+  EXPECT_GT(strong_report.mean_inaccuracy,
+            weak_report.mean_inaccuracy + 0.1);
+}
+
+TEST(AdversarialTest, ZeroEpsilonKeepsLabelGeometry) {
+  SyntheticGtsrb gen({});
+  AdversarialPerturbation::Config cfg;
+  cfg.epsilon = 0.0;
+  cfg.transfer_noise = 0.0;
+  AdversarialPerturbation adv(cfg, gen.prototypes());
+  const auto data = gen.generate(50);
+  const auto attacked = adv.perturb(data);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(attacked.samples[i].features, data.samples[i].features);
+}
+
+TEST(ClassifierUnit, NearestCentroidOnTrivialData) {
+  Dataset train;
+  train.num_classes = 2;
+  train.dim = 2;
+  train.samples = {{{0.0, 0.0}, 0}, {{0.1, 0.0}, 0},
+                   {{1.0, 1.0}, 1}, {{0.9, 1.0}, 1}};
+  NearestCentroidClassifier clf;
+  clf.fit(train);
+  EXPECT_EQ(clf.predict({0.05, 0.05}), 0);
+  EXPECT_EQ(clf.predict({0.95, 0.95}), 1);
+}
+
+TEST(ClassifierUnit, SoftmaxSeparatesLinearlySeparableData) {
+  util::RandomStream rng(3);
+  Dataset train;
+  train.num_classes = 2;
+  train.dim = 2;
+  for (int i = 0; i < 400; ++i) {
+    const int label = i % 2;
+    const double cx = label == 0 ? -1.0 : 1.0;
+    train.samples.push_back(
+        {{cx + rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)}, label});
+  }
+  SoftmaxRegressionClassifier clf;
+  clf.fit(train);
+  EXPECT_GT(accuracy(clf, train), 0.98);
+}
+
+TEST(ClassifierUnit, MlpLearnsXorLikeStructure) {
+  // Nonlinear task a linear model cannot solve: XOR quadrants.
+  util::RandomStream rng(4);
+  Dataset train;
+  train.num_classes = 2;
+  train.dim = 2;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    train.samples.push_back({{x, y}, (x * y > 0.0) ? 1 : 0});
+  }
+  TinyMlpClassifier::Hyper hyper;
+  hyper.hidden = 16;
+  hyper.epochs = 60;
+  hyper.learning_rate = 0.02;
+  TinyMlpClassifier mlp(hyper);
+  mlp.fit(train);
+  const double mlp_acc = accuracy(mlp, train);
+  SoftmaxRegressionClassifier linear;
+  linear.fit(train);
+  EXPECT_GT(mlp_acc, 0.9);
+  EXPECT_GT(mlp_acc, accuracy(linear, train) + 0.2);
+}
+
+}  // namespace
+}  // namespace nvp::dataset

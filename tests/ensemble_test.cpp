@@ -1,0 +1,90 @@
+// Tests for the ML-in-the-loop ensemble perception system.
+
+#include <gtest/gtest.h>
+
+#include "src/perception/ensemble_system.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::perception {
+namespace {
+
+/// Shared trained system (training the members dominates the runtime).
+class EnsembleSystemTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    EnsemblePerceptionSystem::Config cfg;
+    cfg.train_samples = 1500;
+    cfg.calibration_samples = 600;
+    cfg.seed = 5;
+    cfg.frame_interval = 2.0;
+    system_ = new EnsemblePerceptionSystem(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static EnsemblePerceptionSystem* system_;
+};
+
+EnsemblePerceptionSystem* EnsembleSystemTest::system_ = nullptr;
+
+TEST_F(EnsembleSystemTest, MeasuredParametersAreSane) {
+  EXPECT_GT(system_->measured_p(), 0.0);
+  EXPECT_LT(system_->measured_p(), 0.3);
+  EXPECT_GT(system_->measured_p_prime(), system_->measured_p() + 0.1);
+  EXPECT_LE(system_->measured_p_prime(), 1.0);
+  EXPECT_GT(system_->measured_alpha(), 0.0);
+  EXPECT_LE(system_->measured_alpha(), 1.0);
+  EXPECT_EQ(system_->clean_report().names.size(), 6u);
+}
+
+TEST_F(EnsembleSystemTest, CampaignCountsAreConsistent) {
+  const auto result = system_->run(40000.0);
+  EXPECT_EQ(result.frames, result.correct + result.errors +
+                               result.inconclusive + result.unavailable);
+  EXPECT_GT(result.frames, 10000u);
+  EXPECT_GT(result.rejuvenation_batches, 0u);
+  double mass = 0.0;
+  for (const auto& [state, fraction] : result.state_time_fraction) {
+    const auto [h, c, k] = state;
+    EXPECT_EQ(h + c + k, 6);
+    mass += fraction;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  // With a trained ensemble and rejuvenation the system should be highly
+  // reliable.
+  EXPECT_GT(result.paper_reliability(), 0.85);
+}
+
+TEST(EnsembleSystem, RejectsUndersizedCalibration) {
+  EnsemblePerceptionSystem::Config cfg;
+  cfg.train_samples = 10;
+  EXPECT_THROW(EnsemblePerceptionSystem{cfg}, util::ContractViolation);
+}
+
+TEST(EnsembleSystem, AdversarialChannelHurts) {
+  // A system whose modules are all compromised from the start (via a very
+  // fast compromise rate and no recovery) must be less reliable than the
+  // healthy one.
+  EnsemblePerceptionSystem::Config healthy_cfg;
+  healthy_cfg.train_samples = 1200;
+  healthy_cfg.calibration_samples = 400;
+  healthy_cfg.seed = 9;
+  healthy_cfg.params = core::SystemParameters::paper_four_version();
+  healthy_cfg.params.mean_time_to_compromise = 1.0e9;  // effectively never
+  EnsemblePerceptionSystem healthy(healthy_cfg);
+
+  EnsemblePerceptionSystem::Config hostile_cfg = healthy_cfg;
+  hostile_cfg.params.mean_time_to_compromise = 5.0;  // instantly hostile
+  hostile_cfg.params.mean_time_to_failure = 1.0e9;   // stay compromised
+  EnsemblePerceptionSystem hostile(hostile_cfg);
+
+  const double healthy_reliability =
+      healthy.run(20000.0).paper_reliability();
+  const double hostile_reliability =
+      hostile.run(20000.0).paper_reliability();
+  EXPECT_GT(healthy_reliability, hostile_reliability + 0.05);
+}
+
+}  // namespace
+}  // namespace nvp::perception

@@ -1,0 +1,270 @@
+// Tests for the second extension wave: detection-based recovery, the voter
+// failure model (relaxing assumption A.4), sensitivity analysis, P-semiflow
+// computation, and mission-average reliability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/model_factory.hpp"
+#include "src/core/sensitivity.hpp"
+#include "src/core/transient.hpp"
+#include "src/petri/structural.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp {
+namespace {
+
+using core::ReliabilityAnalyzer;
+using core::SystemParameters;
+
+// ---- detection-based recovery --------------------------------------------------
+
+TEST(Detection, ImprovesReliabilityMonotonically) {
+  const ReliabilityAnalyzer analyzer;
+  double previous = 0.0;
+  for (double rate : {0.0, 1.0 / 3600.0, 1.0 / 600.0, 1.0 / 60.0}) {
+    auto params = SystemParameters::paper_four_version();
+    params.detection_rate = rate;
+    const double r = analyzer.analyze(params).expected_reliability;
+    EXPECT_GT(r, previous);
+    previous = r;
+  }
+}
+
+TEST(Detection, AddsTransitionToTheNet) {
+  auto params = SystemParameters::paper_four_version();
+  params.detection_rate = 0.01;
+  const auto model = core::PerceptionModelFactory::build(params);
+  EXPECT_NO_THROW(model.net.transition_id("Td"));
+  // Td moves a token C -> H.
+  const auto td = model.net.transition_id("Td");
+  petri::Marking m = model.net.initial_marking();
+  m[model.pmh.index] = 3;
+  m[model.pmc.index] = 1;
+  ASSERT_TRUE(model.net.is_enabled(td.index, m));
+  const auto next = model.net.fire(td.index, m);
+  EXPECT_EQ(next[model.pmh.index], 4);
+  EXPECT_EQ(next[model.pmc.index], 0);
+}
+
+TEST(Detection, ZeroRateLeavesModelUnchanged) {
+  auto params = SystemParameters::paper_four_version();
+  params.detection_rate = 0.0;
+  const auto model = core::PerceptionModelFactory::build(params);
+  EXPECT_THROW(model.net.transition_id("Td"), petri::NetError);
+}
+
+TEST(Detection, FastDetectionBeatsBlindRejuvenation) {
+  // A detector with 60 s latency on a 4-version system outperforms the
+  // 600 s blind rejuvenation of the 6-version system at the defaults
+  // (bench_reactive_vs_proactive's headline observation).
+  const ReliabilityAnalyzer analyzer;
+  auto four = SystemParameters::paper_four_version();
+  four.detection_rate = 1.0 / 60.0;
+  EXPECT_GT(analyzer.analyze(four).expected_reliability,
+            analyzer.analyze(SystemParameters::paper_six_version())
+                .expected_reliability);
+}
+
+// ---- voter failure model -------------------------------------------------------
+
+TEST(VoterFailure, DegradesReliability) {
+  const ReliabilityAnalyzer analyzer;
+  auto params = SystemParameters::paper_six_version();
+  const double ideal = analyzer.analyze(params).expected_reliability;
+  params.voter_can_fail = true;
+  params.voter_mtbf = 1000.0;
+  params.voter_mttr = 10.0;
+  const double flaky = analyzer.analyze(params).expected_reliability;
+  EXPECT_LT(flaky, ideal);
+  // The loss matches the voter's unavailability to first order:
+  // mttr / (mtbf + mttr) ~ 1%.
+  EXPECT_NEAR((ideal - flaky) / ideal, 10.0 / 1010.0, 0.002);
+}
+
+TEST(VoterFailure, NegligibleForReliableVoter) {
+  const ReliabilityAnalyzer analyzer;
+  auto params = SystemParameters::paper_four_version();
+  const double ideal = analyzer.analyze(params).expected_reliability;
+  params.voter_can_fail = true;
+  params.voter_mtbf = 1.0e8;
+  params.voter_mttr = 1.0;
+  EXPECT_NEAR(analyzer.analyze(params).expected_reliability, ideal, 1e-6);
+}
+
+TEST(VoterFailure, DoublesStateSpace) {
+  auto params = SystemParameters::paper_four_version();
+  const auto base = core::PerceptionModelFactory::build(params);
+  const auto gb = petri::TangibleReachabilityGraph::build(base.net);
+  params.voter_can_fail = true;
+  const auto extended = core::PerceptionModelFactory::build(params);
+  const auto ge = petri::TangibleReachabilityGraph::build(extended.net);
+  EXPECT_EQ(ge.size(), 2 * gb.size());
+  ASSERT_TRUE(extended.pvu && extended.pvd);
+  EXPECT_TRUE(extended.voter_up(extended.net.initial_marking()));
+}
+
+TEST(VoterFailure, ValidationChecksVoterParameters) {
+  auto params = SystemParameters::paper_four_version();
+  params.voter_can_fail = true;
+  params.voter_mtbf = 0.0;
+  EXPECT_THROW(params.validate(), util::ContractViolation);
+}
+
+// ---- sensitivity ---------------------------------------------------------------
+
+TEST(Sensitivity, ReportCoversExpectedParameters) {
+  const ReliabilityAnalyzer analyzer;
+  const auto four = core::sensitivity_report(
+      analyzer, SystemParameters::paper_four_version());
+  EXPECT_EQ(four.size(), 6u);  // no rejuvenation knobs
+  const auto six = core::sensitivity_report(
+      analyzer, SystemParameters::paper_six_version());
+  EXPECT_EQ(six.size(), 8u);
+  bool has_gamma = false;
+  for (const auto& entry : six) has_gamma |= entry.parameter == "1/gamma";
+  EXPECT_TRUE(has_gamma);
+}
+
+TEST(Sensitivity, SortedByDescendingSwing) {
+  const ReliabilityAnalyzer analyzer;
+  const auto report = core::sensitivity_report(
+      analyzer, SystemParameters::paper_six_version());
+  for (std::size_t i = 1; i < report.size(); ++i)
+    EXPECT_GE(report[i - 1].swing(), report[i].swing());
+}
+
+TEST(Sensitivity, SignsMatchKnownMonotonicities) {
+  const ReliabilityAnalyzer analyzer;
+  const auto report = core::sensitivity_report(
+      analyzer, SystemParameters::paper_four_version());
+  for (const auto& entry : report) {
+    if (entry.parameter == "p'" || entry.parameter == "p") {
+      EXPECT_LT(entry.elasticity, 0.0) << entry.parameter;
+    }
+    if (entry.parameter == "1/lambda_c") {
+      EXPECT_GT(entry.elasticity, 0.0) << entry.parameter;
+    }
+  }
+}
+
+TEST(Sensitivity, PPrimeDominatesWithoutRejuvenation) {
+  const ReliabilityAnalyzer analyzer;
+  const auto report = core::sensitivity_report(
+      analyzer, SystemParameters::paper_four_version());
+  EXPECT_EQ(report.front().parameter, "p'");
+}
+
+TEST(Sensitivity, TornadoRendersAllRows) {
+  const ReliabilityAnalyzer analyzer;
+  const auto report = core::sensitivity_report(
+      analyzer, SystemParameters::paper_four_version());
+  const std::string rendered = core::render_tornado(report);
+  for (const auto& entry : report)
+    EXPECT_NE(rendered.find(entry.parameter), std::string::npos);
+}
+
+// ---- P-semiflows ----------------------------------------------------------------
+
+TEST(Semiflows, SimpleCycleHasSingleInvariant) {
+  petri::PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto t1 = net.add_exponential("t1", 1.0);
+  net.add_input_arc(t1, a);
+  net.add_output_arc(t1, b);
+  const auto t2 = net.add_exponential("t2", 1.0);
+  net.add_input_arc(t2, b);
+  net.add_output_arc(t2, a);
+  const auto flows = petri::p_semiflows(net);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(flows[0][a.index], 1.0);
+  EXPECT_DOUBLE_EQ(flows[0][b.index], 1.0);
+}
+
+TEST(Semiflows, WeightedConservation) {
+  // t consumes 2 from A, produces 1 in B; invariant: A + 2B.
+  petri::PetriNet net;
+  const auto a = net.add_place("A", 4);
+  const auto b = net.add_place("B", 0);
+  const auto t = net.add_exponential("t", 1.0);
+  net.add_input_arc(t, a, 2);
+  net.add_output_arc(t, b, 1);
+  const auto back = net.add_exponential("back", 1.0);
+  net.add_input_arc(back, b, 1);
+  net.add_output_arc(back, a, 2);
+  const auto flows = petri::p_semiflows(net);
+  ASSERT_EQ(flows.size(), 1u);
+  // Invariant A + 2B, in canonical smallest-integer form.
+  EXPECT_DOUBLE_EQ(flows[0][a.index], 1.0);
+  EXPECT_DOUBLE_EQ(flows[0][b.index], 2.0);
+}
+
+TEST(Semiflows, FourVersionModelInvariantFoundStructurally) {
+  const auto model = core::PerceptionModelFactory::build(
+      SystemParameters::paper_four_version());
+  const auto flows = petri::p_semiflows(model.net);
+  ASSERT_EQ(flows.size(), 1u);  // module conservation
+  EXPECT_DOUBLE_EQ(flows[0][model.pmh.index], 1.0);
+  EXPECT_DOUBLE_EQ(flows[0][model.pmc.index], 1.0);
+  EXPECT_DOUBLE_EQ(flows[0][model.pmf.index], 1.0);
+  // The structural invariant agrees with the reachability-level check.
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  EXPECT_TRUE(petri::check_token_invariant(g, flows[0]).holds);
+}
+
+TEST(Semiflows, VoterExtensionAddsSecondInvariant) {
+  auto params = SystemParameters::paper_four_version();
+  params.voter_can_fail = true;
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto flows = petri::p_semiflows(model.net);
+  EXPECT_EQ(flows.size(), 2u);  // modules + voter token
+}
+
+TEST(Semiflows, RejectsMarkingDependentArcs) {
+  const auto model = core::PerceptionModelFactory::build(
+      SystemParameters::paper_six_version());
+  EXPECT_THROW(petri::p_semiflows(model.net), petri::NetError);
+  EXPECT_THROW(petri::incidence_matrix(model.net), petri::NetError);
+}
+
+TEST(Semiflows, NetWithoutInvariantsReturnsEmpty) {
+  petri::PetriNet net;  // pure source: no conservation
+  const auto p = net.add_place("P", 0);
+  const auto t = net.add_exponential("t", 1.0);
+  net.add_output_arc(t, p);
+  EXPECT_TRUE(petri::p_semiflows(net).empty());
+}
+
+// ---- mission-average reliability --------------------------------------------------
+
+TEST(MissionAverage, BetweenInstantaneousExtremes) {
+  const core::TransientReliabilityAnalyzer analyzer;
+  const auto params = SystemParameters::paper_four_version();
+  const double avg = analyzer.average_reliability_over(params, 20000.0);
+  const auto curve =
+      analyzer.reliability_curve(params, {0.0, 20000.0});
+  // The transient decays monotonically, so the average lies between the
+  // endpoint values.
+  EXPECT_LT(avg, curve[0].expected_reliability);
+  EXPECT_GT(avg, curve[1].expected_reliability);
+}
+
+TEST(MissionAverage, ShortMissionNearInitialReward) {
+  const core::TransientReliabilityAnalyzer analyzer;
+  const auto params = SystemParameters::paper_four_version();
+  EXPECT_NEAR(analyzer.average_reliability_over(params, 1.0), 0.95, 1e-3);
+}
+
+TEST(MissionAverage, LongMissionApproachesSteadyState) {
+  const core::TransientReliabilityAnalyzer analyzer;
+  const core::ReliabilityAnalyzer steady;
+  const auto params = SystemParameters::paper_four_version();
+  EXPECT_NEAR(analyzer.average_reliability_over(params, 5.0e6),
+              steady.analyze(params).expected_reliability, 0.002);
+}
+
+}  // namespace
+}  // namespace nvp

@@ -1,0 +1,142 @@
+// Tests for the third extension wave: T-semiflows, dead-marking detection,
+// and the error-burst safety metrics.
+
+#include <gtest/gtest.h>
+
+#include "src/core/model_factory.hpp"
+#include "src/perception/system.hpp"
+#include "src/petri/structural.hpp"
+
+namespace nvp {
+namespace {
+
+// ---- T-semiflows ----------------------------------------------------------
+
+TEST(TSemiflows, SimpleCycleIsCovered) {
+  petri::PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto t1 = net.add_exponential("t1", 1.0);
+  net.add_input_arc(t1, a);
+  net.add_output_arc(t1, b);
+  const auto t2 = net.add_exponential("t2", 1.0);
+  net.add_input_arc(t2, b);
+  net.add_output_arc(t2, a);
+  const auto flows = petri::t_semiflows(net);
+  ASSERT_EQ(flows.size(), 1u);
+  // Firing t1 once and t2 once reproduces the marking.
+  EXPECT_DOUBLE_EQ(flows[0][t1.index], 1.0);
+  EXPECT_DOUBLE_EQ(flows[0][t2.index], 1.0);
+}
+
+TEST(TSemiflows, WeightedCycleNeedsProportionalFirings) {
+  // t1 moves 2 tokens A -> B per firing; t2 moves 1 back. Reproduction
+  // needs t2 fired twice per t1.
+  petri::PetriNet net;
+  const auto a = net.add_place("A", 2);
+  const auto b = net.add_place("B", 0);
+  const auto t1 = net.add_exponential("t1", 1.0);
+  net.add_input_arc(t1, a, 2);
+  net.add_output_arc(t1, b, 2);
+  const auto t2 = net.add_exponential("t2", 1.0);
+  net.add_input_arc(t2, b);
+  net.add_output_arc(t2, a);
+  const auto flows = petri::t_semiflows(net);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(flows[0][t1.index], 1.0);
+  EXPECT_DOUBLE_EQ(flows[0][t2.index], 2.0);
+}
+
+TEST(TSemiflows, FourVersionLifecycleIsReproducible) {
+  const auto model = core::PerceptionModelFactory::build(
+      core::SystemParameters::paper_four_version());
+  const auto flows = petri::t_semiflows(model.net);
+  // The H -> C -> N -> H cycle: one firing of each transition.
+  ASSERT_EQ(flows.size(), 1u);
+  for (double x : flows[0]) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(TSemiflows, SourceTransitionHasNone) {
+  petri::PetriNet net;
+  const auto p = net.add_place("P", 0);
+  const auto t = net.add_exponential("t", 1.0);
+  net.add_output_arc(t, p);  // strictly produces: no reproduction possible
+  EXPECT_TRUE(petri::t_semiflows(net).empty());
+}
+
+// ---- dead markings -----------------------------------------------------------
+
+TEST(DeadMarkings, DetectedAndLocated) {
+  petri::PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto t = net.add_exponential("t", 1.0);
+  net.add_input_arc(t, a);
+  net.add_output_arc(t, b);
+  const auto g = petri::TangibleReachabilityGraph::build(net);
+  const auto dead = petri::dead_markings(g);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(g.marking(dead[0])[b.index], 1);
+}
+
+TEST(DeadMarkings, LiveModelsHaveNone) {
+  for (const auto& params :
+       {core::SystemParameters::paper_four_version(),
+        core::SystemParameters::paper_six_version()}) {
+    const auto model = core::PerceptionModelFactory::build(params);
+    const auto g = petri::TangibleReachabilityGraph::build(model.net);
+    EXPECT_TRUE(petri::dead_markings(g).empty());
+  }
+}
+
+// ---- error bursts ---------------------------------------------------------------
+
+TEST(ErrorBursts, TrackedDuringCampaign) {
+  perception::NVersionPerceptionSystem::Config cfg;
+  cfg.params = core::SystemParameters::paper_four_version();
+  // Make errors frequent: high p', fast compromise, slow failure.
+  cfg.params.p_prime = 0.9;
+  cfg.params.mean_time_to_compromise = 50.0;
+  cfg.params.mean_time_to_failure = 1.0e7;
+  cfg.seed = 3;
+  cfg.frame_interval = 1.0;
+  perception::NVersionPerceptionSystem system(cfg);
+  const auto result = system.run(2.0e5);
+  EXPECT_GT(result.errors, 1000u);
+  EXPECT_GE(result.longest_error_burst, 3u);
+  EXPECT_GT(result.error_bursts_at_least_3, 0u);
+  // The longest burst is at least as long as any counted >= 3 burst.
+  EXPECT_GE(result.longest_error_burst, 3u);
+}
+
+TEST(ErrorBursts, RareWhenSystemHealthy) {
+  perception::NVersionPerceptionSystem::Config cfg;
+  cfg.params = core::SystemParameters::paper_six_version();
+  cfg.params.p = 0.01;  // very accurate modules
+  cfg.seed = 4;
+  cfg.frame_interval = 1.0;
+  perception::NVersionPerceptionSystem system(cfg);
+  const auto result = system.run(1.0e5);
+  EXPECT_LT(result.longest_error_burst, 50u);
+  // Ratio sanity: bursts cannot exceed total errors.
+  EXPECT_LE(result.error_bursts_at_least_3 * 3, result.errors + 3);
+}
+
+TEST(ErrorBursts, RejuvenationShortensBursts) {
+  auto run_with = [](const core::SystemParameters& params) {
+    perception::NVersionPerceptionSystem::Config cfg;
+    cfg.params = params;
+    cfg.params.p_prime = 0.8;
+    cfg.seed = 11;
+    cfg.frame_interval = 1.0;
+    perception::NVersionPerceptionSystem system(cfg);
+    return system.run(1.0e6);
+  };
+  const auto four =
+      run_with(core::SystemParameters::paper_four_version());
+  const auto six = run_with(core::SystemParameters::paper_six_version());
+  EXPECT_LT(six.error_bursts_at_least_3, four.error_bursts_at_least_3);
+}
+
+}  // namespace
+}  // namespace nvp

@@ -1,0 +1,232 @@
+// Tests for the fourth extension wave: Erlangized clocks and the
+// threat-adaptive rejuvenation controller.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/model_factory.hpp"
+#include "src/core/reliability.hpp"
+#include "src/markov/ctmc.hpp"
+#include "src/markov/dspn_solver.hpp"
+#include "src/markov/transient.hpp"
+#include "src/perception/adaptive.hpp"
+#include "src/perception/system.hpp"
+#include "src/petri/reachability.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp {
+namespace {
+
+using core::SystemParameters;
+
+double expected_reliability(const core::BuiltModel& model,
+                            const petri::TangibleReachabilityGraph& g,
+                            const linalg::Vector& pi,
+                            const core::ReliabilityModel& rewards) {
+  double out = 0.0;
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    const auto& m = g.marking(s);
+    const int k = model.down(m);
+    out += pi[s] * (k > 0 ? 0.0
+                          : rewards.state_reliability(
+                                model.healthy(m), model.compromised(m), k));
+  }
+  return out;
+}
+
+// ---- Erlangization ------------------------------------------------------------
+
+TEST(Erlangization, ModelIsPureCtmc) {
+  const auto model = core::PerceptionModelFactory::with_rejuvenation_erlang(
+      SystemParameters::paper_six_version(), 4);
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  EXPECT_FALSE(g.has_deterministic());
+}
+
+TEST(Erlangization, ConvergesToMrgpSolution) {
+  const auto params = SystemParameters::paper_six_version();
+  const core::PaperSixVersionReliability rewards(params.p, params.p_prime,
+                                                 params.alpha);
+  const auto det = core::PerceptionModelFactory::build(params);
+  const auto g_det = petri::TangibleReachabilityGraph::build(det.net);
+  const auto pi_det = markov::DspnSteadyStateSolver().solve(g_det);
+  const double reference =
+      expected_reliability(det, g_det, pi_det.probabilities, rewards);
+
+  double previous_gap = 1.0;
+  for (int stages : {2, 4, 8, 16}) {
+    const auto model =
+        core::PerceptionModelFactory::with_rejuvenation_erlang(params,
+                                                               stages);
+    const auto g = petri::TangibleReachabilityGraph::build(model.net);
+    const auto pi =
+        markov::ctmc_steady_state(markov::Ctmc::from_graph(g).generator);
+    const double gap =
+        std::fabs(expected_reliability(model, g, pi, rewards) - reference);
+    EXPECT_LT(gap, previous_gap) << "stages " << stages;
+    previous_gap = gap;
+  }
+  EXPECT_LT(previous_gap, 3e-4);  // Erlang-16 is already very close
+}
+
+TEST(Erlangization, ModuleTokensStillConserved) {
+  const auto model = core::PerceptionModelFactory::with_rejuvenation_erlang(
+      SystemParameters::paper_six_version(), 3);
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    const auto& m = g.marking(s);
+    EXPECT_EQ(model.healthy(m) + model.compromised(m) + model.down(m), 6);
+  }
+}
+
+TEST(Erlangization, EnablesAnalyticTransients) {
+  // The whole point: uniformization applies. E[R(t)] at t = 0 equals the
+  // all-healthy reward, and at large t the stationary value.
+  const auto params = SystemParameters::paper_six_version();
+  const auto model = core::PerceptionModelFactory::with_rejuvenation_erlang(
+      params, 8);
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  const auto chain = markov::Ctmc::from_graph(g);
+  const core::PaperSixVersionReliability rewards(params.p, params.p_prime,
+                                                 params.alpha);
+  linalg::Vector reward(g.size());
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    const auto& m = g.marking(s);
+    const int k = model.down(m);
+    reward[s] = k > 0 ? 0.0
+                      : rewards.state_reliability(
+                            model.healthy(m), model.compromised(m), k);
+  }
+  auto value_at = [&](double t) {
+    const auto pi = markov::ctmc_transient(chain.generator, chain.initial, t);
+    double out = 0.0;
+    for (std::size_t s = 0; s < g.size(); ++s) out += pi[s] * reward[s];
+    return out;
+  };
+  EXPECT_NEAR(value_at(0.0), 0.945, 1e-9);  // R_{6,0,0} at defaults
+  const auto stationary =
+      markov::ctmc_steady_state(chain.generator);
+  double stat_value = 0.0;
+  for (std::size_t s = 0; s < g.size(); ++s)
+    stat_value += stationary[s] * reward[s];
+  // t = 3e4 s is ~10 mixing times of the slowest life-cycle
+  // timescale; keep the horizon moderate so the uniformization
+  // series stays short.
+  EXPECT_NEAR(value_at(3.0e4), stat_value, 2e-4);
+}
+
+TEST(Erlangization, RejectsBadStageCount) {
+  EXPECT_THROW(core::PerceptionModelFactory::with_rejuvenation_erlang(
+                   SystemParameters::paper_six_version(), 0),
+               util::ContractViolation);
+}
+
+// ---- adaptive controller --------------------------------------------------------
+
+perception::AdaptiveIntervalController::Config small_window() {
+  perception::AdaptiveIntervalController::Config cfg;
+  cfg.window_frames = 10;
+  cfg.initial_interval = 600.0;
+  cfg.min_interval = 75.0;
+  cfg.max_interval = 1200.0;
+  cfg.relax_step = 100.0;
+  cfg.suspicion_threshold = 0.3;
+  return cfg;
+}
+
+TEST(AdaptiveController, TightensUnderSuspicion) {
+  perception::AdaptiveIntervalController controller(small_window());
+  bool changed = false;
+  for (int i = 0; i < 10; ++i) changed |= controller.record_verdict(true);
+  EXPECT_TRUE(changed);
+  EXPECT_DOUBLE_EQ(controller.current_interval(), 300.0);
+  EXPECT_EQ(controller.tightenings(), 1u);
+  // Keeps halving down to the floor.
+  for (int w = 0; w < 10; ++w)
+    for (int i = 0; i < 10; ++i) controller.record_verdict(true);
+  EXPECT_DOUBLE_EQ(controller.current_interval(), 75.0);
+}
+
+TEST(AdaptiveController, RelaxesWhenCalm) {
+  perception::AdaptiveIntervalController controller(small_window());
+  for (int i = 0; i < 10; ++i) controller.record_verdict(false);
+  EXPECT_DOUBLE_EQ(controller.current_interval(), 700.0);
+  EXPECT_EQ(controller.relaxations(), 1u);
+  for (int w = 0; w < 20; ++w)
+    for (int i = 0; i < 10; ++i) controller.record_verdict(false);
+  EXPECT_DOUBLE_EQ(controller.current_interval(), 1200.0);  // capped
+}
+
+TEST(AdaptiveController, ThresholdIsaBoundary) {
+  perception::AdaptiveIntervalController controller(small_window());
+  // 2/10 suspicious < 0.3: relax.
+  for (int i = 0; i < 10; ++i) controller.record_verdict(i < 2);
+  EXPECT_GT(controller.current_interval(), 600.0);
+  // 3/10 suspicious >= 0.3: tighten.
+  perception::AdaptiveIntervalController controller2(small_window());
+  for (int i = 0; i < 10; ++i) controller2.record_verdict(i < 3);
+  EXPECT_LT(controller2.current_interval(), 600.0);
+}
+
+TEST(AdaptiveController, NoDecisionMidWindow) {
+  perception::AdaptiveIntervalController controller(small_window());
+  for (int i = 0; i < 9; ++i)
+    EXPECT_FALSE(controller.record_verdict(true));
+  EXPECT_DOUBLE_EQ(controller.current_interval(), 600.0);
+}
+
+TEST(AdaptiveController, ValidatesConfig) {
+  auto cfg = small_window();
+  cfg.min_interval = 0.0;
+  EXPECT_THROW(perception::AdaptiveIntervalController{cfg},
+               util::ContractViolation);
+  cfg = small_window();
+  cfg.initial_interval = 5000.0;  // above max
+  EXPECT_THROW(perception::AdaptiveIntervalController{cfg},
+               util::ContractViolation);
+}
+
+// ---- adaptive system integration -------------------------------------------------
+
+TEST(AdaptiveSystem, RequiresRejuvenatingModel) {
+  perception::NVersionPerceptionSystem::Config cfg;
+  cfg.params = SystemParameters::paper_four_version();
+  cfg.adaptive_rejuvenation = true;
+  EXPECT_THROW(perception::NVersionPerceptionSystem{cfg},
+               util::ContractViolation);
+}
+
+TEST(AdaptiveSystem, ControllerIsActiveAndHelpsUnderAttack) {
+  auto run_campaign = [](bool adaptive) {
+    perception::NVersionPerceptionSystem::Config cfg;
+    cfg.params = SystemParameters::paper_six_version();
+    cfg.params.p_prime = 0.8;
+    cfg.adaptive_rejuvenation = adaptive;
+    cfg.seed = 15;
+    cfg.frame_interval = 1.0;
+    perception::NVersionPerceptionSystem system(cfg);
+    system.add_attack_window({1000.0, 4.0e5, 10.0});
+    const auto result = system.run(4.0e5);
+    if (adaptive) {
+      EXPECT_NE(system.adaptive_controller(), nullptr);
+      EXPECT_GT(system.adaptive_controller()->tightenings(), 0u);
+    }
+    return result.paper_reliability();
+  };
+  EXPECT_GT(run_campaign(true), run_campaign(false));
+}
+
+TEST(AdaptiveSystem, RejuvenatorIntervalRetunes) {
+  perception::TimedRejuvenator rejuvenator({true, 600.0, 3.0, 1}, 1);
+  EXPECT_DOUBLE_EQ(rejuvenator.next_clock_tick(), 600.0);
+  rejuvenator.set_interval(100.0, 50.0);
+  EXPECT_DOUBLE_EQ(rejuvenator.interval(), 100.0);
+  EXPECT_DOUBLE_EQ(rejuvenator.next_clock_tick(), 150.0);  // pulled in
+  // Lengthening does not push out an armed expiry.
+  rejuvenator.set_interval(5000.0, 50.0);
+  EXPECT_DOUBLE_EQ(rejuvenator.next_clock_tick(), 150.0);
+}
+
+}  // namespace
+}  // namespace nvp

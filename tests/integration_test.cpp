@@ -1,0 +1,264 @@
+// Cross-module validation (DESIGN.md §6): the analytic MRGP pipeline, the
+// discrete-event DSPN simulator, and the executable Monte-Carlo perception
+// system must agree on the paper's models, and the paper's qualitative
+// findings must hold end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/model_factory.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/reliability.hpp"
+#include "src/core/sweep.hpp"
+#include "src/markov/rewards.hpp"
+#include "src/perception/system.hpp"
+#include "src/sim/dspn_simulator.hpp"
+
+namespace nvp {
+namespace {
+
+using core::ReliabilityAnalyzer;
+using core::RewardConvention;
+using core::SystemParameters;
+
+markov::MarkingReward reward_for(const core::BuiltModel& model,
+                                 const core::ReliabilityModel& rewards) {
+  return [&model, &rewards](const petri::Marking& m) {
+    return rewards.state_reliability(model.healthy(m), model.compromised(m),
+                                     model.down(m));
+  };
+}
+
+TEST(Integration, AnalyticMatchesDspnSimulatorFourVersion) {
+  const auto params = SystemParameters::paper_four_version();
+  ReliabilityAnalyzer::Options opts;
+  opts.attachment = core::RewardAttachment::kAppendixMatrices;
+  const auto analytic = ReliabilityAnalyzer(opts).analyze(params);
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto rewards = core::make_reliability_model(params);
+  sim::DspnSimulator simulator(model.net);
+  sim::SimulationOptions opt;
+  opt.warmup_time = 2e4;
+  opt.horizon = 3e6;
+  opt.seed = 1;
+  const auto est =
+      simulator.estimate(reward_for(model, *rewards), opt, 10);
+  EXPECT_NEAR(est.mean, analytic.expected_reliability,
+              std::max(4.0 * est.std_error, 0.004));
+}
+
+TEST(Integration, AnalyticMatchesDspnSimulatorSixVersion) {
+  const auto params = SystemParameters::paper_six_version();
+  ReliabilityAnalyzer::Options opts;
+  opts.attachment = core::RewardAttachment::kAppendixMatrices;
+  const auto analytic = ReliabilityAnalyzer(opts).analyze(params);
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto rewards = core::make_reliability_model(params);
+  sim::DspnSimulator simulator(model.net);
+  sim::SimulationOptions opt;
+  opt.warmup_time = 1e4;
+  opt.horizon = 2e6;
+  opt.seed = 2;
+  const auto est =
+      simulator.estimate(reward_for(model, *rewards), opt, 10);
+  EXPECT_NEAR(est.mean, analytic.expected_reliability,
+              std::max(4.0 * est.std_error, 0.003));
+}
+
+TEST(Integration, StateDistributionAnalyticVsSimulated) {
+  // Compare the stationary (i, j, k) masses of the six-version DSPN between
+  // the MRGP solver and the simulator.
+  const auto params = SystemParameters::paper_six_version();
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  const auto solution = markov::DspnSteadyStateSolver().solve(g);
+
+  const auto healthy_of = [&model](const petri::Marking& m) {
+    return model.healthy(m);
+  };
+  const auto analytic_mass =
+      markov::mass_by_feature(g, solution.probabilities, healthy_of);
+
+  sim::DspnSimulator simulator(model.net);
+  sim::SimulationOptions opt;
+  opt.warmup_time = 1e4;
+  opt.horizon = 4e6;
+  opt.seed = 3;
+  const auto sim_mass = simulator.feature_distribution(healthy_of, opt);
+
+  for (const auto& [healthy, mass] : analytic_mass) {
+    if (mass < 0.005) continue;  // skip statistically hopeless tails
+    ASSERT_TRUE(sim_mass.count(healthy)) << "healthy = " << healthy;
+    EXPECT_NEAR(sim_mass.at(healthy), mass, 0.01)
+        << "healthy = " << healthy;
+  }
+}
+
+TEST(Integration, MonteCarloSystemMatchesGeneralizedAnalytic) {
+  ReliabilityAnalyzer::Options opts;
+  opts.convention = RewardConvention::kGeneralized;
+  // The Monte-Carlo voter counts inconclusive frames in degraded states as
+  // safe, which corresponds to the appendix matrices, not the paper's
+  // operational-only embedding.
+  opts.attachment = core::RewardAttachment::kAppendixMatrices;
+  const ReliabilityAnalyzer analyzer(opts);
+  for (const auto& params : {SystemParameters::paper_four_version(),
+                             SystemParameters::paper_six_version()}) {
+    perception::NVersionPerceptionSystem::Config cfg;
+    cfg.params = params;
+    cfg.seed = 4;
+    cfg.frame_interval = 2.0;
+    perception::NVersionPerceptionSystem system(cfg);
+    const auto result = system.run(6e6);
+    EXPECT_NEAR(result.paper_reliability(),
+                analyzer.analyze(params).expected_reliability, 0.008)
+        << params.describe();
+  }
+}
+
+TEST(Integration, MonteCarloStateOccupancyMatchesDspn) {
+  const auto params = SystemParameters::paper_four_version();
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto g = petri::TangibleReachabilityGraph::build(model.net);
+  const auto pi = markov::DspnSteadyStateSolver().solve(g);
+
+  perception::NVersionPerceptionSystem::Config cfg;
+  cfg.params = params;
+  cfg.seed = 5;
+  cfg.frame_interval = 10.0;
+  perception::NVersionPerceptionSystem system(cfg);
+  const auto result = system.run(2e7);
+
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    const auto& m = g.marking(s);
+    const auto key = std::make_tuple(model.healthy(m),
+                                     model.compromised(m), model.down(m));
+    const double analytic_mass = pi.probabilities[s];
+    if (analytic_mass < 0.01) continue;
+    ASSERT_TRUE(result.state_time_fraction.count(key));
+    EXPECT_NEAR(result.state_time_fraction.at(key), analytic_mass, 0.02);
+  }
+}
+
+// ---- the paper's qualitative findings -----------------------------------------
+
+TEST(Integration, Fig3ShapeInteriorMaximum) {
+  // E[R_6v] rises sharply for very small intervals... actually the paper
+  // shows a maximum at 400-450 s with decline on both sides; verify an
+  // interior maximum exists and the curve declines toward 3000 s.
+  const ReliabilityAnalyzer analyzer;
+  const auto base = SystemParameters::paper_six_version();
+  const auto points = sweep_parameter(
+      analyzer, base, core::set_rejuvenation_interval(),
+      core::linspace(200.0, 3000.0, 15));
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].expected_reliability > points[best].expected_reliability)
+      best = i;
+  EXPECT_GT(best, 0u);
+  EXPECT_LT(best, points.size() - 1);
+  EXPECT_GT(points[best].expected_reliability,
+            points.back().expected_reliability);
+}
+
+TEST(Integration, Fig4aCrossoversExist) {
+  // The 4v system beats the rejuvenating 6v system for very small and very
+  // large mean times to compromise (paper: ~525 s and ~6000 s).
+  const ReliabilityAnalyzer analyzer;
+  auto four = SystemParameters::paper_four_version();
+  auto six = SystemParameters::paper_six_version();
+  auto value = [&](const SystemParameters& base, double mttc) {
+    SystemParameters p = base;
+    p.mean_time_to_compromise = mttc;
+    return analyzer.analyze(p).expected_reliability;
+  };
+  EXPECT_GT(value(four, 200.0), value(six, 200.0));    // 4v wins early
+  EXPECT_LT(value(four, 1523.0), value(six, 1523.0));  // 6v wins mid
+  EXPECT_GT(value(four, 50000.0), value(six, 50000.0));  // 4v wins late
+}
+
+TEST(Integration, Fig4dRejuvenationOnlyHelpsForLargePPrime) {
+  const ReliabilityAnalyzer analyzer;
+  auto value = [&](const SystemParameters& base, double pp) {
+    SystemParameters p = base;
+    p.p_prime = pp;
+    return analyzer.analyze(p).expected_reliability;
+  };
+  const auto four = SystemParameters::paper_four_version();
+  const auto six = SystemParameters::paper_six_version();
+  EXPECT_GT(value(four, 0.1), value(six, 0.1));  // small p': 4v better
+  EXPECT_LT(value(four, 0.8), value(six, 0.8));  // large p': 6v better
+}
+
+TEST(Integration, Fig4bAlphaImpactLargerForSixVersion) {
+  // Paper: varying alpha 0.1 -> 1.0 degrades the 4v system by ~1.5% and
+  // the 6v system by ~6.6%.
+  const ReliabilityAnalyzer analyzer;
+  auto drop = [&](const SystemParameters& base) {
+    SystemParameters lo = base, hi = base;
+    lo.alpha = 0.1;
+    hi.alpha = 1.0;
+    const double r_lo = analyzer.analyze(lo).expected_reliability;
+    const double r_hi = analyzer.analyze(hi).expected_reliability;
+    return (r_lo - r_hi) / r_lo;
+  };
+  const double four_drop = drop(SystemParameters::paper_four_version());
+  const double six_drop = drop(SystemParameters::paper_six_version());
+  EXPECT_LT(four_drop, 0.04);
+  EXPECT_GT(six_drop, four_drop);
+  EXPECT_NEAR(six_drop, 0.066, 0.035);
+}
+
+TEST(Integration, Fig4cSixVersionAlwaysBetterButMoreSensitive) {
+  const ReliabilityAnalyzer analyzer;
+  double four_first = 0.0, four_last = 0.0;
+  double six_first = 0.0, six_last = 0.0;
+  for (double p : {0.01, 0.2}) {
+    SystemParameters four = SystemParameters::paper_four_version();
+    SystemParameters six = SystemParameters::paper_six_version();
+    four.p = p;
+    six.p = p;
+    const double r4 = analyzer.analyze(four).expected_reliability;
+    const double r6 = analyzer.analyze(six).expected_reliability;
+    EXPECT_GT(r6, r4) << "p = " << p;  // 6v better for all p (paper)
+    if (p == 0.01) {
+      four_first = r4;
+      six_first = r6;
+    } else {
+      four_last = r4;
+      six_last = r6;
+    }
+  }
+  // The degradation with p is steeper for the six-version system.
+  EXPECT_GT((six_first - six_last) / six_first,
+            (four_first - four_last) / four_first);
+}
+
+TEST(Integration, OptimalIntervalNearPaperRange) {
+  const ReliabilityAnalyzer analyzer;
+  const auto optimum = core::optimize_rejuvenation_interval(
+      analyzer, SystemParameters::paper_six_version(), 150.0, 3000.0, 20,
+      2.0);
+  // Paper reports 400-450 s for its parameters; our semantics shift this
+  // somewhat. Assert the meaningful property: an interior optimum well
+  // below the 600 s default region and the 3000 s tail.
+  EXPECT_GT(optimum.x, 150.0 + 5.0);
+  EXPECT_LT(optimum.x, 1500.0);
+}
+
+TEST(Integration, SemanticsAblationOnlySingleServerMatchesPaper) {
+  // The calibration result behind DESIGN.md §2: single-server reproduces
+  // the paper's four-version headline; infinite-server misses it by > 2%.
+  auto four = SystemParameters::paper_four_version();
+  const ReliabilityAnalyzer analyzer;
+  const double single = analyzer.analyze(four).expected_reliability;
+  four.semantics = core::FiringSemantics::kInfiniteServer;
+  const double infinite = analyzer.analyze(four).expected_reliability;
+  EXPECT_LT(std::fabs(single - 0.8233477), 0.0025);
+  EXPECT_GT(std::fabs(infinite - 0.8233477), 0.02);
+}
+
+}  // namespace
+}  // namespace nvp

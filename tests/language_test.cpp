@@ -1,0 +1,304 @@
+// Tests for the marking-expression language and the textual DSPN format.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/model_factory.hpp"
+#include "src/markov/dspn_solver.hpp"
+#include "src/petri/dspn_parser.hpp"
+#include "src/petri/expression.hpp"
+#include "src/petri/reachability.hpp"
+
+namespace nvp::petri {
+namespace {
+
+PetriNet three_place_net() {
+  PetriNet net("t");
+  net.add_place("Pmh", 4);
+  net.add_place("Pmc", 2);
+  net.add_place("Pmf", 1);
+  return net;
+}
+
+// ---- expressions -----------------------------------------------------------
+
+TEST(Expression, ConstantsAndArithmetic) {
+  const auto net = three_place_net();
+  const Marking m = net.initial_marking();
+  EXPECT_DOUBLE_EQ(Expression::parse("1 + 2 * 3", net).eval(m), 7.0);
+  EXPECT_DOUBLE_EQ(Expression::parse("(1 + 2) * 3", net).eval(m), 9.0);
+  EXPECT_DOUBLE_EQ(Expression::parse("10 / 4", net).eval(m), 2.5);
+  EXPECT_DOUBLE_EQ(Expression::parse("-3 + 1", net).eval(m), -2.0);
+  EXPECT_DOUBLE_EQ(Expression::parse("2 - 3 - 4", net).eval(m), -5.0);
+  EXPECT_DOUBLE_EQ(Expression::parse("1/1523", net).eval(m), 1.0 / 1523.0);
+}
+
+TEST(Expression, PlaceReferences) {
+  const auto net = three_place_net();
+  const Marking m = net.initial_marking();  // (4, 2, 1)
+  EXPECT_DOUBLE_EQ(Expression::parse("#Pmh", net).eval(m), 4.0);
+  EXPECT_DOUBLE_EQ(Expression::parse("#Pmh + #Pmc + #Pmf", net).eval(m),
+                   7.0);
+  EXPECT_DOUBLE_EQ(
+      Expression::parse("#Pmc / (#Pmc + #Pmh)", net).eval(m),
+      2.0 / 6.0);
+}
+
+TEST(Expression, ComparisonsAndLogic) {
+  const auto net = three_place_net();
+  const Marking m = net.initial_marking();
+  EXPECT_TRUE(Expression::parse("#Pmh > 3", net).eval_bool(m));
+  EXPECT_FALSE(Expression::parse("#Pmh > 4", net).eval_bool(m));
+  EXPECT_TRUE(Expression::parse("#Pmh >= 4 && #Pmf == 1", net).eval_bool(m));
+  EXPECT_TRUE(Expression::parse("#Pmh < 2 || #Pmc != 0", net).eval_bool(m));
+  EXPECT_TRUE(Expression::parse("!(#Pmf == 0)", net).eval_bool(m));
+  EXPECT_DOUBLE_EQ(Expression::parse("#Pmh <= 4", net).eval(m), 1.0);
+}
+
+TEST(Expression, MinMaxIf) {
+  const auto net = three_place_net();
+  const Marking m = net.initial_marking();
+  EXPECT_DOUBLE_EQ(Expression::parse("min(#Pmh, 2)", net).eval(m), 2.0);
+  EXPECT_DOUBLE_EQ(Expression::parse("max(#Pmf, 3)", net).eval(m), 3.0);
+  EXPECT_DOUBLE_EQ(
+      Expression::parse("if(#Pmc == 0, 0.00001, #Pmc)", net).eval(m), 2.0);
+  Marking no_c = m;
+  no_c[1] = 0;
+  EXPECT_DOUBLE_EQ(
+      Expression::parse("if(#Pmc == 0, 0.00001, #Pmc)", net).eval(no_c),
+      0.00001);
+}
+
+TEST(Expression, TableIWeightsEvaluateAsSpecified) {
+  // w1 and w5 from the paper's Table I.
+  const auto net = three_place_net();
+  Marking m = net.initial_marking();
+  const auto w1 = Expression::parse(
+      "if(#Pmc == 0, 0.00001, #Pmc / (#Pmc + #Pmh))", net);
+  EXPECT_NEAR(w1.eval(m), 2.0 / 6.0, 1e-15);
+  const auto w5 = Expression::parse("min(#Pmf, 1)", net);
+  EXPECT_DOUBLE_EQ(w5.eval(m), 1.0);
+}
+
+TEST(Expression, ConstantDetection) {
+  const auto net = three_place_net();
+  EXPECT_TRUE(Expression::parse("3 * (2 + 1)", net).is_constant());
+  EXPECT_FALSE(Expression::parse("#Pmh + 1", net).is_constant());
+  EXPECT_FALSE(Expression::parse("if(1, #Pmf, 2)", net).is_constant());
+}
+
+TEST(Expression, AdaptersMatchEval) {
+  const auto net = three_place_net();
+  const Marking m = net.initial_marking();
+  const auto expr = Expression::parse("#Pmh * 2", net);
+  EXPECT_DOUBLE_EQ(expr.as_rate()(m), 8.0);
+  EXPECT_EQ(expr.as_arc_weight()(m), 8);
+  EXPECT_TRUE(Expression::parse("#Pmf >= 1", net).as_guard()(m));
+}
+
+TEST(Expression, ErrorsAreDiagnosed) {
+  const auto net = three_place_net();
+  EXPECT_THROW(Expression::parse("#Nope", net), NetError);
+  EXPECT_THROW(Expression::parse("1 +", net), ExpressionError);
+  EXPECT_THROW(Expression::parse("(1", net), ExpressionError);
+  EXPECT_THROW(Expression::parse("min(1)", net), ExpressionError);
+  EXPECT_THROW(Expression::parse("foo(1, 2)", net), ExpressionError);
+  EXPECT_THROW(Expression::parse("1 2", net), ExpressionError);
+  EXPECT_THROW(Expression::parse("#", net), ExpressionError);
+  EXPECT_THROW(Expression::parse("1 @ 2", net), ExpressionError);
+  // Division by zero is an eval-time error.
+  const auto div = Expression::parse("1 / #Pmf", net);
+  Marking zero = net.initial_marking();
+  zero[2] = 0;
+  EXPECT_THROW(div.eval(zero), ExpressionError);
+}
+
+// ---- DSPN file format ---------------------------------------------------------
+
+constexpr const char* kWorkcell = R"(
+// two-machine workcell with deterministic inspection
+net workcell
+place ok = 2
+place worn
+place broken
+place clock = 1
+place expired
+
+transition wear exp rate 1/40
+transition breakdown exp rate 1/120
+transition repair exp rate 1/25
+transition inspect det delay 50
+transition service imm priority 2
+
+arc ok -> wear
+arc wear -> worn
+arc worn -> breakdown
+arc breakdown -> broken
+arc broken -> repair
+arc repair -> ok
+arc clock -> inspect
+arc inspect -> expired
+arc expired -> service
+arc service -> clock
+arc worn -> service weight #worn
+arc service -> ok weight #worn
+)";
+
+TEST(DspnParser, ParsesWorkcellModel) {
+  const auto net = parse_dspn_string(kWorkcell);
+  EXPECT_EQ(net.name(), "workcell");
+  EXPECT_EQ(net.place_count(), 5u);
+  EXPECT_EQ(net.transition_count(), 5u);
+  EXPECT_EQ(net.initial_marking()[net.place("ok").index], 2);
+  EXPECT_DOUBLE_EQ(
+      net.deterministic_delay(net.transition_id("inspect").index), 50.0);
+  const auto& service = net.transition(net.transition_id("service").index);
+  EXPECT_EQ(service.kind, TransitionKind::kImmediate);
+  EXPECT_EQ(service.priority, 2);
+}
+
+TEST(DspnParser, ParsedModelSolves) {
+  const auto net = parse_dspn_string(kWorkcell);
+  const auto graph = TangibleReachabilityGraph::build(net);
+  const auto solution = markov::DspnSteadyStateSolver().solve(graph);
+  EXPECT_FALSE(solution.pure_ctmc);
+  double total = 0.0;
+  for (double pi : solution.probabilities) total += pi;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DspnParser, MarkingDependentRateFromFile) {
+  const auto net = parse_dspn_string(R"(
+net rates
+place A = 3
+transition leave exp rate 0.5 * #A
+arc A -> leave
+)");
+  const auto t = net.transition_id("leave");
+  EXPECT_DOUBLE_EQ(net.rate_or_weight(t.index, net.initial_marking()), 1.5);
+}
+
+TEST(DspnParser, GuardsAndInhibitorsFromFile) {
+  const auto net = parse_dspn_string(R"(
+net guarded
+place A = 1
+place B
+transition t exp rate 1
+arc A -> t
+arc t -> B
+inhibit B -o t weight 2
+guard t #B < 1
+)");
+  const auto t = net.transition_id("t");
+  EXPECT_TRUE(net.is_enabled(t.index, net.initial_marking()));
+  Marking m = net.initial_marking();
+  m[net.place("B").index] = 1;
+  EXPECT_FALSE(net.is_enabled(t.index, m));  // guard blocks before inhibitor
+}
+
+TEST(DspnParser, RoundTripThroughSerializer) {
+  // Factory model -> text -> parse -> same steady-state reward.
+  const auto model = core::PerceptionModelFactory::build(
+      core::SystemParameters::paper_four_version());
+  const std::string text = to_dspn_text(model.net);
+  const auto reparsed = parse_dspn_string(text);
+  const auto g1 = TangibleReachabilityGraph::build(model.net);
+  const auto g2 = TangibleReachabilityGraph::build(reparsed);
+  EXPECT_EQ(g1.size(), g2.size());
+  const auto pi1 = markov::DspnSteadyStateSolver().solve(g1);
+  const auto pi2 = markov::DspnSteadyStateSolver().solve(g2);
+  // Compare the expected healthy-module count.
+  double e1 = 0.0, e2 = 0.0;
+  for (std::size_t s = 0; s < g1.size(); ++s)
+    e1 += pi1.probabilities[s] *
+          g1.marking(s)[model.pmh.index];
+  const auto pmh2 = reparsed.place("Pmh");
+  for (std::size_t s = 0; s < g2.size(); ++s)
+    e2 += pi2.probabilities[s] * g2.marking(s)[pmh2.index];
+  EXPECT_NEAR(e1, e2, 1e-10);
+}
+
+TEST(DspnParser, ShippedSixVersionModelMatchesFactory) {
+  // models/perception_6v.dspn encodes Fig. 2(b, c) + Table I in the file
+  // format; it must induce the same Markov-regenerative process as the
+  // programmatic factory.
+  const auto file_net =
+      load_dspn_file(std::string(NVP_SOURCE_DIR) +
+                     "/models/perception_6v.dspn");
+  const auto factory = core::PerceptionModelFactory::build(
+      core::SystemParameters::paper_six_version());
+
+  const auto g_file = TangibleReachabilityGraph::build(file_net);
+  const auto g_factory = TangibleReachabilityGraph::build(factory.net);
+  ASSERT_EQ(g_file.size(), g_factory.size());
+
+  const auto pi_file = markov::DspnSteadyStateSolver().solve(g_file);
+  const auto pi_factory =
+      markov::DspnSteadyStateSolver().solve(g_factory);
+
+  // Compare stationary module-count expectations.
+  auto expectation = [](const TangibleReachabilityGraph& g,
+                        const linalg::Vector& pi, std::size_t place) {
+    double out = 0.0;
+    for (std::size_t s = 0; s < g.size(); ++s)
+      out += pi[s] * g.marking(s)[place];
+    return out;
+  };
+  for (const char* place : {"Pmh", "Pmc", "Pmf", "Pmr"}) {
+    EXPECT_NEAR(expectation(g_file, pi_file.probabilities,
+                            file_net.place(place).index),
+                expectation(g_factory, pi_factory.probabilities,
+                            factory.net.place(place).index),
+                1e-9)
+        << place;
+  }
+}
+
+TEST(DspnParser, ShippedExampleModelsLoadAndSolve) {
+  for (const char* model : {"/models/workcell.dspn", "/models/mm1k.dspn"}) {
+    const auto net =
+        load_dspn_file(std::string(NVP_SOURCE_DIR) + model);
+    const auto graph = TangibleReachabilityGraph::build(net);
+    const auto solution = markov::DspnSteadyStateSolver().solve(graph);
+    double total = 0.0;
+    for (double pi : solution.probabilities) total += pi;
+    EXPECT_NEAR(total, 1.0, 1e-9) << model;
+  }
+}
+
+TEST(DspnParser, DiagnosesErrorsWithLineNumbers) {
+  auto expect_error_on_line = [](const std::string& text,
+                                 std::size_t line) {
+    try {
+      parse_dspn_string(text);
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  expect_error_on_line("bogus statement", 1);
+  expect_error_on_line("net x\nplace A = nope", 2);
+  expect_error_on_line("net x\nplace A\ntransition t exp 1.0", 3);
+  expect_error_on_line("net x\nplace A\ntransition t det delay #A", 3);
+  expect_error_on_line("net x\nplace A\narc A -> missing", 3);
+  expect_error_on_line("net x\nplace A\nplace A", 3);
+  expect_error_on_line("net x\nnet y\nplace A", 2);
+}
+
+TEST(DspnParser, SerializerEmitsInhibitorsAndMarksUnserializable) {
+  PetriNet net("s");
+  const auto a = net.add_place("A", 1);
+  const auto t = net.add_exponential("t", 2.0);
+  net.add_input_arc(t, a);
+  net.add_output_arc(t, a);
+  net.add_inhibitor_arc(t, a, 3);
+  net.set_guard(t, [](const Marking&) { return true; });
+  const std::string text = to_dspn_text(net);
+  EXPECT_NE(text.find("inhibit A -o t weight 3"), std::string::npos);
+  EXPECT_NE(text.find("guard on t not serializable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvp::petri

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/perception/environment.hpp"
+#include "src/perception/fault_injector.hpp"
+#include "src/perception/module_sim.hpp"
+#include "src/perception/rejuvenator.hpp"
+#include "src/perception/sensor.hpp"
+#include "src/perception/system.hpp"
+#include "src/perception/voter.hpp"
+#include "src/core/analyzer.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/stats.hpp"
+
+namespace nvp::perception {
+namespace {
+
+// ---- environment -------------------------------------------------------------
+
+TEST(Environment, FramesAdvanceTimeAndStayInRange) {
+  Environment env(Environment::Config{10, 0.5, 1.0, 0.2, 1});
+  double last_time = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const Frame f = env.next();
+    EXPECT_GT(f.time, last_time);
+    last_time = f.time;
+    EXPECT_GE(f.label, 0);
+    EXPECT_LT(f.label, 10);
+    EXPECT_GE(f.difficulty, 0.0);
+    EXPECT_LE(f.difficulty, 1.0);
+  }
+  EXPECT_EQ(env.frames_generated(), 1000u);
+}
+
+TEST(Environment, PopularitySkewBiasesLabels) {
+  Environment env(Environment::Config{10, 1.0, 2.0, 0.0, 2});
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[env.next().label];
+  EXPECT_GT(counts[0], counts[9] * 5);
+}
+
+// ---- sensors -------------------------------------------------------------------
+
+TEST(Sensor, KindsTransferDifficultyDifferently) {
+  Frame hard;
+  hard.label = 3;
+  hard.difficulty = 1.0;
+  SensorModel camera(SensorKind::kCamera, 1);
+  SensorModel lidar(SensorKind::kLidar, 2);
+  SensorModel radar(SensorKind::kRadar, 3);
+  const auto oc = camera.observe(hard);
+  const auto ol = lidar.observe(hard);
+  const auto orr = radar.observe(hard);
+  EXPECT_GT(oc.effective_difficulty, ol.effective_difficulty);
+  EXPECT_GT(ol.effective_difficulty, orr.effective_difficulty);
+  EXPECT_EQ(oc.true_label, 3);
+  EXPECT_STREQ(to_string(SensorKind::kLidar), "lidar");
+}
+
+// ---- module simulator ------------------------------------------------------------
+
+TEST(ModuleSim, SilentWhenNotOperational) {
+  MlModuleSim module(0, "m", 1);
+  module.set_state(ModuleState::kFailed);
+  const auto a = module.classify(5, false, 0, 0.5, 0.5, 10);
+  EXPECT_FALSE(a.responded);
+  module.set_state(ModuleState::kRejuvenating);
+  EXPECT_FALSE(module.classify(5, false, 0, 0.5, 0.5, 10).responded);
+  EXPECT_FALSE(module.operational());
+}
+
+TEST(ModuleSim, HealthyErrsOnlyOnAdverseInput) {
+  MlModuleSim module(0, "m", 2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = module.classify(7, false, 3, 0.5, 0.5, 10);
+    ASSERT_TRUE(a.responded);
+    ASSERT_EQ(a.label, 7);
+  }
+  EXPECT_EQ(module.frames_wrong(), 0u);
+}
+
+TEST(ModuleSim, HealthySuccumbsWithProbabilityAlpha) {
+  MlModuleSim module(0, "m", 3);
+  const int trials = 50000;
+  int wrong = 0;
+  for (int i = 0; i < trials; ++i)
+    if (module.classify(7, true, 3, 0.4, 0.5, 10).label != 7) ++wrong;
+  EXPECT_NEAR(wrong / static_cast<double>(trials), 0.4, 0.01);
+}
+
+TEST(ModuleSim, CommonCauseVictimsShareTheAdverseLabel) {
+  MlModuleSim module(0, "m", 4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = module.classify(7, true, 3, 1.0, 0.5, 10);
+    ASSERT_EQ(a.label, 3);  // alpha = 1: always errs, onto the shared label
+  }
+}
+
+TEST(ModuleSim, CompromisedErrsWithPPrime) {
+  MlModuleSim module(0, "m", 5);
+  module.set_state(ModuleState::kCompromised);
+  const int trials = 50000;
+  int wrong = 0;
+  for (int i = 0; i < trials; ++i)
+    if (module.classify(7, false, 0, 0.5, 0.3, 10).label != 7) ++wrong;
+  EXPECT_NEAR(wrong / static_cast<double>(trials), 0.3, 0.01);
+}
+
+TEST(ModuleSim, WrongLabelsNeverEqualTruth) {
+  MlModuleSim module(0, "m", 6);
+  module.set_state(ModuleState::kCompromised);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = module.classify(4, false, 0, 0.5, 1.0, 7);
+    ASSERT_NE(a.label, 4);
+    ASSERT_GE(a.label, 0);
+    ASSERT_LT(a.label, 7);
+  }
+}
+
+// ---- voters -----------------------------------------------------------------------
+
+std::vector<ModuleAnswer> answers_of(const std::vector<int>& labels,
+                                     int silents) {
+  std::vector<ModuleAnswer> out;
+  for (int l : labels) out.push_back({true, l});
+  for (int s = 0; s < silents; ++s) out.push_back({false, 0});
+  return out;
+}
+
+TEST(BlocVoter, CountsWrongAsABloc) {
+  const BlocThresholdVoter voter(core::VotingScheme::bft(4, 1));
+  // Three different wrong labels still make a perception error.
+  const auto r = voter.vote(answers_of({1, 2, 3, 0}, 0), 0);
+  EXPECT_EQ(r.verdict, core::Verdict::kError);
+  EXPECT_EQ(r.wrong_votes, 3);
+}
+
+TEST(BlocVoter, CorrectAndInconclusiveAndUnavailable) {
+  const BlocThresholdVoter voter(core::VotingScheme::bft(4, 1));
+  EXPECT_EQ(voter.vote(answers_of({0, 0, 0, 5}, 0), 0).verdict,
+            core::Verdict::kCorrect);
+  EXPECT_EQ(voter.vote(answers_of({0, 0, 5, 5}, 0), 0).verdict,
+            core::Verdict::kInconclusive);
+  EXPECT_EQ(voter.vote(answers_of({0, 0}, 2), 0).verdict,
+            core::Verdict::kUnavailable);
+}
+
+TEST(PluralityVoter, RequiresAgreementOnWrongLabel) {
+  const PluralityThresholdVoter voter(core::VotingScheme::bft(4, 1));
+  // Three distinct wrong labels: no bloc, inconclusive.
+  EXPECT_EQ(voter.vote(answers_of({1, 2, 3, 0}, 0), 0).verdict,
+            core::Verdict::kInconclusive);
+  // Three identical wrong labels: error with that label decided.
+  const auto r = voter.vote(answers_of({2, 2, 2, 0}, 0), 0);
+  EXPECT_EQ(r.verdict, core::Verdict::kError);
+  EXPECT_EQ(r.decided_label, 2);
+}
+
+TEST(PluralityVoter, NeverStricterThanBlocOnErrors) {
+  // Property: if plurality declares an error, bloc does too.
+  const core::VotingScheme scheme = core::VotingScheme::bft(4, 1);
+  const PluralityThresholdVoter plurality(scheme);
+  const BlocThresholdVoter bloc(scheme);
+  util::RandomStream rng(8);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<int> labels;
+    for (int m = 0; m < 4; ++m)
+      labels.push_back(static_cast<int>(rng.uniform_index(3)));
+    const auto a = answers_of(labels, 0);
+    if (plurality.vote(a, 0).verdict == core::Verdict::kError) {
+      EXPECT_EQ(bloc.vote(a, 0).verdict, core::Verdict::kError);
+    }
+  }
+}
+
+// ---- fault injector ---------------------------------------------------------------
+
+TEST(FaultInjector, NoEventWhenNothingEligible) {
+  FaultInjector injector({1000.0, 2000.0, 3.0,
+                          core::FiringSemantics::kSingleServer},
+                         1);
+  EXPECT_FALSE(injector.sample_next(0.0, 0, 0, 0).has_value());
+  EXPECT_TRUE(injector.sample_next(0.0, 1, 0, 0).has_value());
+}
+
+TEST(FaultInjector, SingleServerRateIndependentOfCount) {
+  FaultInjector injector({100.0, 1e9, 1e9,
+                          core::FiringSemantics::kSingleServer},
+                         2);
+  util::RunningStats one, four;
+  for (int i = 0; i < 20000; ++i) {
+    one.add(injector.sample_next(0.0, 1, 0, 0)->time);
+    four.add(injector.sample_next(0.0, 4, 0, 0)->time);
+  }
+  EXPECT_NEAR(one.mean(), four.mean(), 3.0);
+  EXPECT_NEAR(one.mean(), 100.0, 3.0);
+}
+
+TEST(FaultInjector, InfiniteServerScalesWithCount) {
+  FaultInjector injector({100.0, 1e9, 1e9,
+                          core::FiringSemantics::kInfiniteServer},
+                         3);
+  util::RunningStats four;
+  for (int i = 0; i < 20000; ++i)
+    four.add(injector.sample_next(0.0, 4, 0, 0)->time);
+  EXPECT_NEAR(four.mean(), 25.0, 1.0);
+}
+
+TEST(FaultInjector, AttackWindowsMultiplyAndReportBoundaries) {
+  FaultInjector injector({100.0, 2000.0, 3.0,
+                          core::FiringSemantics::kSingleServer},
+                         4);
+  injector.add_attack_window({10.0, 20.0, 4.0});
+  injector.add_attack_window({15.0, 30.0, 2.0});
+  EXPECT_DOUBLE_EQ(injector.attack_multiplier_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.attack_multiplier_at(12.0), 4.0);
+  EXPECT_DOUBLE_EQ(injector.attack_multiplier_at(17.0), 8.0);
+  EXPECT_DOUBLE_EQ(injector.attack_multiplier_at(25.0), 2.0);
+  EXPECT_DOUBLE_EQ(injector.attack_multiplier_at(35.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.next_boundary_after(0.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(injector.next_boundary_after(10.0).value(), 15.0);
+  EXPECT_FALSE(injector.next_boundary_after(30.0).has_value());
+}
+
+TEST(FaultInjector, EventKindsMatchEligibility) {
+  FaultInjector injector({1e9, 1e9, 1.0,
+                          core::FiringSemantics::kSingleServer},
+                         5);
+  // Only failed modules -> only repairs possible (others astronomically
+  // unlikely first).
+  const auto ev = injector.sample_next(0.0, 0, 0, 2);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->kind, LifecycleEventKind::kRepair);
+}
+
+// ---- rejuvenator ---------------------------------------------------------------------
+
+TEST(Rejuvenator, DisabledNeverTicks) {
+  TimedRejuvenator rej({false, 600.0, 3.0, 1}, 1);
+  EXPECT_TRUE(std::isinf(rej.next_clock_tick()));
+  EXPECT_EQ(rej.claim_starts(0, 0, 6), 0);
+}
+
+TEST(Rejuvenator, ClockRearmsAndBatchesGateOnG1) {
+  TimedRejuvenator rej({true, 600.0, 3.0, 1}, 2);
+  EXPECT_DOUBLE_EQ(rej.next_clock_tick(), 600.0);
+  EXPECT_EQ(rej.on_clock_tick(0), 1);  // fresh batch
+  EXPECT_DOUBLE_EQ(rej.next_clock_tick(), 1200.0);
+  EXPECT_EQ(rej.pending_credits(), 1);
+  // Second tick while credits pending: guard g1 blocks a new batch.
+  EXPECT_EQ(rej.on_clock_tick(0), 0);
+  // Tick while a module is rejuvenating: also blocked.
+  TimedRejuvenator rej2({true, 600.0, 3.0, 1}, 3);
+  EXPECT_EQ(rej2.on_clock_tick(1), 0);
+}
+
+TEST(Rejuvenator, ClaimRespectsGuardG2) {
+  TimedRejuvenator rej({true, 600.0, 3.0, 1}, 4);
+  rej.on_clock_tick(0);
+  // A failed module occupies the only slot (r = 1).
+  EXPECT_EQ(rej.claim_starts(1, 0, 5), 0);
+  EXPECT_EQ(rej.pending_credits(), 1);
+  // Slot free: one start claimed, credits drained.
+  EXPECT_EQ(rej.claim_starts(0, 0, 5), 1);
+  EXPECT_EQ(rej.pending_credits(), 0);
+}
+
+TEST(Rejuvenator, ClaimNeedsOperationalModules) {
+  TimedRejuvenator rej({true, 600.0, 3.0, 2}, 5);
+  rej.on_clock_tick(0);
+  EXPECT_EQ(rej.pending_credits(), 2);
+  EXPECT_EQ(rej.claim_starts(0, 0, 0), 0);  // nobody to rejuvenate
+  EXPECT_EQ(rej.claim_starts(0, 0, 1), 1);  // only one candidate
+  EXPECT_EQ(rej.pending_credits(), 1);
+}
+
+TEST(Rejuvenator, CompletionTimerLifecycle) {
+  TimedRejuvenator rej({true, 600.0, 3.0, 1}, 6);
+  EXPECT_TRUE(std::isinf(rej.next_completion()));
+  rej.schedule_completion(100.0, 1);
+  EXPECT_GT(rej.next_completion(), 100.0);
+  rej.on_completion();
+  EXPECT_TRUE(std::isinf(rej.next_completion()));
+}
+
+TEST(Rejuvenator, CompletionTimeScalesWithBatch) {
+  TimedRejuvenator rej({true, 600.0, 3.0, 4}, 7);
+  util::RunningStats one, three;
+  for (int i = 0; i < 20000; ++i) {
+    rej.schedule_completion(0.0, 1);
+    one.add(rej.next_completion());
+    rej.on_completion();
+    rej.schedule_completion(0.0, 3);
+    three.add(rej.next_completion());
+    rej.on_completion();
+  }
+  EXPECT_NEAR(one.mean(), 3.0, 0.1);
+  EXPECT_NEAR(three.mean(), 9.0, 0.25);
+}
+
+// ---- whole system -----------------------------------------------------------------
+
+TEST(System, RunsAndCountsConsistently) {
+  NVersionPerceptionSystem::Config cfg;
+  cfg.params = core::SystemParameters::paper_six_version();
+  cfg.seed = 7;
+  cfg.frame_interval = 5.0;
+  NVersionPerceptionSystem system(cfg);
+  const auto result = system.run(5e4);
+  EXPECT_EQ(result.frames, result.correct + result.errors +
+                               result.inconclusive + result.unavailable);
+  EXPECT_GT(result.frames, 9000u);
+  EXPECT_GT(result.compromises, 0u);
+  EXPECT_GT(result.rejuvenation_batches, 0u);
+  double mass = 0.0;
+  for (const auto& [state, fraction] : result.state_time_fraction) {
+    const auto [i, j, k] = state;
+    EXPECT_EQ(i + j + k, 6);
+    mass += fraction;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(System, EmpiricalReliabilityTracksAnalyticGeneralized) {
+  // End-to-end: Monte-Carlo system vs Eq. 1 with rigorous rewards.
+  core::ReliabilityAnalyzer::Options opts;
+  opts.convention = core::RewardConvention::kGeneralized;
+  opts.attachment = core::RewardAttachment::kAppendixMatrices;
+  const core::ReliabilityAnalyzer analyzer(opts);
+  NVersionPerceptionSystem::Config cfg;
+  cfg.params = core::SystemParameters::paper_six_version();
+  cfg.seed = 17;
+  cfg.frame_interval = 2.0;
+  NVersionPerceptionSystem system(cfg);
+  const auto result = system.run(4e6);
+  const double analytic =
+      analyzer.analyze(cfg.params).expected_reliability;
+  EXPECT_NEAR(result.paper_reliability(), analytic, 0.01);
+}
+
+TEST(System, RejuvenationBeatsNoRejuvenationEmpirically) {
+  auto run_with = [](const core::SystemParameters& params) {
+    NVersionPerceptionSystem::Config cfg;
+    cfg.params = params;
+    cfg.seed = 23;
+    cfg.frame_interval = 2.0;
+    NVersionPerceptionSystem system(cfg);
+    return system.run(2e6).paper_reliability();
+  };
+  EXPECT_GT(run_with(core::SystemParameters::paper_six_version()),
+            run_with(core::SystemParameters::paper_four_version()));
+}
+
+TEST(System, AttackWindowDegradesReliability) {
+  auto run_with = [](bool attack) {
+    NVersionPerceptionSystem::Config cfg;
+    cfg.params = core::SystemParameters::paper_four_version();
+    cfg.seed = 29;
+    cfg.frame_interval = 2.0;
+    NVersionPerceptionSystem system(cfg);
+    if (attack) system.add_attack_window({0.0, 5e5, 10.0});
+    return system.run(5e5).paper_reliability();
+  };
+  EXPECT_LT(run_with(true), run_with(false) - 0.02);
+}
+
+TEST(System, PluralityVoterNeverWorseThanBloc) {
+  auto run_with = [](bool plurality) {
+    NVersionPerceptionSystem::Config cfg;
+    cfg.params = core::SystemParameters::paper_four_version();
+    cfg.plurality_voter = plurality;
+    cfg.seed = 31;
+    cfg.frame_interval = 2.0;
+    NVersionPerceptionSystem system(cfg);
+    return system.run(1e6).paper_reliability();
+  };
+  EXPECT_GE(run_with(true), run_with(false) - 0.005);
+}
+
+TEST(System, RequiresPLessThanAlpha) {
+  NVersionPerceptionSystem::Config cfg;
+  cfg.params = core::SystemParameters::paper_six_version();
+  cfg.params.p = 0.6;  // > alpha = 0.5
+  EXPECT_THROW(NVersionPerceptionSystem{cfg}, util::ContractViolation);
+}
+
+TEST(System, ModuleStateToString) {
+  EXPECT_STREQ(to_string(ModuleState::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(ModuleState::kRejuvenating), "rejuvenating");
+}
+
+}  // namespace
+}  // namespace nvp::perception

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/petri/dot_export.hpp"
+#include "src/petri/net.hpp"
+#include "src/petri/reachability.hpp"
+#include "src/petri/structural.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::petri {
+namespace {
+
+/// M/M/1/K queue as a net: arrivals (rate 2) bounded by an inhibitor arc,
+/// services (rate 3).
+PetriNet mm1k_net(TokenCount capacity) {
+  PetriNet net("mm1k");
+  const auto queue = net.add_place("queue", 0);
+  const auto arrive = net.add_exponential("arrive", 2.0);
+  net.add_output_arc(arrive, queue);
+  net.add_inhibitor_arc(arrive, queue, capacity);
+  const auto serve = net.add_exponential("serve", 3.0);
+  net.add_input_arc(serve, queue);
+  return net;
+}
+
+TEST(Net, PlaceAndTransitionLookup) {
+  PetriNet net;
+  const auto p = net.add_place("P1", 2);
+  const auto t = net.add_exponential("T1", 1.0);
+  net.add_input_arc(t, p);
+  EXPECT_EQ(net.place("P1").index, p.index);
+  EXPECT_EQ(net.transition_id("T1").index, t.index);
+  EXPECT_THROW(net.place("nope"), NetError);
+  EXPECT_THROW(net.transition_id("nope"), NetError);
+  EXPECT_EQ(net.initial_marking()[p.index], 2);
+}
+
+TEST(Net, RejectsDuplicateAndInvalidDefinitions) {
+  PetriNet net;
+  net.add_place("P", 0);
+  EXPECT_THROW(net.add_place("P", 0), NetError);
+  EXPECT_THROW(net.add_exponential("bad", 0.0), NetError);
+  EXPECT_THROW(net.add_exponential("bad", -1.0), NetError);
+  EXPECT_THROW(net.add_immediate("bad", 0.0), NetError);
+  EXPECT_THROW(net.add_deterministic("bad", -2.0), NetError);
+}
+
+TEST(Net, EnablednessRespectsInputArcs) {
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_input_arc(t, p, 2);
+  EXPECT_FALSE(net.is_enabled(t.index, net.initial_marking()));
+  net.set_initial_tokens(p, 2);
+  EXPECT_TRUE(net.is_enabled(t.index, net.initial_marking()));
+}
+
+TEST(Net, EnablednessRespectsInhibitors) {
+  PetriNet net;
+  const auto p = net.add_place("P", 0);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_inhibitor_arc(t, p, 1);
+  EXPECT_TRUE(net.is_enabled(t.index, net.initial_marking()));
+  net.set_initial_tokens(p, 1);
+  EXPECT_FALSE(net.is_enabled(t.index, net.initial_marking()));
+}
+
+TEST(Net, EnablednessRespectsGuards) {
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_input_arc(t, p);
+  net.set_guard(t, [](const Marking& m) { return m[0] >= 2; });
+  EXPECT_FALSE(net.is_enabled(t.index, net.initial_marking()));
+  net.set_initial_tokens(p, 2);
+  EXPECT_TRUE(net.is_enabled(t.index, net.initial_marking()));
+}
+
+TEST(Net, FireMovesTokensAtomically) {
+  PetriNet net;
+  const auto a = net.add_place("A", 3);
+  const auto b = net.add_place("B", 0);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_input_arc(t, a, 2);
+  net.add_output_arc(t, b, 5);
+  const auto next = net.fire(t.index, net.initial_marking());
+  EXPECT_EQ(next[a.index], 1);
+  EXPECT_EQ(next[b.index], 5);
+}
+
+TEST(Net, FireDisabledThrows) {
+  PetriNet net;
+  const auto a = net.add_place("A", 0);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_input_arc(t, a);
+  EXPECT_THROW(net.fire(t.index, net.initial_marking()), NetError);
+}
+
+TEST(Net, MarkingDependentArcWeightsEvaluateOnPreFiringMarking) {
+  PetriNet net;
+  const auto a = net.add_place("A", 4);
+  const auto b = net.add_place("B", 0);
+  const auto t = net.add_exponential("T", 1.0);
+  // Consume all tokens of A, produce the same count in B.
+  net.add_input_arc(t, a, [a](const Marking& m) { return m[a.index]; });
+  net.add_output_arc(t, b, [a](const Marking& m) { return m[a.index]; });
+  const auto next = net.fire(t.index, net.initial_marking());
+  EXPECT_EQ(next[a.index], 0);
+  EXPECT_EQ(next[b.index], 4);
+}
+
+TEST(Net, MarkingDependentRate) {
+  PetriNet net;
+  const auto a = net.add_place("A", 3);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_input_arc(t, a);
+  net.set_rate_fn(t, [a](const Marking& m) {
+    return 2.0 * static_cast<double>(m[a.index]);
+  });
+  EXPECT_DOUBLE_EQ(net.rate_or_weight(t.index, net.initial_marking()), 6.0);
+}
+
+TEST(Net, NonPositiveRateWhenEnabledThrows) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_input_arc(t, a);
+  net.set_rate_fn(t, [](const Marking&) { return 0.0; });
+  EXPECT_THROW(net.rate_or_weight(t.index, net.initial_marking()), NetError);
+}
+
+TEST(Net, ImmediatePrioritySelection) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto low = net.add_immediate("low", 1.0, 1);
+  const auto high = net.add_immediate("high", 1.0, 5);
+  net.add_input_arc(low, a);
+  net.add_input_arc(high, a);
+  const auto enabled = net.enabled_immediates(net.initial_marking());
+  ASSERT_EQ(enabled.size(), 1u);
+  EXPECT_EQ(enabled[0], high.index);
+}
+
+TEST(Net, DeterministicDelayAccessor) {
+  PetriNet net;
+  net.add_place("P", 1);
+  const auto d = net.add_deterministic("D", 4.5);
+  EXPECT_DOUBLE_EQ(net.deterministic_delay(d.index), 4.5);
+  EXPECT_THROW(net.set_rate_fn(d, [](const Marking&) { return 1.0; }),
+               NetError);
+}
+
+TEST(Net, VanishingDetection) {
+  PetriNet net;
+  const auto p = net.add_place("P", 0);
+  const auto imm = net.add_immediate("imm");
+  net.add_input_arc(imm, p);
+  EXPECT_FALSE(net.is_vanishing(net.initial_marking()));
+  net.set_initial_tokens(p, 1);
+  EXPECT_TRUE(net.is_vanishing(net.initial_marking()));
+}
+
+// ---- reachability ------------------------------------------------------------
+
+TEST(Reachability, Mm1kStateSpace) {
+  const auto net = mm1k_net(5);
+  const auto g = TangibleReachabilityGraph::build(net);
+  EXPECT_EQ(g.size(), 6u);  // 0..5 customers
+  EXPECT_FALSE(g.has_deterministic());
+  // State with 0 customers: only arrival (rate 2).
+  const auto s0 = g.find({0});
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_EQ(g.exponential_edges(*s0).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.exponential_edges(*s0)[0].rate, 2.0);
+  // Full state: only service.
+  const auto s5 = g.find({5});
+  ASSERT_TRUE(s5.has_value());
+  ASSERT_EQ(g.exponential_edges(*s5).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.exponential_edges(*s5)[0].rate, 3.0);
+}
+
+TEST(Reachability, VanishingEliminationSplitsByWeight) {
+  // A timed transition feeds a token that an immediate conflict routes to
+  // either L (weight 1) or R (weight 3).
+  PetriNet net;
+  const auto src = net.add_place("src", 1);
+  const auto mid = net.add_place("mid", 0);
+  const auto left = net.add_place("L", 0);
+  const auto right = net.add_place("R", 0);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_input_arc(t, src);
+  net.add_output_arc(t, mid);
+  const auto il = net.add_immediate("IL", 1.0);
+  net.add_input_arc(il, mid);
+  net.add_output_arc(il, left);
+  const auto ir = net.add_immediate("IR", 3.0);
+  net.add_input_arc(ir, mid);
+  net.add_output_arc(ir, right);
+
+  const auto g = TangibleReachabilityGraph::build(net);
+  const auto s0 = g.find({1, 0, 0, 0});
+  ASSERT_TRUE(s0.has_value());
+  const auto& edges = g.exponential_edges(*s0);
+  ASSERT_EQ(edges.size(), 2u);
+  double rate_left = 0.0, rate_right = 0.0;
+  for (const auto& e : edges) {
+    if (g.marking(e.target)[left.index] == 1) rate_left = e.rate;
+    if (g.marking(e.target)[right.index] == 1) rate_right = e.rate;
+  }
+  EXPECT_NEAR(rate_left, 0.25, 1e-12);
+  EXPECT_NEAR(rate_right, 0.75, 1e-12);
+}
+
+TEST(Reachability, VanishingInitialMarkingResolved) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto imm = net.add_immediate("I");
+  net.add_input_arc(imm, a);
+  net.add_output_arc(imm, b);
+  const auto serve = net.add_exponential("S", 1.0);
+  net.add_input_arc(serve, b);
+  net.add_output_arc(serve, a);
+  const auto g = TangibleReachabilityGraph::build(net);
+  ASSERT_EQ(g.initial_distribution().size(), 1u);
+  EXPECT_EQ(g.marking(g.initial_distribution()[0].target)[b.index], 1);
+}
+
+TEST(Reachability, ImmediateCycleRejected) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto ab = net.add_immediate("ab");
+  net.add_input_arc(ab, a);
+  net.add_output_arc(ab, b);
+  const auto ba = net.add_immediate("ba");
+  net.add_input_arc(ba, b);
+  net.add_output_arc(ba, a);
+  EXPECT_THROW(TangibleReachabilityGraph::build(net), NetError);
+}
+
+TEST(Reachability, StateLimitEnforced) {
+  // Unbounded net: a source transition with no input.
+  PetriNet net;
+  const auto p = net.add_place("P", 0);
+  const auto t = net.add_exponential("T", 1.0);
+  net.add_output_arc(t, p);
+  ReachabilityOptions opts;
+  opts.max_tangible_states = 50;
+  EXPECT_THROW(TangibleReachabilityGraph::build(net, opts), NetError);
+}
+
+TEST(Reachability, DeterministicInfoCaptured) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto d = net.add_deterministic("D", 10.0);
+  net.add_input_arc(d, a);
+  net.add_output_arc(d, b);
+  const auto back = net.add_exponential("back", 0.5);
+  net.add_input_arc(back, b);
+  net.add_output_arc(back, a);
+  const auto g = TangibleReachabilityGraph::build(net);
+  EXPECT_TRUE(g.has_deterministic());
+  const auto s0 = g.find({1, 0});
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_EQ(g.deterministics(*s0).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.deterministics(*s0)[0].delay, 10.0);
+  ASSERT_EQ(g.deterministics(*s0)[0].edges.size(), 1u);
+  EXPECT_EQ(g.marking(g.deterministics(*s0)[0].edges[0].target)[b.index], 1);
+}
+
+TEST(Reachability, ExitRateSumsEdges) {
+  const auto net = mm1k_net(3);
+  const auto g = TangibleReachabilityGraph::build(net);
+  const auto s1 = g.find({1});
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_DOUBLE_EQ(g.exit_rate(*s1), 5.0);  // arrive 2 + serve 3
+}
+
+// ---- structural ----------------------------------------------------------------
+
+TEST(Structural, TokenInvariantHoldsForConservativeNet) {
+  // Closed cycle of 3 places conserves tokens.
+  PetriNet net;
+  const auto a = net.add_place("A", 2);
+  const auto b = net.add_place("B", 0);
+  const auto c = net.add_place("C", 0);
+  for (auto [from, to, name] :
+       {std::tuple{a, b, "t1"}, {b, c, "t2"}, {c, a, "t3"}}) {
+    const auto t = net.add_exponential(name, 1.0);
+    net.add_input_arc(t, from);
+    net.add_output_arc(t, to);
+  }
+  const auto g = TangibleReachabilityGraph::build(net);
+  const auto rep = check_token_invariant(g, {1.0, 1.0, 1.0});
+  EXPECT_TRUE(rep.holds);
+  EXPECT_DOUBLE_EQ(rep.expected, 2.0);
+}
+
+TEST(Structural, TokenInvariantViolationReported) {
+  const auto net = mm1k_net(3);  // queue length varies
+  const auto g = TangibleReachabilityGraph::build(net);
+  const auto rep = check_token_invariant(g, {1.0});
+  EXPECT_FALSE(rep.holds);
+}
+
+TEST(Structural, PlaceBounds) {
+  const auto net = mm1k_net(4);
+  const auto g = TangibleReachabilityGraph::build(net);
+  const auto bounds = place_bounds(g);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_EQ(bounds[0], 4);
+}
+
+TEST(Structural, GraphStatsDescribe) {
+  const auto net = mm1k_net(2);
+  const auto g = TangibleReachabilityGraph::build(net);
+  const auto stats = graph_stats(g);
+  EXPECT_EQ(stats.states, 3u);
+  EXPECT_EQ(stats.absorbing_states, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_exit_rate, 5.0);
+  EXPECT_FALSE(describe(stats).empty());
+}
+
+// ---- dot export -----------------------------------------------------------------
+
+TEST(DotExport, ContainsAllNodes) {
+  const auto net = mm1k_net(2);
+  const std::string dot = to_dot(net);
+  EXPECT_NE(dot.find("queue"), std::string::npos);
+  EXPECT_NE(dot.find("arrive"), std::string::npos);
+  EXPECT_NE(dot.find("odot"), std::string::npos);  // inhibitor arrowhead
+  const auto g = TangibleReachabilityGraph::build(net);
+  const std::string rg = to_dot(net, g);
+  EXPECT_NE(rg.find("s0"), std::string::npos);
+  EXPECT_NE(rg.find("s2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvp::petri

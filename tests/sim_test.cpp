@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/markov/ctmc.hpp"
+#include "src/markov/dspn_solver.hpp"
+#include "src/petri/reachability.hpp"
+#include "src/sim/dspn_simulator.hpp"
+#include "src/sim/estimators.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::sim {
+namespace {
+
+using petri::Marking;
+using petri::PetriNet;
+
+// ---- event queue ------------------------------------------------------------
+
+TEST(EventQueue, OrdersByTimeThenSequence) {
+  EventQueue q;
+  q.schedule(5.0, 1, 0);
+  q.schedule(2.0, 2, 0);
+  q.schedule(5.0, 3, 0);  // same time as payload 1, scheduled later
+  EXPECT_EQ(q.pop().payload, 2u);
+  EXPECT_EQ(q.pop().payload, 1u);
+  EXPECT_EQ(q.pop().payload, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue q;
+  q.schedule(1.0, 9, 0);
+  EXPECT_EQ(q.peek().payload, 9u);
+  EXPECT_EQ(q.size(), 1u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, 0, 0), util::ContractViolation);
+}
+
+// ---- DSPN simulator ----------------------------------------------------------
+
+PetriNet two_state(double fail, double repair) {
+  PetriNet net("two-state");
+  const auto up = net.add_place("up", 1);
+  const auto down = net.add_place("down", 0);
+  const auto f = net.add_exponential("fail", fail);
+  net.add_input_arc(f, up);
+  net.add_output_arc(f, down);
+  const auto r = net.add_exponential("repair", repair);
+  net.add_input_arc(r, down);
+  net.add_output_arc(r, up);
+  return net;
+}
+
+TEST(DspnSimulator, TwoStateAvailabilityMatchesClosedForm) {
+  const auto net = two_state(0.01, 0.1);
+  DspnSimulator simulator(net);
+  SimulationOptions opt;
+  opt.horizon = 2e5;
+  opt.warmup_time = 1e3;
+  opt.seed = 5;
+  const markov::MarkingReward up_indicator = [](const Marking& m) {
+    return m[0] == 1 ? 1.0 : 0.0;
+  };
+  const auto est = simulator.estimate(up_indicator, opt, 10);
+  const double expected = 0.1 / 0.11;
+  EXPECT_NEAR(est.mean, expected, 3.0 * std::max(est.std_error, 1e-4));
+}
+
+TEST(DspnSimulator, DeterministicCycleMatchesAnalytic) {
+  // A --D(tau)--> B --exp(r)--> A; pi_A = tau / (tau + 1/r).
+  const double tau = 4.0, r = 0.5;
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto d = net.add_deterministic("D", tau);
+  net.add_input_arc(d, a);
+  net.add_output_arc(d, b);
+  const auto back = net.add_exponential("back", r);
+  net.add_input_arc(back, b);
+  net.add_output_arc(back, a);
+
+  DspnSimulator simulator(net);
+  SimulationOptions opt;
+  opt.horizon = 1e5;
+  opt.warmup_time = 100.0;
+  opt.seed = 21;
+  const markov::MarkingReward in_a = [](const Marking& m) {
+    return m[0] == 1 ? 1.0 : 0.0;
+  };
+  const auto est = simulator.estimate(in_a, opt, 8);
+  const double expected = tau / (tau + 1.0 / r);
+  EXPECT_NEAR(est.mean, expected, 0.01);
+}
+
+TEST(DspnSimulator, ImmediateWeightsRespected) {
+  // Timed firing routes through an immediate 1:3 conflict; measure the
+  // resulting branch masses.
+  PetriNet net;
+  const auto src = net.add_place("src", 1);
+  const auto mid = net.add_place("mid", 0);
+  const auto l = net.add_place("L", 0);
+  const auto rr = net.add_place("R", 0);
+  const auto t = net.add_exponential("T", 10.0);
+  net.add_input_arc(t, src);
+  net.add_output_arc(t, mid);
+  const auto il = net.add_immediate("IL", 1.0);
+  net.add_input_arc(il, mid);
+  net.add_output_arc(il, l);
+  const auto ir = net.add_immediate("IR", 3.0);
+  net.add_input_arc(ir, mid);
+  net.add_output_arc(ir, rr);
+  const auto back_l = net.add_exponential("backL", 10.0);
+  net.add_input_arc(back_l, l);
+  net.add_output_arc(back_l, src);
+  const auto back_r = net.add_exponential("backR", 10.0);
+  net.add_input_arc(back_r, rr);
+  net.add_output_arc(back_r, src);
+
+  DspnSimulator simulator(net);
+  SimulationOptions opt;
+  opt.horizon = 5e4;
+  opt.seed = 33;
+  const auto result = simulator.run(
+      {[l](const Marking& m) { return m[l.index] == 1 ? 1.0 : 0.0; },
+       [rr](const Marking& m) { return m[rr.index] == 1 ? 1.0 : 0.0; }},
+      opt);
+  const double mass_l = result.time_average_rewards[0];
+  const double mass_r = result.time_average_rewards[1];
+  EXPECT_NEAR(mass_r / (mass_l + mass_r), 0.75, 0.02);
+}
+
+TEST(DspnSimulator, DeadMarkingSpendsRemainingHorizonThere) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto t = net.add_exponential("T", 100.0);
+  net.add_input_arc(t, a);
+  net.add_output_arc(t, b);
+  DspnSimulator simulator(net);
+  SimulationOptions opt;
+  opt.horizon = 1000.0;
+  opt.seed = 3;
+  const auto result = simulator.run(
+      {[b](const Marking& m) { return m[b.index] == 1 ? 1.0 : 0.0; }}, opt);
+  EXPECT_GT(result.time_average_rewards[0], 0.99);
+}
+
+TEST(DspnSimulator, ReproducibleWithSameSeed) {
+  const auto net = two_state(0.2, 0.5);
+  DspnSimulator simulator(net);
+  SimulationOptions opt;
+  opt.horizon = 1e4;
+  opt.seed = 77;
+  const markov::MarkingReward up = [](const Marking& m) {
+    return m[0] == 1 ? 1.0 : 0.0;
+  };
+  const auto r1 = simulator.run({up}, opt);
+  const auto r2 = simulator.run({up}, opt);
+  EXPECT_DOUBLE_EQ(r1.time_average_rewards[0], r2.time_average_rewards[0]);
+  EXPECT_EQ(r1.timed_firings, r2.timed_firings);
+  opt.seed = 78;
+  const auto r3 = simulator.run({up}, opt);
+  EXPECT_NE(r1.time_average_rewards[0], r3.time_average_rewards[0]);
+}
+
+TEST(DspnSimulator, FeatureDistributionSumsToOne) {
+  const auto net = two_state(0.3, 0.7);
+  DspnSimulator simulator(net);
+  SimulationOptions opt;
+  opt.horizon = 2e4;
+  opt.seed = 9;
+  const auto dist = simulator.feature_distribution(
+      [](const Marking& m) { return m[0]; }, opt);
+  double total = 0.0;
+  for (const auto& [_, mass] : dist) total += mass;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(dist.at(1), 0.7, 0.05);
+}
+
+TEST(DspnSimulator, EstimateGivesSaneConfidenceInterval) {
+  const auto net = two_state(0.1, 0.4);
+  DspnSimulator simulator(net);
+  SimulationOptions opt;
+  opt.horizon = 1e4;
+  opt.warmup_time = 100.0;
+  opt.seed = 13;
+  const markov::MarkingReward up = [](const Marking& m) {
+    return m[0] == 1 ? 1.0 : 0.0;
+  };
+  const auto est = simulator.estimate(up, opt, 12);
+  EXPECT_EQ(est.replications, 12u);
+  EXPECT_LT(est.ci.lo, est.mean);
+  EXPECT_GT(est.ci.hi, est.mean);
+  EXPECT_TRUE(est.ci.contains(0.8));
+}
+
+TEST(DspnSimulator, MatchesDspnSolverOnMixedNet) {
+  // Deterministic maintenance clock plus exponential dynamics — the shape
+  // of the paper's rejuvenation model, validated end-to-end.
+  PetriNet net;
+  const auto up = net.add_place("up", 2);
+  const auto degraded = net.add_place("degraded", 0);
+  const auto clock = net.add_place("clock", 1);
+  const auto expired = net.add_place("expired", 0);
+  const auto wear = net.add_exponential("wear", 0.02);
+  net.add_input_arc(wear, up);
+  net.add_output_arc(wear, degraded);
+  const auto tick = net.add_deterministic("tick", 30.0);
+  net.add_input_arc(tick, clock);
+  net.add_output_arc(tick, expired);
+  // Maintenance: instantly restores all degraded units, then re-arms.
+  const auto fix = net.add_immediate("fix");
+  net.add_input_arc(fix, expired);
+  net.add_output_arc(fix, clock);
+  net.add_input_arc(fix, degraded,
+                    [degraded](const Marking& m) {
+                      return m[degraded.index];
+                    });
+  net.add_output_arc(fix, up, [degraded](const Marking& m) {
+    return m[degraded.index];
+  });
+
+  const auto g = petri::TangibleReachabilityGraph::build(net);
+  const auto analytic = markov::DspnSteadyStateSolver().solve(g);
+  const markov::MarkingReward both_up = [up](const Marking& m) {
+    return m[up.index] == 2 ? 1.0 : 0.0;
+  };
+  double analytic_value = 0.0;
+  for (std::size_t s = 0; s < g.size(); ++s)
+    analytic_value += analytic.probabilities[s] * both_up(g.marking(s));
+
+  DspnSimulator simulator(net);
+  SimulationOptions opt;
+  opt.horizon = 2e5;
+  opt.warmup_time = 500.0;
+  opt.seed = 101;
+  const auto est = simulator.estimate(both_up, opt, 8);
+  EXPECT_NEAR(est.mean, analytic_value,
+              std::max(4.0 * est.std_error, 0.01));
+}
+
+// ---- estimators -----------------------------------------------------------------
+
+TEST(Estimators, BatchMeansBasics) {
+  std::vector<double> obs;
+  util::RandomStream rng(55);
+  for (int i = 0; i < 1000; ++i) obs.push_back(rng.normal(5.0, 1.0));
+  const auto result = batch_means(obs, 10);
+  EXPECT_EQ(result.batches, 10u);
+  EXPECT_NEAR(result.mean, 5.0, 0.2);
+  EXPECT_TRUE(result.ci.contains(5.0));
+}
+
+TEST(Estimators, BatchMeansRejectsTooFewObservations) {
+  std::vector<double> obs(10, 1.0);
+  EXPECT_THROW(batch_means(obs, 8), util::ContractViolation);
+}
+
+TEST(Estimators, PrecisionReached) {
+  util::RunningStats stats;
+  EXPECT_FALSE(precision_reached(stats, 0.95, 0.01));
+  for (int i = 0; i < 1000; ++i) stats.add(10.0 + (i % 2 ? 0.001 : -0.001));
+  EXPECT_TRUE(precision_reached(stats, 0.95, 0.01));
+}
+
+}  // namespace
+}  // namespace nvp::sim

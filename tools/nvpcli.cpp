@@ -1,0 +1,256 @@
+// nvpcli — command-line front end to the library, in the role TimeNET
+// plays for the paper: load a model (a .dspn file or one of the paper's
+// built-in perception models), then solve, simulate, sweep, or optimize.
+//
+//   nvpcli analyze --paper 6v [--interval 600] [--p 0.08] ...
+//   nvpcli analyze --model workcell.dspn --reward "#ok == 2"
+//   nvpcli simulate --model workcell.dspn --reward "#ok" --horizon 1e5
+//   nvpcli sweep --paper 6v --param interval --from 200 --to 3000 --points 15
+//   nvpcli optimize --paper 6v --from 100 --to 3000
+//   nvpcli export --paper 4v          # dump the model as .dspn text / DOT
+//
+// Exit code 0 on success, 1 on usage errors, 2 on model/solver errors.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/model_factory.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/reliability.hpp"
+#include "src/core/sweep.hpp"
+#include "src/markov/dspn_solver.hpp"
+#include "src/markov/rewards.hpp"
+#include "src/petri/dot_export.hpp"
+#include "src/petri/dspn_parser.hpp"
+#include "src/petri/expression.hpp"
+#include "src/sim/dspn_simulator.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/string_util.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace nvp;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  nvpcli analyze  (--paper 4v|6v [param overrides] | --model "
+      "<file.dspn> --reward <expr>)\n"
+      "  nvpcli simulate (--paper 4v|6v | --model <file.dspn> --reward "
+      "<expr>) [--horizon 1e6] [--reps 8] [--seed 1]\n"
+      "  nvpcli sweep    --paper 4v|6v --param "
+      "interval|mttc|alpha|p|p-prime --from <x> --to <x> [--points 15]\n"
+      "  nvpcli optimize --paper 6v --from <x> --to <x>\n"
+      "  nvpcli export   (--paper 4v|6v | --model <file.dspn>) [--dot]\n"
+      "\n"
+      "paper parameter overrides: --n --f --r --alpha --p --p-prime --mttc "
+      "--mttf --mttr --interval --duration --detection-rate\n"
+      "analyze options: --convention verbatim|generalized|strict "
+      "--attachment operational|appendix\n");
+  return 1;
+}
+
+core::SystemParameters paper_params(const util::CliArgs& args) {
+  const std::string which = args.get("paper", "6v");
+  core::SystemParameters params =
+      which == "4v" ? core::SystemParameters::paper_four_version()
+                    : core::SystemParameters::paper_six_version();
+  params.n_versions = args.get_int("n", params.n_versions);
+  params.max_faulty = args.get_int("f", params.max_faulty);
+  params.max_rejuvenating = args.get_int("r", params.max_rejuvenating);
+  params.alpha = args.get_double("alpha", params.alpha);
+  params.p = args.get_double("p", params.p);
+  params.p_prime = args.get_double("p-prime", params.p_prime);
+  params.mean_time_to_compromise =
+      args.get_double("mttc", params.mean_time_to_compromise);
+  params.mean_time_to_failure =
+      args.get_double("mttf", params.mean_time_to_failure);
+  params.mean_time_to_repair =
+      args.get_double("mttr", params.mean_time_to_repair);
+  params.rejuvenation_interval =
+      args.get_double("interval", params.rejuvenation_interval);
+  params.rejuvenation_duration =
+      args.get_double("duration", params.rejuvenation_duration);
+  params.detection_rate =
+      args.get_double("detection-rate", params.detection_rate);
+  params.validate();
+  return params;
+}
+
+core::ReliabilityAnalyzer::Options analyzer_options(
+    const util::CliArgs& args) {
+  core::ReliabilityAnalyzer::Options options;
+  const std::string convention = args.get("convention", "verbatim");
+  if (convention == "generalized")
+    options.convention = core::RewardConvention::kGeneralized;
+  else if (convention == "strict")
+    options.convention = core::RewardConvention::kStrict;
+  const std::string attachment = args.get("attachment", "operational");
+  if (attachment == "appendix")
+    options.attachment = core::RewardAttachment::kAppendixMatrices;
+  return options;
+}
+
+int analyze_paper(const util::CliArgs& args) {
+  const auto params = paper_params(args);
+  const core::ReliabilityAnalyzer analyzer(analyzer_options(args));
+  const auto result = analyzer.analyze(params);
+  std::printf("configuration: %s\n", params.describe().c_str());
+  std::printf("tangible states: %zu (%s solver)\n", result.tangible_states,
+              result.used_dspn_solver ? "MRGP" : "CTMC");
+  std::printf("E[R_sys] = %.7f\n", result.expected_reliability);
+  std::printf("top states:\n");
+  for (std::size_t i = 0; i < result.state_distribution.size() && i < 8;
+       ++i) {
+    const auto& sp = result.state_distribution[i];
+    std::printf("  (H=%d C=%d down=%d)  pi=%.6f  R=%.6f\n", sp.healthy,
+                sp.compromised, sp.down, sp.probability, sp.reliability);
+  }
+  return 0;
+}
+
+int analyze_model(const util::CliArgs& args) {
+  const auto net = petri::load_dspn_file(args.get("model", ""));
+  const std::string reward_text = args.get("reward", "");
+  if (reward_text.empty()) {
+    std::fprintf(stderr, "--model analysis needs --reward <expr>\n");
+    return 1;
+  }
+  const auto reward = petri::Expression::parse(reward_text, net);
+  const auto graph = petri::TangibleReachabilityGraph::build(net);
+  const auto solution = markov::DspnSteadyStateSolver().solve(graph);
+  double expected = 0.0;
+  for (std::size_t s = 0; s < graph.size(); ++s)
+    expected += solution.probabilities[s] * reward.eval(graph.marking(s));
+  std::printf("model: %s (%zu tangible states, %s solver)\n",
+              net.name().c_str(), graph.size(),
+              solution.pure_ctmc ? "CTMC" : "MRGP");
+  std::printf("steady-state E[%s] = %.7f\n", reward_text.c_str(), expected);
+  return 0;
+}
+
+int simulate(const util::CliArgs& args) {
+  const double horizon = args.get_double("horizon", 1e6);
+  const auto reps = static_cast<std::size_t>(args.get_int("reps", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  if (args.has("model")) {
+    const auto net = petri::load_dspn_file(args.get("model", ""));
+    const std::string reward_text = args.get("reward", "");
+    if (reward_text.empty()) {
+      std::fprintf(stderr, "simulate --model needs --reward <expr>\n");
+      return 1;
+    }
+    const auto expr = petri::Expression::parse(reward_text, net);
+    sim::DspnSimulator simulator(net);
+    sim::SimulationOptions options;
+    options.horizon = horizon;
+    options.warmup_time = horizon / 100.0;
+    options.seed = seed;
+    const auto estimate = simulator.estimate(expr.as_rate(), options, reps);
+    std::printf("simulated E[%s] = %.6f (95%% CI [%.6f, %.6f], %zu reps)\n",
+                reward_text.c_str(), estimate.mean, estimate.ci.lo,
+                estimate.ci.hi, reps);
+    return 0;
+  }
+
+  const auto params = paper_params(args);
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto rewards = core::make_reliability_model(params);
+  sim::DspnSimulator simulator(model.net);
+  sim::SimulationOptions options;
+  options.horizon = horizon;
+  options.warmup_time = horizon / 100.0;
+  options.seed = seed;
+  const auto estimate = simulator.estimate(
+      [&](const petri::Marking& m) {
+        return rewards->state_reliability(
+            model.healthy(m), model.compromised(m), model.down(m));
+      },
+      options, reps);
+  std::printf(
+      "simulated E[R_sys] = %.6f (95%% CI [%.6f, %.6f], horizon %.3g s x "
+      "%zu reps)\n",
+      estimate.mean, estimate.ci.lo, estimate.ci.hi, horizon, reps);
+  return 0;
+}
+
+int sweep(const util::CliArgs& args) {
+  const auto params = paper_params(args);
+  const core::ReliabilityAnalyzer analyzer(analyzer_options(args));
+  const std::string name = args.get("param", "interval");
+  core::ParameterSetter setter;
+  if (name == "interval")
+    setter = core::set_rejuvenation_interval();
+  else if (name == "mttc")
+    setter = core::set_mean_time_to_compromise();
+  else if (name == "alpha")
+    setter = core::set_alpha();
+  else if (name == "p")
+    setter = core::set_p();
+  else if (name == "p-prime")
+    setter = core::set_p_prime();
+  else
+    return usage();
+  const double from = args.get_double("from", 0.0);
+  const double to = args.get_double("to", 0.0);
+  const auto points = static_cast<std::size_t>(args.get_int("points", 15));
+  if (!(to > from) || points < 2) return usage();
+  const auto results = core::sweep_parameter(
+      analyzer, params, setter, core::linspace(from, to, points));
+  util::TextTable table({name, "E[R_sys]"});
+  for (const auto& point : results)
+    table.row({util::format("%.6g", point.x),
+               util::format("%.7f", point.expected_reliability)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int optimize(const util::CliArgs& args) {
+  const auto params = paper_params(args);
+  const core::ReliabilityAnalyzer analyzer(analyzer_options(args));
+  const double from = args.get_double("from", 100.0);
+  const double to = args.get_double("to", 3000.0);
+  const auto optimum = core::optimize_rejuvenation_interval(
+      analyzer, params, from, to, 24, 0.5);
+  std::printf(
+      "optimal rejuvenation interval: %.1f s -> E[R_sys] = %.7f (%zu "
+      "evaluations)\n",
+      optimum.x, optimum.expected_reliability, optimum.evaluations);
+  return 0;
+}
+
+int export_model(const util::CliArgs& args) {
+  petri::PetriNet net =
+      args.has("model")
+          ? petri::load_dspn_file(args.get("model", ""))
+          : core::PerceptionModelFactory::build(paper_params(args)).net;
+  if (args.has("dot"))
+    std::printf("%s", petri::to_dot(net).c_str());
+  else
+    std::printf("%s", petri::to_dspn_text(net).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::CliArgs args(argc - 1, argv + 1);
+  try {
+    if (command == "analyze")
+      return args.has("model") ? analyze_model(args) : analyze_paper(args);
+    if (command == "simulate") return simulate(args);
+    if (command == "sweep") return sweep(args);
+    if (command == "optimize") return optimize(args);
+    if (command == "export") return export_model(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
