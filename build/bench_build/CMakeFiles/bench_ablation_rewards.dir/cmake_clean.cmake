@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rewards"
+  "../bench/bench_ablation_rewards.pdb"
+  "CMakeFiles/bench_ablation_rewards.dir/bench_ablation_rewards.cpp.o"
+  "CMakeFiles/bench_ablation_rewards.dir/bench_ablation_rewards.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

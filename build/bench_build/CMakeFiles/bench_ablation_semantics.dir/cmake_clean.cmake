@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_semantics"
+  "../bench/bench_ablation_semantics.pdb"
+  "CMakeFiles/bench_ablation_semantics.dir/bench_ablation_semantics.cpp.o"
+  "CMakeFiles/bench_ablation_semantics.dir/bench_ablation_semantics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adaptive_rejuvenation"
+  "../bench/bench_adaptive_rejuvenation.pdb"
+  "CMakeFiles/bench_adaptive_rejuvenation.dir/bench_adaptive_rejuvenation.cpp.o"
+  "CMakeFiles/bench_adaptive_rejuvenation.dir/bench_adaptive_rejuvenation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_architecture_space"
+  "../bench/bench_architecture_space.pdb"
+  "CMakeFiles/bench_architecture_space.dir/bench_architecture_space.cpp.o"
+  "CMakeFiles/bench_architecture_space.dir/bench_architecture_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_architecture_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

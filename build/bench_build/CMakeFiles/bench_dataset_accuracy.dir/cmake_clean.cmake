@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dataset_accuracy"
+  "../bench/bench_dataset_accuracy.pdb"
+  "CMakeFiles/bench_dataset_accuracy.dir/bench_dataset_accuracy.cpp.o"
+  "CMakeFiles/bench_dataset_accuracy.dir/bench_dataset_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

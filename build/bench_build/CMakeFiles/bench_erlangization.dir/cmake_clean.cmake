@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_erlangization"
+  "../bench/bench_erlangization.pdb"
+  "CMakeFiles/bench_erlangization.dir/bench_erlangization.cpp.o"
+  "CMakeFiles/bench_erlangization.dir/bench_erlangization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_erlangization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_rejuv_interval"
+  "../bench/bench_fig3_rejuv_interval.pdb"
+  "CMakeFiles/bench_fig3_rejuv_interval.dir/bench_fig3_rejuv_interval.cpp.o"
+  "CMakeFiles/bench_fig3_rejuv_interval.dir/bench_fig3_rejuv_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rejuv_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4a_mttc"
+  "../bench/bench_fig4a_mttc.pdb"
+  "CMakeFiles/bench_fig4a_mttc.dir/bench_fig4a_mttc.cpp.o"
+  "CMakeFiles/bench_fig4a_mttc.dir/bench_fig4a_mttc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_mttc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

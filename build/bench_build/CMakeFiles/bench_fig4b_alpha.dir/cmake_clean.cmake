@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4b_alpha"
+  "../bench/bench_fig4b_alpha.pdb"
+  "CMakeFiles/bench_fig4b_alpha.dir/bench_fig4b_alpha.cpp.o"
+  "CMakeFiles/bench_fig4b_alpha.dir/bench_fig4b_alpha.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

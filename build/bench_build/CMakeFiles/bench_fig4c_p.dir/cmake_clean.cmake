@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4c_p"
+  "../bench/bench_fig4c_p.pdb"
+  "CMakeFiles/bench_fig4c_p.dir/bench_fig4c_p.cpp.o"
+  "CMakeFiles/bench_fig4c_p.dir/bench_fig4c_p.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4d_pprime"
+  "../bench/bench_fig4d_pprime.pdb"
+  "CMakeFiles/bench_fig4d_pprime.dir/bench_fig4d_pprime.cpp.o"
+  "CMakeFiles/bench_fig4d_pprime.dir/bench_fig4d_pprime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4d_pprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

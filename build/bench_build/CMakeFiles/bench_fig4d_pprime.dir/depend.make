@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4d_pprime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_headline.cpp" "bench_build/CMakeFiles/bench_headline.dir/bench_headline.cpp.o" "gcc" "bench_build/CMakeFiles/bench_headline.dir/bench_headline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/nvp_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/nvp_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nvp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/nvp_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nvp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/nvp_petri.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_headline"
+  "../bench/bench_headline.pdb"
+  "CMakeFiles/bench_headline.dir/bench_headline.cpp.o"
+  "CMakeFiles/bench_headline.dir/bench_headline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

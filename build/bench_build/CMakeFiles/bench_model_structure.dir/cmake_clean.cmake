@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_structure"
+  "../bench/bench_model_structure.pdb"
+  "CMakeFiles/bench_model_structure.dir/bench_model_structure.cpp.o"
+  "CMakeFiles/bench_model_structure.dir/bench_model_structure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_optimal_interval"
+  "../bench/bench_optimal_interval.pdb"
+  "CMakeFiles/bench_optimal_interval.dir/bench_optimal_interval.cpp.o"
+  "CMakeFiles/bench_optimal_interval.dir/bench_optimal_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

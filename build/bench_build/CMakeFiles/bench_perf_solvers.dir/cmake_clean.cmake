@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_solvers"
+  "../bench/bench_perf_solvers.pdb"
+  "CMakeFiles/bench_perf_solvers.dir/bench_perf_solvers.cpp.o"
+  "CMakeFiles/bench_perf_solvers.dir/bench_perf_solvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reactive_vs_proactive"
+  "../bench/bench_reactive_vs_proactive.pdb"
+  "CMakeFiles/bench_reactive_vs_proactive.dir/bench_reactive_vs_proactive.cpp.o"
+  "CMakeFiles/bench_reactive_vs_proactive.dir/bench_reactive_vs_proactive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reactive_vs_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

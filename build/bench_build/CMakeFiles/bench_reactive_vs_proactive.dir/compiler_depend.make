@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_reactive_vs_proactive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_safety_bursts"
+  "../bench/bench_safety_bursts.pdb"
+  "CMakeFiles/bench_safety_bursts.dir/bench_safety_bursts.cpp.o"
+  "CMakeFiles/bench_safety_bursts.dir/bench_safety_bursts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_safety_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

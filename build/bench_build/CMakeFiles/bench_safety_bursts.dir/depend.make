@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_safety_bursts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sim_crosscheck"
+  "../bench/bench_sim_crosscheck.pdb"
+  "CMakeFiles/bench_sim_crosscheck.dir/bench_sim_crosscheck.cpp.o"
+  "CMakeFiles/bench_sim_crosscheck.dir/bench_sim_crosscheck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

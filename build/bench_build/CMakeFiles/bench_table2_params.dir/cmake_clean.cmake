@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_params"
+  "../bench/bench_table2_params.pdb"
+  "CMakeFiles/bench_table2_params.dir/bench_table2_params.cpp.o"
+  "CMakeFiles/bench_table2_params.dir/bench_table2_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

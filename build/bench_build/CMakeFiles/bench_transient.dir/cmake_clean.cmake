@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_transient"
+  "../bench/bench_transient.pdb"
+  "CMakeFiles/bench_transient.dir/bench_transient.cpp.o"
+  "CMakeFiles/bench_transient.dir/bench_transient.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_campaign.dir/attack_campaign.cpp.o"
+  "CMakeFiles/attack_campaign.dir/attack_campaign.cpp.o.d"
+  "attack_campaign"
+  "attack_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

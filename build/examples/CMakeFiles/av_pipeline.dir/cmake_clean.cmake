@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_pipeline.dir/av_pipeline.cpp.o"
+  "CMakeFiles/av_pipeline.dir/av_pipeline.cpp.o.d"
+  "av_pipeline"
+  "av_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dspn.dir/custom_dspn.cpp.o"
+  "CMakeFiles/custom_dspn.dir/custom_dspn.cpp.o.d"
+  "custom_dspn"
+  "custom_dspn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dspn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_optimizer.dir/interval_optimizer.cpp.o"
+  "CMakeFiles/interval_optimizer.dir/interval_optimizer.cpp.o.d"
+  "interval_optimizer"
+  "interval_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_in_the_loop.dir/ml_in_the_loop.cpp.o"
+  "CMakeFiles/ml_in_the_loop.dir/ml_in_the_loop.cpp.o.d"
+  "ml_in_the_loop"
+  "ml_in_the_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_in_the_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ml_in_the_loop.
+# This may be replaced when dependencies are built.

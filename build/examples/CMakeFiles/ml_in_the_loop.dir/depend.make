@@ -1,0 +1,2 @@
+# Empty dependencies file for ml_in_the_loop.
+# This may be replaced when dependencies are built.

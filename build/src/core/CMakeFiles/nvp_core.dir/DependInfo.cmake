@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/nvp_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/architecture_space.cpp" "src/core/CMakeFiles/nvp_core.dir/architecture_space.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/architecture_space.cpp.o.d"
+  "/root/repo/src/core/model_factory.cpp" "src/core/CMakeFiles/nvp_core.dir/model_factory.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/model_factory.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/nvp_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/nvp_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/reliability.cpp" "src/core/CMakeFiles/nvp_core.dir/reliability.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/reliability.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/nvp_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/nvp_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/transient.cpp" "src/core/CMakeFiles/nvp_core.dir/transient.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/transient.cpp.o.d"
+  "/root/repo/src/core/voting.cpp" "src/core/CMakeFiles/nvp_core.dir/voting.cpp.o" "gcc" "src/core/CMakeFiles/nvp_core.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nvp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/nvp_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/nvp_markov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_core.dir/analyzer.cpp.o"
+  "CMakeFiles/nvp_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/architecture_space.cpp.o"
+  "CMakeFiles/nvp_core.dir/architecture_space.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/model_factory.cpp.o"
+  "CMakeFiles/nvp_core.dir/model_factory.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/optimizer.cpp.o"
+  "CMakeFiles/nvp_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/params.cpp.o"
+  "CMakeFiles/nvp_core.dir/params.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/reliability.cpp.o"
+  "CMakeFiles/nvp_core.dir/reliability.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/nvp_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/sweep.cpp.o"
+  "CMakeFiles/nvp_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/transient.cpp.o"
+  "CMakeFiles/nvp_core.dir/transient.cpp.o.d"
+  "CMakeFiles/nvp_core.dir/voting.cpp.o"
+  "CMakeFiles/nvp_core.dir/voting.cpp.o.d"
+  "libnvp_core.a"
+  "libnvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/adversarial.cpp" "src/dataset/CMakeFiles/nvp_dataset.dir/adversarial.cpp.o" "gcc" "src/dataset/CMakeFiles/nvp_dataset.dir/adversarial.cpp.o.d"
+  "/root/repo/src/dataset/classifier.cpp" "src/dataset/CMakeFiles/nvp_dataset.dir/classifier.cpp.o" "gcc" "src/dataset/CMakeFiles/nvp_dataset.dir/classifier.cpp.o.d"
+  "/root/repo/src/dataset/eval.cpp" "src/dataset/CMakeFiles/nvp_dataset.dir/eval.cpp.o" "gcc" "src/dataset/CMakeFiles/nvp_dataset.dir/eval.cpp.o.d"
+  "/root/repo/src/dataset/gtsrb_synth.cpp" "src/dataset/CMakeFiles/nvp_dataset.dir/gtsrb_synth.cpp.o" "gcc" "src/dataset/CMakeFiles/nvp_dataset.dir/gtsrb_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

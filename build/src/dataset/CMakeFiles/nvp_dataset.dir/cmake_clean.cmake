@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_dataset.dir/adversarial.cpp.o"
+  "CMakeFiles/nvp_dataset.dir/adversarial.cpp.o.d"
+  "CMakeFiles/nvp_dataset.dir/classifier.cpp.o"
+  "CMakeFiles/nvp_dataset.dir/classifier.cpp.o.d"
+  "CMakeFiles/nvp_dataset.dir/eval.cpp.o"
+  "CMakeFiles/nvp_dataset.dir/eval.cpp.o.d"
+  "CMakeFiles/nvp_dataset.dir/gtsrb_synth.cpp.o"
+  "CMakeFiles/nvp_dataset.dir/gtsrb_synth.cpp.o.d"
+  "libnvp_dataset.a"
+  "libnvp_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/nvp_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/nvp_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/iterative.cpp" "src/linalg/CMakeFiles/nvp_linalg.dir/iterative.cpp.o" "gcc" "src/linalg/CMakeFiles/nvp_linalg.dir/iterative.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/linalg/CMakeFiles/nvp_linalg.dir/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/nvp_linalg.dir/lu.cpp.o.d"
+  "/root/repo/src/linalg/poisson.cpp" "src/linalg/CMakeFiles/nvp_linalg.dir/poisson.cpp.o" "gcc" "src/linalg/CMakeFiles/nvp_linalg.dir/poisson.cpp.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cpp" "src/linalg/CMakeFiles/nvp_linalg.dir/sparse_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/nvp_linalg.dir/sparse_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/nvp_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/nvp_linalg.dir/iterative.cpp.o"
+  "CMakeFiles/nvp_linalg.dir/iterative.cpp.o.d"
+  "CMakeFiles/nvp_linalg.dir/lu.cpp.o"
+  "CMakeFiles/nvp_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/nvp_linalg.dir/poisson.cpp.o"
+  "CMakeFiles/nvp_linalg.dir/poisson.cpp.o.d"
+  "CMakeFiles/nvp_linalg.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/nvp_linalg.dir/sparse_matrix.cpp.o.d"
+  "libnvp_linalg.a"
+  "libnvp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

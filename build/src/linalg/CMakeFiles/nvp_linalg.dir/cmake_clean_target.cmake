@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvp_linalg.a"
+)

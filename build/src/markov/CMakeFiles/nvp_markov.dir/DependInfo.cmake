@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/absorption.cpp" "src/markov/CMakeFiles/nvp_markov.dir/absorption.cpp.o" "gcc" "src/markov/CMakeFiles/nvp_markov.dir/absorption.cpp.o.d"
+  "/root/repo/src/markov/ctmc.cpp" "src/markov/CMakeFiles/nvp_markov.dir/ctmc.cpp.o" "gcc" "src/markov/CMakeFiles/nvp_markov.dir/ctmc.cpp.o.d"
+  "/root/repo/src/markov/dspn_solver.cpp" "src/markov/CMakeFiles/nvp_markov.dir/dspn_solver.cpp.o" "gcc" "src/markov/CMakeFiles/nvp_markov.dir/dspn_solver.cpp.o.d"
+  "/root/repo/src/markov/dtmc.cpp" "src/markov/CMakeFiles/nvp_markov.dir/dtmc.cpp.o" "gcc" "src/markov/CMakeFiles/nvp_markov.dir/dtmc.cpp.o.d"
+  "/root/repo/src/markov/rewards.cpp" "src/markov/CMakeFiles/nvp_markov.dir/rewards.cpp.o" "gcc" "src/markov/CMakeFiles/nvp_markov.dir/rewards.cpp.o.d"
+  "/root/repo/src/markov/transient.cpp" "src/markov/CMakeFiles/nvp_markov.dir/transient.cpp.o" "gcc" "src/markov/CMakeFiles/nvp_markov.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nvp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/nvp_petri.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_markov.dir/absorption.cpp.o"
+  "CMakeFiles/nvp_markov.dir/absorption.cpp.o.d"
+  "CMakeFiles/nvp_markov.dir/ctmc.cpp.o"
+  "CMakeFiles/nvp_markov.dir/ctmc.cpp.o.d"
+  "CMakeFiles/nvp_markov.dir/dspn_solver.cpp.o"
+  "CMakeFiles/nvp_markov.dir/dspn_solver.cpp.o.d"
+  "CMakeFiles/nvp_markov.dir/dtmc.cpp.o"
+  "CMakeFiles/nvp_markov.dir/dtmc.cpp.o.d"
+  "CMakeFiles/nvp_markov.dir/rewards.cpp.o"
+  "CMakeFiles/nvp_markov.dir/rewards.cpp.o.d"
+  "CMakeFiles/nvp_markov.dir/transient.cpp.o"
+  "CMakeFiles/nvp_markov.dir/transient.cpp.o.d"
+  "libnvp_markov.a"
+  "libnvp_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/adaptive.cpp" "src/perception/CMakeFiles/nvp_perception.dir/adaptive.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/adaptive.cpp.o.d"
+  "/root/repo/src/perception/ensemble_system.cpp" "src/perception/CMakeFiles/nvp_perception.dir/ensemble_system.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/ensemble_system.cpp.o.d"
+  "/root/repo/src/perception/environment.cpp" "src/perception/CMakeFiles/nvp_perception.dir/environment.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/environment.cpp.o.d"
+  "/root/repo/src/perception/fault_injector.cpp" "src/perception/CMakeFiles/nvp_perception.dir/fault_injector.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/perception/module_sim.cpp" "src/perception/CMakeFiles/nvp_perception.dir/module_sim.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/module_sim.cpp.o.d"
+  "/root/repo/src/perception/rejuvenator.cpp" "src/perception/CMakeFiles/nvp_perception.dir/rejuvenator.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/rejuvenator.cpp.o.d"
+  "/root/repo/src/perception/sensor.cpp" "src/perception/CMakeFiles/nvp_perception.dir/sensor.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/sensor.cpp.o.d"
+  "/root/repo/src/perception/system.cpp" "src/perception/CMakeFiles/nvp_perception.dir/system.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/system.cpp.o.d"
+  "/root/repo/src/perception/voter.cpp" "src/perception/CMakeFiles/nvp_perception.dir/voter.cpp.o" "gcc" "src/perception/CMakeFiles/nvp_perception.dir/voter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/nvp_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/nvp_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nvp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/nvp_petri.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

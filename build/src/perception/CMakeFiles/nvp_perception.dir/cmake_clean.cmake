@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_perception.dir/adaptive.cpp.o"
+  "CMakeFiles/nvp_perception.dir/adaptive.cpp.o.d"
+  "CMakeFiles/nvp_perception.dir/ensemble_system.cpp.o"
+  "CMakeFiles/nvp_perception.dir/ensemble_system.cpp.o.d"
+  "CMakeFiles/nvp_perception.dir/environment.cpp.o"
+  "CMakeFiles/nvp_perception.dir/environment.cpp.o.d"
+  "CMakeFiles/nvp_perception.dir/fault_injector.cpp.o"
+  "CMakeFiles/nvp_perception.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/nvp_perception.dir/module_sim.cpp.o"
+  "CMakeFiles/nvp_perception.dir/module_sim.cpp.o.d"
+  "CMakeFiles/nvp_perception.dir/rejuvenator.cpp.o"
+  "CMakeFiles/nvp_perception.dir/rejuvenator.cpp.o.d"
+  "CMakeFiles/nvp_perception.dir/sensor.cpp.o"
+  "CMakeFiles/nvp_perception.dir/sensor.cpp.o.d"
+  "CMakeFiles/nvp_perception.dir/system.cpp.o"
+  "CMakeFiles/nvp_perception.dir/system.cpp.o.d"
+  "CMakeFiles/nvp_perception.dir/voter.cpp.o"
+  "CMakeFiles/nvp_perception.dir/voter.cpp.o.d"
+  "libnvp_perception.a"
+  "libnvp_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

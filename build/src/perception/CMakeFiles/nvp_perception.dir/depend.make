@@ -1,0 +1,2 @@
+# Empty dependencies file for nvp_perception.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petri/dot_export.cpp" "src/petri/CMakeFiles/nvp_petri.dir/dot_export.cpp.o" "gcc" "src/petri/CMakeFiles/nvp_petri.dir/dot_export.cpp.o.d"
+  "/root/repo/src/petri/dspn_parser.cpp" "src/petri/CMakeFiles/nvp_petri.dir/dspn_parser.cpp.o" "gcc" "src/petri/CMakeFiles/nvp_petri.dir/dspn_parser.cpp.o.d"
+  "/root/repo/src/petri/expression.cpp" "src/petri/CMakeFiles/nvp_petri.dir/expression.cpp.o" "gcc" "src/petri/CMakeFiles/nvp_petri.dir/expression.cpp.o.d"
+  "/root/repo/src/petri/net.cpp" "src/petri/CMakeFiles/nvp_petri.dir/net.cpp.o" "gcc" "src/petri/CMakeFiles/nvp_petri.dir/net.cpp.o.d"
+  "/root/repo/src/petri/reachability.cpp" "src/petri/CMakeFiles/nvp_petri.dir/reachability.cpp.o" "gcc" "src/petri/CMakeFiles/nvp_petri.dir/reachability.cpp.o.d"
+  "/root/repo/src/petri/structural.cpp" "src/petri/CMakeFiles/nvp_petri.dir/structural.cpp.o" "gcc" "src/petri/CMakeFiles/nvp_petri.dir/structural.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

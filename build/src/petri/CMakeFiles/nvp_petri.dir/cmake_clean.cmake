@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_petri.dir/dot_export.cpp.o"
+  "CMakeFiles/nvp_petri.dir/dot_export.cpp.o.d"
+  "CMakeFiles/nvp_petri.dir/dspn_parser.cpp.o"
+  "CMakeFiles/nvp_petri.dir/dspn_parser.cpp.o.d"
+  "CMakeFiles/nvp_petri.dir/expression.cpp.o"
+  "CMakeFiles/nvp_petri.dir/expression.cpp.o.d"
+  "CMakeFiles/nvp_petri.dir/net.cpp.o"
+  "CMakeFiles/nvp_petri.dir/net.cpp.o.d"
+  "CMakeFiles/nvp_petri.dir/reachability.cpp.o"
+  "CMakeFiles/nvp_petri.dir/reachability.cpp.o.d"
+  "CMakeFiles/nvp_petri.dir/structural.cpp.o"
+  "CMakeFiles/nvp_petri.dir/structural.cpp.o.d"
+  "libnvp_petri.a"
+  "libnvp_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dspn_simulator.cpp" "src/sim/CMakeFiles/nvp_sim.dir/dspn_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/nvp_sim.dir/dspn_simulator.cpp.o.d"
+  "/root/repo/src/sim/estimators.cpp" "src/sim/CMakeFiles/nvp_sim.dir/estimators.cpp.o" "gcc" "src/sim/CMakeFiles/nvp_sim.dir/estimators.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/nvp_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/nvp_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/transient_profile.cpp" "src/sim/CMakeFiles/nvp_sim.dir/transient_profile.cpp.o" "gcc" "src/sim/CMakeFiles/nvp_sim.dir/transient_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/nvp_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/nvp_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nvp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_sim.dir/dspn_simulator.cpp.o"
+  "CMakeFiles/nvp_sim.dir/dspn_simulator.cpp.o.d"
+  "CMakeFiles/nvp_sim.dir/estimators.cpp.o"
+  "CMakeFiles/nvp_sim.dir/estimators.cpp.o.d"
+  "CMakeFiles/nvp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/nvp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/nvp_sim.dir/transient_profile.cpp.o"
+  "CMakeFiles/nvp_sim.dir/transient_profile.cpp.o.d"
+  "libnvp_sim.a"
+  "libnvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/nvp_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/nvp_util.dir/cli.cpp.o"
+  "CMakeFiles/nvp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/nvp_util.dir/csv.cpp.o"
+  "CMakeFiles/nvp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/nvp_util.dir/log.cpp.o"
+  "CMakeFiles/nvp_util.dir/log.cpp.o.d"
+  "CMakeFiles/nvp_util.dir/rng.cpp.o"
+  "CMakeFiles/nvp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nvp_util.dir/stats.cpp.o"
+  "CMakeFiles/nvp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nvp_util.dir/string_util.cpp.o"
+  "CMakeFiles/nvp_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/nvp_util.dir/table.cpp.o"
+  "CMakeFiles/nvp_util.dir/table.cpp.o.d"
+  "libnvp_util.a"
+  "libnvp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

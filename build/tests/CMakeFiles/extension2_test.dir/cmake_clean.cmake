@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension2_test.dir/extension2_test.cpp.o"
+  "CMakeFiles/extension2_test.dir/extension2_test.cpp.o.d"
+  "extension2_test"
+  "extension2_test.pdb"
+  "extension2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

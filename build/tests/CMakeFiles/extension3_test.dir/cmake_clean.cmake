@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension3_test.dir/extension3_test.cpp.o"
+  "CMakeFiles/extension3_test.dir/extension3_test.cpp.o.d"
+  "extension3_test"
+  "extension3_test.pdb"
+  "extension3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension4_test.dir/extension4_test.cpp.o"
+  "CMakeFiles/extension4_test.dir/extension4_test.cpp.o.d"
+  "extension4_test"
+  "extension4_test.pdb"
+  "extension4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

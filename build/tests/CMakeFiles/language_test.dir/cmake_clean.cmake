@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_test.dir/language_test.cpp.o"
+  "CMakeFiles/language_test.dir/language_test.cpp.o.d"
+  "language_test"
+  "language_test.pdb"
+  "language_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_test.dir/markov_test.cpp.o"
+  "CMakeFiles/markov_test.dir/markov_test.cpp.o.d"
+  "markov_test"
+  "markov_test.pdb"
+  "markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

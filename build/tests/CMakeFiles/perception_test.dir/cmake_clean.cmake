@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perception_test.dir/perception_test.cpp.o"
+  "CMakeFiles/perception_test.dir/perception_test.cpp.o.d"
+  "perception_test"
+  "perception_test.pdb"
+  "perception_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvpcli.dir/nvpcli.cpp.o"
+  "CMakeFiles/nvpcli.dir/nvpcli.cpp.o.d"
+  "nvpcli"
+  "nvpcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvpcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nvpcli.
+# This may be replaced when dependencies are built.
