@@ -8,9 +8,11 @@
 #include "src/core/analyzer.hpp"
 #include "src/core/model_factory.hpp"
 #include "src/core/reliability.hpp"
+#include "src/core/sweep.hpp"
 #include "src/markov/ctmc.hpp"
 #include "src/markov/dspn_solver.hpp"
 #include "src/petri/reachability.hpp"
+#include "src/runtime/thread_pool.hpp"
 #include "src/sim/dspn_simulator.hpp"
 
 namespace {
@@ -71,7 +73,10 @@ void BM_DspnSolver(benchmark::State& state) {
 BENCHMARK(BM_DspnSolver)->Arg(6)->Arg(10)->Arg(14);
 
 void BM_FullAnalyzerSixVersion(benchmark::State& state) {
-  const core::ReliabilityAnalyzer analyzer;
+  // Memoization off: this measures the full solve, not a cache hit.
+  core::ReliabilityAnalyzer::Options options;
+  options.use_cache = false;
+  const core::ReliabilityAnalyzer analyzer(options);
   const auto params = core::SystemParameters::paper_six_version();
   for (auto _ : state) {
     auto result = analyzer.analyze(params);
@@ -103,6 +108,83 @@ void BM_SimulatorThroughput(benchmark::State& state) {
       static_cast<double>(firings), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorThroughput);
+
+// --- runtime layer: parallel sweeps, memoized solves, parallel replication.
+// The Arg is the job count, so one run reports the serial-vs-parallel
+// scaling directly; cache_hit_rate is attached as a counter.
+
+void BM_SweepIntervalColdCache(benchmark::State& state) {
+  runtime::set_default_jobs(static_cast<std::size_t>(state.range(0)));
+  const core::ReliabilityAnalyzer analyzer;
+  const auto base = core::SystemParameters::paper_six_version();
+  const auto values = core::linspace(200.0, 3000.0, 12);
+  for (auto _ : state) {
+    core::ReliabilityAnalyzer::cache().clear();
+    auto points = core::sweep_parameter(
+        analyzer, base, core::set_rejuvenation_interval(), values);
+    benchmark::DoNotOptimize(points.data());
+  }
+  state.counters["cache_hit_rate"] =
+      core::ReliabilityAnalyzer::cache().stats().hit_rate();
+  runtime::set_default_jobs(0);
+}
+BENCHMARK(BM_SweepIntervalColdCache)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepIntervalWarmCache(benchmark::State& state) {
+  runtime::set_default_jobs(static_cast<std::size_t>(state.range(0)));
+  const core::ReliabilityAnalyzer analyzer;
+  const auto base = core::SystemParameters::paper_six_version();
+  const auto values = core::linspace(200.0, 3000.0, 12);
+  core::ReliabilityAnalyzer::cache().clear();
+  // Warm the cache once; every timed iteration then hits on all 12 points.
+  core::sweep_parameter(analyzer, base, core::set_rejuvenation_interval(),
+                        values);
+  for (auto _ : state) {
+    auto points = core::sweep_parameter(
+        analyzer, base, core::set_rejuvenation_interval(), values);
+    benchmark::DoNotOptimize(points.data());
+  }
+  state.counters["cache_hit_rate"] =
+      core::ReliabilityAnalyzer::cache().stats().hit_rate();
+  runtime::set_default_jobs(0);
+}
+BENCHMARK(BM_SweepIntervalWarmCache)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReplicatedEstimate(benchmark::State& state) {
+  runtime::set_default_jobs(static_cast<std::size_t>(state.range(0)));
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto model = core::PerceptionModelFactory::build(params);
+  const auto rewards = core::make_reliability_model(params);
+  const sim::DspnSimulator simulator(model.net);
+  const markov::MarkingReward reward = [&](const petri::Marking& m) {
+    return rewards->state_reliability(model.healthy(m),
+                                      model.compromised(m), model.down(m));
+  };
+  for (auto _ : state) {
+    sim::SimulationOptions opts;
+    opts.horizon = 2e4;
+    opts.seed = 7;
+    const auto estimate = simulator.estimate(reward, opts, 8);
+    benchmark::DoNotOptimize(estimate.mean);
+  }
+  runtime::set_default_jobs(0);
+}
+BENCHMARK(BM_ReplicatedEstimate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GeneralizedRewardEvaluation(benchmark::State& state) {
   const core::GeneralizedReliability rewards(

@@ -4,11 +4,25 @@
 // perception system. This is the evidence that the reproduction's numbers
 // are not an artifact of one implementation.
 
+#include <chrono>
+
 #include "bench_common.hpp"
 #include "src/core/model_factory.hpp"
 #include "src/core/reliability.hpp"
 #include "src/perception/system.hpp"
+#include "src/runtime/thread_pool.hpp"
 #include "src/sim/dspn_simulator.hpp"
+
+namespace {
+
+double seconds_since(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 int main() {
   using namespace nvp;
@@ -63,5 +77,46 @@ int main() {
   std::printf(
       "\nall three columns estimate the same steady-state quantity; "
       "agreement within the CI validates solver and model factory.\n");
+
+  // Runtime cross-check: the parallel replication path must reproduce the
+  // serial estimate bit-for-bit (per-replication RNG substreams, ordered
+  // reduction), and the wall-clock ratio is the replication speedup.
+  {
+    const auto params = bench::six_version();
+    const auto model = core::PerceptionModelFactory::build(params);
+    const auto rewards = core::make_reliability_model(
+        params, core::RewardConvention::kGeneralized);
+    sim::DspnSimulator simulator(model.net);
+    const markov::MarkingReward reward = [&](const petri::Marking& m) {
+      return rewards->state_reliability(model.healthy(m),
+                                        model.compromised(m),
+                                        model.down(m));
+    };
+    sim::SimulationOptions sim_opts;
+    sim_opts.warmup_time = 1e4;
+    sim_opts.horizon = 4e5;
+    sim_opts.seed = 4242;
+
+    runtime::set_default_jobs(1);
+    auto start = std::chrono::steady_clock::now();
+    const auto serial = simulator.estimate(reward, sim_opts, 8);
+    const double serial_s = seconds_since(start);
+
+    runtime::set_default_jobs(0);  // auto: NVP_JOBS or all cores
+    const std::size_t jobs = runtime::default_jobs();
+    start = std::chrono::steady_clock::now();
+    const auto parallel = simulator.estimate(reward, sim_opts, 8);
+    const double parallel_s = seconds_since(start);
+
+    const bool identical = serial.mean == parallel.mean &&
+                           serial.std_error == parallel.std_error;
+    std::printf(
+        "\nreplication runtime (8 reps, horizon %.0e): serial %.2fs, "
+        "%zu-job %.2fs -> %.2fx speedup; parallel estimate %s serial\n",
+        sim_opts.horizon, serial_s, jobs, parallel_s,
+        parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+        identical ? "bit-identical to" : "DIVERGES from");
+    if (!identical) return 1;
+  }
   return 0;
 }

@@ -3,14 +3,58 @@
 #include <algorithm>
 
 #include "src/petri/reachability.hpp"
+#include "src/runtime/fnv.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::core {
 
+std::uint64_t analysis_cache_key(const SystemParameters& params,
+                                 const ReliabilityAnalyzer::Options& options) {
+  runtime::Fnv1a h;
+  // Model-structure identity: which factory builds the net and the schema
+  // version of this key. Bump the version when the generated DSPN, the
+  // parameter set, or AnalysisResult's layout changes semantically.
+  h.str("core::PerceptionModelFactory/v1");
+  h.i32(params.n_versions)
+      .i32(params.max_faulty)
+      .i32(params.max_rejuvenating)
+      .f64(params.alpha)
+      .f64(params.p)
+      .f64(params.p_prime)
+      .f64(params.mean_time_to_compromise)
+      .f64(params.mean_time_to_failure)
+      .f64(params.mean_time_to_repair)
+      .f64(params.rejuvenation_duration)
+      .f64(params.rejuvenation_interval)
+      .boolean(params.rejuvenation)
+      .i32(static_cast<int>(params.semantics))
+      .f64(params.detection_rate)
+      .boolean(params.voter_can_fail)
+      .f64(params.voter_mtbf)
+      .f64(params.voter_mttr);
+  h.i32(static_cast<int>(options.convention))
+      .i32(static_cast<int>(options.attachment))
+      .i32(static_cast<int>(options.solver.ctmc_method))
+      .f64(options.solver.clamp_epsilon);
+  return h.digest();
+}
+
+ReliabilityAnalyzer::Cache& ReliabilityAnalyzer::cache() {
+  // Sized for the dense sweeps this library runs (a full Fig. 3/4
+  // reproduction touches a few hundred distinct parameter points); entries
+  // are small (the aggregated class distribution, not the state space).
+  static Cache instance(/*capacity=*/8192, /*shards=*/16);
+  return instance;
+}
+
 AnalysisResult ReliabilityAnalyzer::analyze(
     const SystemParameters& params) const {
-  const auto rewards = make_reliability_model(params, options_.convention);
-  return analyze(params, *rewards);
+  auto solve = [&] {
+    const auto rewards = make_reliability_model(params, options_.convention);
+    return analyze(params, *rewards);
+  };
+  if (!options_.use_cache) return solve();
+  return cache().get_or_compute(analysis_cache_key(params, options_), solve);
 }
 
 AnalysisResult ReliabilityAnalyzer::analyze(

@@ -8,6 +8,7 @@
 #include "src/core/params.hpp"
 #include "src/core/reliability.hpp"
 #include "src/markov/dspn_solver.hpp"
+#include "src/runtime/lru_cache.hpp"
 
 namespace nvp::core {
 
@@ -60,7 +61,17 @@ class ReliabilityAnalyzer {
     RewardConvention convention = RewardConvention::kPaperVerbatim;
     RewardAttachment attachment = RewardAttachment::kOperationalStatesOnly;
     markov::DspnSteadyStateSolver::Options solver{};
+    /// Memoize analyze(params) results in the process-wide cache() (the
+    /// result is a pure function of params + Options, so sweeps, bisection
+    /// refinement, and optimizer re-evaluation hit instead of re-solving).
+    /// The two-argument analyze(params, rewards) overload is never cached:
+    /// a caller-supplied reward model has no canonical identity to key on.
+    bool use_cache = true;
   };
+
+  /// Memoization table shared by every analyzer in the process, keyed by
+  /// analysis_cache_key(). Thread-safe; bounded LRU.
+  using Cache = runtime::ShardedLruCache<AnalysisResult>;
 
   ReliabilityAnalyzer() = default;
   explicit ReliabilityAnalyzer(Options options) : options_(options) {}
@@ -72,8 +83,19 @@ class ReliabilityAnalyzer {
   AnalysisResult analyze(const SystemParameters& params,
                          const ReliabilityModel& rewards) const;
 
+  /// The process-wide solver-result cache (for stats reporting and for
+  /// clearing between timed benchmark phases).
+  static Cache& cache();
+
  private:
   Options options_{};
 };
+
+/// Canonical FNV-1a key of one analysis: every SystemParameters field, the
+/// analyzer options that change the result, and a model-structure identity
+/// tag (factory name + schema version, bumped whenever the generated DSPN or
+/// the result layout changes so stale processes never alias).
+std::uint64_t analysis_cache_key(const SystemParameters& params,
+                                 const ReliabilityAnalyzer::Options& options);
 
 }  // namespace nvp::core

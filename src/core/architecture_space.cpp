@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/string_util.hpp"
 
@@ -22,7 +23,15 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
   analyzer_options.attachment = options_.attachment;
   const ReliabilityAnalyzer analyzer(analyzer_options);
 
-  std::vector<ArchitectureResult> results;
+  // Enumerate every feasible candidate first, then solve them all in one
+  // parallel batch — the whole-space scan is the heaviest workload in the
+  // library (dozens of independent DSPN solves of growing state space).
+  struct Candidate {
+    SystemParameters params;
+    int n, f, r;
+    bool rejuvenation;
+  };
+  std::vector<Candidate> candidates;
   for (int n = 4; n <= options_.max_versions; ++n) {
     for (int f = 1; f <= options_.max_faulty; ++f) {
       if (n >= 3 * f + 1) {
@@ -31,15 +40,7 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
         params.max_faulty = f;
         params.max_rejuvenating = 1;  // repair concurrency; unused voting-wise
         params.rejuvenation = false;
-        const auto analysis = analyzer.analyze(params);
-        ArchitectureResult result;
-        result.n = n;
-        result.f = f;
-        result.r = 0;
-        result.rejuvenation = false;
-        result.expected_reliability = analysis.expected_reliability;
-        result.tangible_states = analysis.tangible_states;
-        results.push_back(result);
+        candidates.push_back({params, n, f, 0, false});
       }
       for (int r = 1; r <= options_.max_rejuvenating; ++r) {
         if (n < 3 * f + 2 * r + 1) continue;
@@ -48,18 +49,23 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
         params.max_faulty = f;
         params.max_rejuvenating = r;
         params.rejuvenation = true;
-        const auto analysis = analyzer.analyze(params);
-        ArchitectureResult result;
-        result.n = n;
-        result.f = f;
-        result.r = r;
-        result.rejuvenation = true;
-        result.expected_reliability = analysis.expected_reliability;
-        result.tangible_states = analysis.tangible_states;
-        results.push_back(result);
+        candidates.push_back({params, n, f, r, true});
       }
     }
   }
+
+  std::vector<ArchitectureResult> results =
+      runtime::parallel_map(candidates, [&](const Candidate& candidate) {
+        const auto analysis = analyzer.analyze(candidate.params);
+        ArchitectureResult result;
+        result.n = candidate.n;
+        result.f = candidate.f;
+        result.r = candidate.r;
+        result.rejuvenation = candidate.rejuvenation;
+        result.expected_reliability = analysis.expected_reliability;
+        result.tangible_states = analysis.tangible_states;
+        return result;
+      });
 
   // Cost-efficiency proxy relative to the cheapest architecture.
   for (auto& result : results)

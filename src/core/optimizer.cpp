@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::core {
@@ -22,18 +23,24 @@ Optimum maximize_reliability(
     return analyzer.analyze(params).expected_reliability;
   };
 
-  // Coarse grid to bracket the global maximum.
-  double best_x = lo, best_f = f(lo);
+  // Coarse grid to bracket the global maximum: the grid points are
+  // independent solves, so evaluate them in one parallel batch (the
+  // golden-section refinement below is inherently sequential, but its
+  // re-evaluations go through the analyzer's memoization cache).
   const double step =
       (hi - lo) / static_cast<double>(grid_points - 1);
   std::vector<double> grid_f(grid_points);
-  grid_f[0] = best_f;
+  runtime::parallel_for(grid_points, [&](std::size_t i) {
+    SystemParameters params = base;
+    setter(params, lo + step * static_cast<double>(i));
+    grid_f[i] = analyzer.analyze(params).expected_reliability;
+  });
+  evals += grid_points;
+  double best_x = lo, best_f = grid_f[0];
   for (std::size_t i = 1; i < grid_points; ++i) {
-    const double x = lo + step * static_cast<double>(i);
-    grid_f[i] = f(x);
     if (grid_f[i] > best_f) {
       best_f = grid_f[i];
-      best_x = x;
+      best_x = lo + step * static_cast<double>(i);
     }
   }
   double a = std::max(lo, best_x - step);

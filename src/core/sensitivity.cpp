@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/string_util.hpp"
 #include "src/util/table.hpp"
@@ -59,32 +60,42 @@ std::vector<SensitivityEntry> sensitivity_report(
   const double center = analyzer.analyze(base).expected_reliability;
   NVP_EXPECTS_MSG(center > 0.0, "sensitivity needs a nonzero baseline");
 
-  std::vector<SensitivityEntry> report;
+  // Collect the active knobs' perturbed parameter sets, then evaluate all
+  // of them (two solves per knob) in one parallel batch.
+  struct Perturbation {
+    const Knob* knob;
+    double theta, lo, hi;
+    SystemParameters down, up;
+  };
+  std::vector<Perturbation> work;
   for (const Knob& knob : kKnobs) {
     if (knob.rejuvenation_only && !base.rejuvenation) continue;
     const double theta = knob.get(base);
     if (theta == 0.0) continue;  // relative perturbation undefined
 
-    double lo = theta * (1.0 - relative_step);
-    double hi = theta * (1.0 + relative_step);
-    if (knob.is_probability) hi = std::min(hi, 1.0);
+    Perturbation p{&knob, theta, theta * (1.0 - relative_step),
+                   theta * (1.0 + relative_step), base, base};
+    if (knob.is_probability) p.hi = std::min(p.hi, 1.0);
+    knob.set(p.down, p.lo);
+    knob.set(p.up, p.hi);
+    work.push_back(p);
+  }
 
-    SystemParameters down = base, up = base;
-    knob.set(down, lo);
-    knob.set(up, hi);
-
+  std::vector<SensitivityEntry> report(work.size());
+  runtime::parallel_for(work.size(), [&](std::size_t i) {
+    const Perturbation& p = work[i];
     SensitivityEntry entry;
-    entry.parameter = knob.name;
-    entry.base_value = theta;
-    entry.value_down = analyzer.analyze(down).expected_reliability;
-    entry.value_up = analyzer.analyze(up).expected_reliability;
-    const double dtheta = (hi - lo) / theta;
+    entry.parameter = p.knob->name;
+    entry.base_value = p.theta;
+    entry.value_down = analyzer.analyze(p.down).expected_reliability;
+    entry.value_up = analyzer.analyze(p.up).expected_reliability;
+    const double dtheta = (p.hi - p.lo) / p.theta;
     entry.elasticity =
         dtheta > 0.0
             ? ((entry.value_up - entry.value_down) / center) / dtheta
             : 0.0;
-    report.push_back(entry);
-  }
+    report[i] = entry;
+  });
   std::sort(report.begin(), report.end(),
             [](const SensitivityEntry& a, const SensitivityEntry& b) {
               return a.swing() > b.swing();

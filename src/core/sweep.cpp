@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::core {
@@ -21,14 +22,14 @@ std::vector<SweepPoint> sweep_parameter(const ReliabilityAnalyzer& analyzer,
                                         const ParameterSetter& setter,
                                         const std::vector<double>& values) {
   NVP_EXPECTS(setter != nullptr);
-  std::vector<SweepPoint> out;
-  out.reserve(values.size());
-  for (double v : values) {
+  // Each point is an independent solve; fan out on the default pool.
+  // Results are assigned by index, so the output is identical to the serial
+  // loop for any job count.
+  return runtime::parallel_map(values, [&](double v) {
     SystemParameters params = base;
     setter(params, v);
-    out.push_back({v, analyzer.analyze(params).expected_reliability});
-  }
-  return out;
+    return SweepPoint{v, analyzer.analyze(params).expected_reliability};
+  });
 }
 
 std::vector<Crossover> find_crossovers(const ReliabilityAnalyzer& analyzer,
@@ -46,12 +47,17 @@ std::vector<Crossover> find_crossovers(const ReliabilityAnalyzer& analyzer,
     return analyzer.analyze(a).expected_reliability -
            analyzer.analyze(b).expected_reliability;
   };
+  // Scan phase: every grid point is independent, so evaluate the curve
+  // difference in parallel; the bisection refinements below re-evaluate
+  // through the analyzer's memoization cache.
+  const std::vector<double> grid_diff =
+      runtime::parallel_map(values, [&](double x) { return diff(x); });
   std::vector<Crossover> out;
   double prev_x = values[0];
-  double prev_d = diff(prev_x);
+  double prev_d = grid_diff[0];
   for (std::size_t i = 1; i < values.size(); ++i) {
     const double x = values[i];
-    const double d = diff(x);
+    const double d = grid_diff[i];
     if ((prev_d < 0.0) != (d < 0.0) && prev_d != 0.0) {
       double lo = prev_x, hi = x, dlo = prev_d;
       while (hi - lo > tolerance) {

@@ -68,9 +68,9 @@ EnsemblePerceptionSystem::EnsemblePerceptionSystem(const Config& config)
   // Train N diverse members: the three learner families cycled with
   // different seeds, each on its own training draw (bagging-style
   // diversity on top of hypothesis-class diversity).
-  util::SplitMix64 seeder(config.seed ^ 0x7EA1ULL);
+  util::SeedSequence seeds(config.seed ^ 0x7EA1ULL);
   for (int i = 0; i < config.params.n_versions; ++i) {
-    auto member = make_member(i, seeder.next());
+    auto member = make_member(i, seeds.next());
     const auto train = generator_.generate(config.train_samples);
     member->fit(train);
     classifiers_.push_back(std::move(member));

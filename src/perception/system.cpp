@@ -77,10 +77,10 @@ NVersionPerceptionSystem::NVersionPerceptionSystem(const Config& config)
     adaptive_.emplace(adaptive);
   }
 
-  util::SplitMix64 seeder(config.seed ^ 0x5EED5EEDULL);
+  util::SeedSequence seeds(config.seed ^ 0x5EED5EEDULL);
   for (int i = 0; i < config.params.n_versions; ++i) {
-    modules_.emplace_back(i, util::format("mlm-%d", i), seeder.next());
-    sensors_.emplace_back(sensor_cycle(i), seeder.next());
+    modules_.emplace_back(i, util::format("mlm-%d", i), seeds.next());
+    sensors_.emplace_back(sensor_cycle(i), seeds.next());
   }
   next_frame_ = config.frame_interval;
 }

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace nvp::runtime {
+
+/// Incremental FNV-1a (64-bit) hasher for building canonical cache keys out
+/// of heterogeneous fields. Field order matters and is part of the key
+/// schema: always feed fields in a fixed, documented order and bump a schema
+/// tag when the order or set of fields changes.
+///
+/// Doubles are hashed by bit pattern (after canonicalizing -0.0 to +0.0), so
+/// two parameter sets hash equal iff they compare bitwise equal field by
+/// field — exactly the precision at which the solvers are deterministic.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  Fnv1a& bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a& u64(std::uint64_t v) { return bytes(&v, sizeof(v)); }
+
+  Fnv1a& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+  Fnv1a& i32(int v) { return i64(v); }
+
+  Fnv1a& boolean(bool v) { return u64(v ? 1 : 0); }
+
+  Fnv1a& f64(double v) {
+    if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+
+  Fnv1a& str(std::string_view s) {
+    bytes(s.data(), s.size());
+    return u64(s.size());  // length-delimit so "ab"+"c" != "a"+"bc"
+  }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace nvp::runtime

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::runtime {
+
+/// Aggregated counters of a ShardedLruCache.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const std::uint64_t total = lookups();
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Thread-safe, sharded, bounded LRU map from a 64-bit key (already a hash —
+/// e.g. an Fnv1a digest) to a copyable value. Sharding keeps lock contention
+/// low when many threads memoize solver calls concurrently; each shard holds
+/// an independent LRU list, so the bound is per shard
+/// (ceil(capacity / shards)) and eviction is LRU within a shard.
+///
+/// get_or_compute() runs the compute functor *outside* the shard lock, so
+/// concurrent misses on different keys compute in parallel. Two threads
+/// missing on the same key may both compute; both results are identical for
+/// the pure solver functions this cache memoizes, and the second insert is a
+/// no-op refresh.
+template <typename Value>
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8) {
+    NVP_EXPECTS(capacity >= 1);
+    NVP_EXPECTS(shards >= 1);
+    if (shards > capacity) shards = capacity;
+    shard_capacity_ = (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+  }
+
+  /// Looks the key up, refreshing its LRU position. Counts a hit or a miss.
+  std::optional<Value> get(std::uint64_t key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or refreshes the entry, evicting the shard's LRU tail when the
+  /// shard is over capacity.
+  void put(std::uint64_t key, Value value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index[key] = shard.order.begin();
+    if (shard.index.size() > shard_capacity_) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  /// Memoized call: returns the cached value or computes, caches, and
+  /// returns it.
+  template <typename Fn>
+  Value get_or_compute(std::uint64_t key, Fn&& compute) {
+    if (auto cached = get(key)) return std::move(*cached);
+    Value value = compute();
+    put(key, value);
+    return value;
+  }
+
+  /// Counters aggregated over all shards.
+  CacheStats stats() const {
+    CacheStats total;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total.hits += shard->hits;
+      total.misses += shard->misses;
+      total.evictions += shard->evictions;
+    }
+    return total;
+  }
+
+  /// Drops all entries and resets the counters.
+  void clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->order.clear();
+      shard->index.clear();
+      shard->hits = shard->misses = shard->evictions = 0;
+    }
+  }
+
+  /// Current number of cached entries.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->index.size();
+    }
+    return total;
+  }
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t capacity() const { return shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::pair<std::uint64_t, Value>> order;  ///< front = MRU
+    std::unordered_map<std::uint64_t,
+                       typename std::list<std::pair<std::uint64_t,
+                                                    Value>>::iterator>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    // Keys are already hashes; one extra multiply decorrelates the low bits
+    // used for shard selection from the bits used as map keys.
+    const std::uint64_t mixed = key * 0x9E3779B97F4A7C15ULL;
+    return *shards_[(mixed >> 32) % shards_.size()];
+  }
+
+  std::size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nvp::runtime

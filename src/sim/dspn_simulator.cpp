@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <optional>
 
+#include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::sim {
@@ -162,13 +164,20 @@ ReplicationEstimate DspnSimulator::estimate(
     const markov::MarkingReward& reward, const SimulationOptions& options,
     std::size_t replications, double confidence_level) const {
   NVP_EXPECTS(replications >= 2);
+  // Replication r always simulates with substream_seed(options.seed, r), so
+  // every trajectory is identical for any thread count; the per-replication
+  // estimates are folded into the accumulator in replication order, making
+  // the final estimate bit-identical to a serial run.
+  std::vector<std::size_t> reps(replications);
+  std::iota(reps.begin(), reps.end(), std::size_t{0});
+  const std::vector<double> estimates =
+      runtime::parallel_map(reps, [&](std::size_t rep) {
+        SimulationOptions rep_options = options;
+        rep_options.seed = util::substream_seed(options.seed, rep);
+        return run({reward}, rep_options).time_average_rewards[0];
+      });
   util::RunningStats stats;
-  util::SplitMix64 seeder(options.seed);
-  for (std::size_t rep = 0; rep < replications; ++rep) {
-    SimulationOptions rep_options = options;
-    rep_options.seed = seeder.next();
-    stats.add(run({reward}, rep_options).time_average_rewards[0]);
-  }
+  for (double estimate : estimates) stats.add(estimate);
   ReplicationEstimate est;
   est.mean = stats.mean();
   est.std_error = stats.std_error();

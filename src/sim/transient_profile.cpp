@@ -1,5 +1,8 @@
 #include "src/sim/transient_profile.hpp"
 
+#include <numeric>
+
+#include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::sim {
@@ -15,10 +18,15 @@ std::vector<ProfileBucket> transient_profile(
 
   const double width = horizon / static_cast<double>(buckets);
   std::vector<util::RunningStats> stats(buckets);
-  util::SplitMix64 seeder(seed);
 
-  for (std::size_t rep = 0; rep < replications; ++rep) {
-    const std::uint64_t rep_seed = seeder.next();
+  // Replications are independent trajectories (seeded by replication index,
+  // so the set of trajectories never depends on the thread count); the
+  // per-bucket accumulators are folded in replication order afterwards,
+  // keeping the profile bit-identical to a serial run.
+  std::vector<std::size_t> reps(replications);
+  std::iota(reps.begin(), reps.end(), std::size_t{0});
+  const auto per_rep = runtime::parallel_map(reps, [&](std::size_t rep) {
+    const std::uint64_t rep_seed = util::substream_seed(seed, rep);
     // One run per bucket would re-simulate the prefix repeatedly; instead
     // run the full horizon once per bucket boundary using cumulative
     // averages: avg[0, b*width] are cheap to convert to per-bucket
@@ -29,6 +37,7 @@ std::vector<ProfileBucket> transient_profile(
     // horizon = b*width shares the trajectory prefix for a fixed seed
     // (the simulator is deterministic per seed), so cumulative averages
     // are consistent across calls.
+    std::vector<double> bucket_means(buckets);
     double previous_cumulative = 0.0;
     for (std::size_t b = 0; b < buckets; ++b) {
       SimulationOptions opts;
@@ -38,10 +47,13 @@ std::vector<ProfileBucket> transient_profile(
       const auto result = simulator.run({reward}, opts);
       const double cumulative =
           result.time_average_rewards[0] * opts.horizon;
-      stats[b].add((cumulative - previous_cumulative) / width);
+      bucket_means[b] = (cumulative - previous_cumulative) / width;
       previous_cumulative = cumulative;
     }
-  }
+    return bucket_means;
+  });
+  for (const auto& bucket_means : per_rep)
+    for (std::size_t b = 0; b < buckets; ++b) stats[b].add(bucket_means[b]);
 
   std::vector<ProfileBucket> out(buckets);
   for (std::size_t b = 0; b < buckets; ++b) {

@@ -14,6 +14,14 @@ std::uint64_t SplitMix64::next() {
   return z ^ (z >> 31);
 }
 
+std::uint64_t substream_seed(std::uint64_t master, std::uint64_t index) {
+  // The k-th next() of SplitMix64(master) mixes state master + (k+1)*gamma,
+  // so starting the state at master + index*gamma and taking one output
+  // reproduces the serial seeder's index-th seed in O(1).
+  SplitMix64 sm(master + index * 0x9E3779B97F4A7C15ULL);
+  return sm.next();
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

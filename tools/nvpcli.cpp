@@ -24,6 +24,7 @@
 #include "src/petri/dot_export.hpp"
 #include "src/petri/dspn_parser.hpp"
 #include "src/petri/expression.hpp"
+#include "src/runtime/thread_pool.hpp"
 #include "src/sim/dspn_simulator.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/string_util.hpp"
@@ -49,8 +50,22 @@ int usage() {
       "paper parameter overrides: --n --f --r --alpha --p --p-prime --mttc "
       "--mttf --mttr --interval --duration --detection-rate\n"
       "analyze options: --convention verbatim|generalized|strict "
-      "--attachment operational|appendix\n");
+      "--attachment operational|appendix\n"
+      "runtime options (any command): --jobs N (worker threads; default "
+      "$NVP_JOBS or all cores), --cache-stats (print solver-cache "
+      "hit/miss/eviction counters)\n");
   return 1;
+}
+
+void print_cache_stats() {
+  const auto stats = core::ReliabilityAnalyzer::cache().stats();
+  std::printf(
+      "solver cache: %llu hits / %llu misses (%.1f%% hit rate), %llu "
+      "evictions, %zu entries\n",
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses), 100.0 * stats.hit_rate(),
+      static_cast<unsigned long long>(stats.evictions),
+      core::ReliabilityAnalyzer::cache().size());
 }
 
 core::SystemParameters paper_params(const util::CliArgs& args) {
@@ -242,13 +257,28 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::CliArgs args(argc - 1, argv + 1);
   try {
+    const int jobs = args.get_int("jobs", 0);
+    if (jobs < 0) {
+      std::fprintf(stderr, "--jobs must be >= 1\n");
+      return 1;
+    }
+    if (jobs > 0) runtime::set_default_jobs(static_cast<std::size_t>(jobs));
+
+    int status = 1;
     if (command == "analyze")
-      return args.has("model") ? analyze_model(args) : analyze_paper(args);
-    if (command == "simulate") return simulate(args);
-    if (command == "sweep") return sweep(args);
-    if (command == "optimize") return optimize(args);
-    if (command == "export") return export_model(args);
-    return usage();
+      status = args.has("model") ? analyze_model(args) : analyze_paper(args);
+    else if (command == "simulate")
+      status = simulate(args);
+    else if (command == "sweep")
+      status = sweep(args);
+    else if (command == "optimize")
+      status = optimize(args);
+    else if (command == "export")
+      status = export_model(args);
+    else
+      return usage();
+    if (status == 0 && args.has("cache-stats")) print_cache_stats();
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
