@@ -5,16 +5,18 @@
 // answering the deployment question the paper's future work raises.
 
 #include "bench_common.hpp"
-#include "src/core/architecture_space.hpp"
+#include "src/core/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvp;
-  bench::banner("extension",
-                "feasible (N, f, r, rejuvenation) architectures, "
-                "generalized rewards");
+  const bench::Harness harness(
+      argc, argv, "extension",
+      "feasible (N, f, r, rejuvenation) architectures, "
+      "generalized rewards");
 
+  const core::Engine engine;
   core::ArchitectureSpaceExplorer explorer;
-  const auto results = explorer.explore(bench::six_version());
+  const auto results = engine.architectures(bench::six_version());
 
   util::TextTable table({"architecture", "E[R]", "states", "E[R]/module"});
   std::vector<std::vector<double>> rows;
@@ -47,5 +49,19 @@ int main() {
 
   bench::dump_csv("architecture_space.csv",
                   {"n", "f", "r", "rejuvenation", "e_r"}, rows);
+  bench::JsonResult result("bench_architecture_space");
+  if (!results.empty()) {
+    const auto& best = results.front();
+    result.section("best",
+                   "highest-E[R] feasible architecture up to N = 10",
+                   {{"n", static_cast<double>(best.n)},
+                    {"f", static_cast<double>(best.f)},
+                    {"r", static_cast<double>(best.r)},
+                    {"rejuvenation", best.rejuvenation ? 1.0 : 0.0},
+                    {"e_r", best.expected_reliability}});
+  }
+  result.scalar("architectures_evaluated",
+                static_cast<double>(results.size()));
+  result.write("architecture_space.json");
   return 0;
 }

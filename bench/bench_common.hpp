@@ -5,15 +5,24 @@
 // external tools), and terminal rendering of the paper's figures.
 
 #include <cstdio>
+#include <ctime>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/analyzer.hpp"
 #include "src/core/sweep.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/runtime/thread_pool.hpp"
 #include "src/util/ascii_chart.hpp"
+#include "src/util/cli.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/string_util.hpp"
 #include "src/util/table.hpp"
@@ -77,5 +86,122 @@ inline core::SystemParameters four_version() {
 inline core::SystemParameters six_version() {
   return core::SystemParameters::paper_six_version();
 }
+
+/// Today's UTC date, "YYYY-MM-DD" (the "recorded" field of result files).
+inline std::string utc_date() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[16];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d", &tm);
+  return buf;
+}
+
+/// Builder for a per-bench JSON result document in the same shape as
+/// bench_results/BENCH_runtime.json: a top-level object with "recorded" and
+/// "source", flat numeric scalars, and named sections that carry a "what"
+/// description plus numeric fields.
+class JsonResult {
+ public:
+  explicit JsonResult(std::string source) : source_(std::move(source)) {}
+
+  void scalar(const std::string& name, double value) {
+    scalars_.emplace_back(name, value);
+  }
+
+  void section(const std::string& name, const std::string& what,
+               std::vector<std::pair<std::string, double>> fields) {
+    sections_.push_back({name, what, std::move(fields)});
+  }
+
+  std::string to_json() const {
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("recorded", utc_date());
+    json.kv("source", source_);
+    for (const auto& [name, value] : scalars_) json.kv(name, value);
+    for (const auto& section : sections_) {
+      json.key(section.name).begin_object();
+      json.kv("what", section.what);
+      for (const auto& [name, value] : section.fields) json.kv(name, value);
+      json.end_object();
+    }
+    json.end_object();
+    return json.str() + "\n";
+  }
+
+  /// Writes the document under output_dir() and logs the path.
+  void write(const std::string& filename) const {
+    const auto path = (output_dir() / filename).string();
+    std::ofstream out(path);
+    out << to_json();
+    std::printf("[json written to %s]\n", path.c_str());
+  }
+
+ private:
+  struct Section {
+    std::string name;
+    std::string what;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string source_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<Section> sections_;
+};
+
+/// Argument harness for the experiment binaries: the same shared option
+/// surface as nvpcli (--jobs/--seed/--format/--output plus --metrics-json
+/// and --trace, with the deprecated aliases), parsed by util/cli so the two
+/// front ends cannot drift. Construct at the top of main(); the destructor
+/// (or an explicit finish()) emits the trace/manifest.
+class Harness {
+ public:
+  Harness(int argc, const char* const* argv, const std::string& id,
+          const std::string& description)
+      : args_(argc, argv),
+        common_(util::parse_common_options(args_)),
+        id_(id) {
+    obs::init_from_env();
+    if (common_.trace || !common_.metrics_json.empty())
+      obs::set_tracing(true);
+    if (common_.jobs > 0)
+      runtime::set_default_jobs(static_cast<std::size_t>(common_.jobs));
+    banner(id, description);
+  }
+  ~Harness() { finish(); }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  const util::CliArgs& args() const { return args_; }
+  const util::CommonOptions& common() const { return common_; }
+  std::uint64_t seed() const { return common_.seed; }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (common_.trace)
+      std::fprintf(
+          stderr, "%s",
+          obs::span_tree_text(obs::TraceRecorder::global().finished())
+              .c_str());
+    if (!common_.metrics_json.empty()) {
+      obs::RunManifest manifest;
+      manifest.tool = id_;
+      manifest.seed = common_.seed;
+      manifest.jobs = runtime::default_jobs();
+      manifest.capture();
+      manifest.write(common_.metrics_json);
+      std::printf("[manifest written to %s]\n",
+                  common_.metrics_json.c_str());
+    }
+  }
+
+ private:
+  util::CliArgs args_;
+  util::CommonOptions common_;
+  std::string id_;
+  bool finished_ = false;
+};
 
 }  // namespace nvp::bench

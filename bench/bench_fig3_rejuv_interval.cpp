@@ -3,19 +3,20 @@
 // 200..3000 s, maximum near 400-450 s, decline for long intervals.
 
 #include "bench_common.hpp"
-#include "src/core/optimizer.hpp"
+#include "src/core/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvp;
-  bench::banner("E2 (Fig. 3)",
-                "E[R_6v] vs rejuvenation interval 1/gamma (200..3000 s)");
+  const bench::Harness harness(
+      argc, argv, "E2 (Fig. 3)",
+      "E[R_6v] vs rejuvenation interval 1/gamma (200..3000 s)");
 
-  const core::ReliabilityAnalyzer analyzer;
+  const core::Engine engine;
   std::vector<double> intervals;
   for (double v = 200.0; v <= 3000.0; v += 100.0) intervals.push_back(v);
-  const auto points =
-      core::sweep_parameter(analyzer, bench::six_version(),
-                            core::set_rejuvenation_interval(), intervals);
+  const auto points = engine.sweep(bench::six_version(),
+                                   core::set_rejuvenation_interval(),
+                                   intervals);
 
   util::TextTable table({"1/gamma (s)", "E[R_6v]"});
   std::vector<std::vector<double>> rows;
@@ -28,8 +29,8 @@ int main() {
   bench::chart("rejuvenation interval 1/gamma (s)",
                {bench::to_series("6v rejuvenation", points)});
 
-  const auto optimum = core::optimize_rejuvenation_interval(
-      analyzer, bench::six_version(), 200.0, 3000.0, 24, 1.0);
+  const auto optimum = engine.optimize_rejuvenation_interval(
+      bench::six_version(), 200.0, 3000.0, 24, 1.0);
   std::printf(
       "\nmaximum: E[R] = %.6f at 1/gamma = %.0f s "
       "(paper: maximum in 400-450 s)\n",
@@ -38,5 +39,13 @@ int main() {
 
   bench::dump_csv("fig3_rejuv_interval.csv", {"interval_s", "e_r_6v"},
                   rows);
+  bench::JsonResult result("bench_fig3_rejuv_interval");
+  result.section("optimum",
+                 "argmax of E[R_6v] over 1/gamma in [200, 3000] s",
+                 {{"interval_s", optimum.x},
+                  {"e_r", optimum.expected_reliability},
+                  {"evaluations",
+                   static_cast<double>(optimum.evaluations)}});
+  result.write("fig3_rejuv_interval.json");
   return 0;
 }

@@ -4,25 +4,24 @@
 // for 1/lambda_c < ~525 s and > ~6000 s; the 6v system wins in between.
 
 #include "bench_common.hpp"
+#include "src/core/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvp;
-  bench::banner("E3 (Fig. 4a)",
-                "E[R] vs mean time to compromise 1/lambda_c");
+  const bench::Harness harness(argc, argv, "E3 (Fig. 4a)",
+                               "E[R] vs mean time to compromise 1/lambda_c");
 
-  const core::ReliabilityAnalyzer analyzer;
+  const core::Engine engine;
   std::vector<double> values;
   for (double v : {100.0, 200.0, 300.0, 400.0, 525.0, 700.0, 1000.0,
                    1523.0, 2000.0, 3000.0, 4000.0, 6000.0, 8000.0, 12000.0,
                    20000.0, 50000.0})
     values.push_back(v);
 
-  const auto four = core::sweep_parameter(
-      analyzer, bench::four_version(),
-      core::set_mean_time_to_compromise(), values);
-  const auto six = core::sweep_parameter(
-      analyzer, bench::six_version(), core::set_mean_time_to_compromise(),
-      values);
+  const auto four = engine.sweep(bench::four_version(),
+                                 core::set_mean_time_to_compromise(), values);
+  const auto six = engine.sweep(bench::six_version(),
+                                core::set_mean_time_to_compromise(), values);
 
   util::TextTable table(
       {"1/lambda_c (s)", "E[R_4v]", "E[R_6v]", "winner"});
@@ -42,8 +41,8 @@ int main() {
                {bench::to_series("4v no rejuv", four),
                 bench::to_series("6v rejuv", six)});
 
-  const auto crossovers = core::find_crossovers(
-      analyzer, bench::four_version(), bench::six_version(),
+  const auto crossovers = engine.crossovers(
+      bench::four_version(), bench::six_version(),
       core::set_mean_time_to_compromise(), values, 1.0);
   std::printf("\ncrossovers (paper: ~525 s and ~6000 s):\n");
   for (const auto& c : crossovers)
@@ -51,5 +50,15 @@ int main() {
                 c.reliability);
 
   bench::dump_csv("fig4a_mttc.csv", {"mttc_s", "e_r_4v", "e_r_6v"}, rows);
+  bench::JsonResult result("bench_fig4a_mttc");
+  std::vector<std::pair<std::string, double>> fields;
+  for (std::size_t i = 0; i < crossovers.size(); ++i)
+    fields.push_back({util::format("crossover_%zu_s", i + 1),
+                      crossovers[i].x});
+  result.section("crossovers",
+                 "4v/6v crossover points over 1/lambda_c (paper: ~525 s "
+                 "and ~6000 s)",
+                 fields);
+  result.write("fig4a_mttc.json");
   return 0;
 }

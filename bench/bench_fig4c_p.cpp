@@ -3,18 +3,19 @@
 // p = 0.01 to 0.2 is ~13% for 6v and ~5% for 4v.
 
 #include "bench_common.hpp"
+#include "src/core/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvp;
-  bench::banner("E5 (Fig. 4c)", "E[R] vs healthy inaccuracy p");
+  const bench::Harness harness(argc, argv, "E5 (Fig. 4c)",
+                               "E[R] vs healthy inaccuracy p");
 
-  const core::ReliabilityAnalyzer analyzer;
+  const core::Engine engine;
   std::vector<double> values = {0.01, 0.025, 0.05, 0.075, 0.08,
                                 0.1,  0.125, 0.15, 0.175, 0.2};
-  const auto four = core::sweep_parameter(
-      analyzer, bench::four_version(), core::set_p(), values);
-  const auto six = core::sweep_parameter(analyzer, bench::six_version(),
-                                         core::set_p(), values);
+  const auto four =
+      engine.sweep(bench::four_version(), core::set_p(), values);
+  const auto six = engine.sweep(bench::six_version(), core::set_p(), values);
 
   util::TextTable table({"p", "E[R_4v]", "E[R_6v]", "6v above 4v"});
   std::vector<std::vector<double>> rows;
@@ -47,5 +48,13 @@ int main() {
       six_always_above ? "yes" : "no", drop(four), drop(six));
 
   bench::dump_csv("fig4c_p.csv", {"p", "e_r_4v", "e_r_6v"}, rows);
+  bench::JsonResult result("bench_fig4c_p");
+  result.scalar("six_always_above_four", six_always_above ? 1.0 : 0.0);
+  result.section("degradation",
+                 "relative E[R] drop from p 0.01 to 0.2 (paper: ~5% for "
+                 "4v, ~13% for 6v)",
+                 {{"four_version_pct", drop(four)},
+                  {"six_version_pct", drop(six)}});
+  result.write("fig4c_p.json");
   return 0;
 }

@@ -3,17 +3,19 @@
 // p' > ~0.3; below that the 4v system without rejuvenation is better.
 
 #include "bench_common.hpp"
+#include "src/core/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvp;
-  bench::banner("E6 (Fig. 4d)", "E[R] vs compromised inaccuracy p'");
+  const bench::Harness harness(argc, argv, "E6 (Fig. 4d)",
+                               "E[R] vs compromised inaccuracy p'");
 
-  const core::ReliabilityAnalyzer analyzer;
+  const core::Engine engine;
   const auto values = core::linspace(0.1, 0.9, 17);
-  const auto four = core::sweep_parameter(
-      analyzer, bench::four_version(), core::set_p_prime(), values);
-  const auto six = core::sweep_parameter(
-      analyzer, bench::six_version(), core::set_p_prime(), values);
+  const auto four =
+      engine.sweep(bench::four_version(), core::set_p_prime(), values);
+  const auto six =
+      engine.sweep(bench::six_version(), core::set_p_prime(), values);
 
   util::TextTable table({"p'", "E[R_4v]", "E[R_6v]", "winner"});
   std::vector<std::vector<double>> rows;
@@ -32,14 +34,21 @@ int main() {
                {bench::to_series("4v no rejuv", four),
                 bench::to_series("6v rejuv", six)});
 
-  const auto crossovers = core::find_crossovers(
-      analyzer, bench::four_version(), bench::six_version(),
-      core::set_p_prime(), values, 0.002);
+  const auto crossovers =
+      engine.crossovers(bench::four_version(), bench::six_version(),
+                        core::set_p_prime(), values, 0.002);
   std::printf("\ncrossover (paper: p' ~ 0.3):\n");
   for (const auto& c : crossovers)
     std::printf("  p' = %.3f (E[R] = %.6f)\n", c.x, c.reliability);
 
   bench::dump_csv("fig4d_pprime.csv", {"p_prime", "e_r_4v", "e_r_6v"},
                   rows);
+  bench::JsonResult result("bench_fig4d_pprime");
+  std::vector<std::pair<std::string, double>> fields;
+  for (std::size_t i = 0; i < crossovers.size(); ++i)
+    fields.push_back({util::format("crossover_%zu", i + 1), crossovers[i].x});
+  result.section("crossovers",
+                 "4v/6v crossover points over p' (paper: ~0.3)", fields);
+  result.write("fig4d_pprime.json");
   return 0;
 }

@@ -4,14 +4,16 @@
 // Table II. Paper: 0.8233477 vs 0.93464665 (~13% improvement).
 
 #include "bench_common.hpp"
+#include "src/core/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvp;
-  bench::banner("E1 (SecV-B)", "headline expected reliability, defaults");
+  const bench::Harness harness(argc, argv, "E1 (SecV-B)",
+                               "headline expected reliability, defaults");
 
-  const core::ReliabilityAnalyzer analyzer;
-  const auto four = analyzer.analyze(bench::four_version());
-  const auto six = analyzer.analyze(bench::six_version());
+  const core::Engine engine;
+  const auto four = engine.analyze_raw(bench::four_version());
+  const auto six = engine.analyze_raw(bench::six_version());
 
   util::TextTable table(
       {"architecture", "voting", "E[R] (paper)", "E[R] (measured)",
@@ -48,5 +50,16 @@ int main() {
       {"architecture", "paper", "measured"},
       {{4.0, 0.8233477, four.expected_reliability},
        {6.0, 0.93464665, six.expected_reliability}});
+  bench::JsonResult result("bench_headline");
+  result.section("four_version",
+                 "4-version, 3-out-of-4 voting, no rejuvenation",
+                 {{"e_r_paper", 0.8233477},
+                  {"e_r_measured", four.expected_reliability}});
+  result.section("six_version",
+                 "6-version, 4-out-of-6 voting, time-based rejuvenation",
+                 {{"e_r_paper", 0.93464665},
+                  {"e_r_measured", six.expected_reliability}});
+  result.scalar("improvement_pct", improvement);
+  result.write("headline.json");
   return 0;
 }

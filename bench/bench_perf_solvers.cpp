@@ -11,6 +11,8 @@
 #include "src/core/sweep.hpp"
 #include "src/markov/ctmc.hpp"
 #include "src/markov/dspn_solver.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/petri/reachability.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/sim/dspn_simulator.hpp"
@@ -84,6 +86,44 @@ void BM_FullAnalyzerSixVersion(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullAnalyzerSixVersion);
+
+// Observability cost on the hottest composite path: the full analyzer solve
+// with metrics collection on (the default) vs off (NVP_METRICS=0). Arg 0 =
+// disabled, 1 = enabled; the delta between the two is the obs overhead,
+// which the acceptance budget caps at 2%. Tracing stays off in both —
+// spans are the opt-in layer.
+void BM_FullAnalyzerObsToggle(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(state.range(0) != 0);
+  core::ReliabilityAnalyzer::Options options;
+  options.use_cache = false;
+  const core::ReliabilityAnalyzer analyzer(options);
+  const auto params = core::SystemParameters::paper_six_version();
+  for (auto _ : state) {
+    auto result = analyzer.analyze(params);
+    benchmark::DoNotOptimize(result.expected_reliability);
+  }
+  state.SetLabel(state.range(0) != 0 ? "metrics on" : "metrics off");
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_FullAnalyzerObsToggle)->Arg(0)->Arg(1);
+
+// Same toggle with tracing also on, which is the expensive opt-in: every
+// span allocates and takes the recorder lock once on scope exit.
+void BM_FullAnalyzerTracing(benchmark::State& state) {
+  obs::set_tracing(true);
+  core::ReliabilityAnalyzer::Options options;
+  options.use_cache = false;
+  const core::ReliabilityAnalyzer analyzer(options);
+  const auto params = core::SystemParameters::paper_six_version();
+  for (auto _ : state) {
+    auto result = analyzer.analyze(params);
+    benchmark::DoNotOptimize(result.expected_reliability);
+  }
+  obs::set_tracing(false);
+  obs::TraceRecorder::global().clear();
+}
+BENCHMARK(BM_FullAnalyzerTracing);
 
 void BM_SimulatorThroughput(benchmark::State& state) {
   const auto params = core::SystemParameters::paper_six_version();

@@ -4,24 +4,34 @@
 // architectures.
 
 #include "bench_common.hpp"
-#include "src/core/sensitivity.hpp"
+#include "src/core/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvp;
-  bench::banner("extension",
-                "parameter sensitivity tornado (+-10% around Table II)");
+  const bench::Harness harness(
+      argc, argv, "extension",
+      "parameter sensitivity tornado (+-10% around Table II)");
 
-  const core::ReliabilityAnalyzer analyzer;
+  const core::Engine engine;
+  bench::JsonResult result("bench_sensitivity");
   for (const bool rejuvenation : {false, true}) {
     const auto params =
         rejuvenation ? bench::six_version() : bench::four_version();
     std::printf("\n%s (baseline E[R] = %.6f):\n",
                 rejuvenation ? "6-version, rejuvenation"
                              : "4-version, no rejuvenation",
-                analyzer.analyze(params).expected_reliability);
-    const auto report = core::sensitivity_report(analyzer, params, 0.10);
+                engine.analyze_raw(params).expected_reliability);
+    const auto report = engine.sensitivity(params, 0.10);
     std::printf("%s", core::render_tornado(report).c_str());
+    std::vector<std::pair<std::string, double>> fields;
+    for (const auto& entry : report)
+      fields.push_back({entry.parameter + "_elasticity", entry.elasticity});
+    result.section(rejuvenation ? "six_version" : "four_version",
+                   "elasticity of E[R] per +-10% parameter perturbation, "
+                   "largest swing first",
+                   fields);
   }
+  result.write("sensitivity.json");
   std::printf(
       "\nreading: without rejuvenation, p' dominates by an order of "
       "magnitude (modules spend most time compromised — Fig. 4(d)); with "

@@ -1,7 +1,10 @@
 #include "src/core/analyzer.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/petri/reachability.hpp"
 #include "src/runtime/fnv.hpp"
 #include "src/util/contracts.hpp"
@@ -43,7 +46,10 @@ ReliabilityAnalyzer::Cache& ReliabilityAnalyzer::cache() {
   // Sized for the dense sweeps this library runs (a full Fig. 3/4
   // reproduction touches a few hundred distinct parameter points); entries
   // are small (the aggregated class distribution, not the state space).
-  static Cache instance(/*capacity=*/8192, /*shards=*/16);
+  // Labeled so hit/miss/eviction land in the obs registry (and thus in run
+  // manifests) as core.analysis_cache.*.
+  static Cache instance(/*capacity=*/8192, /*shards=*/16,
+                        "core.analysis_cache");
   return instance;
 }
 
@@ -62,11 +68,22 @@ AnalysisResult ReliabilityAnalyzer::analyze(
   params.validate();
   NVP_EXPECTS_MSG(rewards.versions() == params.n_versions,
                   "reward model does not match the number of versions");
+  static obs::Counter& solves =
+      obs::Registry::global().counter("core.analyzer.solves");
+  static obs::Histogram& solve_s =
+      obs::Registry::global().histogram("core.analyzer.solve_s");
+  const obs::ScopedSpan span("core.analyze");
+  const auto t0 = std::chrono::steady_clock::now();
+  solves.add();
 
-  const BuiltModel model = PerceptionModelFactory::build(params);
+  const BuiltModel model = [&] {
+    const obs::ScopedSpan build_span("core.model_build");
+    return PerceptionModelFactory::build(params);
+  }();
   const auto graph = petri::TangibleReachabilityGraph::build(model.net);
   const markov::DspnSteadyStateSolver solver(options_.solver);
   const auto solution = solver.solve(graph);
+  const obs::ScopedSpan rewards_span("core.attach_rewards");
 
   AnalysisResult result;
   result.tangible_states = graph.size();
@@ -112,6 +129,9 @@ AnalysisResult ReliabilityAnalyzer::analyze(
               return a.probability > b.probability;
             });
   result.expected_reliability = expected;
+  solve_s.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
   return result;
 }
 

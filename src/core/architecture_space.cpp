@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/engine.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/string_util.hpp"
@@ -18,10 +20,13 @@ std::string ArchitectureResult::label() const {
 std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
     const SystemParameters& base) const {
   NVP_EXPECTS(options_.max_versions >= 4);
+  const obs::ScopedSpan span("core.architecture_space");
   ReliabilityAnalyzer::Options analyzer_options;
   analyzer_options.convention = RewardConvention::kGeneralized;
   analyzer_options.attachment = options_.attachment;
-  const ReliabilityAnalyzer analyzer(analyzer_options);
+  // Evaluation routes through the Engine facade (the same memoized
+  // analyzer path every other driver uses).
+  const Engine engine(analyzer_options);
 
   // Enumerate every feasible candidate first, then solve them all in one
   // parallel batch — the whole-space scan is the heaviest workload in the
@@ -56,7 +61,7 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
 
   std::vector<ArchitectureResult> results =
       runtime::parallel_map(candidates, [&](const Candidate& candidate) {
-        const auto analysis = analyzer.analyze(candidate.params);
+        const auto analysis = engine.analyze_raw(candidate.params);
         ArchitectureResult result;
         result.n = candidate.n;
         result.f = candidate.f;

@@ -1,0 +1,114 @@
+#include "src/core/engine.hpp"
+
+#include "src/core/model_factory.hpp"
+#include "src/core/reliability.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/trace.hpp"
+#include "src/runtime/thread_pool.hpp"
+
+namespace nvp::core {
+
+RunResult Engine::snapshot(const std::string& entry,
+                           const SystemParameters& params,
+                           std::uint64_t seed) const {
+  RunResult result;
+  result.metrics = obs::Registry::global().snapshot();
+  result.provenance.entry = entry;
+  result.provenance.params = params.describe();
+  result.provenance.git_sha = obs::build_git_sha();
+  result.provenance.seed = seed;
+  result.provenance.jobs = runtime::default_jobs();
+  return result;
+}
+
+AnalysisResult Engine::analyze_raw(const SystemParameters& params) const {
+  return analyzer_.analyze(params);
+}
+
+double Engine::reliability(const SystemParameters& params) const {
+  return analyzer_.analyze(params).expected_reliability;
+}
+
+RunResult Engine::analyze(const SystemParameters& params) const {
+  const obs::ScopedSpan span("engine.analyze");
+  AnalysisResult analysis = analyzer_.analyze(params);
+  RunResult result = snapshot("analyze", params);
+  result.analysis = std::move(analysis);
+  result.analytic = true;
+  return result;
+}
+
+RunResult Engine::simulate(const SystemParameters& params,
+                           const SimulateOptions& options) const {
+  const obs::ScopedSpan span("engine.simulate");
+  params.validate();
+  const BuiltModel model = PerceptionModelFactory::build(params);
+  const auto rewards =
+      make_reliability_model(params, analyzer_options_.convention);
+  const sim::DspnSimulator simulator(model.net);
+  sim::SimulationOptions sim_options;
+  sim_options.horizon = options.horizon;
+  sim_options.warmup_time = options.warmup_time >= 0.0
+                                ? options.warmup_time
+                                : options.horizon / 100.0;
+  sim_options.seed = options.seed;
+  sim::ReplicationEstimate estimate = simulator.estimate(
+      [&](const petri::Marking& m) {
+        return rewards->state_reliability(model.healthy(m),
+                                          model.compromised(m),
+                                          model.down(m));
+      },
+      sim_options, options.replications, options.confidence_level);
+  RunResult result = snapshot("simulate", params, options.seed);
+  result.estimate = estimate;
+  result.simulated = true;
+  return result;
+}
+
+std::vector<SweepPoint> Engine::sweep(
+    const SystemParameters& base, const ParameterSetter& setter,
+    const std::vector<double>& values) const {
+  const obs::ScopedSpan span("engine.sweep");
+  return sweep_parameter(analyzer_, base, setter, values);
+}
+
+std::vector<Crossover> Engine::crossovers(
+    const SystemParameters& config_a, const SystemParameters& config_b,
+    const ParameterSetter& setter, const std::vector<double>& values,
+    double tolerance) const {
+  const obs::ScopedSpan span("engine.crossovers");
+  return find_crossovers(analyzer_, config_a, config_b, setter, values,
+                         tolerance);
+}
+
+Optimum Engine::optimize(const SystemParameters& base,
+                         const ParameterSetter& setter, double lo, double hi,
+                         std::size_t grid_points, double tolerance) const {
+  const obs::ScopedSpan span("engine.optimize");
+  return maximize_reliability(analyzer_, base, setter, lo, hi, grid_points,
+                              tolerance);
+}
+
+Optimum Engine::optimize_rejuvenation_interval(const SystemParameters& base,
+                                               double lo, double hi,
+                                               std::size_t grid_points,
+                                               double tolerance) const {
+  const obs::ScopedSpan span("engine.optimize");
+  return core::optimize_rejuvenation_interval(analyzer_, base, lo, hi,
+                                              grid_points, tolerance);
+}
+
+std::vector<SensitivityEntry> Engine::sensitivity(
+    const SystemParameters& base, double relative_step) const {
+  const obs::ScopedSpan span("engine.sensitivity");
+  return sensitivity_report(analyzer_, base, relative_step);
+}
+
+std::vector<ArchitectureResult> Engine::architectures(
+    const SystemParameters& base,
+    const ArchitectureSpaceExplorer::Options& options) const {
+  const obs::ScopedSpan span("engine.architectures");
+  return ArchitectureSpaceExplorer(options).explore(base);
+}
+
+}  // namespace nvp::core

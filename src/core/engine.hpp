@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/architecture_space.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/params.hpp"
+#include "src/core/sensitivity.hpp"
+#include "src/core/sweep.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/dspn_simulator.hpp"
+
+namespace nvp::core {
+
+/// Where a RunResult came from: enough to reproduce the invocation.
+struct Provenance {
+  std::string entry;   ///< engine entry point ("analyze", "simulate", ...)
+  std::string params;  ///< SystemParameters::describe()
+  std::string git_sha;
+  std::uint64_t seed = 0;  ///< 0 = no stochastic component
+  std::size_t jobs = 0;    ///< effective worker count of the default pool
+};
+
+/// Common envelope returned by every Engine entry point: the payload
+/// (analytic and/or simulated), the metrics the run produced, and
+/// provenance. Exactly one of `analytic` / `simulated` is set by analyze()
+/// and simulate(); batch entry points return their own payload types and
+/// leave envelope assembly to the caller via Engine::snapshot().
+struct RunResult {
+  AnalysisResult analysis;            ///< valid when `analytic`
+  sim::ReplicationEstimate estimate;  ///< valid when `simulated`
+  bool analytic = false;
+  bool simulated = false;
+
+  obs::MetricsSnapshot metrics;  ///< registry state after the run
+  Provenance provenance;
+};
+
+/// The library's single public entry point: one object that owns the
+/// analyzer configuration and fronts every workload — point analysis,
+/// Monte-Carlo simulation, sweeps, optimization, sensitivity, and
+/// architecture-space exploration. Drivers (CLI, benches, tests) construct
+/// one Engine instead of wiring ReliabilityAnalyzer / DspnSimulator /
+/// free-function drivers together by hand; results are bit-identical to the
+/// direct calls because the Engine delegates to exactly those code paths.
+class Engine {
+ public:
+  /// Replication-simulation knobs (the simulate() entry point).
+  struct SimulateOptions {
+    double horizon = 1.0e6;
+    double warmup_time = -1.0;  ///< < 0 means horizon / 100
+    std::uint64_t seed = 1;
+    std::size_t replications = 8;
+    double confidence_level = 0.95;
+  };
+
+  Engine() = default;
+  explicit Engine(ReliabilityAnalyzer::Options options)
+      : analyzer_options_(options), analyzer_(options) {}
+
+  /// Analytic E[R_sys] of one configuration, with envelope.
+  RunResult analyze(const SystemParameters& params) const;
+
+  /// Monte-Carlo replication estimate of E[R_sys], with envelope. The
+  /// reward model matches the analyzer's convention, so simulate() and
+  /// analyze() estimate the same quantity.
+  RunResult simulate(const SystemParameters& params,
+                     const SimulateOptions& options) const;
+  RunResult simulate(const SystemParameters& params) const {
+    return simulate(params, SimulateOptions());
+  }
+
+  /// Payload-only variants (what the batch drivers below call per point):
+  /// byte-for-byte the pre-facade direct-call path.
+  AnalysisResult analyze_raw(const SystemParameters& params) const;
+  double reliability(const SystemParameters& params) const;
+
+  /// Batch drivers. Each fans out on the runtime pool and is bit-identical
+  /// to the corresponding free function with this engine's analyzer.
+  std::vector<SweepPoint> sweep(const SystemParameters& base,
+                                const ParameterSetter& setter,
+                                const std::vector<double>& values) const;
+  std::vector<Crossover> crossovers(const SystemParameters& config_a,
+                                    const SystemParameters& config_b,
+                                    const ParameterSetter& setter,
+                                    const std::vector<double>& values,
+                                    double tolerance = 1.0) const;
+  Optimum optimize(const SystemParameters& base, const ParameterSetter& setter,
+                   double lo, double hi, std::size_t grid_points = 16,
+                   double tolerance = 1e-3) const;
+  Optimum optimize_rejuvenation_interval(const SystemParameters& base,
+                                         double lo, double hi,
+                                         std::size_t grid_points = 24,
+                                         double tolerance = 0.5) const;
+  std::vector<SensitivityEntry> sensitivity(const SystemParameters& base,
+                                            double relative_step = 0.1) const;
+  std::vector<ArchitectureResult> architectures(
+      const SystemParameters& base,
+      const ArchitectureSpaceExplorer::Options& options = {}) const;
+
+  /// Envelope assembly for batch runs: current metrics + provenance.
+  RunResult snapshot(const std::string& entry, const SystemParameters& params,
+                     std::uint64_t seed = 0) const;
+
+  const ReliabilityAnalyzer& analyzer() const { return analyzer_; }
+  const ReliabilityAnalyzer::Options& options() const {
+    return analyzer_options_;
+  }
+
+ private:
+  ReliabilityAnalyzer::Options analyzer_options_{};
+  ReliabilityAnalyzer analyzer_{};
+};
+
+}  // namespace nvp::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 
@@ -14,6 +15,7 @@ Optimum maximize_reliability(
   NVP_EXPECTS(hi > lo);
   NVP_EXPECTS(grid_points >= 3);
   NVP_EXPECTS(tolerance > 0.0);
+  const obs::ScopedSpan span("core.optimize");
 
   std::size_t evals = 0;
   auto f = [&](double x) {

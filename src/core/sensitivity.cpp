@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/string_util.hpp"
@@ -56,6 +57,7 @@ std::vector<SensitivityEntry> sensitivity_report(
     const ReliabilityAnalyzer& analyzer, const SystemParameters& base,
     double relative_step) {
   NVP_EXPECTS(relative_step > 0.0 && relative_step < 1.0);
+  const obs::ScopedSpan span("core.sensitivity");
   base.validate();
   const double center = analyzer.analyze(base).expected_reliability;
   NVP_EXPECTS_MSG(center > 0.0, "sensitivity needs a nonzero baseline");

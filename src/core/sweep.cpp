@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 
@@ -22,6 +23,7 @@ std::vector<SweepPoint> sweep_parameter(const ReliabilityAnalyzer& analyzer,
                                         const ParameterSetter& setter,
                                         const std::vector<double>& values) {
   NVP_EXPECTS(setter != nullptr);
+  const obs::ScopedSpan span("core.sweep");
   // Each point is an independent solve; fan out on the default pool.
   // Results are assigned by index, so the output is identical to the serial
   // loop for any job count.
@@ -40,6 +42,7 @@ std::vector<Crossover> find_crossovers(const ReliabilityAnalyzer& analyzer,
                                        double tolerance) {
   NVP_EXPECTS(values.size() >= 2);
   NVP_EXPECTS(tolerance > 0.0);
+  const obs::ScopedSpan span("core.crossovers");
   auto diff = [&](double x) {
     SystemParameters a = config_a, b = config_b;
     setter(a, x);

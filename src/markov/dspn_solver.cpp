@@ -6,6 +6,8 @@
 
 #include "src/markov/dtmc.hpp"
 #include "src/markov/transient.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::markov {
@@ -21,13 +23,25 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
   DspnSteadyStateResult result;
   result.states = n;
 
+  static obs::Counter& ctmc_solves =
+      obs::Registry::global().counter("markov.solver.ctmc_solves");
+  static obs::Counter& mrgp_solves =
+      obs::Registry::global().counter("markov.solver.mrgp_solves");
+  static obs::Histogram& states_hist =
+      obs::Registry::global().histogram("markov.solver.states");
+  const obs::ScopedSpan span("markov.solve");
+  states_hist.observe(static_cast<double>(n));
+
   if (!g.has_deterministic()) {
+    ctmc_solves.add();
     result.pure_ctmc = true;
     const Ctmc chain = Ctmc::from_graph(g);
+    const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state");
     result.probabilities =
         ctmc_steady_state(chain.generator, options_.ctmc_method);
     return result;
   }
+  mrgp_solves.add();
 
   // Sanity: at most one deterministic transition enabled per marking, and
   // no fully absorbing tangible state.
@@ -67,6 +81,7 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
   }
 
   // Deterministic groups.
+  const obs::ScopedSpan embed_span("markov.embedded_chain");
   for (const auto& [det_transition, members] : groups) {
     const double tau = g.deterministics(members[0])[0].delay;
     for (std::size_t s : members)
@@ -88,7 +103,10 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
       }
     }
 
-    const ExponentialPair pair = matrix_exponential_pair(q, tau);
+    const ExponentialPair pair = [&] {
+      const obs::ScopedSpan uniform_span("markov.uniformization");
+      return matrix_exponential_pair(q, tau);
+    }();
 
     for (std::size_t s : members) {
       const double* omega_row = pair.omega.row_data(s);
@@ -119,7 +137,10 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
     throw SolverError("DSPN solver: embedded chain rows are off by " +
                       std::to_string(row_err));
 
-  const Vector nu = dtmc_stationary(p);
+  const Vector nu = [&] {
+    const obs::ScopedSpan stationary_span("markov.dtmc_stationary");
+    return dtmc_stationary(p);
+  }();
 
   // pi(j) proportional to sum_s nu(s) C(s, j).
   Vector pi = c.left_multiply(nu);

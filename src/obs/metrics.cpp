@@ -1,0 +1,114 @@
+#include "src/obs/metrics.hpp"
+
+#include <cstdlib>
+
+namespace nvp::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::string init_from_env() {
+  const char* env = std::getenv("NVP_METRICS");
+  if (env == nullptr) return {};
+  const std::string value = env;
+  if (value == "0" || value == "off" || value == "false")
+    set_enabled(false);
+  else
+    set_enabled(true);
+  return value;
+}
+
+namespace detail {
+
+std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  std::array<std::uint64_t, kBuckets> counts{};
+  HistogramSnapshot out;
+  for (const Slot& slot : slots_) {
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      counts[i] += slot.counts[i].load(std::memory_order_relaxed);
+    out.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : counts) out.count += c;
+  if (out.count == 0) return out;
+  auto quantile = [&](double q) {
+    const auto target =
+        static_cast<std::uint64_t>(std::ceil(q * double(out.count)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= target && counts[i] > 0) return bucket_bound(i);
+    }
+    return bucket_bound(kBuckets - 1);
+  };
+  out.p50 = quantile(0.50);
+  out.p90 = quantile(0.90);
+  out.p99 = quantile(0.99);
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: metrics
+  return *instance;  // outlive static caches that report into them at exit
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_)
+    out.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) out.gauges[name] = gauge->value();
+  for (const auto& [name, histogram] : histograms_)
+    out.histograms[name] = histogram->snapshot();
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [_, counter] : counters_) counter->reset();
+  for (const auto& [_, gauge] : gauges_) gauge->reset();
+  for (const auto& [_, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace nvp::obs

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nvp::obs {
+
+/// Process-wide metrics switch. Collection is *on* by default: every
+/// recording primitive below is a relaxed atomic on a per-thread shard, so
+/// the enabled cost is already negligible; the switch exists so perf-critical
+/// batch runs can drop even that (one relaxed load + branch per call site).
+/// Controlled by `NVP_METRICS` (0/off disables) and obs::set_enabled().
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Reads NVP_METRICS once and applies it: unset or any value other than
+/// "0"/"off"/"false" leaves metrics enabled. Returns the env value (empty if
+/// unset) so CLIs can also treat a path-looking value as a manifest target.
+std::string init_from_env();
+
+namespace detail {
+/// Dense small integer id of the calling thread, assigned on first use.
+/// Metrics mod it by their shard count; after kSlots distinct threads the
+/// shards are shared (still correct — they are atomics).
+std::size_t thread_slot() noexcept;
+}  // namespace detail
+
+/// Monotonic counter, sharded per thread so concurrent add() calls from the
+/// solver pool never contend on one cache line.
+class Counter {
+ public:
+  static constexpr std::size_t kSlots = 32;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    slots_[detail::thread_slot() % kSlots].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// Last-write-wins instantaneous value (pool size, state-space size, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Aggregated view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean() const { return count > 0 ? sum / double(count) : 0.0; }
+  /// Upper bucket bound below which at least q of the mass lies (power-of-2
+  /// resolution — a scale estimate, not an exact order statistic).
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Lock-free histogram over power-of-2 buckets spanning [2^-20, 2^20)
+/// (covers microseconds to days when observing seconds, and 1..1M when
+/// observing counts). Values outside the range clamp to the edge buckets.
+/// Per-thread sharded like Counter; sum is exact, quantiles are bucketed.
+class Histogram {
+ public:
+  static constexpr int kMinExp = -20;
+  static constexpr std::size_t kBuckets = 41;
+  static constexpr std::size_t kSlots = 16;
+
+  void observe(double v) noexcept {
+    if (!enabled()) return;
+    Slot& slot = slots_[detail::thread_slot() % kSlots];
+    slot.counts[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    slot.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const noexcept;
+
+  void reset() noexcept {
+    for (Slot& s : slots_) {
+      for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+      s.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Inclusive upper value bound of bucket i.
+  static double bucket_bound(std::size_t i) noexcept {
+    return std::ldexp(1.0, kMinExp + static_cast<int>(i));
+  }
+
+  static std::size_t bucket_of(double v) noexcept {
+    if (!(v > 0.0)) return 0;
+    const int e = std::ilogb(v) + 1;  // v <= 2^e
+    const int i = e - kMinExp;
+    if (i < 0) return 0;
+    if (i >= static_cast<int>(kBuckets)) return kBuckets - 1;
+    return static_cast<std::size_t>(i);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// Everything the registry held at one instant.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Name -> metric map. Lookup takes a mutex (do it once per call site and
+/// keep the reference — metrics are never removed, so references stay valid
+/// for the process lifetime); recording is lock-free.
+class Registry {
+ public:
+  /// The process-wide registry every subsystem reports into.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (benchmark phases, tests).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace nvp::obs

@@ -1,0 +1,181 @@
+#include "src/obs/trace.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/util/string_util.hpp"
+
+namespace nvp::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_next_span_id{1};
+thread_local std::uint64_t t_current_span = 0;
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on) noexcept {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* instance = new TraceRecorder();  // never destroyed
+  return *instance;
+}
+
+void TraceRecorder::record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceRecorder::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::chrono::steady_clock::time_point TraceRecorder::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!tracing_enabled()) return;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  name_ = name;
+  wall_start_ = std::chrono::steady_clock::now();
+  cpu_start_s_ = thread_cpu_seconds();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ == 0) return;
+  const auto wall_end = std::chrono::steady_clock::now();
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = std::move(name_);
+  record.thread = detail::thread_slot();
+  record.start_s =
+      std::chrono::duration<double>(wall_start_ -
+                                    TraceRecorder::global().epoch())
+          .count();
+  record.wall_s =
+      std::chrono::duration<double>(wall_end - wall_start_).count();
+  record.cpu_s = thread_cpu_seconds() - cpu_start_s_;
+  t_current_span = parent_;
+  TraceRecorder::global().record(std::move(record));
+}
+
+namespace {
+
+/// Children grouped by parent id, in creation (id) order.
+std::map<std::uint64_t, std::vector<const SpanRecord*>> children_by_parent(
+    const std::vector<SpanRecord>& records) {
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  for (const SpanRecord& r : records) children[r.parent].push_back(&r);
+  for (auto& [_, group] : children)
+    std::sort(group.begin(), group.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                return a->id < b->id;
+              });
+  return children;
+}
+
+void emit_span_json(
+    const SpanRecord& span,
+    const std::map<std::uint64_t, std::vector<const SpanRecord*>>& children,
+    JsonWriter& json) {
+  json.begin_object();
+  json.kv("name", span.name);
+  json.kv("thread", std::uint64_t(span.thread));
+  json.kv("start_s", span.start_s);
+  json.kv("wall_s", span.wall_s);
+  json.kv("cpu_s", span.cpu_s);
+  json.key("children").begin_array();
+  auto it = children.find(span.id);
+  if (it != children.end())
+    for (const SpanRecord* child : it->second)
+      emit_span_json(*child, children, json);
+  json.end_array();
+  json.end_object();
+}
+
+void emit_span_text(
+    const SpanRecord& span,
+    const std::map<std::uint64_t, std::vector<const SpanRecord*>>& children,
+    int depth, std::string& out) {
+  out += util::format("%*s%s  wall=%.3fms cpu=%.3fms thread=%zu\n", depth * 2,
+                      "", span.name.c_str(), span.wall_s * 1e3,
+                      span.cpu_s * 1e3, span.thread);
+  auto it = children.find(span.id);
+  if (it != children.end())
+    for (const SpanRecord* child : it->second)
+      emit_span_text(*child, children, depth + 1, out);
+}
+
+/// Roots: spans whose parent id is 0 or refers to a span that never finished
+/// (e.g. the enclosing span is still live when the tree is rendered).
+std::vector<const SpanRecord*> roots_of(
+    const std::vector<SpanRecord>& records) {
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& r : records) by_id[r.id] = &r;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& r : records)
+    if (r.parent == 0 || by_id.find(r.parent) == by_id.end())
+      roots.push_back(&r);
+  std::sort(roots.begin(), roots.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->id < b->id;
+            });
+  return roots;
+}
+
+}  // namespace
+
+std::string span_tree_json(const std::vector<SpanRecord>& records) {
+  JsonWriter json;
+  span_tree_json(records, json);
+  return json.str();
+}
+
+void span_tree_json(const std::vector<SpanRecord>& records,
+                    JsonWriter& json) {
+  const auto children = children_by_parent(records);
+  json.begin_array();
+  for (const SpanRecord* root : roots_of(records))
+    emit_span_json(*root, children, json);
+  json.end_array();
+}
+
+std::string span_tree_text(const std::vector<SpanRecord>& records) {
+  const auto children = children_by_parent(records);
+  std::string out;
+  for (const SpanRecord* root : roots_of(records))
+    emit_span_text(*root, children, 0, out);
+  return out;
+}
+
+}  // namespace nvp::obs

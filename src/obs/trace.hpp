@@ -1,0 +1,89 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nvp::obs {
+
+/// Process-wide tracing switch. Off by default: spans allocate and take a
+/// recorder lock on scope exit, which is cheap per solver call but not free.
+/// A disabled ScopedSpan is one relaxed load + branch.
+bool tracing_enabled() noexcept;
+void set_tracing(bool on) noexcept;
+
+/// One finished span. Ids are process-unique and increase in creation order;
+/// `parent == 0` marks a root (no enclosing span on the creating thread).
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  std::size_t thread = 0;  ///< obs::detail::thread_slot() of the creator
+  double start_s = 0.0;    ///< wall offset from the recorder epoch
+  double wall_s = 0.0;     ///< wall-clock duration
+  double cpu_s = 0.0;      ///< thread CPU time consumed inside the span
+};
+
+/// Collects finished spans. Spans self-register on destruction; parents on
+/// the same thread are linked automatically through a thread-local stack.
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  void record(SpanRecord record);
+
+  /// All spans finished so far, in completion order.
+  std::vector<SpanRecord> finished() const;
+
+  void clear();
+
+  /// Wall-clock epoch that span start offsets are relative to (recorder
+  /// construction / last clear()).
+  std::chrono::steady_clock::time_point epoch() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII span: times the enclosing scope (wall + thread CPU) and records it
+/// on destruction, parented to the innermost live span of the same thread.
+/// When tracing is disabled at construction the span is inert (and stays
+/// inert even if tracing is switched on mid-scope).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Id of this span (0 when tracing was disabled at construction).
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::string name_;
+  std::chrono::steady_clock::time_point wall_start_{};
+  double cpu_start_s_ = 0.0;
+};
+
+class JsonWriter;
+
+/// Nested-JSON rendering of the span forest: an array of root span objects,
+/// each with {name, thread, start_s, wall_s, cpu_s, children: [...]}.
+std::string span_tree_json(const std::vector<SpanRecord>& records);
+
+/// Same, emitted as an array value into an in-progress JSON document.
+void span_tree_json(const std::vector<SpanRecord>& records, JsonWriter& json);
+
+/// Indented text rendering of the span forest (the CLI's --trace output).
+std::string span_tree_text(const std::vector<SpanRecord>& records);
+
+}  // namespace nvp::obs

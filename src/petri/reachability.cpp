@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_set>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::petri {
@@ -81,6 +83,12 @@ struct Explorer {
 
 TangibleReachabilityGraph TangibleReachabilityGraph::build(
     const PetriNet& net, const ReachabilityOptions& opts) {
+  static obs::Counter& builds =
+      obs::Registry::global().counter("petri.reachability.builds");
+  static obs::Histogram& states =
+      obs::Registry::global().histogram("petri.reachability.states");
+  const obs::ScopedSpan span("petri.reachability");
+  builds.add();
   net.validate();
   TangibleReachabilityGraph g;
   std::deque<std::size_t> frontier;
@@ -137,6 +145,7 @@ TangibleReachabilityGraph TangibleReachabilityGraph::build(
     for (const RateEdge& e : g.exp_edges_[s]) sum += e.rate;
     g.exit_rates_[s] = sum;
   }
+  states.observe(static_cast<double>(g.markings_.size()));
   return g;
 }
 

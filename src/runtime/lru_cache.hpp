@@ -5,10 +5,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::runtime {
@@ -33,6 +35,12 @@ struct CacheStats {
 /// an independent LRU list, so the bound is per shard
 /// (ceil(capacity / shards)) and eviction is LRU within a shard.
 ///
+/// Hit/miss/eviction accounting lives in obs::Counter metrics: a cache
+/// constructed with a `label` registers `<label>.hits` / `.misses` /
+/// `.evictions` in obs::Registry::global() (so run manifests report them);
+/// an unlabeled cache keeps private counters. stats() reads the same
+/// counters either way.
+///
 /// get_or_compute() runs the compute functor *outside* the shard lock, so
 /// concurrent misses on different keys compute in parallel. Two threads
 /// missing on the same key may both compute; both results are identical for
@@ -41,7 +49,8 @@ struct CacheStats {
 template <typename Value>
 class ShardedLruCache {
  public:
-  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8) {
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8,
+                           const std::string& label = "") {
     NVP_EXPECTS(capacity >= 1);
     NVP_EXPECTS(shards >= 1);
     if (shards > capacity) shards = capacity;
@@ -49,6 +58,17 @@ class ShardedLruCache {
     shards_.reserve(shards);
     for (std::size_t i = 0; i < shards; ++i)
       shards_.push_back(std::make_unique<Shard>());
+    if (label.empty()) {
+      owned_ = std::make_unique<OwnedCounters>();
+      hits_ = &owned_->hits;
+      misses_ = &owned_->misses;
+      evictions_ = &owned_->evictions;
+    } else {
+      auto& registry = obs::Registry::global();
+      hits_ = &registry.counter(label + ".hits");
+      misses_ = &registry.counter(label + ".misses");
+      evictions_ = &registry.counter(label + ".evictions");
+    }
   }
 
   /// Looks the key up, refreshing its LRU position. Counts a hit or a miss.
@@ -57,10 +77,10 @@ class ShardedLruCache {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
-      ++shard.misses;
+      misses_->add();
       return std::nullopt;
     }
-    ++shard.hits;
+    hits_->add();
     shard.order.splice(shard.order.begin(), shard.order, it->second);
     return it->second->second;
   }
@@ -81,7 +101,7 @@ class ShardedLruCache {
     if (shard.index.size() > shard_capacity_) {
       shard.index.erase(shard.order.back().first);
       shard.order.pop_back();
-      ++shard.evictions;
+      evictions_->add();
     }
   }
 
@@ -95,16 +115,9 @@ class ShardedLruCache {
     return value;
   }
 
-  /// Counters aggregated over all shards.
+  /// Counter values (reads the obs metrics backing this cache).
   CacheStats stats() const {
-    CacheStats total;
-    for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
-      total.hits += shard->hits;
-      total.misses += shard->misses;
-      total.evictions += shard->evictions;
-    }
-    return total;
+    return {hits_->value(), misses_->value(), evictions_->value()};
   }
 
   /// Drops all entries and resets the counters.
@@ -113,8 +126,10 @@ class ShardedLruCache {
       std::lock_guard<std::mutex> lock(shard->mutex);
       shard->order.clear();
       shard->index.clear();
-      shard->hits = shard->misses = shard->evictions = 0;
     }
+    hits_->reset();
+    misses_->reset();
+    evictions_->reset();
   }
 
   /// Current number of cached entries.
@@ -138,9 +153,10 @@ class ShardedLruCache {
                        typename std::list<std::pair<std::uint64_t,
                                                     Value>>::iterator>
         index;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+  };
+
+  struct OwnedCounters {
+    obs::Counter hits, misses, evictions;
   };
 
   Shard& shard_for(std::uint64_t key) {
@@ -152,6 +168,10 @@ class ShardedLruCache {
 
   std::size_t shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<OwnedCounters> owned_;  ///< null when registry-labeled
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 };
 
 }  // namespace nvp::runtime

@@ -7,11 +7,28 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::runtime {
 
 namespace {
+
+/// Pool metrics, looked up once. Loops and indices are counted per
+/// parallel_for call (one add each), not per index, so the inner loop stays
+/// untouched.
+struct PoolMetrics {
+  obs::Counter& loops;
+  obs::Counter& indices;
+  obs::Gauge& jobs;
+  static const PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::global().counter("runtime.pool.parallel_loops"),
+        obs::Registry::global().counter("runtime.pool.indices"),
+        obs::Registry::global().gauge("runtime.pool.jobs")};
+    return m;
+  }
+};
 
 /// Completion state shared by the tasks of one parallel_for call.
 struct LoopGroup {
@@ -124,6 +141,8 @@ void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t)>& body) {
   NVP_EXPECTS(body != nullptr);
   if (n == 0) return;
+  PoolMetrics::get().loops.add();
+  PoolMetrics::get().indices.add(n);
   if (impl_->workers.empty() || n == 1) {
     // Serial pool (jobs == 1) or trivial loop: run inline, exceptions
     // propagate naturally.
@@ -183,8 +202,10 @@ void set_default_jobs(std::size_t jobs) {
 std::shared_ptr<ThreadPool> default_pool() {
   const std::size_t want = default_jobs();
   std::lock_guard<std::mutex> lock(g_default_mutex);
-  if (!g_default_pool || g_default_pool->jobs() != want)
+  if (!g_default_pool || g_default_pool->jobs() != want) {
     g_default_pool = std::make_shared<ThreadPool>(want);
+    PoolMetrics::get().jobs.set(static_cast<double>(want));
+  }
   return g_default_pool;
 }
 

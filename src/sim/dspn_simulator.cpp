@@ -1,11 +1,14 @@
 #include "src/sim/dspn_simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <optional>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 
@@ -156,14 +159,34 @@ TrajectoryResult DspnSimulator::run(
     const SimulationOptions& options) const {
   NVP_EXPECTS(!rewards.empty());
   NVP_EXPECTS(options.horizon > options.warmup_time);
+  // Firing counts are batched in after the trajectory: the event loop never
+  // touches a metric, so observability costs nothing on the hot path.
+  static obs::Counter& trajectories =
+      obs::Registry::global().counter("sim.trajectories");
+  static obs::Counter& timed =
+      obs::Registry::global().counter("sim.timed_firings");
+  static obs::Counter& immediate =
+      obs::Registry::global().counter("sim.immediate_firings");
+  static obs::Histogram& trajectory_s =
+      obs::Registry::global().histogram("sim.trajectory_s");
+  const obs::ScopedSpan span("sim.trajectory");
+  const auto t0 = std::chrono::steady_clock::now();
   Trajectory trajectory(net_, options, rewards);
-  return trajectory.run();
+  TrajectoryResult result = trajectory.run();
+  trajectories.add();
+  timed.add(result.timed_firings);
+  immediate.add(result.immediate_firings);
+  trajectory_s.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return result;
 }
 
 ReplicationEstimate DspnSimulator::estimate(
     const markov::MarkingReward& reward, const SimulationOptions& options,
     std::size_t replications, double confidence_level) const {
   NVP_EXPECTS(replications >= 2);
+  const obs::ScopedSpan span("sim.estimate");
   // Replication r always simulates with substream_seed(options.seed, r), so
   // every trajectory is identical for any thread count; the per-replication
   // estimates are folded into the accumulator in replication order, making

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -35,5 +36,39 @@ class CliArgs {
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;
 };
+
+/// Output rendering shared by every CLI subcommand and bench harness.
+enum class OutputFormat { kTable, kCsv, kJson };
+
+/// The flag surface every nvpcli subcommand and argument-taking bench
+/// accepts, so there is exactly one way to spell the common knobs:
+///
+///   --jobs N            worker threads (0 = $NVP_JOBS or all cores)
+///   --seed S            RNG seed for stochastic commands
+///   --format table|csv|json
+///   --output PATH       write the rendered result there instead of stdout
+///   --metrics-json PATH write a run manifest (implies tracing)
+///   --trace             collect spans; print the span tree on exit
+///
+/// Deprecated aliases (accepted with a stderr warning): --threads -> --jobs,
+/// --rng-seed -> --seed, --csv / --json (boolean) -> --format, --out ->
+/// --output, --cache-stats -> --metrics (counter dump to stderr).
+struct CommonOptions {
+  int jobs = 0;
+  std::uint64_t seed = 1;
+  OutputFormat format = OutputFormat::kTable;
+  std::string output;        ///< empty = stdout
+  std::string metrics_json;  ///< empty = no manifest
+  bool trace = false;
+  bool metrics_dump = false;  ///< print counters to stderr on exit
+
+  /// Flag names consumed by parse_common_options (for typo validation).
+  static const std::vector<std::string>& known_flags();
+};
+
+/// Parses the shared quartet + observability flags from `args`, warning on
+/// stderr for each deprecated alias. Throws std::invalid_argument on
+/// malformed values (bad number, unknown format).
+CommonOptions parse_common_options(const CliArgs& args);
 
 }  // namespace nvp::util

@@ -1,32 +1,47 @@
 // nvpcli — command-line front end to the library, in the role TimeNET
 // plays for the paper: load a model (a .dspn file or one of the paper's
-// built-in perception models), then solve, simulate, sweep, or optimize.
+// built-in perception models), then solve, simulate, sweep, optimize, or
+// explore. Every paper-model subcommand routes through core::Engine, so the
+// CLI sees exactly the library's public API.
 //
-//   nvpcli analyze --paper 6v [--interval 600] [--p 0.08] ...
-//   nvpcli analyze --model workcell.dspn --reward "#ok == 2"
-//   nvpcli simulate --model workcell.dspn --reward "#ok" --horizon 1e5
-//   nvpcli sweep --paper 6v --param interval --from 200 --to 3000 --points 15
-//   nvpcli optimize --paper 6v --from 100 --to 3000
-//   nvpcli export --paper 4v          # dump the model as .dspn text / DOT
+//   nvpcli analyze     --paper 6v [--interval 600] [--p 0.08] ...
+//   nvpcli analyze     --model workcell.dspn --reward "#ok == 2"
+//   nvpcli simulate    --paper 6v [--horizon 1e5] [--reps 8] [--seed 1]
+//   nvpcli sweep       --paper 6v --param interval --from 200 --to 3000
+//   nvpcli optimize    --paper 6v --from 100 --to 3000
+//   nvpcli sensitivity --paper 6v [--step 0.1]
+//   nvpcli archspace   --paper 6v [--max-n 10] [--top 10]
+//   nvpcli export      --paper 4v [--dot]
+//
+// Every subcommand accepts the shared option quartet --jobs/--seed/
+// --format {table,csv,json}/--output <path>, plus the observability flags
+// --metrics-json <path> (write a run manifest; implies --trace) and --trace
+// (print the span tree to stderr). NVP_METRICS=0 disables metrics; a
+// path-valued NVP_METRICS acts like --metrics-json.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on model/solver errors.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
-#include "src/core/analyzer.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/model_factory.hpp"
-#include "src/core/optimizer.hpp"
 #include "src/core/reliability.hpp"
-#include "src/core/sweep.hpp"
 #include "src/markov/dspn_solver.hpp"
-#include "src/markov/rewards.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/petri/dot_export.hpp"
 #include "src/petri/dspn_parser.hpp"
 #include "src/petri/expression.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/sim/dspn_simulator.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/csv.hpp"
 #include "src/util/string_util.hpp"
 #include "src/util/table.hpp"
 
@@ -38,35 +53,120 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  nvpcli analyze  (--paper 4v|6v [param overrides] | --model "
+      "  nvpcli analyze     (--paper 4v|6v [param overrides] | --model "
       "<file.dspn> --reward <expr>)\n"
-      "  nvpcli simulate (--paper 4v|6v | --model <file.dspn> --reward "
-      "<expr>) [--horizon 1e6] [--reps 8] [--seed 1]\n"
-      "  nvpcli sweep    --paper 4v|6v --param "
+      "  nvpcli simulate    (--paper 4v|6v | --model <file.dspn> --reward "
+      "<expr>) [--horizon 1e6] [--reps 8]\n"
+      "  nvpcli sweep       --paper 4v|6v --param "
       "interval|mttc|alpha|p|p-prime --from <x> --to <x> [--points 15]\n"
-      "  nvpcli optimize --paper 6v --from <x> --to <x>\n"
-      "  nvpcli export   (--paper 4v|6v | --model <file.dspn>) [--dot]\n"
+      "  nvpcli optimize    --paper 6v --from <x> --to <x>\n"
+      "  nvpcli sensitivity --paper 4v|6v [--step 0.1]\n"
+      "  nvpcli archspace   --paper 4v|6v [--max-n 10] [--max-f 2] "
+      "[--max-r 2] [--top N]\n"
+      "  nvpcli export      (--paper 4v|6v | --model <file.dspn>) [--dot]\n"
       "\n"
       "paper parameter overrides: --n --f --r --alpha --p --p-prime --mttc "
       "--mttf --mttr --interval --duration --detection-rate\n"
       "analyze options: --convention verbatim|generalized|strict "
       "--attachment operational|appendix\n"
-      "runtime options (any command): --jobs N (worker threads; default "
-      "$NVP_JOBS or all cores), --cache-stats (print solver-cache "
-      "hit/miss/eviction counters)\n");
+      "common options (any command): --jobs N, --seed S, --format "
+      "table|csv|json, --output <path>\n"
+      "observability: --metrics-json <path> (write run manifest; implies "
+      "--trace), --trace (span tree to stderr), --metrics (counter dump to "
+      "stderr); NVP_METRICS=0 disables collection\n"
+      "deprecated aliases: --threads->--jobs --rng-seed->--seed "
+      "--csv/--json->--format --out->--output --cache-stats->--metrics\n");
   return 1;
 }
 
-void print_cache_stats() {
-  const auto stats = core::ReliabilityAnalyzer::cache().stats();
-  std::printf(
-      "solver cache: %llu hits / %llu misses (%.1f%% hit rate), %llu "
-      "evictions, %zu entries\n",
-      static_cast<unsigned long long>(stats.hits),
-      static_cast<unsigned long long>(stats.misses), 100.0 * stats.hit_rate(),
-      static_cast<unsigned long long>(stats.evictions),
-      core::ReliabilityAnalyzer::cache().size());
+// ---------------------------------------------------------------------------
+// Output rendering: one tabular shape, three formats.
+
+struct Report {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+bool is_number(const std::string& text) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
 }
+
+std::string render(const Report& report, util::OutputFormat format) {
+  switch (format) {
+    case util::OutputFormat::kTable: {
+      util::TextTable table(report.columns);
+      for (const auto& row : report.rows) table.row(row);
+      return table.render();
+    }
+    case util::OutputFormat::kCsv: {
+      std::string out;
+      const auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          if (i > 0) out += ',';
+          out += util::CsvWriter::escape(cells[i]);
+        }
+        out += '\n';
+      };
+      line(report.columns);
+      for (const auto& row : report.rows) line(row);
+      return out;
+    }
+    case util::OutputFormat::kJson: {
+      obs::JsonWriter json;
+      json.begin_array();
+      for (const auto& row : report.rows) {
+        json.begin_object();
+        for (std::size_t i = 0; i < row.size() && i < report.columns.size();
+             ++i) {
+          json.key(report.columns[i]);
+          if (is_number(row[i]))
+            json.value(std::strtod(row[i].c_str(), nullptr));
+          else
+            json.value(row[i]);
+        }
+        json.end_object();
+      }
+      json.end_array();
+      return json.str() + "\n";
+    }
+  }
+  return {};
+}
+
+/// Writes `text` to `path`, or stdout when `path` is empty.
+bool emit(const std::string& text, const std::string& path) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open --output file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  out << text;
+  return out.good();
+}
+
+void dump_metrics() {
+  const auto snapshot = obs::Registry::global().snapshot();
+  for (const auto& [name, value] : snapshot.counters)
+    std::fprintf(stderr, "%s = %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  for (const auto& [name, value] : snapshot.gauges)
+    std::fprintf(stderr, "%s = %g\n", name.c_str(), value);
+  for (const auto& [name, h] : snapshot.histograms)
+    std::fprintf(stderr, "%s: count=%llu mean=%g p50<=%g p90<=%g p99<=%g\n",
+                 name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.mean(), h.p50, h.p90, h.p99);
+}
+
+// ---------------------------------------------------------------------------
+// Shared argument plumbing.
 
 core::SystemParameters paper_params(const util::CliArgs& args) {
   const std::string which = args.get("paper", "6v");
@@ -109,25 +209,69 @@ core::ReliabilityAnalyzer::Options analyzer_options(
   return options;
 }
 
-int analyze_paper(const util::CliArgs& args) {
+// ---------------------------------------------------------------------------
+// Subcommands. Each renders into `out`; main() routes it to stdout/--output.
+
+int analyze_paper(const core::Engine& engine, const util::CliArgs& args,
+                  const util::CommonOptions& common, std::string& out) {
   const auto params = paper_params(args);
-  const core::ReliabilityAnalyzer analyzer(analyzer_options(args));
-  const auto result = analyzer.analyze(params);
-  std::printf("configuration: %s\n", params.describe().c_str());
-  std::printf("tangible states: %zu (%s solver)\n", result.tangible_states,
-              result.used_dspn_solver ? "MRGP" : "CTMC");
-  std::printf("E[R_sys] = %.7f\n", result.expected_reliability);
-  std::printf("top states:\n");
-  for (std::size_t i = 0; i < result.state_distribution.size() && i < 8;
-       ++i) {
-    const auto& sp = result.state_distribution[i];
-    std::printf("  (H=%d C=%d down=%d)  pi=%.6f  R=%.6f\n", sp.healthy,
-                sp.compromised, sp.down, sp.probability, sp.reliability);
+  const auto result = engine.analyze(params);
+  const auto& analysis = result.analysis;
+  const char* solver = analysis.used_dspn_solver ? "MRGP" : "CTMC";
+  switch (common.format) {
+    case util::OutputFormat::kTable: {
+      out += util::format("configuration: %s\n", params.describe().c_str());
+      out += util::format("tangible states: %zu (%s solver)\n",
+                          analysis.tangible_states, solver);
+      out += util::format("E[R_sys] = %.7f\n", analysis.expected_reliability);
+      out += "top states:\n";
+      for (std::size_t i = 0;
+           i < analysis.state_distribution.size() && i < 8; ++i) {
+        const auto& sp = analysis.state_distribution[i];
+        out += util::format("  (H=%d C=%d down=%d)  pi=%.6f  R=%.6f\n",
+                            sp.healthy, sp.compromised, sp.down,
+                            sp.probability, sp.reliability);
+      }
+      break;
+    }
+    case util::OutputFormat::kCsv: {
+      Report report;
+      report.columns = {"metric", "value"};
+      report.rows = {
+          {"expected_reliability",
+           util::format("%.7f", analysis.expected_reliability)},
+          {"tangible_states", util::format("%zu", analysis.tangible_states)},
+          {"solver", solver}};
+      out = render(report, common.format);
+      break;
+    }
+    case util::OutputFormat::kJson: {
+      obs::JsonWriter json;
+      json.begin_object();
+      json.kv("configuration", params.describe());
+      json.kv("expected_reliability", analysis.expected_reliability);
+      json.kv("tangible_states",
+              static_cast<std::uint64_t>(analysis.tangible_states));
+      json.kv("solver", solver);
+      json.key("states").begin_array();
+      for (const auto& sp : analysis.state_distribution) {
+        json.begin_object();
+        json.kv("healthy", sp.healthy);
+        json.kv("compromised", sp.compromised);
+        json.kv("down", sp.down);
+        json.kv("probability", sp.probability);
+        json.kv("reliability", sp.reliability);
+        json.end_object();
+      }
+      json.end_array().end_object();
+      out = json.str() + "\n";
+      break;
+    }
   }
   return 0;
 }
 
-int analyze_model(const util::CliArgs& args) {
+int analyze_model(const util::CliArgs& args, std::string& out) {
   const auto net = petri::load_dspn_file(args.get("model", ""));
   const std::string reward_text = args.get("reward", "");
   if (reward_text.empty()) {
@@ -140,62 +284,92 @@ int analyze_model(const util::CliArgs& args) {
   double expected = 0.0;
   for (std::size_t s = 0; s < graph.size(); ++s)
     expected += solution.probabilities[s] * reward.eval(graph.marking(s));
-  std::printf("model: %s (%zu tangible states, %s solver)\n",
-              net.name().c_str(), graph.size(),
-              solution.pure_ctmc ? "CTMC" : "MRGP");
-  std::printf("steady-state E[%s] = %.7f\n", reward_text.c_str(), expected);
+  out += util::format("model: %s (%zu tangible states, %s solver)\n",
+                      net.name().c_str(), graph.size(),
+                      solution.pure_ctmc ? "CTMC" : "MRGP");
+  out += util::format("steady-state E[%s] = %.7f\n", reward_text.c_str(),
+                      expected);
   return 0;
 }
 
-int simulate(const util::CliArgs& args) {
+int simulate_model(const util::CliArgs& args,
+                   const util::CommonOptions& common, std::string& out) {
   const double horizon = args.get_double("horizon", 1e6);
   const auto reps = static_cast<std::size_t>(args.get_int("reps", 8));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-
-  if (args.has("model")) {
-    const auto net = petri::load_dspn_file(args.get("model", ""));
-    const std::string reward_text = args.get("reward", "");
-    if (reward_text.empty()) {
-      std::fprintf(stderr, "simulate --model needs --reward <expr>\n");
-      return 1;
-    }
-    const auto expr = petri::Expression::parse(reward_text, net);
-    sim::DspnSimulator simulator(net);
-    sim::SimulationOptions options;
-    options.horizon = horizon;
-    options.warmup_time = horizon / 100.0;
-    options.seed = seed;
-    const auto estimate = simulator.estimate(expr.as_rate(), options, reps);
-    std::printf("simulated E[%s] = %.6f (95%% CI [%.6f, %.6f], %zu reps)\n",
-                reward_text.c_str(), estimate.mean, estimate.ci.lo,
-                estimate.ci.hi, reps);
-    return 0;
+  const auto net = petri::load_dspn_file(args.get("model", ""));
+  const std::string reward_text = args.get("reward", "");
+  if (reward_text.empty()) {
+    std::fprintf(stderr, "simulate --model needs --reward <expr>\n");
+    return 1;
   }
-
-  const auto params = paper_params(args);
-  const auto model = core::PerceptionModelFactory::build(params);
-  const auto rewards = core::make_reliability_model(params);
-  sim::DspnSimulator simulator(model.net);
+  const auto expr = petri::Expression::parse(reward_text, net);
+  sim::DspnSimulator simulator(net);
   sim::SimulationOptions options;
   options.horizon = horizon;
   options.warmup_time = horizon / 100.0;
-  options.seed = seed;
-  const auto estimate = simulator.estimate(
-      [&](const petri::Marking& m) {
-        return rewards->state_reliability(
-            model.healthy(m), model.compromised(m), model.down(m));
-      },
-      options, reps);
-  std::printf(
-      "simulated E[R_sys] = %.6f (95%% CI [%.6f, %.6f], horizon %.3g s x "
-      "%zu reps)\n",
-      estimate.mean, estimate.ci.lo, estimate.ci.hi, horizon, reps);
+  options.seed = common.seed;
+  const auto estimate = simulator.estimate(expr.as_rate(), options, reps);
+  out += util::format(
+      "simulated E[%s] = %.6f (95%% CI [%.6f, %.6f], %zu reps)\n",
+      reward_text.c_str(), estimate.mean, estimate.ci.lo, estimate.ci.hi,
+      reps);
   return 0;
 }
 
-int sweep(const util::CliArgs& args) {
+int simulate_paper(const core::Engine& engine, const util::CliArgs& args,
+                   const util::CommonOptions& common, std::string& out) {
   const auto params = paper_params(args);
-  const core::ReliabilityAnalyzer analyzer(analyzer_options(args));
+  core::Engine::SimulateOptions options;
+  options.horizon = args.get_double("horizon", 1e6);
+  options.replications = static_cast<std::size_t>(args.get_int("reps", 8));
+  options.seed = common.seed;
+  const auto result = engine.simulate(params, options);
+  const auto& estimate = result.estimate;
+  switch (common.format) {
+    case util::OutputFormat::kTable:
+      out += util::format(
+          "simulated E[R_sys] = %.6f (95%% CI [%.6f, %.6f], horizon %.3g s "
+          "x %zu reps)\n",
+          estimate.mean, estimate.ci.lo, estimate.ci.hi, options.horizon,
+          options.replications);
+      break;
+    case util::OutputFormat::kCsv: {
+      Report report;
+      report.columns = {"metric", "value"};
+      report.rows = {{"mean", util::format("%.6f", estimate.mean)},
+                     {"ci_lo", util::format("%.6f", estimate.ci.lo)},
+                     {"ci_hi", util::format("%.6f", estimate.ci.hi)},
+                     {"horizon", util::format("%g", options.horizon)},
+                     {"replications",
+                      util::format("%zu", options.replications)},
+                     {"seed", util::format("%llu",
+                                           static_cast<unsigned long long>(
+                                               options.seed))}};
+      out = render(report, common.format);
+      break;
+    }
+    case util::OutputFormat::kJson: {
+      obs::JsonWriter json;
+      json.begin_object();
+      json.kv("configuration", params.describe());
+      json.kv("mean", estimate.mean);
+      json.kv("ci_lo", estimate.ci.lo);
+      json.kv("ci_hi", estimate.ci.hi);
+      json.kv("horizon", options.horizon);
+      json.kv("replications",
+              static_cast<std::uint64_t>(options.replications));
+      json.kv("seed", static_cast<std::uint64_t>(options.seed));
+      json.end_object();
+      out = json.str() + "\n";
+      break;
+    }
+  }
+  return 0;
+}
+
+int sweep(const core::Engine& engine, const util::CliArgs& args,
+          const util::CommonOptions& common, std::string& out) {
+  const auto params = paper_params(args);
   const std::string name = args.get("param", "interval");
   core::ParameterSetter setter;
   if (name == "interval")
@@ -214,39 +388,96 @@ int sweep(const util::CliArgs& args) {
   const double to = args.get_double("to", 0.0);
   const auto points = static_cast<std::size_t>(args.get_int("points", 15));
   if (!(to > from) || points < 2) return usage();
-  const auto results = core::sweep_parameter(
-      analyzer, params, setter, core::linspace(from, to, points));
-  util::TextTable table({name, "E[R_sys]"});
+  const auto results =
+      engine.sweep(params, setter, core::linspace(from, to, points));
+  Report report;
+  report.columns = {name, "E[R_sys]"};
   for (const auto& point : results)
-    table.row({util::format("%.6g", point.x),
-               util::format("%.7f", point.expected_reliability)});
-  std::printf("%s", table.render().c_str());
+    report.rows.push_back({util::format("%.6g", point.x),
+                           util::format("%.7f", point.expected_reliability)});
+  out = render(report, common.format);
   return 0;
 }
 
-int optimize(const util::CliArgs& args) {
+int optimize(const core::Engine& engine, const util::CliArgs& args,
+             const util::CommonOptions& common, std::string& out) {
   const auto params = paper_params(args);
-  const core::ReliabilityAnalyzer analyzer(analyzer_options(args));
   const double from = args.get_double("from", 100.0);
   const double to = args.get_double("to", 3000.0);
-  const auto optimum = core::optimize_rejuvenation_interval(
-      analyzer, params, from, to, 24, 0.5);
-  std::printf(
-      "optimal rejuvenation interval: %.1f s -> E[R_sys] = %.7f (%zu "
-      "evaluations)\n",
-      optimum.x, optimum.expected_reliability, optimum.evaluations);
+  const auto optimum =
+      engine.optimize_rejuvenation_interval(params, from, to);
+  if (common.format == util::OutputFormat::kTable) {
+    out += util::format(
+        "optimal rejuvenation interval: %.1f s -> E[R_sys] = %.7f (%zu "
+        "evaluations)\n",
+        optimum.x, optimum.expected_reliability, optimum.evaluations);
+    return 0;
+  }
+  Report report;
+  report.columns = {"optimal_interval", "expected_reliability",
+                    "evaluations"};
+  report.rows = {{util::format("%.1f", optimum.x),
+                  util::format("%.7f", optimum.expected_reliability),
+                  util::format("%zu", optimum.evaluations)}};
+  out = render(report, common.format);
   return 0;
 }
 
-int export_model(const util::CliArgs& args) {
+int sensitivity(const core::Engine& engine, const util::CliArgs& args,
+                const util::CommonOptions& common, std::string& out) {
+  const auto params = paper_params(args);
+  const double step = args.get_double("step", 0.1);
+  const auto entries = engine.sensitivity(params, step);
+  if (common.format == util::OutputFormat::kTable) {
+    out = core::render_tornado(entries);
+    return 0;
+  }
+  Report report;
+  report.columns = {"parameter", "base", "value_down", "value_up",
+                    "elasticity"};
+  for (const auto& entry : entries)
+    report.rows.push_back({entry.parameter,
+                           util::format("%.6g", entry.base_value),
+                           util::format("%.7f", entry.value_down),
+                           util::format("%.7f", entry.value_up),
+                           util::format("%.5f", entry.elasticity)});
+  out = render(report, common.format);
+  return 0;
+}
+
+int archspace(const core::Engine& engine, const util::CliArgs& args,
+              const util::CommonOptions& common, std::string& out) {
+  const auto params = paper_params(args);
+  core::ArchitectureSpaceExplorer::Options options;
+  options.max_versions = args.get_int("max-n", options.max_versions);
+  options.max_faulty = args.get_int("max-f", options.max_faulty);
+  options.max_rejuvenating = args.get_int("max-r", options.max_rejuvenating);
+  options.attachment = engine.options().attachment;
+  auto results = engine.architectures(params, options);
+  const int top = args.get_int("top", 0);
+  if (top > 0 && results.size() > static_cast<std::size_t>(top))
+    results.resize(static_cast<std::size_t>(top));
+  Report report;
+  report.columns = {"architecture", "n",        "f",
+                    "r",            "rejuv",    "E[R_sys]",
+                    "states",       "R_per_module"};
+  for (const auto& r : results)
+    report.rows.push_back(
+        {r.label(), util::format("%d", r.n), util::format("%d", r.f),
+         util::format("%d", r.r), r.rejuvenation ? "yes" : "no",
+         util::format("%.7f", r.expected_reliability),
+         util::format("%zu", r.tangible_states),
+         util::format("%.3g", r.reliability_per_module)});
+  out = render(report, common.format);
+  return 0;
+}
+
+int export_model(const util::CliArgs& args, std::string& out) {
   petri::PetriNet net =
       args.has("model")
           ? petri::load_dspn_file(args.get("model", ""))
           : core::PerceptionModelFactory::build(paper_params(args)).net;
-  if (args.has("dot"))
-    std::printf("%s", petri::to_dot(net).c_str());
-  else
-    std::printf("%s", petri::to_dspn_text(net).c_str());
+  out = args.has("dot") ? petri::to_dot(net) : petri::to_dspn_text(net);
   return 0;
 }
 
@@ -257,28 +488,64 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::CliArgs args(argc - 1, argv + 1);
   try {
-    const int jobs = args.get_int("jobs", 0);
-    if (jobs < 0) {
-      std::fprintf(stderr, "--jobs must be >= 1\n");
-      return 1;
-    }
-    if (jobs > 0) runtime::set_default_jobs(static_cast<std::size_t>(jobs));
+    const util::CommonOptions common = util::parse_common_options(args);
 
+    // NVP_METRICS: "0"/"off"/"false" disables collection; any other
+    // non-boolean value is a manifest path (same as --metrics-json).
+    std::string metrics_json = common.metrics_json;
+    const std::string env = obs::init_from_env();
+    if (metrics_json.empty() && obs::enabled() && !env.empty() &&
+        env != "1" && env != "on" && env != "true" && env != "yes")
+      metrics_json = env;
+    if (common.trace || !metrics_json.empty()) obs::set_tracing(true);
+    if (common.jobs > 0)
+      runtime::set_default_jobs(static_cast<std::size_t>(common.jobs));
+
+    const core::Engine engine(analyzer_options(args));
+    std::string out;
     int status = 1;
     if (command == "analyze")
-      status = args.has("model") ? analyze_model(args) : analyze_paper(args);
+      status = args.has("model") ? analyze_model(args, out)
+                                 : analyze_paper(engine, args, common, out);
     else if (command == "simulate")
-      status = simulate(args);
+      status = args.has("model") ? simulate_model(args, common, out)
+                                 : simulate_paper(engine, args, common, out);
     else if (command == "sweep")
-      status = sweep(args);
+      status = sweep(engine, args, common, out);
     else if (command == "optimize")
-      status = optimize(args);
+      status = optimize(engine, args, common, out);
+    else if (command == "sensitivity")
+      status = sensitivity(engine, args, common, out);
+    else if (command == "archspace")
+      status = archspace(engine, args, common, out);
     else if (command == "export")
-      status = export_model(args);
+      status = export_model(args, out);
     else
       return usage();
-    if (status == 0 && args.has("cache-stats")) print_cache_stats();
-    return status;
+    if (status != 0) return status;
+
+    if (!emit(out, common.output)) return 2;
+    if (common.trace)
+      std::fprintf(
+          stderr, "%s",
+          obs::span_tree_text(obs::TraceRecorder::global().finished())
+              .c_str());
+    if (common.metrics_dump) dump_metrics();
+    if (!metrics_json.empty()) {
+      obs::RunManifest manifest;
+      manifest.tool = "nvpcli";
+      for (int i = 1; i < argc; ++i) {
+        if (i > 1) manifest.command += ' ';
+        manifest.command += argv[i];
+      }
+      for (const auto& key : args.keys())
+        manifest.params[key] = args.get(key, "");
+      manifest.seed = common.seed;
+      manifest.jobs = runtime::default_jobs();
+      manifest.capture();
+      manifest.write(metrics_json);
+    }
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
