@@ -17,7 +17,7 @@ std::uint64_t analysis_cache_key(const SystemParameters& params,
   // Model-structure identity: which factory builds the net and the schema
   // version of this key. Bump the version when the generated DSPN, the
   // parameter set, or AnalysisResult's layout changes semantically.
-  h.str("core::PerceptionModelFactory/v1");
+  h.str("core::PerceptionModelFactory/v2");
   h.i32(params.n_versions)
       .i32(params.max_faulty)
       .i32(params.max_rejuvenating)
@@ -38,7 +38,13 @@ std::uint64_t analysis_cache_key(const SystemParameters& params,
   h.i32(static_cast<int>(options.convention))
       .i32(static_cast<int>(options.attachment))
       .i32(static_cast<int>(options.solver.ctmc_method))
-      .f64(options.solver.clamp_epsilon);
+      .f64(options.solver.clamp_epsilon)
+      // The backend changes the solve's floating-point path (LU vs Krylov),
+      // so cached results must never alias across backends — a forced-dense
+      // oracle run and a forced-sparse run are distinct cache entries.
+      .i32(static_cast<int>(options.solver.backend))
+      .i32(static_cast<int>(options.solver.sparse_threshold))
+      .i32(static_cast<int>(options.solver.mrgp_sparse_threshold));
   return h.digest();
 }
 
@@ -88,6 +94,9 @@ AnalysisResult ReliabilityAnalyzer::analyze(
   AnalysisResult result;
   result.tangible_states = graph.size();
   result.used_dspn_solver = !solution.pure_ctmc;
+  result.used_sparse_backend =
+      solution.backend_used == markov::SolverBackend::kSparse;
+  result.matrix_nonzeros = solution.matrix_nonzeros;
 
   // Aggregate probability and reward mass by (i, j, k). Rewards are
   // evaluated per tangible state because extensions (e.g. the voter

@@ -32,6 +32,13 @@ struct AnalysisResult {
   std::size_t tangible_states = 0;
   /// True when the model needed the MRGP solver (deterministic clock).
   bool used_dspn_solver = false;
+  /// True when the sparse (CSR + Krylov) backend performed the solve —
+  /// either forced via Options::solver.backend or picked by kAuto once the
+  /// state space crossed the sparse threshold.
+  bool used_sparse_backend = false;
+  /// Stored nonzeros of the solver's main matrices (dense backends report
+  /// their full n^2 allocations); see DspnSteadyStateResult.
+  std::size_t matrix_nonzeros = 0;
 };
 
 /// Which states carry a nonzero reliability reward.

@@ -35,6 +35,10 @@ class ArchitectureSpaceExplorer {
     int max_faulty = 2;
     int max_rejuvenating = 2;
     RewardAttachment attachment = RewardAttachment::kOperationalStatesOnly;
+    /// Solver backend for every candidate solve. kAuto lets small
+    /// architectures use dense LU while the large-N tail of the sweep (the
+    /// reason this explorer exists) switches to the sparse Krylov path.
+    markov::SolverBackend backend = markov::SolverBackend::kAuto;
   };
 
   ArchitectureSpaceExplorer() = default;

@@ -49,15 +49,21 @@ Vector SparseMatrixCsr::multiply(const Vector& x) const {
 }
 
 Vector SparseMatrixCsr::left_multiply(const Vector& x) const {
-  NVP_EXPECTS(x.size() == rows_);
   Vector y(cols_, 0.0);
+  left_multiply_into(x, y);
+  return y;
+}
+
+void SparseMatrixCsr::left_multiply_into(const Vector& x, Vector& y) const {
+  NVP_EXPECTS(x.size() == rows_);
+  NVP_EXPECTS(y.size() == cols_);
+  std::fill(y.begin(), y.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;
     for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
       y[col_idx_[k]] += xr * values_[k];
   }
-  return y;
 }
 
 double SparseMatrixCsr::at(std::size_t r, std::size_t c) const {
@@ -67,6 +73,22 @@ double SparseMatrixCsr::at(std::size_t r, std::size_t c) const {
   const auto it = std::lower_bound(begin, end, c);
   if (it == end || *it != c) return 0.0;
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+SparseMatrixCsr SparseMatrixCsr::transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      triplets.push_back({col_idx_[k], r, values_[k]});
+  return SparseMatrixCsr(cols_, rows_, std::move(triplets));
+}
+
+Vector SparseMatrixCsr::diagonal() const {
+  NVP_EXPECTS(rows_ == cols_);
+  Vector d(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) d[r] = at(r, r);
+  return d;
 }
 
 DenseMatrix SparseMatrixCsr::to_dense() const {

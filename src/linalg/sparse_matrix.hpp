@@ -36,6 +36,11 @@ class SparseMatrixCsr {
   /// y = x^T A.
   Vector left_multiply(const Vector& x) const;
 
+  /// In-place variant: y = x * A with y preallocated to cols(). Lets series
+  /// loops (uniformization) ping-pong two buffers instead of allocating a
+  /// fresh vector per term.
+  void left_multiply_into(const Vector& x, Vector& y) const;
+
   /// Element lookup; O(log nnz(row)). Returns 0 for absent entries.
   double at(std::size_t r, std::size_t c) const;
 
@@ -47,6 +52,12 @@ class SparseMatrixCsr {
 
   /// Dense copy (for small matrices / tests).
   DenseMatrix to_dense() const;
+
+  /// Transposed copy (CSR of A^T). O(nnz).
+  SparseMatrixCsr transposed() const;
+
+  /// Diagonal entries (0 where absent). Requires a square matrix.
+  Vector diagonal() const;
 
  private:
   std::size_t rows_ = 0, cols_ = 0;

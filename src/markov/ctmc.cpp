@@ -4,6 +4,7 @@
 
 #include "src/linalg/iterative.hpp"
 #include "src/linalg/lu.hpp"
+#include "src/markov/sparse_assembly.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::markov {
@@ -89,6 +90,65 @@ Vector steady_state_gauss_seidel(const DenseMatrix& q) {
 }
 
 }  // namespace
+
+const char* to_string(SolverBackend backend) {
+  switch (backend) {
+    case SolverBackend::kAuto:
+      return "auto";
+    case SolverBackend::kDense:
+      return "dense";
+    case SolverBackend::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator) {
+  NVP_EXPECTS(generator.rows() == generator.cols());
+  const std::size_t n = generator.rows();
+  NVP_EXPECTS(n > 0);
+
+  // A = Q^T with the last balance equation replaced by sum(pi) = 1 — the
+  // same system the dense direct method factors, assembled in CSR.
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(generator.nonzeros() + n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = generator.row_begin(r); k < generator.row_end(r);
+         ++k)
+      if (generator.col_index(k) != n - 1)
+        triplets.push_back({generator.col_index(k), r, generator.value(k)});
+  for (std::size_t c = 0; c < n; ++c) triplets.push_back({n - 1, c, 1.0});
+  const linalg::SparseMatrixCsr a(n, n, std::move(triplets));
+  Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+
+  auto res = linalg::gmres(a, b);
+  if (res.converged) {
+    bool plausible = true;
+    for (double x : res.x)
+      if (!std::isfinite(x) || x < -1e-8) plausible = false;
+    if (plausible) {
+      for (double& x : res.x) x = std::max(x, 0.0);
+      linalg::normalize_l1(res.x);
+      return res.x;
+    }
+  }
+
+  // Krylov solve stalled (or produced garbage on a reducible chain): power
+  // iteration on the uniformized DTMC still converges.
+  double lambda = sparse_uniformization_rate(generator);
+  NVP_EXPECTS_MSG(lambda > 0.0, "steady state of an all-absorbing chain");
+  lambda *= 1.02;
+  const auto p_u = sparse_uniformized_dtmc(generator, lambda);
+  linalg::IterativeOptions power_opts;
+  power_opts.tolerance = 1e-14;
+  auto power = linalg::stationary_power_iteration(p_u, power_opts);
+  if (!power.converged)
+    throw SolverError(
+        "sparse steady state: GMRES stalled (residual " +
+        std::to_string(res.residual) + ") and power iteration stalled too");
+  return power.x;
+}
 
 Vector ctmc_steady_state(const DenseMatrix& generator,
                          SteadyStateMethod method) {

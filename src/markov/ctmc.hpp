@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/linalg/dense_matrix.hpp"
+#include "src/linalg/sparse_matrix.hpp"
 #include "src/petri/reachability.hpp"
 
 namespace nvp::markov {
@@ -36,6 +37,28 @@ enum class SteadyStateMethod {
   kGaussSeidel,    // iterative, for larger chains
   kPowerIteration  // on the uniformized DTMC
 };
+
+/// Matrix representation / algorithm family used by the stationary solvers:
+///  * kDense  — materialized n x n matrices, LU and matrix-exponential
+///    doubling (the original path; exact oracle for tests).
+///  * kSparse — CSR assembly straight from the reachability graph, vector
+///    uniformization for the subordinated transients, and a Krylov (GMRES +
+///    ILU0, power-iteration fallback) stationary solve.
+///  * kAuto   — pick by tangible state count (see
+///    DspnSteadyStateSolver::Options::sparse_threshold).
+enum class SolverBackend { kAuto, kDense, kSparse };
+
+/// "auto" / "dense" / "sparse".
+const char* to_string(SolverBackend backend);
+
+/// Stationary distribution of an irreducible CTMC from its sparse generator
+/// (pi Q = 0, sum pi = 1): GMRES with ILU0 preconditioning on the transposed
+/// balance equations with the normalization constraint replacing the last
+/// row — the Krylov counterpart of ctmc_steady_state's direct LU. Falls back
+/// to power iteration on the uniformized chain when the Krylov solve stalls;
+/// throws SolverError when neither converges.
+linalg::Vector ctmc_steady_state_sparse(
+    const linalg::SparseMatrixCsr& generator);
 
 /// Stationary distribution pi of an irreducible CTMC (pi Q = 0, sum pi = 1).
 /// Throws SolverError if the chain has an absorbing state or the direct

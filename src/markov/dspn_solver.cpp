@@ -3,66 +3,59 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <vector>
 
+#include "src/linalg/sparse_matrix.hpp"
 #include "src/markov/dtmc.hpp"
+#include "src/markov/sparse_assembly.hpp"
 #include "src/markov/transient.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::markov {
 
 using linalg::DenseMatrix;
+using linalg::SparseMatrixCsr;
+using linalg::Triplet;
 using linalg::Vector;
 
-DspnSteadyStateResult DspnSteadyStateSolver::solve(
-    const petri::TangibleReachabilityGraph& g) const {
-  const std::size_t n = g.size();
-  NVP_EXPECTS(n > 0);
+namespace {
 
-  DspnSteadyStateResult result;
-  result.states = n;
+/// States grouped by the deterministic transition they enable; each group
+/// shares a subordinated generator, delay, and transient solution.
+using DeterministicGroups = std::map<std::size_t, std::vector<std::size_t>>;
 
-  static obs::Counter& ctmc_solves =
-      obs::Registry::global().counter("markov.solver.ctmc_solves");
-  static obs::Counter& mrgp_solves =
-      obs::Registry::global().counter("markov.solver.mrgp_solves");
-  static obs::Histogram& states_hist =
-      obs::Registry::global().histogram("markov.solver.states");
-  const obs::ScopedSpan span("markov.solve");
-  states_hist.observe(static_cast<double>(n));
-
-  if (!g.has_deterministic()) {
-    ctmc_solves.add();
-    result.pure_ctmc = true;
-    const Ctmc chain = Ctmc::from_graph(g);
-    const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state");
-    result.probabilities =
-        ctmc_steady_state(chain.generator, options_.ctmc_method);
-    return result;
-  }
-  mrgp_solves.add();
-
-  // Sanity: at most one deterministic transition enabled per marking, and
-  // no fully absorbing tangible state.
-  for (std::size_t s = 0; s < n; ++s) {
-    if (g.deterministics(s).size() > 1)
-      throw SolverError(
-          "DSPN solver: marking " + petri::to_string(g.marking(s)) +
-          " enables " + std::to_string(g.deterministics(s).size()) +
-          " deterministic transitions (at most one is supported)");
-    if (g.deterministics(s).empty() && g.exponential_edges(s).empty())
-      throw SolverError("DSPN solver: absorbing tangible marking " +
-                        petri::to_string(g.marking(s)) +
-                        " has no stationary distribution");
-  }
-
-  // Group states by the deterministic transition they enable; each group
-  // shares a subordinated generator, delay, and transient solution.
-  std::map<std::size_t, std::vector<std::size_t>> groups;
-  for (std::size_t s = 0; s < n; ++s)
+DeterministicGroups group_by_deterministic(
+    const petri::TangibleReachabilityGraph& g) {
+  DeterministicGroups groups;
+  for (std::size_t s = 0; s < g.size(); ++s)
     if (!g.deterministics(s).empty())
       groups[g.deterministics(s)[0].transition].push_back(s);
+  return groups;
+}
+
+/// Normalizes the conversion-weighted stationary vector into the result.
+Vector finish_stationary(Vector pi, double clamp_epsilon) {
+  for (double& x : pi)
+    if (x < clamp_epsilon) x = 0.0;
+  const double total = linalg::sum(pi);
+  if (!(total > 0.0))
+    throw SolverError("DSPN solver: zero total expected cycle time");
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+// ---------------------------------------------------------------------------
+// Dense backend: the original path — full n x n embedded chain P and
+// conversion factors C, matrix-exponential doubling for the subordinated
+// transients, LU (with power fallback) for the stationary vectors.
+
+Vector solve_mrgp_dense(const petri::TangibleReachabilityGraph& g,
+                        const DeterministicGroups& groups,
+                        const DspnSteadyStateSolver::Options& options) {
+  const std::size_t n = g.size();
 
   // Embedded Markov chain P over tangible states and conversion factors C:
   // C(s, j) = expected time spent in j during one regeneration period that
@@ -143,15 +136,173 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
   }();
 
   // pi(j) proportional to sum_s nu(s) C(s, j).
-  Vector pi = c.left_multiply(nu);
-  for (double& x : pi)
-    if (x < options_.clamp_epsilon) x = 0.0;
-  const double total = linalg::sum(pi);
-  if (!(total > 0.0))
-    throw SolverError("DSPN solver: zero total expected cycle time");
-  for (double& x : pi) x /= total;
+  return finish_stationary(c.left_multiply(nu), options.clamp_epsilon);
+}
 
-  result.probabilities = std::move(pi);
+// ---------------------------------------------------------------------------
+// Sparse backend: CSR embedded chain and conversion factors assembled from
+// per-row vector uniformization (one row per state that enables the
+// deterministic transition, fanned out on the runtime pool), Krylov
+// stationary solve.
+
+Vector solve_mrgp_sparse(const petri::TangibleReachabilityGraph& g,
+                         const DeterministicGroups& groups,
+                         const DspnSteadyStateSolver::Options& options,
+                         std::size_t& nonzeros_out) {
+  const std::size_t n = g.size();
+
+  std::vector<Triplet> pt;  // embedded chain P
+  std::vector<Triplet> ct;  // conversion factors C
+
+  // Exponential-only states: one firing ends the period.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!g.deterministics(s).empty()) continue;
+    const double exit = g.exit_rate(s);
+    NVP_ASSERT(exit > 0.0);
+    for (const petri::RateEdge& e : g.exponential_edges(s))
+      pt.push_back({s, e.target, e.rate / exit});
+    ct.push_back({s, s, 1.0 / exit});
+  }
+
+  const obs::ScopedSpan embed_span("markov.embedded_chain_sparse");
+  for (const auto& [det_transition, members] : groups) {
+    const double tau = g.deterministics(members[0])[0].delay;
+    for (std::size_t s : members)
+      NVP_ASSERT(g.deterministics(s)[0].delay == tau);
+
+    std::vector<char> in_set(n, 0);
+    for (std::size_t s : members) in_set[s] = 1;
+
+    const SparseMatrixCsr q = sparse_subordinated_generator(g, in_set);
+    const SparseUniformization uniformization = [&] {
+      const obs::ScopedSpan uniform_span("markov.sparse_uniformization");
+      return SparseUniformization(q, tau);
+    }();
+
+    // One omega/sojourn row per member; rows are independent, so fan them
+    // out on the runtime pool (results come back in input order, keeping
+    // the triplet assembly deterministic).
+    const std::vector<TransientRowPair> rows = runtime::parallel_map(
+        members,
+        [&](const std::size_t& s) { return uniformization.row_pair(s); });
+
+    for (std::size_t idx = 0; idx < members.size(); ++idx) {
+      const std::size_t s = members[idx];
+      const Vector& omega_row = rows[idx].omega;
+      const Vector& sojourn_row = rows[idx].sojourn;
+      for (std::size_t u = 0; u < n; ++u) {
+        const double reach = omega_row[u];
+        if (reach <= 0.0) continue;
+        if (in_set[u]) {
+          for (const petri::ProbEdge& e : g.deterministics(u)[0].edges)
+            pt.push_back({s, e.target, reach * e.prob});
+        } else {
+          pt.push_back({s, u, reach});
+        }
+      }
+      for (std::size_t u = 0; u < n; ++u)
+        if (in_set[u] && sojourn_row[u] != 0.0)
+          ct.push_back({s, u, sojourn_row[u]});
+    }
+  }
+
+  const SparseMatrixCsr p(n, n, std::move(pt));
+  const SparseMatrixCsr c(n, n, std::move(ct));
+  nonzeros_out = p.nonzeros() + c.nonzeros();
+
+  const double row_err = max_row_sum_error(p);
+  if (row_err > 1e-8)
+    throw SolverError("DSPN solver: embedded chain rows are off by " +
+                      std::to_string(row_err));
+
+  const Vector nu = [&] {
+    const obs::ScopedSpan stationary_span("markov.dtmc_stationary_sparse");
+    return dtmc_stationary(p);
+  }();
+
+  return finish_stationary(c.left_multiply(nu), options.clamp_epsilon);
+}
+
+}  // namespace
+
+DspnSteadyStateResult DspnSteadyStateSolver::solve(
+    const petri::TangibleReachabilityGraph& g) const {
+  const std::size_t n = g.size();
+  NVP_EXPECTS(n > 0);
+
+  DspnSteadyStateResult result;
+  result.states = n;
+  // MRGP embedded chains are near-dense, so their sparse crossover sits far
+  // above the pure-CTMC one; kAuto picks the threshold by model class.
+  const std::size_t auto_threshold = g.has_deterministic()
+                                         ? options_.mrgp_sparse_threshold
+                                         : options_.sparse_threshold;
+  result.backend_used = options_.backend == SolverBackend::kAuto
+                            ? (n >= auto_threshold ? SolverBackend::kSparse
+                                                   : SolverBackend::kDense)
+                            : options_.backend;
+  const bool sparse = result.backend_used == SolverBackend::kSparse;
+
+  static obs::Counter& ctmc_solves =
+      obs::Registry::global().counter("markov.solver.ctmc_solves");
+  static obs::Counter& mrgp_solves =
+      obs::Registry::global().counter("markov.solver.mrgp_solves");
+  static obs::Counter& dense_solves =
+      obs::Registry::global().counter("markov.solver.dense_solves");
+  static obs::Counter& sparse_solves =
+      obs::Registry::global().counter("markov.solver.sparse_solves");
+  static obs::Histogram& states_hist =
+      obs::Registry::global().histogram("markov.solver.states");
+  static obs::Histogram& nnz_hist =
+      obs::Registry::global().histogram("markov.solver.matrix_nonzeros");
+  const obs::ScopedSpan span(sparse ? "markov.solve.sparse"
+                                    : "markov.solve.dense");
+  states_hist.observe(static_cast<double>(n));
+  (sparse ? sparse_solves : dense_solves).add();
+
+  if (!g.has_deterministic()) {
+    ctmc_solves.add();
+    result.pure_ctmc = true;
+    if (sparse) {
+      const SparseMatrixCsr q = sparse_generator(g);
+      result.matrix_nonzeros = q.nonzeros();
+      const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state_sparse");
+      result.probabilities = ctmc_steady_state_sparse(q);
+    } else {
+      result.matrix_nonzeros = n * n;
+      const Ctmc chain = Ctmc::from_graph(g);
+      const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state");
+      result.probabilities =
+          ctmc_steady_state(chain.generator, options_.ctmc_method);
+    }
+    nnz_hist.observe(static_cast<double>(result.matrix_nonzeros));
+    return result;
+  }
+  mrgp_solves.add();
+
+  // Sanity: at most one deterministic transition enabled per marking, and
+  // no fully absorbing tangible state.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (g.deterministics(s).size() > 1)
+      throw SolverError(
+          "DSPN solver: marking " + petri::to_string(g.marking(s)) +
+          " enables " + std::to_string(g.deterministics(s).size()) +
+          " deterministic transitions (at most one is supported)");
+    if (g.deterministics(s).empty() && g.exponential_edges(s).empty())
+      throw SolverError("DSPN solver: absorbing tangible marking " +
+                        petri::to_string(g.marking(s)) +
+                        " has no stationary distribution");
+  }
+
+  const DeterministicGroups groups = group_by_deterministic(g);
+  if (sparse) {
+    result.probabilities =
+        solve_mrgp_sparse(g, groups, options_, result.matrix_nonzeros);
+  } else {
+    result.matrix_nonzeros = 2 * n * n;  // the dense P and C
+    result.probabilities = solve_mrgp_dense(g, groups, options_);
+  }
+  nnz_hist.observe(static_cast<double>(result.matrix_nonzeros));
   return result;
 }
 

@@ -42,11 +42,62 @@ Vector dtmc_stationary(const DenseMatrix& p) {
   return res.x;
 }
 
+Vector dtmc_stationary(const linalg::SparseMatrixCsr& p) {
+  NVP_EXPECTS(p.rows() == p.cols());
+  const std::size_t n = p.rows();
+  NVP_EXPECTS(n > 0);
+  // (P^T - I) nu = 0 with the last equation replaced by sum(nu) = 1,
+  // assembled in CSR: the Krylov counterpart of the dense LU above.
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(p.nonzeros() + 2 * n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = p.row_begin(r); k < p.row_end(r); ++k)
+      if (p.col_index(k) != n - 1)
+        triplets.push_back({p.col_index(k), r, p.value(k)});
+  for (std::size_t i = 0; i + 1 < n; ++i) triplets.push_back({i, i, -1.0});
+  for (std::size_t c = 0; c < n; ++c) triplets.push_back({n - 1, c, 1.0});
+  const linalg::SparseMatrixCsr a(n, n, std::move(triplets));
+  Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+
+  auto res = linalg::gmres(a, b);
+  if (res.converged) {
+    bool plausible = true;
+    for (double x : res.x)
+      if (!std::isfinite(x) || x < -1e-8) plausible = false;
+    if (plausible) {
+      for (double& x : res.x) x = std::max(x, 0.0);
+      linalg::normalize_l1(res.x);
+      return res.x;
+    }
+  }
+
+  linalg::IterativeOptions power_opts;
+  power_opts.tolerance = 1e-14;
+  auto power = linalg::stationary_power_iteration(p, power_opts);
+  if (!power.converged)
+    throw SolverError(
+        "dtmc_stationary (sparse): GMRES stalled (residual " +
+        std::to_string(res.residual) + ") and power iteration stalled too");
+  return power.x;
+}
+
 double max_row_sum_error(const DenseMatrix& p) {
   double worst = 0.0;
   for (std::size_t i = 0; i < p.rows(); ++i) {
     double s = 0.0;
     for (std::size_t j = 0; j < p.cols(); ++j) s += p(i, j);
+    worst = std::max(worst, std::fabs(s - 1.0));
+  }
+  return worst;
+}
+
+double max_row_sum_error(const linalg::SparseMatrixCsr& p) {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t k = p.row_begin(r); k < p.row_end(r); ++k)
+      s += p.value(k);
     worst = std::max(worst, std::fabs(s - 1.0));
   }
   return worst;

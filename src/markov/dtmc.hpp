@@ -1,6 +1,7 @@
 #pragma once
 
 #include "src/linalg/dense_matrix.hpp"
+#include "src/linalg/sparse_matrix.hpp"
 
 namespace nvp::markov {
 
@@ -10,8 +11,17 @@ namespace nvp::markov {
 /// deficiency. Throws SolverError if neither converges.
 linalg::Vector dtmc_stationary(const linalg::DenseMatrix& p);
 
+/// Sparse (Krylov) variant: GMRES + ILU0 on (P^T - I) with the
+/// normalization constraint replacing the last balance equation, falling
+/// back to power iteration when the Krylov solve stalls. This is the
+/// embedded-chain stationary solve of the sparse DSPN backend.
+linalg::Vector dtmc_stationary(const linalg::SparseMatrixCsr& p);
+
 /// Verifies that each row of P sums to 1 within `tol`; returns the largest
 /// deviation (useful for asserting EMC construction correctness).
 double max_row_sum_error(const linalg::DenseMatrix& p);
+
+/// Sparse overload of max_row_sum_error.
+double max_row_sum_error(const linalg::SparseMatrixCsr& p);
 
 }  // namespace nvp::markov

@@ -1,0 +1,67 @@
+#include "src/markov/sparse_assembly.hpp"
+
+#include <algorithm>
+
+#include "src/markov/ctmc.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::markov {
+
+using linalg::SparseMatrixCsr;
+using linalg::Triplet;
+
+SparseMatrixCsr sparse_generator(const petri::TangibleReachabilityGraph& g) {
+  const std::size_t n = g.size();
+  NVP_EXPECTS(n > 0);
+  std::vector<Triplet> triplets;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!g.deterministics(s).empty())
+      throw SolverError(
+          "sparse_generator: state " + std::to_string(s) +
+          " enables a deterministic transition; use the DSPN solver");
+    for (const petri::RateEdge& e : g.exponential_edges(s)) {
+      triplets.push_back({s, e.target, e.rate});
+      triplets.push_back({s, s, -e.rate});
+    }
+  }
+  return SparseMatrixCsr(n, n, std::move(triplets));
+}
+
+SparseMatrixCsr sparse_subordinated_generator(
+    const petri::TangibleReachabilityGraph& g,
+    const std::vector<char>& in_set) {
+  const std::size_t n = g.size();
+  NVP_EXPECTS(in_set.size() == n);
+  std::vector<Triplet> triplets;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!in_set[s]) continue;
+    for (const petri::RateEdge& e : g.exponential_edges(s)) {
+      triplets.push_back({s, e.target, e.rate});
+      triplets.push_back({s, s, -e.rate});
+    }
+  }
+  return SparseMatrixCsr(n, n, std::move(triplets));
+}
+
+SparseMatrixCsr sparse_uniformized_dtmc(const SparseMatrixCsr& q,
+                                        double lambda) {
+  NVP_EXPECTS(q.rows() == q.cols());
+  NVP_EXPECTS(lambda > 0.0);
+  const std::size_t n = q.rows();
+  std::vector<Triplet> triplets;
+  triplets.reserve(q.nonzeros() + n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = q.row_begin(r); k < q.row_end(r); ++k)
+      triplets.push_back({r, q.col_index(k), q.value(k) / lambda});
+    triplets.push_back({r, r, 1.0});
+  }
+  return SparseMatrixCsr(n, n, std::move(triplets));
+}
+
+double sparse_uniformization_rate(const SparseMatrixCsr& q) {
+  double lambda = 0.0;
+  for (double d : q.diagonal()) lambda = std::max(lambda, -d);
+  return lambda;
+}
+
+}  // namespace nvp::markov

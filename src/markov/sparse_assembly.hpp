@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "src/linalg/sparse_matrix.hpp"
+#include "src/petri/reachability.hpp"
+
+namespace nvp::markov {
+
+/// CSR assembly of the Markov matrices straight from the tangible
+/// reachability graph — the sparse counterpart of Ctmc::from_graph and of
+/// the dense subordinated-generator construction in the DSPN solver. The
+/// graph's aggregated rate edges *are* the nonzero pattern, so assembly is
+/// O(edges) with no dense n x n intermediate.
+
+/// Infinitesimal generator Q of the exponential dynamics: off-diagonal
+/// Q(s, t) sums the rates s -> t, diagonal entries make rows sum to zero.
+/// Like Ctmc::from_graph this refuses graphs with a deterministic
+/// transition enabled anywhere (use the DSPN solver's subordinated view).
+linalg::SparseMatrixCsr sparse_generator(
+    const petri::TangibleReachabilityGraph& g);
+
+/// Subordinated generator of one deterministic group: full exponential
+/// dynamics on the rows of states inside `in_set`, zero (absorbing) rows
+/// outside — exactly the matrix whose exponential the MRGP solver needs
+/// over the deterministic delay.
+linalg::SparseMatrixCsr sparse_subordinated_generator(
+    const petri::TangibleReachabilityGraph& g, const std::vector<char>& in_set);
+
+/// Uniformized DTMC P = I + Q / lambda of a sparse generator. Requires
+/// lambda >= max_i -Q(i, i) > 0. Diagonal entries that cancel exactly are
+/// dropped from the pattern.
+linalg::SparseMatrixCsr sparse_uniformized_dtmc(
+    const linalg::SparseMatrixCsr& q, double lambda);
+
+/// max_i -Q(i, i): the minimal valid uniformization rate (0 for an
+/// all-absorbing generator).
+double sparse_uniformization_rate(const linalg::SparseMatrixCsr& q);
+
+}  // namespace nvp::markov

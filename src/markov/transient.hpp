@@ -1,6 +1,8 @@
 #pragma once
 
 #include "src/linalg/dense_matrix.hpp"
+#include "src/linalg/poisson.hpp"
+#include "src/linalg/sparse_matrix.hpp"
 
 namespace nvp::markov {
 
@@ -27,8 +29,62 @@ linalg::Vector ctmc_transient(const linalg::DenseMatrix& generator,
                               const linalg::Vector& pi0, double t);
 
 /// Expected total time spent in each state over [0, t] starting from pi0:
-/// L(t) = pi0 * \int_0^t exp(Q u) du.
+/// L(t) = pi0 * \int_0^t exp(Q t) dt.
 linalg::Vector ctmc_accumulated_sojourn(const linalg::DenseMatrix& generator,
                                         const linalg::Vector& pi0, double t);
+
+/// One initial distribution propagated to the horizon:
+///   omega   = pi0 * exp(Q tau)
+///   sojourn = pi0 * \int_0^tau exp(Q t) dt
+struct TransientRowPair {
+  linalg::Vector omega;
+  linalg::Vector sojourn;
+};
+
+/// Sparse vector uniformization at a fixed horizon. Uniformizes the
+/// generator once (P = I + Q / lambda, truncated Poisson weights at
+/// `epsilon` tail mass) and then answers per-initial-vector transient
+/// queries in O(truncation * nnz) each — the sparse counterpart of
+/// matrix_exponential_pair, which materializes the full n x n exponential.
+/// The MRGP solver asks one row per state that enables the deterministic
+/// transition; rows are independent, so callers may fan them out in
+/// parallel (the object is immutable after construction).
+class SparseUniformization {
+ public:
+  SparseUniformization(const linalg::SparseMatrixCsr& generator, double tau,
+                       double epsilon = 1e-16);
+
+  /// omega/sojourn rows for the point-mass initial vector e_state.
+  TransientRowPair row_pair(std::size_t state) const;
+
+  /// omega/sojourn rows for an arbitrary initial distribution.
+  TransientRowPair row_pair(const linalg::Vector& pi0) const;
+
+  double uniformization_rate() const { return lambda_; }
+  std::size_t truncation() const { return terms_.truncation; }
+
+ private:
+  linalg::SparseMatrixCsr p_u_;
+  double lambda_ = 0.0;
+  double tau_ = 0.0;
+  std::size_t size_ = 0;
+  linalg::PoissonTerms terms_;
+  /// Per-term series weights and their suffix sums, precomputed so the
+  /// propagation loop can stop at quasi-stationarity of the uniformized
+  /// chain and add the remaining Poisson tail in closed form:
+  ///   weights_[k]       = P(N >= k + 1) / lambda   (sojourn weight of term k)
+  ///   pmf_suffix_[k]    = sum_{j >= k} pmf[j]
+  ///   weight_suffix_[k] = sum_{j >= k} weights_[j]
+  std::vector<double> weights_;
+  std::vector<double> pmf_suffix_;
+  std::vector<double> weight_suffix_;
+};
+
+/// Sparse overloads of the vector-uniformization transient solves.
+linalg::Vector ctmc_transient(const linalg::SparseMatrixCsr& generator,
+                              const linalg::Vector& pi0, double t);
+linalg::Vector ctmc_accumulated_sojourn(
+    const linalg::SparseMatrixCsr& generator, const linalg::Vector& pi0,
+    double t);
 
 }  // namespace nvp::markov

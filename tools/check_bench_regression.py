@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against the recorded baseline.
+
+Reads a google-benchmark JSON report (``--benchmark_format=json`` output of
+``bench_perf_solvers``) and compares the uncached six-version analyzer solve
+(``BM_FullAnalyzerSixVersion``) against the reference recorded in
+``bench_results/BENCH_runtime.json`` (key ``full_analyzer_six_version_
+uncached_ms``). Exits non-zero when the measured time exceeds the baseline
+by more than the tolerance.
+
+The tolerance is a fraction of the baseline (default 0.25 = +25%), settable
+with ``--tolerance`` or the ``NVP_BENCH_TOLERANCE`` environment variable —
+CI hardware is noisy, so the default is deliberately generous: this gate is
+meant to catch order-of-magnitude mistakes (an accidentally quadratic loop,
+a dropped cache), not single-digit-percent drift.
+
+Usage:
+    bench_perf_solvers --benchmark_format=json --benchmark_out=report.json
+    python3 tools/check_bench_regression.py report.json \
+        [--baseline bench_results/BENCH_runtime.json] [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BENCHMARK_NAME = "BM_FullAnalyzerSixVersion"
+BASELINE_KEY = "full_analyzer_six_version_uncached_ms"
+
+
+def benchmark_time_ms(report: dict, name: str) -> float:
+    """Real time of the named benchmark in milliseconds."""
+    unit_scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+    for entry in report.get("benchmarks", []):
+        if entry.get("name") != name:
+            continue
+        if entry.get("run_type") == "aggregate":
+            continue
+        scale = unit_scale.get(entry.get("time_unit", "ns"))
+        if scale is None:
+            raise SystemExit(f"unknown time_unit in entry: {entry}")
+        return float(entry["real_time"]) * scale
+    raise SystemExit(f"benchmark '{name}' not found in report")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="google-benchmark JSON report")
+    parser.add_argument(
+        "--baseline",
+        default="bench_results/BENCH_runtime.json",
+        help="baseline JSON with the recorded reference time",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("NVP_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional slowdown over the baseline (default 0.25, "
+        "or NVP_BENCH_TOLERANCE)",
+    )
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+
+    with open(args.report, encoding="utf-8") as f:
+        report = json.load(f)
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    if BASELINE_KEY not in baseline:
+        raise SystemExit(f"baseline '{args.baseline}' lacks '{BASELINE_KEY}'")
+    reference_ms = float(baseline[BASELINE_KEY])
+    measured_ms = benchmark_time_ms(report, BENCHMARK_NAME)
+    limit_ms = reference_ms * (1.0 + args.tolerance)
+
+    print(
+        f"{BENCHMARK_NAME}: measured {measured_ms:.3f} ms, "
+        f"baseline {reference_ms:.3f} ms, "
+        f"limit {limit_ms:.3f} ms (+{args.tolerance:.0%})"
+    )
+    if measured_ms > limit_ms:
+        print("FAIL: uncached 6v analyzer solve regressed past the limit")
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,9 @@ int usage() {
       "--mttf --mttr --interval --duration --detection-rate\n"
       "analyze options: --convention verbatim|generalized|strict "
       "--attachment operational|appendix\n"
+      "solver selection (any analytic command): --solver auto|dense|sparse "
+      "(auto = sparse Krylov above 128 states for CTMC models, above 512 "
+      "for MRGP models, dense below)\n"
       "common options (any command): --jobs N, --seed S, --format "
       "table|csv|json, --output <path>\n"
       "observability: --metrics-json <path> (write run manifest; implies "
@@ -206,6 +210,14 @@ core::ReliabilityAnalyzer::Options analyzer_options(
   const std::string attachment = args.get("attachment", "operational");
   if (attachment == "appendix")
     options.attachment = core::RewardAttachment::kAppendixMatrices;
+  const std::string solver = args.get("solver", "auto");
+  if (solver == "dense")
+    options.solver.backend = markov::SolverBackend::kDense;
+  else if (solver == "sparse")
+    options.solver.backend = markov::SolverBackend::kSparse;
+  else if (solver != "auto")
+    throw std::invalid_argument("--solver must be auto, dense, or sparse (got '" +
+                                solver + "')");
   return options;
 }
 
@@ -218,11 +230,15 @@ int analyze_paper(const core::Engine& engine, const util::CliArgs& args,
   const auto result = engine.analyze(params);
   const auto& analysis = result.analysis;
   const char* solver = analysis.used_dspn_solver ? "MRGP" : "CTMC";
+  const char* backend = analysis.used_sparse_backend ? "sparse" : "dense";
   switch (common.format) {
     case util::OutputFormat::kTable: {
       out += util::format("configuration: %s\n", params.describe().c_str());
-      out += util::format("tangible states: %zu (%s solver)\n",
-                          analysis.tangible_states, solver);
+      out += util::format(
+          "tangible states: %zu (%s solver, %s backend, %zu stored "
+          "nonzeros)\n",
+          analysis.tangible_states, solver, backend,
+          analysis.matrix_nonzeros);
       out += util::format("E[R_sys] = %.7f\n", analysis.expected_reliability);
       out += "top states:\n";
       for (std::size_t i = 0;
@@ -241,7 +257,8 @@ int analyze_paper(const core::Engine& engine, const util::CliArgs& args,
           {"expected_reliability",
            util::format("%.7f", analysis.expected_reliability)},
           {"tangible_states", util::format("%zu", analysis.tangible_states)},
-          {"solver", solver}};
+          {"solver", solver},
+          {"backend", backend}};
       out = render(report, common.format);
       break;
     }
@@ -253,6 +270,9 @@ int analyze_paper(const core::Engine& engine, const util::CliArgs& args,
       json.kv("tangible_states",
               static_cast<std::uint64_t>(analysis.tangible_states));
       json.kv("solver", solver);
+      json.kv("backend", backend);
+      json.kv("matrix_nonzeros",
+              static_cast<std::uint64_t>(analysis.matrix_nonzeros));
       json.key("states").begin_array();
       for (const auto& sp : analysis.state_distribution) {
         json.begin_object();
@@ -280,13 +300,16 @@ int analyze_model(const util::CliArgs& args, std::string& out) {
   }
   const auto reward = petri::Expression::parse(reward_text, net);
   const auto graph = petri::TangibleReachabilityGraph::build(net);
-  const auto solution = markov::DspnSteadyStateSolver().solve(graph);
+  const auto solution =
+      markov::DspnSteadyStateSolver(analyzer_options(args).solver)
+          .solve(graph);
   double expected = 0.0;
   for (std::size_t s = 0; s < graph.size(); ++s)
     expected += solution.probabilities[s] * reward.eval(graph.marking(s));
-  out += util::format("model: %s (%zu tangible states, %s solver)\n",
+  out += util::format("model: %s (%zu tangible states, %s solver, %s backend)\n",
                       net.name().c_str(), graph.size(),
-                      solution.pure_ctmc ? "CTMC" : "MRGP");
+                      solution.pure_ctmc ? "CTMC" : "MRGP",
+                      markov::to_string(solution.backend_used));
   out += util::format("steady-state E[%s] = %.7f\n", reward_text.c_str(),
                       expected);
   return 0;
@@ -453,6 +476,7 @@ int archspace(const core::Engine& engine, const util::CliArgs& args,
   options.max_faulty = args.get_int("max-f", options.max_faulty);
   options.max_rejuvenating = args.get_int("max-r", options.max_rejuvenating);
   options.attachment = engine.options().attachment;
+  options.backend = engine.options().solver.backend;
   auto results = engine.architectures(params, options);
   const int top = args.get_int("top", 0);
   if (top > 0 && results.size() > static_cast<std::size_t>(top))
