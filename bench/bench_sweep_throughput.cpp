@@ -1,0 +1,243 @@
+// bench_sweep_throughput — throughput of parameter sweeps through the staged
+// analysis pipeline (structure / rates / rewards) versus the fully cold
+// per-point path, in the same binary.
+//
+// Two 50-point sweeps of increasing reuse:
+//
+//   alpha sweep, paper six-version model (MRGP): a *reward-only* sweep —
+//     every point shares the structure AND the stationary distribution, so
+//     the staged pipeline explores once, solves once, and re-evaluates only
+//     the reward stage 50 times.
+//
+//   MTTC sweep, N=40 f=13 plain model (pure CTMC, sparse backend): a
+//     *rate-only* sweep — every point shares the explored structure, the
+//     assembly plan, and the per-class reward table, but needs its own
+//     solve. The staged pipeline explores once and solves 50 times.
+//
+// For each sweep the harness measures the cold path (a use_cache=false
+// analyzer: explore + assemble + solve + rewards at every point), then the
+// staged path (use_cache=true on freshly cleared stage caches), asserts the
+// two 50-point curves are bit-identical, and proves the reuse with obs
+// counters: the staged run must report exactly one reachability exploration
+// per sweep and, for the reward-only sweep, exactly one solve.
+//
+// Results go to bench_results/BENCH_sweep.json (or $NVP_BENCH_OUT), which
+// tools/check_bench_regression.py --list / --sweep gates in CI.
+//
+// Exit code: 0 on success, 1 if bit-identity or a reuse invariant fails
+// (speedup floors are gated by the regression script, not here, so a noisy
+// machine cannot turn a correct run into a hard failure).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "src/core/staged.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace {
+
+using namespace nvp;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snapshot,
+                            const std::string& name) {
+  for (const auto& [counter, value] : snapshot.counters)
+    if (counter == name) return value;
+  return 0;
+}
+
+struct SweepCase {
+  std::string id;       ///< JSON section name
+  std::string what;     ///< human description
+  core::SystemParameters base;
+  core::ParameterSetter setter;
+  std::vector<double> values;
+  bool reward_only = false;  ///< true: the staged run must solve exactly once
+};
+
+struct CaseResult {
+  double cold_ms = 0.0;
+  double staged_ms = 0.0;
+  bool bit_identical = true;
+  std::uint64_t staged_explorations = 0;
+  std::uint64_t staged_solves = 0;
+  std::uint64_t cold_explorations = 0;
+  std::uint64_t cold_solves = 0;
+  core::StageCacheStats stats;
+  bool reuse_ok = true;
+};
+
+std::uint64_t solves_in(const obs::MetricsSnapshot& snapshot) {
+  return counter_value(snapshot, "markov.solver.mrgp_solves") +
+         counter_value(snapshot, "markov.solver.ctmc_solves");
+}
+
+CaseResult run_case(const SweepCase& c,
+                    const core::ReliabilityAnalyzer::Options& options) {
+  CaseResult r;
+
+  // Cold baseline: every point explores, assembles, solves, and attaches
+  // rewards from scratch (no cache level is read or written).
+  core::ReliabilityAnalyzer::Options cold_options = options;
+  cold_options.use_cache = false;
+  const core::ReliabilityAnalyzer cold(cold_options);
+  const auto cold_before = obs::Registry::global().snapshot();
+  const auto cold_start = Clock::now();
+  const auto cold_points = core::sweep_parameter(cold, c.base, c.setter,
+                                                 c.values);
+  r.cold_ms = ms_since(cold_start);
+  const auto cold_after = obs::Registry::global().snapshot();
+  r.cold_explorations =
+      counter_value(cold_after, "petri.reachability.builds") -
+      counter_value(cold_before, "petri.reachability.builds");
+  r.cold_solves = solves_in(cold_after) - solves_in(cold_before);
+
+  // Staged path: same driver, same options apart from use_cache, on
+  // freshly cleared stage caches so the hit/miss stats are this run's.
+  core::clear_stage_caches();
+  core::ReliabilityAnalyzer::Options staged_options = options;
+  staged_options.use_cache = true;
+  const core::ReliabilityAnalyzer staged(staged_options);
+  const auto staged_before = obs::Registry::global().snapshot();
+  const auto staged_start = Clock::now();
+  const auto staged_points = core::sweep_parameter(staged, c.base, c.setter,
+                                                   c.values);
+  r.staged_ms = ms_since(staged_start);
+  const auto staged_after = obs::Registry::global().snapshot();
+  r.staged_explorations =
+      counter_value(staged_after, "petri.reachability.builds") -
+      counter_value(staged_before, "petri.reachability.builds");
+  r.staged_solves = solves_in(staged_after) - solves_in(staged_before);
+  r.stats = core::stage_cache_stats();
+
+  // The staged curve must be bit-identical to the cold curve.
+  r.bit_identical = staged_points.size() == cold_points.size();
+  for (std::size_t i = 0; r.bit_identical && i < cold_points.size(); ++i)
+    r.bit_identical = staged_points[i].x == cold_points[i].x &&
+                      staged_points[i].expected_reliability ==
+                          cold_points[i].expected_reliability;
+
+  // Reuse invariants: one exploration per sweep, and for a reward-only
+  // sweep one solve; the cold run must have done the full work per point.
+  r.reuse_ok = r.staged_explorations == 1 &&
+               r.cold_explorations == c.values.size() &&
+               r.cold_solves == c.values.size() &&
+               (!c.reward_only || r.staged_solves == 1);
+  return r;
+}
+
+void report_case(const SweepCase& c, const CaseResult& r,
+                 bench::JsonResult& json) {
+  const double speedup = r.staged_ms > 0.0 ? r.cold_ms / r.staged_ms : 0.0;
+  std::printf("\n%s — %s\n", c.id.c_str(), c.what.c_str());
+  std::printf("  cold per-point : %8.2f ms  (%llu explorations, %llu "
+              "solves)\n",
+              r.cold_ms, static_cast<unsigned long long>(r.cold_explorations),
+              static_cast<unsigned long long>(r.cold_solves));
+  std::printf("  staged         : %8.2f ms  (%llu exploration%s, %llu "
+              "solve%s)\n",
+              r.staged_ms,
+              static_cast<unsigned long long>(r.staged_explorations),
+              r.staged_explorations == 1 ? "" : "s",
+              static_cast<unsigned long long>(r.staged_solves),
+              r.staged_solves == 1 ? "" : "s");
+  std::printf("  speedup        : %8.1fx\n", speedup);
+  std::printf("  bit-identical  : %s   reuse invariants: %s\n",
+              r.bit_identical ? "yes" : "NO", r.reuse_ok ? "ok" : "VIOLATED");
+  std::printf("  stage caches   : structure %llu/%llu, rates %llu/%llu, "
+              "reward_table %llu/%llu (hits/misses)\n",
+              static_cast<unsigned long long>(r.stats.structure.hits),
+              static_cast<unsigned long long>(r.stats.structure.misses),
+              static_cast<unsigned long long>(r.stats.rates.hits),
+              static_cast<unsigned long long>(r.stats.rates.misses),
+              static_cast<unsigned long long>(r.stats.reward_table.hits),
+              static_cast<unsigned long long>(r.stats.reward_table.misses));
+  json.section(
+      c.id, c.what,
+      {{"points", static_cast<double>(c.values.size())},
+       {"cold_per_point_ms", r.cold_ms},
+       {"staged_ms", r.staged_ms},
+       {"speedup", speedup},
+       {"staged_explorations", static_cast<double>(r.staged_explorations)},
+       {"staged_solves", static_cast<double>(r.staged_solves)},
+       {"cold_explorations", static_cast<double>(r.cold_explorations)},
+       {"cold_solves", static_cast<double>(r.cold_solves)},
+       {"bit_identical_to_cold", r.bit_identical ? 1.0 : 0.0},
+       {"structure_cache_misses",
+        static_cast<double>(r.stats.structure.misses)},
+       {"rates_cache_misses", static_cast<double>(r.stats.rates.misses)},
+       {"reward_table_cache_misses",
+        static_cast<double>(r.stats.reward_table.misses)}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nvp;
+  bench::Harness harness(argc, argv, "sweep_throughput",
+                         "staged pipeline cross-point reuse vs cold "
+                         "per-point sweeps");
+  const auto points =
+      static_cast<std::size_t>(harness.args().get_int("points", 50));
+
+  std::vector<SweepCase> cases;
+  {
+    // Reward-only: alpha touches neither the structure nor the rates, so
+    // the whole sweep shares one stationary distribution.
+    SweepCase c;
+    c.id = "alpha_sweep_6v";
+    c.what = "reward-only alpha sweep, paper six-version model (MRGP): "
+             "one exploration + one solve for the whole sweep";
+    c.base = bench::six_version();
+    c.setter = core::set_alpha();
+    c.values = core::linspace(0.5, 0.999, points);
+    c.reward_only = true;
+    cases.push_back(c);
+  }
+  {
+    // Rate-only: MTTC needs a solve per point, so the win is bounded by
+    // the exploration/assembly share of the cold cost — which grows with
+    // the state space. N=40 f=13 plain is the library's large pure-CTMC
+    // regime (861 tangible states, sparse Krylov backend).
+    SweepCase c;
+    c.id = "mttc_sweep_n40";
+    c.what = "rate-only MTTC sweep, N=40 f=13 plain model (861-state pure "
+             "CTMC, sparse backend): one exploration, a solve per point";
+    c.base = bench::six_version();
+    c.base.n_versions = 40;
+    c.base.max_faulty = 13;
+    c.base.rejuvenation = false;
+    c.setter = core::set_mean_time_to_compromise();
+    c.values = core::linspace(500.0, 5000.0, points);
+    cases.push_back(c);
+  }
+
+  bench::JsonResult json("bench_sweep_throughput (Release), 50-point "
+                         "sweeps; cold = use_cache=false analyzer in the "
+                         "same binary");
+  bool ok = true;
+  for (const auto& c : cases) {
+    const CaseResult r = run_case(c, core::ReliabilityAnalyzer::Options{});
+    report_case(c, r, json);
+    ok = ok && r.bit_identical && r.reuse_ok;
+  }
+  json.write("BENCH_sweep.json");
+  if (!ok) {
+    std::printf("\nFAIL: staged sweep diverged from the cold path (see "
+                "above)\n");
+    return 1;
+  }
+  std::printf("\nOK: staged sweeps bit-identical to cold, reuse invariants "
+              "hold\n");
+  return 0;
+}

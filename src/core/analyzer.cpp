@@ -1,13 +1,7 @@
 #include "src/core/analyzer.hpp"
 
-#include <algorithm>
-#include <chrono>
-
-#include "src/obs/metrics.hpp"
-#include "src/obs/trace.hpp"
-#include "src/petri/reachability.hpp"
+#include "src/core/staged.hpp"
 #include "src/runtime/fnv.hpp"
-#include "src/util/contracts.hpp"
 
 namespace nvp::core {
 
@@ -61,87 +55,17 @@ ReliabilityAnalyzer::Cache& ReliabilityAnalyzer::cache() {
 
 AnalysisResult ReliabilityAnalyzer::analyze(
     const SystemParameters& params) const {
-  auto solve = [&] {
-    const auto rewards = make_reliability_model(params, options_.convention);
-    return analyze(params, *rewards);
-  };
+  // Whole-result memoization is the outermost cache level; a miss falls
+  // through to the staged structure / rates / rewards pipeline, which has
+  // its own per-stage caches (see staged.hpp).
+  auto solve = [&] { return staged_analyze(params, options_); };
   if (!options_.use_cache) return solve();
   return cache().get_or_compute(analysis_cache_key(params, options_), solve);
 }
 
 AnalysisResult ReliabilityAnalyzer::analyze(
     const SystemParameters& params, const ReliabilityModel& rewards) const {
-  params.validate();
-  NVP_EXPECTS_MSG(rewards.versions() == params.n_versions,
-                  "reward model does not match the number of versions");
-  static obs::Counter& solves =
-      obs::Registry::global().counter("core.analyzer.solves");
-  static obs::Histogram& solve_s =
-      obs::Registry::global().histogram("core.analyzer.solve_s");
-  const obs::ScopedSpan span("core.analyze");
-  const auto t0 = std::chrono::steady_clock::now();
-  solves.add();
-
-  const BuiltModel model = [&] {
-    const obs::ScopedSpan build_span("core.model_build");
-    return PerceptionModelFactory::build(params);
-  }();
-  const auto graph = petri::TangibleReachabilityGraph::build(model.net);
-  const markov::DspnSteadyStateSolver solver(options_.solver);
-  const auto solution = solver.solve(graph);
-  const obs::ScopedSpan rewards_span("core.attach_rewards");
-
-  AnalysisResult result;
-  result.tangible_states = graph.size();
-  result.used_dspn_solver = !solution.pure_ctmc;
-  result.used_sparse_backend =
-      solution.backend_used == markov::SolverBackend::kSparse;
-  result.matrix_nonzeros = solution.matrix_nonzeros;
-
-  // Aggregate probability and reward mass by (i, j, k). Rewards are
-  // evaluated per tangible state because extensions (e.g. the voter
-  // life-cycle) can give states of the same module class different
-  // rewards; the class reliability reported is the conditional average.
-  std::map<std::tuple<int, int, int>, std::pair<double, double>> mass;
-  for (std::size_t s = 0; s < graph.size(); ++s) {
-    const petri::Marking& m = graph.marking(s);
-    const int i = model.healthy(m);
-    const int j = model.compromised(m);
-    const int k = model.down(m);
-    double reward = 0.0;
-    const bool degraded_zeroed =
-        options_.attachment == RewardAttachment::kOperationalStatesOnly &&
-        k > 0;
-    if (!degraded_zeroed && model.voter_up(m))
-      reward = rewards.state_reliability(i, j, k);
-    auto& [prob_mass, reward_mass] = mass[{i, j, k}];
-    prob_mass += solution.probabilities[s];
-    reward_mass += solution.probabilities[s] * reward;
-  }
-
-  double expected = 0.0;
-  for (const auto& [state, masses] : mass) {
-    const auto [i, j, k] = state;
-    const auto [prob, reward_mass] = masses;
-    StateProbability sp;
-    sp.healthy = i;
-    sp.compromised = j;
-    sp.down = k;
-    sp.probability = prob;
-    sp.reliability = prob > 0.0 ? reward_mass / prob : 0.0;
-    expected += reward_mass;
-    result.state_distribution.push_back(sp);
-  }
-  std::sort(result.state_distribution.begin(),
-            result.state_distribution.end(),
-            [](const StateProbability& a, const StateProbability& b) {
-              return a.probability > b.probability;
-            });
-  result.expected_reliability = expected;
-  solve_s.observe(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count());
-  return result;
+  return staged_analyze(params, options_, rewards);
 }
 
 }  // namespace nvp::core

@@ -68,11 +68,15 @@ class ReliabilityAnalyzer {
     RewardConvention convention = RewardConvention::kPaperVerbatim;
     RewardAttachment attachment = RewardAttachment::kOperationalStatesOnly;
     markov::DspnSteadyStateSolver::Options solver{};
-    /// Memoize analyze(params) results in the process-wide cache() (the
-    /// result is a pure function of params + Options, so sweeps, bisection
-    /// refinement, and optimizer re-evaluation hit instead of re-solving).
-    /// The two-argument analyze(params, rewards) overload is never cached:
-    /// a caller-supplied reward model has no canonical identity to key on.
+    /// Use the process-wide caches: the whole-result cache() plus every
+    /// per-stage cache of the staged pipeline (structure / rates / reward
+    /// table / rewards — see staged.hpp). The result is a pure function of
+    /// params + Options, so sweeps, bisection refinement, and optimizer
+    /// re-evaluation hit instead of re-solving. false runs the fully cold
+    /// path, bypassing all cache levels (benchmark baselines, equivalence
+    /// tests). The two-argument analyze(params, rewards) overload reuses
+    /// the structure and rates stages but never caches its final result: a
+    /// caller-supplied reward model has no canonical identity to key on.
     bool use_cache = true;
   };
 
@@ -93,6 +97,8 @@ class ReliabilityAnalyzer {
   /// The process-wide solver-result cache (for stats reporting and for
   /// clearing between timed benchmark phases).
   static Cache& cache();
+
+  const Options& options() const { return options_; }
 
  private:
   Options options_{};

@@ -32,6 +32,11 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
   // Enumerate every feasible candidate first, then solve them all in one
   // parallel batch — the whole-space scan is the heaviest workload in the
   // library (dozens of independent DSPN solves of growing state space).
+  // Every candidate is a distinct *structure*, so there is nothing to warm
+  // up front; but the staged pipeline keeps each candidate's explored
+  // structure cached process-wide, so re-exploring the space under
+  // different timing or reward parameters (an interval or alpha study over
+  // architectures) re-explores zero reachability graphs.
   struct Candidate {
     SystemParameters params;
     int n, f, r;

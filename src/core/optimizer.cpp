@@ -26,17 +26,22 @@ Optimum maximize_reliability(
   };
 
   // Coarse grid to bracket the global maximum: the grid points are
-  // independent solves, so evaluate them in one parallel batch (the
-  // golden-section refinement below is inherently sequential, but its
-  // re-evaluations go through the analyzer's memoization cache).
+  // independent solves, so evaluate them in one parallel batch after a
+  // serial first point warms the staged structure/rates caches every grid
+  // point shares (the golden-section refinement below is inherently
+  // sequential, but its re-evaluations go through the analyzer's
+  // memoization cache).
   const double step =
       (hi - lo) / static_cast<double>(grid_points - 1);
   std::vector<double> grid_f(grid_points);
-  runtime::parallel_for(grid_points, [&](std::size_t i) {
+  auto grid_eval = [&](std::size_t i) {
     SystemParameters params = base;
     setter(params, lo + step * static_cast<double>(i));
     grid_f[i] = analyzer.analyze(params).expected_reliability;
-  });
+  };
+  grid_eval(0);
+  runtime::parallel_for(grid_points - 1,
+                        [&](std::size_t i) { grid_eval(i + 1); });
   evals += grid_points;
   double best_x = lo, best_f = grid_f[0];
   for (std::size_t i = 1; i < grid_points; ++i) {

@@ -59,6 +59,9 @@ std::vector<SensitivityEntry> sensitivity_report(
   NVP_EXPECTS(relative_step > 0.0 && relative_step < 1.0);
   const obs::ScopedSpan span("core.sensitivity");
   base.validate();
+  // The serial center evaluation also warms the staged structure cache:
+  // every knob below perturbs a timing or reward parameter, so all 2x8
+  // parallel evaluations reuse the explored reachability structure.
   const double center = analyzer.analyze(base).expected_reliability;
   NVP_EXPECTS_MSG(center > 0.0, "sensitivity needs a nonzero baseline");
 

@@ -1,0 +1,354 @@
+#include "src/core/staged.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "src/core/model_factory.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/runtime/fnv.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::core {
+
+namespace {
+
+using StructureCache =
+    runtime::ShardedLruCache<std::shared_ptr<const StructureArtifact>>;
+using RatesCache =
+    runtime::ShardedLruCache<std::shared_ptr<const RatesArtifact>>;
+using RewardTableCache =
+    runtime::ShardedLruCache<std::shared_ptr<const std::vector<double>>>;
+using RewardsCache = runtime::ShardedLruCache<AnalysisResult>;
+
+// Structures are the heavy artifacts (graph skeleton + plan); an
+// architecture-space exploration touches tens of distinct structures, not
+// thousands. Rates/rewards entries are one vector each; size them like the
+// whole-result cache so dense sweeps never thrash.
+StructureCache& structure_cache() {
+  static StructureCache instance(/*capacity=*/256, /*shards=*/8,
+                                 "core.structure_cache");
+  return instance;
+}
+
+RatesCache& rates_cache() {
+  static RatesCache instance(/*capacity=*/8192, /*shards=*/16,
+                             "core.rates_cache");
+  return instance;
+}
+
+RewardTableCache& reward_table_cache() {
+  static RewardTableCache instance(/*capacity=*/1024, /*shards=*/8,
+                                   "core.reward_table_cache");
+  return instance;
+}
+
+RewardsCache& rewards_cache() {
+  static RewardsCache instance(/*capacity=*/8192, /*shards=*/16,
+                               "core.rewards_cache");
+  return instance;
+}
+
+/// Aggregates the distribution by class and attaches rewards, preserving
+/// the fused analyzer's arithmetic: per-state contributions accumulate in
+/// state order into the class slots, classes are emitted in ascending
+/// (i, j, k) order, and the final sort sees the same input sequence.
+/// `reward_of(s)` returns the (already gated) reward of tangible state s.
+template <typename RewardOf>
+AnalysisResult assemble_result(const StructureArtifact& structure,
+                               const RatesArtifact& rates,
+                               RewardOf&& reward_of) {
+  const obs::ScopedSpan span("core.attach_rewards");
+  AnalysisResult result;
+  result.tangible_states = structure.graph.size();
+  result.used_dspn_solver = !rates.pure_ctmc;
+  result.used_sparse_backend =
+      rates.backend_used == markov::SolverBackend::kSparse;
+  result.matrix_nonzeros = rates.matrix_nonzeros;
+
+  const std::size_t n_classes = structure.classes.size();
+  std::vector<double> prob_mass(n_classes, 0.0);
+  std::vector<double> reward_mass(n_classes, 0.0);
+  for (std::size_t s = 0; s < structure.graph.size(); ++s) {
+    const std::size_t ci = structure.class_of_state[s];
+    prob_mass[ci] += rates.probabilities[s];
+    reward_mass[ci] += rates.probabilities[s] * reward_of(s);
+  }
+
+  double expected = 0.0;
+  result.state_distribution.reserve(n_classes);
+  for (std::size_t ci = 0; ci < n_classes; ++ci) {
+    const auto [i, j, k] = structure.classes[ci];
+    StateProbability sp;
+    sp.healthy = i;
+    sp.compromised = j;
+    sp.down = k;
+    sp.probability = prob_mass[ci];
+    sp.reliability =
+        prob_mass[ci] > 0.0 ? reward_mass[ci] / prob_mass[ci] : 0.0;
+    expected += reward_mass[ci];
+    result.state_distribution.push_back(sp);
+  }
+  std::sort(result.state_distribution.begin(),
+            result.state_distribution.end(),
+            [](const StateProbability& a, const StateProbability& b) {
+              return a.probability > b.probability;
+            });
+  result.expected_reliability = expected;
+  return result;
+}
+
+/// The gate the fused analyzer applied before attaching a state's reward.
+bool reward_gate(const StructureArtifact::StateClass& sc,
+                 RewardAttachment attachment) {
+  const bool degraded_zeroed =
+      attachment == RewardAttachment::kOperationalStatesOnly && sc.down > 0;
+  return !degraded_zeroed && sc.voter_up;
+}
+
+}  // namespace
+
+std::uint64_t structure_stage_key(const SystemParameters& params) {
+  runtime::Fnv1a h;
+  // Structural subset only: these parameters decide which places,
+  // transitions, arcs, guards, and immediate weights the factory emits —
+  // and therefore the reachability graph's shape. Timing values are
+  // deliberately absent. Bump the tag when the factory's structural
+  // mapping changes.
+  h.str("core::staged/structure/v1");
+  h.i32(params.n_versions)
+      .i32(params.max_faulty)
+      .i32(params.max_rejuvenating)
+      .boolean(params.rejuvenation)
+      .i32(static_cast<int>(params.semantics))
+      .boolean(params.voter_can_fail)
+      // Detection adds the Td transition only when the rate is positive;
+      // the rate's value belongs to the rates stage.
+      .boolean(params.detection_rate > 0.0);
+  return h.digest();
+}
+
+std::uint64_t rates_stage_key(
+    const SystemParameters& params,
+    const markov::DspnSteadyStateSolver::Options& solver) {
+  runtime::Fnv1a h;
+  h.str("core::staged/rates/v1");
+  h.u64(structure_stage_key(params));
+  h.f64(params.mean_time_to_compromise)
+      .f64(params.mean_time_to_failure)
+      .f64(params.mean_time_to_repair)
+      .f64(params.rejuvenation_duration)
+      .f64(params.rejuvenation_interval)
+      .f64(params.detection_rate)
+      .f64(params.voter_mtbf)
+      .f64(params.voter_mttr);
+  // The backend changes the solve's floating-point path (LU vs Krylov), so
+  // distributions must never alias across solver options.
+  h.i32(static_cast<int>(solver.ctmc_method))
+      .f64(solver.clamp_epsilon)
+      .i32(static_cast<int>(solver.backend))
+      .i32(static_cast<int>(solver.sparse_threshold))
+      .i32(static_cast<int>(solver.mrgp_sparse_threshold));
+  return h.digest();
+}
+
+std::uint64_t reward_table_stage_key(const SystemParameters& params,
+                                     RewardConvention convention) {
+  runtime::Fnv1a h;
+  h.str("core::staged/reward_table/v1");
+  // R_{i,j,k} depends on the class set (structure) and the error-model
+  // parameters — not on any timing value, so the table survives every
+  // rate-only mutation.
+  h.u64(structure_stage_key(params));
+  h.f64(params.alpha).f64(params.p).f64(params.p_prime);
+  h.i32(static_cast<int>(convention));
+  return h.digest();
+}
+
+std::uint64_t rewards_stage_key(const SystemParameters& params,
+                                const ReliabilityAnalyzer::Options& options) {
+  runtime::Fnv1a h;
+  h.str("core::staged/rewards/v1");
+  h.u64(rates_stage_key(params, options.solver));
+  h.f64(params.alpha).f64(params.p).f64(params.p_prime);
+  h.i32(static_cast<int>(options.convention))
+      .i32(static_cast<int>(options.attachment));
+  return h.digest();
+}
+
+std::shared_ptr<const StructureArtifact> staged_structure(
+    const SystemParameters& params, bool use_cache) {
+  auto build = [&]() -> std::shared_ptr<const StructureArtifact> {
+    const obs::ScopedSpan span("core.stage.structure");
+    auto artifact = std::make_shared<StructureArtifact>();
+    const BuiltModel model = [&] {
+      const obs::ScopedSpan build_span("core.model_build");
+      return PerceptionModelFactory::build(params);
+    }();
+    artifact->graph = petri::TangibleReachabilityGraph::build(model.net);
+    artifact->plan = markov::build_assembly_plan(artifact->graph);
+
+    const std::size_t n = artifact->graph.size();
+    artifact->state_class.reserve(n);
+    std::map<std::tuple<int, int, int>, std::size_t> class_index;
+    for (std::size_t s = 0; s < n; ++s) {
+      const petri::Marking& m = artifact->graph.marking(s);
+      StructureArtifact::StateClass sc;
+      sc.healthy = model.healthy(m);
+      sc.compromised = model.compromised(m);
+      sc.down = model.down(m);
+      sc.voter_up = model.voter_up(m);
+      class_index.emplace(
+          std::make_tuple(sc.healthy, sc.compromised, sc.down), 0u);
+      artifact->state_class.push_back(sc);
+    }
+    artifact->classes.reserve(class_index.size());
+    for (auto& [cls, index] : class_index) {
+      index = artifact->classes.size();
+      artifact->classes.push_back(cls);
+    }
+    artifact->class_of_state.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      const StructureArtifact::StateClass& sc = artifact->state_class[s];
+      artifact->class_of_state[s] = class_index.at(
+          std::make_tuple(sc.healthy, sc.compromised, sc.down));
+    }
+    return artifact;
+  };
+  if (!use_cache) return build();
+  return structure_cache().get_or_compute(structure_stage_key(params), build);
+}
+
+std::shared_ptr<const RatesArtifact> staged_rates(
+    const SystemParameters& params, const StructureArtifact& structure,
+    const markov::DspnSteadyStateSolver::Options& solver_options,
+    bool use_cache) {
+  auto build = [&]() -> std::shared_ptr<const RatesArtifact> {
+    const obs::ScopedSpan span("core.stage.rates");
+    // A fresh net carries this point's rates; its structure is identical
+    // by construction (the structure key pins every structural parameter),
+    // which repoured() verifies via the fingerprint.
+    const BuiltModel model = PerceptionModelFactory::build(params);
+    const petri::TangibleReachabilityGraph graph =
+        structure.graph.repoured(model.net);
+    const markov::DspnSteadyStateSolver solver(solver_options);
+    markov::DspnSteadyStateResult solution =
+        solver.solve(graph, structure.plan);
+    auto artifact = std::make_shared<RatesArtifact>();
+    artifact->probabilities = std::move(solution.probabilities);
+    artifact->pure_ctmc = solution.pure_ctmc;
+    artifact->backend_used = solution.backend_used;
+    artifact->matrix_nonzeros = solution.matrix_nonzeros;
+    return artifact;
+  };
+  if (!use_cache) return build();
+  return rates_cache().get_or_compute(rates_stage_key(params, solver_options),
+                                      build);
+}
+
+std::shared_ptr<const std::vector<double>> staged_reward_table(
+    const SystemParameters& params, RewardConvention convention,
+    const StructureArtifact& structure, bool use_cache) {
+  auto build = [&]() -> std::shared_ptr<const std::vector<double>> {
+    const obs::ScopedSpan span("core.stage.reward_table");
+    const auto rewards = make_reliability_model(params, convention);
+    auto table = std::make_shared<std::vector<double>>();
+    table->reserve(structure.classes.size());
+    for (const auto& [i, j, k] : structure.classes)
+      table->push_back(rewards->state_reliability(i, j, k));
+    return table;
+  };
+  if (!use_cache) return build();
+  return reward_table_cache().get_or_compute(
+      reward_table_stage_key(params, convention), build);
+}
+
+AnalysisResult staged_analyze(const SystemParameters& params,
+                              const ReliabilityAnalyzer::Options& options) {
+  params.validate();
+  static obs::Counter& solves =
+      obs::Registry::global().counter("core.analyzer.solves");
+  static obs::Histogram& solve_s =
+      obs::Registry::global().histogram("core.analyzer.solve_s");
+  const obs::ScopedSpan span("core.analyze");
+  const auto t0 = std::chrono::steady_clock::now();
+  solves.add();
+
+  auto compute = [&] {
+    const auto structure = staged_structure(params, options.use_cache);
+    const auto rates = staged_rates(params, *structure, options.solver,
+                                    options.use_cache);
+    const auto table = staged_reward_table(params, options.convention,
+                                           *structure, options.use_cache);
+    const obs::ScopedSpan rewards_span("core.stage.rewards");
+    return assemble_result(
+        *structure, *rates, [&](std::size_t s) {
+          const StructureArtifact::StateClass& sc = structure->state_class[s];
+          return reward_gate(sc, options.attachment)
+                     ? (*table)[structure->class_of_state[s]]
+                     : 0.0;
+        });
+  };
+  AnalysisResult result =
+      options.use_cache
+          ? rewards_cache().get_or_compute(rewards_stage_key(params, options),
+                                           compute)
+          : compute();
+  solve_s.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return result;
+}
+
+AnalysisResult staged_analyze(const SystemParameters& params,
+                              const ReliabilityAnalyzer::Options& options,
+                              const ReliabilityModel& rewards) {
+  params.validate();
+  NVP_EXPECTS_MSG(rewards.versions() == params.n_versions,
+                  "reward model does not match the number of versions");
+  static obs::Counter& solves =
+      obs::Registry::global().counter("core.analyzer.solves");
+  static obs::Histogram& solve_s =
+      obs::Registry::global().histogram("core.analyzer.solve_s");
+  const obs::ScopedSpan span("core.analyze");
+  const auto t0 = std::chrono::steady_clock::now();
+  solves.add();
+
+  const auto structure = staged_structure(params, options.use_cache);
+  const auto rates =
+      staged_rates(params, *structure, options.solver, options.use_cache);
+  const obs::ScopedSpan rewards_span("core.stage.rewards");
+  AnalysisResult result = assemble_result(
+      *structure, *rates, [&](std::size_t s) {
+        const StructureArtifact::StateClass& sc = structure->state_class[s];
+        return reward_gate(sc, options.attachment)
+                   ? rewards.state_reliability(sc.healthy, sc.compromised,
+                                               sc.down)
+                   : 0.0;
+      });
+  solve_s.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return result;
+}
+
+StageCacheStats stage_cache_stats() {
+  StageCacheStats stats;
+  stats.structure = structure_cache().stats();
+  stats.rates = rates_cache().stats();
+  stats.reward_table = reward_table_cache().stats();
+  stats.rewards = rewards_cache().stats();
+  stats.whole_result = ReliabilityAnalyzer::cache().stats();
+  return stats;
+}
+
+void clear_stage_caches() {
+  structure_cache().clear();
+  rates_cache().clear();
+  reward_table_cache().clear();
+  rewards_cache().clear();
+  ReliabilityAnalyzer::cache().clear();
+}
+
+}  // namespace nvp::core

@@ -24,14 +24,23 @@ std::vector<SweepPoint> sweep_parameter(const ReliabilityAnalyzer& analyzer,
                                         const std::vector<double>& values) {
   NVP_EXPECTS(setter != nullptr);
   const obs::ScopedSpan span("core.sweep");
-  // Each point is an independent solve; fan out on the default pool.
-  // Results are assigned by index, so the output is identical to the serial
-  // loop for any job count.
-  return runtime::parallel_map(values, [&](double v) {
+  if (values.empty()) return {};
+  auto eval = [&](double v) {
     SystemParameters params = base;
     setter(params, v);
     return SweepPoint{v, analyzer.analyze(params).expected_reliability};
-  });
+  };
+  // Evaluate the first point serially: it populates the staged
+  // structure/rates caches the remaining points share (a sweep varies one
+  // parameter, so every point reuses at least the structure stage), instead
+  // of every worker racing to build the same artifacts. The fan-out assigns
+  // by index, so the output is identical to the serial loop for any job
+  // count.
+  std::vector<SweepPoint> out(values.size());
+  out[0] = eval(values[0]);
+  runtime::parallel_for(values.size() - 1,
+                        [&](std::size_t i) { out[i + 1] = eval(values[i + 1]); });
+  return out;
 }
 
 std::vector<Crossover> find_crossovers(const ReliabilityAnalyzer& analyzer,
@@ -51,10 +60,14 @@ std::vector<Crossover> find_crossovers(const ReliabilityAnalyzer& analyzer,
            analyzer.analyze(b).expected_reliability;
   };
   // Scan phase: every grid point is independent, so evaluate the curve
-  // difference in parallel; the bisection refinements below re-evaluate
-  // through the analyzer's memoization cache.
-  const std::vector<double> grid_diff =
-      runtime::parallel_map(values, [&](double x) { return diff(x); });
+  // difference in parallel after one serial point warms the staged
+  // structure/rates caches both configurations share; the bisection
+  // refinements below re-evaluate through the analyzer's memoization cache.
+  std::vector<double> grid_diff(values.size());
+  grid_diff[0] = diff(values[0]);
+  runtime::parallel_for(values.size() - 1, [&](std::size_t i) {
+    grid_diff[i + 1] = diff(values[i + 1]);
+  });
   std::vector<Crossover> out;
   double prev_x = values[0];
   double prev_d = grid_diff[0];

@@ -6,34 +6,66 @@
 
 namespace nvp::linalg {
 
-SparseMatrixCsr::SparseMatrixCsr(std::size_t rows, std::size_t cols,
-                                 std::vector<Triplet> triplets)
+CsrPattern::CsrPattern(std::size_t rows, std::size_t cols,
+                       const std::vector<Triplet>& triplets)
     : rows_(rows), cols_(cols) {
   for (const auto& t : triplets) {
     NVP_EXPECTS(t.row < rows && t.col < cols);
   }
-  std::sort(triplets.begin(), triplets.end(),
+  // Sort index-tagged copies with the exact comparator (and element type)
+  // the fused constructor used, so the permutation — and therefore the
+  // duplicate-summation order in pour() — matches it bit for bit. The
+  // comparator never reads the value field, so the permutation is a
+  // function of the (row, col) key sequence alone.
+  std::vector<Triplet> tagged(triplets.size());
+  for (std::size_t i = 0; i < triplets.size(); ++i)
+    tagged[i] = {triplets[i].row, triplets[i].col, static_cast<double>(i)};
+  std::sort(tagged.begin(), tagged.end(),
             [](const Triplet& a, const Triplet& b) {
               return a.row != b.row ? a.row < b.row : a.col < b.col;
             });
-  row_ptr_.assign(rows_ + 1, 0);
+  perm_.resize(tagged.size());
+  sorted_row_.resize(tagged.size());
+  sorted_col_.resize(tagged.size());
+  for (std::size_t k = 0; k < tagged.size(); ++k) {
+    perm_[k] = static_cast<std::size_t>(tagged[k].value);
+    sorted_row_[k] = tagged[k].row;
+    sorted_col_[k] = tagged[k].col;
+  }
+}
+
+SparseMatrixCsr CsrPattern::pour(const std::vector<double>& values) const {
+  NVP_EXPECTS(values.size() == perm_.size());
+  SparseMatrixCsr m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
   std::size_t i = 0;
-  while (i < triplets.size()) {
+  while (i < perm_.size()) {
     std::size_t j = i;
     double v = 0.0;
-    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
-           triplets[j].col == triplets[i].col) {
-      v += triplets[j].value;
+    while (j < perm_.size() && sorted_row_[j] == sorted_row_[i] &&
+           sorted_col_[j] == sorted_col_[i]) {
+      v += values[perm_[j]];
       ++j;
     }
     if (v != 0.0) {
-      col_idx_.push_back(triplets[i].col);
-      values_.push_back(v);
-      ++row_ptr_[triplets[i].row + 1];
+      m.col_idx_.push_back(sorted_col_[i]);
+      m.values_.push_back(v);
+      ++m.row_ptr_[sorted_row_[i] + 1];
     }
     i = j;
   }
-  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+  for (std::size_t r = 0; r < rows_; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+SparseMatrixCsr::SparseMatrixCsr(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets) {
+  std::vector<double> values(triplets.size());
+  for (std::size_t i = 0; i < triplets.size(); ++i)
+    values[i] = triplets[i].value;
+  *this = CsrPattern(rows, cols, triplets).pour(values);
 }
 
 Vector SparseMatrixCsr::multiply(const Vector& x) const {

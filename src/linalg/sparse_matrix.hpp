@@ -14,6 +14,41 @@ struct Triplet {
   double value;
 };
 
+class SparseMatrixCsr;
+
+/// The value-independent part of a triplet assembly: the (row, col) slots in
+/// their original push order, plus the sorted permutation the CSR
+/// constructor would apply. pour() supplies the numeric values later —
+/// summing duplicates and dropping exact-zero sums in exactly the order the
+/// SparseMatrixCsr triplet constructor does, so pouring values v into a
+/// pattern built from triplets t is bit-identical to constructing
+/// SparseMatrixCsr(rows, cols, t with values v) from scratch. Build the
+/// pattern once per sparsity structure and pour per parameter point; the
+/// O(nnz log nnz) sort is paid once.
+class CsrPattern {
+ public:
+  CsrPattern() = default;
+
+  /// Records the slots of `triplets`; their value fields are ignored.
+  CsrPattern(std::size_t rows, std::size_t cols,
+             const std::vector<Triplet>& triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Number of recorded slots (= length pour() expects), counting
+  /// duplicates.
+  std::size_t slot_count() const { return perm_.size(); }
+
+  /// Assembles the CSR matrix from per-slot values given in the original
+  /// triplet push order.
+  SparseMatrixCsr pour(const std::vector<double>& values) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> perm_;  ///< sorted order: perm_[k] = input index
+  std::vector<std::size_t> sorted_row_, sorted_col_;  ///< keys, sorted
+};
+
 /// Compressed-sparse-row matrix. Assembled from triplets (duplicates are
 /// summed); immutable afterwards. Used for the generator/transition matrices
 /// of larger state spaces.
@@ -60,6 +95,8 @@ class SparseMatrixCsr {
   Vector diagonal() const;
 
  private:
+  friend class CsrPattern;  // pour() fills the representation directly
+
   std::size_t rows_ = 0, cols_ = 0;
   std::vector<std::size_t> row_ptr_;
   std::vector<std::size_t> col_idx_;

@@ -23,19 +23,6 @@ using linalg::Vector;
 
 namespace {
 
-/// States grouped by the deterministic transition they enable; each group
-/// shares a subordinated generator, delay, and transient solution.
-using DeterministicGroups = std::map<std::size_t, std::vector<std::size_t>>;
-
-DeterministicGroups group_by_deterministic(
-    const petri::TangibleReachabilityGraph& g) {
-  DeterministicGroups groups;
-  for (std::size_t s = 0; s < g.size(); ++s)
-    if (!g.deterministics(s).empty())
-      groups[g.deterministics(s)[0].transition].push_back(s);
-  return groups;
-}
-
 /// Normalizes the conversion-weighted stationary vector into the result.
 Vector finish_stationary(Vector pi, double clamp_epsilon) {
   for (double& x : pi)
@@ -53,7 +40,7 @@ Vector finish_stationary(Vector pi, double clamp_epsilon) {
 // transients, LU (with power fallback) for the stationary vectors.
 
 Vector solve_mrgp_dense(const petri::TangibleReachabilityGraph& g,
-                        const DeterministicGroups& groups,
+                        const AssemblyPlan& plan,
                         const DspnSteadyStateSolver::Options& options) {
   const std::size_t n = g.size();
 
@@ -75,15 +62,12 @@ Vector solve_mrgp_dense(const petri::TangibleReachabilityGraph& g,
 
   // Deterministic groups.
   const obs::ScopedSpan embed_span("markov.embedded_chain");
-  for (const auto& [det_transition, members] : groups) {
+  for (const AssemblyPlan::Group& group : plan.groups) {
+    const std::vector<std::size_t>& members = group.members;
+    const std::vector<char>& in_set = group.in_set;
     const double tau = g.deterministics(members[0])[0].delay;
     for (std::size_t s : members)
       NVP_ASSERT(g.deterministics(s)[0].delay == tau);
-
-    // Membership mask: states where this deterministic transition is
-    // enabled (the subordinated process regenerates upon leaving the set).
-    std::vector<char> in_set(n, 0);
-    for (std::size_t s : members) in_set[s] = 1;
 
     // Subordinated generator: full exponential dynamics inside the set;
     // rows of states outside the set are zero (absorbing).
@@ -146,7 +130,7 @@ Vector solve_mrgp_dense(const petri::TangibleReachabilityGraph& g,
 // stationary solve.
 
 Vector solve_mrgp_sparse(const petri::TangibleReachabilityGraph& g,
-                         const DeterministicGroups& groups,
+                         const AssemblyPlan& plan,
                          const DspnSteadyStateSolver::Options& options,
                          std::size_t& nonzeros_out) {
   const std::size_t n = g.size();
@@ -165,15 +149,15 @@ Vector solve_mrgp_sparse(const petri::TangibleReachabilityGraph& g,
   }
 
   const obs::ScopedSpan embed_span("markov.embedded_chain_sparse");
-  for (const auto& [det_transition, members] : groups) {
+  for (const AssemblyPlan::Group& group : plan.groups) {
+    const std::vector<std::size_t>& members = group.members;
+    const std::vector<char>& in_set = group.in_set;
     const double tau = g.deterministics(members[0])[0].delay;
     for (std::size_t s : members)
       NVP_ASSERT(g.deterministics(s)[0].delay == tau);
 
-    std::vector<char> in_set(n, 0);
-    for (std::size_t s : members) in_set[s] = 1;
-
-    const SparseMatrixCsr q = sparse_subordinated_generator(g, in_set);
+    const SparseMatrixCsr q =
+        group.subordinated.pour(sparse_subordinated_values(g, in_set));
     const SparseUniformization uniformization = [&] {
       const obs::ScopedSpan uniform_span("markov.sparse_uniformization");
       return SparseUniformization(q, tau);
@@ -225,10 +209,51 @@ Vector solve_mrgp_sparse(const petri::TangibleReachabilityGraph& g,
 
 }  // namespace
 
+AssemblyPlan build_assembly_plan(const petri::TangibleReachabilityGraph& g) {
+  static obs::Counter& plans =
+      obs::Registry::global().counter("markov.assembly.plan_builds");
+  const obs::ScopedSpan span("markov.assembly_plan");
+  plans.add();
+
+  AssemblyPlan plan;
+  plan.states = g.size();
+  plan.has_deterministic = g.has_deterministic();
+  if (!plan.has_deterministic) {
+    plan.generator = sparse_generator_pattern(g);
+    return plan;
+  }
+
+  // Group states by the deterministic transition they enable; std::map
+  // iteration gives the transition-index order the fused solver used.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t s = 0; s < g.size(); ++s)
+    if (!g.deterministics(s).empty())
+      groups[g.deterministics(s)[0].transition].push_back(s);
+
+  plan.groups.reserve(groups.size());
+  for (auto& [transition, members] : groups) {
+    AssemblyPlan::Group group;
+    group.transition = transition;
+    group.in_set.assign(g.size(), 0);
+    for (std::size_t s : members) group.in_set[s] = 1;
+    group.subordinated = sparse_subordinated_pattern(g, group.in_set);
+    group.members = std::move(members);
+    plan.groups.push_back(std::move(group));
+  }
+  return plan;
+}
+
 DspnSteadyStateResult DspnSteadyStateSolver::solve(
     const petri::TangibleReachabilityGraph& g) const {
+  return solve(g, build_assembly_plan(g));
+}
+
+DspnSteadyStateResult DspnSteadyStateSolver::solve(
+    const petri::TangibleReachabilityGraph& g, const AssemblyPlan& plan) const {
   const std::size_t n = g.size();
   NVP_EXPECTS(n > 0);
+  NVP_EXPECTS(plan.states == n);
+  NVP_EXPECTS(plan.has_deterministic == g.has_deterministic());
 
   DspnSteadyStateResult result;
   result.states = n;
@@ -264,7 +289,7 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
     ctmc_solves.add();
     result.pure_ctmc = true;
     if (sparse) {
-      const SparseMatrixCsr q = sparse_generator(g);
+      const SparseMatrixCsr q = plan.generator.pour(sparse_generator_values(g));
       result.matrix_nonzeros = q.nonzeros();
       const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state_sparse");
       result.probabilities = ctmc_steady_state_sparse(q);
@@ -294,13 +319,12 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
                         " has no stationary distribution");
   }
 
-  const DeterministicGroups groups = group_by_deterministic(g);
   if (sparse) {
     result.probabilities =
-        solve_mrgp_sparse(g, groups, options_, result.matrix_nonzeros);
+        solve_mrgp_sparse(g, plan, options_, result.matrix_nonzeros);
   } else {
     result.matrix_nonzeros = 2 * n * n;  // the dense P and C
-    result.probabilities = solve_mrgp_dense(g, groups, options_);
+    result.probabilities = solve_mrgp_dense(g, plan, options_);
   }
   nnz_hist.observe(static_cast<double>(result.matrix_nonzeros));
   return result;

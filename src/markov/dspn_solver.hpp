@@ -1,10 +1,40 @@
 #pragma once
 
 #include "src/linalg/dense_matrix.hpp"
+#include "src/linalg/sparse_matrix.hpp"
 #include "src/markov/ctmc.hpp"
 #include "src/petri/reachability.hpp"
 
 namespace nvp::markov {
+
+/// Rate-independent skeleton of the solver's matrix assembly for one
+/// reachability-graph structure: the deterministic-group partition (which
+/// states enable which deterministic transition) and the CSR slot patterns
+/// of the sparse generators. Building it costs one pass over the edges plus
+/// the pattern sorts; solving with a cached plan skips exactly that work.
+/// A plan is valid for any graph repoured() from the structure it was built
+/// on — the edge topology, and hence every pattern and group, is identical.
+struct AssemblyPlan {
+  std::size_t states = 0;
+  bool has_deterministic = false;
+  /// Pure-CTMC structures only: slot pattern of sparse_generator().
+  linalg::CsrPattern generator;
+
+  /// One deterministic transition and the states that enable it; all
+  /// members share the subordinated generator, delay, and transient.
+  struct Group {
+    std::size_t transition = 0;
+    std::vector<std::size_t> members;
+    std::vector<char> in_set;  ///< membership mask over all states
+    linalg::CsrPattern subordinated;
+  };
+  /// Ordered by deterministic transition index (the iteration order the
+  /// fused solver used).
+  std::vector<Group> groups;
+};
+
+/// Builds the assembly plan of a graph's structure.
+AssemblyPlan build_assembly_plan(const petri::TangibleReachabilityGraph& g);
 
 /// Result of a stationary DSPN analysis.
 struct DspnSteadyStateResult {
@@ -90,6 +120,14 @@ class DspnSteadyStateSolver {
   /// Throws SolverError if a tangible marking enables two or more
   /// deterministic transitions, or if a state is absorbing.
   DspnSteadyStateResult solve(const petri::TangibleReachabilityGraph& g) const;
+
+  /// Same computation with a prebuilt (typically cached) assembly plan for
+  /// the graph's structure, skipping the group partition and the CSR
+  /// pattern sorts. Bit-identical to solve(g); the plan must come from
+  /// build_assembly_plan() on this graph or on any graph sharing its
+  /// structure (repoured() copies).
+  DspnSteadyStateResult solve(const petri::TangibleReachabilityGraph& g,
+                              const AssemblyPlan& plan) const;
 
  private:
   Options options_{};

@@ -7,40 +7,105 @@
 
 namespace nvp::markov {
 
+using linalg::CsrPattern;
 using linalg::SparseMatrixCsr;
 using linalg::Triplet;
 
-SparseMatrixCsr sparse_generator(const petri::TangibleReachabilityGraph& g) {
-  const std::size_t n = g.size();
-  NVP_EXPECTS(n > 0);
-  std::vector<Triplet> triplets;
-  for (std::size_t s = 0; s < n; ++s) {
+namespace {
+
+/// Walks the generator slots of `g` in the canonical push order, invoking
+/// emit(row, col, value) — the single source of truth for both the fused
+/// assembly and the pattern/values split.
+template <typename Emit>
+void generator_slots(const petri::TangibleReachabilityGraph& g, Emit&& emit) {
+  for (std::size_t s = 0; s < g.size(); ++s) {
     if (!g.deterministics(s).empty())
       throw SolverError(
           "sparse_generator: state " + std::to_string(s) +
           " enables a deterministic transition; use the DSPN solver");
     for (const petri::RateEdge& e : g.exponential_edges(s)) {
-      triplets.push_back({s, e.target, e.rate});
-      triplets.push_back({s, s, -e.rate});
+      emit(s, e.target, e.rate);
+      emit(s, s, -e.rate);
     }
   }
+}
+
+template <typename Emit>
+void subordinated_slots(const petri::TangibleReachabilityGraph& g,
+                        const std::vector<char>& in_set, Emit&& emit) {
+  NVP_EXPECTS(in_set.size() == g.size());
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    if (!in_set[s]) continue;
+    for (const petri::RateEdge& e : g.exponential_edges(s)) {
+      emit(s, e.target, e.rate);
+      emit(s, s, -e.rate);
+    }
+  }
+}
+
+template <typename Walk>
+SparseMatrixCsr assemble(std::size_t n, Walk&& walk) {
+  std::vector<Triplet> triplets;
+  walk([&](std::size_t r, std::size_t c, double v) {
+    triplets.push_back({r, c, v});
+  });
   return SparseMatrixCsr(n, n, std::move(triplets));
+}
+
+template <typename Walk>
+CsrPattern pattern_of(std::size_t n, Walk&& walk) {
+  std::vector<Triplet> triplets;
+  walk([&](std::size_t r, std::size_t c, double) {
+    triplets.push_back({r, c, 0.0});
+  });
+  return CsrPattern(n, n, triplets);
+}
+
+template <typename Walk>
+std::vector<double> values_of(Walk&& walk) {
+  std::vector<double> values;
+  walk([&](std::size_t, std::size_t, double v) { values.push_back(v); });
+  return values;
+}
+
+}  // namespace
+
+SparseMatrixCsr sparse_generator(const petri::TangibleReachabilityGraph& g) {
+  NVP_EXPECTS(g.size() > 0);
+  return assemble(g.size(),
+                  [&](auto&& emit) { generator_slots(g, emit); });
+}
+
+CsrPattern sparse_generator_pattern(const petri::TangibleReachabilityGraph& g) {
+  NVP_EXPECTS(g.size() > 0);
+  return pattern_of(g.size(),
+                    [&](auto&& emit) { generator_slots(g, emit); });
+}
+
+std::vector<double> sparse_generator_values(
+    const petri::TangibleReachabilityGraph& g) {
+  NVP_EXPECTS(g.size() > 0);
+  return values_of([&](auto&& emit) { generator_slots(g, emit); });
 }
 
 SparseMatrixCsr sparse_subordinated_generator(
     const petri::TangibleReachabilityGraph& g,
     const std::vector<char>& in_set) {
-  const std::size_t n = g.size();
-  NVP_EXPECTS(in_set.size() == n);
-  std::vector<Triplet> triplets;
-  for (std::size_t s = 0; s < n; ++s) {
-    if (!in_set[s]) continue;
-    for (const petri::RateEdge& e : g.exponential_edges(s)) {
-      triplets.push_back({s, e.target, e.rate});
-      triplets.push_back({s, s, -e.rate});
-    }
-  }
-  return SparseMatrixCsr(n, n, std::move(triplets));
+  return assemble(g.size(),
+                  [&](auto&& emit) { subordinated_slots(g, in_set, emit); });
+}
+
+CsrPattern sparse_subordinated_pattern(
+    const petri::TangibleReachabilityGraph& g,
+    const std::vector<char>& in_set) {
+  return pattern_of(g.size(),
+                    [&](auto&& emit) { subordinated_slots(g, in_set, emit); });
+}
+
+std::vector<double> sparse_subordinated_values(
+    const petri::TangibleReachabilityGraph& g,
+    const std::vector<char>& in_set) {
+  return values_of([&](auto&& emit) { subordinated_slots(g, in_set, emit); });
 }
 
 SparseMatrixCsr sparse_uniformized_dtmc(const SparseMatrixCsr& q,

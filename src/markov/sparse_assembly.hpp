@@ -12,6 +12,14 @@ namespace nvp::markov {
 /// the dense subordinated-generator construction in the DSPN solver. The
 /// graph's aggregated rate edges *are* the nonzero pattern, so assembly is
 /// O(edges) with no dense n x n intermediate.
+///
+/// Each assembly comes in a fused form (build the CSR in one call) and a
+/// split pattern/values form: the *_pattern functions record the slot
+/// structure — which depends only on the graph's edge topology, not on the
+/// rates — and the *_values functions emit the per-slot numbers in the same
+/// fixed order, so `pattern.pour(values)` is bit-identical to the fused
+/// call. Staged pipelines cache the pattern per structure and pour per
+/// rate point.
 
 /// Infinitesimal generator Q of the exponential dynamics: off-diagonal
 /// Q(s, t) sums the rates s -> t, diagonal entries make rows sum to zero.
@@ -20,11 +28,27 @@ namespace nvp::markov {
 linalg::SparseMatrixCsr sparse_generator(
     const petri::TangibleReachabilityGraph& g);
 
+/// Slot pattern of sparse_generator (same deterministic-transition check).
+linalg::CsrPattern sparse_generator_pattern(
+    const petri::TangibleReachabilityGraph& g);
+
+/// Per-slot values of sparse_generator in pattern order.
+std::vector<double> sparse_generator_values(
+    const petri::TangibleReachabilityGraph& g);
+
 /// Subordinated generator of one deterministic group: full exponential
 /// dynamics on the rows of states inside `in_set`, zero (absorbing) rows
 /// outside — exactly the matrix whose exponential the MRGP solver needs
 /// over the deterministic delay.
 linalg::SparseMatrixCsr sparse_subordinated_generator(
+    const petri::TangibleReachabilityGraph& g, const std::vector<char>& in_set);
+
+/// Slot pattern of sparse_subordinated_generator.
+linalg::CsrPattern sparse_subordinated_pattern(
+    const petri::TangibleReachabilityGraph& g, const std::vector<char>& in_set);
+
+/// Per-slot values of sparse_subordinated_generator in pattern order.
+std::vector<double> sparse_subordinated_values(
     const petri::TangibleReachabilityGraph& g, const std::vector<char>& in_set);
 
 /// Uniformized DTMC P = I + Q / lambda of a sparse generator. Requires

@@ -6,6 +6,7 @@
 
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/petri/structural.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::petri {
@@ -90,69 +91,108 @@ TangibleReachabilityGraph TangibleReachabilityGraph::build(
   const obs::ScopedSpan span("petri.reachability");
   builds.add();
   net.validate();
-  TangibleReachabilityGraph g;
+  auto st = std::make_shared<Structure>();
   std::deque<std::size_t> frontier;
-  Explorer ex{net, opts, g.markings_, g.index_, frontier, {}, {}};
+  Explorer ex{net, opts, st->markings, st->index, frontier, {}, {}};
 
-  g.initial_ = ex.resolve(net.initial_marking(), 0);
+  st->initial = ex.resolve(net.initial_marking(), 0);
 
   while (!frontier.empty()) {
     const std::size_t s = frontier.front();
     frontier.pop_front();
-    // `markings_` may grow (and reallocate) during resolution; take a copy.
-    const Marking m = g.markings_[s];
+    // `markings` may grow (and reallocate) during resolution; take a copy.
+    const Marking m = st->markings[s];
 
-    if (g.exp_edges_.size() <= s) {
-      g.exp_edges_.resize(g.markings_.size());
-      g.det_info_.resize(g.markings_.size());
-    }
-
-    std::map<std::size_t, double> rate_acc;
+    std::vector<Structure::Firing> exps;
     for (std::size_t t : net.enabled_exponentials(m)) {
-      const double rate = net.rate_or_weight(t, m);
       const Marking next = net.fire(t, m);
-      for (const ProbEdge& e : ex.resolve(next, 0))
-        rate_acc[e.target] += rate * e.prob;
+      exps.push_back({t, ex.resolve(next, 0)});
     }
 
-    std::vector<DeterministicInfo> dets;
+    std::vector<Structure::Firing> dets;
     for (std::size_t t : net.enabled_deterministics(m)) {
-      DeterministicInfo info;
-      info.transition = t;
-      info.delay = net.deterministic_delay(t);
       const Marking next = net.fire(t, m);
-      info.edges = ex.resolve(next, 0);
+      dets.push_back({t, ex.resolve(next, 0)});
+    }
+
+    if (st->exp_firings.size() < st->markings.size()) {
+      st->exp_firings.resize(st->markings.size());
+      st->det_firings.resize(st->markings.size());
+    }
+    st->exp_firings[s] = std::move(exps);
+    st->det_firings[s] = std::move(dets);
+    if (!st->det_firings[s].empty()) st->has_det = true;
+  }
+
+  st->exp_firings.resize(st->markings.size());
+  st->det_firings.resize(st->markings.size());
+  st->net_fingerprint = structural_fingerprint(net);
+  states.observe(static_cast<double>(st->markings.size()));
+
+  TangibleReachabilityGraph g;
+  g.structure_ = std::move(st);
+  g.pour(net);
+  return g;
+}
+
+TangibleReachabilityGraph TangibleReachabilityGraph::repoured(
+    const PetriNet& net) const {
+  static obs::Counter& repours =
+      obs::Registry::global().counter("petri.reachability.repours");
+  const obs::ScopedSpan span("petri.reachability.repour");
+  net.validate();
+  if (structural_fingerprint(net) != structure_->net_fingerprint)
+    throw NetError(
+        "repoured: net '" + net.name() +
+        "' is structurally different from the explored net (places, "
+        "transitions, arcs, guards, or immediate weights changed)");
+  repours.add();
+  TangibleReachabilityGraph g;
+  g.structure_ = structure_;
+  g.pour(net);
+  return g;
+}
+
+void TangibleReachabilityGraph::pour(const PetriNet& net) {
+  const std::size_t n = structure_->markings.size();
+  exp_edges_.assign(n, {});
+  exit_rates_.assign(n, 0.0);
+  det_info_.assign(n, {});
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const Marking& m = structure_->markings[s];
+
+    // Accumulate into a target-keyed map in the recorded firing order —
+    // the same arithmetic order the fused explore-and-pour loop used, so
+    // a rebuilt graph and a repoured graph agree bit for bit.
+    std::map<std::size_t, double> rate_acc;
+    for (const Structure::Firing& f : structure_->exp_firings[s]) {
+      const double rate = net.rate_or_weight(f.transition, m);
+      for (const ProbEdge& e : f.dist) rate_acc[e.target] += rate * e.prob;
+    }
+    auto& edges = exp_edges_[s];
+    edges.reserve(rate_acc.size());
+    for (const auto& [target, rate] : rate_acc) edges.push_back({target, rate});
+    double sum = 0.0;
+    for (const RateEdge& e : edges) sum += e.rate;
+    exit_rates_[s] = sum;
+
+    auto& dets = det_info_[s];
+    dets.reserve(structure_->det_firings[s].size());
+    for (const Structure::Firing& f : structure_->det_firings[s]) {
+      DeterministicInfo info;
+      info.transition = f.transition;
+      info.delay = net.deterministic_delay(f.transition);
+      info.edges = f.dist;
       dets.push_back(std::move(info));
     }
-
-    if (g.exp_edges_.size() < g.markings_.size()) {
-      g.exp_edges_.resize(g.markings_.size());
-      g.det_info_.resize(g.markings_.size());
-    }
-    auto& edges = g.exp_edges_[s];
-    edges.clear();
-    for (const auto& [target, rate] : rate_acc)
-      edges.push_back({target, rate});
-    g.det_info_[s] = std::move(dets);
-    if (!g.det_info_[s].empty()) g.has_det_ = true;
   }
-
-  g.exp_edges_.resize(g.markings_.size());
-  g.det_info_.resize(g.markings_.size());
-  g.exit_rates_.resize(g.markings_.size(), 0.0);
-  for (std::size_t s = 0; s < g.markings_.size(); ++s) {
-    double sum = 0.0;
-    for (const RateEdge& e : g.exp_edges_[s]) sum += e.rate;
-    g.exit_rates_[s] = sum;
-  }
-  states.observe(static_cast<double>(g.markings_.size()));
-  return g;
 }
 
 std::optional<std::size_t> TangibleReachabilityGraph::find(
     const Marking& m) const {
-  auto it = index_.find(m);
-  if (it == index_.end()) return std::nullopt;
+  auto it = structure_->index.find(m);
+  if (it == structure_->index.end()) return std::nullopt;
   return it->second;
 }
 

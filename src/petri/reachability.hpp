@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -47,22 +49,63 @@ struct DeterministicInfo {
 /// Immediate conflicts are resolved by priority then normalized weights;
 /// cyclic immediate firing sequences are rejected (NetError), matching the
 /// restriction in TimeNET's stationary analysis of well-specified nets.
+///
+/// Internally the graph separates the *symbolic* exploration product —
+/// markings, per-state enabled timed transitions, and their firing-switch
+/// distributions, all independent of the exponential rates and
+/// deterministic delays — from the *numeric* edges obtained by pouring a
+/// concrete net's rates into that skeleton. repoured() re-pours the same
+/// skeleton with a structurally identical net carrying different timing
+/// parameters, skipping exploration and vanishing elimination entirely.
 class TangibleReachabilityGraph {
  public:
+  /// Rate-independent exploration product, shared (refcounted) between a
+  /// graph and all of its repoured() copies.
+  struct Structure {
+    /// One timed transition enabled in a tangible marking, with the
+    /// distribution over tangible successors its firing induces. Switch
+    /// probabilities come from immediate weights only, so they are part of
+    /// the rate-independent skeleton.
+    struct Firing {
+      std::size_t transition;
+      std::vector<ProbEdge> dist;
+    };
+
+    std::vector<Marking> markings;
+    std::unordered_map<Marking, std::size_t, MarkingHash> index;
+    std::vector<ProbEdge> initial;
+    std::vector<std::vector<Firing>> exp_firings;
+    std::vector<std::vector<Firing>> det_firings;
+    /// structural_fingerprint() of the net that was explored; repoured()
+    /// refuses nets whose fingerprint differs.
+    std::uint64_t net_fingerprint = 0;
+    bool has_det = false;
+  };
+
   /// Explores the net from its initial marking.
   static TangibleReachabilityGraph build(const PetriNet& net,
                                          const ReachabilityOptions& opts = {});
 
+  /// Re-pours this graph's symbolic skeleton with the rates and delays of a
+  /// structurally identical net (same places, transitions, arcs, guards,
+  /// and immediate weights — only exponential rates and deterministic
+  /// delays may differ). O(states + edges); no exploration, no vanishing
+  /// elimination. Throws NetError when the net's structural fingerprint
+  /// does not match the explored net's.
+  TangibleReachabilityGraph repoured(const PetriNet& net) const;
+
   /// Number of tangible states.
-  std::size_t size() const { return markings_.size(); }
+  std::size_t size() const { return structure_->markings.size(); }
 
   /// Marking of tangible state s.
-  const Marking& marking(std::size_t s) const { return markings_[s]; }
+  const Marking& marking(std::size_t s) const {
+    return structure_->markings[s];
+  }
 
   /// Distribution over tangible states reached from the (possibly vanishing)
   /// initial marking.
   const std::vector<ProbEdge>& initial_distribution() const {
-    return initial_;
+    return structure_->initial;
   }
 
   /// Outgoing exponential edges of state s (aggregated per target).
@@ -79,7 +122,16 @@ class TangibleReachabilityGraph {
   }
 
   /// True if any tangible state enables a deterministic transition.
-  bool has_deterministic() const { return has_det_; }
+  bool has_deterministic() const { return structure_->has_det; }
+
+  /// Fingerprint of the net this graph was explored from.
+  std::uint64_t net_fingerprint() const {
+    return structure_->net_fingerprint;
+  }
+
+  /// The shared symbolic skeleton (markings, firings, switch
+  /// distributions). Exposed for tests and diagnostics.
+  const Structure& structure() const { return *structure_; }
 
   /// Index of a tangible marking, if reachable.
   std::optional<std::size_t> find(const Marking& m) const;
@@ -88,19 +140,21 @@ class TangibleReachabilityGraph {
   template <typename Pred>
   std::vector<std::size_t> states_where(Pred&& pred) const {
     std::vector<std::size_t> out;
-    for (std::size_t s = 0; s < markings_.size(); ++s)
-      if (pred(markings_[s])) out.push_back(s);
+    for (std::size_t s = 0; s < size(); ++s)
+      if (pred(structure_->markings[s])) out.push_back(s);
     return out;
   }
 
  private:
-  std::vector<Marking> markings_;
-  std::unordered_map<Marking, std::size_t, MarkingHash> index_;
+  /// Computes the numeric members (exp_edges_, exit_rates_, det_info_) by
+  /// evaluating the net's rates/delays over the symbolic skeleton, with the
+  /// same accumulation order the original fused exploration used.
+  void pour(const PetriNet& net);
+
+  std::shared_ptr<const Structure> structure_ = std::make_shared<Structure>();
   std::vector<std::vector<RateEdge>> exp_edges_;
   std::vector<double> exit_rates_;
   std::vector<std::vector<DeterministicInfo>> det_info_;
-  std::vector<ProbEdge> initial_;
-  bool has_det_ = false;
 };
 
 }  // namespace nvp::petri

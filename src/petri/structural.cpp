@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/runtime/fnv.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/string_util.hpp"
 
@@ -223,6 +224,46 @@ std::string describe(const GraphStats& s) {
       "%.6g",
       s.states, s.exponential_edges, s.states_with_deterministic,
       s.absorbing_states, s.max_exit_rate);
+}
+
+std::uint64_t structural_fingerprint(const PetriNet& net) {
+  runtime::Fnv1a h;
+  h.str("petri::structural_fingerprint/v1");
+
+  h.u64(net.place_count());
+  const Marking initial = net.initial_marking();
+  for (std::size_t p = 0; p < net.place_count(); ++p) {
+    h.str(net.place_name(p));
+    h.i64(initial[p]);
+  }
+
+  auto hash_arcs = [&h](const std::vector<Arc>& arcs) {
+    h.u64(arcs.size());
+    for (const Arc& a : arcs) {
+      h.u64(a.place);
+      h.i64(a.weight);
+      h.boolean(static_cast<bool>(a.weight_fn));
+    }
+  };
+
+  h.u64(net.transition_count());
+  for (std::size_t t = 0; t < net.transition_count(); ++t) {
+    const Transition& tr = net.transition(t);
+    h.str(tr.name);
+    h.i32(static_cast<int>(tr.kind));
+    h.i32(tr.priority);
+    h.boolean(static_cast<bool>(tr.guard));
+    h.boolean(static_cast<bool>(tr.value_fn));
+    // Constant immediate weights shape the vanishing-elimination switch
+    // probabilities, so they are structural. Exponential rates and
+    // deterministic delays are exactly the values repoured() re-reads.
+    if (tr.kind == TransitionKind::kImmediate && !tr.value_fn)
+      h.f64(tr.value);
+    hash_arcs(tr.inputs);
+    hash_arcs(tr.outputs);
+    hash_arcs(tr.inhibitors);
+  }
+  return h.digest();
 }
 
 }  // namespace nvp::petri

@@ -68,4 +68,18 @@ std::vector<std::vector<double>> t_semiflows(const PetriNet& net,
 /// such nets, and this helper reports which markings are the problem.
 std::vector<std::size_t> dead_markings(const TangibleReachabilityGraph& g);
 
+/// Rate-independent identity of a net: FNV-1a over the places (names,
+/// initial tokens), transitions (names, kinds, immediate priorities,
+/// guard/rate-function presence, constant immediate weights), and arcs
+/// (place, multiplicity, weight-function presence) — but *not* over
+/// exponential rates or deterministic delays. Two nets with equal
+/// fingerprints explore to the same tangible reachability graph provided
+/// their guards and marking-dependent functions also agree (closures cannot
+/// be hashed; the perception-model factory satisfies this by construction
+/// because its guards and immediate weights depend only on the marking and
+/// on parameters that are part of the hashed structure).
+/// TangibleReachabilityGraph::repoured() uses this to refuse nets that
+/// differ structurally from the explored one.
+std::uint64_t structural_fingerprint(const PetriNet& net);
+
 }  // namespace nvp::petri

@@ -74,9 +74,9 @@ void warn_deprecated(const char* old_flag, const char* replacement) {
 const std::vector<std::string>& CommonOptions::known_flags() {
   static const std::vector<std::string> kFlags = {
       "jobs",   "seed", "format",      "output",      "metrics-json",
-      "trace",  "metrics",
+      "trace",  "metrics", "cache-stats",
       // deprecated aliases
-      "threads", "rng-seed", "csv", "json", "out", "cache-stats"};
+      "threads", "rng-seed", "csv", "json", "out"};
   return kFlags;
 }
 
@@ -123,9 +123,8 @@ CommonOptions parse_common_options(const CliArgs& args) {
 
   options.metrics_json = args.get("metrics-json", "");
   options.trace = args.has("trace");
-  if (args.has("cache-stats") && !args.has("metrics"))
-    warn_deprecated("--cache-stats", "--metrics");
-  options.metrics_dump = args.has("metrics") || args.has("cache-stats");
+  options.metrics_dump = args.has("metrics");
+  options.cache_stats = args.has("cache-stats");
   return options;
 }
 

@@ -49,10 +49,13 @@ enum class OutputFormat { kTable, kCsv, kJson };
 ///   --output PATH       write the rendered result there instead of stdout
 ///   --metrics-json PATH write a run manifest (implies tracing)
 ///   --trace             collect spans; print the span tree on exit
+///   --cache-stats       print the per-stage pipeline cache table
+///                       (structure / rates / reward_table / rewards /
+///                       whole_result hit/miss/eviction counts) to stderr
 ///
 /// Deprecated aliases (accepted with a stderr warning): --threads -> --jobs,
 /// --rng-seed -> --seed, --csv / --json (boolean) -> --format, --out ->
-/// --output, --cache-stats -> --metrics (counter dump to stderr).
+/// --output.
 struct CommonOptions {
   int jobs = 0;
   std::uint64_t seed = 1;
@@ -61,6 +64,7 @@ struct CommonOptions {
   std::string metrics_json;  ///< empty = no manifest
   bool trace = false;
   bool metrics_dump = false;  ///< print counters to stderr on exit
+  bool cache_stats = false;   ///< print per-stage cache table on exit
 
   /// Flag names consumed by parse_common_options (for typo validation).
   static const std::vector<std::string>& known_flags();

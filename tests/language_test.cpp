@@ -256,6 +256,49 @@ TEST(DspnParser, ShippedSixVersionModelMatchesFactory) {
   }
 }
 
+TEST(DspnParser, ShippedSixVersionModelMatchesFactoryDistribution) {
+  // Stronger parity than the expectation check above: the parsed file and
+  // the factory must agree on the stationary *distribution* state for
+  // state. The two nets may number places and states differently (the
+  // parser interns declarations in file order), so states are matched by
+  // marking content remapped through place names.
+  const auto file_net =
+      load_dspn_file(std::string(NVP_SOURCE_DIR) +
+                     "/models/perception_6v.dspn");
+  const auto factory = core::PerceptionModelFactory::build(
+      core::SystemParameters::paper_six_version());
+  ASSERT_EQ(file_net.place_count(), factory.net.place_count());
+
+  const auto g_file = TangibleReachabilityGraph::build(file_net);
+  const auto g_factory = TangibleReachabilityGraph::build(factory.net);
+  ASSERT_EQ(g_file.size(), g_factory.size());
+  const auto pi_file = markov::DspnSteadyStateSolver().solve(g_file);
+  const auto pi_factory = markov::DspnSteadyStateSolver().solve(g_factory);
+
+  std::vector<std::size_t> to_factory(file_net.place_count());
+  for (std::size_t p = 0; p < file_net.place_count(); ++p)
+    to_factory[p] = factory.net.place(file_net.place_name(p)).index;
+
+  // Equal state counts plus a factory counterpart for every file state
+  // make the marking map a bijection, so this compares the distributions
+  // in full.
+  double matched_mass = 0.0;
+  for (std::size_t s = 0; s < g_file.size(); ++s) {
+    const Marking& m_file = g_file.marking(s);
+    Marking m(factory.net.place_count(), 0);
+    for (std::size_t p = 0; p < m_file.size(); ++p)
+      m[to_factory[p]] = m_file[p];
+    const auto idx = g_factory.find(m);
+    ASSERT_TRUE(idx.has_value())
+        << "file-model state " << s << " has no factory counterpart";
+    EXPECT_NEAR(pi_file.probabilities[s], pi_factory.probabilities[*idx],
+                1e-9)
+        << "state " << s;
+    matched_mass += pi_factory.probabilities[*idx];
+  }
+  EXPECT_NEAR(matched_mass, 1.0, 1e-9);
+}
+
 TEST(DspnParser, ShippedExampleModelsLoadAndSolve) {
   for (const char* model : {"/models/workcell.dspn", "/models/mm1k.dspn"}) {
     const auto net =

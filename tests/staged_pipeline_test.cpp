@@ -1,0 +1,196 @@
+// Property tests for the staged analysis pipeline (src/core/staged.*): a
+// randomized walk over SystemParameters mutations, checking at every step
+// that the staged (cached) analyzer is bit-identical to a fresh fully cold
+// analyzer, and that the stage caches reuse exactly what the mutation kind
+// allows — rate-only mutations must hit the structure cache, reward-only
+// mutations must additionally hit the rates cache.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/staged.hpp"
+
+namespace nvp::core {
+namespace {
+
+// Exact comparison on purpose: the staged pipeline's contract is
+// bit-identity with the cold path, not numerical closeness.
+void expect_bit_identical(const AnalysisResult& staged,
+                          const AnalysisResult& cold, int step) {
+  EXPECT_EQ(staged.expected_reliability, cold.expected_reliability)
+      << "step " << step;
+  EXPECT_EQ(staged.tangible_states, cold.tangible_states) << "step " << step;
+  EXPECT_EQ(staged.used_dspn_solver, cold.used_dspn_solver)
+      << "step " << step;
+  EXPECT_EQ(staged.used_sparse_backend, cold.used_sparse_backend)
+      << "step " << step;
+  EXPECT_EQ(staged.matrix_nonzeros, cold.matrix_nonzeros) << "step " << step;
+  ASSERT_EQ(staged.state_distribution.size(), cold.state_distribution.size())
+      << "step " << step;
+  for (std::size_t i = 0; i < cold.state_distribution.size(); ++i) {
+    const auto& a = staged.state_distribution[i];
+    const auto& b = cold.state_distribution[i];
+    EXPECT_EQ(a.healthy, b.healthy) << "step " << step << " class " << i;
+    EXPECT_EQ(a.compromised, b.compromised)
+        << "step " << step << " class " << i;
+    EXPECT_EQ(a.down, b.down) << "step " << step << " class " << i;
+    EXPECT_EQ(a.probability, b.probability)
+        << "step " << step << " class " << i;
+    EXPECT_EQ(a.reliability, b.reliability)
+        << "step " << step << " class " << i;
+  }
+}
+
+TEST(StagedPipeline, RandomizedMutationWalkMatchesColdAnalyzer) {
+  clear_stage_caches();
+  ReliabilityAnalyzer::Options cold_options;
+  cold_options.use_cache = false;
+  const ReliabilityAnalyzer staged;  // default options: use_cache = true
+  const ReliabilityAnalyzer cold(cold_options);
+
+  std::mt19937_64 rng(20260807);
+  std::uniform_real_distribution<double> unit(0.05, 0.95);
+  std::uniform_real_distribution<double> scale(0.5, 2.0);
+
+  SystemParameters params = SystemParameters::paper_six_version();
+  enum class Mutation { kStructural, kRateOnly, kRewardOnly };
+
+  // Structural pool: every entry satisfies n >= 3f + 2r + 1 (rejuvenating)
+  // or n >= 3f + 1 (plain), so any combination with the drifting timing
+  // parameters validates.
+  struct Structure {
+    int n, f, r;
+    bool rejuvenation;
+  };
+  const std::vector<Structure> structures = {
+      {6, 1, 1, true}, {7, 1, 1, true}, {8, 1, 2, true},
+      {6, 1, 1, false}, {7, 2, 1, false}};
+
+  // Warm the initial point: the per-step invariants below are about what a
+  // *mutation* may invalidate, so the walk starts from populated stages
+  // (exactly like the sweep drivers' serial first point).
+  expect_bit_identical(staged.analyze(params), cold.analyze(params), -1);
+
+  for (int step = 0; step < 50; ++step) {
+    // Interleave: every third step changes the structure, the rest
+    // alternate rate-only and reward-only mutations.
+    const Mutation kind = step % 3 == 2 ? Mutation::kStructural
+                          : step % 2 == 0 ? Mutation::kRateOnly
+                                          : Mutation::kRewardOnly;
+    switch (kind) {
+      case Mutation::kStructural: {
+        const auto& s = structures[rng() % structures.size()];
+        params.n_versions = s.n;
+        params.max_faulty = s.f;
+        params.max_rejuvenating = s.r;
+        params.rejuvenation = s.rejuvenation;
+        break;
+      }
+      case Mutation::kRateOnly:
+        // Continuous multiplicative drift: each step's timing vector is
+        // fresh, so the rates stage must miss while the structure hits.
+        params.mean_time_to_compromise *= scale(rng);
+        params.mean_time_to_failure *= scale(rng);
+        if (step % 4 == 0) params.rejuvenation_interval *= scale(rng);
+        break;
+      case Mutation::kRewardOnly:
+        params.alpha = unit(rng);
+        params.p = unit(rng) * 0.2;
+        params.p_prime = unit(rng);
+        break;
+    }
+    params.validate();
+
+    const StageCacheStats before = stage_cache_stats();
+    const AnalysisResult staged_result = staged.analyze(params);
+    const StageCacheStats after = stage_cache_stats();
+    const AnalysisResult cold_result = cold.analyze(params);
+    expect_bit_identical(staged_result, cold_result, step);
+
+    // Reuse invariants per mutation kind. A fresh-key mutation can only
+    // miss in the stages downstream of what it changed.
+    const auto misses = [&](const runtime::CacheStats& a,
+                            const runtime::CacheStats& b) {
+      return b.misses - a.misses;
+    };
+    switch (kind) {
+      case Mutation::kStructural:
+        // Revisiting a pool entry hits; a first visit misses. Either way
+        // at most one exploration happens.
+        EXPECT_LE(misses(before.structure, after.structure), 1u)
+            << "step " << step;
+        break;
+      case Mutation::kRateOnly:
+        EXPECT_EQ(misses(before.structure, after.structure), 0u)
+            << "step " << step << ": rate-only mutation re-explored";
+        EXPECT_EQ(misses(before.rates, after.rates), 1u) << "step " << step;
+        EXPECT_EQ(misses(before.reward_table, after.reward_table), 0u)
+            << "step " << step
+            << ": rate-only mutation rebuilt the reward table";
+        break;
+      case Mutation::kRewardOnly:
+        EXPECT_EQ(misses(before.structure, after.structure), 0u)
+            << "step " << step << ": reward-only mutation re-explored";
+        EXPECT_EQ(misses(before.rates, after.rates), 0u)
+            << "step " << step << ": reward-only mutation re-solved";
+        break;
+    }
+  }
+}
+
+TEST(StagedPipeline, UseCacheFalseBypassesEveryStage) {
+  clear_stage_caches();
+  ReliabilityAnalyzer::Options cold_options;
+  cold_options.use_cache = false;
+  const ReliabilityAnalyzer cold(cold_options);
+  const auto params = SystemParameters::paper_six_version();
+  const auto first = cold.analyze(params);
+  const auto second = cold.analyze(params);
+  expect_bit_identical(first, second, 0);
+  const StageCacheStats stats = stage_cache_stats();
+  EXPECT_EQ(stats.structure.lookups(), 0u);
+  EXPECT_EQ(stats.rates.lookups(), 0u);
+  EXPECT_EQ(stats.reward_table.lookups(), 0u);
+  EXPECT_EQ(stats.rewards.lookups(), 0u);
+  EXPECT_EQ(stats.whole_result.lookups(), 0u);
+}
+
+TEST(StagedPipeline, StageKeysEmbedUpstreamKeys) {
+  // Changing a structural parameter must change every stage key; changing
+  // a timing parameter only the rates key and below; changing alpha only
+  // the reward keys.
+  const ReliabilityAnalyzer::Options options;
+  auto base = SystemParameters::paper_six_version();
+
+  auto structural = base;
+  structural.n_versions = 7;
+  EXPECT_NE(structure_stage_key(base), structure_stage_key(structural));
+  EXPECT_NE(rates_stage_key(base, options.solver),
+            rates_stage_key(structural, options.solver));
+  EXPECT_NE(rewards_stage_key(base, options),
+            rewards_stage_key(structural, options));
+
+  auto timing = base;
+  timing.mean_time_to_compromise *= 2.0;
+  EXPECT_EQ(structure_stage_key(base), structure_stage_key(timing));
+  EXPECT_NE(rates_stage_key(base, options.solver),
+            rates_stage_key(timing, options.solver));
+  EXPECT_EQ(reward_table_stage_key(base, options.convention),
+            reward_table_stage_key(timing, options.convention));
+
+  auto reward = base;
+  reward.alpha = 0.75;
+  EXPECT_EQ(structure_stage_key(base), structure_stage_key(reward));
+  EXPECT_EQ(rates_stage_key(base, options.solver),
+            rates_stage_key(reward, options.solver));
+  EXPECT_NE(reward_table_stage_key(base, options.convention),
+            reward_table_stage_key(reward, options.convention));
+  EXPECT_NE(rewards_stage_key(base, options),
+            rewards_stage_key(reward, options));
+}
+
+}  // namespace
+}  // namespace nvp::core

@@ -1,23 +1,42 @@
 #!/usr/bin/env python3
-"""Gate benchmark regressions against the recorded baseline.
+"""Gate benchmark regressions against the recorded baselines.
 
-Reads a google-benchmark JSON report (``--benchmark_format=json`` output of
-``bench_perf_solvers``) and compares the uncached six-version analyzer solve
-(``BM_FullAnalyzerSixVersion``) against the reference recorded in
-``bench_results/BENCH_runtime.json`` (key ``full_analyzer_six_version_
-uncached_ms``). Exits non-zero when the measured time exceeds the baseline
-by more than the tolerance.
+Two modes:
 
-The tolerance is a fraction of the baseline (default 0.25 = +25%), settable
-with ``--tolerance`` or the ``NVP_BENCH_TOLERANCE`` environment variable —
-CI hardware is noisy, so the default is deliberately generous: this gate is
-meant to catch order-of-magnitude mistakes (an accidentally quadratic loop,
-a dropped cache), not single-digit-percent drift.
+Runtime mode (default) reads a google-benchmark JSON report
+(``--benchmark_format=json`` output of ``bench_perf_solvers``) and compares
+the uncached six-version analyzer solve (``BM_FullAnalyzerSixVersion``)
+against the reference recorded in ``bench_results/BENCH_runtime.json`` (key
+``full_analyzer_six_version_uncached_ms``). Exits non-zero when the measured
+time exceeds the baseline by more than the tolerance.
+
+Sweep mode (``--sweep``) reads the JSON document written by
+``bench_sweep_throughput`` and gates the staged pipeline's cross-point
+reuse: the reward-only alpha sweep must stay >= 10x faster than the cold
+per-point path, the rate-only MTTC sweep >= 2x, both curves bit-identical to
+cold, and each sweep must have explored reachability exactly once.
+
+``--list`` prints the numeric metric names available in the baseline file
+(so CI logs and humans can see what is being gated) and exits.
+
+The tolerance is a fraction of the runtime baseline (default 0.25 = +25%),
+settable with ``--tolerance`` or the ``NVP_BENCH_TOLERANCE`` environment
+variable — CI hardware is noisy, so the default is deliberately generous:
+this gate is meant to catch order-of-magnitude mistakes (an accidentally
+quadratic loop, a dropped cache), not single-digit-percent drift. The sweep
+floors are already order-of-magnitude bounds and take no tolerance.
 
 Usage:
     bench_perf_solvers --benchmark_format=json --benchmark_out=report.json
     python3 tools/check_bench_regression.py report.json \
         [--baseline bench_results/BENCH_runtime.json] [--tolerance 0.25]
+
+    bench_sweep_throughput            # writes bench_results/BENCH_sweep.json
+    python3 tools/check_bench_regression.py --sweep \
+        bench_results/BENCH_sweep.json
+
+    python3 tools/check_bench_regression.py --list \
+        --baseline bench_results/BENCH_sweep.json
 """
 
 from __future__ import annotations
@@ -30,6 +49,45 @@ import sys
 BENCHMARK_NAME = "BM_FullAnalyzerSixVersion"
 BASELINE_KEY = "full_analyzer_six_version_uncached_ms"
 
+# Sweep-mode gates: (section, field, minimum value). The floors restate the
+# staged pipeline's contract, not a machine-specific measurement, so they
+# hold on any hardware: reuse ratios and counter invariants are wall-clock
+# independent apart from the speedups, which sit far above their floors.
+SWEEP_CHECKS = [
+    ("alpha_sweep_6v", "speedup", 10.0),
+    ("alpha_sweep_6v", "bit_identical_to_cold", 1.0),
+    ("alpha_sweep_6v", "staged_explorations", None),  # exactly 1
+    ("alpha_sweep_6v", "staged_solves", None),  # exactly 1
+    ("mttc_sweep_n40", "speedup", 2.0),
+    ("mttc_sweep_n40", "bit_identical_to_cold", 1.0),
+    ("mttc_sweep_n40", "staged_explorations", None),  # exactly 1
+]
+
+
+def load_json(path: str, role: str) -> dict:
+    """Loads a JSON file, mapping I/O and parse failures to one-line errors."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {role} '{path}': {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"error: {role} '{path}' is not valid JSON: {e}")
+
+
+def metric_names(doc: dict, prefix: str = "") -> list[str]:
+    """Flattened dotted names of every numeric field in the document."""
+    names: list[str] = []
+    for key, value in doc.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            names.append(path)
+        elif isinstance(value, dict):
+            names.extend(metric_names(value, f"{path}."))
+    return names
+
 
 def benchmark_time_ms(report: dict, name: str) -> float:
     """Real time of the named benchmark in milliseconds."""
@@ -41,51 +99,107 @@ def benchmark_time_ms(report: dict, name: str) -> float:
             continue
         scale = unit_scale.get(entry.get("time_unit", "ns"))
         if scale is None:
-            raise SystemExit(f"unknown time_unit in entry: {entry}")
+            raise SystemExit(f"error: unknown time_unit in entry: {entry}")
         return float(entry["real_time"]) * scale
-    raise SystemExit(f"benchmark '{name}' not found in report")
+    raise SystemExit(f"error: benchmark '{name}' not found in report")
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", help="google-benchmark JSON report")
-    parser.add_argument(
-        "--baseline",
-        default="bench_results/BENCH_runtime.json",
-        help="baseline JSON with the recorded reference time",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=float(os.environ.get("NVP_BENCH_TOLERANCE", "0.25")),
-        help="allowed fractional slowdown over the baseline (default 0.25, "
-        "or NVP_BENCH_TOLERANCE)",
-    )
-    args = parser.parse_args()
-    if args.tolerance < 0:
-        parser.error("--tolerance must be non-negative")
-
-    with open(args.report, encoding="utf-8") as f:
-        report = json.load(f)
-    with open(args.baseline, encoding="utf-8") as f:
-        baseline = json.load(f)
-
+def check_runtime(report: dict, baseline_path: str, tolerance: float) -> int:
+    baseline = load_json(baseline_path, "baseline")
     if BASELINE_KEY not in baseline:
-        raise SystemExit(f"baseline '{args.baseline}' lacks '{BASELINE_KEY}'")
+        raise SystemExit(
+            f"error: baseline '{baseline_path}' lacks '{BASELINE_KEY}'"
+        )
     reference_ms = float(baseline[BASELINE_KEY])
     measured_ms = benchmark_time_ms(report, BENCHMARK_NAME)
-    limit_ms = reference_ms * (1.0 + args.tolerance)
+    limit_ms = reference_ms * (1.0 + tolerance)
 
     print(
         f"{BENCHMARK_NAME}: measured {measured_ms:.3f} ms, "
         f"baseline {reference_ms:.3f} ms, "
-        f"limit {limit_ms:.3f} ms (+{args.tolerance:.0%})"
+        f"limit {limit_ms:.3f} ms (+{tolerance:.0%})"
     )
     if measured_ms > limit_ms:
         print("FAIL: uncached 6v analyzer solve regressed past the limit")
         return 1
     print("OK: within budget")
     return 0
+
+
+def check_sweep(report: dict, report_path: str) -> int:
+    failures = 0
+    for section, field, floor in SWEEP_CHECKS:
+        block = report.get(section)
+        if not isinstance(block, dict) or field not in block:
+            raise SystemExit(
+                f"error: sweep report '{report_path}' lacks "
+                f"'{section}.{field}'"
+            )
+        value = float(block[field])
+        if floor is None:
+            ok = value == 1.0
+            bound = "== 1"
+        else:
+            ok = value >= floor
+            bound = f">= {floor:g}"
+        print(
+            f"{section}.{field}: {value:g} (want {bound}) "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+        failures += 0 if ok else 1
+    if failures:
+        print(f"FAIL: {failures} staged-sweep gate(s) violated")
+        return 1
+    print("OK: staged sweep reuse within contract")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "report",
+        nargs="?",
+        help="JSON report: google-benchmark output (runtime mode) or the "
+        "bench_sweep_throughput document (--sweep)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="bench_results/BENCH_runtime.json",
+        help="baseline JSON with the recorded reference values",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("NVP_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional slowdown over the runtime baseline "
+        "(default 0.25, or NVP_BENCH_TOLERANCE)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="gate a bench_sweep_throughput report instead of the "
+        "google-benchmark runtime report",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the numeric metric names in the baseline file and exit",
+    )
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+
+    if args.list:
+        for name in metric_names(load_json(args.baseline, "baseline")):
+            print(name)
+        return 0
+
+    if args.report is None:
+        parser.error("a report file is required unless --list is given")
+    report = load_json(args.report, "report")
+    if args.sweep:
+        return check_sweep(report, args.report)
+    return check_runtime(report, args.baseline, args.tolerance)
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@
 //   nvpcli analyze     --model workcell.dspn --reward "#ok == 2"
 //   nvpcli simulate    --paper 6v [--horizon 1e5] [--reps 8] [--seed 1]
 //   nvpcli sweep       --paper 6v --param interval --from 200 --to 3000
+//   nvpcli crossovers  --paper 6v --vs 4v --param mttc --from 500 --to 5000
 //   nvpcli optimize    --paper 6v --from 100 --to 3000
 //   nvpcli sensitivity --paper 6v [--step 0.1]
 //   nvpcli archspace   --paper 6v [--max-n 10] [--top 10]
@@ -15,8 +16,10 @@
 //
 // Every subcommand accepts the shared option quartet --jobs/--seed/
 // --format {table,csv,json}/--output <path>, plus the observability flags
-// --metrics-json <path> (write a run manifest; implies --trace) and --trace
-// (print the span tree to stderr). NVP_METRICS=0 disables metrics; a
+// --metrics-json <path> (write a run manifest; implies --trace), --trace
+// (print the span tree to stderr), and --cache-stats (print the staged
+// pipeline's per-stage cache table — structure / rates / reward_table /
+// rewards / whole_result — to stderr). NVP_METRICS=0 disables metrics; a
 // path-valued NVP_METRICS acts like --metrics-json.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on model/solver errors.
@@ -31,6 +34,7 @@
 #include "src/core/engine.hpp"
 #include "src/core/model_factory.hpp"
 #include "src/core/reliability.hpp"
+#include "src/core/staged.hpp"
 #include "src/markov/dspn_solver.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/manifest.hpp"
@@ -60,6 +64,9 @@ int usage() {
       "<expr>) [--horizon 1e6] [--reps 8]\n"
       "  nvpcli sweep       --paper 4v|6v --param "
       "interval|mttc|alpha|p|p-prime --from <x> --to <x> [--points 15]\n"
+      "  nvpcli crossovers  --paper 4v|6v --vs plain|4v|6v --param "
+      "interval|mttc|alpha|p|p-prime --from <x> --to <x> [--points 15] "
+      "[--tolerance 1.0]\n"
       "  nvpcli optimize    --paper 6v --from <x> --to <x>\n"
       "  nvpcli sensitivity --paper 4v|6v [--step 0.1]\n"
       "  nvpcli archspace   --paper 4v|6v [--max-n 10] [--max-f 2] "
@@ -77,9 +84,10 @@ int usage() {
       "table|csv|json, --output <path>\n"
       "observability: --metrics-json <path> (write run manifest; implies "
       "--trace), --trace (span tree to stderr), --metrics (counter dump to "
-      "stderr); NVP_METRICS=0 disables collection\n"
+      "stderr), --cache-stats (per-stage pipeline cache table to stderr); "
+      "NVP_METRICS=0 disables collection\n"
       "deprecated aliases: --threads->--jobs --rng-seed->--seed "
-      "--csv/--json->--format --out->--output --cache-stats->--metrics\n");
+      "--csv/--json->--format --out->--output\n");
   return 1;
 }
 
@@ -154,6 +162,25 @@ bool emit(const std::string& text, const std::string& path) {
   }
   out << text;
   return out.good();
+}
+
+void dump_cache_stats() {
+  const auto stats = core::stage_cache_stats();
+  const auto row = [](const char* name, const runtime::CacheStats& s) {
+    std::fprintf(stderr, "  %-13s %8llu %8llu %10llu %8.1f%%\n", name,
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.misses),
+                 static_cast<unsigned long long>(s.evictions),
+                 100.0 * s.hit_rate());
+  };
+  std::fprintf(stderr, "staged-pipeline caches:\n");
+  std::fprintf(stderr, "  %-13s %8s %8s %10s %9s\n", "stage", "hits",
+               "misses", "evictions", "hit-rate");
+  row("structure", stats.structure);
+  row("rates", stats.rates);
+  row("reward_table", stats.reward_table);
+  row("rewards", stats.rewards);
+  row("whole_result", stats.whole_result);
 }
 
 void dump_metrics() {
@@ -390,23 +417,22 @@ int simulate_paper(const core::Engine& engine, const util::CliArgs& args,
   return 0;
 }
 
+/// Maps a --param name to its setter; nullptr for unknown names.
+core::ParameterSetter setter_for(const std::string& name) {
+  if (name == "interval") return core::set_rejuvenation_interval();
+  if (name == "mttc") return core::set_mean_time_to_compromise();
+  if (name == "alpha") return core::set_alpha();
+  if (name == "p") return core::set_p();
+  if (name == "p-prime") return core::set_p_prime();
+  return nullptr;
+}
+
 int sweep(const core::Engine& engine, const util::CliArgs& args,
           const util::CommonOptions& common, std::string& out) {
   const auto params = paper_params(args);
   const std::string name = args.get("param", "interval");
-  core::ParameterSetter setter;
-  if (name == "interval")
-    setter = core::set_rejuvenation_interval();
-  else if (name == "mttc")
-    setter = core::set_mean_time_to_compromise();
-  else if (name == "alpha")
-    setter = core::set_alpha();
-  else if (name == "p")
-    setter = core::set_p();
-  else if (name == "p-prime")
-    setter = core::set_p_prime();
-  else
-    return usage();
+  const core::ParameterSetter setter = setter_for(name);
+  if (!setter) return usage();
   const double from = args.get_double("from", 0.0);
   const double to = args.get_double("to", 0.0);
   const auto points = static_cast<std::size_t>(args.get_int("points", 15));
@@ -418,6 +444,58 @@ int sweep(const core::Engine& engine, const util::CliArgs& args,
   for (const auto& point : results)
     report.rows.push_back({util::format("%.6g", point.x),
                            util::format("%.7f", point.expected_reliability)});
+  out = render(report, common.format);
+  return 0;
+}
+
+// Finds parameter values where two configurations' reliability curves
+// intersect (the paper's "which architecture wins where" question — e.g.
+// six-version vs four-version as the compromise rate degrades, or
+// rejuvenating vs plain as the interval varies). Configuration A is the
+// usual --paper preset with overrides; --vs picks configuration B:
+// "plain" (A without rejuvenation), "4v", or "6v".
+int crossovers(const core::Engine& engine, const util::CliArgs& args,
+               const util::CommonOptions& common, std::string& out) {
+  const auto config_a = paper_params(args);
+  const std::string vs = args.get("vs", "plain");
+  core::SystemParameters config_b = config_a;
+  if (vs == "plain") {
+    if (!config_a.rejuvenation) {
+      std::fprintf(stderr,
+                   "--vs plain compares against the base configuration "
+                   "without rejuvenation, which needs a rejuvenating "
+                   "--paper base\n");
+      return 1;
+    }
+    config_b.rejuvenation = false;
+  } else if (vs == "4v") {
+    config_b = core::SystemParameters::paper_four_version();
+  } else if (vs == "6v") {
+    config_b = core::SystemParameters::paper_six_version();
+  } else {
+    std::fprintf(stderr, "--vs expects plain|4v|6v, got '%s'\n", vs.c_str());
+    return 1;
+  }
+  const std::string name = args.get("param", "mttc");
+  const core::ParameterSetter setter = setter_for(name);
+  if (!setter) return usage();
+  const double from = args.get_double("from", 0.0);
+  const double to = args.get_double("to", 0.0);
+  const auto points = static_cast<std::size_t>(args.get_int("points", 15));
+  const double tolerance = args.get_double("tolerance", 1.0);
+  if (!(to > from) || points < 2 || !(tolerance > 0.0)) return usage();
+  const auto crossings = engine.crossovers(
+      config_a, config_b, setter, core::linspace(from, to, points), tolerance);
+  if (crossings.empty() && common.format == util::OutputFormat::kTable) {
+    out += util::format("no crossovers of %s in [%g, %g] (%zu grid points)\n",
+                        name.c_str(), from, to, points);
+    return 0;
+  }
+  Report report;
+  report.columns = {name, "E[R_sys]"};
+  for (const auto& crossing : crossings)
+    report.rows.push_back({util::format("%.6g", crossing.x),
+                           util::format("%.7f", crossing.reliability)});
   out = render(report, common.format);
   return 0;
 }
@@ -536,6 +614,8 @@ int main(int argc, char** argv) {
                                  : simulate_paper(engine, args, common, out);
     else if (command == "sweep")
       status = sweep(engine, args, common, out);
+    else if (command == "crossovers")
+      status = crossovers(engine, args, common, out);
     else if (command == "optimize")
       status = optimize(engine, args, common, out);
     else if (command == "sensitivity")
@@ -555,6 +635,7 @@ int main(int argc, char** argv) {
           obs::span_tree_text(obs::TraceRecorder::global().finished())
               .c_str());
     if (common.metrics_dump) dump_metrics();
+    if (common.cache_stats) dump_cache_stats();
     if (!metrics_json.empty()) {
       obs::RunManifest manifest;
       manifest.tool = "nvpcli";
