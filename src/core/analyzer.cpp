@@ -39,6 +39,12 @@ std::uint64_t analysis_cache_key(const SystemParameters& params,
       .i32(static_cast<int>(options.solver.backend))
       .i32(static_cast<int>(options.solver.sparse_threshold))
       .i32(static_cast<int>(options.solver.mrgp_sparse_threshold));
+  // The fallback chain selects the numeric path of degraded sparse solves;
+  // distinct chains are distinct cache entries (see rates_stage_key).
+  h.i32(static_cast<int>(options.solver.fallback.stages.size()));
+  for (const markov::FallbackStage stage : options.solver.fallback.stages)
+    h.i32(static_cast<int>(stage));
+  h.f64(options.solver.fallback.attempt_deadline_seconds);
   return h.digest();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/engine.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
@@ -65,23 +66,54 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
     }
   }
 
-  std::vector<ArchitectureResult> results =
-      runtime::parallel_map(candidates, [&](const Candidate& candidate) {
-        const auto analysis = engine.analyze_raw(candidate.params);
-        ArchitectureResult result;
-        result.n = candidate.n;
-        result.f = candidate.f;
-        result.r = candidate.r;
-        result.rejuvenation = candidate.rejuvenation;
-        result.expected_reliability = analysis.expected_reliability;
-        result.tangible_states = analysis.tangible_states;
-        return result;
-      });
+  static obs::Counter& degraded =
+      obs::Registry::global().counter("fault.degraded_points");
+  std::vector<ArchitectureResult> results(candidates.size());
+  std::vector<char> done(candidates.size(), 0);
+  const auto eval = [&](std::size_t i) {
+    const Candidate& candidate = candidates[i];
+    ArchitectureResult result;
+    result.n = candidate.n;
+    result.f = candidate.f;
+    result.r = candidate.r;
+    result.rejuvenation = candidate.rejuvenation;
+    try {
+      const auto analysis = engine.analyze_raw(candidate.params);
+      result.expected_reliability = analysis.expected_reliability;
+      result.tangible_states = analysis.tangible_states;
+    } catch (const std::exception&) {
+      if (options_.strict) throw;
+      result.ok = false;
+      result.error = fault::ErrorInfo::from_current_exception();
+      degraded.add();
+    }
+    results[i] = std::move(result);
+    done[i] = 1;
+  };
+  try {
+    runtime::parallel_for(candidates.size(), eval);
+  } catch (const std::exception&) {
+    // Pool-level failure outside eval's guard: degrade the unevaluated
+    // candidates into envelopes instead of dropping the whole scan.
+    if (options_.strict) throw;
+    const fault::ErrorInfo info = fault::ErrorInfo::from_current_exception();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (done[i]) continue;
+      results[i].n = candidates[i].n;
+      results[i].f = candidates[i].f;
+      results[i].r = candidates[i].r;
+      results[i].rejuvenation = candidates[i].rejuvenation;
+      results[i].ok = false;
+      results[i].error = info;
+      degraded.add();
+    }
+  }
 
   // Cost-efficiency proxy relative to the cheapest architecture.
   for (auto& result : results)
     result.reliability_per_module =
-        result.expected_reliability / static_cast<double>(result.n);
+        result.ok ? result.expected_reliability / static_cast<double>(result.n)
+                  : 0.0;
 
   std::sort(results.begin(), results.end(),
             [](const ArchitectureResult& a, const ArchitectureResult& b) {

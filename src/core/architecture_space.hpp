@@ -5,10 +5,13 @@
 
 #include "src/core/analyzer.hpp"
 #include "src/core/params.hpp"
+#include "src/fault/error.hpp"
 
 namespace nvp::core {
 
-/// One evaluated architecture point.
+/// One evaluated architecture point. A candidate whose solve failed under
+/// graceful degradation carries `ok = false` plus the error envelope (its
+/// reliability fields are meaningless and sort to the bottom).
 struct ArchitectureResult {
   int n = 0;
   int f = 0;
@@ -19,6 +22,8 @@ struct ArchitectureResult {
   /// Reliability gain per added module version over the cheapest feasible
   /// architecture in the same family (cost proxy: module count).
   double reliability_per_module = 0.0;
+  bool ok = true;
+  fault::ErrorInfo error;
 
   std::string label() const;
 };
@@ -39,6 +44,9 @@ class ArchitectureSpaceExplorer {
     /// architectures use dense LU while the large-N tail of the sweep (the
     /// reason this explorer exists) switches to the sparse Krylov path.
     markov::SolverBackend backend = markov::SolverBackend::kAuto;
+    /// Fail fast on the first candidate whose solve throws instead of
+    /// degrading it into an error envelope (ArchitectureResult::ok).
+    bool strict = false;
   };
 
   ArchitectureSpaceExplorer() = default;

@@ -8,6 +8,16 @@
 
 namespace nvp::core {
 
+namespace {
+
+obs::Counter& degraded_runs() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("fault.degraded_runs");
+  return counter;
+}
+
+}  // namespace
+
 RunResult Engine::snapshot(const std::string& entry,
                            const SystemParameters& params,
                            std::uint64_t seed) const {
@@ -31,16 +41,39 @@ double Engine::reliability(const SystemParameters& params) const {
 
 RunResult Engine::analyze(const SystemParameters& params) const {
   const obs::ScopedSpan span("engine.analyze");
-  AnalysisResult analysis = analyzer_.analyze(params);
-  RunResult result = snapshot("analyze", params);
-  result.analysis = std::move(analysis);
-  result.analytic = true;
-  return result;
+  try {
+    AnalysisResult analysis = analyzer_.analyze(params);
+    RunResult result = snapshot("analyze", params);
+    result.analysis = std::move(analysis);
+    result.analytic = true;
+    return result;
+  } catch (const std::exception&) {
+    if (engine_options_.strict) throw;
+    degraded_runs().add();
+    RunResult result = snapshot("analyze", params);
+    result.ok = false;
+    result.error = fault::ErrorInfo::from_current_exception();
+    return result;
+  }
 }
 
 RunResult Engine::simulate(const SystemParameters& params,
                            const SimulateOptions& options) const {
   const obs::ScopedSpan span("engine.simulate");
+  try {
+    return simulate_impl(params, options);
+  } catch (const std::exception&) {
+    if (engine_options_.strict) throw;
+    degraded_runs().add();
+    RunResult result = snapshot("simulate", params, options.seed);
+    result.ok = false;
+    result.error = fault::ErrorInfo::from_current_exception();
+    return result;
+  }
+}
+
+RunResult Engine::simulate_impl(const SystemParameters& params,
+                                const SimulateOptions& options) const {
   params.validate();
   const BuiltModel model = PerceptionModelFactory::build(params);
   const auto rewards =
@@ -69,7 +102,7 @@ std::vector<SweepPoint> Engine::sweep(
     const SystemParameters& base, const ParameterSetter& setter,
     const std::vector<double>& values) const {
   const obs::ScopedSpan span("engine.sweep");
-  return sweep_parameter(analyzer_, base, setter, values);
+  return sweep_parameter(analyzer_, base, setter, values, policy());
 }
 
 std::vector<Crossover> Engine::crossovers(
@@ -78,7 +111,7 @@ std::vector<Crossover> Engine::crossovers(
     double tolerance) const {
   const obs::ScopedSpan span("engine.crossovers");
   return find_crossovers(analyzer_, config_a, config_b, setter, values,
-                         tolerance);
+                         tolerance, policy());
 }
 
 Optimum Engine::optimize(const SystemParameters& base,
@@ -86,7 +119,7 @@ Optimum Engine::optimize(const SystemParameters& base,
                          std::size_t grid_points, double tolerance) const {
   const obs::ScopedSpan span("engine.optimize");
   return maximize_reliability(analyzer_, base, setter, lo, hi, grid_points,
-                              tolerance);
+                              tolerance, policy());
 }
 
 Optimum Engine::optimize_rejuvenation_interval(const SystemParameters& base,
@@ -95,7 +128,8 @@ Optimum Engine::optimize_rejuvenation_interval(const SystemParameters& base,
                                                double tolerance) const {
   const obs::ScopedSpan span("engine.optimize");
   return core::optimize_rejuvenation_interval(analyzer_, base, lo, hi,
-                                              grid_points, tolerance);
+                                              grid_points, tolerance,
+                                              policy());
 }
 
 std::vector<SensitivityEntry> Engine::sensitivity(
@@ -108,7 +142,9 @@ std::vector<ArchitectureResult> Engine::architectures(
     const SystemParameters& base,
     const ArchitectureSpaceExplorer::Options& options) const {
   const obs::ScopedSpan span("engine.architectures");
-  return ArchitectureSpaceExplorer(options).explore(base);
+  ArchitectureSpaceExplorer::Options explore_options = options;
+  explore_options.strict = explore_options.strict || engine_options_.strict;
+  return ArchitectureSpaceExplorer(explore_options).explore(base);
 }
 
 }  // namespace nvp::core

@@ -29,11 +29,18 @@ struct Provenance {
 /// provenance. Exactly one of `analytic` / `simulated` is set by analyze()
 /// and simulate(); batch entry points return their own payload types and
 /// leave envelope assembly to the caller via Engine::snapshot().
+///
+/// Graceful degradation: when a solve fails and the engine is not strict,
+/// the entry point still returns an envelope — `ok = false`, `error` filled,
+/// no payload flag set — so batch drivers and services keep their metrics
+/// and provenance instead of unwinding.
 struct RunResult {
   AnalysisResult analysis;            ///< valid when `analytic`
   sim::ReplicationEstimate estimate;  ///< valid when `simulated`
   bool analytic = false;
   bool simulated = false;
+  bool ok = true;
+  fault::ErrorInfo error;  ///< set when `ok` is false
 
   obs::MetricsSnapshot metrics;  ///< registry state after the run
   Provenance provenance;
@@ -57,9 +64,20 @@ class Engine {
     double confidence_level = 0.95;
   };
 
+  /// Engine-level behavior knobs, orthogonal to the analyzer math.
+  struct Options {
+    /// Fail fast: rethrow solver errors instead of degrading them into
+    /// error envelopes (RunResult::ok / SweepPoint::ok / ...).
+    bool strict = false;
+  };
+
   Engine() = default;
   explicit Engine(ReliabilityAnalyzer::Options options)
       : analyzer_options_(options), analyzer_(options) {}
+  Engine(ReliabilityAnalyzer::Options options, Options engine_options)
+      : analyzer_options_(options),
+        engine_options_(engine_options),
+        analyzer_(options) {}
 
   /// Analytic E[R_sys] of one configuration, with envelope.
   RunResult analyze(const SystemParameters& params) const;
@@ -109,9 +127,15 @@ class Engine {
   const ReliabilityAnalyzer::Options& options() const {
     return analyzer_options_;
   }
+  const Options& engine_options() const { return engine_options_; }
 
  private:
+  fault::Policy policy() const { return {engine_options_.strict}; }
+  RunResult simulate_impl(const SystemParameters& params,
+                          const SimulateOptions& options) const;
+
   ReliabilityAnalyzer::Options analyzer_options_{};
+  Options engine_options_{};
   ReliabilityAnalyzer analyzer_{};
 };
 

@@ -1,7 +1,9 @@
 #include "src/core/optimizer.hpp"
 
 #include <cmath>
+#include <limits>
 
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/util/contracts.hpp"
@@ -11,18 +13,34 @@ namespace nvp::core {
 Optimum maximize_reliability(
     const ReliabilityAnalyzer& analyzer, const SystemParameters& base,
     const std::function<void(SystemParameters&, double)>& setter, double lo,
-    double hi, std::size_t grid_points, double tolerance) {
+    double hi, std::size_t grid_points, double tolerance,
+    const fault::Policy& policy) {
   NVP_EXPECTS(hi > lo);
   NVP_EXPECTS(grid_points >= 3);
   NVP_EXPECTS(tolerance > 0.0);
   const obs::ScopedSpan span("core.optimize");
+  static obs::Counter& degraded =
+      obs::Registry::global().counter("fault.degraded_points");
+  constexpr double kFailed = -std::numeric_limits<double>::infinity();
+
+  // Degradation: a failed evaluation scores -inf, so the search simply
+  // never selects it; strict mode rethrows.
+  auto value_of = [&](const SystemParameters& params) {
+    if (policy.strict) return analyzer.analyze(params).expected_reliability;
+    try {
+      return analyzer.analyze(params).expected_reliability;
+    } catch (const std::exception&) {
+      degraded.add();
+      return kFailed;
+    }
+  };
 
   std::size_t evals = 0;
   auto f = [&](double x) {
     SystemParameters params = base;
     setter(params, x);
     ++evals;
-    return analyzer.analyze(params).expected_reliability;
+    return value_of(params);
   };
 
   // Coarse grid to bracket the global maximum: the grid points are
@@ -33,15 +51,22 @@ Optimum maximize_reliability(
   // memoization cache).
   const double step =
       (hi - lo) / static_cast<double>(grid_points - 1);
-  std::vector<double> grid_f(grid_points);
+  std::vector<double> grid_f(grid_points, kFailed);
   auto grid_eval = [&](std::size_t i) {
     SystemParameters params = base;
     setter(params, lo + step * static_cast<double>(i));
-    grid_f[i] = analyzer.analyze(params).expected_reliability;
+    grid_f[i] = value_of(params);
   };
   grid_eval(0);
-  runtime::parallel_for(grid_points - 1,
-                        [&](std::size_t i) { grid_eval(i + 1); });
+  try {
+    runtime::parallel_for(grid_points - 1,
+                          [&](std::size_t i) { grid_eval(i + 1); });
+  } catch (const std::exception&) {
+    // Pool-level failure (outside value_of's guard): the unevaluated grid
+    // entries keep their -inf marker.
+    if (policy.strict) throw;
+    degraded.add();
+  }
   evals += grid_points;
   double best_x = lo, best_f = grid_f[0];
   for (std::size_t i = 1; i < grid_points; ++i) {
@@ -49,6 +74,13 @@ Optimum maximize_reliability(
       best_f = grid_f[i];
       best_x = lo + step * static_cast<double>(i);
     }
+  }
+  if (best_f == kFailed) {
+    fault::Context context;
+    context.site = "core.optimize";
+    throw fault::Error(fault::Category::kNoConvergence,
+                       "maximize_reliability: every grid evaluation failed",
+                       std::move(context));
   }
   double a = std::max(lo, best_x - step);
   double b = std::min(hi, best_x + step);
@@ -87,13 +119,14 @@ Optimum optimize_rejuvenation_interval(const ReliabilityAnalyzer& analyzer,
                                        const SystemParameters& base,
                                        double lo, double hi,
                                        std::size_t grid_points,
-                                       double tolerance) {
+                                       double tolerance,
+                                       const fault::Policy& policy) {
   NVP_EXPECTS_MSG(base.rejuvenation,
                   "optimizing the interval needs a rejuvenating model");
   return maximize_reliability(
       analyzer, base,
       [](SystemParameters& p, double v) { p.rejuvenation_interval = v; },
-      lo, hi, grid_points, tolerance);
+      lo, hi, grid_points, tolerance, policy);
 }
 
 }  // namespace nvp::core

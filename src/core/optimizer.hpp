@@ -4,6 +4,7 @@
 #include <functional>
 #include "src/core/analyzer.hpp"
 #include "src/core/params.hpp"
+#include "src/fault/error.hpp"
 
 namespace nvp::core {
 
@@ -22,16 +23,20 @@ Optimum optimize_rejuvenation_interval(const ReliabilityAnalyzer& analyzer,
                                        const SystemParameters& base,
                                        double lo, double hi,
                                        std::size_t grid_points = 16,
-                                       double tolerance = 1.0);
+                                       double tolerance = 1.0,
+                                       const fault::Policy& policy = {});
 
 /// Generic variant for any parameter (uses the same grid + golden-section
-/// strategy).
+/// strategy). Unless `policy.strict`, a failed evaluation scores -inf (the
+/// optimum is found among the points that did solve); if every grid point
+/// fails, throws fault::Error.
 Optimum maximize_reliability(const ReliabilityAnalyzer& analyzer,
                              const SystemParameters& base,
                              const std::function<void(SystemParameters&,
                                                       double)>& setter,
                              double lo, double hi,
                              std::size_t grid_points = 16,
-                             double tolerance = 1e-3);
+                             double tolerance = 1e-3,
+                             const fault::Policy& policy = {});
 
 }  // namespace nvp::core

@@ -133,7 +133,7 @@ std::uint64_t rates_stage_key(
     const SystemParameters& params,
     const markov::DspnSteadyStateSolver::Options& solver) {
   runtime::Fnv1a h;
-  h.str("core::staged/rates/v1");
+  h.str("core::staged/rates/v2");
   h.u64(structure_stage_key(params));
   h.f64(params.mean_time_to_compromise)
       .f64(params.mean_time_to_failure)
@@ -150,6 +150,13 @@ std::uint64_t rates_stage_key(
       .i32(static_cast<int>(solver.backend))
       .i32(static_cast<int>(solver.sparse_threshold))
       .i32(static_cast<int>(solver.mrgp_sparse_threshold));
+  // The fallback chain decides which numeric path produced the stationary
+  // vector (and whether a degraded sparse solve retried on dense), so a
+  // custom chain must never alias the default chain's distribution.
+  h.i32(static_cast<int>(solver.fallback.stages.size()));
+  for (const markov::FallbackStage stage : solver.fallback.stages)
+    h.i32(static_cast<int>(stage));
+  h.f64(solver.fallback.attempt_deadline_seconds);
   return h.digest();
 }
 

@@ -1,12 +1,40 @@
 #include "src/linalg/iterative.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "src/fault/injector.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::linalg {
+
+namespace {
+
+/// Iteration-boundary deadline check shared by the iterative solvers: zero
+/// bound = never expires. The steady_clock read costs ~20ns against a
+/// sparse matvec of at least microseconds, so checking every iteration is
+/// free.
+class Deadline {
+ public:
+  explicit Deadline(double seconds)
+      : bounded_(seconds > 0.0),
+        expiry_(std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds > 0.0 ? seconds
+                                                                : 0.0))) {}
+
+  bool expired() const {
+    return bounded_ && std::chrono::steady_clock::now() >= expiry_;
+  }
+
+ private:
+  bool bounded_;
+  std::chrono::steady_clock::time_point expiry_;
+};
+
+}  // namespace
 
 IterativeResult gauss_seidel(const DenseMatrix& a, const Vector& b,
                              const IterativeOptions& opts) {
@@ -19,7 +47,12 @@ IterativeResult gauss_seidel(const DenseMatrix& a, const Vector& b,
   IterativeResult res;
   res.x.assign(n, 0.0);
   const double w = opts.relaxation;
+  const Deadline deadline(opts.deadline_seconds);
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (deadline.expired()) {
+      res.deadline_exceeded = true;
+      break;
+    }
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double* row = a.row_data(i);
@@ -168,6 +201,13 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
     res.converged = true;
     return res;
   }
+  if (fault::fire(fault::Site::kGmres)) {
+    // Injected non-convergence: report exactly what a stalled Krylov solve
+    // reports so the caller's fallback path is the one exercised.
+    res.residual = std::numeric_limits<double>::infinity();
+    return res;
+  }
+  const Deadline deadline(opts.deadline_seconds);
   const Preconditioner precond = Preconditioner::make(a, opts.preconditioner);
 
   // Arnoldi basis V, preconditioned basis Z (flexible-GMRES storage so the
@@ -179,6 +219,10 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
 
   double prev_cycle_residual = std::numeric_limits<double>::infinity();
   while (res.iterations < opts.max_iterations) {
+    if (deadline.expired()) {
+      res.deadline_exceeded = true;
+      break;
+    }
     Vector r = a.multiply(res.x);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     const double beta = norm2(r);
@@ -199,6 +243,10 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
     std::size_t j = 0;
     bool breakdown = false;
     for (; j < m && res.iterations < opts.max_iterations; ++j) {
+      if (deadline.expired()) {
+        res.deadline_exceeded = true;
+        break;
+      }
       ++res.iterations;
       z[j] = precond.apply(v[j]);
       Vector w = a.multiply(z[j]);
@@ -282,7 +330,16 @@ IterativeResult stationary_impl(const Matrix& p,
   NVP_EXPECTS(n > 0);
   IterativeResult res;
   res.x.assign(n, 1.0 / static_cast<double>(n));
+  if (fault::fire(fault::Site::kPowerIteration)) {
+    res.residual = std::numeric_limits<double>::infinity();
+    return res;
+  }
+  const Deadline deadline(opts.deadline_seconds);
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (deadline.expired()) {
+      res.deadline_exceeded = true;
+      break;
+    }
     Vector next = p.left_multiply(res.x);
     normalize_l1(next);
     double delta = 0.0;

@@ -12,6 +12,10 @@ struct IterativeOptions {
   std::size_t max_iterations = 100000;
   double tolerance = 1e-12;  // max-norm of successive-iterate difference
   double relaxation = 1.0;   // SOR factor; 1.0 = Gauss-Seidel
+  /// Wall-clock bound in seconds; 0 = unbounded. A solve that overruns it
+  /// stops at the next iteration boundary with `deadline_exceeded` set
+  /// (and `converged` false), so a fallback chain can bound each attempt.
+  double deadline_seconds = 0.0;
 };
 
 /// Result of an iterative solve.
@@ -20,6 +24,7 @@ struct IterativeResult {
   std::size_t iterations = 0;
   double residual = 0.0;
   bool converged = false;
+  bool deadline_exceeded = false;  ///< stopped by IterativeOptions deadline
 };
 
 /// Gauss-Seidel / SOR for A x = b on a dense matrix with nonzero diagonal.
@@ -62,6 +67,8 @@ struct GmresOptions {
   std::size_t max_iterations = 5000;  ///< total Krylov steps across cycles
   double tolerance = 1e-14;           ///< relative residual ||b - Ax|| / ||b||
   PreconditionerKind preconditioner = PreconditionerKind::kIlu0;
+  /// Wall-clock bound in seconds; 0 = unbounded (see IterativeOptions).
+  double deadline_seconds = 0.0;
 };
 
 /// Restarted GMRES for sparse A x = b, right-preconditioned so the monitored

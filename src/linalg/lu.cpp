@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/fault/injector.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::linalg {
@@ -23,9 +24,24 @@ LuDecomposition::LuDecomposition(DenseMatrix a) : lu_(std::move(a)) {
         piv = r;
       }
     }
-    if (best == 0.0)
-      throw SingularMatrixError("LuDecomposition: singular at column " +
-                                std::to_string(col));
+    if (fault::fire(fault::Site::kLuPivot)) {
+      fault::Context context;
+      context.site = "linalg.lu";
+      context.states = n;
+      context.detail = "injected";
+      throw SingularMatrixError(
+          "LuDecomposition: injected singular pivot at column " +
+              std::to_string(col),
+          std::move(context));
+    }
+    if (best == 0.0) {
+      fault::Context context;
+      context.site = "linalg.lu";
+      context.states = n;
+      throw SingularMatrixError(
+          "LuDecomposition: singular at column " + std::to_string(col),
+          std::move(context));
+    }
     if (piv != col) {
       for (std::size_t c = 0; c < n; ++c)
         std::swap(lu_(piv, c), lu_(col, c));

@@ -1,8 +1,9 @@
 #pragma once
 
-#include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "src/fault/error.hpp"
 #include "src/linalg/dense_matrix.hpp"
 
 namespace nvp::linalg {
@@ -29,11 +30,15 @@ class LuDecomposition {
   int perm_sign_ = 1;
 };
 
-/// Thrown by LuDecomposition for singular systems.
-class SingularMatrixError : public std::runtime_error {
+/// Thrown by LuDecomposition for singular systems. A fault::Error of
+/// category kSingularMatrix, so taxonomy-aware handlers (the solver
+/// fallback chain) and legacy catch sites both work.
+class SingularMatrixError : public fault::Error {
  public:
-  explicit SingularMatrixError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit SingularMatrixError(const std::string& what,
+                               fault::Context context = {})
+      : fault::Error(fault::Category::kSingularMatrix, what,
+                     std::move(context)) {}
 };
 
 /// One-shot dense solve of A x = b.

@@ -103,7 +103,8 @@ const char* to_string(SolverBackend backend) {
   return "?";
 }
 
-Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator) {
+Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator,
+                                const FallbackOptions& fallback) {
   NVP_EXPECTS(generator.rows() == generator.cols());
   const std::size_t n = generator.rows();
   NVP_EXPECTS(n > 0);
@@ -122,32 +123,20 @@ Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator) {
   Vector b(n, 0.0);
   b[n - 1] = 1.0;
 
-  auto res = linalg::gmres(a, b);
-  if (res.converged) {
-    bool plausible = true;
-    for (double x : res.x)
-      if (!std::isfinite(x) || x < -1e-8) plausible = false;
-    if (plausible) {
-      for (double& x : res.x) x = std::max(x, 0.0);
-      linalg::normalize_l1(res.x);
-      return res.x;
-    }
-  }
-
-  // Krylov solve stalled (or produced garbage on a reducible chain): power
-  // iteration on the uniformized DTMC still converges.
-  double lambda = sparse_uniformization_rate(generator);
-  NVP_EXPECTS_MSG(lambda > 0.0, "steady state of an all-absorbing chain");
-  lambda *= 1.02;
-  const auto p_u = sparse_uniformized_dtmc(generator, lambda);
-  linalg::IterativeOptions power_opts;
-  power_opts.tolerance = 1e-14;
-  auto power = linalg::stationary_power_iteration(p_u, power_opts);
-  if (!power.converged)
-    throw SolverError(
-        "sparse steady state: GMRES stalled (residual " +
-        std::to_string(res.residual) + ") and power iteration stalled too");
-  return power.x;
+  StationaryProblem problem;
+  problem.balance = &a;
+  problem.rhs = &b;
+  problem.states = n;
+  problem.what = "ctmc_steady_state_sparse";
+  // The power stage runs on the uniformized DTMC (built only when a Krylov
+  // stage stalled or produced garbage on a reducible chain).
+  problem.stochastic = [&generator] {
+    double lambda = sparse_uniformization_rate(generator);
+    NVP_EXPECTS_MSG(lambda > 0.0, "steady state of an all-absorbing chain");
+    lambda *= 1.02;
+    return sparse_uniformized_dtmc(generator, lambda);
+  };
+  return solve_stationary_chain(problem, fallback);
 }
 
 Vector ctmc_steady_state(const DenseMatrix& generator,

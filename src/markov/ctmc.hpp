@@ -1,19 +1,29 @@
 #pragma once
 
-#include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "src/fault/error.hpp"
 #include "src/linalg/dense_matrix.hpp"
 #include "src/linalg/sparse_matrix.hpp"
+#include "src/markov/fallback.hpp"
 #include "src/petri/reachability.hpp"
 
 namespace nvp::markov {
 
 /// Thrown when a chain does not satisfy a solver's requirements (absorbing
 /// states in a steady-state analysis, several concurrently enabled
-/// deterministic transitions, ...).
-class SolverError : public std::runtime_error {
+/// deterministic transitions, ...) or when every numerical method in a
+/// fallback chain failed. A fault::Error whose category distinguishes the
+/// two: kInvalidModel (the default — a retry cannot fix the input) vs
+/// kNoConvergence / kDeadlineExceeded from the solve paths.
+class SolverError : public fault::Error {
  public:
-  explicit SolverError(const std::string& what) : std::runtime_error(what) {}
+  explicit SolverError(const std::string& what,
+                       fault::Category category =
+                           fault::Category::kInvalidModel,
+                       fault::Context context = {})
+      : fault::Error(category, what, std::move(context)) {}
 };
 
 /// Continuous-time Markov chain in dense-generator form. `generator(i, j)`
@@ -52,13 +62,15 @@ enum class SolverBackend { kAuto, kDense, kSparse };
 const char* to_string(SolverBackend backend);
 
 /// Stationary distribution of an irreducible CTMC from its sparse generator
-/// (pi Q = 0, sum pi = 1): GMRES with ILU0 preconditioning on the transposed
-/// balance equations with the normalization constraint replacing the last
-/// row — the Krylov counterpart of ctmc_steady_state's direct LU. Falls back
-/// to power iteration on the uniformized chain when the Krylov solve stalls;
-/// throws SolverError when neither converges.
+/// (pi Q = 0, sum pi = 1): the transposed balance equations with the
+/// normalization constraint replacing the last row — the Krylov counterpart
+/// of ctmc_steady_state's direct LU — solved through the configurable
+/// fallback chain (GMRES+ILU0 -> GMRES+Jacobi -> power iteration on the
+/// uniformized chain -> dense LU oracle by default). Throws SolverError
+/// with every attempted stage in the context when the chain is exhausted.
 linalg::Vector ctmc_steady_state_sparse(
-    const linalg::SparseMatrixCsr& generator);
+    const linalg::SparseMatrixCsr& generator,
+    const FallbackOptions& fallback = {});
 
 /// Stationary distribution pi of an irreducible CTMC (pi Q = 0, sum pi = 1).
 /// Throws SolverError if the chain has an absorbing state or the direct

@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "src/fault/error.hpp"
+#include "src/fault/injector.hpp"
 #include "src/linalg/sparse_matrix.hpp"
 #include "src/markov/dtmc.hpp"
 #include "src/markov/sparse_assembly.hpp"
@@ -201,7 +203,7 @@ Vector solve_mrgp_sparse(const petri::TangibleReachabilityGraph& g,
 
   const Vector nu = [&] {
     const obs::ScopedSpan stationary_span("markov.dtmc_stationary_sparse");
-    return dtmc_stationary(p);
+    return dtmc_stationary(p, options.fallback);
   }();
 
   return finish_stationary(c.left_multiply(nu), options.clamp_epsilon);
@@ -255,6 +257,15 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
   NVP_EXPECTS(plan.states == n);
   NVP_EXPECTS(plan.has_deterministic == g.has_deterministic());
 
+  if (fault::fire(fault::Site::kAlloc)) {
+    fault::Context context;
+    context.site = "markov.solver";
+    context.states = n;
+    context.detail = "injected";
+    throw SolverError("DSPN solver: injected matrix-allocation failure",
+                      fault::Category::kResource, std::move(context));
+  }
+
   DspnSteadyStateResult result;
   result.states = n;
   // MRGP embedded chains are near-dense, so their sparse crossover sits far
@@ -288,43 +299,78 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
   if (!g.has_deterministic()) {
     ctmc_solves.add();
     result.pure_ctmc = true;
-    if (sparse) {
-      const SparseMatrixCsr q = plan.generator.pour(sparse_generator_values(g));
-      result.matrix_nonzeros = q.nonzeros();
-      const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state_sparse");
-      result.probabilities = ctmc_steady_state_sparse(q);
-    } else {
-      result.matrix_nonzeros = n * n;
-      const Ctmc chain = Ctmc::from_graph(g);
-      const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state");
-      result.probabilities =
-          ctmc_steady_state(chain.generator, options_.ctmc_method);
-    }
-    nnz_hist.observe(static_cast<double>(result.matrix_nonzeros));
-    return result;
-  }
-  mrgp_solves.add();
-
-  // Sanity: at most one deterministic transition enabled per marking, and
-  // no fully absorbing tangible state.
-  for (std::size_t s = 0; s < n; ++s) {
-    if (g.deterministics(s).size() > 1)
-      throw SolverError(
-          "DSPN solver: marking " + petri::to_string(g.marking(s)) +
-          " enables " + std::to_string(g.deterministics(s).size()) +
-          " deterministic transitions (at most one is supported)");
-    if (g.deterministics(s).empty() && g.exponential_edges(s).empty())
-      throw SolverError("DSPN solver: absorbing tangible marking " +
-                        petri::to_string(g.marking(s)) +
-                        " has no stationary distribution");
-  }
-
-  if (sparse) {
-    result.probabilities =
-        solve_mrgp_sparse(g, plan, options_, result.matrix_nonzeros);
   } else {
-    result.matrix_nonzeros = 2 * n * n;  // the dense P and C
-    result.probabilities = solve_mrgp_dense(g, plan, options_);
+    mrgp_solves.add();
+    // Sanity: at most one deterministic transition enabled per marking, and
+    // no fully absorbing tangible state.
+    for (std::size_t s = 0; s < n; ++s) {
+      if (g.deterministics(s).size() > 1)
+        throw SolverError(
+            "DSPN solver: marking " + petri::to_string(g.marking(s)) +
+            " enables " + std::to_string(g.deterministics(s).size()) +
+            " deterministic transitions (at most one is supported)");
+      if (g.deterministics(s).empty() && g.exponential_edges(s).empty())
+        throw SolverError("DSPN solver: absorbing tangible marking " +
+                          petri::to_string(g.marking(s)) +
+                          " has no stationary distribution");
+    }
+  }
+
+  const auto solve_with = [&](bool use_sparse) {
+    if (result.pure_ctmc) {
+      if (use_sparse) {
+        const SparseMatrixCsr q =
+            plan.generator.pour(sparse_generator_values(g));
+        result.matrix_nonzeros = q.nonzeros();
+        const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state_sparse");
+        result.probabilities = ctmc_steady_state_sparse(q, options_.fallback);
+      } else {
+        result.matrix_nonzeros = n * n;
+        const Ctmc chain = Ctmc::from_graph(g);
+        const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state");
+        result.probabilities =
+            ctmc_steady_state(chain.generator, options_.ctmc_method);
+      }
+    } else if (use_sparse) {
+      result.probabilities =
+          solve_mrgp_sparse(g, plan, options_, result.matrix_nonzeros);
+    } else {
+      result.matrix_nonzeros = 2 * n * n;  // the dense P and C
+      result.probabilities = solve_mrgp_dense(g, plan, options_);
+    }
+  };
+
+  if (!sparse) {
+    solve_with(false);
+  } else {
+    try {
+      solve_with(true);
+    } catch (const std::exception& sparse_error) {
+      // Whole-solve degradation: if the chain keeps the dense oracle as its
+      // last resort, rebuild on the dense backend before giving up.
+      const auto& stages = options_.fallback.stages;
+      if (std::find(stages.begin(), stages.end(), FallbackStage::kDenseLu) ==
+          stages.end())
+        throw;
+      static obs::Counter& backend_fallbacks =
+          obs::Registry::global().counter("markov.solver.backend_fallbacks");
+      backend_fallbacks.add();
+      dense_solves.add();
+      result.backend_used = SolverBackend::kDense;
+      try {
+        const obs::ScopedSpan retry_span("markov.solve.backend_fallback");
+        solve_with(false);
+      } catch (const std::exception& dense_error) {
+        fault::Context context;
+        context.site = "markov.solver";
+        context.states = n;
+        context.causes = {std::string("sparse: ") + sparse_error.what(),
+                          std::string("dense: ") + dense_error.what()};
+        throw SolverError(
+            "DSPN solver: sparse backend failed and the dense retry failed",
+            fault::category_of(dense_error), std::move(context));
+      }
+    }
   }
   nnz_hist.observe(static_cast<double>(result.matrix_nonzeros));
   return result;

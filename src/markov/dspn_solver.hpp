@@ -111,6 +111,11 @@ class DspnSteadyStateSolver {
     /// dense matrix-exponential doubling once the O(n^3 log tau) cost
     /// dominates — measured crossover is ~500-600 states in Release builds.
     std::size_t mrgp_sparse_threshold = 512;
+    /// Retry/fallback chain of the sparse stationary solves (see
+    /// fallback.hpp). Also governs whole-solve degradation: when the sparse
+    /// backend fails outright and the chain includes the dense stage, the
+    /// solve is retried on the dense backend before giving up.
+    FallbackOptions fallback;
   };
 
   DspnSteadyStateSolver() = default;

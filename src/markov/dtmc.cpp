@@ -42,7 +42,8 @@ Vector dtmc_stationary(const DenseMatrix& p) {
   return res.x;
 }
 
-Vector dtmc_stationary(const linalg::SparseMatrixCsr& p) {
+Vector dtmc_stationary(const linalg::SparseMatrixCsr& p,
+                       const FallbackOptions& fallback) {
   NVP_EXPECTS(p.rows() == p.cols());
   const std::size_t n = p.rows();
   NVP_EXPECTS(n > 0);
@@ -60,26 +61,14 @@ Vector dtmc_stationary(const linalg::SparseMatrixCsr& p) {
   Vector b(n, 0.0);
   b[n - 1] = 1.0;
 
-  auto res = linalg::gmres(a, b);
-  if (res.converged) {
-    bool plausible = true;
-    for (double x : res.x)
-      if (!std::isfinite(x) || x < -1e-8) plausible = false;
-    if (plausible) {
-      for (double& x : res.x) x = std::max(x, 0.0);
-      linalg::normalize_l1(res.x);
-      return res.x;
-    }
-  }
-
-  linalg::IterativeOptions power_opts;
-  power_opts.tolerance = 1e-14;
-  auto power = linalg::stationary_power_iteration(p, power_opts);
-  if (!power.converged)
-    throw SolverError(
-        "dtmc_stationary (sparse): GMRES stalled (residual " +
-        std::to_string(res.residual) + ") and power iteration stalled too");
-  return power.x;
+  StationaryProblem problem;
+  problem.balance = &a;
+  problem.rhs = &b;
+  problem.states = n;
+  problem.what = "dtmc_stationary (sparse)";
+  // P is already row-stochastic: the power stage iterates it directly.
+  problem.stochastic = [&p] { return p; };
+  return solve_stationary_chain(problem, fallback);
 }
 
 double max_row_sum_error(const DenseMatrix& p) {

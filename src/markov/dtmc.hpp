@@ -2,6 +2,7 @@
 
 #include "src/linalg/dense_matrix.hpp"
 #include "src/linalg/sparse_matrix.hpp"
+#include "src/markov/fallback.hpp"
 
 namespace nvp::markov {
 
@@ -11,11 +12,13 @@ namespace nvp::markov {
 /// deficiency. Throws SolverError if neither converges.
 linalg::Vector dtmc_stationary(const linalg::DenseMatrix& p);
 
-/// Sparse (Krylov) variant: GMRES + ILU0 on (P^T - I) with the
-/// normalization constraint replacing the last balance equation, falling
-/// back to power iteration when the Krylov solve stalls. This is the
-/// embedded-chain stationary solve of the sparse DSPN backend.
-linalg::Vector dtmc_stationary(const linalg::SparseMatrixCsr& p);
+/// Sparse (Krylov) variant: (P^T - I) with the normalization constraint
+/// replacing the last balance equation, solved through the configurable
+/// fallback chain (GMRES+ILU0 -> GMRES+Jacobi -> power iteration -> dense
+/// LU oracle by default). This is the embedded-chain stationary solve of
+/// the sparse DSPN backend.
+linalg::Vector dtmc_stationary(const linalg::SparseMatrixCsr& p,
+                               const FallbackOptions& fallback = {});
 
 /// Verifies that each row of P sums to 1 within `tol`; returns the largest
 /// deviation (useful for asserting EMC construction correctness).

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/linalg/sparse_matrix.hpp"
+
+namespace nvp::markov {
+
+/// One stage of the sparse stationary-solve fallback chain, ordered from
+/// cheapest/strongest to the exhaustive oracle:
+///
+///   gmres-ilu0 -> gmres-jacobi -> power -> dense
+///
+/// Each stage is attempted in chain order until one produces a plausible
+/// distribution; a stage that stalls, exceeds its deadline, or throws is
+/// recorded (obs counters + the aggregate error's causes) and the next
+/// stage runs. `dense` densifies the balance system and LU-solves it — the
+/// same arithmetic as the dense oracle backend, so a chain ending in
+/// `dense` only fails on genuinely singular/invalid systems.
+enum class FallbackStage {
+  kGmresIlu0,
+  kGmresJacobi,
+  kPowerIteration,
+  kDenseLu,
+};
+
+/// "gmres-ilu0" / "gmres-jacobi" / "power" / "dense".
+const char* to_string(FallbackStage stage);
+
+/// Retry/fallback configuration of the sparse stationary solves,
+/// configurable through DspnSteadyStateSolver::Options and nvpcli
+/// --fallback. The default chain reproduces (and extends) the historic
+/// behavior: GMRES+ILU0 first, then power iteration, with GMRES+Jacobi and
+/// the dense LU oracle as additional rungs.
+struct FallbackOptions {
+  std::vector<FallbackStage> stages = default_stages();
+  /// Wall-clock bound per attempt in seconds; 0 = unbounded. Applied to the
+  /// iterative stages (the dense LU oracle runs to completion).
+  double attempt_deadline_seconds = 0.0;
+
+  /// The full four-stage chain.
+  static std::vector<FallbackStage> default_stages();
+};
+
+/// Parses a comma-separated chain spec, e.g. "gmres-ilu0,power,dense".
+/// Throws std::invalid_argument on unknown stage names or an empty spec.
+std::vector<FallbackStage> parse_fallback_stages(std::string_view spec);
+
+/// Renders a chain back to its comma-separated spec form.
+std::string to_string(const std::vector<FallbackStage>& stages);
+
+/// A normalized stationary balance system for solve_stationary_chain():
+/// `balance` x = `rhs` where the last balance row was replaced by the
+/// normalization constraint (the system both the historic GMRES path and
+/// the dense direct method solve). `stochastic` lazily builds the
+/// row-stochastic matrix the power-iteration stage runs on — lazily,
+/// because building it costs a matrix pass that the happy path never needs.
+struct StationaryProblem {
+  const linalg::SparseMatrixCsr* balance = nullptr;
+  const linalg::Vector* rhs = nullptr;
+  std::function<linalg::SparseMatrixCsr()> stochastic;
+  std::size_t states = 0;
+  const char* what = "stationary solve";  ///< label for spans and errors
+};
+
+/// Runs the fallback chain over the problem and returns the stationary
+/// vector of the first stage that succeeds. Throws SolverError (category
+/// kNoConvergence, or kDeadlineExceeded when every failure was the
+/// deadline) with every attempted stage's failure in the context when the
+/// chain is exhausted.
+linalg::Vector solve_stationary_chain(const StationaryProblem& problem,
+                                      const FallbackOptions& options);
+
+}  // namespace nvp::markov

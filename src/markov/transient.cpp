@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/fault/error.hpp"
+#include "src/fault/injector.hpp"
 #include "src/linalg/poisson.hpp"
 #include "src/markov/ctmc.hpp"
 #include "src/markov/sparse_assembly.hpp"
@@ -66,6 +69,16 @@ ExponentialPair matrix_exponential_pair(const DenseMatrix& generator,
   NVP_EXPECTS(generator.rows() == generator.cols());
   NVP_EXPECTS(tau >= 0.0);
   const std::size_t n = generator.rows();
+  if (fault::fire(fault::Site::kUniformization)) {
+    fault::Context context;
+    context.site = "markov.uniformization";
+    context.backend = "dense";
+    context.states = n;
+    context.detail = "injected";
+    throw fault::Error(fault::Category::kNoConvergence,
+                       "matrix_exponential_pair: injected series failure",
+                       std::move(context));
+  }
   if (tau == 0.0)
     return {DenseMatrix::identity(n), DenseMatrix(n, n, 0.0)};
 
@@ -122,6 +135,16 @@ SparseUniformization::SparseUniformization(
     : tau_(tau), size_(generator.rows()) {
   NVP_EXPECTS(generator.rows() == generator.cols());
   NVP_EXPECTS(tau >= 0.0);
+  if (fault::fire(fault::Site::kUniformization)) {
+    fault::Context context;
+    context.site = "markov.sparse_uniformization";
+    context.backend = "sparse";
+    context.states = size_;
+    context.detail = "injected";
+    throw fault::Error(fault::Category::kNoConvergence,
+                       "SparseUniformization: injected series failure",
+                       std::move(context));
+  }
   lambda_ = sparse_uniformization_rate(generator);
   if (lambda_ > 0.0 && tau > 0.0) {
     p_u_ = sparse_uniformized_dtmc(generator, lambda_);

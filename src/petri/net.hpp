@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/error.hpp"
 #include "src/petri/marking.hpp"
 
 namespace nvp::petri {
@@ -37,10 +38,13 @@ using RateFn = std::function<double(const Marking&)>;
 /// Marking-dependent arc multiplicity.
 using ArcWeightFn = std::function<TokenCount(const Marking&)>;
 
-/// Thrown when a net definition or an operation on it is invalid.
-class NetError : public std::runtime_error {
+/// Thrown when a net definition or an operation on it is invalid. A
+/// fault::Error of category kInvalidModel: a bad net is a caller error no
+/// solver fallback can repair.
+class NetError : public fault::Error {
  public:
-  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+  explicit NetError(const std::string& what)
+      : fault::Error(fault::Category::kInvalidModel, what) {}
 };
 
 /// One arc endpoint with a constant or marking-dependent multiplicity.

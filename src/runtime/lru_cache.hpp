@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/fault/injector.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/util/contracts.hpp"
 
@@ -72,7 +73,13 @@ class ShardedLruCache {
   }
 
   /// Looks the key up, refreshing its LRU position. Counts a hit or a miss.
+  /// An armed fault::Injector `cache` site turns lookups into forced misses
+  /// (counted as misses), which must never change results — only costs.
   std::optional<Value> get(std::uint64_t key) {
+    if (fault::fire(fault::Site::kCache)) {
+      misses_->add();
+      return std::nullopt;
+    }
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.index.find(key);

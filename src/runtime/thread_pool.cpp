@@ -5,8 +5,12 @@
 #include <cstdlib>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 
+#include "src/fault/error.hpp"
+#include "src/fault/injector.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/util/contracts.hpp"
 
@@ -30,28 +34,69 @@ struct PoolMetrics {
   }
 };
 
+/// Throws the injected task-dispatch failure of the `pool` fault site.
+[[noreturn]] void throw_injected_dispatch_failure() {
+  fault::Context context;
+  context.site = "runtime.pool";
+  context.detail = "injected";
+  throw fault::Error(fault::Category::kResource,
+                     "parallel_for: injected task-dispatch failure",
+                     std::move(context));
+}
+
 /// Completion state shared by the tasks of one parallel_for call.
 struct LoopGroup {
   std::atomic<std::size_t> next{0};      ///< next unclaimed index
   std::atomic<bool> failed{false};       ///< a body threw; stop claiming
   std::atomic<std::size_t> inflight{0};  ///< pool tasks not yet finished
   std::mutex error_mutex;
-  std::exception_ptr error;  ///< first exception, guarded by error_mutex
+  /// Every captured exception (guarded by error_mutex): once one body has
+  /// thrown no new indices start, but bodies already in flight on other
+  /// workers can still fail — all of them are collected, none dropped.
+  std::vector<std::exception_ptr> errors;
 
   void drain(std::size_t n, const std::function<void(std::size_t)>& body) {
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
+        if (fault::fire(fault::Site::kPool))
+          throw_injected_dispatch_failure();
         body(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
+        errors.push_back(std::current_exception());
         failed.store(true, std::memory_order_relaxed);
       }
     }
   }
 };
+
+/// Rethrows a loop's failure on the caller: a single exception propagates
+/// unchanged (so catch sites keyed on the concrete type keep working); two
+/// or more aggregate into one fault::Error whose context lists every
+/// worker's message, instead of silently dropping all but the first.
+[[noreturn]] void rethrow_loop_errors(
+    const std::vector<std::exception_ptr>& errors) {
+  if (errors.size() == 1) std::rethrow_exception(errors.front());
+  fault::Context context;
+  context.site = "runtime.pool";
+  fault::Category category = fault::Category::kInternal;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::exception& e) {
+      if (i == 0) category = fault::category_of(e);
+      context.causes.push_back(e.what());
+    } catch (...) {
+      context.causes.push_back("non-standard exception");
+    }
+  }
+  throw fault::Error(category,
+                     "parallel_for: " + std::to_string(errors.size()) +
+                         " loop bodies failed",
+                     std::move(context));
+}
 
 }  // namespace
 
@@ -145,8 +190,12 @@ void ThreadPool::parallel_for(
   PoolMetrics::get().indices.add(n);
   if (impl_->workers.empty() || n == 1) {
     // Serial pool (jobs == 1) or trivial loop: run inline, exceptions
-    // propagate naturally.
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    // propagate naturally (a single failure, same as the parallel path's
+    // single-error rethrow).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fault::fire(fault::Site::kPool)) throw_injected_dispatch_failure();
+      body(i);
+    }
     return;
   }
 
@@ -168,7 +217,8 @@ void ThreadPool::parallel_for(
   // (stealing unrelated queued tasks while it waits).
   group->drain(n, body);
   impl_->wait_for_group(*group);
-  if (group->error) std::rethrow_exception(group->error);
+  // All helpers are done: errors needs no lock anymore.
+  if (!group->errors.empty()) rethrow_loop_errors(group->errors);
 }
 
 namespace {

@@ -18,10 +18,13 @@ namespace nvp::runtime {
 /// nested `parallel_for` on a saturated pool degrades to inline execution
 /// instead of deadlocking.
 ///
-/// Exception policy: the first exception thrown by any loop body is captured
-/// and rethrown on the calling thread after the loop drains; once a body has
-/// thrown, indices that have not started yet are skipped (indices already in
-/// flight on other workers still finish).
+/// Exception policy: every exception thrown by a loop body is captured; once
+/// a body has thrown, indices that have not started yet are skipped (indices
+/// already in flight on other workers still finish, and their failures are
+/// captured too). After the loop drains, a single captured exception is
+/// rethrown unchanged on the calling thread; two or more are aggregated into
+/// one fault::Error (category of the first failure) whose context lists
+/// every body's message, so multi-point failures are not masked.
 class ThreadPool {
  public:
   /// `jobs >= 1`: total concurrency including the caller (spawns jobs - 1
@@ -37,7 +40,7 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [0, n), dynamically load-balanced across
   /// the pool. Blocks until all indices are done (or abandoned after an
-  /// exception); rethrows the first exception on the caller.
+  /// exception); rethrows on the caller per the exception policy above.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 

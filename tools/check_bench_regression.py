@@ -49,6 +49,15 @@ import sys
 BENCHMARK_NAME = "BM_FullAnalyzerSixVersion"
 BASELINE_KEY = "full_analyzer_six_version_uncached_ms"
 
+# Highest baseline/report schema this tool understands. Files without a
+# "schema_version" field predate versioning and are treated as version 1.
+# A newer file is not a regression and not noise — it means the checkout of
+# this tool is older than whoever recorded the baseline, so the run exits
+# with the dedicated EXIT_SCHEMA code (distinct from 1 = gate violation /
+# 2 = usage or unreadable input) for CI to tell the cases apart.
+SUPPORTED_SCHEMA_VERSION = 1
+EXIT_SCHEMA = 3
+
 # Sweep-mode gates: (section, field, minimum value). The floors restate the
 # staged pipeline's contract, not a machine-specific measurement, so they
 # hold on any hardware: reuse ratios and counter invariants are wall-clock
@@ -68,11 +77,20 @@ def load_json(path: str, role: str) -> dict:
     """Loads a JSON file, mapping I/O and parse failures to one-line errors."""
     try:
         with open(path, encoding="utf-8") as f:
-            return json.load(f)
+            doc = json.load(f)
     except OSError as e:
         raise SystemExit(f"error: cannot read {role} '{path}': {e.strerror}")
     except json.JSONDecodeError as e:
         raise SystemExit(f"error: {role} '{path}' is not valid JSON: {e}")
+    version = doc.get("schema_version", 1) if isinstance(doc, dict) else 1
+    if isinstance(version, (int, float)) and version > SUPPORTED_SCHEMA_VERSION:
+        print(
+            f"error: {role} '{path}' has schema_version {version:g}, but "
+            f"this tool supports <= {SUPPORTED_SCHEMA_VERSION} — update "
+            f"tools/check_bench_regression.py"
+        )
+        raise SystemExit(EXIT_SCHEMA)
+    return doc
 
 
 def metric_names(doc: dict, prefix: str = "") -> list[str]:

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI fault gauntlet: drive nvpcli sweeps under forced fault injection.
+
+Each run sweeps the rejuvenation interval over `--points` points for a paper
+model while NVP_FAULT_INJECT arms one injection site at rate 1.0. The gate
+asserts the robustness contract end to end:
+
+  * the process never aborts (exit code 0, full CSV on stdout),
+  * every point still appears in the output — failed points carry a
+    structured error envelope instead of a reliability value,
+  * schedules that hit an unexercised or value-neutral site (uniformization
+    on the CTMC-only 4v model, forced cache misses anywhere) leave the
+    results bit-identical to the clean baseline.
+
+One JSON artifact per run plus a summary land in --out (default
+gauntlet-out/) so CI uploads them for post-mortem on failure.
+
+Usage: tools/fault_gauntlet.py [--cli build/tools/nvpcli] [--points 50]
+                               [--out gauntlet-out]
+"""
+
+import argparse
+import csv
+import io
+import json
+import os
+import subprocess
+import sys
+
+# Expectation per run: "envelopes" means every row must carry an error
+# envelope and no value; "clean" means no error column and every row must
+# carry a value; "identical" additionally pins values to the clean baseline
+# of the same model (injection at that site must not perturb results).
+SCHEDULES = [
+    ("clean", None, {"4v": "clean", "6v": "clean"}),
+    # The 6v model's deterministic rejuvenation clock forces the MRGP
+    # uniformization path; the 4v preset solves as a pure CTMC, so the armed
+    # site is never reached and results must match the baseline exactly.
+    ("solver", "uniformization:1.0:11", {"4v": "identical", "6v": "envelopes"}),
+    # Dense-assembly allocation faults hit every solve of either model.
+    ("alloc", "alloc:1.0:23", {"4v": "envelopes", "6v": "envelopes"}),
+    # Forced cache misses change only costs, never values.
+    ("cache", "cache:1.0:5", {"4v": "identical", "6v": "identical"}),
+]
+
+
+def run_sweep(cli, model, spec, points):
+    env = dict(os.environ)
+    env.pop("NVP_FAULT_INJECT", None)
+    if spec is not None:
+        env["NVP_FAULT_INJECT"] = spec
+    cmd = [
+        cli, "sweep", "--paper", model, "--param", "interval",
+        "--from", "200", "--to", "3000", "--points", str(points),
+        "--format", "csv",
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    rows = []
+    if proc.returncode == 0:
+        reader = csv.DictReader(io.StringIO(proc.stdout))
+        rows = list(reader)
+    return {
+        "command": " ".join(cmd),
+        "fault_inject": spec,
+        "model": model,
+        "exit_code": proc.returncode,
+        "stderr": proc.stderr.strip(),
+        "rows": rows,
+    }
+
+
+def check(run, expectation, points, baseline):
+    errors = []
+    if run["exit_code"] != 0:
+        errors.append("aborted with exit code %d: %s"
+                      % (run["exit_code"], run["stderr"]))
+        return errors
+    rows = run["rows"]
+    if len(rows) != points:
+        errors.append("expected %d sweep rows, got %d" % (points, len(rows)))
+        return errors
+    for i, row in enumerate(rows):
+        value = row.get("E[R_sys]", "")
+        envelope = row.get("error", "")
+        if expectation == "envelopes":
+            if not envelope:
+                errors.append("row %d: expected an error envelope" % i)
+            if value:
+                errors.append("row %d: degraded point still has a value" % i)
+        else:
+            if envelope:
+                errors.append("row %d: unexpected envelope: %s" % (i, envelope))
+            if not value:
+                errors.append("row %d: missing reliability value" % i)
+    if expectation == "identical" and not errors:
+        clean = [r["E[R_sys]"] for r in baseline["rows"]]
+        got = [r["E[R_sys]"] for r in rows]
+        if clean != got:
+            errors.append("results differ from the clean baseline")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cli", default="build/tools/nvpcli")
+    parser.add_argument("--points", type=int, default=50)
+    parser.add_argument("--out", default="gauntlet-out")
+    args = parser.parse_args()
+
+    os.makedirs(args.out, exist_ok=True)
+    baselines = {}
+    summary = {"points": args.points, "runs": [], "failures": 0}
+    failed = False
+    for schedule, spec, expectations in SCHEDULES:
+        for model, expectation in sorted(expectations.items()):
+            run = run_sweep(args.cli, model, spec, args.points)
+            if schedule == "clean":
+                baselines[model] = run
+            errors = check(run, expectation, args.points,
+                           baselines.get(model))
+            run["expectation"] = expectation
+            run["check_errors"] = errors
+            name = "%s-%s" % (schedule, model)
+            with open(os.path.join(args.out, name + ".json"), "w") as f:
+                json.dump(run, f, indent=2)
+            status = "ok" if not errors else "FAIL"
+            print("[%s] %s (%s): %s"
+                  % (status, name, expectation, errors or "pass"))
+            summary["runs"].append({"name": name, "expectation": expectation,
+                                    "ok": not errors, "errors": errors})
+            if errors:
+                failed = True
+                summary["failures"] += 1
+    with open(os.path.join(args.out, "summary.json"), "w") as f:
+        json.dump(summary, f, indent=2)
+    if failed:
+        print("fault gauntlet FAILED (%d run(s)); artifacts in %s"
+              % (summary["failures"], args.out))
+        return 1
+    print("fault gauntlet passed; artifacts in %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

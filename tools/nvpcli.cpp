@@ -80,6 +80,10 @@ int usage() {
       "solver selection (any analytic command): --solver auto|dense|sparse "
       "(auto = sparse Krylov above 128 states for CTMC models, above 512 "
       "for MRGP models, dense below)\n"
+      "robustness: --fallback <stage,...> (sparse retry chain, stages "
+      "gmres-ilu0|gmres-jacobi|power|dense; default all four), --strict "
+      "(fail fast instead of degrading failed points into error "
+      "envelopes)\n"
       "common options (any command): --jobs N, --seed S, --format "
       "table|csv|json, --output <path>\n"
       "observability: --metrics-json <path> (write run manifest; implies "
@@ -245,6 +249,9 @@ core::ReliabilityAnalyzer::Options analyzer_options(
   else if (solver != "auto")
     throw std::invalid_argument("--solver must be auto, dense, or sparse (got '" +
                                 solver + "')");
+  if (args.has("fallback"))
+    options.solver.fallback.stages =
+        markov::parse_fallback_stages(args.get("fallback", ""));
   return options;
 }
 
@@ -255,6 +262,11 @@ int analyze_paper(const core::Engine& engine, const util::CliArgs& args,
                   const util::CommonOptions& common, std::string& out) {
   const auto params = paper_params(args);
   const auto result = engine.analyze(params);
+  if (!result.ok) {
+    std::fprintf(stderr, "error: analysis failed: %s\n",
+                 result.error.summary().c_str());
+    return 2;
+  }
   const auto& analysis = result.analysis;
   const char* solver = analysis.used_dspn_solver ? "MRGP" : "CTMC";
   const char* backend = analysis.used_sparse_backend ? "sparse" : "dense";
@@ -439,11 +451,22 @@ int sweep(const core::Engine& engine, const util::CliArgs& args,
   if (!(to > from) || points < 2) return usage();
   const auto results =
       engine.sweep(params, setter, core::linspace(from, to, points));
+  // Degraded points render an empty reliability cell plus an error column
+  // (added only when at least one point failed, so clean sweeps keep the
+  // two-column shape downstream tooling parses).
+  bool any_failed = false;
+  for (const auto& point : results) any_failed |= !point.ok;
   Report report;
   report.columns = {name, "E[R_sys]"};
-  for (const auto& point : results)
-    report.rows.push_back({util::format("%.6g", point.x),
-                           util::format("%.7f", point.expected_reliability)});
+  if (any_failed) report.columns.push_back("error");
+  for (const auto& point : results) {
+    std::vector<std::string> row = {
+        util::format("%.6g", point.x),
+        point.ok ? util::format("%.7f", point.expected_reliability)
+                 : std::string()};
+    if (any_failed) row.push_back(point.ok ? "" : point.error.summary());
+    report.rows.push_back(std::move(row));
+  }
   out = render(report, common.format);
   return 0;
 }
@@ -559,17 +582,24 @@ int archspace(const core::Engine& engine, const util::CliArgs& args,
   const int top = args.get_int("top", 0);
   if (top > 0 && results.size() > static_cast<std::size_t>(top))
     results.resize(static_cast<std::size_t>(top));
+  bool any_failed = false;
+  for (const auto& r : results) any_failed |= !r.ok;
   Report report;
   report.columns = {"architecture", "n",        "f",
                     "r",            "rejuv",    "E[R_sys]",
                     "states",       "R_per_module"};
-  for (const auto& r : results)
-    report.rows.push_back(
-        {r.label(), util::format("%d", r.n), util::format("%d", r.f),
-         util::format("%d", r.r), r.rejuvenation ? "yes" : "no",
-         util::format("%.7f", r.expected_reliability),
-         util::format("%zu", r.tangible_states),
-         util::format("%.3g", r.reliability_per_module)});
+  if (any_failed) report.columns.push_back("error");
+  for (const auto& r : results) {
+    std::vector<std::string> row = {
+        r.label(), util::format("%d", r.n), util::format("%d", r.f),
+        util::format("%d", r.r), r.rejuvenation ? "yes" : "no",
+        r.ok ? util::format("%.7f", r.expected_reliability) : std::string(),
+        util::format("%zu", r.tangible_states),
+        r.ok ? util::format("%.3g", r.reliability_per_module)
+             : std::string()};
+    if (any_failed) row.push_back(r.ok ? "" : r.error.summary());
+    report.rows.push_back(std::move(row));
+  }
   out = render(report, common.format);
   return 0;
 }
@@ -603,7 +633,9 @@ int main(int argc, char** argv) {
     if (common.jobs > 0)
       runtime::set_default_jobs(static_cast<std::size_t>(common.jobs));
 
-    const core::Engine engine(analyzer_options(args));
+    core::Engine::Options engine_options;
+    engine_options.strict = args.has("strict");
+    const core::Engine engine(analyzer_options(args), engine_options);
     std::string out;
     int status = 1;
     if (command == "analyze")
