@@ -5,6 +5,7 @@
 #include "src/obs/manifest.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
+#include "src/util/string_util.hpp"
 
 namespace nvp::core {
 
@@ -13,6 +14,12 @@ namespace {
 obs::Counter& degraded_runs() {
   static obs::Counter& counter =
       obs::Registry::global().counter("fault.degraded_runs");
+  return counter;
+}
+
+obs::Counter& deadline_misses() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("engine.deadline_missed");
   return counter;
 }
 
@@ -55,6 +62,43 @@ RunResult Engine::analyze(const SystemParameters& params) const {
     result.error = fault::ErrorInfo::from_current_exception();
     return result;
   }
+}
+
+fault::ErrorInfo Engine::deadline_error(const std::string& site,
+                                        double overrun_s) {
+  fault::ErrorInfo info;
+  info.category = fault::Category::kDeadlineExceeded;
+  info.site = site;
+  info.message =
+      overrun_s < 0.0
+          ? "deadline expired before the solve started"
+          : util::format("solve finished %.3f s past the deadline", overrun_s);
+  return info;
+}
+
+RunResult Engine::analyze_within(
+    const SystemParameters& params,
+    std::chrono::steady_clock::time_point deadline) const {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) {
+    deadline_misses().add();
+    RunResult result = snapshot("analyze", params);
+    result.ok = false;
+    result.error = deadline_error("engine.deadline", -1.0);
+    return result;
+  }
+  RunResult result = analyze(params);
+  const auto done = std::chrono::steady_clock::now();
+  if (done > deadline && result.ok) {
+    deadline_misses().add();
+    const double overrun_s =
+        std::chrono::duration<double>(done - deadline).count();
+    result.ok = false;
+    result.analytic = false;
+    result.analysis = AnalysisResult();
+    result.error = deadline_error("engine.deadline", overrun_s);
+  }
+  return result;
 }
 
 RunResult Engine::simulate(const SystemParameters& params,

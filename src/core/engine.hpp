@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -81,6 +82,28 @@ class Engine {
 
   /// Analytic E[R_sys] of one configuration, with envelope.
   RunResult analyze(const SystemParameters& params) const;
+
+  /// Deadline-scoped analyze for services: the run must be complete by
+  /// `deadline` or it degrades into a deadline-exceeded envelope (the
+  /// fault::Error kDeadlineExceeded category), never an exception. An
+  /// already-expired deadline short-circuits before touching the solver; a
+  /// run that finishes past the deadline is reported as exceeded even
+  /// though the solve completed — its result still warms the process-wide
+  /// staged caches, so a retry is nearly free. The deadline deliberately
+  /// does NOT perturb the solver's FallbackOptions: the per-attempt solver
+  /// deadline is part of the staged cache key (a different numeric path
+  /// must never alias), so threading a per-request wall-clock bound into it
+  /// would give every request a distinct cache identity and defeat both the
+  /// staged cache and request coalescing.
+  RunResult analyze_within(
+      const SystemParameters& params,
+      std::chrono::steady_clock::time_point deadline) const;
+
+  /// The envelope analyze_within() degrades to; exposed so services can
+  /// report boundary deadline misses (queue wait alone exceeded the budget)
+  /// with the same shape. `overrun_s` < 0 means "expired before start".
+  static fault::ErrorInfo deadline_error(const std::string& site,
+                                         double overrun_s);
 
   /// Monte-Carlo replication estimate of E[R_sys], with envelope. The
   /// reward model matches the analyzer's convention, so simulate() and

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/service/protocol.hpp"
+#include "src/service/wire.hpp"
+
+namespace nvp::service {
+
+/// A decoded response envelope. `result` / `error` point into `document`'s
+/// tree; copy out what outlives the Response.
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string raw;                  ///< the payload bytes as received
+  wire::Value document;             ///< the whole response object
+  const wire::Value* result = nullptr;  ///< set when ok
+  const wire::Value* error = nullptr;   ///< set when !ok
+};
+
+/// Blocking client for the nvpd protocol: one TCP connection, synchronous
+/// call() (send a frame, read frames until the matching id arrives — the
+/// server may interleave other responses on a shared connection, but this
+/// client is single-request so arrival order is response order). Used by
+/// `nvpcli --remote`, the tests, and as the building block loadgen's
+/// pipelined connections bypass (they frame by hand).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. False (with `*error` filled) on failure.
+  bool connect(const std::string& host, int port, std::string* error);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one request payload (JSON text) as a frame. False on I/O error.
+  bool send(std::string_view request_json);
+
+  /// Reads the next response frame and decodes its envelope. nullopt on
+  /// EOF / framing / parse failure (`*error` says which).
+  std::optional<Response> receive(std::string* error);
+
+  /// send() + receive() with an id check.
+  std::optional<Response> call(std::uint64_t id, std::string_view request_json,
+                               std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Parses "host:port" (host defaults to 127.0.0.1 when the string is just a
+/// port). False on malformed input.
+bool parse_endpoint(const std::string& endpoint, std::string* host, int* port);
+
+}  // namespace nvp::service

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/service/protocol.hpp"
+
+namespace nvp::service {
+
+/// Point-in-time service counters (the `stats` protocol response and the
+/// CLI's --cache-stats service block read the same numbers). All counts are
+/// process-lifetime totals from the obs registry.
+struct ServiceStats {
+  std::uint64_t requests = 0;         ///< work requests admitted or rejected
+  std::uint64_t executed = 0;         ///< engine runs performed by workers
+  std::uint64_t coalesced = 0;        ///< requests that shared another solve
+  std::uint64_t rejected = 0;         ///< queue-full rejections
+  std::uint64_t deadline_missed = 0;  ///< responses degraded to deadline-exceeded
+  std::uint64_t protocol_errors = 0;  ///< malformed frames / requests
+  std::uint64_t responses = 0;        ///< response frames written
+  std::size_t queue_depth = 0;        ///< tasks waiting right now
+  std::size_t connections = 0;        ///< live connections right now
+};
+
+/// Reads the service counters out of the process-wide obs registry (all
+/// zeros when no server ran — the batch CLI prints the same block).
+ServiceStats service_stats();
+
+/// Renders the `stats` result payload: service counters + the staged
+/// pipeline's per-stage cache table + configuration echoes.
+std::string stats_result_json(const ServiceStats& stats);
+
+/// nvpd: a long-running daemon fronting core::Engine over the length-
+/// prefixed JSON protocol. The request path is
+///
+///   reader -> admission (bounded queue, backpressure) -> coalesce
+///          -> worker pool -> engine -> envelope -> response
+///
+/// * Bounded admission: at most `queue_capacity` solves wait; a request
+///   that finds the queue full is rejected immediately with a structured
+///   resource error carrying a retry_after_ms hint (load shedding, never
+///   unbounded memory).
+/// * Coalescing: work requests with equal coalesce_key() attach to the
+///   in-flight task instead of occupying a queue slot; when the leader's
+///   solve completes, the result payload is serialized once and every
+///   attached request receives byte-identical result bytes.
+/// * Deadlines: a request's deadline_ms bounds queue wait + solve. Expiry
+///   is checked at dequeue and again at completion, degrading into the
+///   fault taxonomy's deadline-exceeded category. The deadline is never
+///   threaded into solver options — that would give each request a
+///   distinct staged-cache identity (see Engine::analyze_within).
+/// * Degradation: the engine runs non-strict, so solver failures become
+///   error envelopes per request (and per sweep point); the process never
+///   aborts on a failed solve.
+/// * The staged pipeline's caches are process-wide, so every request of
+///   the daemon's lifetime shares one warm cache.
+///
+/// Shutdown is graceful: stop accepting, reject new work with a
+/// shutting-down error, drain the queue and in-flight solves, flush every
+/// response, then join all threads.
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;                   ///< 0 = ephemeral (see Server::port())
+    std::size_t workers = 0;        ///< solver threads; 0 = default_jobs()
+    std::size_t queue_capacity = 1024;
+    std::uint32_t max_frame_bytes = kMaxFrameBytes;
+    /// Applied when a request carries no deadline_ms of its own; 0 = none.
+    double default_deadline_ms = 0.0;
+    core::ReliabilityAnalyzer::Options analyzer;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + worker threads. Throws
+  /// fault::Error (kResource) when the socket cannot be bound.
+  void start();
+
+  /// The bound port (after start(); resolves port 0 to the actual value).
+  int port() const;
+
+  /// Blocks until shutdown() completed or a peer requested shutdown via the
+  /// protocol. In the latter case the caller still runs shutdown() itself
+  /// (the request handler cannot join the thread it runs on).
+  void wait();
+
+  /// Graceful stop: reject new work, drain in-flight, flush responses,
+  /// join every thread. Idempotent.
+  void shutdown();
+
+  /// True once shutdown() has completed.
+  bool stopped() const;
+
+  /// True once a shutdown was requested (protocol request or shutdown()).
+  bool shutdown_requested() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Connection;
+  struct Task;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+
+  /// Handles one parsed frame payload on the reader thread. Returns false
+  /// when the connection must close (framing no longer trustworthy).
+  bool handle_payload(const std::shared_ptr<Connection>& conn,
+                      const std::string& payload);
+  void admit(const std::shared_ptr<Connection>& conn, Request request);
+  std::string run_engine(const Request& request, bool* ok,
+                         fault::ErrorInfo* error);
+
+  /// Writes one response frame and settles the request's drain accounting
+  /// (release the connection's pending slot, wake the shutdown drain wait).
+  void respond(const std::shared_ptr<Connection>& conn,
+               std::string_view response);
+  void finish_one();  ///< decrements in-flight, wakes the drain waiter
+
+  Options options_;
+  core::Engine engine_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  // Admission queue + coalescing index (one mutex: attach/enqueue/complete
+  // must be atomic with respect to each other).
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Task>> in_flight_keys_;
+
+  // Drain accounting: responses still owed by admitted work requests.
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::size_t pending_responses_ = 0;
+
+  // Lifecycle flags. draining_ / stopped_ / shutdown_requested_ are atomics
+  // because readers and workers consult them outside any lock; state_mutex_
+  // + state_cv_ only serialize wait()/shutdown() hand-off, and
+  // workers_stopping_ is guarded by queue_mutex_ (workers re-check it under
+  // the queue lock).
+  std::mutex shutdown_mutex_;  ///< serializes shutdown() callers
+  mutable std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  bool started_ = false;
+  bool workers_stopping_ = false;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace nvp::service

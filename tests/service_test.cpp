@@ -1,0 +1,537 @@
+// Tests for the nvpd service layer: wire parsing, framing, request
+// parsing/coalescing identity, the deadline-scoped engine entry, and the
+// server end to end over real sockets (coalescing, deadlines, backpressure,
+// graceful shutdown).
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/core/staged.hpp"
+#include "src/service/client.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/server.hpp"
+#include "src/service/wire.hpp"
+
+namespace nvp {
+namespace {
+
+using service::wire::parse;
+
+// ---------------------------------------------------------------------------
+// Wire parser.
+
+TEST(WireTest, ParsesScalarsAndContainers) {
+  const auto value =
+      parse(R"({"a": 1.5, "b": [true, null, "x"], "c": {"d": -2e3}})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(value->number_or("a", 0.0), 1.5);
+  const auto* b = value->get("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].as_bool());
+  EXPECT_TRUE(b->array[1].is_null());
+  EXPECT_EQ(b->array[2].string, "x");
+  const auto* c = value->get("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->number_or("d", 0.0), -2000.0);
+}
+
+TEST(WireTest, ParsesStringEscapes) {
+  const auto value = parse(R"({"s": "a\"b\\c\nAé"})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->string_or("s", ""), "a\"b\\c\nA\xc3\xa9");
+}
+
+TEST(WireTest, ParsesSurrogatePairs) {
+  const auto value = parse(R"("😀")");  // U+1F600
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->string, "\xf0\x9f\x98\x80");
+}
+
+TEST(WireTest, RejectsMalformedInputWithPosition) {
+  std::string error;
+  EXPECT_FALSE(parse("{\"a\": }", &error).has_value());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+  EXPECT_FALSE(parse("", &error).has_value());
+  EXPECT_FALSE(parse("{} trailing", &error).has_value());
+  EXPECT_FALSE(parse("[1, 2", &error).has_value());
+  EXPECT_FALSE(parse("01", &error).has_value());
+  EXPECT_FALSE(parse("nul", &error).has_value());
+}
+
+TEST(WireTest, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  std::string error;
+  EXPECT_FALSE(parse(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(WireTest, DumpRoundTripsStructure) {
+  const std::string text =
+      R"({"a":1.5,"b":[true,null,"x\ny"],"c":{"d":false}})";
+  const auto value = parse(text);
+  ASSERT_TRUE(value.has_value());
+  const std::string dumped = service::wire::dump(*value);
+  const auto reparsed = parse(dumped);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(service::wire::dump(*reparsed), dumped);
+  EXPECT_EQ(dumped, text);
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+TEST(FramingTest, RoundTripsOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(service::write_frame(fds[0], "{\"x\":1}"));
+  ASSERT_TRUE(service::write_frame(fds[0], ""));
+  std::string payload;
+  EXPECT_EQ(service::read_frame(fds[1], payload), service::FrameStatus::kOk);
+  EXPECT_EQ(payload, "{\"x\":1}");
+  EXPECT_EQ(service::read_frame(fds[1], payload), service::FrameStatus::kOk);
+  EXPECT_EQ(payload, "");
+  ::close(fds[0]);
+  EXPECT_EQ(service::read_frame(fds[1], payload),
+            service::FrameStatus::kEof);
+  ::close(fds[1]);
+}
+
+TEST(FramingTest, RejectsOversizedFrame) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string framed;
+  service::append_frame(framed, "abcdefgh");
+  ASSERT_EQ(::write(fds[0], framed.data(), framed.size()),
+            static_cast<ssize_t>(framed.size()));
+  std::string payload;
+  EXPECT_EQ(service::read_frame(fds[1], payload, /*max_bytes=*/4),
+            service::FrameStatus::kTooLarge);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FramingTest, ReportsTruncationMidHeaderAndMidPayload) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::write(fds[0], "\x00\x00", 2), 2);  // half a header
+  ::close(fds[0]);
+  std::string payload;
+  EXPECT_EQ(service::read_frame(fds[1], payload),
+            service::FrameStatus::kTruncated);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string framed;
+  service::append_frame(framed, "full payload");
+  ASSERT_EQ(::write(fds[0], framed.data(), framed.size() - 4),
+            static_cast<ssize_t>(framed.size() - 4));
+  ::close(fds[0]);
+  EXPECT_EQ(service::read_frame(fds[1], payload),
+            service::FrameStatus::kTruncated);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing and coalescing identity.
+
+service::Request must_parse(const std::string& text) {
+  const auto payload = parse(text);
+  EXPECT_TRUE(payload.has_value());
+  service::Request request;
+  std::string error;
+  EXPECT_TRUE(service::parse_request(*payload, &request, &error)) << error;
+  return request;
+}
+
+TEST(RequestTest, ParsesAnalyzeWithOverrides) {
+  const auto request = must_parse(
+      R"({"id": 7, "method": "analyze", "deadline_ms": 250,
+          "params": {"paper": "4v", "interval": 450.0, "alpha": 0.1},
+          "options": {"solver": "sparse"}})");
+  EXPECT_EQ(request.id, 7u);
+  EXPECT_EQ(request.method, service::Method::kAnalyze);
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 250.0);
+  EXPECT_EQ(request.params.n_versions, 4);
+  EXPECT_DOUBLE_EQ(request.params.rejuvenation_interval, 450.0);
+  EXPECT_DOUBLE_EQ(request.params.alpha, 0.1);
+  EXPECT_EQ(request.options.solver.backend, markov::SolverBackend::kSparse);
+}
+
+TEST(RequestTest, RejectsBadRequests) {
+  service::Request request;
+  std::string error;
+  const auto check_fails = [&](const std::string& text) {
+    const auto payload = parse(text);
+    ASSERT_TRUE(payload.has_value()) << text;
+    EXPECT_FALSE(service::parse_request(*payload, &request, &error)) << text;
+  };
+  check_fails(R"({"id": 1, "method": "nonsense"})");
+  check_fails(R"({"id": 1, "method": "analyze", "params": {"paper": "9v"}})");
+  check_fails(R"({"id": 1, "method": "analyze", "params": {"n": -3}})");
+  check_fails(R"({"id": 1, "method": "sweep"})");
+  check_fails(
+      R"({"id": 1, "method": "sweep",
+          "sweep": {"param": "bogus", "from": 1, "to": 2, "points": 5}})");
+  check_fails(
+      R"({"id": 1, "method": "sweep",
+          "sweep": {"param": "mttc", "from": 5, "to": 2, "points": 5}})");
+  check_fails(
+      R"({"id": 1, "method": "simulate", "simulate": {"horizon": -1}})");
+}
+
+TEST(RequestTest, CoalesceKeyTracksSolveIdentity) {
+  const auto base = must_parse(
+      R"({"id": 1, "method": "analyze", "params": {"paper": "4v"}})");
+  const auto same = must_parse(
+      R"({"id": 999, "method": "analyze", "params": {"paper": "4v"},
+          "deadline_ms": 50})");
+  const auto other_params = must_parse(
+      R"({"id": 1, "method": "analyze",
+          "params": {"paper": "4v", "interval": 451.0}})");
+  // Identity ignores id and deadline (the response payload is the same);
+  // it tracks everything that changes the solve.
+  EXPECT_EQ(service::coalesce_key(base), service::coalesce_key(same));
+  EXPECT_NE(service::coalesce_key(base),
+            service::coalesce_key(other_params));
+
+  const auto sweep_a = must_parse(
+      R"({"id": 1, "method": "sweep", "params": {"paper": "4v"},
+          "sweep": {"param": "mttc", "from": 500, "to": 900, "points": 5}})");
+  const auto sweep_b = must_parse(
+      R"({"id": 2, "method": "sweep", "params": {"paper": "4v"},
+          "sweep": {"param": "mttc", "from": 500, "to": 900, "points": 6}})");
+  EXPECT_NE(service::coalesce_key(sweep_a), 0u);
+  EXPECT_NE(service::coalesce_key(sweep_a), service::coalesce_key(sweep_b));
+
+  // Stochastic and trivial methods never coalesce.
+  const auto simulate = must_parse(R"({"id": 1, "method": "simulate"})");
+  EXPECT_EQ(service::coalesce_key(simulate), 0u);
+  const auto ping = must_parse(R"({"id": 1, "method": "ping"})");
+  EXPECT_EQ(service::coalesce_key(ping), 0u);
+}
+
+TEST(ClientTest, ParsesEndpoints) {
+  std::string host;
+  int port = 0;
+  EXPECT_TRUE(service::parse_endpoint("127.0.0.1:9000", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9000);
+  EXPECT_TRUE(service::parse_endpoint("9000", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_FALSE(service::parse_endpoint("host:", &host, &port));
+  EXPECT_FALSE(service::parse_endpoint("host:0", &host, &port));
+  EXPECT_FALSE(service::parse_endpoint("host:70000", &host, &port));
+  EXPECT_FALSE(service::parse_endpoint("", &host, &port));
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-scoped engine entry.
+
+TEST(EngineDeadlineTest, ExpiredDeadlineShortCircuits) {
+  const core::Engine engine;
+  const auto params = core::SystemParameters::paper_four_version();
+  const auto result = engine.analyze_within(
+      params, std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error.category, fault::Category::kDeadlineExceeded);
+  EXPECT_FALSE(result.analytic);
+}
+
+TEST(EngineDeadlineTest, GenerousDeadlineSucceedsIdentically) {
+  const core::Engine engine;
+  const auto params = core::SystemParameters::paper_four_version();
+  const auto bounded = engine.analyze_within(
+      params, std::chrono::steady_clock::now() + std::chrono::minutes(10));
+  const auto unbounded = engine.analyze(params);
+  ASSERT_TRUE(bounded.ok);
+  ASSERT_TRUE(unbounded.ok);
+  // Same staged cache identity: the deadline must not perturb the solve.
+  EXPECT_EQ(bounded.analysis.expected_reliability,
+            unbounded.analysis.expected_reliability);
+}
+
+// ---------------------------------------------------------------------------
+// Server end to end.
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  /// Starts a server with a deterministic single-worker configuration and
+  /// snapshots the process-global counters (tests assert on deltas).
+  void start(service::Server::Options options = {}) {
+    options.port = 0;
+    if (options.workers == 0) options.workers = 1;
+    server_ = std::make_unique<service::Server>(options);
+    server_->start();
+    before_ = service::service_stats();
+  }
+
+  void TearDown() override {
+    if (server_) server_->shutdown();
+  }
+
+  service::Client connect() {
+    service::Client client;
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", server_->port(), &error))
+        << error;
+    return client;
+  }
+
+  /// Blocks until the worker has *started* executing `count` more tasks
+  /// than the snapshot. Tests that race a second connection against a
+  /// blocker need this: each connection has its own reader thread, so
+  /// without it the racing request can be admitted (and solved) first.
+  bool wait_until_executing(std::uint64_t count) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (service::service_stats().executed < before_.executed + count) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+
+  /// A solve that holds the single worker busy for a macroscopic time:
+  /// a cold wide sweep (the stage caches are dropped first).
+  static std::string blocker_request(std::uint64_t id) {
+    core::clear_stage_caches();
+    return "{\"id\":" + std::to_string(id) +
+           ",\"method\":\"sweep\",\"params\":{\"paper\":\"6v\"},"
+           "\"sweep\":{\"param\":\"mttc\",\"from\":500,\"to\":5000,"
+           "\"points\":40}}";
+  }
+
+  std::unique_ptr<service::Server> server_;
+  service::ServiceStats before_;
+};
+
+TEST_F(ServiceTest, PingAndStatsRoundTrip) {
+  start();
+  service::Client client = connect();
+  std::string error;
+  const auto pong = client.call(3, "{\"id\":3,\"method\":\"ping\"}", &error);
+  ASSERT_TRUE(pong.has_value()) << error;
+  EXPECT_TRUE(pong->ok);
+  EXPECT_TRUE(pong->result->bool_or("pong", false));
+
+  const auto stats =
+      client.call(4, "{\"id\":4,\"method\":\"stats\"}", &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  ASSERT_TRUE(stats->ok);
+  ASSERT_NE(stats->result->get("service"), nullptr);
+  ASSERT_NE(stats->result->get("caches"), nullptr);
+}
+
+TEST_F(ServiceTest, AnalyzeMatchesLocalEngine) {
+  start();
+  service::Client client = connect();
+  std::string error;
+  const auto response = client.call(
+      1,
+      R"({"id":1,"method":"analyze","params":{"paper":"4v"}})", &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_TRUE(response->ok);
+  const core::Engine engine;
+  const auto local =
+      engine.analyze(core::SystemParameters::paper_four_version());
+  EXPECT_DOUBLE_EQ(response->result->number_or("expected_reliability", -1.0),
+                   local.analysis.expected_reliability);
+}
+
+TEST_F(ServiceTest, MalformedPayloadsYieldStructuredErrorsNotCrashes) {
+  start();
+  service::Client client = connect();
+  std::string error;
+
+  // Garbage JSON: structured invalid-model error with id 0, connection
+  // stays usable (the frame boundary was intact).
+  ASSERT_TRUE(client.send("this is not json"));
+  auto response = client.receive(&error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_FALSE(response->ok);
+  EXPECT_EQ(response->id, 0u);
+  EXPECT_EQ(response->error->string_or("category", ""), "invalid-model");
+
+  // Bad request on the same connection: still answered.
+  ASSERT_TRUE(client.send("{\"id\":9,\"method\":\"bogus\"}"));
+  response = client.receive(&error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_FALSE(response->ok);
+  EXPECT_EQ(response->id, 9u);
+
+  // And the connection still serves work afterwards.
+  const auto pong = client.call(10, "{\"id\":10,\"method\":\"ping\"}", &error);
+  ASSERT_TRUE(pong.has_value()) << error;
+  EXPECT_TRUE(pong->ok);
+
+  const auto after = service::service_stats();
+  EXPECT_GE(after.protocol_errors, before_.protocol_errors + 2);
+}
+
+TEST_F(ServiceTest, OversizedFrameRejectedAndConnectionClosed) {
+  service::Server::Options options;
+  options.max_frame_bytes = 64;
+  start(options);
+  service::Client client = connect();
+  std::string framed;
+  service::append_frame(framed, std::string(1024, 'x'));
+  ASSERT_TRUE(::send(client.fd(), framed.data(), framed.size(), 0) > 0);
+  std::string error;
+  const auto response = client.receive(&error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_FALSE(response->ok);
+  EXPECT_EQ(response->id, 0u);
+  // The stream is poisoned; the server hangs up after answering.
+  EXPECT_FALSE(client.receive(&error).has_value());
+}
+
+TEST_F(ServiceTest, ConcurrentIdenticalRequestsCoalesceToOneSolve) {
+  start();  // one worker
+  service::Client blocker = connect();
+  ASSERT_TRUE(blocker.send(blocker_request(100)));
+  ASSERT_TRUE(wait_until_executing(1));
+
+  // While the worker grinds through the cold sweep, pipeline N identical
+  // analyze requests: the first becomes the queued leader, the rest attach.
+  constexpr int kBurst = 32;
+  service::Client client = connect();
+  for (int i = 0; i < kBurst; ++i)
+    ASSERT_TRUE(client.send(
+        "{\"id\":" + std::to_string(200 + i) +
+        ",\"method\":\"analyze\",\"params\":{\"paper\":\"4v\"}}"));
+
+  std::string error;
+  std::map<std::uint64_t, std::string> results;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto response = client.receive(&error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_TRUE(response->ok);
+    // Compare the spliced result bytes (the envelope differs by id).
+    const std::size_t at = response->raw.find("\"result\"");
+    ASSERT_NE(at, std::string::npos);
+    results[response->id] = response->raw.substr(at);
+  }
+  ASSERT_EQ(results.size(), kBurst);
+  for (const auto& [id, bytes] : results)
+    EXPECT_EQ(bytes, results.begin()->second) << "id " << id;
+
+  const auto blocked = blocker.receive(&error);
+  ASSERT_TRUE(blocked.has_value()) << error;
+  EXPECT_TRUE(blocked->ok);
+
+  const auto after = service::service_stats();
+  // Blocker + at most a handful of leader solves; the burst must have
+  // overwhelmingly coalesced while the worker was busy.
+  EXPECT_GE(after.coalesced, before_.coalesced + kBurst / 2);
+  EXPECT_EQ((after.executed - before_.executed) +
+                (after.coalesced - before_.coalesced),
+            static_cast<std::uint64_t>(kBurst) + 1);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineSkipsTheSolve) {
+  start();  // one worker
+  service::Client blocker = connect();
+  ASSERT_TRUE(blocker.send(blocker_request(100)));
+  // Only once the worker is inside the blocker's solve is the deadline
+  // request guaranteed to sit in the queue past its 1 ms budget.
+  ASSERT_TRUE(wait_until_executing(1));
+
+  service::Client client = connect();
+  std::string error;
+  const auto response = client.call(
+      5,
+      R"({"id":5,"method":"analyze","deadline_ms":1,
+          "params":{"paper":"4v","interval":123.0}})",
+      &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_FALSE(response->ok);
+  EXPECT_EQ(response->error->string_or("category", ""), "deadline-exceeded");
+
+  const auto blocked = blocker.receive(&error);
+  ASSERT_TRUE(blocked.has_value()) << error;
+  EXPECT_TRUE(blocked->ok);
+  const auto after = service::service_stats();
+  EXPECT_GE(after.deadline_missed, before_.deadline_missed + 1);
+}
+
+TEST_F(ServiceTest, FullQueueRejectsWithRetryHint) {
+  service::Server::Options options;
+  options.queue_capacity = 1;
+  start(options);  // one worker, one queue slot
+  service::Client client = connect();
+  ASSERT_TRUE(client.send(blocker_request(100)));
+  // Give the worker a moment to dequeue the blocker (frees the slot).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Occupies the single queue slot (distinct key, so no coalescing).
+  ASSERT_TRUE(client.send(
+      R"({"id":101,"method":"analyze","params":{"paper":"4v"}})"));
+  // Overflows the queue.
+  ASSERT_TRUE(client.send(
+      R"({"id":102,"method":"analyze",
+          "params":{"paper":"4v","interval":777.0}})"));
+
+  std::string error;
+  std::map<std::uint64_t, service::Response> responses;
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.receive(&error);
+    ASSERT_TRUE(response.has_value()) << error;
+    const std::uint64_t id = response->id;
+    responses.emplace(id, std::move(*response));
+  }
+  EXPECT_TRUE(responses.at(100).ok);
+  EXPECT_TRUE(responses.at(101).ok);
+  const auto& rejected = responses.at(102);
+  ASSERT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error->string_or("category", ""), "resource");
+  EXPECT_GT(rejected.error->number_or("retry_after_ms", 0.0), 0.0);
+  const auto after = service::service_stats();
+  EXPECT_GE(after.rejected, before_.rejected + 1);
+}
+
+TEST_F(ServiceTest, GracefulShutdownDeliversInFlightResponses) {
+  start();  // one worker
+  service::Client client = connect();
+  ASSERT_TRUE(client.send(blocker_request(100)));
+  // Ensure the request was admitted before shutting down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  server_->shutdown();
+  EXPECT_TRUE(server_->stopped());
+
+  // The in-flight solve's response was flushed before the socket closed.
+  std::string error;
+  const auto response = client.receive(&error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->id, 100u);
+  EXPECT_TRUE(response->ok);
+}
+
+TEST_F(ServiceTest, ProtocolShutdownRequestUnblocksWait) {
+  start();
+  service::Client client = connect();
+  std::string error;
+  const auto response =
+      client.call(1, "{\"id\":1,\"method\":\"shutdown\"}", &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_TRUE(response->ok);
+  EXPECT_TRUE(response->result->bool_or("shutting_down", false));
+  server_->wait();  // must return promptly
+  EXPECT_TRUE(server_->shutdown_requested());
+  server_->shutdown();
+  EXPECT_TRUE(server_->stopped());
+}
+
+}  // namespace
+}  // namespace nvp

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate benchmark regressions against the recorded baselines.
 
-Two modes:
+Three modes:
 
 Runtime mode (default) reads a google-benchmark JSON report
 (``--benchmark_format=json`` output of ``bench_perf_solvers``) and compares
@@ -15,6 +15,16 @@ Sweep mode (``--sweep``) reads the JSON document written by
 reuse: the reward-only alpha sweep must stay >= 10x faster than the cold
 per-point path, the rate-only MTTC sweep >= 2x, both curves bit-identical to
 cold, and each sweep must have explored reachability exactly once.
+
+Service mode (``--service``) reads the document written by
+``tools/loadgen`` (``bench_results/BENCH_service.json``) and gates the
+nvpd daemon's load-test contract: the coalesce burst must have held >=
+10000 requests in flight with a coalescing hit rate >= 0.9 and zero
+transport errors, and every recorded scenario must have measured positive
+throughput and latency percentiles. Like the sweep floors these restate
+the service's contract (concurrency reached, coalescing worked, nothing
+dropped on the floor), not machine-specific timings, so they take no
+tolerance.
 
 ``--list`` prints the numeric metric names available in the baseline file
 (so CI logs and humans can see what is being gated) and exits.
@@ -34,6 +44,10 @@ Usage:
     bench_sweep_throughput            # writes bench_results/BENCH_sweep.json
     python3 tools/check_bench_regression.py --sweep \
         bench_results/BENCH_sweep.json
+
+    loadgen --label coalesce_burst    # writes bench_results/BENCH_service.json
+    python3 tools/check_bench_regression.py --service \
+        bench_results/BENCH_service.json
 
     python3 tools/check_bench_regression.py --list \
         --baseline bench_results/BENCH_sweep.json
@@ -70,6 +84,27 @@ SWEEP_CHECKS = [
     ("mttc_sweep_n40", "speedup", 2.0),
     ("mttc_sweep_n40", "bit_identical_to_cold", 1.0),
     ("mttc_sweep_n40", "staged_explorations", None),  # exactly 1
+]
+
+# Service-mode gates on the named loadgen scenario: (field, op, bound).
+# "ge" = floor, "gt" = strictly positive, "eq" = exact. The burst scenario
+# is the acceptance run: >= 10k requests simultaneously in flight against
+# one daemon, >= 90% of them answered from a coalesced in-flight solve,
+# and not a single connection-level failure.
+SERVICE_BURST_SCENARIO = "coalesce_burst"
+SERVICE_BURST_CHECKS = [
+    ("peak_concurrent", "ge", 10000.0),
+    ("coalesce_rate", "ge", 0.9),
+    ("transport_errors", "eq", 0.0),
+    ("errors", "eq", 0.0),
+]
+# Every scenario, burst included, must have really measured something.
+SERVICE_COMMON_CHECKS = [
+    ("responses", "gt", 0.0),
+    ("throughput_rps", "gt", 0.0),
+    ("p50_ms", "gt", 0.0),
+    ("p95_ms", "gt", 0.0),
+    ("p99_ms", "gt", 0.0),
 ]
 
 
@@ -172,6 +207,54 @@ def check_sweep(report: dict, report_path: str) -> int:
     return 0
 
 
+def check_service(report: dict, report_path: str) -> int:
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise SystemExit(
+            f"error: service report '{report_path}' has no scenarios"
+        )
+    if SERVICE_BURST_SCENARIO not in scenarios:
+        raise SystemExit(
+            f"error: service report '{report_path}' lacks the "
+            f"'{SERVICE_BURST_SCENARIO}' scenario"
+        )
+
+    def evaluate(name: str, block: dict, field: str, op: str,
+                 bound: float) -> bool:
+        if field not in block:
+            raise SystemExit(
+                f"error: service report '{report_path}' lacks "
+                f"'{name}.{field}'"
+            )
+        value = float(block[field])
+        ok = {"ge": value >= bound, "gt": value > bound,
+              "eq": value == bound}[op]
+        symbol = {"ge": ">=", "gt": ">", "eq": "=="}[op]
+        print(
+            f"{name}.{field}: {value:g} (want {symbol} {bound:g}) "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+        return ok
+
+    failures = 0
+    for name, block in sorted(scenarios.items()):
+        if not isinstance(block, dict):
+            raise SystemExit(
+                f"error: scenario '{name}' in '{report_path}' is not an "
+                "object"
+            )
+        checks = list(SERVICE_COMMON_CHECKS)
+        if name == SERVICE_BURST_SCENARIO:
+            checks = SERVICE_BURST_CHECKS + checks
+        for field, op, bound in checks:
+            failures += 0 if evaluate(name, block, field, op, bound) else 1
+    if failures:
+        print(f"FAIL: {failures} service gate(s) violated")
+        return 1
+    print("OK: service load-test contract holds")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -199,6 +282,12 @@ def main() -> int:
         "google-benchmark runtime report",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="gate a tools/loadgen BENCH_service.json report instead of "
+        "the google-benchmark runtime report",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the numeric metric names in the baseline file and exit",
@@ -206,6 +295,8 @@ def main() -> int:
     args = parser.parse_args()
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
+    if args.sweep and args.service:
+        parser.error("--sweep and --service are mutually exclusive")
 
     if args.list:
         for name in metric_names(load_json(args.baseline, "baseline")):
@@ -217,6 +308,8 @@ def main() -> int:
     report = load_json(args.report, "report")
     if args.sweep:
         return check_sweep(report, args.report)
+    if args.service:
+        return check_service(report, args.report)
     return check_runtime(report, args.baseline, args.tolerance)
 
 

@@ -15,8 +15,17 @@ asserts the robustness contract end to end:
 One JSON artifact per run plus a summary land in --out (default
 gauntlet-out/) so CI uploads them for post-mortem on failure.
 
+Service mode (--service) runs the same schedules against a live nvpd
+daemon: for each schedule the daemon is started under NVP_FAULT_INJECT, a
+loadgen burst hammers it, and remote analyze requests probe both models.
+The gate asserts the daemon never aborts (loadgen sees no transport
+errors, the daemon exits 0 after a protocol shutdown), failed responses
+carry structured error envelopes, and value-neutral schedules return
+byte-identical results to the clean baseline.
+
 Usage: tools/fault_gauntlet.py [--cli build/tools/nvpcli] [--points 50]
                                [--out gauntlet-out]
+                               [--service [--loadgen build/tools/loadgen]]
 """
 
 import argparse
@@ -24,8 +33,10 @@ import csv
 import io
 import json
 import os
+import re
 import subprocess
 import sys
+import threading
 
 # Expectation per run: "envelopes" means every row must carry an error
 # envelope and no value; "clean" means no error column and every row must
@@ -100,12 +111,142 @@ def check(run, expectation, points, baseline):
     return errors
 
 
+# ---------------------------------------------------------------------------
+# Service mode: the same schedules, but injected into a live nvpd daemon.
+
+
+class Daemon:
+    """nvpd under a fault-injection schedule, with stderr drained."""
+
+    def __init__(self, cli, spec):
+        env = dict(os.environ)
+        env.pop("NVP_FAULT_INJECT", None)
+        if spec is not None:
+            env["NVP_FAULT_INJECT"] = spec
+        self.proc = subprocess.Popen(
+            [cli, "serve", "--port", "0"], env=env,
+            stderr=subprocess.PIPE, text=True)
+        self.endpoint = None
+        line = self.proc.stderr.readline()
+        match = re.search(r"nvpd listening on (\S+:\d+)", line)
+        if match:
+            self.endpoint = match.group(1)
+        # Keep draining so the daemon's shutdown report can't block the pipe.
+        self.stderr_tail = []
+        self.drainer = threading.Thread(target=self._drain, daemon=True)
+        self.drainer.start()
+
+    def _drain(self):
+        for line in self.proc.stderr:
+            self.stderr_tail.append(line)
+
+    def stop(self, cli, timeout=60):
+        """Protocol shutdown; returns the daemon's exit code (None = hung)."""
+        subprocess.run([cli, "shutdown", "--remote", self.endpoint],
+                       capture_output=True, text=True, timeout=timeout)
+        try:
+            code = self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return None
+        self.drainer.join(timeout=5)
+        return code
+
+
+def remote_analyze(cli, endpoint, model):
+    proc = subprocess.run(
+        [cli, "analyze", "--remote", endpoint, "--paper", model],
+        capture_output=True, text=True, timeout=120)
+    return {"exit_code": proc.returncode, "stdout": proc.stdout,
+            "stderr": proc.stderr.strip()}
+
+
+def check_remote(run, expectation, baseline):
+    errors = []
+    if expectation == "envelopes":
+        if run["exit_code"] != 2:
+            errors.append("expected a structured remote error (exit 2), "
+                          "got exit %d" % run["exit_code"])
+        if "error: remote analyze failed" not in run["stderr"]:
+            errors.append("missing structured error envelope: %r"
+                          % run["stderr"])
+    else:
+        if run["exit_code"] != 0:
+            errors.append("expected success, got exit %d: %s"
+                          % (run["exit_code"], run["stderr"]))
+        elif expectation == "identical" and run["stdout"] != baseline["stdout"]:
+            errors.append("results differ from the clean baseline")
+    return errors
+
+
+def run_service_gauntlet(args):
+    os.makedirs(args.out, exist_ok=True)
+    summary = {"mode": "service", "runs": [], "failures": 0}
+    baselines = {}
+    failed = False
+    for schedule, spec, expectations in SCHEDULES:
+        daemon = Daemon(args.cli, spec)
+        if daemon.endpoint is None:
+            print("[FAIL] %s: daemon did not start" % schedule)
+            summary["runs"].append({"name": schedule, "ok": False,
+                                    "errors": ["daemon did not start"]})
+            summary["failures"] += 1
+            failed = True
+            continue
+        runs = []
+        # Hammer first: the daemon must survive a pipelined burst whatever
+        # the schedule does to its solves (structured errors, not aborts).
+        load = subprocess.run(
+            [args.loadgen, "--port", daemon.endpoint.split(":")[1],
+             "--connections", "4", "--window", "64", "--requests", "512",
+             "--distinct", "4", "--label", "gauntlet-" + schedule,
+             "--out", os.path.join(args.out, "gauntlet_load.json")],
+            capture_output=True, text=True, timeout=300)
+        if load.returncode != 0:
+            runs.append(("loadgen", ["loadgen failed (exit %d): %s"
+                                     % (load.returncode,
+                                        load.stderr.strip())]))
+        for model, expectation in sorted(expectations.items()):
+            run = remote_analyze(args.cli, daemon.endpoint, model)
+            if schedule == "clean":
+                baselines[model] = run
+            errors = check_remote(run, expectation, baselines.get(model))
+            runs.append(("%s-%s" % (schedule, model), errors))
+        code = daemon.stop(args.cli)
+        if code != 0:
+            runs.append(("shutdown",
+                         ["daemon exit code %s after graceful shutdown"
+                          % code]))
+        for name, errors in runs:
+            status = "ok" if not errors else "FAIL"
+            print("[%s] service %s: %s" % (status, name, errors or "pass"))
+            summary["runs"].append({"name": name, "ok": not errors,
+                                    "errors": errors})
+            if errors:
+                failed = True
+                summary["failures"] += 1
+    with open(os.path.join(args.out, "service_summary.json"), "w") as f:
+        json.dump(summary, f, indent=2)
+    if failed:
+        print("service gauntlet FAILED (%d check(s)); artifacts in %s"
+              % (summary["failures"], args.out))
+        return 1
+    print("service gauntlet passed; artifacts in %s" % args.out)
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cli", default="build/tools/nvpcli")
     parser.add_argument("--points", type=int, default=50)
     parser.add_argument("--out", default="gauntlet-out")
+    parser.add_argument("--service", action="store_true",
+                        help="run the schedules against a live nvpd daemon")
+    parser.add_argument("--loadgen", default="build/tools/loadgen")
     args = parser.parse_args()
+
+    if args.service:
+        return run_service_gauntlet(args)
 
     os.makedirs(args.out, exist_ok=True)
     baselines = {}

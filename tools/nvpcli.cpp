@@ -24,11 +24,14 @@
 //
 // Exit code 0 on success, 1 on usage errors, 2 on model/solver errors.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/engine.hpp"
@@ -44,6 +47,8 @@
 #include "src/petri/dspn_parser.hpp"
 #include "src/petri/expression.hpp"
 #include "src/runtime/thread_pool.hpp"
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
 #include "src/sim/dspn_simulator.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/csv.hpp"
@@ -72,6 +77,17 @@ int usage() {
       "  nvpcli archspace   --paper 4v|6v [--max-n 10] [--max-f 2] "
       "[--max-r 2] [--top N]\n"
       "  nvpcli export      (--paper 4v|6v | --model <file.dspn>) [--dot]\n"
+      "  nvpcli serve       [--host 127.0.0.1] [--port 0] "
+      "[--service-workers N] [--queue-capacity 1024] "
+      "[--default-deadline-ms 0]\n"
+      "  nvpcli stats       --remote <host:port>\n"
+      "  nvpcli shutdown    --remote <host:port>\n"
+      "\n"
+      "remote mode: analyze/sweep/simulate accept --remote <host:port> to "
+      "run on a nvpd daemon (started with `nvpcli serve`); responses are "
+      "emitted as JSON. --deadline-ms <ms> bounds a request (local analyze "
+      "or any remote request); an overrun degrades into a structured "
+      "deadline-exceeded error.\n"
       "\n"
       "paper parameter overrides: --n --f --r --alpha --p --p-prime --mttc "
       "--mttf --mttr --interval --duration --detection-rate\n"
@@ -185,6 +201,22 @@ void dump_cache_stats() {
   row("reward_table", stats.reward_table);
   row("rewards", stats.rewards);
   row("whole_result", stats.whole_result);
+  // Service counters ride along: zeros in batch runs, live totals when this
+  // process hosted nvpd (`serve` prints them on shutdown). The same numbers
+  // are served remotely by the `stats` protocol request.
+  const service::ServiceStats service = service::service_stats();
+  std::fprintf(stderr, "service counters:\n");
+  std::fprintf(
+      stderr,
+      "  requests=%llu executed=%llu coalesced=%llu queue-rejected=%llu "
+      "deadline-missed=%llu protocol-errors=%llu responses=%llu\n",
+      static_cast<unsigned long long>(service.requests),
+      static_cast<unsigned long long>(service.executed),
+      static_cast<unsigned long long>(service.coalesced),
+      static_cast<unsigned long long>(service.rejected),
+      static_cast<unsigned long long>(service.deadline_missed),
+      static_cast<unsigned long long>(service.protocol_errors),
+      static_cast<unsigned long long>(service.responses));
 }
 
 void dump_metrics() {
@@ -261,7 +293,16 @@ core::ReliabilityAnalyzer::Options analyzer_options(
 int analyze_paper(const core::Engine& engine, const util::CliArgs& args,
                   const util::CommonOptions& common, std::string& out) {
   const auto params = paper_params(args);
-  const auto result = engine.analyze(params);
+  const double deadline_ms = args.get_double("deadline-ms", 0.0);
+  const auto result =
+      deadline_ms > 0.0
+          ? engine.analyze_within(
+                params, std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    deadline_ms)))
+          : engine.analyze(params);
   if (!result.ok) {
     std::fprintf(stderr, "error: analysis failed: %s\n",
                  result.error.summary().c_str());
@@ -604,6 +645,133 @@ int archspace(const core::Engine& engine, const util::CliArgs& args,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Service mode: `serve` hosts nvpd in-process; `--remote` turns the
+// analytic subcommands into protocol clients of a running daemon.
+
+volatile std::sig_atomic_t g_signal_stop = 0;
+void handle_stop_signal(int) { g_signal_stop = 1; }
+
+int serve(const util::CliArgs& args) {
+  service::Server::Options options;
+  options.host = args.get("host", "127.0.0.1");
+  options.port = args.get_int("port", 0);
+  options.workers =
+      static_cast<std::size_t>(args.get_int("service-workers", 0));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 1024));
+  options.default_deadline_ms = args.get_double("default-deadline-ms", 0.0);
+  options.analyzer = analyzer_options(args);
+
+  service::Server server(std::move(options));
+  server.start();
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::fprintf(stderr, "nvpd listening on %s:%d\n",
+               server.options().host.c_str(), server.port());
+  std::fflush(stderr);
+  // Poll instead of wait(): a signal handler cannot safely notify the
+  // server's condition variable, but it can set a flag we sleep against.
+  while (g_signal_stop == 0 && !server.shutdown_requested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::fprintf(stderr, "nvpd draining...\n");
+  server.shutdown();
+  const service::ServiceStats stats = service::service_stats();
+  std::fprintf(stderr,
+               "nvpd stopped: %llu requests, %llu executed, %llu coalesced, "
+               "%llu rejected, %llu deadline-missed\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.executed),
+               static_cast<unsigned long long>(stats.coalesced),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.deadline_missed));
+  return 0;
+}
+
+/// Builds the protocol request mirroring this invocation's CLI arguments
+/// (only explicitly-set parameters are forwarded; the daemon applies the
+/// same defaults the local path would).
+std::string remote_request_json(std::uint64_t id, const std::string& method,
+                                const util::CliArgs& args,
+                                const util::CommonOptions& common) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.kv("id", id);
+  json.kv("method", method);
+  if (args.has("deadline-ms"))
+    json.kv("deadline_ms", args.get_double("deadline-ms", 0.0));
+  if (method == "analyze" || method == "sweep" || method == "simulate") {
+    json.key("params").begin_object();
+    json.kv("paper", args.get("paper", "6v"));
+    for (const char* key : {"n", "f", "r"})
+      if (args.has(key))
+        json.kv(key, static_cast<std::int64_t>(args.get_int(key, 0)));
+    for (const char* key : {"alpha", "p", "p-prime", "mttc", "mttf", "mttr",
+                            "interval", "duration", "detection-rate"})
+      if (args.has(key)) json.kv(key, args.get_double(key, 0.0));
+    json.end_object();
+    if (args.has("convention") || args.has("attachment") ||
+        args.has("solver") || args.has("fallback")) {
+      json.key("options").begin_object();
+      for (const char* key :
+           {"convention", "attachment", "solver", "fallback"})
+        if (args.has(key)) json.kv(key, args.get(key, ""));
+      json.end_object();
+    }
+  }
+  if (method == "sweep") {
+    json.key("sweep").begin_object();
+    json.kv("param", args.get("param", "interval"));
+    json.kv("from", args.get_double("from", 0.0));
+    json.kv("to", args.get_double("to", 0.0));
+    json.kv("points",
+            static_cast<std::int64_t>(args.get_int("points", 15)));
+    json.end_object();
+  }
+  if (method == "simulate") {
+    json.key("simulate").begin_object();
+    json.kv("horizon", args.get_double("horizon", 1e6));
+    json.kv("reps", static_cast<std::int64_t>(args.get_int("reps", 8)));
+    json.kv("seed", static_cast<std::uint64_t>(common.seed));
+    json.end_object();
+  }
+  json.end_object();
+  return json.str();
+}
+
+/// Runs one subcommand against a daemon. Output is always JSON (the
+/// response's result object); structured errors go to stderr with exit
+/// code 2, matching the local error path.
+int run_remote(const std::string& method, const util::CliArgs& args,
+               const util::CommonOptions& common, std::string& out) {
+  std::string host;
+  int port = 0;
+  if (!service::parse_endpoint(args.get("remote", ""), &host, &port)) {
+    std::fprintf(stderr, "error: --remote expects <host:port>\n");
+    return 1;
+  }
+  service::Client client;
+  std::string error;
+  if (!client.connect(host, port, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  const auto response =
+      client.call(1, remote_request_json(1, method, args, common), &error);
+  if (!response) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!response->ok) {
+    std::fprintf(stderr, "error: remote %s failed: %s: %s\n", method.c_str(),
+                 response->error->string_or("category", "?").c_str(),
+                 response->error->string_or("message", "?").c_str());
+    return 2;
+  }
+  out = service::wire::dump(*response->result) + "\n";
+  return 0;
+}
+
 int export_model(const util::CliArgs& args, std::string& out) {
   petri::PetriNet net =
       args.has("model")
@@ -638,14 +806,22 @@ int main(int argc, char** argv) {
     const core::Engine engine(analyzer_options(args), engine_options);
     std::string out;
     int status = 1;
-    if (command == "analyze")
-      status = args.has("model") ? analyze_model(args, out)
-                                 : analyze_paper(engine, args, common, out);
+    const bool remote = args.has("remote");
+    if (command == "serve")
+      return serve(args);
+    else if (command == "stats" || command == "shutdown")
+      status = run_remote(command, args, common, out);
+    else if (command == "analyze")
+      status = remote ? run_remote(command, args, common, out)
+              : args.has("model") ? analyze_model(args, out)
+                                  : analyze_paper(engine, args, common, out);
     else if (command == "simulate")
-      status = args.has("model") ? simulate_model(args, common, out)
-                                 : simulate_paper(engine, args, common, out);
+      status = remote ? run_remote(command, args, common, out)
+              : args.has("model") ? simulate_model(args, common, out)
+                                  : simulate_paper(engine, args, common, out);
     else if (command == "sweep")
-      status = sweep(engine, args, common, out);
+      status = remote ? run_remote(command, args, common, out)
+                      : sweep(engine, args, common, out);
     else if (command == "crossovers")
       status = crossovers(engine, args, common, out);
     else if (command == "optimize")
