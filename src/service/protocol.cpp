@@ -74,6 +74,7 @@ FrameStatus read_frame(int fd, std::string& payload,
                        std::uint32_t max_bytes) {
   unsigned char header[4];
   bool clean_eof = false;
+  errno = 0;
   if (read_exact(fd, reinterpret_cast<char*>(header), 4, &clean_eof) != 0)
     return clean_eof ? FrameStatus::kEof
                      : (errno != 0 ? FrameStatus::kIoError
@@ -158,33 +159,50 @@ bool parse_params(const wire::Value& node, core::SystemParameters* params,
   return true;
 }
 
+/// Overlays the request's `options` object onto `*options`, which the
+/// caller seeds (the daemon seeds its own analyzer configuration). Keys
+/// absent from the node keep the seeded value — the CLI client only
+/// forwards flags the user typed, so absence means "the daemon's default",
+/// not "the library's default".
 bool parse_options(const wire::Value& node,
                    core::ReliabilityAnalyzer::Options* options,
                    std::string* error) {
-  const std::string convention = node.string_or("convention", "verbatim");
-  if (convention == "generalized")
-    options->convention = core::RewardConvention::kGeneralized;
-  else if (convention == "strict")
-    options->convention = core::RewardConvention::kStrict;
-  else if (convention != "verbatim") {
-    *error = "options.convention must be verbatim|generalized|strict";
-    return false;
+  if (node.get("convention") != nullptr) {
+    const std::string convention = node.string_or("convention", "");
+    if (convention == "verbatim")
+      options->convention = core::RewardConvention::kPaperVerbatim;
+    else if (convention == "generalized")
+      options->convention = core::RewardConvention::kGeneralized;
+    else if (convention == "strict")
+      options->convention = core::RewardConvention::kStrict;
+    else {
+      *error = "options.convention must be verbatim|generalized|strict";
+      return false;
+    }
   }
-  const std::string attachment = node.string_or("attachment", "operational");
-  if (attachment == "appendix")
-    options->attachment = core::RewardAttachment::kAppendixMatrices;
-  else if (attachment != "operational") {
-    *error = "options.attachment must be operational|appendix";
-    return false;
+  if (node.get("attachment") != nullptr) {
+    const std::string attachment = node.string_or("attachment", "");
+    if (attachment == "operational")
+      options->attachment = core::RewardAttachment::kOperationalStatesOnly;
+    else if (attachment == "appendix")
+      options->attachment = core::RewardAttachment::kAppendixMatrices;
+    else {
+      *error = "options.attachment must be operational|appendix";
+      return false;
+    }
   }
-  const std::string solver = node.string_or("solver", "auto");
-  if (solver == "dense")
-    options->solver.backend = markov::SolverBackend::kDense;
-  else if (solver == "sparse")
-    options->solver.backend = markov::SolverBackend::kSparse;
-  else if (solver != "auto") {
-    *error = "options.solver must be auto|dense|sparse";
-    return false;
+  if (node.get("solver") != nullptr) {
+    const std::string solver = node.string_or("solver", "");
+    if (solver == "auto")
+      options->solver.backend = markov::SolverBackend::kAuto;
+    else if (solver == "dense")
+      options->solver.backend = markov::SolverBackend::kDense;
+    else if (solver == "sparse")
+      options->solver.backend = markov::SolverBackend::kSparse;
+    else {
+      *error = "options.solver must be auto|dense|sparse";
+      return false;
+    }
   }
   const std::string fallback = node.string_or("fallback", "");
   if (!fallback.empty()) {

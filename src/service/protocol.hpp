@@ -76,6 +76,10 @@ struct Request {
   double deadline_ms = 0.0;  ///< 0 = no deadline
 
   core::SystemParameters params;
+  /// Solver/reward options the solve must run with. parse_request overlays
+  /// only the keys present in the request's `options` object onto whatever
+  /// the caller seeded here — the server seeds its own analyzer
+  /// configuration, so absent keys inherit the daemon's defaults.
   core::ReliabilityAnalyzer::Options options;
 
   // sweep

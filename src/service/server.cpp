@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -152,8 +153,9 @@ std::string stats_result_json(const ServiceStats& stats) {
 struct Server::Connection {
   int fd = -1;
   std::mutex write_mutex;
-  bool open = true;   ///< reader still running (guarded by write_mutex)
-  int pending = 0;    ///< responses owed (guarded by write_mutex)
+  bool open = true;    ///< reader still running (guarded by write_mutex)
+  bool broken = false; ///< a write failed; no further frames (write_mutex)
+  int pending = 0;     ///< responses owed (guarded by write_mutex)
   std::thread reader;
   std::atomic<bool> done{false};  ///< reader exited (acceptor reaps)
 
@@ -163,8 +165,17 @@ struct Server::Connection {
 
   bool send(std::string_view payload) {
     const std::lock_guard<std::mutex> lock(write_mutex);
-    if (fd < 0) return false;
-    return write_frame(fd, payload);
+    if (fd < 0 || broken) return false;
+    if (write_frame(fd, payload)) return true;
+    // Peer hung up, or a pipelining client stopped reading long enough for
+    // the socket's SO_SNDTIMEO to fire. Either way the frame stream may be
+    // mid-frame, so the connection is unusable: drop it. The shutdown(2)
+    // unblocks the reader, which retires the fd via the normal idle path,
+    // and `broken` makes every later response to this peer fail fast
+    // instead of waiting out the timeout again.
+    broken = true;
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
   }
 
   void add_pending() {
@@ -227,9 +238,7 @@ fault::Context listen_context() {
 }
 }  // namespace
 
-Server::Server(Options options)
-    : options_(std::move(options)),
-      engine_(options_.analyzer, core::Engine::Options{/*strict=*/false}) {}
+Server::Server(Options options) : options_(std::move(options)) {}
 
 Server::~Server() {
   if (started_) shutdown();
@@ -302,7 +311,10 @@ void Server::wait() {
 void Server::shutdown() {
   const std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
   if (stopped_.load() || !started_) return;
-  shutdown_requested_.store(true);
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    shutdown_requested_.store(true);
+  }
   draining_.store(true);
   state_cv_.notify_all();
 
@@ -343,7 +355,10 @@ void Server::shutdown() {
   connections.clear();
   connections_gauge().set(0.0);
 
-  stopped_.store(true);
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    stopped_.store(true);
+  }
   state_cv_.notify_all();
 }
 
@@ -356,7 +371,10 @@ void Server::accept_loop() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (draining_.load()) return;
-      // Transient accept failure (EMFILE under overload): keep serving.
+      // Transient accept failure (EMFILE under fd exhaustion): keep
+      // serving, but back off briefly — the error can persist for a while,
+      // and a bare retry loop would spin this thread at 100% of a core.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
       continue;
     }
     if (draining_.load()) {
@@ -365,6 +383,13 @@ void Server::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_timeout_ms > 0.0) {
+      const auto usec = static_cast<long>(options_.send_timeout_ms * 1000.0);
+      timeval timeout{};
+      timeout.tv_sec = usec / 1000000;
+      timeout.tv_usec = usec % 1000000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    }
 
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
@@ -425,6 +450,11 @@ bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
     return true;  // frame boundary intact; connection stays usable
   }
   Request request;
+  // Seed the daemon's analyzer configuration before parsing: the request's
+  // `options` keys overlay it, so the solve (and the coalesce key, which
+  // hashes the same merged options) honors exactly what the client asked
+  // for, with absent keys inheriting the server's defaults.
+  request.options = options_.analyzer;
   if (!parse_request(*parsed, &request, &error)) {
     protocol_errors_total().add();
     conn->send(error_response(
@@ -441,7 +471,12 @@ bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
       return true;
     case Method::kShutdown:
       conn->send(ok_response(request.id, "{\"shutting_down\":true}"));
-      shutdown_requested_.store(true);
+      {
+        // Store under state_mutex_ so wait() cannot check its predicate,
+        // see the flag still false, and then sleep through this notify.
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        shutdown_requested_.store(true);
+      }
       state_cv_.notify_all();
       return true;
     case Method::kAnalyze:
@@ -601,9 +636,15 @@ void Server::worker_loop() {
 std::string Server::run_engine(const Request& request, bool* ok,
                                fault::ErrorInfo* error) {
   *ok = true;
+  // The request's merged options drive this solve (never the daemon's
+  // construction-time configuration alone). Per-request construction is
+  // trivially cheap — Engine and its analyzer only hold configuration; the
+  // staged caches are process-wide and keyed on (params, options).
+  const core::Engine engine(request.options,
+                            core::Engine::Options{/*strict=*/false});
   switch (request.method) {
     case Method::kAnalyze: {
-      const core::RunResult result = engine_.analyze(request.params);
+      const core::RunResult result = engine.analyze(request.params);
       if (!result.ok) {
         *ok = false;
         *error = result.error;
@@ -621,7 +662,7 @@ std::string Server::run_engine(const Request& request, bool* ok,
                             "unmapped sweep parameter", "service.sweep");
         return {};
       }
-      const std::vector<core::SweepPoint> points = engine_.sweep(
+      const std::vector<core::SweepPoint> points = engine.sweep(
           request.params, setter,
           core::linspace(request.sweep_from, request.sweep_to,
                          request.sweep_points));
@@ -654,7 +695,7 @@ std::string Server::run_engine(const Request& request, bool* ok,
       sim.horizon = request.sim_horizon;
       sim.replications = request.sim_replications;
       sim.seed = request.sim_seed;
-      const core::RunResult result = engine_.simulate(request.params, sim);
+      const core::RunResult result = engine.simulate(request.params, sim);
       if (!result.ok) {
         *ok = false;
         *error = result.error;

@@ -54,6 +54,10 @@ std::string stats_result_json(const ServiceStats& stats);
 ///   in-flight task instead of occupying a queue slot; when the leader's
 ///   solve completes, the result payload is serialized once and every
 ///   attached request receives byte-identical result bytes.
+/// * Per-request options: each solve runs with the daemon's analyzer
+///   configuration overlaid with the request's `options` keys, and the
+///   coalesce key hashes that same merged value — execution and coalescing
+///   identity always agree on what the client asked for.
 /// * Deadlines: a request's deadline_ms bounds queue wait + solve. Expiry
 ///   is checked at dequeue and again at completion, degrading into the
 ///   fault taxonomy's deadline-exceeded category. The deadline is never
@@ -78,6 +82,14 @@ class Server {
     std::uint32_t max_frame_bytes = kMaxFrameBytes;
     /// Applied when a request carries no deadline_ms of its own; 0 = none.
     double default_deadline_ms = 0.0;
+    /// SO_SNDTIMEO on accepted sockets: a peer that stops reading while
+    /// responses queue up can pin a worker in send(2) at most this long
+    /// before the connection is dropped (and its pending responses
+    /// settled), so shutdown()'s drain wait cannot hang on a dead client.
+    /// 0 disables the timeout.
+    double send_timeout_ms = 10000.0;
+    /// Base solver/reward configuration. Requests overlay their `options`
+    /// keys on top of this per request (see parse_request).
     core::ReliabilityAnalyzer::Options analyzer;
   };
 
@@ -134,7 +146,6 @@ class Server {
   void finish_one();  ///< decrements in-flight, wakes the drain waiter
 
   Options options_;
-  core::Engine engine_;
 
   int listen_fd_ = -1;
   int bound_port_ = 0;
@@ -158,10 +169,11 @@ class Server {
   std::size_t pending_responses_ = 0;
 
   // Lifecycle flags. draining_ / stopped_ / shutdown_requested_ are atomics
-  // because readers and workers consult them outside any lock; state_mutex_
-  // + state_cv_ only serialize wait()/shutdown() hand-off, and
-  // workers_stopping_ is guarded by queue_mutex_ (workers re-check it under
-  // the queue lock).
+  // because readers and workers consult them outside any lock; stores that
+  // wait()'s predicate reads (shutdown_requested_, stopped_) happen under
+  // state_mutex_ before notifying state_cv_, so the waiter cannot evaluate
+  // the predicate and then miss the wakeup. workers_stopping_ is guarded by
+  // queue_mutex_ (workers re-check it under the queue lock).
   std::mutex shutdown_mutex_;  ///< serializes shutdown() callers
   mutable std::mutex state_mutex_;
   std::condition_variable state_cv_;

@@ -168,6 +168,44 @@ TEST(RequestTest, ParsesAnalyzeWithOverrides) {
   EXPECT_EQ(request.options.solver.backend, markov::SolverBackend::kSparse);
 }
 
+TEST(RequestTest, OptionsOverlaySeededDefaults) {
+  // The caller (the server) seeds its own configuration; the request's
+  // options object overrides only the keys it actually carries.
+  service::Request request;
+  request.options.solver.backend = markov::SolverBackend::kSparse;
+  request.options.convention = core::RewardConvention::kGeneralized;
+  std::string error;
+  auto payload = parse(
+      R"({"id": 1, "method": "analyze", "params": {"paper": "4v"},
+          "options": {"convention": "strict"}})");
+  ASSERT_TRUE(payload.has_value());
+  ASSERT_TRUE(service::parse_request(*payload, &request, &error)) << error;
+  EXPECT_EQ(request.options.convention, core::RewardConvention::kStrict);
+  EXPECT_EQ(request.options.solver.backend, markov::SolverBackend::kSparse);
+
+  // No options object at all: every seeded value survives.
+  service::Request bare;
+  bare.options.solver.backend = markov::SolverBackend::kSparse;
+  bare.options.convention = core::RewardConvention::kGeneralized;
+  payload = parse(R"({"id": 2, "method": "analyze",
+                      "params": {"paper": "4v"}})");
+  ASSERT_TRUE(payload.has_value());
+  ASSERT_TRUE(service::parse_request(*payload, &bare, &error)) << error;
+  EXPECT_EQ(bare.options.convention, core::RewardConvention::kGeneralized);
+  EXPECT_EQ(bare.options.solver.backend, markov::SolverBackend::kSparse);
+
+  // An explicit "auto" is an override back to the library default, not a
+  // no-op key.
+  payload = parse(R"({"id": 3, "method": "analyze",
+                      "params": {"paper": "4v"},
+                      "options": {"solver": "auto"}})");
+  ASSERT_TRUE(payload.has_value());
+  service::Request reset;
+  reset.options.solver.backend = markov::SolverBackend::kSparse;
+  ASSERT_TRUE(service::parse_request(*payload, &reset, &error)) << error;
+  EXPECT_EQ(reset.options.solver.backend, markov::SolverBackend::kAuto);
+}
+
 TEST(RequestTest, RejectsBadRequests) {
   service::Request request;
   std::string error;
@@ -347,6 +385,52 @@ TEST_F(ServiceTest, AnalyzeMatchesLocalEngine) {
       engine.analyze(core::SystemParameters::paper_four_version());
   EXPECT_DOUBLE_EQ(response->result->number_or("expected_reliability", -1.0),
                    local.analysis.expected_reliability);
+}
+
+TEST_F(ServiceTest, PerRequestOptionsDriveTheSolve) {
+  start();  // daemon default: auto backend (dense for the small 4v model)
+  service::Client client = connect();
+  std::string error;
+
+  const auto forced = client.call(
+      1,
+      R"({"id":1,"method":"analyze","params":{"paper":"4v"},
+          "options":{"solver":"sparse"}})",
+      &error);
+  ASSERT_TRUE(forced.has_value()) << error;
+  ASSERT_TRUE(forced->ok);
+  EXPECT_EQ(forced->result->string_or("backend", ""), "sparse");
+
+  const auto defaulted = client.call(
+      2, R"({"id":2,"method":"analyze","params":{"paper":"4v"}})", &error);
+  ASSERT_TRUE(defaulted.has_value()) << error;
+  ASSERT_TRUE(defaulted->ok);
+  EXPECT_EQ(defaulted->result->string_or("backend", ""), "dense");
+
+  // Both paths must still agree with a local engine run under the same
+  // options (the sparse/dense backends are equivalence-tested elsewhere).
+  const core::Engine local;
+  const auto expected =
+      local.analyze(core::SystemParameters::paper_four_version());
+  ASSERT_TRUE(expected.ok);
+  EXPECT_DOUBLE_EQ(defaulted->result->number_or("expected_reliability", -1.0),
+                   expected.analysis.expected_reliability);
+  EXPECT_NEAR(forced->result->number_or("expected_reliability", -1.0),
+              expected.analysis.expected_reliability, 1e-8);
+}
+
+TEST_F(ServiceTest, RequestsInheritTheDaemonsConfiguredOptions) {
+  service::Server::Options options;
+  options.analyzer.solver.backend = markov::SolverBackend::kSparse;
+  start(options);
+  service::Client client = connect();
+  std::string error;
+  const auto response = client.call(
+      1, R"({"id":1,"method":"analyze","params":{"paper":"4v"}})", &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_TRUE(response->ok);
+  // No per-request options: the daemon's configured backend applies.
+  EXPECT_EQ(response->result->string_or("backend", ""), "sparse");
 }
 
 TEST_F(ServiceTest, MalformedPayloadsYieldStructuredErrorsNotCrashes) {

@@ -79,7 +79,7 @@ int usage() {
       "  nvpcli export      (--paper 4v|6v | --model <file.dspn>) [--dot]\n"
       "  nvpcli serve       [--host 127.0.0.1] [--port 0] "
       "[--service-workers N] [--queue-capacity 1024] "
-      "[--default-deadline-ms 0]\n"
+      "[--default-deadline-ms 0] [--send-timeout-ms 10000]\n"
       "  nvpcli stats       --remote <host:port>\n"
       "  nvpcli shutdown    --remote <host:port>\n"
       "\n"
@@ -661,6 +661,8 @@ int serve(const util::CliArgs& args) {
   options.queue_capacity =
       static_cast<std::size_t>(args.get_int("queue-capacity", 1024));
   options.default_deadline_ms = args.get_double("default-deadline-ms", 0.0);
+  options.send_timeout_ms =
+      args.get_double("send-timeout-ms", options.send_timeout_ms);
   options.analyzer = analyzer_options(args);
 
   service::Server server(std::move(options));
