@@ -11,7 +11,7 @@ std::uint64_t analysis_cache_key(const SystemParameters& params,
   // Model-structure identity: which factory builds the net and the schema
   // version of this key. Bump the version when the generated DSPN, the
   // parameter set, or AnalysisResult's layout changes semantically.
-  h.str("core::PerceptionModelFactory/v2");
+  h.str("core::PerceptionModelFactory/v3");
   h.i32(params.n_versions)
       .i32(params.max_faulty)
       .i32(params.max_rejuvenating)
@@ -30,21 +30,13 @@ std::uint64_t analysis_cache_key(const SystemParameters& params,
       .f64(params.voter_mtbf)
       .f64(params.voter_mttr);
   h.i32(static_cast<int>(options.convention))
-      .i32(static_cast<int>(options.attachment))
-      .i32(static_cast<int>(options.solver.ctmc_method))
-      .f64(options.solver.clamp_epsilon)
-      // The backend changes the solve's floating-point path (LU vs Krylov),
-      // so cached results must never alias across backends — a forced-dense
-      // oracle run and a forced-sparse run are distinct cache entries.
-      .i32(static_cast<int>(options.solver.backend))
-      .i32(static_cast<int>(options.solver.sparse_threshold))
-      .i32(static_cast<int>(options.solver.mrgp_sparse_threshold));
-  // The fallback chain selects the numeric path of degraded sparse solves;
-  // distinct chains are distinct cache entries (see rates_stage_key).
-  h.i32(static_cast<int>(options.solver.fallback.stages.size()));
-  for (const markov::FallbackStage stage : options.solver.fallback.stages)
-    h.i32(static_cast<int>(stage));
-  h.f64(options.solver.fallback.attempt_deadline_seconds);
+      .i32(static_cast<int>(options.attachment));
+  // Every solver knob changes the solve's floating-point path (LU vs
+  // Krylov vs matrix-free, chain order, GMRES controls), so cached results
+  // must never alias across configs. SolverConfig::canonical_hash covers
+  // the complete config in one schema-tagged value — the same value the
+  // rates-stage key and the nvpd coalescing key embed.
+  h.u64(options.solver.canonical_hash());
   return h.digest();
 }
 

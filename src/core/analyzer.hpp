@@ -32,10 +32,13 @@ struct AnalysisResult {
   std::size_t tangible_states = 0;
   /// True when the model needed the MRGP solver (deterministic clock).
   bool used_dspn_solver = false;
-  /// True when the sparse (CSR + Krylov) backend performed the solve —
-  /// either forced via Options::solver.backend or picked by kAuto once the
-  /// state space crossed the sparse threshold.
+  /// True when the explicit-sparse (CSR + Krylov) backend performed the
+  /// solve. Kept for callers that predate `backend_used`, which is the
+  /// authoritative field (the matrix-free backend reports false here).
   bool used_sparse_backend = false;
+  /// The solver backend that actually produced the stationary vector
+  /// (never kAuto; reflects whole-solve dense degradation when it fired).
+  markov::SolverBackend backend_used = markov::SolverBackend::kDense;
   /// Stored nonzeros of the solver's main matrices (dense backends report
   /// their full n^2 allocations); see DspnSteadyStateResult.
   std::size_t matrix_nonzeros = 0;

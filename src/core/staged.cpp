@@ -65,6 +65,7 @@ AnalysisResult assemble_result(const StructureArtifact& structure,
   result.used_dspn_solver = !rates.pure_ctmc;
   result.used_sparse_backend =
       rates.backend_used == markov::SolverBackend::kSparse;
+  result.backend_used = rates.backend_used;
   result.matrix_nonzeros = rates.matrix_nonzeros;
 
   const std::size_t n_classes = structure.classes.size();
@@ -133,7 +134,7 @@ std::uint64_t rates_stage_key(
     const SystemParameters& params,
     const markov::DspnSteadyStateSolver::Options& solver) {
   runtime::Fnv1a h;
-  h.str("core::staged/rates/v2");
+  h.str("core::staged/rates/v3");
   h.u64(structure_stage_key(params));
   h.f64(params.mean_time_to_compromise)
       .f64(params.mean_time_to_failure)
@@ -143,20 +144,11 @@ std::uint64_t rates_stage_key(
       .f64(params.detection_rate)
       .f64(params.voter_mtbf)
       .f64(params.voter_mttr);
-  // The backend changes the solve's floating-point path (LU vs Krylov), so
-  // distributions must never alias across solver options.
-  h.i32(static_cast<int>(solver.ctmc_method))
-      .f64(solver.clamp_epsilon)
-      .i32(static_cast<int>(solver.backend))
-      .i32(static_cast<int>(solver.sparse_threshold))
-      .i32(static_cast<int>(solver.mrgp_sparse_threshold));
-  // The fallback chain decides which numeric path produced the stationary
-  // vector (and whether a degraded sparse solve retried on dense), so a
-  // custom chain must never alias the default chain's distribution.
-  h.i32(static_cast<int>(solver.fallback.stages.size()));
-  for (const markov::FallbackStage stage : solver.fallback.stages)
-    h.i32(static_cast<int>(stage));
-  h.f64(solver.fallback.attempt_deadline_seconds);
+  // Every solver knob changes the solve's floating-point path (backend,
+  // chain order, GMRES controls, warm start ...), so distributions must
+  // never alias across configs; the canonical hash covers the complete
+  // SolverConfig in one schema-tagged value.
+  h.u64(solver.canonical_hash());
   return h.digest();
 }
 
@@ -221,6 +213,13 @@ std::shared_ptr<const StructureArtifact> staged_structure(
       artifact->class_of_state[s] = class_index.at(
           std::make_tuple(sc.healthy, sc.compromised, sc.down));
     }
+    // Hand the (i, j, k) classification to the solver as the assembly
+    // plan's lumping hint: matrix-free solves warm-start from the lumped
+    // chain's stationary vector (see lumped_warm_start). The class count
+    // stays O(N^2) while states grow much faster, so the hint is cheap to
+    // carry on every cached structure.
+    artifact->plan.lumping = artifact->class_of_state;
+    artifact->plan.lumping_classes = artifact->classes.size();
     return artifact;
   };
   if (!use_cache) return build();

@@ -23,10 +23,12 @@ enum class Site : std::size_t {
   kCache,           ///< runtime LRU cache: forced lookup miss
   kPool,            ///< runtime thread pool: forced task-dispatch failure
   kAlloc,           ///< markov dense assembly: forced allocation failure
+  kMatrixFree,      ///< markov matrix-free solve: forced operator failure
 };
-inline constexpr std::size_t kSiteCount = 7;
+inline constexpr std::size_t kSiteCount = 8;
 
-/// "lu" / "gmres" / "power" / "uniformization" / "cache" / "pool" / "alloc".
+/// "lu" / "gmres" / "power" / "uniformization" / "cache" / "pool" / "alloc"
+/// / "mfree".
 const char* to_string(Site site);
 std::optional<Site> parse_site(std::string_view name);
 

@@ -184,18 +184,27 @@ struct Preconditioner {
   }
 };
 
-}  // namespace
-
-IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
-                      const GmresOptions& opts) {
-  NVP_EXPECTS(a.rows() == a.cols());
-  NVP_EXPECTS(b.size() == a.rows());
+/// The restarted-GMRES body, shared by the CSR and matrix-free entry points:
+/// templated on the matvec (y = A x) and the preconditioner application so
+/// the CSR instantiation compiles to exactly the code it was before the
+/// operator seam existed (bit-identical results). `x0` seeds the first cycle
+/// when non-null; each cycle recomputes the true residual b - A x, so a warm
+/// start changes only the iterate path, never the convergence criterion.
+template <typename Matvec, typename Precond>
+IterativeResult gmres_core(std::size_t n, const Matvec& matvec,
+                           const Precond& precond, const Vector& b,
+                           const GmresOptions& opts, const Vector* x0) {
+  NVP_EXPECTS(b.size() == n);
   NVP_EXPECTS(opts.restart >= 1);
-  const std::size_t n = a.rows();
   const std::size_t m = opts.restart;
 
   IterativeResult res;
-  res.x.assign(n, 0.0);
+  if (x0 != nullptr) {
+    NVP_EXPECTS(x0->size() == n);
+    res.x = *x0;
+  } else {
+    res.x.assign(n, 0.0);
+  }
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
     res.converged = true;
@@ -208,7 +217,6 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
     return res;
   }
   const Deadline deadline(opts.deadline_seconds);
-  const Preconditioner precond = Preconditioner::make(a, opts.preconditioner);
 
   // Arnoldi basis V, preconditioned basis Z (flexible-GMRES storage so the
   // update x += Z y needs no extra preconditioner applications), Hessenberg
@@ -223,7 +231,7 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
       res.deadline_exceeded = true;
       break;
     }
-    Vector r = a.multiply(res.x);
+    Vector r = matvec(res.x);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     const double beta = norm2(r);
     res.residual = beta / bnorm;
@@ -248,8 +256,8 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
         break;
       }
       ++res.iterations;
-      z[j] = precond.apply(v[j]);
-      Vector w = a.multiply(z[j]);
+      z[j] = precond(v[j]);
+      Vector w = matvec(z[j]);
       for (std::size_t i = 0; i <= j; ++i) {  // modified Gram-Schmidt
         const double hij = dot(w, v[i]);
         h[j][i] = hij;
@@ -300,7 +308,7 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
       for (std::size_t t = 0; t < n; ++t) res.x[t] += y[k] * z[k][t];
     if (breakdown) {
       prev_cycle_residual = std::numeric_limits<double>::infinity();
-      Vector check = a.multiply(res.x);
+      Vector check = matvec(res.x);
       double num = 0.0;
       for (std::size_t i = 0; i < n; ++i)
         num += (b[i] - check[i]) * (b[i] - check[i]);
@@ -311,7 +319,7 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
     }
   }
 
-  Vector check = a.multiply(res.x);
+  Vector check = matvec(res.x);
   double num = 0.0;
   for (std::size_t i = 0; i < n; ++i)
     num += (b[i] - check[i]) * (b[i] - check[i]);
@@ -320,16 +328,44 @@ IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
   return res;
 }
 
+}  // namespace
+
+IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
+                      const GmresOptions& opts) {
+  NVP_EXPECTS(a.rows() == a.cols());
+  NVP_EXPECTS(b.size() == a.rows());
+  const Preconditioner precond = Preconditioner::make(a, opts.preconditioner);
+  return gmres_core(
+      a.rows(), [&](const Vector& v) { return a.multiply(v); },
+      [&](const Vector& v) { return precond.apply(v); }, b, opts, nullptr);
+}
+
+IterativeResult gmres(const LinearOperator& a, const Vector& b,
+                      const GmresOptions& opts, const Vector* x0) {
+  NVP_EXPECTS(a.rows() == a.cols());
+  NVP_EXPECTS(b.size() == a.rows());
+  return gmres_core(
+      a.rows(), [&](const Vector& v) { return a.apply(v); },
+      [](const Vector& v) { return v; }, b, opts, x0);
+}
+
 namespace {
 
-template <typename Matrix>
-IterativeResult stationary_impl(const Matrix& p,
-                                const IterativeOptions& opts) {
-  NVP_EXPECTS(p.rows() == p.cols());
-  const std::size_t n = p.rows();
+/// Power-iteration body shared by the matrix and matrix-free entry points:
+/// `step` computes the left action x -> x^T P. Matrix instantiations call it
+/// with a null x0 so they remain bit-identical to the pre-operator code.
+template <typename Step>
+IterativeResult stationary_core(std::size_t n, const Step& step,
+                                const IterativeOptions& opts,
+                                const Vector* x0) {
   NVP_EXPECTS(n > 0);
   IterativeResult res;
-  res.x.assign(n, 1.0 / static_cast<double>(n));
+  if (x0 != nullptr) {
+    NVP_EXPECTS(x0->size() == n);
+    res.x = *x0;
+  } else {
+    res.x.assign(n, 1.0 / static_cast<double>(n));
+  }
   if (fault::fire(fault::Site::kPowerIteration)) {
     res.residual = std::numeric_limits<double>::infinity();
     return res;
@@ -340,7 +376,7 @@ IterativeResult stationary_impl(const Matrix& p,
       res.deadline_exceeded = true;
       break;
     }
-    Vector next = p.left_multiply(res.x);
+    Vector next = step(res.x);
     normalize_l1(next);
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i)
@@ -356,6 +392,15 @@ IterativeResult stationary_impl(const Matrix& p,
   return res;
 }
 
+template <typename Matrix>
+IterativeResult stationary_impl(const Matrix& p,
+                                const IterativeOptions& opts) {
+  NVP_EXPECTS(p.rows() == p.cols());
+  return stationary_core(
+      p.rows(), [&](const Vector& x) { return p.left_multiply(x); }, opts,
+      nullptr);
+}
+
 }  // namespace
 
 IterativeResult stationary_power_iteration(const SparseMatrixCsr& p,
@@ -366,6 +411,15 @@ IterativeResult stationary_power_iteration(const SparseMatrixCsr& p,
 IterativeResult stationary_power_iteration(const DenseMatrix& p,
                                            const IterativeOptions& opts) {
   return stationary_impl(p, opts);
+}
+
+IterativeResult stationary_power_iteration(const LinearOperator& p_left,
+                                           const IterativeOptions& opts,
+                                           const Vector* x0) {
+  NVP_EXPECTS(p_left.rows() == p_left.cols());
+  return stationary_core(
+      p_left.rows(), [&](const Vector& x) { return p_left.apply(x); }, opts,
+      x0);
 }
 
 }  // namespace nvp::linalg

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "src/linalg/dense_matrix.hpp"
+#include "src/linalg/operator.hpp"
 #include "src/linalg/sparse_matrix.hpp"
 
 namespace nvp::linalg {
@@ -78,6 +79,15 @@ struct GmresOptions {
 IterativeResult gmres(const SparseMatrixCsr& a, const Vector& b,
                       const GmresOptions& opts = {});
 
+/// Matrix-free restarted GMRES: A is known only through its action y = A x,
+/// so no entry-wise preconditioner can be built — `opts.preconditioner` is
+/// ignored and the solve runs unpreconditioned. `x0`, when given, seeds the
+/// first cycle (each cycle recomputes the true residual b - A x, so a good
+/// warm start cuts cycles without changing the convergence criterion).
+IterativeResult gmres(const LinearOperator& a, const Vector& b,
+                      const GmresOptions& opts = {},
+                      const Vector* x0 = nullptr);
+
 /// Power iteration for the stationary distribution of a row-stochastic
 /// matrix P (solves pi P = pi, pi >= 0, sum pi = 1). The matrix may be
 /// reducible in theory; callers should pass an irreducible chain.
@@ -87,5 +97,14 @@ IterativeResult stationary_power_iteration(const SparseMatrixCsr& p,
 /// Dense variant of stationary_power_iteration.
 IterativeResult stationary_power_iteration(const DenseMatrix& p,
                                            const IterativeOptions& opts = {});
+
+/// Matrix-free variant: `p_left` must implement the *left* action of the
+/// chain, apply(x) = x^T P (the natural operation for probability-vector
+/// propagation, matching what a transfer operator computes). `x0`, when
+/// given, replaces the uniform starting vector; it must be a probability
+/// vector.
+IterativeResult stationary_power_iteration(const LinearOperator& p_left,
+                                           const IterativeOptions& opts = {},
+                                           const Vector* x0 = nullptr);
 
 }  // namespace nvp::linalg

@@ -1,0 +1,31 @@
+#include "src/linalg/operator.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::linalg {
+
+void DenseOperator::apply_into(const Vector& x, Vector& y) const {
+  NVP_EXPECTS(x.size() == a_->cols());
+  NVP_EXPECTS(&x != &y);
+  y.assign(a_->rows(), 0.0);
+  for (std::size_t r = 0; r < a_->rows(); ++r) {
+    const double* row = a_->row_data(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < a_->cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void CsrOperator::apply_into(const Vector& x, Vector& y) const {
+  NVP_EXPECTS(x.size() == a_->cols());
+  NVP_EXPECTS(&x != &y);
+  y.assign(a_->rows(), 0.0);
+  for (std::size_t r = 0; r < a_->rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t k = a_->row_begin(r); k < a_->row_end(r); ++k)
+      acc += a_->value(k) * x[a_->col_index(k)];
+    y[r] = acc;
+  }
+}
+
+}  // namespace nvp::linalg

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/linalg/dense_matrix.hpp"
+#include "src/linalg/sparse_matrix.hpp"
+
+namespace nvp::linalg {
+
+/// Abstract linear map y = A x exposed only through its dimensions and its
+/// action on a vector. This is the seam that lets the Krylov solvers run
+/// matrix-free: the embedded chain of a subordinated MRGP is near-dense when
+/// assembled explicitly, but its row-action costs one sparse uniformization
+/// propagation, so callers hand GMRES / power iteration an operator instead
+/// of a matrix and the chain is never materialized.
+///
+/// Adapters for the two concrete matrix types are below so existing dense /
+/// CSR call sites can move onto the operator interface without copying.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+
+  /// y = A x. `x` must have cols() entries; `y` is resized to rows().
+  /// `y` may not alias `x`.
+  virtual void apply_into(const Vector& x, Vector& y) const = 0;
+
+  /// Convenience allocating form of apply_into.
+  Vector apply(const Vector& x) const {
+    Vector y;
+    apply_into(x, y);
+    return y;
+  }
+};
+
+/// Non-owning view of a DenseMatrix as a LinearOperator (y = A x).
+class DenseOperator final : public LinearOperator {
+ public:
+  explicit DenseOperator(const DenseMatrix& a) : a_(&a) {}
+
+  std::size_t rows() const override { return a_->rows(); }
+  std::size_t cols() const override { return a_->cols(); }
+  void apply_into(const Vector& x, Vector& y) const override;
+
+ private:
+  const DenseMatrix* a_;
+};
+
+/// Non-owning view of a SparseMatrixCsr as a LinearOperator (y = A x).
+class CsrOperator final : public LinearOperator {
+ public:
+  explicit CsrOperator(const SparseMatrixCsr& a) : a_(&a) {}
+
+  std::size_t rows() const override { return a_->rows(); }
+  std::size_t cols() const override { return a_->cols(); }
+  void apply_into(const Vector& x, Vector& y) const override;
+
+ private:
+  const SparseMatrixCsr* a_;
+};
+
+}  // namespace nvp::linalg

@@ -4,6 +4,7 @@
 
 #include "src/linalg/iterative.hpp"
 #include "src/linalg/lu.hpp"
+#include "src/markov/solver_config.hpp"
 #include "src/markov/sparse_assembly.hpp"
 #include "src/util/contracts.hpp"
 
@@ -99,12 +100,25 @@ const char* to_string(SolverBackend backend) {
       return "dense";
     case SolverBackend::kSparse:
       return "sparse";
+    case SolverBackend::kMatrixFree:
+      return "mfree";
   }
   return "?";
 }
 
-Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator,
-                                const FallbackOptions& fallback) {
+std::optional<SolverBackend> parse_backend(std::string_view name) {
+  if (name == "auto") return SolverBackend::kAuto;
+  if (name == "dense") return SolverBackend::kDense;
+  if (name == "sparse") return SolverBackend::kSparse;
+  if (name == "mfree") return SolverBackend::kMatrixFree;
+  return std::nullopt;
+}
+
+namespace {
+
+Vector steady_state_sparse_impl(const linalg::SparseMatrixCsr& generator,
+                                const FallbackOptions& fallback,
+                                const ChainKnobs& knobs) {
   NVP_EXPECTS(generator.rows() == generator.cols());
   const std::size_t n = generator.rows();
   NVP_EXPECTS(n > 0);
@@ -136,7 +150,20 @@ Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator,
     lambda *= 1.02;
     return sparse_uniformized_dtmc(generator, lambda);
   };
-  return solve_stationary_chain(problem, fallback);
+  return solve_stationary_chain(problem, fallback, knobs);
+}
+
+}  // namespace
+
+Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator,
+                                const FallbackOptions& fallback) {
+  return steady_state_sparse_impl(generator, fallback, ChainKnobs{});
+}
+
+Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator,
+                                const SolverConfig& config) {
+  return steady_state_sparse_impl(generator, config.fallback,
+                                  chain_knobs(config));
 }
 
 Vector ctmc_steady_state(const DenseMatrix& generator,

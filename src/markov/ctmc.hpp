@@ -1,6 +1,8 @@
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "src/fault/error.hpp"
@@ -49,17 +51,26 @@ enum class SteadyStateMethod {
 };
 
 /// Matrix representation / algorithm family used by the stationary solvers:
-///  * kDense  — materialized n x n matrices, LU and matrix-exponential
+///  * kDense      — materialized n x n matrices, LU and matrix-exponential
 ///    doubling (the original path; exact oracle for tests).
-///  * kSparse — CSR assembly straight from the reachability graph, vector
-///    uniformization for the subordinated transients, and a Krylov (GMRES +
-///    ILU0, power-iteration fallback) stationary solve.
-///  * kAuto   — pick by tangible state count (see
-///    DspnSteadyStateSolver::Options::sparse_threshold).
-enum class SolverBackend { kAuto, kDense, kSparse };
+///  * kSparse     — CSR assembly straight from the reachability graph,
+///    vector uniformization for the subordinated transients, and a Krylov
+///    (GMRES + ILU0, power-iteration fallback) stationary solve.
+///  * kMatrixFree — never assemble the embedded chain: Krylov solves over a
+///    linalg::LinearOperator whose action runs one sparse-uniformization
+///    propagation per deterministic group (see matrix_free.hpp). The only
+///    backend that scales MRGPs to 10^4-10^5 states.
+///  * kAuto       — pick by tangible state count and model class (see
+///    SolverConfig's sparse_threshold / mrgp_matrix_free_threshold).
+enum class SolverBackend { kAuto, kDense, kSparse, kMatrixFree };
 
-/// "auto" / "dense" / "sparse".
+/// "auto" / "dense" / "sparse" / "mfree".
 const char* to_string(SolverBackend backend);
+
+/// Inverse of to_string; nullopt on unknown names.
+std::optional<SolverBackend> parse_backend(std::string_view name);
+
+struct SolverConfig;
 
 /// Stationary distribution of an irreducible CTMC from its sparse generator
 /// (pi Q = 0, sum pi = 1): the transposed balance equations with the
@@ -71,6 +82,11 @@ const char* to_string(SolverBackend backend);
 linalg::Vector ctmc_steady_state_sparse(
     const linalg::SparseMatrixCsr& generator,
     const FallbackOptions& fallback = {});
+
+/// SolverConfig-aware overload: same balance system, with the chain and its
+/// GMRES knobs taken from the config (fallback + gmres_* fields).
+linalg::Vector ctmc_steady_state_sparse(const linalg::SparseMatrixCsr& generator,
+                                        const SolverConfig& config);
 
 /// Stationary distribution pi of an irreducible CTMC (pi Q = 0, sum pi = 1).
 /// Throws SolverError if the chain has an absorbing state or the direct

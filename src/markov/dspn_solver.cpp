@@ -9,6 +9,8 @@
 #include "src/fault/injector.hpp"
 #include "src/linalg/sparse_matrix.hpp"
 #include "src/markov/dtmc.hpp"
+#include "src/markov/erlangization.hpp"
+#include "src/markov/matrix_free.hpp"
 #include "src/markov/sparse_assembly.hpp"
 #include "src/markov/transient.hpp"
 #include "src/obs/metrics.hpp"
@@ -203,13 +205,115 @@ Vector solve_mrgp_sparse(const petri::TangibleReachabilityGraph& g,
 
   const Vector nu = [&] {
     const obs::ScopedSpan stationary_span("markov.dtmc_stationary_sparse");
-    return dtmc_stationary(p, options.fallback);
+    return dtmc_stationary(p, options.fallback, chain_knobs(options));
   }();
 
   return finish_stationary(c.left_multiply(nu), options.clamp_epsilon);
 }
 
+// ---------------------------------------------------------------------------
+// Matrix-free backend: never assembles the embedded chain. The
+// EmbeddedChainOperator answers x -> x P through one sparse-uniformization
+// propagation per deterministic group (see matrix_free.hpp), and the
+// stationary vector comes from unpreconditioned GMRES / power iteration on
+// that operator, optionally warm-started from the model-layer lumping.
+
+Vector solve_mrgp_matrix_free(const petri::TangibleReachabilityGraph& g,
+                              const AssemblyPlan& plan,
+                              const DspnSteadyStateSolver::Options& options,
+                              std::size_t& nonzeros_out) {
+  const std::size_t n = g.size();
+
+  const obs::ScopedSpan embed_span("markov.embedded_chain_mfree");
+  const EmbeddedChainOperator chain(g, plan);
+  nonzeros_out = chain.stored_nonzeros();
+
+  const BalanceOperator balance(chain);
+  const TransferOperator transfer(chain);
+  Vector rhs(n, 0.0);
+  rhs[n - 1] = 1.0;
+
+  // Warm start from the model-layer lumping when the plan carries one.
+  // Strictly an iterate-path optimization: any failure here falls back to
+  // the cold start, never to a wrong answer. Probing the lumped chain costs
+  // one operator application per class while a cold Krylov solve converges
+  // in a few dozen, so the start only pays for lumpings much coarser than
+  // the iteration budget — beyond the cap the cold start is strictly
+  // faster and we skip the probe entirely.
+  constexpr std::size_t kWarmStartMaxClasses = 96;
+  Vector guess;
+  const Vector* initial_guess = nullptr;
+  if (options.lumped_warm_start && plan.lumping_classes > 0 &&
+      plan.lumping_classes <= kWarmStartMaxClasses &&
+      plan.lumping.size() == n) {
+    static obs::Counter& warm_starts =
+        obs::Registry::global().counter("markov.solver.warm_starts");
+    try {
+      const obs::ScopedSpan warm_span("markov.mfree.warm_start");
+      guess = lumped_warm_start(chain, plan.lumping, plan.lumping_classes);
+      initial_guess = &guess;
+      warm_starts.add();
+    } catch (const std::exception&) {
+      // cold start
+    }
+  }
+
+  StationaryProblem problem;
+  problem.rhs = &rhs;
+  problem.balance_op = &balance;
+  problem.transfer_op = &transfer;
+  problem.initial_guess = initial_guess;
+  problem.states = n;
+  problem.what = "matrix-free MRGP stationary solve";
+
+  // Only the operator-capable rungs can run here; keep their configured
+  // order and make sure the mfree stage leads when the user's chain never
+  // mentions it (the default chain predates the stage).
+  FallbackOptions mfree_chain = options.fallback;
+  mfree_chain.stages.clear();
+  for (const FallbackStage stage : options.fallback.stages)
+    if (stage == FallbackStage::kMatrixFree ||
+        stage == FallbackStage::kPowerIteration)
+      mfree_chain.stages.push_back(stage);
+  if (std::find(mfree_chain.stages.begin(), mfree_chain.stages.end(),
+                FallbackStage::kMatrixFree) == mfree_chain.stages.end())
+    mfree_chain.stages.insert(mfree_chain.stages.begin(),
+                              FallbackStage::kMatrixFree);
+
+  const Vector nu = [&] {
+    const obs::ScopedSpan stationary_span("markov.dtmc_stationary_mfree");
+    return solve_stationary_chain(problem, mfree_chain, chain_knobs(options));
+  }();
+
+  return finish_stationary(chain.conversion_apply(nu), options.clamp_epsilon);
+}
+
+const char* backend_span(SolverBackend backend) {
+  switch (backend) {
+    case SolverBackend::kSparse:
+      return "markov.solve.sparse";
+    case SolverBackend::kMatrixFree:
+      return "markov.solve.mfree";
+    default:
+      return "markov.solve.dense";
+  }
+}
+
 }  // namespace
+
+SolverBackend dispatch_backend(const SolverConfig& config, std::size_t states,
+                               bool has_deterministic) {
+  if (config.backend != SolverBackend::kAuto) return config.backend;
+  if (!has_deterministic)
+    return states >= config.sparse_threshold ? SolverBackend::kSparse
+                                             : SolverBackend::kDense;
+  // MRGP: the explicit embedded chain is near-dense, so the explicit-sparse
+  // assembly never wins a crossover — kAuto goes straight from the dense
+  // oracle to the matrix-free operator.
+  return states >= config.mrgp_matrix_free_threshold
+             ? SolverBackend::kMatrixFree
+             : SolverBackend::kDense;
+}
 
 AssemblyPlan build_assembly_plan(const petri::TangibleReachabilityGraph& g) {
   static obs::Counter& plans =
@@ -268,16 +372,8 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
 
   DspnSteadyStateResult result;
   result.states = n;
-  // MRGP embedded chains are near-dense, so their sparse crossover sits far
-  // above the pure-CTMC one; kAuto picks the threshold by model class.
-  const std::size_t auto_threshold = g.has_deterministic()
-                                         ? options_.mrgp_sparse_threshold
-                                         : options_.sparse_threshold;
-  result.backend_used = options_.backend == SolverBackend::kAuto
-                            ? (n >= auto_threshold ? SolverBackend::kSparse
-                                                   : SolverBackend::kDense)
-                            : options_.backend;
-  const bool sparse = result.backend_used == SolverBackend::kSparse;
+  result.backend_used =
+      dispatch_backend(options_, n, g.has_deterministic());
 
   static obs::Counter& ctmc_solves =
       obs::Registry::global().counter("markov.solver.ctmc_solves");
@@ -287,14 +383,25 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
       obs::Registry::global().counter("markov.solver.dense_solves");
   static obs::Counter& sparse_solves =
       obs::Registry::global().counter("markov.solver.sparse_solves");
+  static obs::Counter& mfree_solves =
+      obs::Registry::global().counter("markov.solver.mfree_solves");
   static obs::Histogram& states_hist =
       obs::Registry::global().histogram("markov.solver.states");
   static obs::Histogram& nnz_hist =
       obs::Registry::global().histogram("markov.solver.matrix_nonzeros");
-  const obs::ScopedSpan span(sparse ? "markov.solve.sparse"
-                                    : "markov.solve.dense");
+  const auto backend_counter = [&](SolverBackend backend) -> obs::Counter& {
+    switch (backend) {
+      case SolverBackend::kSparse:
+        return sparse_solves;
+      case SolverBackend::kMatrixFree:
+        return mfree_solves;
+      default:
+        return dense_solves;
+    }
+  };
+  const obs::ScopedSpan span(backend_span(result.backend_used));
   states_hist.observe(static_cast<double>(n));
-  (sparse ? sparse_solves : dense_solves).add();
+  backend_counter(result.backend_used).add();
 
   if (!g.has_deterministic()) {
     ctmc_solves.add();
@@ -316,22 +423,29 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
     }
   }
 
-  const auto solve_with = [&](bool use_sparse) {
+  const auto solve_with = [&](SolverBackend backend) {
     if (result.pure_ctmc) {
-      if (use_sparse) {
-        const SparseMatrixCsr q =
-            plan.generator.pour(sparse_generator_values(g));
-        result.matrix_nonzeros = q.nonzeros();
-        const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state_sparse");
-        result.probabilities = ctmc_steady_state_sparse(q, options_.fallback);
-      } else {
+      if (backend == SolverBackend::kDense) {
         result.matrix_nonzeros = n * n;
         const Ctmc chain = Ctmc::from_graph(g);
         const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state");
         result.probabilities =
             ctmc_steady_state(chain.generator, options_.ctmc_method);
+      } else {
+        // kSparse and kMatrixFree share the CSR assembly for pure CTMCs:
+        // the generator is genuinely sparse, so there is nothing for an
+        // operator to avoid materializing (the mfree *fallback stage*
+        // still runs matrix-free Krylov over it when configured).
+        const SparseMatrixCsr q =
+            plan.generator.pour(sparse_generator_values(g));
+        result.matrix_nonzeros = q.nonzeros();
+        const obs::ScopedSpan ctmc_span("markov.ctmc_steady_state_sparse");
+        result.probabilities = ctmc_steady_state_sparse(q, options_);
       }
-    } else if (use_sparse) {
+    } else if (backend == SolverBackend::kMatrixFree) {
+      result.probabilities =
+          solve_mrgp_matrix_free(g, plan, options_, result.matrix_nonzeros);
+    } else if (backend == SolverBackend::kSparse) {
       result.probabilities =
           solve_mrgp_sparse(g, plan, options_, result.matrix_nonzeros);
     } else {
@@ -340,38 +454,61 @@ DspnSteadyStateResult DspnSteadyStateSolver::solve(
     }
   };
 
-  if (!sparse) {
-    solve_with(false);
+  const SolverBackend primary = result.backend_used;
+  if (primary == SolverBackend::kDense) {
+    solve_with(primary);
   } else {
     try {
-      solve_with(true);
-    } catch (const std::exception& sparse_error) {
+      solve_with(primary);
+    } catch (const std::exception& primary_error) {
       // Whole-solve degradation: if the chain keeps the dense oracle as its
-      // last resort, rebuild on the dense backend before giving up.
+      // last resort and the model is small enough to densify, rebuild on
+      // the dense backend before giving up.
       const auto& stages = options_.fallback.stages;
       if (std::find(stages.begin(), stages.end(), FallbackStage::kDenseLu) ==
-          stages.end())
+              stages.end() ||
+          n > options_.dense_retry_limit)
         throw;
       static obs::Counter& backend_fallbacks =
           obs::Registry::global().counter("markov.solver.backend_fallbacks");
       backend_fallbacks.add();
       dense_solves.add();
+      const char* primary_name = to_string(primary);
       result.backend_used = SolverBackend::kDense;
       try {
         const obs::ScopedSpan retry_span("markov.solve.backend_fallback");
-        solve_with(false);
+        solve_with(SolverBackend::kDense);
       } catch (const std::exception& dense_error) {
         fault::Context context;
         context.site = "markov.solver";
         context.states = n;
-        context.causes = {std::string("sparse: ") + sparse_error.what(),
-                          std::string("dense: ") + dense_error.what()};
+        context.causes = {
+            std::string(primary_name) + ": " + primary_error.what(),
+            std::string("dense: ") + dense_error.what()};
         throw SolverError(
-            "DSPN solver: sparse backend failed and the dense retry failed",
+            "DSPN solver: " + std::string(primary_name) +
+                " backend failed and the dense retry failed",
             fault::category_of(dense_error), std::move(context));
       }
     }
   }
+
+  // Optional independent cross-check: re-solve through Erlangization and
+  // record the disagreement. Shares no transient machinery with any of the
+  // backends above, so a systematic bug in either shows up here.
+  if (options_.erlang_stages > 0 && !result.pure_ctmc) {
+    static obs::Histogram& deviation_hist = obs::Registry::global().histogram(
+        "markov.erlang.crosscheck_deviation");
+    const obs::ScopedSpan check_span("markov.erlang.crosscheck");
+    const Vector erlang =
+        erlangization_stationary(g, plan, options_.erlang_stages, options_);
+    double deviation = 0.0;
+    for (std::size_t s = 0; s < n; ++s)
+      deviation =
+          std::max(deviation, std::fabs(erlang[s] - result.probabilities[s]));
+    deviation_hist.observe(deviation);
+  }
+
   nnz_hist.observe(static_cast<double>(result.matrix_nonzeros));
   return result;
 }

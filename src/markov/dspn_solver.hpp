@@ -3,6 +3,7 @@
 #include "src/linalg/dense_matrix.hpp"
 #include "src/linalg/sparse_matrix.hpp"
 #include "src/markov/ctmc.hpp"
+#include "src/markov/solver_config.hpp"
 #include "src/petri/reachability.hpp"
 
 namespace nvp::markov {
@@ -31,6 +32,14 @@ struct AssemblyPlan {
   /// Ordered by deterministic transition index (the iteration order the
   /// fused solver used).
   std::vector<Group> groups;
+
+  /// Optional state lumping for matrix-free warm starts: class_of_state
+  /// (size `states`) and the class count. build_assembly_plan leaves it
+  /// empty — the partition is model-layer knowledge (the (i, j, k)
+  /// classification of the perception models) that the staged pipeline
+  /// fills in after classification. Solvers must treat it as a hint only.
+  std::vector<std::size_t> lumping;
+  std::size_t lumping_classes = 0;
 };
 
 /// Builds the assembly plan of a graph's structure.
@@ -80,43 +89,19 @@ struct DspnSteadyStateResult {
 /// this is the single entry point used by the reliability analyzer for both
 /// paper models.
 ///
-/// Two backends implement the same mathematics (Options::backend): the
-/// original dense path (LU + matrix-exponential doubling, the oracle) and a
-/// sparse path for large state spaces (CSR assembly from the reachability
-/// graph, per-row vector uniformization fanned out on the runtime pool, and
-/// Krylov stationary solves). kAuto switches on the state count.
+/// Three backends implement the same mathematics (Options::backend): the
+/// original dense path (LU + matrix-exponential doubling, the oracle), a
+/// sparse path (CSR assembly from the reachability graph, per-row vector
+/// uniformization fanned out on the runtime pool, Krylov stationary
+/// solves), and a matrix-free path that never assembles the embedded chain
+/// (see matrix_free.hpp). kAuto switches on the state count and model
+/// class — see dispatch_backend().
 class DspnSteadyStateSolver {
  public:
-  struct Options {
-    SteadyStateMethod ctmc_method = SteadyStateMethod::kDirect;
-    /// Probabilities below this are clamped to zero before normalizing.
-    double clamp_epsilon = 1e-15;
-    /// Matrix representation: kDense materializes n x n matrices and runs
-    /// LU / matrix-exponential doubling; kSparse assembles CSR straight
-    /// from the reachability graph, runs vector uniformization for the
-    /// subordinated transients, and solves the stationary systems with
-    /// GMRES + ILU0 (power-iteration fallback). kAuto dispatches on the
-    /// tangible state count. The two backends agree to ~1e-12, so the
-    /// dense path stays the oracle. kSparse ignores `ctmc_method`.
-    SolverBackend backend = SolverBackend::kAuto;
-    /// kAuto picks kSparse at or above this many tangible states for
-    /// pure-CTMC models (no deterministic transition anywhere). Below it,
-    /// dense LU is faster (no Krylov setup) and byte-identical to the
-    /// original solver, which keeps the paper configurations on the oracle
-    /// path. CTMC generators are O(n) sparse, so the switch pays off early.
-    std::size_t sparse_threshold = 128;
-    /// kAuto threshold for MRGP models (deterministic transition present).
-    /// Their embedded chains are near-dense (the rejuvenation clock is
-    /// enabled in most markings), so the sparse path only beats vectorized
-    /// dense matrix-exponential doubling once the O(n^3 log tau) cost
-    /// dominates — measured crossover is ~500-600 states in Release builds.
-    std::size_t mrgp_sparse_threshold = 512;
-    /// Retry/fallback chain of the sparse stationary solves (see
-    /// fallback.hpp). Also governs whole-solve degradation: when the sparse
-    /// backend fails outright and the chain includes the dense stage, the
-    /// solve is retried on the dense backend before giving up.
-    FallbackOptions fallback;
-  };
+  /// All solver knobs now live in the shared markov::SolverConfig value
+  /// type (one canonical hash for cache and coalescing keys); the alias
+  /// keeps the historic DspnSteadyStateSolver::Options spelling working.
+  using Options = SolverConfig;
 
   DspnSteadyStateSolver() = default;
   explicit DspnSteadyStateSolver(Options options) : options_(options) {}
@@ -137,5 +122,15 @@ class DspnSteadyStateSolver {
  private:
   Options options_{};
 };
+
+/// The backend a config resolves to for a model of `states` tangible states
+/// (never kAuto): an explicit backend wins; kAuto picks dense below the
+/// class threshold, kSparse at/above sparse_threshold for pure CTMCs (their
+/// generators are O(n) sparse), and kMatrixFree at/above
+/// mrgp_matrix_free_threshold for MRGPs (their *embedded chains* are
+/// near-dense, so explicit sparse assembly never wins — it stays reachable
+/// only when forced).
+SolverBackend dispatch_backend(const SolverConfig& config, std::size_t states,
+                               bool has_deterministic);
 
 }  // namespace nvp::markov

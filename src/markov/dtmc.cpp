@@ -43,7 +43,8 @@ Vector dtmc_stationary(const DenseMatrix& p) {
 }
 
 Vector dtmc_stationary(const linalg::SparseMatrixCsr& p,
-                       const FallbackOptions& fallback) {
+                       const FallbackOptions& fallback,
+                       const ChainKnobs& knobs) {
   NVP_EXPECTS(p.rows() == p.cols());
   const std::size_t n = p.rows();
   NVP_EXPECTS(n > 0);
@@ -68,7 +69,7 @@ Vector dtmc_stationary(const linalg::SparseMatrixCsr& p,
   problem.what = "dtmc_stationary (sparse)";
   // P is already row-stochastic: the power stage iterates it directly.
   problem.stochastic = [&p] { return p; };
-  return solve_stationary_chain(problem, fallback);
+  return solve_stationary_chain(problem, fallback, knobs);
 }
 
 double max_row_sum_error(const DenseMatrix& p) {

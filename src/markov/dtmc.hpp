@@ -16,9 +16,12 @@ linalg::Vector dtmc_stationary(const linalg::DenseMatrix& p);
 /// replacing the last balance equation, solved through the configurable
 /// fallback chain (GMRES+ILU0 -> GMRES+Jacobi -> power iteration -> dense
 /// LU oracle by default). This is the embedded-chain stationary solve of
-/// the sparse DSPN backend.
+/// the sparse DSPN backend. `knobs` carries the GMRES controls (restart,
+/// iteration cap, tolerance) into every Krylov stage; the defaults match
+/// the historic hard-wired values.
 linalg::Vector dtmc_stationary(const linalg::SparseMatrixCsr& p,
-                               const FallbackOptions& fallback = {});
+                               const FallbackOptions& fallback = {},
+                               const ChainKnobs& knobs = {});
 
 /// Verifies that each row of P sums to 1 within `tol`; returns the largest
 /// deviation (useful for asserting EMC construction correctness).

@@ -7,9 +7,11 @@
 #include <utility>
 
 #include "src/fault/error.hpp"
+#include "src/fault/injector.hpp"
 #include "src/linalg/dense_matrix.hpp"
 #include "src/linalg/iterative.hpp"
 #include "src/linalg/lu.hpp"
+#include "src/linalg/operator.hpp"
 #include "src/markov/ctmc.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -21,12 +23,13 @@ using linalg::Vector;
 
 namespace {
 
-constexpr std::size_t kStageCount = 4;
-constexpr const char* kStageNames[kStageCount] = {"gmres-ilu0", "gmres-jacobi",
-                                                  "power", "dense"};
+constexpr std::size_t kStageCount = 5;
+constexpr const char* kStageNames[kStageCount] = {
+    "gmres-ilu0", "gmres-jacobi", "power", "dense", "mfree"};
 constexpr const char* kStageSpans[kStageCount] = {
     "markov.fallback.gmres_ilu0", "markov.fallback.gmres_jacobi",
-    "markov.fallback.power", "markov.fallback.dense"};
+    "markov.fallback.power", "markov.fallback.dense",
+    "markov.fallback.mfree"};
 
 obs::Counter& stage_attempts(FallbackStage stage) {
   static obs::Counter* counters[kStageCount] = {
@@ -35,7 +38,8 @@ obs::Counter& stage_attempts(FallbackStage stage) {
       &obs::Registry::global().counter(
           "markov.fallback.attempts.gmres_jacobi"),
       &obs::Registry::global().counter("markov.fallback.attempts.power"),
-      &obs::Registry::global().counter("markov.fallback.attempts.dense")};
+      &obs::Registry::global().counter("markov.fallback.attempts.dense"),
+      &obs::Registry::global().counter("markov.fallback.attempts.mfree")};
   return *counters[static_cast<std::size_t>(stage)];
 }
 
@@ -46,7 +50,8 @@ obs::Counter& stage_successes(FallbackStage stage) {
       &obs::Registry::global().counter(
           "markov.fallback.success.gmres_jacobi"),
       &obs::Registry::global().counter("markov.fallback.success.power"),
-      &obs::Registry::global().counter("markov.fallback.success.dense")};
+      &obs::Registry::global().counter("markov.fallback.success.dense"),
+      &obs::Registry::global().counter("markov.fallback.success.mfree")};
   return *counters[static_cast<std::size_t>(stage)];
 }
 
@@ -71,13 +76,39 @@ struct Attempt {
   bool deadline = false;     ///< the failure was the attempt deadline
 };
 
+/// Renders the shared Krylov failure modes of a gmres() result.
+Attempt gmres_failure(const linalg::IterativeResult& res) {
+  Attempt attempt;
+  attempt.deadline = res.deadline_exceeded;
+  attempt.failure =
+      res.deadline_exceeded
+          ? "deadline exceeded after " + std::to_string(res.iterations) +
+                " iterations (residual " + std::to_string(res.residual) +
+                ")"
+      : res.converged
+          ? "implausible solution (residual " +
+                std::to_string(res.residual) + ")"
+          : "stalled at residual " + std::to_string(res.residual) +
+                " after " + std::to_string(res.iterations) + " iterations";
+  return attempt;
+}
+
 Attempt run_stage(FallbackStage stage, const StationaryProblem& problem,
-                  double deadline_seconds) {
+                  double deadline_seconds, const ChainKnobs& knobs) {
   Attempt attempt;
   switch (stage) {
     case FallbackStage::kGmresIlu0:
     case FallbackStage::kGmresJacobi: {
+      if (problem.balance == nullptr || problem.rhs == nullptr) {
+        // Matrix-free problem: no entries to precondition on. Hand the
+        // chain to the next rung rather than refusing the whole solve.
+        attempt.failure = "no assembled balance system (matrix-free problem)";
+        return attempt;
+      }
       linalg::GmresOptions opts;
+      opts.restart = knobs.gmres_restart;
+      opts.max_iterations = knobs.gmres_max_iterations;
+      opts.tolerance = knobs.gmres_tolerance;
       opts.preconditioner = stage == FallbackStage::kGmresIlu0
                                 ? linalg::PreconditionerKind::kIlu0
                                 : linalg::PreconditionerKind::kJacobi;
@@ -87,27 +118,56 @@ Attempt run_stage(FallbackStage stage, const StationaryProblem& problem,
         attempt.x = clamp_and_normalize(std::move(res.x));
         return attempt;
       }
-      attempt.deadline = res.deadline_exceeded;
-      attempt.failure =
-          res.deadline_exceeded
-              ? "deadline exceeded after " + std::to_string(res.iterations) +
-                    " iterations (residual " + std::to_string(res.residual) +
-                    ")"
-          : res.converged
-              ? "implausible solution (residual " +
-                    std::to_string(res.residual) + ")"
-              : "stalled at residual " + std::to_string(res.residual) +
-                    " after " + std::to_string(res.iterations) + " iterations";
-      return attempt;
+      return gmres_failure(res);
+    }
+    case FallbackStage::kMatrixFree: {
+      if (problem.rhs == nullptr ||
+          (problem.balance_op == nullptr && problem.balance == nullptr)) {
+        attempt.failure = "no balance operator or assembled system";
+        return attempt;
+      }
+      if (fault::fire(fault::Site::kMatrixFree)) {
+        // Injected operator failure: the same observable outcome as a
+        // stalled matrix-free Krylov solve.
+        attempt.failure = "injected operator failure";
+        return attempt;
+      }
+      // Prefer the problem's native operator; wrap the assembled matrix
+      // when only that exists so `mfree` is a valid rung everywhere.
+      std::optional<linalg::CsrOperator> wrapped;
+      const linalg::LinearOperator* op = problem.balance_op;
+      if (op == nullptr) {
+        wrapped.emplace(*problem.balance);
+        op = &*wrapped;
+      }
+      linalg::GmresOptions opts;
+      opts.restart = knobs.gmres_restart;
+      opts.max_iterations = knobs.gmres_max_iterations;
+      opts.tolerance = knobs.gmres_tolerance;
+      opts.deadline_seconds = deadline_seconds;
+      auto res = linalg::gmres(*op, *problem.rhs, opts,
+                               problem.initial_guess);
+      if (res.converged && plausible(res.x)) {
+        attempt.x = clamp_and_normalize(std::move(res.x));
+        return attempt;
+      }
+      return gmres_failure(res);
     }
     case FallbackStage::kPowerIteration: {
-      NVP_EXPECTS_MSG(problem.stochastic != nullptr,
-                      "power stage needs a stochastic-matrix builder");
-      const linalg::SparseMatrixCsr p = problem.stochastic();
       linalg::IterativeOptions opts;
       opts.tolerance = 1e-14;
       opts.deadline_seconds = deadline_seconds;
-      auto res = linalg::stationary_power_iteration(p, opts);
+      linalg::IterativeResult res;
+      if (problem.stochastic != nullptr) {
+        const linalg::SparseMatrixCsr p = problem.stochastic();
+        res = linalg::stationary_power_iteration(p, opts);
+      } else if (problem.transfer_op != nullptr) {
+        res = linalg::stationary_power_iteration(*problem.transfer_op, opts,
+                                                 problem.initial_guess);
+      } else {
+        attempt.failure = "no stochastic matrix or transfer operator";
+        return attempt;
+      }
       if (res.converged) {
         attempt.x = std::move(res.x);
         return attempt;
@@ -122,6 +182,10 @@ Attempt run_stage(FallbackStage stage, const StationaryProblem& problem,
       return attempt;
     }
     case FallbackStage::kDenseLu: {
+      if (problem.balance == nullptr || problem.rhs == nullptr) {
+        attempt.failure = "no assembled balance system (matrix-free problem)";
+        return attempt;
+      }
       // The oracle: densify the balance system and LU-solve it — the same
       // arithmetic as the dense backend's direct method.
       const std::size_t n = problem.states;
@@ -176,7 +240,7 @@ std::vector<FallbackStage> parse_fallback_stages(std::string_view spec) {
     if (!found)
       throw std::invalid_argument(
           "unknown fallback stage '" + std::string(name) +
-          "' (expected gmres-ilu0|gmres-jacobi|power|dense)");
+          "' (expected gmres-ilu0|gmres-jacobi|power|dense|mfree)");
   }
   if (stages.empty())
     throw std::invalid_argument("empty fallback chain");
@@ -193,9 +257,18 @@ std::string to_string(const std::vector<FallbackStage>& stages) {
 }
 
 Vector solve_stationary_chain(const StationaryProblem& problem,
-                              const FallbackOptions& options) {
-  NVP_EXPECTS(problem.balance != nullptr && problem.rhs != nullptr);
-  NVP_EXPECTS(problem.states == problem.balance->rows());
+                              const FallbackOptions& options,
+                              const ChainKnobs& knobs) {
+  NVP_EXPECTS_MSG(problem.balance != nullptr || problem.balance_op != nullptr ||
+                      problem.stochastic != nullptr ||
+                      problem.transfer_op != nullptr,
+                  "stationary problem has no system representation");
+  NVP_EXPECTS(problem.balance == nullptr ||
+              (problem.rhs != nullptr &&
+               problem.states == problem.balance->rows()));
+  NVP_EXPECTS(problem.balance_op == nullptr ||
+              (problem.rhs != nullptr &&
+               problem.states == problem.balance_op->rows()));
   NVP_EXPECTS_MSG(!options.stages.empty(), "empty fallback chain");
 
   static obs::Counter& recovered =
@@ -212,7 +285,8 @@ Vector solve_stationary_chain(const StationaryProblem& problem,
         kStageSpans[static_cast<std::size_t>(stage)]);
     Attempt attempt;
     try {
-      attempt = run_stage(stage, problem, options.attempt_deadline_seconds);
+      attempt = run_stage(stage, problem, options.attempt_deadline_seconds,
+                          knobs);
     } catch (const std::exception& e) {
       attempt.failure = e.what();
     }

@@ -8,9 +8,13 @@
 
 #include "src/linalg/sparse_matrix.hpp"
 
+namespace nvp::linalg {
+class LinearOperator;
+}
+
 namespace nvp::markov {
 
-/// One stage of the sparse stationary-solve fallback chain, ordered from
+/// One stage of the stationary-solve fallback chain, ordered from
 /// cheapest/strongest to the exhaustive oracle:
 ///
 ///   gmres-ilu0 -> gmres-jacobi -> power -> dense
@@ -20,15 +24,19 @@ namespace nvp::markov {
 /// recorded (obs counters + the aggregate error's causes) and the next
 /// stage runs. `dense` densifies the balance system and LU-solves it — the
 /// same arithmetic as the dense oracle backend, so a chain ending in
-/// `dense` only fails on genuinely singular/invalid systems.
+/// `dense` only fails on genuinely singular/invalid systems. `mfree` runs
+/// unpreconditioned GMRES on the problem's LinearOperator (or on the
+/// assembled balance matrix wrapped as one) — the stage matrix-free MRGP
+/// solves start from, and a valid rung for explicit problems too.
 enum class FallbackStage {
   kGmresIlu0,
   kGmresJacobi,
   kPowerIteration,
   kDenseLu,
+  kMatrixFree,
 };
 
-/// "gmres-ilu0" / "gmres-jacobi" / "power" / "dense".
+/// "gmres-ilu0" / "gmres-jacobi" / "power" / "dense" / "mfree".
 const char* to_string(FallbackStage stage);
 
 /// Retry/fallback configuration of the sparse stationary solves,
@@ -59,12 +67,32 @@ std::string to_string(const std::vector<FallbackStage>& stages);
 /// the dense direct method solve). `stochastic` lazily builds the
 /// row-stochastic matrix the power-iteration stage runs on — lazily,
 /// because building it costs a matrix pass that the happy path never needs.
+///
+/// Matrix-free problems supply `balance_op` (the same balance system as an
+/// operator) instead of `balance`, and `transfer_op` (left action
+/// x -> x^T P) instead of `stochastic` for the power stage; stages that
+/// need the assembled matrix (gmres-ilu0/gmres-jacobi/dense) then fail
+/// over to the next rung instead of running. `initial_guess` warm-starts
+/// the mfree and power stages when set.
 struct StationaryProblem {
   const linalg::SparseMatrixCsr* balance = nullptr;
   const linalg::Vector* rhs = nullptr;
   std::function<linalg::SparseMatrixCsr()> stochastic;
+  const linalg::LinearOperator* balance_op = nullptr;
+  const linalg::LinearOperator* transfer_op = nullptr;
+  const linalg::Vector* initial_guess = nullptr;
   std::size_t states = 0;
   const char* what = "stationary solve";  ///< label for spans and errors
+};
+
+/// Per-chain solver knobs beyond stage order: the GMRES controls every
+/// Krylov stage runs with. Defaults mirror linalg::GmresOptions, so the
+/// two-argument solve_stationary_chain overload behaves exactly as before
+/// these knobs existed.
+struct ChainKnobs {
+  std::size_t gmres_restart = 80;
+  std::size_t gmres_max_iterations = 5000;
+  double gmres_tolerance = 1e-14;
 };
 
 /// Runs the fallback chain over the problem and returns the stationary
@@ -73,6 +101,7 @@ struct StationaryProblem {
 /// deadline) with every attempted stage's failure in the context when the
 /// chain is exhausted.
 linalg::Vector solve_stationary_chain(const StationaryProblem& problem,
-                                      const FallbackOptions& options);
+                                      const FallbackOptions& options,
+                                      const ChainKnobs& knobs = {});
 
 }  // namespace nvp::markov

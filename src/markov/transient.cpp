@@ -229,6 +229,44 @@ TransientRowPair SparseUniformization::row_pair(const Vector& pi0) const {
   return out;
 }
 
+Vector SparseUniformization::omega_row(const Vector& pi0) const {
+  NVP_EXPECTS(pi0.size() == size_);
+  if (lambda_ == 0.0 || tau_ == 0.0) return pi0;  // exp(Q tau) = I
+  Vector omega(size_, 0.0);
+  // Same ping-pong series as row_pair, minus the sojourn accumulation (see
+  // there for the quasi-stationarity early exit).
+  Vector v = pi0;
+  Vector next(size_, 0.0);
+  for (std::size_t k = 0; k <= terms_.truncation; ++k) {
+    if (k > 0) {
+      p_u_.left_multiply_into(v, next);
+      v.swap(next);
+      double drift = 1.0;
+      if (k % 16 == 0) {
+        drift = 0.0;
+        for (std::size_t i = 0; i < size_; ++i)
+          drift = std::max(drift, std::fabs(v[i] - next[i]));
+      }
+      if (drift <= 1e-16) {
+        const double pmf_tail = pmf_suffix_[k];
+        for (std::size_t i = 0; i < size_; ++i) {
+          const double vi = v[i];
+          if (vi == 0.0) continue;
+          omega[i] += pmf_tail * vi;
+        }
+        return omega;
+      }
+    }
+    const double pmf = terms_.pmf[k];
+    for (std::size_t i = 0; i < size_; ++i) {
+      const double vi = v[i];
+      if (vi == 0.0) continue;
+      omega[i] += pmf * vi;
+    }
+  }
+  return omega;
+}
+
 Vector ctmc_transient(const linalg::SparseMatrixCsr& generator,
                       const Vector& pi0, double t) {
   return SparseUniformization(generator, t, 1e-14).row_pair(pi0).omega;

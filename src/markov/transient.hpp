@@ -60,6 +60,13 @@ class SparseUniformization {
   /// omega/sojourn rows for an arbitrary initial distribution.
   TransientRowPair row_pair(const linalg::Vector& pi0) const;
 
+  /// omega only: pi0 * exp(Q tau) without the sojourn accumulation — the
+  /// inner loop of matrix-free embedded-chain actions, where the Krylov
+  /// solver needs hundreds of propagations and the sojourn row just once.
+  /// `pi0` may be any vector (Krylov iterates go negative); the series is
+  /// linear in it.
+  linalg::Vector omega_row(const linalg::Vector& pi0) const;
+
   double uniformization_rate() const { return lambda_; }
   std::size_t truncation() const { return terms_.truncation; }
 

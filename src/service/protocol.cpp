@@ -6,7 +6,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/markov/ctmc.hpp"
 #include "src/markov/fallback.hpp"
+#include "src/markov/solver_config.hpp"
 #include "src/obs/json.hpp"
 #include "src/runtime/fnv.hpp"
 #include "src/util/string_util.hpp"
@@ -193,16 +195,12 @@ bool parse_options(const wire::Value& node,
   }
   if (node.get("solver") != nullptr) {
     const std::string solver = node.string_or("solver", "");
-    if (solver == "auto")
-      options->solver.backend = markov::SolverBackend::kAuto;
-    else if (solver == "dense")
-      options->solver.backend = markov::SolverBackend::kDense;
-    else if (solver == "sparse")
-      options->solver.backend = markov::SolverBackend::kSparse;
-    else {
-      *error = "options.solver must be auto|dense|sparse";
+    const auto backend = markov::parse_backend(solver);
+    if (!backend) {
+      *error = "options.solver must be auto|dense|sparse|mfree";
       return false;
     }
+    options->solver.backend = *backend;
   }
   const std::string fallback = node.string_or("fallback", "");
   if (!fallback.empty()) {
@@ -210,6 +208,17 @@ bool parse_options(const wire::Value& node,
       options->solver.fallback.stages = markov::parse_fallback_stages(fallback);
     } catch (const std::exception& e) {
       *error = util::format("invalid options.fallback: %s", e.what());
+      return false;
+    }
+  }
+  // Full-config overlay, applied after the legacy keys so an explicit spec
+  // wins. The same spec grammar nvpcli --solver-config speaks.
+  const std::string solver_config = node.string_or("solver_config", "");
+  if (!solver_config.empty()) {
+    try {
+      options->solver.apply(solver_config);
+    } catch (const std::exception& e) {
+      *error = util::format("invalid options.solver_config: %s", e.what());
       return false;
     }
   }
@@ -395,7 +404,7 @@ std::string analyze_result_json(const core::AnalysisResult& analysis) {
   json.kv("tangible_states",
           static_cast<std::uint64_t>(analysis.tangible_states));
   json.kv("solver", analysis.used_dspn_solver ? "MRGP" : "CTMC");
-  json.kv("backend", analysis.used_sparse_backend ? "sparse" : "dense");
+  json.kv("backend", markov::to_string(analysis.backend_used));
   json.kv("matrix_nonzeros",
           static_cast<std::uint64_t>(analysis.matrix_nonzeros));
   json.end_object();

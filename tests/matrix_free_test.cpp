@@ -1,0 +1,588 @@
+// Matrix-free MRGP solves and the unified SolverConfig API: LinearOperator
+// adapters, operator-driven GMRES/power iteration, the EmbeddedChainOperator
+// against the dense oracle at 1e-10, Erlangization as an independent
+// cross-check, the mfree fallback stage (including injected faults), lumped
+// warm starts, kAuto dispatch, and SolverConfig round-trip/hash/alias
+// behavior. The dense backend remains the oracle throughout.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+#include "src/core/analyzer.hpp"
+#include "src/core/model_factory.hpp"
+#include "src/core/staged.hpp"
+#include "src/fault/injector.hpp"
+#include "src/linalg/iterative.hpp"
+#include "src/linalg/operator.hpp"
+#include "src/linalg/sparse_matrix.hpp"
+#include "src/markov/ctmc.hpp"
+#include "src/markov/dspn_solver.hpp"
+#include "src/markov/dtmc.hpp"
+#include "src/markov/erlangization.hpp"
+#include "src/markov/matrix_free.hpp"
+#include "src/markov/sparse_assembly.hpp"
+#include "src/markov/solver_config.hpp"
+#include "src/markov/transient.hpp"
+#include "src/petri/reachability.hpp"
+#include "src/util/rng.hpp"
+
+namespace nvp {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::SparseMatrixCsr;
+using linalg::Triplet;
+using linalg::Vector;
+
+petri::TangibleReachabilityGraph paper_graph(
+    const core::SystemParameters& params) {
+  const auto model = core::PerceptionModelFactory::build(params);
+  return petri::TangibleReachabilityGraph::build(model.net);
+}
+
+markov::DspnSteadyStateResult solve_with_backend(
+    const petri::TangibleReachabilityGraph& g, markov::SolverBackend backend) {
+  markov::SolverConfig config;
+  config.backend = backend;
+  return markov::DspnSteadyStateSolver(config).solve(g);
+}
+
+void expect_agrees(const Vector& actual, const Vector& oracle, double tol,
+                   const char* label) {
+  ASSERT_EQ(actual.size(), oracle.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    EXPECT_NEAR(actual[i], oracle[i], tol) << label << " state " << i;
+}
+
+// ---------------------------------------------------------------------------
+// linalg: LinearOperator adapters and operator-driven iterative solvers.
+
+TEST(LinearOperatorTest, AdaptersMatchMatrixAction) {
+  std::vector<Triplet> triplets = {
+      {0, 0, 2.0}, {0, 2, -1.0}, {1, 1, 3.0}, {2, 0, 0.5}, {2, 2, 4.0}};
+  const SparseMatrixCsr sparse(3, 3, std::move(triplets));
+  const DenseMatrix dense = sparse.to_dense();
+  const linalg::CsrOperator csr_op(sparse);
+  const linalg::DenseOperator dense_op(dense);
+  EXPECT_EQ(csr_op.rows(), 3u);
+  EXPECT_EQ(dense_op.cols(), 3u);
+  const Vector x = {1.0, -2.0, 0.25};
+  const Vector expected = sparse.multiply(x);
+  expect_agrees(csr_op.apply(x), expected, 1e-15, "csr adapter");
+  expect_agrees(dense_op.apply(x), expected, 1e-15, "dense adapter");
+}
+
+TEST(LinearOperatorTest, OperatorGmresMatchesCsrGmres) {
+  // Diagonally dominant random system: both paths are unpreconditioned, so
+  // the iterates (and the answer) must agree to rounding.
+  util::RandomStream rng(7);
+  const std::size_t n = 32;
+  std::vector<Triplet> triplets;
+  for (std::size_t r = 0; r < n; ++r) {
+    triplets.push_back({r, (r + 1) % n, rng.uniform(-1.0, 1.0)});
+    triplets.push_back({r, (r + 5) % n, rng.uniform(-1.0, 1.0)});
+    triplets.push_back({r, r, 6.0 + rng.uniform(-1.0, 1.0)});
+  }
+  const SparseMatrixCsr a(n, n, std::move(triplets));
+  Vector b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) b[i] = std::sin(static_cast<double>(i));
+
+  linalg::GmresOptions options;
+  options.preconditioner = linalg::PreconditionerKind::kNone;
+  const auto matrix_result = linalg::gmres(a, b, options);
+  const linalg::CsrOperator op(a);
+  const auto operator_result = linalg::gmres(op, b);
+  ASSERT_TRUE(matrix_result.converged);
+  ASSERT_TRUE(operator_result.converged);
+  expect_agrees(operator_result.x, matrix_result.x, 1e-12, "operator gmres");
+
+  // Warm start at the solution: the first cycle's residual is already below
+  // tolerance, so the solver returns without iterating.
+  const auto warm = linalg::gmres(op, b, {}, &matrix_result.x);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 1u);
+}
+
+TEST(LinearOperatorTest, OperatorPowerIterationFindsStationary) {
+  // Small explicit DTMC; the operator path must match the matrix path.
+  std::vector<Triplet> triplets = {{0, 0, 0.5}, {0, 1, 0.5}, {1, 0, 0.25},
+                                   {1, 1, 0.25}, {1, 2, 0.5}, {2, 0, 1.0}};
+  const SparseMatrixCsr p(3, 3, std::move(triplets));
+  const auto matrix_result = linalg::stationary_power_iteration(p);
+  ASSERT_TRUE(matrix_result.converged);
+  // The operator contract is the LEFT action; build it from the transpose.
+  class LeftAction final : public linalg::LinearOperator {
+   public:
+    explicit LeftAction(const SparseMatrixCsr& m) : m_(&m) {}
+    std::size_t rows() const override { return m_->rows(); }
+    std::size_t cols() const override { return m_->cols(); }
+    void apply_into(const Vector& x, Vector& y) const override {
+      y = m_->left_multiply(x);
+    }
+
+   private:
+    const SparseMatrixCsr* m_;
+  };
+  const LeftAction left(p);
+  const auto operator_result = linalg::stationary_power_iteration(left);
+  ASSERT_TRUE(operator_result.converged);
+  expect_agrees(operator_result.x, matrix_result.x, 1e-12, "operator power");
+}
+
+// ---------------------------------------------------------------------------
+// markov: SparseUniformization omega-only propagation.
+
+TEST(OmegaRowTest, MatchesRowPairAndIsLinear) {
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto g = paper_graph(params);
+  const std::size_t n = g.size();
+  std::vector<char> in_set(n, 0);
+  double tau = 0.0;
+  for (std::size_t s = 0; s < n; ++s)
+    if (!g.deterministics(s).empty()) {
+      in_set[s] = 1;
+      tau = g.deterministics(s)[0].delay;
+    }
+  const auto q = markov::sparse_subordinated_generator(g, in_set);
+  const markov::SparseUniformization u(q, tau);
+
+  Vector mixed(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s)
+    if (in_set[s]) {
+      Vector e(n, 0.0);
+      e[s] = 1.0;
+      expect_agrees(u.omega_row(e), u.row_pair(s).omega, 1e-15, "omega row");
+      mixed[s] = s % 2 == 0 ? 0.5 : -0.25;  // Krylov iterates go negative
+    }
+  // Linearity: omega(ax + by) = a omega(x) + b omega(y), so the signed
+  // mixture must equal the signed mixture of the point-mass rows.
+  Vector expected(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (mixed[s] == 0.0) continue;
+    const Vector row = u.row_pair(s).omega;
+    for (std::size_t t = 0; t < n; ++t) expected[t] += mixed[s] * row[t];
+  }
+  expect_agrees(u.omega_row(mixed), expected, 1e-12, "linearity");
+}
+
+// ---------------------------------------------------------------------------
+// markov: the embedded-chain operator against the dense oracle.
+
+TEST(EmbeddedChainOperatorTest, TransferPreservesMassAndMapsDistributions) {
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto g = paper_graph(params);
+  const auto plan = markov::build_assembly_plan(g);
+  const markov::EmbeddedChainOperator chain(g, plan);
+  ASSERT_EQ(chain.states(), g.size());
+  EXPECT_GT(chain.stored_nonzeros(), 0u);
+  EXPECT_LT(chain.stored_nonzeros(), g.size() * g.size());
+
+  for (std::size_t s = 0; s < g.size(); s += 7) {
+    Vector e(g.size(), 0.0);
+    e[s] = 1.0;
+    const Vector row = chain.transfer_apply(e);  // row s of the embedded P
+    double total = 0.0;
+    for (double v : row) {
+      EXPECT_GE(v, -1e-14);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10) << "row " << s;
+  }
+}
+
+TEST(EmbeddedChainOperatorTest, BalanceResidualVanishesAtTheOracleSolution) {
+  // Solve the embedded chain densely, then check the matrix-free balance
+  // operator maps the oracle's nu to e_{n-1}: the two constructions agree
+  // without ever materializing P on the operator side.
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto g = paper_graph(params);
+  const auto plan = markov::build_assembly_plan(g);
+  const markov::EmbeddedChainOperator chain(g, plan);
+  const markov::TransferOperator transfer(chain);
+  const markov::BalanceOperator balance(chain);
+  const std::size_t n = g.size();
+
+  const auto power = linalg::stationary_power_iteration(transfer);
+  ASSERT_TRUE(power.converged);
+  const Vector residual = balance.apply(power.x);
+  for (std::size_t t = 0; t + 1 < n; ++t)
+    EXPECT_NEAR(residual[t], 0.0, 1e-10) << "balance row " << t;
+  EXPECT_NEAR(residual[n - 1], 1.0, 1e-10);
+}
+
+TEST(MatrixFreeEquivalenceTest, PaperConfigsMatchDenseOracle) {
+  for (const auto& params : {core::SystemParameters::paper_four_version(),
+                             core::SystemParameters::paper_six_version()}) {
+    const auto g = paper_graph(params);
+    if (!g.has_deterministic()) continue;
+    const auto dense = solve_with_backend(g, markov::SolverBackend::kDense);
+    const auto mfree =
+        solve_with_backend(g, markov::SolverBackend::kMatrixFree);
+    EXPECT_EQ(mfree.backend_used, markov::SolverBackend::kMatrixFree);
+    expect_agrees(mfree.probabilities, dense.probabilities, 1e-10,
+                  params.describe().c_str());
+    // The operator's memory never approaches the two dense n^2 matrices.
+    EXPECT_LT(mfree.matrix_nonzeros, dense.matrix_nonzeros / 4);
+  }
+}
+
+TEST(MatrixFreeEquivalenceTest, ArchitectureVariantsMatchDenseOracle) {
+  // Larger families than the paper's: more versions, deeper fault budgets.
+  auto params = core::SystemParameters::paper_six_version();
+  params.n_versions = 11;  // the floor for f = 2, r = 2 (n >= 3f + 2r + 1)
+  params.max_faulty = 2;
+  params.max_rejuvenating = 2;
+  params.validate();
+  const auto g = paper_graph(params);
+  ASSERT_TRUE(g.has_deterministic());
+  const auto dense = solve_with_backend(g, markov::SolverBackend::kDense);
+  const auto mfree = solve_with_backend(g, markov::SolverBackend::kMatrixFree);
+  expect_agrees(mfree.probabilities, dense.probabilities, 1e-10, "11v");
+}
+
+petri::PetriNet two_clock_net() {
+  // Two deterministic transitions enabled in disjoint markings: exercises
+  // multiple groups in one operator (per-group uniformization + firing).
+  petri::PetriNet net("two_clock");
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto c = net.add_place("C", 0);
+  const auto tick_a = net.add_deterministic("tickA", 2.0);
+  net.add_input_arc(tick_a, a);
+  net.add_output_arc(tick_a, b);
+  const auto wobble = net.add_exponential("wobble", 0.3);  // leaves A's set
+  net.add_input_arc(wobble, a);
+  net.add_output_arc(wobble, b);
+  const auto decay = net.add_exponential("decay", 1.0);
+  net.add_input_arc(decay, b);
+  net.add_output_arc(decay, c);
+  const auto tick_c = net.add_deterministic("tickC", 3.0);
+  net.add_input_arc(tick_c, c);
+  net.add_output_arc(tick_c, a);
+  const auto leak = net.add_exponential("leak", 0.2);  // leaves C's set
+  net.add_input_arc(leak, c);
+  net.add_output_arc(leak, a);
+  return net;
+}
+
+TEST(MatrixFreeEquivalenceTest, MultipleDeterministicGroupsAgree) {
+  const auto g = petri::TangibleReachabilityGraph::build(two_clock_net());
+  const auto plan = markov::build_assembly_plan(g);
+  ASSERT_EQ(plan.groups.size(), 2u);
+  const auto dense = solve_with_backend(g, markov::SolverBackend::kDense);
+  const auto mfree = solve_with_backend(g, markov::SolverBackend::kMatrixFree);
+  expect_agrees(mfree.probabilities, dense.probabilities, 1e-10, "two clocks");
+}
+
+petri::PetriNet random_ring_net(std::uint64_t seed) {
+  util::RandomStream rng(seed);
+  petri::PetriNet net("mfree_fuzz" + std::to_string(seed));
+  const int places = 2 + static_cast<int>(rng.uniform_index(3));
+  std::vector<petri::PlaceId> ring;
+  for (int p = 0; p < places; ++p)
+    ring.push_back(net.add_place(
+        "P" + std::to_string(p),
+        p == 0 ? 1 + static_cast<int>(rng.uniform_index(3)) : 0));
+  for (int p = 0; p < places; ++p) {
+    const auto t = net.add_exponential("ring" + std::to_string(p),
+                                       rng.uniform(0.05, 2.0));
+    net.add_input_arc(t, ring[static_cast<std::size_t>(p)]);
+    net.add_output_arc(t, ring[static_cast<std::size_t>((p + 1) % places)]);
+  }
+  const auto armed = net.add_place("armed", 1);
+  const auto expired = net.add_place("expired", 0);
+  const auto tick = net.add_deterministic("tick", rng.uniform(1.0, 20.0));
+  net.add_input_arc(tick, armed);
+  net.add_output_arc(tick, expired);
+  const auto fix = net.add_immediate("fix");
+  net.add_input_arc(fix, expired);
+  net.add_output_arc(fix, armed);
+  return net;
+}
+
+TEST(MatrixFreeEquivalenceTest, RandomizedNetsMatchDenseOracle) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto g =
+        petri::TangibleReachabilityGraph::build(random_ring_net(seed));
+    const auto dense = solve_with_backend(g, markov::SolverBackend::kDense);
+    const auto mfree =
+        solve_with_backend(g, markov::SolverBackend::kMatrixFree);
+    ASSERT_EQ(dense.probabilities.size(), mfree.probabilities.size());
+    for (std::size_t i = 0; i < dense.probabilities.size(); ++i)
+      EXPECT_NEAR(mfree.probabilities[i], dense.probabilities[i], 1e-10)
+          << "seed " << seed << " state " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Erlangization: the independent cross-check.
+
+TEST(ErlangizationTest, ConvergesToTheMrgpSolutionAsStagesGrow) {
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto g = paper_graph(params);
+  const auto plan = markov::build_assembly_plan(g);
+  const auto oracle = solve_with_backend(g, markov::SolverBackend::kDense);
+
+  double previous_gap = 0.0;
+  bool first = true;
+  for (const std::size_t stages : {2u, 8u, 32u}) {
+    const Vector erlang = markov::erlangization_stationary(g, plan, stages);
+    double gap = 0.0;
+    for (std::size_t s = 0; s < g.size(); ++s)
+      gap = std::max(gap, std::fabs(erlang[s] - oracle.probabilities[s]));
+    if (!first)
+      EXPECT_LT(gap, previous_gap) << "stages " << stages;  // O(1/k) decay
+    previous_gap = gap;
+    first = false;
+  }
+  EXPECT_LT(previous_gap, 1e-2);  // k = 32 sits well inside the envelope
+}
+
+TEST(ErlangizationTest, SolverSelfCheckRunsWhenConfigured) {
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto g = paper_graph(params);
+  markov::SolverConfig config;
+  config.backend = markov::SolverBackend::kMatrixFree;
+  config.erlang_stages = 8;
+  const auto checked = markov::DspnSteadyStateSolver(config).solve(g);
+  const auto oracle = solve_with_backend(g, markov::SolverBackend::kDense);
+  expect_agrees(checked.probabilities, oracle.probabilities, 1e-10,
+                "self-checked solve");
+}
+
+// ---------------------------------------------------------------------------
+// Fallback chain: the mfree stage, with and without injected faults.
+
+TEST(MfreeFallbackStageTest, SolvesExplicitProblems) {
+  // A chain of just the mfree stage must still solve an assembled sparse
+  // system (the stage wraps the CSR balance matrix as an operator).
+  std::vector<Triplet> triplets = {{0, 0, 0.5}, {0, 1, 0.5}, {1, 0, 0.25},
+                                   {1, 1, 0.25}, {1, 2, 0.5}, {2, 0, 1.0}};
+  const SparseMatrixCsr p(3, 3, std::move(triplets));
+  markov::FallbackOptions chain;
+  chain.stages = {markov::FallbackStage::kMatrixFree};
+  const Vector nu = markov::dtmc_stationary(p, chain);
+  const Vector oracle = markov::dtmc_stationary(p.to_dense());
+  expect_agrees(nu, oracle, 1e-12, "mfree stage on explicit problem");
+}
+
+TEST(MfreeFallbackStageTest, InjectedFaultFallsBackToPowerIteration) {
+  auto& injector = fault::Injector::global();
+  injector.reset();
+  injector.set(fault::Site::kMatrixFree, 1.0, 31);
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto g = paper_graph(params);
+  // backend=mfree with the default chain: [mfree, power] after filtering.
+  // The injected mfree failure must degrade to power iteration, not abort.
+  const auto result = solve_with_backend(g, markov::SolverBackend::kMatrixFree);
+  const std::uint64_t fired = injector.decisions(fault::Site::kMatrixFree);
+  injector.reset();
+  EXPECT_GT(fired, 0u);
+  const auto oracle = solve_with_backend(g, markov::SolverBackend::kDense);
+  expect_agrees(result.probabilities, oracle.probabilities, 1e-8,
+                "power-iteration recovery");
+}
+
+// ---------------------------------------------------------------------------
+// Lumped warm start.
+
+TEST(LumpedWarmStartTest, MatchesColdSolveOnThePaperModel) {
+  const auto params = core::SystemParameters::paper_six_version();
+  const auto structure = core::staged_structure(params, /*use_cache=*/false);
+  ASSERT_GT(structure->plan.lumping_classes, 0u);
+  ASSERT_EQ(structure->plan.lumping.size(), structure->graph.size());
+
+  markov::SolverConfig warm;
+  warm.backend = markov::SolverBackend::kMatrixFree;
+  markov::SolverConfig cold = warm;
+  cold.lumped_warm_start = false;
+  const auto warm_result =
+      markov::DspnSteadyStateSolver(warm).solve(structure->graph,
+                                                structure->plan);
+  const auto cold_result =
+      markov::DspnSteadyStateSolver(cold).solve(structure->graph,
+                                                structure->plan);
+  expect_agrees(warm_result.probabilities, cold_result.probabilities, 1e-10,
+                "warm vs cold");
+
+  const markov::EmbeddedChainOperator chain(structure->graph, structure->plan);
+  const Vector guess = markov::lumped_warm_start(
+      chain, structure->plan.lumping, structure->plan.lumping_classes);
+  double total = 0.0;
+  for (double v : guess) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// kAuto dispatch.
+
+TEST(DispatchBackendTest, ExplicitBackendAlwaysWins) {
+  markov::SolverConfig config;
+  config.backend = markov::SolverBackend::kSparse;
+  EXPECT_EQ(markov::dispatch_backend(config, 10, true),
+            markov::SolverBackend::kSparse);
+  EXPECT_EQ(markov::dispatch_backend(config, 1000000, false),
+            markov::SolverBackend::kSparse);
+}
+
+TEST(DispatchBackendTest, AutoFollowsTheModelClassThresholds) {
+  markov::SolverConfig config;  // kAuto
+  // Pure CTMC: dense below sparse_threshold, sparse at/above.
+  EXPECT_EQ(markov::dispatch_backend(config, config.sparse_threshold - 1,
+                                     false),
+            markov::SolverBackend::kDense);
+  EXPECT_EQ(markov::dispatch_backend(config, config.sparse_threshold, false),
+            markov::SolverBackend::kSparse);
+  // MRGP: dense below the matrix-free threshold, matrix-free at/above —
+  // never the explicit-sparse assembly.
+  EXPECT_EQ(markov::dispatch_backend(
+                config, config.mrgp_matrix_free_threshold - 1, true),
+            markov::SolverBackend::kDense);
+  EXPECT_EQ(markov::dispatch_backend(config,
+                                     config.mrgp_matrix_free_threshold, true),
+            markov::SolverBackend::kMatrixFree);
+  EXPECT_EQ(markov::dispatch_backend(config, 1000000, true),
+            markov::SolverBackend::kMatrixFree);
+}
+
+TEST(DispatchBackendTest, PublishedBenchRowsRouteToTheRecordedBackend) {
+  // Every scaling row in the recorded BENCH_mrgp_scaling.json artifact must
+  // still be routed to its recorded backend by today's kAuto dispatch — a
+  // threshold change that silently re-routes the published measurements has
+  // to re-record the artifact.
+  std::ifstream in(std::string(NVP_SOURCE_DIR) +
+                   "/bench_results/BENCH_mrgp_scaling.json");
+  ASSERT_TRUE(in.good()) << "recorded BENCH_mrgp_scaling.json missing";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+
+  // Scaling rows are the only objects carrying both "states" and "backend".
+  const std::regex row_re(
+      "\\{[^{}]*\"states\":\\s*(\\d+)[^{}]*\"backend\":\\s*\"([a-z]+)\""
+      "[^{}]*\\}");
+  const markov::SolverConfig defaults;  // kAuto
+  std::size_t rows = 0;
+  for (auto it = std::sregex_iterator(doc.begin(), doc.end(), row_re);
+       it != std::sregex_iterator(); ++it, ++rows) {
+    const std::size_t states = std::stoull((*it)[1].str());
+    const std::string recorded = (*it)[2].str();
+    const auto dispatched = markov::dispatch_backend(defaults, states,
+                                                     /*has_deterministic=*/true);
+    EXPECT_EQ(markov::to_string(dispatched), recorded)
+        << "row with " << states << " states";
+  }
+  EXPECT_GE(rows, 4u) << "expected the four published scaling rows";
+}
+
+// ---------------------------------------------------------------------------
+// SolverConfig: round-trip, hashing, aliases, parse errors.
+
+TEST(SolverConfigTest, DescribeParsesBackToAnEqualConfig) {
+  markov::SolverConfig config;
+  config.backend = markov::SolverBackend::kMatrixFree;
+  config.clamp_epsilon = 3.5e-13;
+  config.gmres_restart = 37;
+  config.gmres_tolerance = 1e-11;
+  config.erlang_stages = 4;
+  config.lumped_warm_start = false;
+  config.fallback.stages = {markov::FallbackStage::kMatrixFree,
+                            markov::FallbackStage::kDenseLu};
+  config.fallback.attempt_deadline_seconds = 2.5;
+  const auto round_tripped = markov::SolverConfig::parse(config.describe());
+  EXPECT_EQ(round_tripped.canonical_hash(), config.canonical_hash());
+  EXPECT_EQ(round_tripped.describe(), config.describe());
+}
+
+TEST(SolverConfigTest, EveryKnobChangesTheCanonicalHash) {
+  const markov::SolverConfig base;
+  const auto mutate = [](auto&& set) {
+    markov::SolverConfig config;
+    set(config);
+    return config.canonical_hash();
+  };
+  const std::uint64_t base_hash = base.canonical_hash();
+  EXPECT_NE(mutate([](auto& c) { c.backend = markov::SolverBackend::kDense; }),
+            base_hash);
+  EXPECT_NE(mutate([](auto& c) {
+              c.ctmc_method = markov::SteadyStateMethod::kPowerIteration;
+            }),
+            base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.clamp_epsilon = 1e-14; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.sparse_threshold = 129; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.mrgp_sparse_threshold = 513; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.mrgp_matrix_free_threshold = 193; }),
+            base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.dense_retry_limit = 1; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.gmres_restart = 81; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.gmres_max_iterations = 1; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.gmres_tolerance = 1e-8; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.erlang_stages = 2; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) { c.lumped_warm_start = false; }), base_hash);
+  EXPECT_NE(mutate([](auto& c) {
+              c.fallback.stages = {markov::FallbackStage::kPowerIteration};
+            }),
+            base_hash);
+  EXPECT_NE(mutate([](auto& c) {
+              c.fallback.attempt_deadline_seconds = 1.0;
+            }),
+            base_hash);
+}
+
+TEST(SolverConfigTest, BareBackendShorthandAndPlusChains) {
+  const auto config =
+      markov::SolverConfig::parse("mfree,fallback=mfree+power,gmres-tol=1e-12");
+  EXPECT_EQ(config.backend, markov::SolverBackend::kMatrixFree);
+  ASSERT_EQ(config.fallback.stages.size(), 2u);
+  EXPECT_EQ(config.fallback.stages[0], markov::FallbackStage::kMatrixFree);
+  EXPECT_EQ(config.fallback.stages[1], markov::FallbackStage::kPowerIteration);
+  EXPECT_EQ(config.gmres_tolerance, 1e-12);
+}
+
+TEST(SolverConfigTest, ApplyIsAllOrNothing) {
+  markov::SolverConfig config;
+  const std::uint64_t before = config.canonical_hash();
+  // The first entry is valid, the second is not: nothing may stick.
+  EXPECT_THROW(config.apply("gmres-restart=9,unknown-key=1"),
+               std::invalid_argument);
+  EXPECT_EQ(config.canonical_hash(), before);
+  EXPECT_THROW(config.apply("gmres-tol=not-a-number"), std::invalid_argument);
+  EXPECT_THROW(config.apply("backend=quantum"), std::invalid_argument);
+  EXPECT_THROW(config.apply("fallback=warp"), std::invalid_argument);
+  EXPECT_EQ(config.canonical_hash(), before);
+}
+
+TEST(SolverConfigTest, HistoricOptionsAliasIsTheSameType) {
+  static_assert(std::is_same_v<markov::DspnSteadyStateSolver::Options,
+                               markov::SolverConfig>,
+                "the historic Options spelling must alias SolverConfig");
+  EXPECT_TRUE(markov::parse_backend("mfree").has_value());
+  EXPECT_STREQ(markov::to_string(markov::SolverBackend::kMatrixFree), "mfree");
+}
+
+TEST(SolverConfigTest, CacheKeysFollowTheCanonicalHash) {
+  const auto params = core::SystemParameters::paper_six_version();
+  core::ReliabilityAnalyzer::Options a;
+  core::ReliabilityAnalyzer::Options b;
+  b.solver.gmres_restart = 81;  // any knob, not just the historic subset
+  EXPECT_NE(core::analysis_cache_key(params, a),
+            core::analysis_cache_key(params, b));
+  EXPECT_NE(core::rates_stage_key(params, a.solver),
+            core::rates_stage_key(params, b.solver));
+  core::ReliabilityAnalyzer::Options c;
+  c.solver.lumped_warm_start = false;
+  EXPECT_NE(core::analysis_cache_key(params, a),
+            core::analysis_cache_key(params, c));
+}
+
+}  // namespace
+}  // namespace nvp

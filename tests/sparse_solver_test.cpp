@@ -321,13 +321,18 @@ TEST(BackendEquivalenceTest, RandomizedNetsAgree) {
 // ---------------------------------------------------------------------------
 // Dispatch, reporting, and cache identity.
 
-TEST(BackendDispatchTest, AutoPicksDenseBelowThresholdSparseAbove) {
+TEST(BackendDispatchTest, AutoPicksDenseBelowThresholdMatrixFreeAbove) {
   const auto params = core::SystemParameters::paper_six_version();
   const auto g = paper_graph(params);  // 70 states, MRGP (rejuvenation clock)
-  markov::DspnSteadyStateSolver::Options options;  // kAuto, MRGP threshold 512
+  markov::DspnSteadyStateSolver::Options options;  // kAuto, mfree from 64
   auto result = markov::DspnSteadyStateSolver(options).solve(g);
+  EXPECT_EQ(result.backend_used, markov::SolverBackend::kMatrixFree);
+  options.mrgp_matrix_free_threshold = g.size() + 1;  // below threshold
+  result = markov::DspnSteadyStateSolver(options).solve(g);
   EXPECT_EQ(result.backend_used, markov::SolverBackend::kDense);
-  options.mrgp_sparse_threshold = g.size();  // now at the threshold -> sparse
+  // The explicit-sparse MRGP assembly stays reachable, but only when forced:
+  // its embedded chain is near-dense, so kAuto never dispatches to it.
+  options.backend = markov::SolverBackend::kSparse;
   result = markov::DspnSteadyStateSolver(options).solve(g);
   EXPECT_EQ(result.backend_used, markov::SolverBackend::kSparse);
 }

@@ -16,6 +16,17 @@ reuse: the reward-only alpha sweep must stay >= 10x faster than the cold
 per-point path, the rate-only MTTC sweep >= 2x, both curves bit-identical to
 cold, and each sweep must have explored reachability exactly once.
 
+MRGP mode (``--mrgp``) reads the document written by ``bench_mrgp_scaling``
+(``bench_results/BENCH_mrgp_scaling.json``) and gates the matrix-free
+solver's contract: every crossover row must agree with the dense oracle to
+1e-10, the operator must actually be faster than dense LU well above the
+dispatch threshold (>= 1x at 256+ states, with at least one >= 10x row),
+and every scaling row must have been routed to the matrix-free backend by
+kAuto, carry sparse storage (<= 64 stored nonzeros per state), conserve
+probability mass to 1e-9, and reach the 10^4..10^5-state range (smallest
+row >= 10^4 states, largest >= 5 x 10^4). These restate the backend's
+contract rather than machine timings, so they take no tolerance.
+
 Service mode (``--service``) reads the document written by
 ``tools/loadgen`` (``bench_results/BENCH_service.json``) and gates the
 nvpd daemon's load-test contract: the coalesce burst must have held >=
@@ -48,6 +59,10 @@ Usage:
     loadgen --label coalesce_burst    # writes bench_results/BENCH_service.json
     python3 tools/check_bench_regression.py --service \
         bench_results/BENCH_service.json
+
+    bench_mrgp_scaling      # writes bench_results/BENCH_mrgp_scaling.json
+    python3 tools/check_bench_regression.py --mrgp \
+        bench_results/BENCH_mrgp_scaling.json
 
     python3 tools/check_bench_regression.py --list \
         --baseline bench_results/BENCH_sweep.json
@@ -207,6 +222,90 @@ def check_sweep(report: dict, report_path: str) -> int:
     return 0
 
 
+# MRGP-mode bounds (see the module docstring): equivalence budget against
+# the dense oracle, the state range the scaling series must reach, and the
+# storage bound that keeps the operator honest about never assembling the
+# embedded chain.
+MRGP_MAX_ABS_DIFF = 1e-10
+MRGP_SPEEDUP_FLOOR_STATES = 256
+MRGP_MIN_SCALING_STATES = 10_000
+MRGP_MAX_SCALING_STATES_FLOOR = 50_000
+MRGP_NONZEROS_PER_STATE = 64
+MRGP_MASS_BUDGET = 1e-9
+
+
+def check_mrgp(report: dict, report_path: str) -> int:
+    def rows(section: str) -> list[dict]:
+        block = report.get(section)
+        if not isinstance(block, list) or not block:
+            raise SystemExit(
+                f"error: mrgp report '{report_path}' lacks a non-empty "
+                f"'{section}' array"
+            )
+        return block
+
+    failures = 0
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        nonlocal failures
+        print(f"{label}: {detail} {'ok' if ok else 'FAIL'}")
+        failures += 0 if ok else 1
+
+    def num(row: dict, name: str, label: str) -> float:
+        if name not in row:
+            raise SystemExit(
+                f"error: mrgp report '{report_path}' lacks '{name}' in "
+                f"{label}"
+            )
+        return float(row[name])
+
+    big_speedup = 0.0
+    for row in rows("crossover"):
+        label = f"crossover[n={row.get('n')},f={row.get('f')},r={row.get('r')}]"
+        diff = num(row, "max_abs_diff", label)
+        check(label, diff <= MRGP_MAX_ABS_DIFF,
+              f"max_abs_diff {diff:.2e} (want <= {MRGP_MAX_ABS_DIFF:g})")
+        states = num(row, "states", label)
+        speedup = num(row, "speedup", label)
+        big_speedup = max(big_speedup, speedup)
+        if states >= MRGP_SPEEDUP_FLOOR_STATES:
+            check(label, speedup >= 1.0,
+                  f"speedup {speedup:.2f}x at {states:g} states (want >= 1)")
+    check("crossover", big_speedup >= 10.0,
+          f"best speedup {big_speedup:.1f}x (want >= 10)")
+
+    max_states = 0.0
+    min_states = float("inf")
+    for row in rows("scaling"):
+        label = f"scaling[n={row.get('n')},f={row.get('f')},r={row.get('r')}]"
+        states = num(row, "states", label)
+        max_states = max(max_states, states)
+        min_states = min(min_states, states)
+        check(label, row.get("backend") == "mfree",
+              f"backend '{row.get('backend')}' (want 'mfree')")
+        solve_ms = num(row, "solve_ms", label)
+        check(label, solve_ms > 0.0, f"solve_ms {solve_ms:g} (want > 0)")
+        nnz = num(row, "stored_nonzeros", label)
+        check(label, nnz <= MRGP_NONZEROS_PER_STATE * states,
+              f"stored_nonzeros {nnz:g} (want <= {MRGP_NONZEROS_PER_STATE} "
+              "per state)")
+        mass = num(row, "prob_mass_error", label)
+        check(label, mass <= MRGP_MASS_BUDGET,
+              f"prob_mass_error {mass:.2e} (want <= {MRGP_MASS_BUDGET:g})")
+    check("scaling", min_states >= MRGP_MIN_SCALING_STATES,
+          f"smallest family {min_states:g} states "
+          f"(want >= {MRGP_MIN_SCALING_STATES})")
+    check("scaling", max_states >= MRGP_MAX_SCALING_STATES_FLOOR,
+          f"largest family {max_states:g} states "
+          f"(want >= {MRGP_MAX_SCALING_STATES_FLOOR})")
+
+    if failures:
+        print(f"FAIL: {failures} mrgp gate(s) violated")
+        return 1
+    print("OK: matrix-free MRGP contract holds")
+    return 0
+
+
 def check_service(report: dict, report_path: str) -> int:
     scenarios = report.get("scenarios")
     if not isinstance(scenarios, dict) or not scenarios:
@@ -288,6 +387,12 @@ def main() -> int:
         "the google-benchmark runtime report",
     )
     parser.add_argument(
+        "--mrgp",
+        action="store_true",
+        help="gate a bench_mrgp_scaling BENCH_mrgp_scaling.json report "
+        "instead of the google-benchmark runtime report",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the numeric metric names in the baseline file and exit",
@@ -295,8 +400,8 @@ def main() -> int:
     args = parser.parse_args()
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
-    if args.sweep and args.service:
-        parser.error("--sweep and --service are mutually exclusive")
+    if sum([args.sweep, args.service, args.mrgp]) > 1:
+        parser.error("--sweep, --service, and --mrgp are mutually exclusive")
 
     if args.list:
         for name in metric_names(load_json(args.baseline, "baseline")):
@@ -310,6 +415,8 @@ def main() -> int:
         return check_sweep(report, args.report)
     if args.service:
         return check_service(report, args.report)
+    if args.mrgp:
+        return check_mrgp(report, args.report)
     return check_runtime(report, args.baseline, args.tolerance)
 
 

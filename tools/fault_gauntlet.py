@@ -42,20 +42,34 @@ import threading
 # envelope and no value; "clean" means no error column and every row must
 # carry a value; "identical" additionally pins values to the clean baseline
 # of the same model (injection at that site must not perturb results).
+# The optional fourth element is extra nvpcli arguments for the run (e.g. a
+# --solver-config that pins the fallback chain).
 SCHEDULES = [
-    ("clean", None, {"4v": "clean", "6v": "clean"}),
+    ("clean", None, {"4v": "clean", "6v": "clean"}, []),
     # The 6v model's deterministic rejuvenation clock forces the MRGP
     # uniformization path; the 4v preset solves as a pure CTMC, so the armed
     # site is never reached and results must match the baseline exactly.
-    ("solver", "uniformization:1.0:11", {"4v": "identical", "6v": "envelopes"}),
+    ("solver", "uniformization:1.0:11", {"4v": "identical", "6v": "envelopes"},
+     []),
     # Dense-assembly allocation faults hit every solve of either model.
-    ("alloc", "alloc:1.0:23", {"4v": "envelopes", "6v": "envelopes"}),
+    ("alloc", "alloc:1.0:23", {"4v": "envelopes", "6v": "envelopes"}, []),
     # Forced cache misses change only costs, never values.
-    ("cache", "cache:1.0:5", {"4v": "identical", "6v": "identical"}),
+    ("cache", "cache:1.0:5", {"4v": "identical", "6v": "identical"}, []),
+    # The matrix-free stage: kAuto routes the 6v MRGP model through the
+    # operator backend, whose default chain is [mfree, power] — the injected
+    # stage failure must degrade to power iteration, still yielding a value
+    # for every point. The 4v pure-CTMC solve is dense at this size and
+    # never arms the site, so its results must match the baseline exactly.
+    ("mfree-fallback", "mfree:1.0:31", {"4v": "identical", "6v": "clean"},
+     []),
+    # Pinning the chain to the mfree rung alone removes every rescue path:
+    # both models must degrade into per-point error envelopes, not aborts.
+    ("mfree-pinned", "mfree:1.0:37", {"4v": "envelopes", "6v": "envelopes"},
+     ["--solver-config", "backend=mfree,fallback=mfree"]),
 ]
 
 
-def run_sweep(cli, model, spec, points):
+def run_sweep(cli, model, spec, points, extra_args):
     env = dict(os.environ)
     env.pop("NVP_FAULT_INJECT", None)
     if spec is not None:
@@ -64,7 +78,7 @@ def run_sweep(cli, model, spec, points):
         cli, "sweep", "--paper", model, "--param", "interval",
         "--from", "200", "--to", "3000", "--points", str(points),
         "--format", "csv",
-    ]
+    ] + list(extra_args)
     proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
     rows = []
     if proc.returncode == 0:
@@ -153,9 +167,10 @@ class Daemon:
         return code
 
 
-def remote_analyze(cli, endpoint, model):
+def remote_analyze(cli, endpoint, model, extra_args):
     proc = subprocess.run(
-        [cli, "analyze", "--remote", endpoint, "--paper", model],
+        [cli, "analyze", "--remote", endpoint, "--paper", model]
+        + list(extra_args),
         capture_output=True, text=True, timeout=120)
     return {"exit_code": proc.returncode, "stdout": proc.stdout,
             "stderr": proc.stderr.strip()}
@@ -184,7 +199,7 @@ def run_service_gauntlet(args):
     summary = {"mode": "service", "runs": [], "failures": 0}
     baselines = {}
     failed = False
-    for schedule, spec, expectations in SCHEDULES:
+    for schedule, spec, expectations, extra_args in SCHEDULES:
         daemon = Daemon(args.cli, spec)
         if daemon.endpoint is None:
             print("[FAIL] %s: daemon did not start" % schedule)
@@ -207,7 +222,7 @@ def run_service_gauntlet(args):
                                      % (load.returncode,
                                         load.stderr.strip())]))
         for model, expectation in sorted(expectations.items()):
-            run = remote_analyze(args.cli, daemon.endpoint, model)
+            run = remote_analyze(args.cli, daemon.endpoint, model, extra_args)
             if schedule == "clean":
                 baselines[model] = run
             errors = check_remote(run, expectation, baselines.get(model))
@@ -252,9 +267,9 @@ def main():
     baselines = {}
     summary = {"points": args.points, "runs": [], "failures": 0}
     failed = False
-    for schedule, spec, expectations in SCHEDULES:
+    for schedule, spec, expectations, extra_args in SCHEDULES:
         for model, expectation in sorted(expectations.items()):
-            run = run_sweep(args.cli, model, spec, args.points)
+            run = run_sweep(args.cli, model, spec, args.points, extra_args)
             if schedule == "clean":
                 baselines[model] = run
             errors = check(run, expectation, args.points,

@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -93,13 +94,15 @@ int usage() {
       "--mttf --mttr --interval --duration --detection-rate\n"
       "analyze options: --convention verbatim|generalized|strict "
       "--attachment operational|appendix\n"
-      "solver selection (any analytic command): --solver auto|dense|sparse "
-      "(auto = sparse Krylov above 128 states for CTMC models, above 512 "
-      "for MRGP models, dense below)\n"
-      "robustness: --fallback <stage,...> (sparse retry chain, stages "
-      "gmres-ilu0|gmres-jacobi|power|dense; default all four), --strict "
-      "(fail fast instead of degrading failed points into error "
-      "envelopes)\n"
+      "solver selection (any analytic command): --solver-config "
+      "<key=value,...> (keys: backend auto|dense|sparse|mfree, ctmc, clamp, "
+      "sparse-threshold, mfree-threshold, dense-retry-limit, gmres-restart, "
+      "gmres-max-iters, gmres-tol, erlang-stages, warm-start, "
+      "fallback=<stage+stage+...>, attempt-deadline; auto = sparse Krylov "
+      "above 128 states for CTMC models, matrix-free above 64 for MRGP "
+      "models, dense below)\n"
+      "robustness: --strict (fail fast instead of degrading failed points "
+      "into error envelopes)\n"
       "common options (any command): --jobs N, --seed S, --format "
       "table|csv|json, --output <path>\n"
       "observability: --metrics-json <path> (write run manifest; implies "
@@ -107,7 +110,9 @@ int usage() {
       "stderr), --cache-stats (per-stage pipeline cache table to stderr); "
       "NVP_METRICS=0 disables collection\n"
       "deprecated aliases: --threads->--jobs --rng-seed->--seed "
-      "--csv/--json->--format --out->--output\n");
+      "--csv/--json->--format --out->--output "
+      "--solver-> --solver-config backend=... "
+      "--fallback-> --solver-config fallback=...\n");
   return 1;
 }
 
@@ -262,6 +267,15 @@ core::SystemParameters paper_params(const util::CliArgs& args) {
   return params;
 }
 
+/// Warn-once helper for the deprecated solver flags (repeated subcommand
+/// dispatch within one process must not repeat the warning).
+void warn_deprecated_once(const char* old_flag, const char* replacement) {
+  static std::set<std::string> warned;
+  if (!warned.insert(old_flag).second) return;
+  std::fprintf(stderr, "warning: %s is deprecated, use %s\n", old_flag,
+               replacement);
+}
+
 core::ReliabilityAnalyzer::Options analyzer_options(
     const util::CliArgs& args) {
   core::ReliabilityAnalyzer::Options options;
@@ -273,17 +287,26 @@ core::ReliabilityAnalyzer::Options analyzer_options(
   const std::string attachment = args.get("attachment", "operational");
   if (attachment == "appendix")
     options.attachment = core::RewardAttachment::kAppendixMatrices;
-  const std::string solver = args.get("solver", "auto");
-  if (solver == "dense")
-    options.solver.backend = markov::SolverBackend::kDense;
-  else if (solver == "sparse")
-    options.solver.backend = markov::SolverBackend::kSparse;
-  else if (solver != "auto")
-    throw std::invalid_argument("--solver must be auto, dense, or sparse (got '" +
-                                solver + "')");
-  if (args.has("fallback"))
+  if (args.has("solver")) {
+    warn_deprecated_once("--solver", "--solver-config backend=<name>");
+    const std::string solver = args.get("solver", "auto");
+    const auto backend = markov::parse_backend(solver);
+    if (!backend)
+      throw std::invalid_argument(
+          "--solver must be auto, dense, sparse, or mfree (got '" + solver +
+          "')");
+    options.solver.backend = *backend;
+  }
+  if (args.has("fallback")) {
+    warn_deprecated_once("--fallback",
+                         "--solver-config fallback=<stage+stage+...>");
     options.solver.fallback.stages =
         markov::parse_fallback_stages(args.get("fallback", ""));
+  }
+  // The consolidated spec applies last: an explicit --solver-config always
+  // wins over the deprecated aliases it replaces.
+  if (args.has("solver-config"))
+    options.solver.apply(args.get("solver-config", ""));
   return options;
 }
 
@@ -310,7 +333,7 @@ int analyze_paper(const core::Engine& engine, const util::CliArgs& args,
   }
   const auto& analysis = result.analysis;
   const char* solver = analysis.used_dspn_solver ? "MRGP" : "CTMC";
-  const char* backend = analysis.used_sparse_backend ? "sparse" : "dense";
+  const char* backend = markov::to_string(analysis.backend_used);
   switch (common.format) {
     case util::OutputFormat::kTable: {
       out += util::format("configuration: %s\n", params.describe().c_str());
@@ -713,11 +736,14 @@ std::string remote_request_json(std::uint64_t id, const std::string& method,
       if (args.has(key)) json.kv(key, args.get_double(key, 0.0));
     json.end_object();
     if (args.has("convention") || args.has("attachment") ||
-        args.has("solver") || args.has("fallback")) {
+        args.has("solver") || args.has("fallback") ||
+        args.has("solver-config")) {
       json.key("options").begin_object();
       for (const char* key :
            {"convention", "attachment", "solver", "fallback"})
         if (args.has(key)) json.kv(key, args.get(key, ""));
+      if (args.has("solver-config"))
+        json.kv("solver_config", args.get("solver-config", ""));
       json.end_object();
     }
   }
