@@ -1,7 +1,10 @@
 #include "src/core/analyzer.hpp"
 
+#include "src/core/artifact_codec.hpp"
 #include "src/core/staged.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/runtime/fnv.hpp"
+#include "src/store/store.hpp"
 
 namespace nvp::core {
 
@@ -54,11 +57,29 @@ ReliabilityAnalyzer::Cache& ReliabilityAnalyzer::cache() {
 AnalysisResult ReliabilityAnalyzer::analyze(
     const SystemParameters& params) const {
   // Whole-result memoization is the outermost cache level; a miss falls
-  // through to the staged structure / rates / rewards pipeline, which has
-  // its own per-stage caches (see staged.hpp).
+  // through to the persistent store's whole-result tier (when one is
+  // open), then to the staged structure / rates / rewards pipeline, which
+  // has its own per-stage caches and store tiers (see staged.hpp).
   auto solve = [&] { return staged_analyze(params, options_); };
   if (!options_.use_cache) return solve();
-  return cache().get_or_compute(analysis_cache_key(params, options_), solve);
+  const std::uint64_t key = analysis_cache_key(params, options_);
+  return cache().get_or_compute(key, [&]() -> AnalysisResult {
+    store::Store* disk = store::global();
+    if (disk == nullptr) return solve();
+    if (auto bytes = disk->get(store::Kind::kWholeResult, key)) {
+      try {
+        return decode_analysis_result(bytes->data(), bytes->size());
+      } catch (const std::exception&) {
+        static obs::Counter& corrupt =
+            obs::Registry::global().counter("store.corrupt");
+        corrupt.add();
+      }
+    }
+    AnalysisResult result = solve();
+    const std::vector<std::uint8_t> payload = encode_analysis_result(result);
+    disk->put(store::Kind::kWholeResult, key, payload.data(), payload.size());
+    return result;
+  });
 }
 
 AnalysisResult ReliabilityAnalyzer::analyze(

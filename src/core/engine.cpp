@@ -1,10 +1,13 @@
 #include "src/core/engine.hpp"
 
+#include <cstdio>
+
 #include "src/core/model_factory.hpp"
 #include "src/core/reliability.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
+#include "src/store/store.hpp"
 #include "src/util/string_util.hpp"
 
 namespace nvp::core {
@@ -24,6 +27,17 @@ obs::Counter& deadline_misses() {
 }
 
 }  // namespace
+
+void Engine::open_store(const Options& options) {
+  if (options.store_dir.empty()) return;
+  store::Options store_options;
+  if (options.store_cap_mb > 0)
+    store_options.capacity_bytes = options.store_cap_mb << 20;
+  std::string error;
+  if (!store::open_global(options.store_dir, store_options, &error))
+    std::fprintf(stderr, "engine: persistent store disabled: %s\n",
+                 error.c_str());
+}
 
 RunResult Engine::snapshot(const std::string& entry,
                            const SystemParameters& params,

@@ -70,6 +70,15 @@ class Engine {
     /// Fail fast: rethrow solver errors instead of degrading them into
     /// error envelopes (RunResult::ok / SweepPoint::ok / ...).
     bool strict = false;
+    /// Open the process-wide persistent solve store (src/store/) on this
+    /// directory so solves warm-start across processes. Empty leaves the
+    /// global store untouched (it may already be open via NVP_STORE or an
+    /// earlier engine). Opening is idempotent on the same directory; a
+    /// conflicting directory is reported to stderr and ignored — the store
+    /// is an accelerator, never a correctness dependency.
+    std::string store_dir;
+    /// Store capacity in MiB when `store_dir` opens it; 0 = store default.
+    std::uint64_t store_cap_mb = 0;
   };
 
   Engine() = default;
@@ -78,7 +87,9 @@ class Engine {
   Engine(ReliabilityAnalyzer::Options options, Options engine_options)
       : analyzer_options_(options),
         engine_options_(engine_options),
-        analyzer_(options) {}
+        analyzer_(options) {
+    open_store(engine_options_);
+  }
 
   /// Analytic E[R_sys] of one configuration, with envelope.
   RunResult analyze(const SystemParameters& params) const;
@@ -153,6 +164,10 @@ class Engine {
   const Options& engine_options() const { return engine_options_; }
 
  private:
+  /// Opens the global persistent store per `options` (no-op when
+  /// store_dir is empty or the store is already open on that directory).
+  static void open_store(const Options& options);
+
   fault::Policy policy() const { return {engine_options_.strict}; }
   RunResult simulate_impl(const SystemParameters& params,
                           const SimulateOptions& options) const;

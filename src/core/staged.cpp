@@ -4,15 +4,43 @@
 #include <chrono>
 #include <map>
 
+#include "src/core/artifact_codec.hpp"
 #include "src/core/model_factory.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/fnv.hpp"
+#include "src/store/store.hpp"
 #include "src/util/contracts.hpp"
 
 namespace nvp::core {
 
 namespace {
+
+/// Disk tier of the staged pipeline: between a memory-cache miss and a cold
+/// recompute, try the persistent store. `decode` throws on any schema or
+/// consistency violation (the store already rejected checksum damage) — a
+/// throw counts as `store.corrupt` and falls through to `build`, whose
+/// result is re-encoded and rewritten, repairing the entry. With no global
+/// store open this is exactly `build()`.
+template <typename Build, typename Decode, typename Encode>
+auto store_tiered(store::Kind kind, std::uint64_t key, Build&& build,
+                  Decode&& decode, Encode&& encode) -> decltype(build()) {
+  store::Store* disk = store::global();
+  if (disk == nullptr) return build();
+  if (auto bytes = disk->get(kind, key)) {
+    try {
+      return decode(bytes->data(), bytes->size());
+    } catch (const std::exception&) {
+      static obs::Counter& corrupt =
+          obs::Registry::global().counter("store.corrupt");
+      corrupt.add();
+    }
+  }
+  auto result = build();
+  const std::vector<std::uint8_t> payload = encode(result);
+  disk->put(kind, key, payload.data(), payload.size());
+  return result;
+}
 
 using StructureCache =
     runtime::ShardedLruCache<std::shared_ptr<const StructureArtifact>>;
@@ -223,7 +251,17 @@ std::shared_ptr<const StructureArtifact> staged_structure(
     return artifact;
   };
   if (!use_cache) return build();
-  return structure_cache().get_or_compute(structure_stage_key(params), build);
+  const std::uint64_t key = structure_stage_key(params);
+  return structure_cache().get_or_compute(key, [&] {
+    return store_tiered(
+        store::Kind::kStructure, key, build,
+        [&](const void* data, std::size_t size) {
+          return decode_structure_artifact(data, size, params);
+        },
+        [](const std::shared_ptr<const StructureArtifact>& artifact) {
+          return encode_structure_artifact(*artifact);
+        });
+  });
 }
 
 std::shared_ptr<const RatesArtifact> staged_rates(
@@ -249,8 +287,17 @@ std::shared_ptr<const RatesArtifact> staged_rates(
     return artifact;
   };
   if (!use_cache) return build();
-  return rates_cache().get_or_compute(rates_stage_key(params, solver_options),
-                                      build);
+  const std::uint64_t key = rates_stage_key(params, solver_options);
+  return rates_cache().get_or_compute(key, [&] {
+    return store_tiered(
+        store::Kind::kRates, key, build,
+        [](const void* data, std::size_t size) {
+          return decode_rates_artifact(data, size);
+        },
+        [](const std::shared_ptr<const RatesArtifact>& artifact) {
+          return encode_rates_artifact(*artifact);
+        });
+  });
 }
 
 std::shared_ptr<const std::vector<double>> staged_reward_table(
@@ -266,8 +313,17 @@ std::shared_ptr<const std::vector<double>> staged_reward_table(
     return table;
   };
   if (!use_cache) return build();
-  return reward_table_cache().get_or_compute(
-      reward_table_stage_key(params, convention), build);
+  const std::uint64_t key = reward_table_stage_key(params, convention);
+  return reward_table_cache().get_or_compute(key, [&] {
+    return store_tiered(
+        store::Kind::kRewardTable, key, build,
+        [](const void* data, std::size_t size) {
+          return decode_reward_table(data, size);
+        },
+        [](const std::shared_ptr<const std::vector<double>>& table) {
+          return encode_reward_table(*table);
+        });
+  });
 }
 
 AnalysisResult staged_analyze(const SystemParameters& params,
@@ -296,10 +352,20 @@ AnalysisResult staged_analyze(const SystemParameters& params,
                      : 0.0;
         });
   };
+  const std::uint64_t key =
+      options.use_cache ? rewards_stage_key(params, options) : 0;
   AnalysisResult result =
       options.use_cache
-          ? rewards_cache().get_or_compute(rewards_stage_key(params, options),
-                                           compute)
+          ? rewards_cache().get_or_compute(key, [&] {
+              return store_tiered(
+                  store::Kind::kRewards, key, compute,
+                  [](const void* data, std::size_t size) {
+                    return decode_analysis_result(data, size);
+                  },
+                  [](const AnalysisResult& r) {
+                    return encode_analysis_result(r);
+                  });
+            })
           : compute();
   solve_s.observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

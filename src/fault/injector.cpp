@@ -12,8 +12,8 @@ namespace nvp::fault {
 namespace {
 
 constexpr const char* kSiteNames[kSiteCount] = {
-    "lu",    "gmres", "power", "uniformization",
-    "cache", "pool",  "alloc", "mfree"};
+    "lu",    "gmres", "power", "uniformization", "cache",
+    "pool",  "alloc", "mfree", "store-read",     "store-write"};
 
 obs::Counter& injected_counter(Site site) {
   static obs::Counter* counters[kSiteCount] = {nullptr};
@@ -90,7 +90,7 @@ bool Injector::configure(std::string_view spec, std::string* error) {
     if (!site)
       return fail("unknown site '" + std::string(site_name) +
                   "' (expected lu|gmres|power|uniformization|cache|pool|"
-                  "alloc|mfree)");
+                  "alloc|mfree|store-read|store-write)");
     char* end = nullptr;
     const double rate = std::strtod(rate_str.c_str(), &end);
     if (end == rate_str.c_str() || *end != '\0' || !(rate >= 0.0) ||

@@ -24,11 +24,13 @@ enum class Site : std::size_t {
   kPool,            ///< runtime thread pool: forced task-dispatch failure
   kAlloc,           ///< markov dense assembly: forced allocation failure
   kMatrixFree,      ///< markov matrix-free solve: forced operator failure
+  kStoreRead,       ///< persistent store read: forced (counted) miss
+  kStoreWrite,      ///< persistent store write: forced write failure
 };
-inline constexpr std::size_t kSiteCount = 8;
+inline constexpr std::size_t kSiteCount = 10;
 
 /// "lu" / "gmres" / "power" / "uniformization" / "cache" / "pool" / "alloc"
-/// / "mfree".
+/// / "mfree" / "store-read" / "store-write".
 const char* to_string(Site site);
 std::optional<Site> parse_site(std::string_view name);
 

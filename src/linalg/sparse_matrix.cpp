@@ -34,6 +34,25 @@ CsrPattern::CsrPattern(std::size_t rows, std::size_t cols,
   }
 }
 
+CsrPattern CsrPattern::from_parts(std::size_t rows, std::size_t cols,
+                                  std::vector<std::size_t> perm,
+                                  std::vector<std::size_t> sorted_row,
+                                  std::vector<std::size_t> sorted_col) {
+  NVP_EXPECTS(perm.size() == sorted_row.size() &&
+              perm.size() == sorted_col.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    NVP_EXPECTS(perm[k] < perm.size());
+    NVP_EXPECTS(sorted_row[k] < rows && sorted_col[k] < cols);
+  }
+  CsrPattern p;
+  p.rows_ = rows;
+  p.cols_ = cols;
+  p.perm_ = std::move(perm);
+  p.sorted_row_ = std::move(sorted_row);
+  p.sorted_col_ = std::move(sorted_col);
+  return p;
+}
+
 SparseMatrixCsr CsrPattern::pour(const std::vector<double>& values) const {
   NVP_EXPECTS(values.size() == perm_.size());
   SparseMatrixCsr m;

@@ -43,6 +43,21 @@ class CsrPattern {
   /// triplet push order.
   SparseMatrixCsr pour(const std::vector<double>& values) const;
 
+  /// Raw representation, exposed for serialization (the persistent solve
+  /// store). The three vectors plus (rows, cols) are the complete state.
+  const std::vector<std::size_t>& perm() const { return perm_; }
+  const std::vector<std::size_t>& sorted_rows() const { return sorted_row_; }
+  const std::vector<std::size_t>& sorted_cols() const { return sorted_col_; }
+
+  /// Rebuilds a pattern from a serialized representation. The parts must
+  /// come from the accessors above on a pattern of the same sparsity
+  /// structure; pour() on the rebuilt pattern is bit-identical to the
+  /// original.
+  static CsrPattern from_parts(std::size_t rows, std::size_t cols,
+                               std::vector<std::size_t> perm,
+                               std::vector<std::size_t> sorted_row,
+                               std::vector<std::size_t> sorted_col);
+
  private:
   std::size_t rows_ = 0, cols_ = 0;
   std::vector<std::size_t> perm_;  ///< sorted order: perm_[k] = input index

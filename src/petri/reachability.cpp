@@ -153,6 +153,24 @@ TangibleReachabilityGraph TangibleReachabilityGraph::repoured(
   return g;
 }
 
+TangibleReachabilityGraph TangibleReachabilityGraph::from_structure(
+    std::shared_ptr<const Structure> structure, const PetriNet& net) {
+  static obs::Counter& rehydrations =
+      obs::Registry::global().counter("petri.reachability.rehydrations");
+  const obs::ScopedSpan span("petri.reachability.rehydrate");
+  net.validate();
+  if (structural_fingerprint(net) != structure->net_fingerprint)
+    throw NetError(
+        "from_structure: net '" + net.name() +
+        "' is structurally different from the net the skeleton was "
+        "explored from");
+  rehydrations.add();
+  TangibleReachabilityGraph g;
+  g.structure_ = std::move(structure);
+  g.pour(net);
+  return g;
+}
+
 void TangibleReachabilityGraph::pour(const PetriNet& net) {
   const std::size_t n = structure_->markings.size();
   exp_edges_.assign(n, {});

@@ -94,6 +94,16 @@ class TangibleReachabilityGraph {
   /// does not match the explored net's.
   TangibleReachabilityGraph repoured(const PetriNet& net) const;
 
+  /// Rebuilds a graph from an externally held skeleton (the persistent
+  /// solve store deserializes one) by pouring `net`'s rates into it —
+  /// the same code path build() and repoured() run, so the numeric edges
+  /// are bit-identical to a fresh exploration of the same net. The
+  /// structure must be complete (including the marking index) and must
+  /// describe `net`: fingerprint-checked like repoured(). Throws NetError
+  /// on mismatch.
+  static TangibleReachabilityGraph from_structure(
+      std::shared_ptr<const Structure> structure, const PetriNet& net);
+
   /// Number of tangible states.
   std::size_t size() const { return structure_->markings.size(); }
 

@@ -17,6 +17,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
+#include "src/store/store.hpp"
 #include "src/util/string_util.hpp"
 
 namespace nvp::service {
@@ -139,6 +140,20 @@ std::string stats_result_json(const ServiceStats& stats) {
   cache_block("rewards", caches.rewards);
   cache_block("whole_result", caches.whole_result);
   json.end_object();
+  if (store::Store* disk = store::global()) {
+    const store::Stats s = disk->stats();
+    json.key("store").begin_object();
+    json.kv("directory", s.directory);
+    json.kv("entries", s.entries);
+    json.kv("bytes", s.bytes);
+    json.kv("capacity_bytes", s.capacity_bytes);
+    json.kv("hits", s.hits);
+    json.kv("misses", s.misses);
+    json.kv("corrupt", s.corrupt);
+    json.kv("evictions", s.evictions);
+    json.kv("writes", s.writes);
+    json.end_object();
+  }
   json.end_object();
   return json.str();
 }
@@ -640,8 +655,11 @@ std::string Server::run_engine(const Request& request, bool* ok,
   // construction-time configuration alone). Per-request construction is
   // trivially cheap — Engine and its analyzer only hold configuration; the
   // staged caches are process-wide and keyed on (params, options).
-  const core::Engine engine(request.options,
-                            core::Engine::Options{/*strict=*/false});
+  // Default engine options: never strict (failures must degrade to
+  // envelopes), no store directory of its own — the process-wide store, if
+  // `serve --store` opened one, is already global and the staged pipeline's
+  // disk tier reads through it regardless.
+  const core::Engine engine(request.options, core::Engine::Options{});
   switch (request.method) {
     case Method::kAnalyze: {
       const core::RunResult result = engine.analyze(request.params);

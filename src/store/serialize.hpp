@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nvp::store {
+
+/// Thrown by Reader on any structural violation of a serialized payload
+/// (overrun, bad tag, impossible count). The store's read path maps it to a
+/// counted `store.corrupt` miss — a malformed payload is recomputed, never
+/// trusted and never fatal.
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what)
+      : std::runtime_error("store: " + what) {}
+};
+
+/// Append-only byte buffer with fixed-width little-endian field encoders.
+/// Every multi-byte field is written by memcpy of the host representation;
+/// the store header's magic doubles as a byte-order sentinel, so a
+/// foreign-endian reader sees a corrupt entry (counted and recomputed)
+/// rather than garbage values. Bulk arrays (vec_*) are a u64 element count
+/// followed by the raw contiguous elements, so a mapped payload can be
+/// consumed without per-element parsing.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void bytes(const void* data, std::size_t size) {
+    u64(size);
+    raw(data, size);
+  }
+
+  void vec_f64(const std::vector<double>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+  }
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(std::uint64_t));
+  }
+  /// std::size_t vectors are widened to u64 on disk so 32- and 64-bit
+  /// processes sharing one store agree on the layout.
+  void vec_sizes(const std::vector<std::size_t>& v) {
+    u64(v.size());
+    for (std::size_t x : v) u64(x);
+  }
+  void vec_i32(const std::vector<std::int32_t>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(std::int32_t));
+  }
+  void vec_char(const std::vector<char>& v) {
+    u64(v.size());
+    raw(v.data(), v.size());
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked sequential reader over a serialized payload. Mirrors
+/// Writer field for field; throws SerializationError instead of reading out
+/// of bounds. Element counts are sanity-bounded by the remaining payload
+/// size before any allocation, so a corrupt count cannot trigger a huge
+/// allocation.
+class Reader {
+ public:
+  Reader(const void* data, std::size_t size)
+      : p_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return p_[pos_++];
+  }
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  std::int32_t i32() { return fixed<std::int32_t>(); }
+  double f64() { return fixed<double>(); }
+  bool boolean() { return u8() != 0; }
+
+  std::vector<double> vec_f64() { return fixed_vec<double>(); }
+  std::vector<std::uint64_t> vec_u64() { return fixed_vec<std::uint64_t>(); }
+  std::vector<std::size_t> vec_sizes() {
+    const std::uint64_t n = count(sizeof(std::uint64_t));
+    std::vector<std::size_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = static_cast<std::size_t>(u64());
+    return v;
+  }
+  std::vector<std::int32_t> vec_i32() { return fixed_vec<std::int32_t>(); }
+  std::vector<char> vec_char() { return fixed_vec<char>(); }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  /// Readers call this after the last field: trailing bytes mean the payload
+  /// was written by a different (newer) schema and must not be trusted.
+  void expect_done() const {
+    if (!done()) throw SerializationError("payload has trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw SerializationError("payload truncated");
+  }
+
+  template <typename T>
+  T fixed() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, p_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint64_t count(std::size_t element_size) {
+    const std::uint64_t n = u64();
+    if (n > remaining() / element_size)
+      throw SerializationError("element count exceeds payload");
+    return n;
+  }
+
+  template <typename T>
+  std::vector<T> fixed_vec() {
+    const std::uint64_t n = count(sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), p_ + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a over a byte range — the checksum the entry header carries for
+/// both itself and the payload.
+inline std::uint64_t fnv1a(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace nvp::store

@@ -27,6 +27,17 @@ probability mass to 1e-9, and reach the 10^4..10^5-state range (smallest
 row >= 10^4 states, largest >= 5 x 10^4). These restate the backend's
 contract rather than machine timings, so they take no tolerance.
 
+Store mode (``--store``) reads the document written by
+``bench_store_persistence`` (``bench_results/BENCH_store.json``) and gates
+the persistent solve store's warm-start contract: the warm sweep must be
+bit-identical to cold, perform zero explorations and zero solves (every
+whole-result served from disk, hits covering every point, zero misses),
+and beat the cold run by at least the recorded speedup floor; the
+primitive-latency section must have measured positive open/put/get costs
+with every probe read hitting. Apart from the speedup floor — itself an
+order-of-magnitude bound, the warm path replaces full MRGP solves with
+mmap + checksum + decode — these restate counters, so no tolerance.
+
 Service mode (``--service``) reads the document written by
 ``tools/loadgen`` (``bench_results/BENCH_service.json``) and gates the
 nvpd daemon's load-test contract: the coalesce burst must have held >=
@@ -64,6 +75,10 @@ Usage:
     python3 tools/check_bench_regression.py --mrgp \
         bench_results/BENCH_mrgp_scaling.json
 
+    bench_store_persistence  # writes bench_results/BENCH_store.json
+    python3 tools/check_bench_regression.py --store \
+        bench_results/BENCH_store.json
+
     python3 tools/check_bench_regression.py --list \
         --baseline bench_results/BENCH_sweep.json
 """
@@ -99,6 +114,23 @@ SWEEP_CHECKS = [
     ("mttc_sweep_n40", "speedup", 2.0),
     ("mttc_sweep_n40", "bit_identical_to_cold", 1.0),
     ("mttc_sweep_n40", "staged_explorations", None),  # exactly 1
+]
+
+# Store-mode gates: (section, field, op, bound). The warm sweep replaces
+# full MRGP solves with mmap + checksum + decode, so a 5x floor is an
+# order-of-magnitude bound, not a machine timing; everything else restates
+# the disk tier's counter contract (all hits, no misses, no recompute).
+STORE_CHECKS = [
+    ("warm_sweep", "speedup", "ge", 5.0),
+    ("warm_sweep", "bit_identical_to_cold", "eq", 1.0),
+    ("warm_sweep", "warm_explorations", "eq", 0.0),
+    ("warm_sweep", "warm_solves", "eq", 0.0),
+    ("warm_sweep", "warm_store_hits", "gt", 0.0),
+    ("warm_sweep", "warm_store_misses", "eq", 0.0),
+    ("warm_sweep", "cold_store_writes", "gt", 0.0),
+    ("latency", "open_ms", "gt", 0.0),
+    ("latency", "write_ms_mean", "gt", 0.0),
+    ("latency", "read_ms_mean", "gt", 0.0),
 ]
 
 # Service-mode gates on the named loadgen scenario: (field, op, bound).
@@ -144,7 +176,12 @@ def load_json(path: str, role: str) -> dict:
 
 
 def metric_names(doc: dict, prefix: str = "") -> list[str]:
-    """Flattened dotted names of every numeric field in the document."""
+    """Flattened dotted names of every numeric field in the document.
+
+    Arrays of row objects (the mrgp baselines) are flattened with an index
+    component, e.g. ``crossover.0.max_abs_diff``, so --list shows every
+    gated metric whichever shape the baseline uses.
+    """
     names: list[str] = []
     for key, value in doc.items():
         path = f"{prefix}{key}"
@@ -154,6 +191,13 @@ def metric_names(doc: dict, prefix: str = "") -> list[str]:
             names.append(path)
         elif isinstance(value, dict):
             names.extend(metric_names(value, f"{path}."))
+        elif isinstance(value, list):
+            for i, element in enumerate(value):
+                if isinstance(element, dict):
+                    names.extend(metric_names(element, f"{path}.{i}."))
+                elif isinstance(element, (int, float)) and not isinstance(
+                        element, bool):
+                    names.append(f"{path}.{i}")
     return names
 
 
@@ -306,6 +350,40 @@ def check_mrgp(report: dict, report_path: str) -> int:
     return 0
 
 
+def check_store(report: dict, report_path: str) -> int:
+    failures = 0
+    for section, field, op, bound in STORE_CHECKS:
+        block = report.get(section)
+        if not isinstance(block, dict) or field not in block:
+            raise SystemExit(
+                f"error: store report '{report_path}' lacks "
+                f"'{section}.{field}'"
+            )
+        value = float(block[field])
+        ok = {"ge": value >= bound, "gt": value > bound,
+              "eq": value == bound}[op]
+        symbol = {"ge": ">=", "gt": ">", "eq": "=="}[op]
+        print(
+            f"{section}.{field}: {value:g} (want {symbol} {bound:g}) "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+        failures += 0 if ok else 1
+    # Every synthetic read probe must have hit: a short count means get()
+    # rejected entries the same process just wrote.
+    latency = report["latency"]
+    if "reads_hit" in latency and "ops" in latency:
+        hit, ops = float(latency["reads_hit"]), float(latency["ops"])
+        ok = hit == ops
+        print(f"latency.reads_hit: {hit:g} (want == ops {ops:g}) "
+              f"{'ok' if ok else 'FAIL'}")
+        failures += 0 if ok else 1
+    if failures:
+        print(f"FAIL: {failures} store gate(s) violated")
+        return 1
+    print("OK: persistent-store warm-start contract holds")
+    return 0
+
+
 def check_service(report: dict, report_path: str) -> int:
     scenarios = report.get("scenarios")
     if not isinstance(scenarios, dict) or not scenarios:
@@ -393,6 +471,12 @@ def main() -> int:
         "instead of the google-benchmark runtime report",
     )
     parser.add_argument(
+        "--store",
+        action="store_true",
+        help="gate a bench_store_persistence BENCH_store.json report "
+        "instead of the google-benchmark runtime report",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the numeric metric names in the baseline file and exit",
@@ -400,8 +484,9 @@ def main() -> int:
     args = parser.parse_args()
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
-    if sum([args.sweep, args.service, args.mrgp]) > 1:
-        parser.error("--sweep, --service, and --mrgp are mutually exclusive")
+    if sum([args.sweep, args.service, args.mrgp, args.store]) > 1:
+        parser.error("--sweep, --service, --mrgp, and --store are "
+                     "mutually exclusive")
 
     if args.list:
         for name in metric_names(load_json(args.baseline, "baseline")):
@@ -417,6 +502,8 @@ def main() -> int:
         return check_service(report, args.report)
     if args.mrgp:
         return check_mrgp(report, args.report)
+    if args.store:
+        return check_store(report, args.report)
     return check_runtime(report, args.baseline, args.tolerance)
 
 

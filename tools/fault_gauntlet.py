@@ -23,20 +23,34 @@ errors, the daemon exits 0 after a protocol shutdown), failed responses
 carry structured error envelopes, and value-neutral schedules return
 byte-identical results to the clean baseline.
 
+Store mode (--store) proves the persistent solve store's corruption
+contract against live on-disk entries: a cold sweep populates a fresh
+store, a warm re-run must perform zero explorations/solves (counter-
+verified) with bit-identical results and a wall-clock win, then every
+entry is mutated three ways (truncate, bit-flip header, bit-flip payload)
+and each re-run must detect the damage (`store.corrupt` counters), exit 0,
+and still emit bit-identical results. The store-read / store-write fault
+injection schedules close the loop: forced read misses and failed writes
+change costs only, never values.
+
 Usage: tools/fault_gauntlet.py [--cli build/tools/nvpcli] [--points 50]
                                [--out gauntlet-out]
                                [--service [--loadgen build/tools/loadgen]]
+                               [--store]
 """
 
 import argparse
 import csv
+import glob
 import io
 import json
 import os
 import re
+import shutil
 import subprocess
 import sys
 import threading
+import time
 
 # Expectation per run: "envelopes" means every row must carry an error
 # envelope and no value; "clean" means no error column and every row must
@@ -250,6 +264,194 @@ def run_service_gauntlet(args):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Store mode: corrupt live persistent-store entries and prove detection.
+
+
+# Each mutation damages every on-disk entry a different way; all three must
+# trip a distinct validation rung in Store::get (short read, header checksum,
+# payload checksum). Offsets follow the v1 entry layout: 64-byte header
+# (kind at byte 12, covered by the header checksum over bytes [0, 40)),
+# payload from byte 64.
+STORE_MUTATIONS = ["truncate", "header-flip", "payload-flip"]
+
+
+def mutate_entry(path, mutation):
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        if mutation == "truncate":
+            f.truncate(max(size // 2, 1))
+        elif mutation == "header-flip":
+            f.seek(12)
+            byte = f.read(1)[0]
+            f.seek(12)
+            f.write(bytes([byte ^ 0x40]))
+        elif mutation == "payload-flip":
+            offset = 67 if size > 67 else size - 1
+            f.seek(offset)
+            byte = f.read(1)[0]
+            f.seek(offset)
+            f.write(bytes([byte ^ 0x01]))
+        else:
+            raise ValueError("unknown mutation %r" % mutation)
+
+
+def parse_counters(stderr):
+    """Counter lines from `nvpcli --metrics` look like `name = 123`.
+
+    Counters are registered lazily, so one that never fired is simply
+    absent from the dump — callers must treat a missing name as zero.
+    """
+    counters = {}
+    for line in stderr.splitlines():
+        match = re.match(r"^\s*([\w.\-]+)\s*=\s*(\d+)\s*$", line)
+        if match:
+            counters[match.group(1)] = int(match.group(2))
+    return counters
+
+
+def run_store_sweep(cli, points, store_dir, spec=None):
+    env = dict(os.environ)
+    env.pop("NVP_FAULT_INJECT", None)
+    env.pop("NVP_STORE", None)
+    env.pop("NVP_STORE_CAP_MB", None)
+    if spec is not None:
+        env["NVP_FAULT_INJECT"] = spec
+    cmd = [
+        cli, "sweep", "--paper", "6v", "--param", "interval",
+        "--from", "200", "--to", "3000", "--points", str(points),
+        "--format", "csv", "--store", store_dir, "--metrics",
+    ]
+    started = time.monotonic()
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    elapsed = time.monotonic() - started
+    return {
+        "command": " ".join(cmd),
+        "fault_inject": spec,
+        "exit_code": proc.returncode,
+        "stdout": proc.stdout,
+        "stderr": proc.stderr.strip(),
+        "counters": parse_counters(proc.stderr),
+        "elapsed_s": elapsed,
+    }
+
+
+def check_store_run(run, baseline, require=(), forbid=()):
+    """exit 0, bit-identical CSV to the cold baseline, counter constraints.
+
+    `require` names counters that must be > 0; `forbid` names counters that
+    must be absent or zero (lazily-registered counters never dumped count
+    as zero).
+    """
+    errors = []
+    if run["exit_code"] != 0:
+        errors.append("aborted with exit code %d: %s"
+                      % (run["exit_code"], run["stderr"]))
+        return errors
+    if baseline is not None and run["stdout"] != baseline["stdout"]:
+        errors.append("sweep output is not bit-identical to the cold run")
+    for name in require:
+        if run["counters"].get(name, 0) <= 0:
+            errors.append("expected counter %s > 0 (got %d)"
+                          % (name, run["counters"].get(name, 0)))
+    for name in forbid:
+        if run["counters"].get(name, 0) != 0:
+            errors.append("expected counter %s == 0 (got %d)"
+                          % (name, run["counters"].get(name, 0)))
+    return errors
+
+
+def run_store_gauntlet(args):
+    os.makedirs(args.out, exist_ok=True)
+    store_dir = os.path.join(args.out, "gauntlet-store")
+    shutil.rmtree(store_dir, ignore_errors=True)
+    summary = {"mode": "store", "points": args.points, "runs": [],
+               "failures": 0}
+    failed = False
+
+    def record(name, run, errors):
+        nonlocal failed
+        run["check_errors"] = errors
+        with open(os.path.join(args.out, "store-%s.json" % name), "w") as f:
+            json.dump(run, f, indent=2)
+        status = "ok" if not errors else "FAIL"
+        print("[%s] store %s: %s" % (status, name, errors or "pass"))
+        summary["runs"].append({"name": name, "ok": not errors,
+                                "errors": errors})
+        if errors:
+            failed = True
+            summary["failures"] += 1
+
+    # Cold: a fresh store must fill (writes) without hitting.
+    cold = run_store_sweep(args.cli, args.points, store_dir)
+    record("cold", cold,
+           check_store_run(cold, None, require=["store.write"],
+                           forbid=["store.hit", "store.corrupt"]))
+
+    # Warm: every whole-result must come off disk — zero state-space
+    # explorations, zero solves (both counters are lazily registered, so
+    # "absent" is the passing shape) — bit-identical and faster.
+    warm = run_store_sweep(args.cli, args.points, store_dir)
+    warm_errors = check_store_run(
+        warm, cold, require=["store.hit"],
+        forbid=["store.miss", "store.corrupt", "core.analyzer.solves",
+                "petri.reachability.builds"])
+    if not warm_errors and warm["elapsed_s"] >= cold["elapsed_s"]:
+        warm_errors.append(
+            "warm run (%.3fs) was not faster than cold (%.3fs)"
+            % (warm["elapsed_s"], cold["elapsed_s"]))
+    record("warm", warm, warm_errors)
+
+    # Corruption rounds: damage EVERY live entry, then re-run. The sweep
+    # must detect each mutation (store.corrupt), silently recompute, exit 0
+    # with bit-identical output, and repair the store (puts overwrite the
+    # damaged files), so each round starts from a healthy store again.
+    for mutation in STORE_MUTATIONS:
+        entries = sorted(glob.glob(os.path.join(store_dir, "entries",
+                                                "*.nvps")))
+        if not entries:
+            record(mutation, {"exit_code": -1, "stderr": "", "stdout": "",
+                              "counters": {}, "elapsed_s": 0.0},
+                   ["no store entries left to corrupt"])
+            continue
+        for path in entries:
+            mutate_entry(path, mutation)
+        run = run_store_sweep(args.cli, args.points, store_dir)
+        run["mutation"] = mutation
+        run["mutated_entries"] = len(entries)
+        record(mutation, run,
+               check_store_run(run, cold, require=["store.corrupt",
+                                                   "store.write"]))
+
+    # Injection schedules: forced read misses and failed writes are pure
+    # cost faults — results stay bit-identical either way.
+    read_faults = run_store_sweep(args.cli, args.points, store_dir,
+                                  spec="store-read:1.0:41")
+    record("fault-read", read_faults,
+           check_store_run(read_faults, cold,
+                           require=["fault.injected.store-read"],
+                           forbid=["store.hit"]))
+    # Writes only happen on misses, so this run needs a cold store: a warm
+    # one would satisfy every lookup from disk and never arm the site.
+    write_store = os.path.join(args.out, "gauntlet-store-writefault")
+    shutil.rmtree(write_store, ignore_errors=True)
+    write_faults = run_store_sweep(args.cli, args.points, write_store,
+                                   spec="store-write:1.0:43")
+    record("fault-write", write_faults,
+           check_store_run(write_faults, cold,
+                           require=["fault.injected.store-write"],
+                           forbid=["store.write", "store.hit"]))
+
+    with open(os.path.join(args.out, "store_summary.json"), "w") as f:
+        json.dump(summary, f, indent=2)
+    if failed:
+        print("store gauntlet FAILED (%d check(s)); artifacts in %s"
+              % (summary["failures"], args.out))
+        return 1
+    print("store gauntlet passed; artifacts in %s" % args.out)
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cli", default="build/tools/nvpcli")
@@ -258,10 +460,14 @@ def main():
     parser.add_argument("--service", action="store_true",
                         help="run the schedules against a live nvpd daemon")
     parser.add_argument("--loadgen", default="build/tools/loadgen")
+    parser.add_argument("--store", action="store_true",
+                        help="run the persistent-store corruption gauntlet")
     args = parser.parse_args()
 
     if args.service:
         return run_service_gauntlet(args)
+    if args.store:
+        return run_store_gauntlet(args)
 
     os.makedirs(args.out, exist_ok=True)
     baselines = {}

@@ -51,6 +51,7 @@
 #include "src/service/client.hpp"
 #include "src/service/server.hpp"
 #include "src/sim/dspn_simulator.hpp"
+#include "src/store/store.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/string_util.hpp"
@@ -83,6 +84,15 @@ int usage() {
       "[--default-deadline-ms 0] [--send-timeout-ms 10000]\n"
       "  nvpcli stats       --remote <host:port>\n"
       "  nvpcli shutdown    --remote <host:port>\n"
+      "  nvpcli store       stats|gc [--store DIR] [--target-mb N]\n"
+      "\n"
+      "persistent solve store (any analytic command, and serve): --store "
+      "DIR opens a cross-process on-disk artifact store so repeated runs "
+      "warm-start (bit-identical to cold); --store-cap-mb N bounds it "
+      "(LRU-evicted). NVP_STORE / NVP_STORE_CAP_MB are the env "
+      "equivalents; the flag wins. `store stats` prints occupancy and "
+      "hit/corruption counters, `store gc` re-scans and evicts to "
+      "--target-mb (default: the configured cap).\n"
       "\n"
       "remote mode: analyze/sweep/simulate accept --remote <host:port> to "
       "run on a nvpd daemon (started with `nvpcli serve`); responses are "
@@ -222,6 +232,21 @@ void dump_cache_stats() {
       static_cast<unsigned long long>(service.deadline_missed),
       static_cast<unsigned long long>(service.protocol_errors),
       static_cast<unsigned long long>(service.responses));
+  if (store::Store* disk = store::global()) {
+    const store::Stats s = disk->stats();
+    std::fprintf(stderr,
+                 "persistent store (%s):\n"
+                 "  entries=%llu bytes=%llu hits=%llu misses=%llu "
+                 "corrupt=%llu evictions=%llu writes=%llu\n",
+                 s.directory.c_str(),
+                 static_cast<unsigned long long>(s.entries),
+                 static_cast<unsigned long long>(s.bytes),
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.misses),
+                 static_cast<unsigned long long>(s.corrupt),
+                 static_cast<unsigned long long>(s.evictions),
+                 static_cast<unsigned long long>(s.writes));
+  }
 }
 
 void dump_metrics() {
@@ -809,6 +834,68 @@ int export_model(const util::CliArgs& args, std::string& out) {
   return 0;
 }
 
+/// `nvpcli store stats|gc`: occupancy / maintenance of the persistent solve
+/// store. Operates on the store opened by --store / NVP_STORE (the shared
+/// main() path has already opened it by the time we run).
+int store_command(const util::CliArgs& args, const util::CommonOptions& common,
+                  std::string& out) {
+  // CliArgs was built over argv + 1 and skips its own argv[0] ("store"),
+  // so the sub-subcommand is the first positional.
+  const auto& positional = args.positional();
+  const std::string sub = positional.empty() ? "" : positional.front();
+  if (sub != "stats" && sub != "gc") return usage();
+  store::Store* disk = store::global();
+  if (disk == nullptr) {
+    std::fprintf(stderr,
+                 "error: no store open — pass --store DIR or set NVP_STORE\n");
+    return 2;
+  }
+  if (sub == "gc") {
+    const double target_mb = args.get_double("target-mb", 0.0);
+    const std::uint64_t evicted =
+        disk->gc(target_mb > 0.0
+                     ? static_cast<std::uint64_t>(target_mb * (1 << 20))
+                     : 0);
+    std::fprintf(stderr, "store gc: %llu entr%s evicted\n",
+                 static_cast<unsigned long long>(evicted),
+                 evicted == 1 ? "y" : "ies");
+  }
+  const store::Stats stats = disk->stats();
+  Report report;
+  report.columns = {"metric", "value"};
+  const auto row = [&](const char* name, const std::string& value) {
+    report.rows.push_back({name, value});
+  };
+  row("directory", stats.directory);
+  row("capacity_bytes", util::format("%llu", static_cast<unsigned long long>(
+                                                 stats.capacity_bytes)));
+  row("entries", util::format("%llu",
+                              static_cast<unsigned long long>(stats.entries)));
+  row("bytes",
+      util::format("%llu", static_cast<unsigned long long>(stats.bytes)));
+  for (std::size_t i = 0; i < store::kKindCount; ++i) {
+    const store::Kind kind = static_cast<store::Kind>(i + 1);
+    row(util::format("entries.%s", store::to_string(kind)).c_str(),
+        util::format("%llu", static_cast<unsigned long long>(
+                                 stats.entries_by_kind[i])));
+    row(util::format("bytes.%s", store::to_string(kind)).c_str(),
+        util::format("%llu", static_cast<unsigned long long>(
+                                 stats.bytes_by_kind[i])));
+  }
+  row("hits",
+      util::format("%llu", static_cast<unsigned long long>(stats.hits)));
+  row("misses",
+      util::format("%llu", static_cast<unsigned long long>(stats.misses)));
+  row("corrupt",
+      util::format("%llu", static_cast<unsigned long long>(stats.corrupt)));
+  row("evictions", util::format("%llu", static_cast<unsigned long long>(
+                                            stats.evictions)));
+  row("writes",
+      util::format("%llu", static_cast<unsigned long long>(stats.writes)));
+  out = render(report, common.format);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -831,6 +918,12 @@ int main(int argc, char** argv) {
 
     core::Engine::Options engine_options;
     engine_options.strict = args.has("strict");
+    // --store wins over NVP_STORE; either opens the process-wide store the
+    // staged pipeline's disk tier (and nvpd's workers) read through.
+    engine_options.store_dir = args.get("store", "");
+    engine_options.store_cap_mb =
+        static_cast<std::uint64_t>(args.get_double("store-cap-mb", 0.0));
+    if (engine_options.store_dir.empty()) store::open_global_from_env();
     const core::Engine engine(analyzer_options(args), engine_options);
     std::string out;
     int status = 1;
@@ -860,6 +953,8 @@ int main(int argc, char** argv) {
       status = archspace(engine, args, common, out);
     else if (command == "export")
       status = export_model(args, out);
+    else if (command == "store")
+      status = store_command(args, common, out);
     else
       return usage();
     if (status != 0) return status;
