@@ -8,13 +8,17 @@
 
 namespace nvp::core {
 
-std::uint64_t analysis_cache_key(const SystemParameters& params,
+std::uint64_t analysis_cache_key(const SystemParameters& raw,
                                  const ReliabilityAnalyzer::Options& options) {
+  // Canonicalized so a single perfect-repair group shares the scalar
+  // configuration's entries (their results are identical by construction).
+  const SystemParameters params = raw.canonicalized();
   runtime::Fnv1a h;
   // Model-structure identity: which factory builds the net and the schema
   // version of this key. Bump the version when the generated DSPN, the
-  // parameter set, or AnalysisResult's layout changes semantically.
-  h.str("core::PerceptionModelFactory/v3");
+  // parameter set, or AnalysisResult's layout changes semantically
+  // (v4: module-group configurations).
+  h.str("core::PerceptionModelFactory/v4");
   h.i32(params.n_versions)
       .i32(params.max_faulty)
       .i32(params.max_rejuvenating)
@@ -32,6 +36,16 @@ std::uint64_t analysis_cache_key(const SystemParameters& params,
       .boolean(params.voter_can_fail)
       .f64(params.voter_mtbf)
       .f64(params.voter_mttr);
+  h.u64(params.groups.size());
+  for (const ModuleGroup& g : params.groups)
+    h.i32(g.count)
+        .f64(g.mean_time_to_compromise)
+        .f64(g.mean_time_to_failure)
+        .f64(g.mean_time_to_repair)
+        .f64(g.p)
+        .f64(g.p_prime)
+        .f64(g.weight)
+        .f64(g.repair_degradation);
   h.i32(static_cast<int>(options.convention))
       .i32(static_cast<int>(options.attachment));
   // Every solver knob changes the solve's floating-point path (LU vs

@@ -1,6 +1,7 @@
 #include "src/core/architecture_space.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "src/core/engine.hpp"
 #include "src/obs/metrics.hpp"
@@ -12,10 +13,14 @@
 namespace nvp::core {
 
 std::string ArchitectureResult::label() const {
-  return util::format("N=%d f=%d%s", n, f,
-                      rejuvenation
-                          ? util::format(" r=%d rejuv", r).c_str()
-                          : " plain");
+  std::string base =
+      util::format("N=%d f=%d%s", n, f,
+                   rejuvenation
+                       ? util::format(" r=%d rejuv", r).c_str()
+                       : " plain");
+  for (const ModuleGroup& g : groups)
+    base += util::format(" %dxw%.3g", g.count, g.weight);
+  return base;
 }
 
 std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
@@ -44,6 +49,52 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
     bool rejuvenation;
   };
   std::vector<Candidate> candidates;
+  // Weighted-quota feasibility of a candidate's module weights (the same
+  // rule validate() enforces; checked up front so infeasible splits are
+  // skipped silently instead of degrading into error envelopes).
+  const auto weighted_feasible = [](const SystemParameters& params) {
+    std::vector<double> weights = params.module_weights();
+    std::sort(weights.begin(), weights.end(), std::greater<double>());
+    const double w_total =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    double wf = 0.0;
+    for (int i = 0;
+         i < params.max_faulty && i < static_cast<int>(weights.size()); ++i)
+      wf += weights[static_cast<std::size_t>(i)];
+    double wr = 0.0;
+    const int r = params.rejuvenation ? params.max_rejuvenating : 0;
+    for (int i = 0; i < r && i < static_cast<int>(weights.size()); ++i)
+      wr += weights[static_cast<std::size_t>(i)];
+    return w_total + 1e-12 >= 3.0 * wf + 2.0 * wr + weights.back();
+  };
+  // Pushes the homogeneous candidate plus (opted in) every feasible
+  // two-group split: baseline group of N - m modules and a hardened group
+  // of m modules with a slower compromise rate, a heavier vote, and
+  // optionally imperfect repair.
+  const auto push_candidates = [&](const SystemParameters& params, int n,
+                                   int f, int r, bool rejuvenation) {
+    candidates.push_back({params, n, f, r, rejuvenation});
+    if (!options_.heterogeneous) return;
+    for (int m = 1; m < n; ++m) {
+      SystemParameters hetero = params;
+      ModuleGroup baseline;
+      baseline.count = n - m;
+      baseline.mean_time_to_compromise = params.mean_time_to_compromise;
+      baseline.mean_time_to_failure = params.mean_time_to_failure;
+      baseline.mean_time_to_repair = params.mean_time_to_repair;
+      baseline.p = params.p;
+      baseline.p_prime = params.p_prime;
+      ModuleGroup hardened = baseline;
+      hardened.count = m;
+      hardened.mean_time_to_compromise =
+          params.mean_time_to_compromise * options_.hardened_mtc_factor;
+      hardened.weight = options_.hardened_weight;
+      hardened.repair_degradation = options_.hardened_repair_degradation;
+      hetero.groups = {baseline, hardened};
+      if (!weighted_feasible(hetero)) continue;
+      candidates.push_back({hetero, n, f, r, rejuvenation});
+    }
+  };
   for (int n = 4; n <= options_.max_versions; ++n) {
     for (int f = 1; f <= options_.max_faulty; ++f) {
       if (n >= 3 * f + 1) {
@@ -52,7 +103,7 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
         params.max_faulty = f;
         params.max_rejuvenating = 1;  // repair concurrency; unused voting-wise
         params.rejuvenation = false;
-        candidates.push_back({params, n, f, 0, false});
+        push_candidates(params, n, f, 0, false);
       }
       for (int r = 1; r <= options_.max_rejuvenating; ++r) {
         if (n < 3 * f + 2 * r + 1) continue;
@@ -61,7 +112,7 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
         params.max_faulty = f;
         params.max_rejuvenating = r;
         params.rejuvenation = true;
-        candidates.push_back({params, n, f, r, true});
+        push_candidates(params, n, f, r, true);
       }
     }
   }
@@ -77,6 +128,7 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
     result.f = candidate.f;
     result.r = candidate.r;
     result.rejuvenation = candidate.rejuvenation;
+    result.groups = candidate.params.groups;
     try {
       const auto analysis = engine.analyze_raw(candidate.params);
       result.expected_reliability = analysis.expected_reliability;
@@ -103,6 +155,7 @@ std::vector<ArchitectureResult> ArchitectureSpaceExplorer::explore(
       results[i].f = candidates[i].f;
       results[i].r = candidates[i].r;
       results[i].rejuvenation = candidates[i].rejuvenation;
+      results[i].groups = candidates[i].params.groups;
       results[i].ok = false;
       results[i].error = info;
       degraded.add();

@@ -17,6 +17,9 @@ struct ArchitectureResult {
   int f = 0;
   int r = 0;
   bool rejuvenation = false;
+  /// Module groups of a heterogeneous candidate; empty for homogeneous
+  /// ones.
+  std::vector<ModuleGroup> groups;
   double expected_reliability = 0.0;
   std::size_t tangible_states = 0;
   /// Reliability gain per added module version over the cheapest feasible
@@ -47,6 +50,17 @@ class ArchitectureSpaceExplorer {
     /// Fail fast on the first candidate whose solve throws instead of
     /// degrading it into an error envelope (ArchitectureResult::ok).
     bool strict = false;
+    /// Also enumerate heterogeneous two-group candidates: for every
+    /// feasible (N, f, r) point, every split of the N modules into a
+    /// baseline group and a hardened group of m = 1..N-1 modules. The
+    /// hardened group compromises hardened_mtc_factor times slower, votes
+    /// with hardened_weight, and (optionally) repairs imperfectly with
+    /// hardened_repair_degradation. Splits whose weighted quota is
+    /// infeasible (total weight < 3 W_f + 2 W_r + w_min) are skipped.
+    bool heterogeneous = false;
+    double hardened_mtc_factor = 4.0;
+    double hardened_weight = 2.0;
+    double hardened_repair_degradation = 0.0;
   };
 
   ArchitectureSpaceExplorer() = default;

@@ -16,7 +16,11 @@ using store::Writer;
 
 // Per-kind payload schema tags. Bump when a codec's field sequence changes;
 // old payloads then decode as "unknown schema" and are recomputed.
-constexpr std::uint32_t kStructureSchema = 1;
+// Structure v2: per-group state classes (module-group models). The other
+// three layouts are unchanged by the module-group refactor — their store
+// keys were version-bumped instead, so pre-refactor entries simply stop
+// being addressed and expire.
+constexpr std::uint32_t kStructureSchema = 2;
 constexpr std::uint32_t kRatesSchema = 1;
 constexpr std::uint32_t kRewardTableSchema = 1;
 constexpr std::uint32_t kAnalysisSchema = 1;
@@ -147,13 +151,15 @@ std::vector<std::uint8_t> encode_structure_artifact(
   w.vec_sizes(plan.lumping);
   w.u64(plan.lumping_classes);
 
-  // (i, j, k) classification.
+  // (i, j, k) classification (plus per-group counts for heterogeneous
+  // structures).
   w.u64(artifact.state_class.size());
   for (const StructureArtifact::StateClass& sc : artifact.state_class) {
     w.i32(sc.healthy);
     w.i32(sc.compromised);
     w.i32(sc.down);
     w.boolean(sc.voter_up);
+    w.vec_i32(sc.groups);
   }
   w.u64(artifact.classes.size());
   for (const auto& [i, j, k] : artifact.classes) {
@@ -161,6 +167,8 @@ std::vector<std::uint8_t> encode_structure_artifact(
     w.i32(j);
     w.i32(k);
   }
+  w.u64(artifact.group_classes.size());
+  for (const std::vector<int>& cls : artifact.group_classes) w.vec_i32(cls);
   w.vec_sizes(artifact.class_of_state);
   return w.take();
 }
@@ -215,6 +223,7 @@ std::shared_ptr<const StructureArtifact> decode_structure_artifact(
     sc.compromised = r.i32();
     sc.down = r.i32();
     sc.voter_up = r.boolean();
+    sc.groups = r.vec_i32();
   }
   const std::uint64_t n_classes = r.u64();
   check(n_classes <= r.remaining(), "class count exceeds payload");
@@ -225,6 +234,11 @@ std::shared_ptr<const StructureArtifact> decode_structure_artifact(
     const int k = r.i32();
     cls = std::make_tuple(i, j, k);
   }
+  const std::uint64_t n_group_classes = r.u64();
+  check(n_group_classes == 0 || n_group_classes == n_classes,
+        "group classes must be absent or match the class count");
+  artifact->group_classes.resize(static_cast<std::size_t>(n_group_classes));
+  for (std::vector<int>& cls : artifact->group_classes) cls = r.vec_i32();
   artifact->class_of_state = r.vec_sizes();
   check(artifact->class_of_state.size() == n,
         "class map does not match state count");

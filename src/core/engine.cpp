@@ -130,12 +130,11 @@ RunResult Engine::simulate(const SystemParameters& params,
   }
 }
 
-RunResult Engine::simulate_impl(const SystemParameters& params,
+RunResult Engine::simulate_impl(const SystemParameters& raw,
                                 const SimulateOptions& options) const {
-  params.validate();
+  raw.validate();
+  const SystemParameters params = raw.canonicalized();
   const BuiltModel model = PerceptionModelFactory::build(params);
-  const auto rewards =
-      make_reliability_model(params, analyzer_options_.convention);
   const sim::DspnSimulator simulator(model.net);
   sim::SimulationOptions sim_options;
   sim_options.horizon = options.horizon;
@@ -143,13 +142,29 @@ RunResult Engine::simulate_impl(const SystemParameters& params,
                                 ? options.warmup_time
                                 : options.horizon / 100.0;
   sim_options.seed = options.seed;
-  sim::ReplicationEstimate estimate = simulator.estimate(
-      [&](const petri::Marking& m) {
-        return rewards->state_reliability(model.healthy(m),
-                                          model.compromised(m),
-                                          model.down(m));
-      },
-      sim_options, options.replications, options.confidence_level);
+  // Heterogeneous models take their rewards from the per-group model over
+  // per-group marking counts; homogeneous ones keep the scalar (i, j, k)
+  // path (bit-identical to before the module-group refactor).
+  sim::ReplicationEstimate estimate;
+  if (model.groups.empty()) {
+    const auto rewards =
+        make_reliability_model(params, analyzer_options_.convention);
+    estimate = simulator.estimate(
+        [&](const petri::Marking& m) {
+          return rewards->state_reliability(model.healthy(m),
+                                            model.compromised(m),
+                                            model.down(m));
+        },
+        sim_options, options.replications, options.confidence_level);
+  } else {
+    const auto rewards =
+        make_group_reliability_model(params, analyzer_options_.convention);
+    estimate = simulator.estimate(
+        [&](const petri::Marking& m) {
+          return rewards->state_reliability_flat(model.group_counts(m));
+        },
+        sim_options, options.replications, options.confidence_level);
+  }
   RunResult result = snapshot("simulate", params, options.seed);
   result.estimate = estimate;
   result.simulated = true;

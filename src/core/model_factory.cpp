@@ -1,6 +1,7 @@
 #include "src/core/model_factory.hpp"
 
 #include "src/util/contracts.hpp"
+#include "src/util/string_util.hpp"
 
 namespace nvp::core {
 
@@ -83,14 +84,18 @@ void add_voter_lifecycle(PetriNet& net, const SystemParameters& params,
 
 BuiltModel PerceptionModelFactory::build(const SystemParameters& params) {
   params.validate();
-  return params.rejuvenation ? with_rejuvenation(params)
-                             : without_rejuvenation(params);
+  const SystemParameters canon = params.canonicalized();
+  if (!canon.groups.empty()) return with_groups(canon);
+  return canon.rejuvenation ? with_rejuvenation(canon)
+                            : without_rejuvenation(canon);
 }
 
 BuiltModel PerceptionModelFactory::without_rejuvenation(
     const SystemParameters& params) {
   params.validate();
   NVP_EXPECTS(!params.rejuvenation);
+  NVP_EXPECTS_MSG(params.groups.empty(),
+                  "module-group configs build through with_groups");
   BuiltModel model;
   model.net = PetriNet("perception_no_rejuvenation");
   model.pmh = model.net.add_place(
@@ -107,6 +112,8 @@ BuiltModel PerceptionModelFactory::with_rejuvenation(
     const SystemParameters& params) {
   params.validate();
   NVP_EXPECTS(params.rejuvenation);
+  NVP_EXPECTS_MSG(params.groups.empty(),
+                  "module-group configs build through with_groups");
   const TokenCount r = static_cast<TokenCount>(params.max_rejuvenating);
 
   BuiltModel model;
@@ -214,6 +221,8 @@ BuiltModel PerceptionModelFactory::with_rejuvenation_erlang(
     const SystemParameters& params, int stages) {
   params.validate();
   NVP_EXPECTS(params.rejuvenation);
+  NVP_EXPECTS_MSG(params.canonicalized().groups.empty(),
+                  "Erlangization is not supported for module-group models");
   NVP_EXPECTS_MSG(stages >= 1, "Erlangization needs at least one stage");
   const TokenCount r = static_cast<TokenCount>(params.max_rejuvenating);
   const auto k = static_cast<TokenCount>(stages);
@@ -296,6 +305,198 @@ BuiltModel PerceptionModelFactory::with_rejuvenation_erlang(
   });
 
   add_voter_lifecycle(net, params, model);
+  net.validate();
+  return model;
+}
+
+BuiltModel PerceptionModelFactory::with_groups(
+    const SystemParameters& params) {
+  params.validate();
+  const std::vector<ModuleGroup> groups = params.effective_groups();
+  const bool infinite =
+      params.semantics == FiringSemantics::kInfiniteServer;
+
+  BuiltModel model;
+  model.net = PetriNet("perception_groups");
+  PetriNet& net = model.net;
+
+  // --- Per-group life-cycle places ---------------------------------------
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const ModuleGroup& spec = groups[g];
+    BuiltModel::GroupPlaces gp;
+    gp.pmh = net.add_place(util::format("Pmh%zu", g + 1),
+                           static_cast<TokenCount>(spec.count));
+    gp.pmc = net.add_place(util::format("Pmc%zu", g + 1), 0);
+    gp.pmf = net.add_place(util::format("Pmf%zu", g + 1), 0);
+    if (spec.repair_degradation > 0.0)
+      gp.pmd = net.add_place(util::format("Pmd%zu", g + 1), 0);
+    if (params.rejuvenation)
+      gp.pmr = net.add_place(util::format("Pmr%zu", g + 1), 0);
+    model.groups.push_back(gp);
+  }
+  // Alias the scalar handles at group 1 so stray scalar reads stay inside
+  // the marking; the aggregate accessors branch on `groups` instead.
+  model.pmh = model.groups.front().pmh;
+  model.pmc = model.groups.front().pmc;
+  model.pmf = model.groups.front().pmf;
+  if (params.rejuvenation) model.pmr = model.groups.front().pmr;
+
+  // --- Per-group life-cycle transitions ----------------------------------
+  // Imperfect repair (q > 0) replaces the single repair Tr_g by competing
+  // exponentials: Tr_g at (1-q) mu_g returns the module good-as-new, Trd_g
+  // at q mu_g leaves it degraded (Pmd_g); the race realizes the branch
+  // probability q. Degraded modules vote like healthy ones but compromise
+  // at the inflated rate lambda_c,g / (1-q). Detection-based recovery is a
+  // repair action too, so it branches the same way.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const ModuleGroup& spec = groups[g];
+    const BuiltModel::GroupPlaces& gp = model.groups[g];
+    const double lambda_c = 1.0 / spec.mean_time_to_compromise;
+    const double lambda = 1.0 / spec.mean_time_to_failure;
+    const double mu = 1.0 / spec.mean_time_to_repair;
+    const double q = spec.repair_degradation;
+    const PlaceId pmh = gp.pmh, pmc = gp.pmc, pmf = gp.pmf;
+
+    const auto add_exp = [&](const std::string& name, double rate,
+                             PlaceId from, PlaceId to) {
+      const TransitionId t = net.add_exponential(name, rate);
+      net.add_input_arc(t, from);
+      net.add_output_arc(t, to);
+      if (infinite) {
+        net.set_rate_fn(t, [rate, from](const Marking& m) {
+          return rate * static_cast<double>(m[from.index]);
+        });
+      }
+      return t;
+    };
+
+    add_exp(util::format("Tc%zu", g + 1), lambda_c, pmh, pmc);
+    add_exp(util::format("Tf%zu", g + 1), lambda, pmc, pmf);
+    if (q == 0.0) {
+      add_exp(util::format("Tr%zu", g + 1), mu, pmf, pmh);
+    } else {
+      add_exp(util::format("Tr%zu", g + 1), (1.0 - q) * mu, pmf, pmh);
+      add_exp(util::format("Trd%zu", g + 1), q * mu, pmf, *gp.pmd);
+      add_exp(util::format("Tcd%zu", g + 1), lambda_c / (1.0 - q), *gp.pmd,
+              pmc);
+    }
+    if (params.detection_rate > 0.0) {
+      const double delta = params.detection_rate;
+      if (q == 0.0) {
+        add_exp(util::format("Td%zu", g + 1), delta, pmc, pmh);
+      } else {
+        add_exp(util::format("Td%zu", g + 1), (1.0 - q) * delta, pmc, pmh);
+        add_exp(util::format("Tdd%zu", g + 1), q * delta, pmc, *gp.pmd);
+      }
+    }
+  }
+
+  add_voter_lifecycle(net, params, model);
+
+  if (!params.rejuvenation) {
+    net.validate();
+    return model;
+  }
+
+  // --- Global rejuvenation clock and credit pool -------------------------
+  // One clock and one batch of r credits serve all groups; the guards of
+  // the homogeneous model generalize by replacing #Pmc/#Pmh/#Pmr/#Pmf with
+  // sums over the groups.
+  const TokenCount r = static_cast<TokenCount>(params.max_rejuvenating);
+  const PlaceId pac = net.add_place("Pac", 0);
+  const PlaceId prc = net.add_place("Prc", 1);
+  const PlaceId ptr = net.add_place("Ptr", 0);
+  model.pac = pac;
+  model.prc = prc;
+  model.ptr = ptr;
+
+  std::vector<std::size_t> pmr_idx, pmf_idx, operational_idx;
+  for (const BuiltModel::GroupPlaces& gp : model.groups) {
+    pmr_idx.push_back(gp.pmr->index);
+    pmf_idx.push_back(gp.pmf.index);
+    operational_idx.push_back(gp.pmh.index);
+    operational_idx.push_back(gp.pmc.index);
+    if (gp.pmd) operational_idx.push_back(gp.pmd->index);
+  }
+  const auto sum_at = [](const Marking& m,
+                         const std::vector<std::size_t>& idx) {
+    TokenCount total = 0;
+    for (std::size_t i : idx) total += m[i];
+    return total;
+  };
+
+  const TransitionId trc =
+      net.add_deterministic("Trc", params.rejuvenation_interval);
+  net.add_input_arc(trc, prc);
+  net.add_output_arc(trc, ptr);
+
+  const TransitionId trt = net.add_immediate("Trt", 1.0, /*priority=*/1);
+  net.add_input_arc(trt, ptr);
+  net.add_output_arc(trt, prc);
+  net.set_guard(trt, [pac, pmr_idx, sum_at](const Marking& m) {
+    return sum_at(m, pmr_idx) + m[pac.index] > 0;  // g3
+  });
+
+  const TransitionId tac = net.add_immediate("Tac", 1.0, /*priority=*/2);
+  net.add_output_arc(tac, pac, r);  // w3
+  net.set_guard(tac, [ptr, pac, pmr_idx, sum_at](const Marking& m) {
+    return m[ptr.index] >= 1 &&
+           m[pac.index] + sum_at(m, pmr_idx) == 0;  // g1
+  });
+
+  // --- Per-group target selection ----------------------------------------
+  // Trj1_g/Trj2_g/Trj3_g pick a compromised/healthy/degraded module of
+  // group g with probability proportional to its share of all operational
+  // modules, generalizing the homogeneous w1/w2 = #Pmc : #Pmh split.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const BuiltModel::GroupPlaces& gp = model.groups[g];
+    const auto add_group_pick = [&](const std::string& name,
+                                    PlaceId source) {
+      const TransitionId t = net.add_immediate(name, 1.0, /*priority=*/1);
+      net.add_input_arc(t, source);
+      net.add_input_arc(t, pac);
+      net.add_output_arc(t, *gp.pmr);
+      net.set_guard(t, [pmf_idx, pmr_idx, sum_at, r](const Marking& m) {
+        return sum_at(m, pmf_idx) + sum_at(m, pmr_idx) < r;  // g2
+      });
+      net.set_rate_fn(
+          t, [source, operational_idx, sum_at](const Marking& m) {
+            const double share = static_cast<double>(m[source.index]);
+            const double total =
+                static_cast<double>(sum_at(m, operational_idx));
+            return share == 0.0 ? 1e-5 : share / total;
+          });
+    };
+    add_group_pick(util::format("Trj1_%zu", g + 1), gp.pmc);
+    add_group_pick(util::format("Trj2_%zu", g + 1), gp.pmh);
+    if (gp.pmd) add_group_pick(util::format("Trj3_%zu", g + 1), *gp.pmd);
+  }
+
+  // --- Batch completion --------------------------------------------------
+  // A single Trj returns every rejuvenating module to its own group's
+  // healthy place (rejuvenation reinstalls from a clean image, so it is
+  // good-as-new even under imperfect repair). The per-group arcs use
+  // marking-dependent weights #Pmr_g — a weight of 0 consumes/produces
+  // nothing, which keeps one transition sufficient.
+  const TransitionId trj = net.add_exponential("Trj", 1.0);
+  const double duration = params.rejuvenation_duration;
+  net.set_rate_fn(trj, [pmr_idx, sum_at, duration](const Marking& m) {
+    return 1.0 / (static_cast<double>(sum_at(m, pmr_idx)) * duration);
+  });
+  net.set_guard(trj, [pmr_idx, sum_at](const Marking& m) {
+    return sum_at(m, pmr_idx) >= 1;
+  });
+  for (const BuiltModel::GroupPlaces& gp : model.groups) {
+    const PlaceId pmr = *gp.pmr;
+    const PlaceId pmh = gp.pmh;
+    net.add_input_arc(trj, pmr, [pmr](const Marking& m) {
+      return m[pmr.index];
+    });
+    net.add_output_arc(trj, pmh, [pmr](const Marking& m) {
+      return m[pmr.index];
+    });
+  }
+
   net.validate();
   return model;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "src/core/params.hpp"
 #include "src/petri/net.hpp"
@@ -23,14 +24,77 @@ struct BuiltModel {
   std::optional<petri::PlaceId> pvu;  ///< voter up
   std::optional<petri::PlaceId> pvd;  ///< voter down
 
-  /// Healthy module count i in a marking.
-  int healthy(const petri::Marking& m) const { return m[pmh.index]; }
+  /// Per-group place handles of a heterogeneous (module-group) model;
+  /// empty for the homogeneous builders. `pmd` (imperfect-repair degraded
+  /// modules) exists only for groups with repair_degradation > 0; `pmr`
+  /// only with rejuvenation.
+  struct GroupPlaces {
+    petri::PlaceId pmh{0};
+    petri::PlaceId pmc{0};
+    petri::PlaceId pmf{0};
+    std::optional<petri::PlaceId> pmd;
+    std::optional<petri::PlaceId> pmr;
+  };
+  std::vector<GroupPlaces> groups;
+
+  /// Healthy count of group g (degraded modules vote like healthy ones and
+  /// are counted here; only their compromise rate differs).
+  int group_healthy(std::size_t g, const petri::Marking& m) const {
+    const GroupPlaces& gp = groups[g];
+    int i = m[gp.pmh.index];
+    if (gp.pmd) i += m[gp.pmd->index];
+    return i;
+  }
+  /// Compromised count of group g.
+  int group_compromised(std::size_t g, const petri::Marking& m) const {
+    return m[groups[g].pmc.index];
+  }
+  /// Down-or-rejuvenating count of group g.
+  int group_down(std::size_t g, const petri::Marking& m) const {
+    const GroupPlaces& gp = groups[g];
+    int k = m[gp.pmf.index];
+    if (gp.pmr) k += m[gp.pmr->index];
+    return k;
+  }
+  /// Flattened (healthy, compromised, down) triples, group by group —
+  /// the layout GroupReliabilityModel::state_reliability_flat expects.
+  std::vector<int> group_counts(const petri::Marking& m) const {
+    std::vector<int> flat;
+    flat.reserve(3 * groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      flat.push_back(group_healthy(g, m));
+      flat.push_back(group_compromised(g, m));
+      flat.push_back(group_down(g, m));
+    }
+    return flat;
+  }
+
+  /// Healthy module count i in a marking (summed over groups for a
+  /// heterogeneous model).
+  int healthy(const petri::Marking& m) const {
+    if (groups.empty()) return m[pmh.index];
+    int i = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g)
+      i += group_healthy(g, m);
+    return i;
+  }
   /// Compromised module count j in a marking.
-  int compromised(const petri::Marking& m) const { return m[pmc.index]; }
+  int compromised(const petri::Marking& m) const {
+    if (groups.empty()) return m[pmc.index];
+    int j = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g)
+      j += group_compromised(g, m);
+    return j;
+  }
   /// Down-or-rejuvenating count k in a marking (#Pmf + #Pmr).
   int down(const petri::Marking& m) const {
-    int k = m[pmf.index];
-    if (pmr) k += m[pmr->index];
+    if (groups.empty()) {
+      int k = m[pmf.index];
+      if (pmr) k += m[pmr->index];
+      return k;
+    }
+    int k = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) k += group_down(g, m);
     return k;
   }
   /// True when the voter is operational in this marking (always true
@@ -56,7 +120,10 @@ struct BuiltModel {
 /// literal.
 class PerceptionModelFactory {
  public:
-  /// Builds the model matching `params` (validated first).
+  /// Builds the model matching `params` (canonicalized and validated
+  /// first): the homogeneous Fig. 2 nets for scalar configurations — so a
+  /// single perfect-repair group folds to exactly the legacy net — and the
+  /// module-group net for genuinely heterogeneous ones.
   static BuiltModel build(const SystemParameters& params);
 
   /// Fig. 2(a): N-version life-cycle without rejuvenation.
@@ -64,6 +131,19 @@ class PerceptionModelFactory {
 
   /// Fig. 2(b, c): life-cycle + clock + rejuvenation mechanism.
   static BuiltModel with_rejuvenation(const SystemParameters& params);
+
+  /// Module-group generalization: each group g carries its own life-cycle
+  /// places (Pmh_g/Pmc_g/Pmf_g, plus Pmd_g when repair is imperfect and
+  /// Pmr_g with rejuvenation) and rates; the rejuvenation clock and credit
+  /// pool stay global with guards over group sums, the target-selection
+  /// immediates split per group with weights proportional to the group's
+  /// share of operational modules, and a single Trj completes the batch
+  /// through marking-dependent per-group arcs. Imperfect repair is the
+  /// competing-exponential branch Tr_g ((1-q) mu_g, good-as-new) vs Trd_g
+  /// (q mu_g, degraded): degraded modules vote like healthy ones but
+  /// compromise at the inflated rate lambda_c,g / (1 - q). See DESIGN.md
+  /// §15.
+  static BuiltModel with_groups(const SystemParameters& params);
 
   /// Erlangized variant of the rejuvenating model: the deterministic clock
   /// Trc is replaced by `stages` exponential stages (rate stages/interval

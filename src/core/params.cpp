@@ -1,9 +1,75 @@
 #include "src/core/params.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "src/util/contracts.hpp"
 #include "src/util/string_util.hpp"
 
 namespace nvp::core {
+
+bool SystemParameters::heterogeneous() const {
+  return !canonicalized().groups.empty();
+}
+
+SystemParameters SystemParameters::canonicalized() const {
+  if (groups.empty()) return *this;
+  if (groups.size() > 1) return *this;
+  const ModuleGroup& g = groups.front();
+  // A single group with perfect repair is the scalar form: uniform weights
+  // never change a verdict (the quota scales with them), so the weight
+  // folds away too. Imperfect repair adds the degraded place and cannot
+  // fold.
+  if (g.repair_degradation != 0.0) return *this;
+  SystemParameters folded = *this;
+  folded.groups.clear();
+  folded.mean_time_to_compromise = g.mean_time_to_compromise;
+  folded.mean_time_to_failure = g.mean_time_to_failure;
+  folded.mean_time_to_repair = g.mean_time_to_repair;
+  folded.p = g.p;
+  folded.p_prime = g.p_prime;
+  return folded;
+}
+
+std::vector<ModuleGroup> SystemParameters::effective_groups() const {
+  if (!groups.empty()) return groups;
+  ModuleGroup g;
+  g.count = n_versions;
+  g.mean_time_to_compromise = mean_time_to_compromise;
+  g.mean_time_to_failure = mean_time_to_failure;
+  g.mean_time_to_repair = mean_time_to_repair;
+  g.p = p;
+  g.p_prime = p_prime;
+  return {g};
+}
+
+std::vector<double> SystemParameters::module_weights() const {
+  std::vector<double> weights;
+  weights.reserve(static_cast<std::size_t>(n_versions));
+  if (groups.empty()) {
+    weights.assign(static_cast<std::size_t>(n_versions), 1.0);
+    return weights;
+  }
+  for (const ModuleGroup& g : groups)
+    weights.insert(weights.end(), static_cast<std::size_t>(g.count),
+                   g.weight);
+  return weights;
+}
+
+double SystemParameters::weighted_quota() const {
+  std::vector<double> weights = module_weights();
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  const int f = max_faulty;
+  const int r = rejuvenation ? max_rejuvenating : 0;
+  double wf = 0.0;
+  for (int i = 0; i < f && i < static_cast<int>(weights.size()); ++i)
+    wf += weights[static_cast<std::size_t>(i)];
+  double wr = 0.0;
+  for (int i = 0; i < r && i < static_cast<int>(weights.size()); ++i)
+    wr += weights[static_cast<std::size_t>(i)];
+  const double w_min = weights.empty() ? 1.0 : weights.back();
+  return 2.0 * wf + wr + w_min;
+}
 
 int SystemParameters::voting_threshold() const {
   return rejuvenation ? 2 * max_faulty + max_rejuvenating + 1
@@ -45,10 +111,52 @@ void SystemParameters::validate() const {
     NVP_EXPECTS_MSG(voter_mtbf > 0.0, "voter MTBF must be positive");
     NVP_EXPECTS_MSG(voter_mttr > 0.0, "voter MTTR must be positive");
   }
+  if (!groups.empty()) {
+    int total = 0;
+    for (const ModuleGroup& g : groups) {
+      NVP_EXPECTS_MSG(g.count >= 1, "each module group needs count >= 1");
+      NVP_EXPECTS_MSG(g.mean_time_to_compromise > 0.0,
+                      "group 1/lambda_c must be positive");
+      NVP_EXPECTS_MSG(g.mean_time_to_failure > 0.0,
+                      "group 1/lambda must be positive");
+      NVP_EXPECTS_MSG(g.mean_time_to_repair > 0.0,
+                      "group 1/mu must be positive");
+      NVP_EXPECTS_MSG(g.p >= 0.0 && g.p <= 1.0,
+                      "group p must be in [0, 1]");
+      NVP_EXPECTS_MSG(g.p_prime >= 0.0 && g.p_prime <= 1.0,
+                      "group p' must be in [0, 1]");
+      NVP_EXPECTS_MSG(g.weight > 0.0, "group weight must be positive");
+      NVP_EXPECTS_MSG(g.repair_degradation >= 0.0 &&
+                          g.repair_degradation < 1.0,
+                      "repair degradation must be in [0, 1)");
+      total += g.count;
+    }
+    NVP_EXPECTS_MSG(total == n_versions,
+                    "module group counts must sum to n_versions");
+    // Weighted-quota feasibility (reduces to the unit-weight rules above):
+    // the voter must stay decidable with the f heaviest modules lying and
+    // (with rejuvenation) the r heaviest silent.
+    std::vector<double> weights = module_weights();
+    std::sort(weights.begin(), weights.end(), std::greater<double>());
+    const double w_total =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    double wf = 0.0;
+    for (int i = 0; i < max_faulty && i < static_cast<int>(weights.size());
+         ++i)
+      wf += weights[static_cast<std::size_t>(i)];
+    double wr = 0.0;
+    const int r = rejuvenation ? max_rejuvenating : 0;
+    for (int i = 0; i < r && i < static_cast<int>(weights.size()); ++i)
+      wr += weights[static_cast<std::size_t>(i)];
+    const double w_min = weights.back();
+    NVP_EXPECTS_MSG(w_total + 1e-12 >= 3.0 * wf + 2.0 * wr + w_min,
+                    "weighted voting requires total weight >= "
+                    "3 W_f + 2 W_r + w_min");
+  }
 }
 
 std::string SystemParameters::describe() const {
-  return util::format(
+  std::string base = util::format(
       "N=%d f=%d r=%d alpha=%.3g p=%.3g p'=%.3g 1/lc=%.6g 1/l=%.6g "
       "1/mu=%.6g rejuv=%s interval=%.6g duration=%.6g semantics=%s",
       n_versions, max_faulty, max_rejuvenating, alpha, p, p_prime,
@@ -57,6 +165,14 @@ std::string SystemParameters::describe() const {
       rejuvenation_duration,
       semantics == FiringSemantics::kSingleServer ? "single-server"
                                                   : "infinite-server");
+  for (const ModuleGroup& g : groups)
+    base += util::format(
+        " group{%dx 1/lc=%.6g 1/l=%.6g 1/mu=%.6g p=%.3g p'=%.3g w=%.3g "
+        "q=%.3g}",
+        g.count, g.mean_time_to_compromise, g.mean_time_to_failure,
+        g.mean_time_to_repair, g.p, g.p_prime, g.weight,
+        g.repair_degradation);
+  return base;
 }
 
 SystemParameters SystemParameters::paper_four_version() {

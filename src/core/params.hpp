@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace nvp::core {
 
@@ -21,6 +22,38 @@ enum class FiringSemantics { kSingleServer, kInfiniteServer };
 ///    that the voter actually produces a *correct* output (inconclusive
 ///    outputs are not credited as reliable).
 enum class RewardConvention { kPaperVerbatim, kGeneralized, kStrict };
+
+/// One group of interchangeable ML module versions inside a heterogeneous
+/// architecture. The paper's models are the special case of a single group;
+/// a non-empty SystemParameters::groups vector generalizes every layer to
+/// per-group rates/inaccuracies (Gao, Wen & Machida's weighted-voting
+/// follow-up), per-group voting weights, and imperfect repair (Flammini et
+/// al., arXiv:1304.6656).
+struct ModuleGroup {
+  int count = 0;  ///< modules in this group (sum over groups = n_versions)
+
+  double mean_time_to_compromise = 1523.0;  ///< 1/lambda_c of this group
+  double mean_time_to_failure = 3000.0;     ///< 1/lambda of this group
+  double mean_time_to_repair = 3.0;         ///< 1/mu of this group
+
+  double p = 0.08;       ///< healthy inaccuracy of this group's modules
+  double p_prime = 0.5;  ///< compromised inaccuracy of this group's modules
+
+  /// Voting weight of each module in this group. Uniform weights reproduce
+  /// the counting voter; heavier groups (e.g. a formally verified or
+  /// hardware-diverse version) move the voter toward trusting them. The
+  /// decision quota generalizes 2f+r+1 to weighted mass — see
+  /// SystemParameters::weighted_quota().
+  double weight = 1.0;
+
+  /// Imperfect repair (Flammini-style): with this probability q a completed
+  /// repair returns the module *degraded* instead of good-as-new. A
+  /// degraded module votes like a healthy one (inaccuracy p) but is
+  /// compromised at the elevated rate lambda_c / (1 - q) — the single knob
+  /// doubles as the per-group rate multiplier. Must be in [0, 1); 0 keeps
+  /// the classic good-as-new repair and emits no degraded place at all.
+  double repair_degradation = 0.0;
+};
 
 /// Input parameters of the DSPN models (the paper's Table II) plus the
 /// architectural knobs (N, f, r, rejuvenation on/off, firing semantics).
@@ -59,6 +92,48 @@ struct SystemParameters {
   double voter_mtbf = 1.0e6;  ///< mean time between voter failures
   double voter_mttr = 10.0;   ///< mean time to repair the voter
 
+  /// Heterogeneous module groups. Empty (the default) means exactly the
+  /// paper's homogeneous semantics driven by the scalar fields above. When
+  /// non-empty, the group counts must sum to n_versions and the scalar
+  /// rate/inaccuracy fields are ignored in favour of the per-group values
+  /// (alpha stays global: the common cause couples modules *within* a
+  /// group; groups err independently of each other).
+  ///
+  /// Canonical form: a single group with uniform weight and perfect repair
+  /// is semantically identical to the scalar form, and canonicalized()
+  /// folds it back so such configs hash to the same cache/store keys and
+  /// run the exact legacy code paths (bit-identical results by
+  /// construction). Multi-group configs never fold — two groups of 3 are
+  /// *not* one pool of 6 (per-group single-server life-cycles differ).
+  std::vector<ModuleGroup> groups;
+
+  /// True when, after canonicalization, the configuration is genuinely
+  /// heterogeneous (multi-group, non-uniform weight, or imperfect repair).
+  bool heterogeneous() const;
+
+  /// Folds a groups vector that is semantically the scalar form (single
+  /// group, uniform weight, perfect repair) back into the scalar fields,
+  /// so homogeneous configs have one canonical identity regardless of how
+  /// they were spelled. Idempotent; returns *this otherwise unchanged.
+  SystemParameters canonicalized() const;
+
+  /// The groups vector with the scalar form expanded to one group — the
+  /// uniform view every group-generalized consumer iterates over.
+  std::vector<ModuleGroup> effective_groups() const;
+
+  /// Per-module voting weights in module order (group by group). All 1.0
+  /// for the scalar form.
+  std::vector<double> module_weights() const;
+
+  /// Weighted decision quota Q generalizing the counting threshold: with
+  /// W_f = sum of the f largest module weights, W_r = sum of the r largest
+  /// (0 without rejuvenation) and w_min the smallest weight,
+  /// Q = 2 W_f + W_r + w_min. For unit weights this is exactly
+  /// voting_threshold(). A verdict (correct or erroneous) requires agreeing
+  /// weight >= Q; the adversary/rejuvenator is assumed to take the heaviest
+  /// modules, which is what makes the rule safe.
+  double weighted_quota() const;
+
   /// Voter correctness threshold: 2f+1 without rejuvenation, 2f+r+1 with
   /// (assumptions A.2/A.3).
   int voting_threshold() const;
@@ -69,7 +144,9 @@ struct SystemParameters {
 
   /// Throws util::ContractViolation when a parameter is out of range
   /// (probabilities outside [0,1], non-positive times, n < 3f+1 or
-  /// n < 3f+2r+1 with rejuvenation, ...).
+  /// n < 3f+2r+1 with rejuvenation, ...). With groups, the counting rule
+  /// generalizes to weighted mass: total weight W >= 3 W_f + 2 W_r + w_min
+  /// (which reduces to the unit rules for uniform weights).
   void validate() const;
 
   /// One-line human-readable description.

@@ -1,6 +1,7 @@
 #include "src/core/reliability.hpp"
 
 #include <cmath>
+#include <functional>
 
 #include "src/util/contracts.hpp"
 
@@ -226,6 +227,136 @@ double GeneralizedReliability::state_reliability(int i, int j, int k) const {
     }
   }
   return p_correct;
+}
+
+// ---------------------------------------------------------------------------
+// Group model: heterogeneous rates/inaccuracies with weighted voting.
+// ---------------------------------------------------------------------------
+
+GroupReliabilityModel::GroupReliabilityModel(const SystemParameters& params,
+                                             bool strict)
+    : alpha_(params.alpha), strict_(strict) {
+  params.validate();
+  quota_ = params.weighted_quota();
+  for (const ModuleGroup& g : params.effective_groups()) {
+    Group group;
+    group.count = g.count;
+    group.p = g.p;
+    group.p_prime = g.p_prime;
+    group.weight = g.weight;
+    // Same properness condition as GeneralizedReliability, per group: the
+    // within-group common-cause pmf must be a distribution for every
+    // sub-pool size up to the group's count.
+    if (alpha_ > 0.0) {
+      const double total =
+          g.p / alpha_ * (1.0 - std::pow(1.0 - alpha_, g.count));
+      NVP_EXPECTS_MSG(total <= 1.0 + 1e-12,
+                      "common-cause model needs p(1-(1-a)^n)/a <= 1 per "
+                      "group (p too large for this alpha)");
+    } else {
+      NVP_EXPECTS_MSG(g.p * g.count <= 1.0 + 1e-12,
+                      "common-cause model with alpha = 0 needs n p <= 1");
+    }
+    groups_.push_back(group);
+    n_ += g.count;
+  }
+}
+
+double GroupReliabilityModel::healthy_error_pmf(std::size_t g, int i,
+                                                int h) const {
+  NVP_EXPECTS(g < groups_.size());
+  const Group& group = groups_[g];
+  NVP_EXPECTS(i >= 0 && i <= group.count);
+  NVP_EXPECTS(h >= 0);
+  if (h > i) return 0.0;
+  if (i == 0) return h == 0 ? 1.0 : 0.0;
+  if (h == 0) {
+    double some = 0.0;
+    for (int m = 1; m <= i; ++m) some += healthy_error_pmf(g, i, m);
+    return std::max(0.0, 1.0 - some);
+  }
+  return binomial_coefficient(i, h) * group.p * std::pow(alpha_, h - 1) *
+         std::pow(1.0 - alpha_, i - h);
+}
+
+double GroupReliabilityModel::compromised_error_pmf(std::size_t g, int j,
+                                                    int c) const {
+  NVP_EXPECTS(g < groups_.size());
+  const Group& group = groups_[g];
+  NVP_EXPECTS(j >= 0 && j <= group.count);
+  NVP_EXPECTS(c >= 0);
+  if (c > j) return 0.0;
+  return binomial_coefficient(j, c) * std::pow(group.p_prime, c) *
+         std::pow(1.0 - group.p_prime, j - c);
+}
+
+double GroupReliabilityModel::state_reliability(
+    const std::vector<GroupState>& state) const {
+  NVP_EXPECTS_MSG(state.size() == groups_.size(),
+                  "one GroupState per module group required");
+  constexpr double kEps = 1e-9;
+  double responding_mass = 0.0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const GroupState& s = state[g];
+    NVP_EXPECTS(s.healthy >= 0 && s.compromised >= 0 && s.down >= 0);
+    NVP_EXPECTS_MSG(s.healthy + s.compromised + s.down == groups_[g].count,
+                    "group state must sum to the group's module count");
+    responding_mass += groups_[g].weight * (s.healthy + s.compromised);
+  }
+  // The voter can never decide: too much weight is silent.
+  if (responding_mass < quota_ - kEps) return 0.0;
+
+  // Exact enumeration of the joint per-group error counts. Groups err
+  // independently, so the joint pmf is the product of the per-group pmfs;
+  // the recursion accumulates P(wrong weight >= Q) (paper convention) or
+  // P(correct weight >= Q) (strict). Group sizes are small (tangible
+  // classes of the DSPN), so the product of (i_g+1)(j_g+1) terms stays
+  // tiny; iteration order is fixed for bit-reproducible sums.
+  double decided = 0.0;
+  // Recursive lambda over groups with running probability and mass.
+  const std::function<void(std::size_t, double, double)> walk =
+      [&](std::size_t g, double prob, double mass) {
+        if (prob == 0.0) return;
+        if (g == groups_.size()) {
+          if (mass >= quota_ - kEps) decided += prob;
+          return;
+        }
+        const GroupState& s = state[g];
+        const double w = groups_[g].weight;
+        for (int h = 0; h <= s.healthy; ++h) {
+          const double ph = healthy_error_pmf(g, s.healthy, h);
+          if (ph == 0.0) continue;
+          for (int c = 0; c <= s.compromised; ++c) {
+            const double pc = compromised_error_pmf(g, s.compromised, c);
+            if (pc == 0.0) continue;
+            const double group_mass =
+                strict_ ? w * ((s.healthy - h) + (s.compromised - c))
+                        : w * (h + c);
+            walk(g + 1, prob * ph * pc, mass + group_mass);
+          }
+        }
+      };
+  walk(0, 1.0, 0.0);
+  return strict_ ? decided : 1.0 - decided;
+}
+
+double GroupReliabilityModel::state_reliability_flat(
+    const std::vector<int>& flat) const {
+  NVP_EXPECTS_MSG(flat.size() == 3 * groups_.size(),
+                  "flattened group state must carry 3 ints per group");
+  std::vector<GroupState> state(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    state[g].healthy = flat[3 * g];
+    state[g].compromised = flat[3 * g + 1];
+    state[g].down = flat[3 * g + 2];
+  }
+  return state_reliability(state);
+}
+
+std::unique_ptr<GroupReliabilityModel> make_group_reliability_model(
+    const SystemParameters& params, RewardConvention convention) {
+  return std::make_unique<GroupReliabilityModel>(
+      params, convention == RewardConvention::kStrict);
 }
 
 std::unique_ptr<ReliabilityModel> make_reliability_model(

@@ -103,6 +103,74 @@ std::unique_ptr<ReliabilityModel> make_reliability_model(
     const SystemParameters& params,
     RewardConvention convention = RewardConvention::kPaperVerbatim);
 
+/// Per-group module-state counts of one tangible class of a heterogeneous
+/// architecture. `healthy` includes imperfect-repair degraded modules:
+/// they vote exactly like healthy ones (inaccuracy p of their group); only
+/// their compromise rate differs, which is a rates-stage concern.
+struct GroupState {
+  int healthy = 0;
+  int compromised = 0;
+  int down = 0;
+};
+
+/// Reward model over per-group counts generalizing GeneralizedReliability
+/// to heterogeneous architectures with weighted voting:
+///  * within each group, healthy modules err through the group's common
+///    cause: P(one specific subset of h of i errs) =
+///    p_g alpha^(h-1) (1-alpha)^(i-h) (alpha stays global, coupling
+///    modules of one diversity pool; distinct groups err independently);
+///  * compromised modules err independently with the group's p';
+///  * verdicts are by weighted mass against the weighted quota Q (see
+///    SystemParameters::weighted_quota): reward 0 when the responding
+///    weight cannot reach Q, else 1 - P(wrong weight >= Q) (paper
+///    convention) or P(correct weight >= Q) (strict).
+/// For a single unit-weight group this reduces exactly to
+/// GeneralizedReliability (asserted by tests); the factory still routes
+/// folded homogeneous configs through the legacy classes so their results
+/// are bit-identical by construction.
+class GroupReliabilityModel {
+ public:
+  GroupReliabilityModel(const SystemParameters& params, bool strict);
+
+  int versions() const { return n_; }
+  std::size_t group_count() const { return groups_.size(); }
+  double quota() const { return quota_; }
+
+  /// Reward of the state with the given per-group counts (one entry per
+  /// group; each group's counts must sum to its size).
+  double state_reliability(const std::vector<GroupState>& state) const;
+
+  /// Flattened-variant accessor used by the staged pipeline: `flat` holds
+  /// (healthy, compromised, down) triples group by group.
+  double state_reliability_flat(const std::vector<int>& flat) const;
+
+  /// P(exactly h of i healthy modules of group g err); exposed for tests
+  /// and the Monte-Carlo samplers.
+  double healthy_error_pmf(std::size_t g, int i, int h) const;
+  /// P(exactly c of j compromised modules of group g err).
+  double compromised_error_pmf(std::size_t g, int j, int c) const;
+
+ private:
+  struct Group {
+    int count = 0;
+    double p = 0.0;
+    double p_prime = 0.0;
+    double weight = 1.0;
+  };
+  std::vector<Group> groups_;
+  int n_ = 0;
+  double alpha_ = 0.0;
+  double quota_ = 0.0;
+  bool strict_ = false;
+};
+
+/// Builds the group reward model for a (canonicalized) heterogeneous
+/// configuration. kPaperVerbatim falls back to the generalized derivation —
+/// no verbatim appendix exists for heterogeneous architectures.
+std::unique_ptr<GroupReliabilityModel> make_group_reliability_model(
+    const SystemParameters& params,
+    RewardConvention convention = RewardConvention::kGeneralized);
+
 /// n-choose-k as a double (exact for the small arguments used here).
 double binomial_coefficient(int n, int k);
 

@@ -138,14 +138,18 @@ bool reward_gate(const StructureArtifact::StateClass& sc,
 
 }  // namespace
 
-std::uint64_t structure_stage_key(const SystemParameters& params) {
+std::uint64_t structure_stage_key(const SystemParameters& raw) {
+  // Canonicalize first: a single perfect-repair group IS the scalar
+  // configuration, and must hash to the same key so it hits the same
+  // cached structures (bit-identity by construction).
+  const SystemParameters params = raw.canonicalized();
   runtime::Fnv1a h;
   // Structural subset only: these parameters decide which places,
   // transitions, arcs, guards, and immediate weights the factory emits —
   // and therefore the reachability graph's shape. Timing values are
   // deliberately absent. Bump the tag when the factory's structural
-  // mapping changes.
-  h.str("core::staged/structure/v1");
+  // mapping changes (v2: module-group models).
+  h.str("core::staged/structure/v2");
   h.i32(params.n_versions)
       .i32(params.max_faulty)
       .i32(params.max_rejuvenating)
@@ -155,14 +159,21 @@ std::uint64_t structure_stage_key(const SystemParameters& params) {
       // Detection adds the Td transition only when the rate is positive;
       // the rate's value belongs to the rates stage.
       .boolean(params.detection_rate > 0.0);
+  // Module groups change the net's shape through their counts and through
+  // the presence of the degraded place (q > 0); the rate values belong to
+  // the rates stage.
+  h.u64(params.groups.size());
+  for (const ModuleGroup& g : params.groups)
+    h.i32(g.count).boolean(g.repair_degradation > 0.0);
   return h.digest();
 }
 
 std::uint64_t rates_stage_key(
-    const SystemParameters& params,
+    const SystemParameters& raw,
     const markov::DspnSteadyStateSolver::Options& solver) {
+  const SystemParameters params = raw.canonicalized();
   runtime::Fnv1a h;
-  h.str("core::staged/rates/v3");
+  h.str("core::staged/rates/v4");
   h.u64(structure_stage_key(params));
   h.f64(params.mean_time_to_compromise)
       .f64(params.mean_time_to_failure)
@@ -172,6 +183,11 @@ std::uint64_t rates_stage_key(
       .f64(params.detection_rate)
       .f64(params.voter_mtbf)
       .f64(params.voter_mttr);
+  for (const ModuleGroup& g : params.groups)
+    h.f64(g.mean_time_to_compromise)
+        .f64(g.mean_time_to_failure)
+        .f64(g.mean_time_to_repair)
+        .f64(g.repair_degradation);
   // Every solver knob changes the solve's floating-point path (backend,
   // chain order, GMRES controls, warm start ...), so distributions must
   // never alias across configs; the canonical hash covers the complete
@@ -180,32 +196,39 @@ std::uint64_t rates_stage_key(
   return h.digest();
 }
 
-std::uint64_t reward_table_stage_key(const SystemParameters& params,
+std::uint64_t reward_table_stage_key(const SystemParameters& raw,
                                      RewardConvention convention) {
+  const SystemParameters params = raw.canonicalized();
   runtime::Fnv1a h;
-  h.str("core::staged/reward_table/v1");
+  h.str("core::staged/reward_table/v2");
   // R_{i,j,k} depends on the class set (structure) and the error-model
   // parameters — not on any timing value, so the table survives every
   // rate-only mutation.
   h.u64(structure_stage_key(params));
   h.f64(params.alpha).f64(params.p).f64(params.p_prime);
   h.i32(static_cast<int>(convention));
+  for (const ModuleGroup& g : params.groups)
+    h.f64(g.p).f64(g.p_prime).f64(g.weight);
   return h.digest();
 }
 
-std::uint64_t rewards_stage_key(const SystemParameters& params,
+std::uint64_t rewards_stage_key(const SystemParameters& raw,
                                 const ReliabilityAnalyzer::Options& options) {
+  const SystemParameters params = raw.canonicalized();
   runtime::Fnv1a h;
-  h.str("core::staged/rewards/v1");
+  h.str("core::staged/rewards/v2");
   h.u64(rates_stage_key(params, options.solver));
   h.f64(params.alpha).f64(params.p).f64(params.p_prime);
   h.i32(static_cast<int>(options.convention))
       .i32(static_cast<int>(options.attachment));
+  for (const ModuleGroup& g : params.groups)
+    h.f64(g.p).f64(g.p_prime).f64(g.weight);
   return h.digest();
 }
 
 std::shared_ptr<const StructureArtifact> staged_structure(
-    const SystemParameters& params, bool use_cache) {
+    const SystemParameters& raw, bool use_cache) {
+  const SystemParameters params = raw.canonicalized();
   auto build = [&]() -> std::shared_ptr<const StructureArtifact> {
     const obs::ScopedSpan span("core.stage.structure");
     auto artifact = std::make_shared<StructureArtifact>();
@@ -218,28 +241,64 @@ std::shared_ptr<const StructureArtifact> staged_structure(
 
     const std::size_t n = artifact->graph.size();
     artifact->state_class.reserve(n);
-    std::map<std::tuple<int, int, int>, std::size_t> class_index;
-    for (std::size_t s = 0; s < n; ++s) {
-      const petri::Marking& m = artifact->graph.marking(s);
-      StructureArtifact::StateClass sc;
-      sc.healthy = model.healthy(m);
-      sc.compromised = model.compromised(m);
-      sc.down = model.down(m);
-      sc.voter_up = model.voter_up(m);
-      class_index.emplace(
-          std::make_tuple(sc.healthy, sc.compromised, sc.down), 0u);
-      artifact->state_class.push_back(sc);
-    }
-    artifact->classes.reserve(class_index.size());
-    for (auto& [cls, index] : class_index) {
-      index = artifact->classes.size();
-      artifact->classes.push_back(cls);
-    }
-    artifact->class_of_state.resize(n);
-    for (std::size_t s = 0; s < n; ++s) {
-      const StructureArtifact::StateClass& sc = artifact->state_class[s];
-      artifact->class_of_state[s] = class_index.at(
-          std::make_tuple(sc.healthy, sc.compromised, sc.down));
+    if (model.groups.empty()) {
+      std::map<std::tuple<int, int, int>, std::size_t> class_index;
+      for (std::size_t s = 0; s < n; ++s) {
+        const petri::Marking& m = artifact->graph.marking(s);
+        StructureArtifact::StateClass sc;
+        sc.healthy = model.healthy(m);
+        sc.compromised = model.compromised(m);
+        sc.down = model.down(m);
+        sc.voter_up = model.voter_up(m);
+        class_index.emplace(
+            std::make_tuple(sc.healthy, sc.compromised, sc.down), 0u);
+        artifact->state_class.push_back(sc);
+      }
+      artifact->classes.reserve(class_index.size());
+      for (auto& [cls, index] : class_index) {
+        index = artifact->classes.size();
+        artifact->classes.push_back(cls);
+      }
+      artifact->class_of_state.resize(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        const StructureArtifact::StateClass& sc = artifact->state_class[s];
+        artifact->class_of_state[s] = class_index.at(
+            std::make_tuple(sc.healthy, sc.compromised, sc.down));
+      }
+    } else {
+      // Heterogeneous model: classes are distinct per-group count vectors
+      // in ascending lexicographic order. The aggregate (i, j, k) of each
+      // class rides along for display and gating; aggregates may repeat
+      // across classes.
+      std::map<std::vector<int>, std::size_t> class_index;
+      for (std::size_t s = 0; s < n; ++s) {
+        const petri::Marking& m = artifact->graph.marking(s);
+        StructureArtifact::StateClass sc;
+        sc.groups = model.group_counts(m);
+        sc.healthy = model.healthy(m);
+        sc.compromised = model.compromised(m);
+        sc.down = model.down(m);
+        sc.voter_up = model.voter_up(m);
+        class_index.emplace(sc.groups, 0u);
+        artifact->state_class.push_back(sc);
+      }
+      artifact->classes.reserve(class_index.size());
+      artifact->group_classes.reserve(class_index.size());
+      for (auto& [cls, index] : class_index) {
+        index = artifact->classes.size();
+        int i = 0, j = 0, k = 0;
+        for (std::size_t g = 0; g < cls.size(); g += 3) {
+          i += cls[g];
+          j += cls[g + 1];
+          k += cls[g + 2];
+        }
+        artifact->classes.emplace_back(i, j, k);
+        artifact->group_classes.push_back(cls);
+      }
+      artifact->class_of_state.resize(n);
+      for (std::size_t s = 0; s < n; ++s)
+        artifact->class_of_state[s] =
+            class_index.at(artifact->state_class[s].groups);
     }
     // Hand the (i, j, k) classification to the solver as the assembly
     // plan's lumping hint: matrix-free solves warm-start from the lumped
@@ -265,9 +324,10 @@ std::shared_ptr<const StructureArtifact> staged_structure(
 }
 
 std::shared_ptr<const RatesArtifact> staged_rates(
-    const SystemParameters& params, const StructureArtifact& structure,
+    const SystemParameters& raw, const StructureArtifact& structure,
     const markov::DspnSteadyStateSolver::Options& solver_options,
     bool use_cache) {
+  const SystemParameters params = raw.canonicalized();
   auto build = [&]() -> std::shared_ptr<const RatesArtifact> {
     const obs::ScopedSpan span("core.stage.rates");
     // A fresh net carries this point's rates; its structure is identical
@@ -301,15 +361,22 @@ std::shared_ptr<const RatesArtifact> staged_rates(
 }
 
 std::shared_ptr<const std::vector<double>> staged_reward_table(
-    const SystemParameters& params, RewardConvention convention,
+    const SystemParameters& raw, RewardConvention convention,
     const StructureArtifact& structure, bool use_cache) {
+  const SystemParameters params = raw.canonicalized();
   auto build = [&]() -> std::shared_ptr<const std::vector<double>> {
     const obs::ScopedSpan span("core.stage.reward_table");
-    const auto rewards = make_reliability_model(params, convention);
     auto table = std::make_shared<std::vector<double>>();
     table->reserve(structure.classes.size());
-    for (const auto& [i, j, k] : structure.classes)
-      table->push_back(rewards->state_reliability(i, j, k));
+    if (structure.group_classes.empty()) {
+      const auto rewards = make_reliability_model(params, convention);
+      for (const auto& [i, j, k] : structure.classes)
+        table->push_back(rewards->state_reliability(i, j, k));
+    } else {
+      const auto rewards = make_group_reliability_model(params, convention);
+      for (const std::vector<int>& cls : structure.group_classes)
+        table->push_back(rewards->state_reliability_flat(cls));
+    }
     return table;
   };
   if (!use_cache) return build();
@@ -326,9 +393,10 @@ std::shared_ptr<const std::vector<double>> staged_reward_table(
   });
 }
 
-AnalysisResult staged_analyze(const SystemParameters& params,
+AnalysisResult staged_analyze(const SystemParameters& raw,
                               const ReliabilityAnalyzer::Options& options) {
-  params.validate();
+  raw.validate();
+  const SystemParameters params = raw.canonicalized();
   static obs::Counter& solves =
       obs::Registry::global().counter("core.analyzer.solves");
   static obs::Histogram& solve_s =
@@ -373,10 +441,13 @@ AnalysisResult staged_analyze(const SystemParameters& params,
   return result;
 }
 
-AnalysisResult staged_analyze(const SystemParameters& params,
+AnalysisResult staged_analyze(const SystemParameters& raw,
                               const ReliabilityAnalyzer::Options& options,
                               const ReliabilityModel& rewards) {
-  params.validate();
+  raw.validate();
+  // Caller-supplied scalar reward models apply to the aggregate (i, j, k)
+  // of each class, including for heterogeneous structures.
+  const SystemParameters params = raw.canonicalized();
   NVP_EXPECTS_MSG(rewards.versions() == params.n_versions,
                   "reward model does not match the number of versions");
   static obs::Counter& solves =

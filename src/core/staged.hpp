@@ -47,18 +47,28 @@ struct StructureArtifact {
   /// Deterministic-group partition and CSR slot patterns.
   markov::AssemblyPlan plan;
 
-  /// Module-state class of one tangible state.
+  /// Module-state class of one tangible state. For a heterogeneous
+  /// (module-group) model, `groups` holds the flattened per-group
+  /// (healthy, compromised, down) triples and the three scalars are their
+  /// sums; for homogeneous models `groups` stays empty.
   struct StateClass {
     int healthy = 0;
     int compromised = 0;
     int down = 0;
     bool voter_up = true;
+    std::vector<int> groups;
   };
   std::vector<StateClass> state_class;  ///< one per tangible state
   /// Distinct (i, j, k) classes in ascending tuple order — the iteration
   /// order of the fused analyzer's std::map aggregation, so the emitted
-  /// distribution is bit-identical.
+  /// distribution is bit-identical. For heterogeneous models the classes
+  /// are distinct per-group count vectors (ascending lexicographic order;
+  /// see `group_classes`) and this vector carries their aggregate sums,
+  /// which may then repeat.
   std::vector<std::tuple<int, int, int>> classes;
+  /// Flattened per-group count vector of each class; empty for homogeneous
+  /// structures. Parallel to `classes`.
+  std::vector<std::vector<int>> group_classes;
   std::vector<std::size_t> class_of_state;  ///< index into `classes`
 };
 

@@ -49,7 +49,21 @@ VotingScheme VotingScheme::with_threshold(int n, int threshold) {
   return VotingScheme(n, threshold);
 }
 
+VotingScheme VotingScheme::weighted(std::vector<double> weights,
+                                    double quota) {
+  NVP_EXPECTS_MSG(!weights.empty(), "weighted voting needs >= 1 group");
+  for (double w : weights)
+    NVP_EXPECTS_MSG(w > 0.0, "voting weights must be positive");
+  NVP_EXPECTS_MSG(quota > 0.0, "voting quota must be positive");
+  VotingScheme scheme(static_cast<int>(weights.size()), 1);
+  scheme.weights_ = std::move(weights);
+  scheme.quota_ = quota;
+  return scheme;
+}
+
 Verdict VotingScheme::decide(int correct, int wrong, int silent) const {
+  NVP_EXPECTS_MSG(!is_weighted(),
+                  "weighted schemes decide over group tallies");
   NVP_EXPECTS(correct >= 0 && wrong >= 0 && silent >= 0);
   NVP_EXPECTS_MSG(correct + wrong + silent == n_,
                   "vote counts must sum to n");
@@ -59,7 +73,43 @@ Verdict VotingScheme::decide(int correct, int wrong, int silent) const {
   return Verdict::kInconclusive;
 }
 
+Verdict VotingScheme::decide(
+    const std::vector<GroupTally>& tallies) const {
+  if (!is_weighted()) {
+    int correct = 0, wrong = 0, silent = 0;
+    for (const GroupTally& t : tallies) {
+      correct += t.correct;
+      wrong += t.wrong;
+      silent += t.silent;
+    }
+    return decide(correct, wrong, silent);
+  }
+  NVP_EXPECTS_MSG(tallies.size() == weights_.size(),
+                  "one tally per weighted group required");
+  double correct_mass = 0.0, wrong_mass = 0.0, silent_mass = 0.0;
+  double total_mass = 0.0;
+  for (std::size_t g = 0; g < tallies.size(); ++g) {
+    const GroupTally& t = tallies[g];
+    NVP_EXPECTS(t.correct >= 0 && t.wrong >= 0 && t.silent >= 0);
+    const double w = weights_[g];
+    correct_mass += w * t.correct;
+    wrong_mass += w * t.wrong;
+    silent_mass += w * t.silent;
+    total_mass += w * (t.correct + t.wrong + t.silent);
+  }
+  // The small epsilon keeps exact-sum weight arithmetic (e.g. quota built
+  // from the same weights) from flipping on the last ulp.
+  constexpr double kEps = 1e-9;
+  if (total_mass - silent_mass < quota_ - kEps) return Verdict::kUnavailable;
+  if (correct_mass >= quota_ - kEps) return Verdict::kCorrect;
+  if (wrong_mass >= quota_ - kEps) return Verdict::kError;
+  return Verdict::kInconclusive;
+}
+
 std::string VotingScheme::describe() const {
+  if (is_weighted())
+    return util::format("weighted quota %.6g over %zu groups", quota_,
+                        weights_.size());
   return util::format("%d-out-of-%d", threshold_, n_);
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace nvp::core {
 
@@ -36,8 +37,19 @@ class VotingScheme {
   /// Custom threshold in [1, n].
   static VotingScheme with_threshold(int n, int threshold);
 
+  /// Weighted voting over module groups (Gao, Wen & Machida): modules of
+  /// group g vote with weight `weights[g]`, and a decision (correct or
+  /// erroneous) requires agreeing weight >= `quota`. With all weights 1 and
+  /// quota = threshold this is exactly the counting scheme. Decisions are
+  /// made through the group-tally decide() overload; `n()` reports the
+  /// number of groups for a weighted scheme.
+  static VotingScheme weighted(std::vector<double> weights, double quota);
+
   int n() const { return n_; }
   int threshold() const { return threshold_; }
+  bool is_weighted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double quota() const { return quota_; }
 
   /// Largest number of silent (down/rejuvenating) modules that still allows
   /// a decision: n - threshold.
@@ -54,12 +66,31 @@ class VotingScheme {
   /// the optimistic empirical variant).
   Verdict decide(int correct, int wrong, int silent) const;
 
+  /// Per-group vote tallies of one round: modules of the group voting for
+  /// the truth, for (any) wrong answer, and not answering.
+  struct GroupTally {
+    int correct = 0;
+    int wrong = 0;
+    int silent = 0;
+  };
+
+  /// Decides a round over per-group tallies. For a weighted scheme the
+  /// tallies must have one entry per weight and the verdict is by weighted
+  /// mass: unavailable when the responding weight can no longer reach the
+  /// quota, correct/error when the agreeing mass does (wrong votes counted
+  /// as a bloc, as in the scalar decide()). For a counting scheme the
+  /// tallies are summed and the scalar rules apply.
+  Verdict decide(const std::vector<GroupTally>& tallies) const;
+
   std::string describe() const;
 
  private:
   VotingScheme(int n, int threshold);
   int n_;
   int threshold_;
+  // Weighted variant (empty weights = counting scheme).
+  std::vector<double> weights_;
+  double quota_ = 0.0;
 };
 
 }  // namespace nvp::core

@@ -36,8 +36,10 @@ struct AssemblyPlan {
   /// Optional state lumping for matrix-free warm starts: class_of_state
   /// (size `states`) and the class count. build_assembly_plan leaves it
   /// empty — the partition is model-layer knowledge (the (i, j, k)
-  /// classification of the perception models) that the staged pipeline
-  /// fills in after classification. Solvers must treat it as a hint only.
+  /// classification of homogeneous perception models, or the per-group
+  /// count-vector classification of module-group models; the indices here
+  /// are opaque either way) that the staged pipeline fills in after
+  /// classification. Solvers must treat it as a hint only.
   std::vector<std::size_t> lumping;
   std::size_t lumping_classes = 0;
 };

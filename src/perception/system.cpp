@@ -29,10 +29,19 @@ SensorKind sensor_cycle(int i) {
       return SensorKind::kRadar;
   }
 }
+
+NVersionPerceptionSystem::Config canonical_config(
+    NVersionPerceptionSystem::Config config) {
+  // A single perfect-repair group folds to the scalar configuration, so
+  // such campaigns run the homogeneous code paths (and RNG sequences)
+  // unchanged.
+  config.params = config.params.canonicalized();
+  return config;
+}
 }  // namespace
 
 NVersionPerceptionSystem::NVersionPerceptionSystem(const Config& config)
-    : config_(config),
+    : config_(canonical_config(config)),
       rng_(config.seed),
       injector_(
           FaultInjector::Config{config.params.mean_time_to_compromise,
@@ -49,21 +58,46 @@ NVersionPerceptionSystem::NVersionPerceptionSystem(const Config& config)
       environment_(Environment::Config{config.num_classes,
                                        config.frame_interval, 1.0, 0.1,
                                        config.seed ^ 0xE417ULL}) {
-  config.params.validate();
+  config_.params.validate();
   NVP_EXPECTS(config.frame_interval > 0.0);
   NVP_EXPECTS(config.num_classes >= 2);
-  // The common-cause generative model needs an adverse-input probability
-  // q = p / alpha <= 1.
-  NVP_EXPECTS_MSG(config.params.alpha <= 0.0
-                      ? config.params.p == 0.0
-                      : config.params.p <= config.params.alpha + 1e-12,
-                  "Monte-Carlo common-cause sampling requires p <= alpha");
 
-  const core::VotingScheme scheme = scheme_for(config.params);
-  if (config.plurality_voter)
-    voter_ = std::make_unique<PluralityThresholdVoter>(scheme);
-  else
-    voter_ = std::make_unique<BlocThresholdVoter>(scheme);
+  groups_ = config_.params.groups;
+  if (groups_.empty()) {
+    // The common-cause generative model needs an adverse-input probability
+    // q = p / alpha <= 1.
+    NVP_EXPECTS_MSG(config_.params.alpha <= 0.0
+                        ? config_.params.p == 0.0
+                        : config_.params.p <= config_.params.alpha + 1e-12,
+                    "Monte-Carlo common-cause sampling requires p <= alpha");
+    const core::VotingScheme scheme = scheme_for(config_.params);
+    if (config.plurality_voter)
+      voter_ = std::make_unique<PluralityThresholdVoter>(scheme);
+    else
+      voter_ = std::make_unique<BlocThresholdVoter>(scheme);
+  } else {
+    NVP_EXPECTS_MSG(!config.plurality_voter,
+                    "the plurality voter is homogeneous-only; module-group "
+                    "campaigns vote by weighted bloc");
+    std::vector<double> weights;
+    for (const core::ModuleGroup& g : groups_) {
+      NVP_EXPECTS_MSG(config_.params.alpha <= 0.0
+                          ? g.p == 0.0
+                          : g.p <= config_.params.alpha + 1e-12,
+                      "Monte-Carlo common-cause sampling requires p <= "
+                      "alpha in every group");
+      weights.push_back(g.weight);
+      for (int m = 0; m < g.count; ++m)
+        module_group_.push_back(
+            static_cast<int>(weights.size()) - 1);
+    }
+    degraded_.assign(
+        static_cast<std::size_t>(config_.params.n_versions), 0);
+    voter_ = std::make_unique<WeightedBlocVoter>(
+        core::VotingScheme::weighted(weights,
+                                     config_.params.weighted_quota()),
+        module_group_);
+  }
 
   if (config.adaptive_rejuvenation) {
     NVP_EXPECTS_MSG(config.params.rejuvenation,
@@ -87,6 +121,9 @@ NVersionPerceptionSystem::NVersionPerceptionSystem(const Config& config)
 
 void NVersionPerceptionSystem::add_attack_window(
     const FaultInjector::AttackWindow& window) {
+  NVP_EXPECTS_MSG(groups_.empty(),
+                  "attack windows are not supported for module-group "
+                  "campaigns (per-group life-cycles sample directly)");
   injector_.add_attack_window(window);
 }
 
@@ -103,6 +140,82 @@ std::vector<int> NVersionPerceptionSystem::indices_in(
   for (const auto& m : modules_)
     if (m.state() == state) out.push_back(m.id());
   return out;
+}
+
+std::vector<int> NVersionPerceptionSystem::group_indices_in(
+    int group, ModuleState state, bool degraded) const {
+  std::vector<int> out;
+  for (const auto& m : modules_) {
+    if (m.state() != state) continue;
+    if (module_group_[static_cast<std::size_t>(m.id())] != group) continue;
+    if (static_cast<bool>(degraded_[static_cast<std::size_t>(m.id())]) !=
+        degraded)
+      continue;
+    out.push_back(m.id());
+  }
+  return out;
+}
+
+std::optional<NVersionPerceptionSystem::GroupLifecycleEvent>
+NVersionPerceptionSystem::sample_group_lifecycle(double now) {
+  // Per-group competing exponentials mirroring the module-group DSPN's
+  // transitions (Tc_g, Tcd_g, Tf_g, Tr_g, Trd_g): under single-server
+  // semantics each enabled transition races at its constant rate; the
+  // infinite-server ablation scales rates by the pool size. Memoryless, so
+  // resampling at every event is exact.
+  const bool infinite =
+      config_.params.semantics == core::FiringSemantics::kInfiniteServer;
+  std::optional<GroupLifecycleEvent> best;
+  const auto consider = [&](int pool, double rate, int group,
+                            LifecycleEventKind kind, bool from_degraded,
+                            bool repair_degrades) {
+    if (pool <= 0 || rate <= 0.0) return;
+    const double effective =
+        infinite ? rate * static_cast<double>(pool) : rate;
+    const double t = now + rng_.exponential(effective);
+    if (!best || t < best->time)
+      best = GroupLifecycleEvent{t, kind, group, from_degraded,
+                                 repair_degrades};
+  };
+  for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
+    const core::ModuleGroup& spec = groups_[static_cast<std::size_t>(g)];
+    const double lambda_c = 1.0 / spec.mean_time_to_compromise;
+    const double lambda = 1.0 / spec.mean_time_to_failure;
+    const double mu = 1.0 / spec.mean_time_to_repair;
+    const double q = spec.repair_degradation;
+    // The degraded flag is only ever set on kHealthy modules (it is
+    // cleared on compromise, rejuvenation, and perfect repair).
+    const int healthy =
+        static_cast<int>(group_indices_in(g, ModuleState::kHealthy,
+                                          /*degraded=*/false)
+                             .size());
+    const int degraded =
+        static_cast<int>(group_indices_in(g, ModuleState::kHealthy,
+                                          /*degraded=*/true)
+                             .size());
+    const int compromised =
+        static_cast<int>(group_indices_in(g, ModuleState::kCompromised,
+                                          /*degraded=*/false)
+                             .size());
+    const int failed =
+        static_cast<int>(group_indices_in(g, ModuleState::kFailed,
+                                          /*degraded=*/false)
+                             .size());
+    consider(healthy, lambda_c, g, LifecycleEventKind::kCompromise, false,
+             false);
+    if (q > 0.0) {
+      consider(degraded, lambda_c / (1.0 - q), g,
+               LifecycleEventKind::kCompromise, true, false);
+      consider(failed, (1.0 - q) * mu, g, LifecycleEventKind::kRepair,
+               false, false);
+      consider(failed, q * mu, g, LifecycleEventKind::kRepair, false, true);
+    } else {
+      consider(failed, mu, g, LifecycleEventKind::kRepair, false, false);
+    }
+    consider(compromised, lambda, g, LifecycleEventKind::kFail, false,
+             false);
+  }
+  return best;
 }
 
 void NVersionPerceptionSystem::start_rejuvenations(double now,
@@ -134,31 +247,59 @@ void NVersionPerceptionSystem::start_rejuvenations(double now,
 
 void NVersionPerceptionSystem::process_frame(const Frame& frame,
                                              CampaignResult& result) {
-  // Frame-wide common-cause draw: an adverse input arrives with probability
-  // q = p / alpha; all healthy modules are exposed to the same one, each
-  // succumbing independently with probability alpha (see MlModuleSim).
   const double alpha = config_.params.alpha;
-  const double q = alpha > 0.0 ? config_.params.p / alpha : 0.0;
-  const bool adverse = rng_.bernoulli(std::min(1.0, q));
-  int adverse_label = frame.label;
-  if (adverse) {
-    const auto offset =
-        1 + static_cast<int>(rng_.uniform_index(
-                static_cast<std::uint64_t>(config_.num_classes - 1)));
-    adverse_label = (frame.label + offset) % config_.num_classes;
-  }
-
   std::vector<ModuleAnswer> answers;
   answers.reserve(modules_.size());
-  for (auto& module : modules_) {
-    // Sensor observation currently informs diversity bookkeeping only; the
-    // error channel is fully parameterized by (p, p', alpha) to stay
-    // comparable with the analytic model.
-    if (module.operational())
-      sensors_[static_cast<std::size_t>(module.id())].observe(frame);
-    answers.push_back(module.classify(frame.label, adverse, adverse_label,
-                                      alpha, config_.params.p_prime,
-                                      config_.num_classes));
+  if (groups_.empty()) {
+    // Frame-wide common-cause draw: an adverse input arrives with
+    // probability q = p / alpha; all healthy modules are exposed to the
+    // same one, each succumbing independently with probability alpha (see
+    // MlModuleSim).
+    const double q = alpha > 0.0 ? config_.params.p / alpha : 0.0;
+    const bool adverse = rng_.bernoulli(std::min(1.0, q));
+    int adverse_label = frame.label;
+    if (adverse) {
+      const auto offset =
+          1 + static_cast<int>(rng_.uniform_index(
+                  static_cast<std::uint64_t>(config_.num_classes - 1)));
+      adverse_label = (frame.label + offset) % config_.num_classes;
+    }
+    for (auto& module : modules_) {
+      // Sensor observation currently informs diversity bookkeeping only;
+      // the error channel is fully parameterized by (p, p', alpha) to stay
+      // comparable with the analytic model.
+      if (module.operational())
+        sensors_[static_cast<std::size_t>(module.id())].observe(frame);
+      answers.push_back(module.classify(frame.label, adverse, adverse_label,
+                                        alpha, config_.params.p_prime,
+                                        config_.num_classes));
+    }
+  } else {
+    // Per-group common-cause draws: each group is one diversity pool with
+    // its own adverse-input probability q_g = p_g / alpha; groups err
+    // independently (matching GroupReliabilityModel), while within a group
+    // the adverse input is shared exactly as in the homogeneous model.
+    // Degraded modules vote like healthy ones (same p_g).
+    std::vector<char> adverse(groups_.size(), 0);
+    std::vector<int> adverse_label(groups_.size(), frame.label);
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const double q = alpha > 0.0 ? groups_[g].p / alpha : 0.0;
+      if (!rng_.bernoulli(std::min(1.0, q))) continue;
+      adverse[g] = 1;
+      const auto offset =
+          1 + static_cast<int>(rng_.uniform_index(
+                  static_cast<std::uint64_t>(config_.num_classes - 1)));
+      adverse_label[g] = (frame.label + offset) % config_.num_classes;
+    }
+    for (auto& module : modules_) {
+      const auto g = static_cast<std::size_t>(
+          module_group_[static_cast<std::size_t>(module.id())]);
+      if (module.operational())
+        sensors_[static_cast<std::size_t>(module.id())].observe(frame);
+      answers.push_back(module.classify(
+          frame.label, adverse[g] != 0, adverse_label[g], alpha,
+          groups_[g].p_prime, config_.num_classes));
+    }
   }
   const VoteResult vote = voter_->vote(answers, frame.label);
   ++result.frames;
@@ -212,10 +353,16 @@ CampaignResult NVersionPerceptionSystem::run(double duration) {
 
     double lifecycle_time = kNever;
     LifecycleEventKind lifecycle_kind = LifecycleEventKind::kCompromise;
-    if (const auto ev =
-            injector_.sample_next(now_, healthy, compromised, failed)) {
-      lifecycle_time = ev->time;
-      lifecycle_kind = ev->kind;
+    std::optional<GroupLifecycleEvent> group_event;
+    if (groups_.empty()) {
+      if (const auto ev =
+              injector_.sample_next(now_, healthy, compromised, failed)) {
+        lifecycle_time = ev->time;
+        lifecycle_kind = ev->kind;
+      }
+    } else if ((group_event = sample_group_lifecycle(now_))) {
+      lifecycle_time = group_event->time;
+      lifecycle_kind = group_event->kind;
     }
     const auto boundary = injector_.next_boundary_after(now_);
     const double boundary_time = boundary.value_or(kNever);
@@ -237,16 +384,28 @@ CampaignResult NVersionPerceptionSystem::run(double duration) {
     if (next_time == lifecycle_time) {
       switch (lifecycle_kind) {
         case LifecycleEventKind::kCompromise: {
-          const auto pool = indices_in(ModuleState::kHealthy);
+          const auto pool =
+              group_event
+                  ? group_indices_in(group_event->group,
+                                     ModuleState::kHealthy,
+                                     group_event->from_degraded)
+                  : indices_in(ModuleState::kHealthy);
           NVP_ASSERT(!pool.empty());
-          modules_[static_cast<std::size_t>(
-                       pool[rng_.uniform_index(pool.size())])]
-              .set_state(ModuleState::kCompromised);
+          const int victim =
+              pool[rng_.uniform_index(pool.size())];
+          modules_[static_cast<std::size_t>(victim)].set_state(
+              ModuleState::kCompromised);
+          if (!degraded_.empty())
+            degraded_[static_cast<std::size_t>(victim)] = 0;
           ++result.compromises;
           break;
         }
         case LifecycleEventKind::kFail: {
-          const auto pool = indices_in(ModuleState::kCompromised);
+          const auto pool =
+              group_event ? group_indices_in(group_event->group,
+                                             ModuleState::kCompromised,
+                                             /*degraded=*/false)
+                          : indices_in(ModuleState::kCompromised);
           NVP_ASSERT(!pool.empty());
           modules_[static_cast<std::size_t>(
                        pool[rng_.uniform_index(pool.size())])]
@@ -255,11 +414,20 @@ CampaignResult NVersionPerceptionSystem::run(double duration) {
           break;
         }
         case LifecycleEventKind::kRepair: {
-          const auto pool = indices_in(ModuleState::kFailed);
+          const auto pool =
+              group_event ? group_indices_in(group_event->group,
+                                             ModuleState::kFailed,
+                                             /*degraded=*/false)
+                          : indices_in(ModuleState::kFailed);
           NVP_ASSERT(!pool.empty());
-          modules_[static_cast<std::size_t>(
-                       pool[rng_.uniform_index(pool.size())])]
-              .set_state(ModuleState::kHealthy);
+          const int victim = pool[rng_.uniform_index(pool.size())];
+          modules_[static_cast<std::size_t>(victim)].set_state(
+              ModuleState::kHealthy);
+          // Imperfect repair: the competing-exponential branch already
+          // decided whether this repair leaves the module degraded.
+          if (!degraded_.empty())
+            degraded_[static_cast<std::size_t>(victim)] =
+                (group_event && group_event->repair_degrades) ? 1 : 0;
           ++result.repairs;
           // A repair may unblock guard g2 for pending credits.
           start_rejuvenations(now_, result);
@@ -272,8 +440,12 @@ CampaignResult NVersionPerceptionSystem::run(double duration) {
     } else if (next_time == completion_time) {
       rejuvenator_.on_completion();
       for (auto& m : modules_)
-        if (m.state() == ModuleState::kRejuvenating)
+        if (m.state() == ModuleState::kRejuvenating) {
           m.set_state(ModuleState::kHealthy);
+          // Rejuvenation reinstalls from a clean image: good-as-new.
+          if (!degraded_.empty())
+            degraded_[static_cast<std::size_t>(m.id())] = 0;
+        }
       // Completion may let pending credits start a late batch.
       start_rejuvenations(now_, result);
     } else if (next_time == frame_time) {

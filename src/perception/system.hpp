@@ -106,8 +106,24 @@ class NVersionPerceptionSystem {
   const Config& config() const { return config_; }
 
  private:
+  /// One sampled life-cycle event of a heterogeneous (module-group)
+  /// campaign. `from_degraded` marks a compromise out of the degraded
+  /// pool; `repair_degrades` marks a repair that leaves the module
+  /// degraded (imperfect repair, probability q realized by competing
+  /// exponentials exactly as in the DSPN).
+  struct GroupLifecycleEvent {
+    double time = 0.0;
+    LifecycleEventKind kind = LifecycleEventKind::kCompromise;
+    int group = 0;
+    bool from_degraded = false;
+    bool repair_degrades = false;
+  };
+
   int count(ModuleState state) const;
   std::vector<int> indices_in(ModuleState state) const;
+  std::vector<int> group_indices_in(int group, ModuleState state,
+                                    bool degraded) const;
+  std::optional<GroupLifecycleEvent> sample_group_lifecycle(double now);
   void start_rejuvenations(double now, CampaignResult& result);
   void process_frame(const Frame& frame, CampaignResult& result);
 
@@ -120,6 +136,13 @@ class NVersionPerceptionSystem {
   std::unique_ptr<Voter> voter_;
   std::optional<AdaptiveIntervalController> adaptive_;
   Environment environment_;
+  /// Module groups of a heterogeneous campaign (empty = homogeneous, the
+  /// pre-refactor paths bit for bit), the group index of each module, and
+  /// the per-module imperfect-repair degradation flag (degraded modules
+  /// stay kHealthy for voting; only their compromise rate changes).
+  std::vector<core::ModuleGroup> groups_;
+  std::vector<int> module_group_;
+  std::vector<char> degraded_;
   double now_ = 0.0;
   double next_frame_ = 0.0;
   std::uint64_t current_error_burst_ = 0;

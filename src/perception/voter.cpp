@@ -70,4 +70,40 @@ VoteResult PluralityThresholdVoter::vote(
   return result;
 }
 
+WeightedBlocVoter::WeightedBlocVoter(core::VotingScheme scheme,
+                                     std::vector<int> module_group)
+    : scheme_(std::move(scheme)), module_group_(std::move(module_group)) {
+  NVP_EXPECTS_MSG(scheme_.is_weighted(),
+                  "WeightedBlocVoter needs a weighted scheme");
+  for (int g : module_group_)
+    NVP_EXPECTS(g >= 0 &&
+                g < static_cast<int>(scheme_.weights().size()));
+}
+
+VoteResult WeightedBlocVoter::vote(const std::vector<ModuleAnswer>& answers,
+                                   int true_label) const {
+  NVP_EXPECTS(answers.size() == module_group_.size());
+  std::vector<core::VotingScheme::GroupTally> tallies(
+      scheme_.weights().size());
+  VoteResult result;
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    auto& tally = tallies[static_cast<std::size_t>(module_group_[i])];
+    const ModuleAnswer& a = answers[i];
+    if (!a.responded) {
+      ++tally.silent;
+      ++result.silent;
+    } else if (a.label == true_label) {
+      ++tally.correct;
+      ++result.correct_votes;
+    } else {
+      ++tally.wrong;
+      ++result.wrong_votes;
+    }
+  }
+  result.verdict = scheme_.decide(tallies);
+  if (result.verdict == core::Verdict::kCorrect)
+    result.decided_label = true_label;
+  return result;
+}
+
 }  // namespace nvp::perception

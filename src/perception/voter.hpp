@@ -57,4 +57,22 @@ class PluralityThresholdVoter : public Voter {
   core::VotingScheme scheme_;
 };
 
+/// Weighted bloc voter for heterogeneous (module-group) architectures:
+/// answers are tallied per group and decided by weighted mass against the
+/// quota (core::VotingScheme::weighted), the empirical counterpart of
+/// GroupReliabilityModel's reward functions. `module_group[i]` is the
+/// group index of module i; VoteResult's vote counts stay unweighted.
+class WeightedBlocVoter : public Voter {
+ public:
+  WeightedBlocVoter(core::VotingScheme scheme,
+                    std::vector<int> module_group);
+
+  VoteResult vote(const std::vector<ModuleAnswer>& answers,
+                  int true_label) const override;
+
+ private:
+  core::VotingScheme scheme_;
+  std::vector<int> module_group_;
+};
+
 }  // namespace nvp::perception

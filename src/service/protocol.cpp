@@ -152,6 +152,41 @@ bool parse_params(const wire::Value& node, core::SystemParameters* params,
   params->detection_rate =
       node.number_or("detection-rate", params->detection_rate);
   params->rejuvenation = node.bool_or("rejuvenation", params->rejuvenation);
+  if (const wire::Value* groups = node.get("groups")) {
+    if (!groups->is_array()) {
+      *error = "params.groups must be an array of group objects";
+      return false;
+    }
+    params->groups.clear();
+    for (const wire::Value& entry : groups->array) {
+      if (!entry.is_object()) {
+        *error = "params.groups entries must be objects";
+        return false;
+      }
+      core::ModuleGroup group;
+      // Scalars the request leaves out inherit the campaign-level values,
+      // so a request can harden one group without restating the rest.
+      group.count = static_cast<int>(entry.number_or("count", 0));
+      group.mean_time_to_compromise =
+          entry.number_or("mttc", params->mean_time_to_compromise);
+      group.mean_time_to_failure =
+          entry.number_or("mttf", params->mean_time_to_failure);
+      group.mean_time_to_repair =
+          entry.number_or("mttr", params->mean_time_to_repair);
+      group.p = entry.number_or("p", params->p);
+      group.p_prime = entry.number_or("p-prime", params->p_prime);
+      group.weight = entry.number_or("weight", 1.0);
+      group.repair_degradation = entry.number_or("repair-degradation", 0.0);
+      params->groups.push_back(group);
+    }
+    // Group counts fully determine N; an absent "n" means "derive it"
+    // rather than "keep the paper preset's module count".
+    if (node.get("n") == nullptr) {
+      int total = 0;
+      for (const core::ModuleGroup& g : params->groups) total += g.count;
+      params->n_versions = total;
+    }
+  }
   try {
     params->validate();
   } catch (const std::exception& e) {

@@ -48,6 +48,19 @@ the service's contract (concurrency reached, coalescing worked, nothing
 dropped on the floor), not machine-specific timings, so they take no
 tolerance.
 
+Archspace mode (``--archspace``) reads the document written by
+``bench_archspace_hetero`` (``bench_results/BENCH_archspace.json``) and
+gates the heterogeneous architecture-space contract: the candidate family
+must span at least 200 architectures, the store-warm re-exploration must be
+bit-identical to cold with zero reachability explorations and zero solves
+(every whole-result served from disk) and at least 5x faster, no candidate
+may have degraded into an error envelope, and the weighted-vs-homogeneous
+quality comparison must have compared at least one module budget with the
+heterogeneous candidate winning somewhere. Apart from the speedup floor —
+an order-of-magnitude bound, the warm path replaces full DSPN solves with
+store reads — these restate deterministic counters and model mathematics,
+so they take no tolerance.
+
 ``--list`` prints the numeric metric names available in the baseline file
 (so CI logs and humans can see what is being gated) and exits.
 
@@ -78,6 +91,10 @@ Usage:
     bench_store_persistence  # writes bench_results/BENCH_store.json
     python3 tools/check_bench_regression.py --store \
         bench_results/BENCH_store.json
+
+    bench_archspace_hetero   # writes bench_results/BENCH_archspace.json
+    python3 tools/check_bench_regression.py --archspace \
+        bench_results/BENCH_archspace.json
 
     python3 tools/check_bench_regression.py --list \
         --baseline bench_results/BENCH_sweep.json
@@ -131,6 +148,23 @@ STORE_CHECKS = [
     ("latency", "open_ms", "gt", 0.0),
     ("latency", "write_ms_mean", "gt", 0.0),
     ("latency", "read_ms_mean", "gt", 0.0),
+]
+
+# Archspace-mode gates: (section, field, op, bound). Candidate-family size,
+# warm-reuse counters, and the quality comparison are deterministic; the
+# 5x warm-speedup floor is an order-of-magnitude bound (store reads vs full
+# DSPN solves), not a machine timing.
+ARCHSPACE_CHECKS = [
+    ("family", "candidates", "ge", 200.0),
+    ("family", "cold_candidates_per_s", "gt", 0.0),
+    ("family", "warm_candidates_per_s", "gt", 0.0),
+    ("family", "warm_speedup", "ge", 5.0),
+    ("family", "warm_explorations", "eq", 0.0),
+    ("family", "warm_solves", "eq", 0.0),
+    ("family", "bit_identical_to_cold", "eq", 1.0),
+    ("family", "failed_candidates", "eq", 0.0),
+    ("quality", "budgets_compared", "ge", 1.0),
+    ("quality", "hetero_wins", "ge", 1.0),
 ]
 
 # Service-mode gates on the named loadgen scenario: (field, op, bound).
@@ -384,6 +418,31 @@ def check_store(report: dict, report_path: str) -> int:
     return 0
 
 
+def check_archspace(report: dict, report_path: str) -> int:
+    failures = 0
+    for section, field, op, bound in ARCHSPACE_CHECKS:
+        block = report.get(section)
+        if not isinstance(block, dict) or field not in block:
+            raise SystemExit(
+                f"error: archspace report '{report_path}' lacks "
+                f"'{section}.{field}'"
+            )
+        value = float(block[field])
+        ok = {"ge": value >= bound, "gt": value > bound,
+              "eq": value == bound}[op]
+        symbol = {"ge": ">=", "gt": ">", "eq": "=="}[op]
+        print(
+            f"{section}.{field}: {value:g} (want {symbol} {bound:g}) "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+        failures += 0 if ok else 1
+    if failures:
+        print(f"FAIL: {failures} archspace gate(s) violated")
+        return 1
+    print("OK: heterogeneous architecture-space contract holds")
+    return 0
+
+
 def check_service(report: dict, report_path: str) -> int:
     scenarios = report.get("scenarios")
     if not isinstance(scenarios, dict) or not scenarios:
@@ -477,6 +536,12 @@ def main() -> int:
         "instead of the google-benchmark runtime report",
     )
     parser.add_argument(
+        "--archspace",
+        action="store_true",
+        help="gate a bench_archspace_hetero BENCH_archspace.json report "
+        "instead of the google-benchmark runtime report",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the numeric metric names in the baseline file and exit",
@@ -484,9 +549,10 @@ def main() -> int:
     args = parser.parse_args()
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
-    if sum([args.sweep, args.service, args.mrgp, args.store]) > 1:
-        parser.error("--sweep, --service, --mrgp, and --store are "
-                     "mutually exclusive")
+    if sum([args.sweep, args.service, args.mrgp, args.store,
+            args.archspace]) > 1:
+        parser.error("--sweep, --service, --mrgp, --store, and "
+                     "--archspace are mutually exclusive")
 
     if args.list:
         for name in metric_names(load_json(args.baseline, "baseline")):
@@ -504,6 +570,8 @@ def main() -> int:
         return check_mrgp(report, args.report)
     if args.store:
         return check_store(report, args.report)
+    if args.archspace:
+        return check_archspace(report, args.report)
     return check_runtime(report, args.baseline, args.tolerance)
 
 

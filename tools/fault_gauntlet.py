@@ -33,10 +33,21 @@ and still emit bit-identical results. The store-read / store-write fault
 injection schedules close the loop: forced read misses and failed writes
 change costs only, never values.
 
+Archspace mode (--archspace) drives the heterogeneous architecture-space
+explorer (`nvpcli archspace --hetero`, every two-group split up to
+--max-n) under the same injection sites. The explorer must never abort:
+failed candidates degrade into per-candidate error envelopes while the
+rest of the family keeps its values, forced cache misses stay
+bit-identical, and the MRGP-only uniformization site must split the family
+exactly along the rejuvenation axis — candidates with the deterministic
+rejuvenation clock (MRGP solves) envelope, plain candidates (pure CTMC
+solves) match the clean baseline bit for bit.
+
 Usage: tools/fault_gauntlet.py [--cli build/tools/nvpcli] [--points 50]
                                [--out gauntlet-out]
                                [--service [--loadgen build/tools/loadgen]]
                                [--store]
+                               [--archspace [--max-n 7]]
 """
 
 import argparse
@@ -452,6 +463,131 @@ def run_store_gauntlet(args):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Archspace mode: the heterogeneous architecture-space explorer under the
+# same injection sites — one command enumerates dozens of candidate models,
+# so a single armed site must degrade per candidate, never per process.
+
+# (schedule name, NVP_FAULT_INJECT spec, expectation). "split" pins the
+# MRGP-only uniformization site: candidates with the deterministic
+# rejuvenation clock must envelope, plain CTMC candidates must match the
+# clean baseline exactly.
+ARCHSPACE_SCHEDULES = [
+    ("clean", None, "clean"),
+    ("solver", "uniformization:1.0:11", "split"),
+    # Dense-assembly allocation faults hit every candidate's solve.
+    ("alloc", "alloc:1.0:23", "envelopes"),
+    # Forced cache misses recompute duplicate candidates; values unchanged.
+    ("cache", "cache:1.0:5", "identical"),
+]
+
+
+def run_archspace(cli, spec, max_n):
+    env = dict(os.environ)
+    env.pop("NVP_FAULT_INJECT", None)
+    if spec is not None:
+        env["NVP_FAULT_INJECT"] = spec
+    # hardened-weight 1 keeps every two-group split quota-feasible, so the
+    # family is maximal and the gauntlet covers the most candidates.
+    cmd = [
+        cli, "archspace", "--paper", "6v", "--hetero",
+        "--max-n", str(max_n), "--hardened-weight", "1", "--format", "csv",
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    rows = []
+    if proc.returncode == 0:
+        rows = list(csv.DictReader(io.StringIO(proc.stdout)))
+    return {
+        "command": " ".join(cmd),
+        "fault_inject": spec,
+        "exit_code": proc.returncode,
+        "stderr": proc.stderr.strip(),
+        "rows": rows,
+    }
+
+
+def check_archspace_run(run, expectation, baseline):
+    errors = []
+    if run["exit_code"] != 0:
+        errors.append("aborted with exit code %d: %s"
+                      % (run["exit_code"], run["stderr"]))
+        return errors
+    rows = run["rows"]
+    if not rows:
+        errors.append("no candidates in the output")
+        return errors
+    # Results are sorted by reliability, which envelopes perturb — match
+    # candidates by label instead of row order.
+    by_label = {row["architecture"]: row for row in rows}
+    if len(by_label) != len(rows):
+        errors.append("duplicate architecture labels in the output")
+    if baseline is not None and len(rows) != len(baseline["rows"]):
+        errors.append("expected %d candidates, got %d"
+                      % (len(baseline["rows"]), len(rows)))
+    for label in sorted(by_label):
+        row = by_label[label]
+        value = row.get("E[R_sys]", "")
+        envelope = row.get("error", "")
+        rejuvenating = row.get("rejuv") == "yes"
+        if expectation == "envelopes" or (expectation == "split"
+                                          and rejuvenating):
+            if not envelope:
+                errors.append("%s: expected an error envelope" % label)
+            if value:
+                errors.append("%s: degraded candidate still has a value"
+                              % label)
+        else:
+            if envelope:
+                errors.append("%s: unexpected envelope: %s"
+                              % (label, envelope))
+            if not value:
+                errors.append("%s: missing reliability value" % label)
+    if expectation in ("identical", "split") and baseline and not errors:
+        clean = {r["architecture"]: r["E[R_sys]"] for r in baseline["rows"]}
+        for label, row in by_label.items():
+            if expectation == "split" and row.get("rejuv") == "yes":
+                continue
+            if clean.get(label) != row.get("E[R_sys]", ""):
+                errors.append("%s: value differs from the clean baseline"
+                              % label)
+    return errors
+
+
+def run_archspace_gauntlet(args):
+    os.makedirs(args.out, exist_ok=True)
+    baseline = None
+    summary = {"mode": "archspace", "max_n": args.max_n, "runs": [],
+               "failures": 0}
+    failed = False
+    for schedule, spec, expectation in ARCHSPACE_SCHEDULES:
+        run = run_archspace(args.cli, spec, args.max_n)
+        if schedule == "clean":
+            baseline = run
+        errors = check_archspace_run(run, expectation, baseline)
+        run["expectation"] = expectation
+        run["check_errors"] = errors
+        name = "archspace-%s" % schedule
+        with open(os.path.join(args.out, name + ".json"), "w") as f:
+            json.dump(run, f, indent=2)
+        status = "ok" if not errors else "FAIL"
+        print("[%s] %s (%s, %d candidates): %s"
+              % (status, name, expectation, len(run["rows"]),
+                 errors or "pass"))
+        summary["runs"].append({"name": name, "expectation": expectation,
+                                "ok": not errors, "errors": errors})
+        if errors:
+            failed = True
+            summary["failures"] += 1
+    with open(os.path.join(args.out, "archspace_summary.json"), "w") as f:
+        json.dump(summary, f, indent=2)
+    if failed:
+        print("archspace gauntlet FAILED (%d run(s)); artifacts in %s"
+              % (summary["failures"], args.out))
+        return 1
+    print("archspace gauntlet passed; artifacts in %s" % args.out)
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cli", default="build/tools/nvpcli")
@@ -462,12 +598,23 @@ def main():
     parser.add_argument("--loadgen", default="build/tools/loadgen")
     parser.add_argument("--store", action="store_true",
                         help="run the persistent-store corruption gauntlet")
+    parser.add_argument("--archspace", action="store_true",
+                        help="run the heterogeneous architecture-space "
+                             "explorer gauntlet")
+    parser.add_argument("--max-n", type=int, default=7,
+                        help="archspace mode: largest module count in the "
+                             "candidate family")
     args = parser.parse_args()
 
+    if sum([args.service, args.store, args.archspace]) > 1:
+        parser.error("--service, --store, and --archspace are mutually "
+                     "exclusive")
     if args.service:
         return run_service_gauntlet(args)
     if args.store:
         return run_store_gauntlet(args)
+    if args.archspace:
+        return run_archspace_gauntlet(args)
 
     os.makedirs(args.out, exist_ok=True)
     baselines = {}

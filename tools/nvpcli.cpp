@@ -77,7 +77,8 @@ int usage() {
       "  nvpcli optimize    --paper 6v --from <x> --to <x>\n"
       "  nvpcli sensitivity --paper 4v|6v [--step 0.1]\n"
       "  nvpcli archspace   --paper 4v|6v [--max-n 10] [--max-f 2] "
-      "[--max-r 2] [--top N]\n"
+      "[--max-r 2] [--top N] [--hetero] [--hardened-mtc-factor 4] "
+      "[--hardened-weight 2] [--hardened-repair-q 0]\n"
       "  nvpcli export      (--paper 4v|6v | --model <file.dspn>) [--dot]\n"
       "  nvpcli serve       [--host 127.0.0.1] [--port 0] "
       "[--service-workers N] [--queue-capacity 1024] "
@@ -102,6 +103,16 @@ int usage() {
       "\n"
       "paper parameter overrides: --n --f --r --alpha --p --p-prime --mttc "
       "--mttf --mttr --interval --duration --detection-rate\n"
+      "heterogeneous architectures: --groups "
+      "\"count[:mttc[:mttf[:mttr[:p[:p-prime[:weight[:repair-degradation"
+      "]]]]]]];...\" splits the N modules into groups with per-group rates, "
+      "voting weights (quota generalizes 2f+r+1 to weighted mass), and "
+      "imperfect repair (probability q of a degraded repair). Empty fields "
+      "inherit the scalar flags; N is derived from the counts. Example: "
+      "--groups \"4;2:6092\" slows compromise of two of six modules, "
+      "--groups \"1;5:6092:::::2:0.1\" adds double-weight votes and "
+      "imperfect repair (q=0.1). Remote mode forwards groups as JSON; "
+      "`archspace --hetero` explores two-group splits automatically.\n"
       "analyze options: --convention verbatim|generalized|strict "
       "--attachment operational|appendix\n"
       "solver selection (any analytic command): --solver-config "
@@ -265,6 +276,47 @@ void dump_metrics() {
 // ---------------------------------------------------------------------------
 // Shared argument plumbing.
 
+void warn_once(const char* key, const char* message) {
+  static std::set<std::string> warned;
+  if (!warned.insert(key).second) return;
+  std::fprintf(stderr, "warning: %s\n", message);
+}
+
+/// Parses a `--groups` spec onto `params`. The spec is a ';'-separated
+/// list of groups, each `count[:mttc[:mttf[:mttr[:p[:p-prime[:weight
+/// [:repair-degradation]]]]]]]`; empty or omitted fields inherit the
+/// campaign-level scalars (weight defaults to 1, degradation to 0), so
+/// `--groups "4;2:6000:::::2"` hardens two of six modules without
+/// restating the baseline rates.
+void apply_groups_spec(const std::string& spec,
+                       core::SystemParameters& params) {
+  params.groups.clear();
+  int total = 0;
+  for (const std::string& group_spec : util::split(spec, ';')) {
+    if (group_spec.empty()) continue;
+    std::vector<std::string> fields = util::split(group_spec, ':');
+    const auto field = [&](std::size_t i, double fallback) {
+      if (i >= fields.size() || fields[i].empty()) return fallback;
+      return std::strtod(fields[i].c_str(), nullptr);
+    };
+    core::ModuleGroup group;
+    group.count = static_cast<int>(field(0, 0.0));
+    group.mean_time_to_compromise =
+        field(1, params.mean_time_to_compromise);
+    group.mean_time_to_failure = field(2, params.mean_time_to_failure);
+    group.mean_time_to_repair = field(3, params.mean_time_to_repair);
+    group.p = field(4, params.p);
+    group.p_prime = field(5, params.p_prime);
+    group.weight = field(6, 1.0);
+    group.repair_degradation = field(7, 0.0);
+    params.groups.push_back(group);
+    total += group.count;
+  }
+  // Group counts determine N; --n stays available only as a cross-check
+  // (validate() rejects a mismatch).
+  params.n_versions = total;
+}
+
 core::SystemParameters paper_params(const util::CliArgs& args) {
   const std::string which = args.get("paper", "6v");
   core::SystemParameters params =
@@ -288,6 +340,18 @@ core::SystemParameters paper_params(const util::CliArgs& args) {
       args.get_double("duration", params.rejuvenation_duration);
   params.detection_rate =
       args.get_double("detection-rate", params.detection_rate);
+  if (args.has("groups")) {
+    for (const char* key : {"p", "p-prime", "mttc", "mttf", "mttr"})
+      if (args.has(key))
+        warn_once("groups-scalars",
+                  "scalar rate/accuracy flags combined with --groups act "
+                  "as per-group defaults; prefer the --groups spec fields");
+    const int explicit_n = args.get_int("n", 0);
+    apply_groups_spec(args.get("groups", ""), params);
+    // An explicit --n stays as a cross-check (validate() rejects a
+    // mismatch with the group counts); otherwise N is derived.
+    if (args.has("n")) params.n_versions = explicit_n;
+  }
   params.validate();
   return params;
 }
@@ -300,6 +364,7 @@ void warn_deprecated_once(const char* old_flag, const char* replacement) {
   std::fprintf(stderr, "warning: %s is deprecated, use %s\n", old_flag,
                replacement);
 }
+
 
 core::ReliabilityAnalyzer::Options analyzer_options(
     const util::CliArgs& args) {
@@ -665,6 +730,13 @@ int archspace(const core::Engine& engine, const util::CliArgs& args,
   options.max_versions = args.get_int("max-n", options.max_versions);
   options.max_faulty = args.get_int("max-f", options.max_faulty);
   options.max_rejuvenating = args.get_int("max-r", options.max_rejuvenating);
+  options.heterogeneous = args.has("hetero");
+  options.hardened_mtc_factor =
+      args.get_double("hardened-mtc-factor", options.hardened_mtc_factor);
+  options.hardened_weight =
+      args.get_double("hardened-weight", options.hardened_weight);
+  options.hardened_repair_degradation = args.get_double(
+      "hardened-repair-q", options.hardened_repair_degradation);
   options.attachment = engine.options().attachment;
   options.backend = engine.options().solver.backend;
   auto results = engine.architectures(params, options);
@@ -759,6 +831,27 @@ std::string remote_request_json(std::uint64_t id, const std::string& method,
     for (const char* key : {"alpha", "p", "p-prime", "mttc", "mttf", "mttr",
                             "interval", "duration", "detection-rate"})
       if (args.has(key)) json.kv(key, args.get_double(key, 0.0));
+    if (args.has("groups")) {
+      // Expand the --groups spec locally (inheriting this invocation's
+      // scalars) so the daemon sees fully-specified group objects.
+      const core::SystemParameters params = paper_params(args);
+      if (!args.has("n"))
+        json.kv("n", static_cast<std::int64_t>(params.n_versions));
+      json.key("groups").begin_array();
+      for (const core::ModuleGroup& g : params.groups) {
+        json.begin_object();
+        json.kv("count", static_cast<std::int64_t>(g.count));
+        json.kv("mttc", g.mean_time_to_compromise);
+        json.kv("mttf", g.mean_time_to_failure);
+        json.kv("mttr", g.mean_time_to_repair);
+        json.kv("p", g.p);
+        json.kv("p-prime", g.p_prime);
+        json.kv("weight", g.weight);
+        json.kv("repair-degradation", g.repair_degradation);
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.end_object();
     if (args.has("convention") || args.has("attachment") ||
         args.has("solver") || args.has("fallback") ||
