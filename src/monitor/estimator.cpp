@@ -1,0 +1,189 @@
+#include "src/monitor/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace nvp::monitor {
+
+namespace {
+constexpr double kZ95 = 1.959963984540054;  ///< Φ⁻¹(0.975)
+
+/// Wilson–Hilferty approximation of the Gamma(shape, rate) quantile at the
+/// standard-normal deviate `z`: a chi-square variate to the power 1/3 is
+/// close to normal, which gives closed-form quantiles accurate to a few
+/// percent for shape ≳ 1 — plenty for credible-interval reporting.
+double gamma_quantile(double shape, double rate, double z) {
+  const double c = 1.0 - 1.0 / (9.0 * shape) + z / (3.0 * std::sqrt(shape));
+  const double q = shape / rate * c * c * c;
+  return std::max(0.0, q);
+}
+}  // namespace
+
+RateEstimator::RateEstimator(const Config& config) : config_(config) {
+  NVP_EXPECTS(config.window > 0.0);
+  NVP_EXPECTS(config.bucket > 0.0);
+  NVP_EXPECTS(config.prior_shape > 0.0);
+  NVP_EXPECTS(config.prior_exposure > 0.0);
+}
+
+void RateEstimator::observe(double time, double events, double exposure) {
+  const auto index =
+      static_cast<std::int64_t>(std::floor(time / config_.bucket));
+  if (buckets_.empty() || buckets_.back().index != index)
+    buckets_.push_back(Bucket{index, 0.0, 0.0});
+  buckets_.back().events += events;
+  buckets_.back().exposure += exposure;
+  evict(index);
+}
+
+void RateEstimator::evict(std::int64_t newest) {
+  const auto span =
+      static_cast<std::int64_t>(std::ceil(config_.window / config_.bucket));
+  while (!buckets_.empty() && buckets_.front().index <= newest - span)
+    buckets_.pop_front();
+}
+
+Estimate RateEstimator::estimate() const {
+  double k = 0.0;
+  double t = 0.0;
+  for (const Bucket& b : buckets_) {
+    k += b.events;
+    t += b.exposure;
+  }
+  Estimate e;
+  e.events = k;
+  e.exposure = t;
+  e.mle = t > 0.0 ? k / t : 0.0;
+  const double shape = config_.prior_shape + k;
+  const double rate = config_.prior_exposure + t;
+  e.mean = shape / rate;
+  e.lo95 = gamma_quantile(shape, rate, -kZ95);
+  e.hi95 = gamma_quantile(shape, rate, kZ95);
+  return e;
+}
+
+ProbabilityEstimator::ProbabilityEstimator(const Config& config)
+    : config_(config) {
+  NVP_EXPECTS(config.window > 0.0);
+  NVP_EXPECTS(config.bucket > 0.0);
+  NVP_EXPECTS(config.prior_errors > 0.0);
+  NVP_EXPECTS(config.prior_successes > 0.0);
+}
+
+void ProbabilityEstimator::observe(double time, double errors,
+                                   double trials) {
+  const auto index =
+      static_cast<std::int64_t>(std::floor(time / config_.bucket));
+  if (buckets_.empty() || buckets_.back().index != index)
+    buckets_.push_back(Bucket{index, 0.0, 0.0});
+  buckets_.back().errors += errors;
+  buckets_.back().trials += trials;
+  evict(index);
+}
+
+void ProbabilityEstimator::evict(std::int64_t newest) {
+  const auto span =
+      static_cast<std::int64_t>(std::ceil(config_.window / config_.bucket));
+  while (!buckets_.empty() && buckets_.front().index <= newest - span)
+    buckets_.pop_front();
+}
+
+Estimate ProbabilityEstimator::estimate() const {
+  double errors = 0.0;
+  double trials = 0.0;
+  for (const Bucket& b : buckets_) {
+    errors += b.errors;
+    trials += b.trials;
+  }
+  Estimate e;
+  e.events = errors;
+  e.exposure = trials;
+  e.mle = trials > 0.0 ? errors / trials : 0.0;
+  const double a = config_.prior_errors + errors;
+  const double b = config_.prior_successes + (trials - errors);
+  e.mean = a / (a + b);
+  const double sd = std::sqrt(e.mean * (1.0 - e.mean) / (a + b + 1.0));
+  e.lo95 = std::max(0.0, e.mean - kZ95 * sd);
+  e.hi95 = std::min(1.0, e.mean + kZ95 * sd);
+  return e;
+}
+
+VerdictStreamEstimator::VerdictStreamEstimator(int num_modules,
+                                               const Config& config)
+    : config_(config),
+      modules_(static_cast<std::size_t>(num_modules)),
+      rate_(config.rate),
+      probability_(config.probability) {
+  NVP_EXPECTS(num_modules > 0);
+  NVP_EXPECTS(config.detector_window > 0);
+  NVP_EXPECTS(config.detector_min_frames > 0);
+  NVP_EXPECTS(config.detector_min_frames <= config.detector_window);
+  NVP_EXPECTS(config.clear_threshold < config.flag_threshold);
+}
+
+void VerdictStreamEstimator::observe_frame(
+    double time, double dt,
+    const std::vector<perception::ModuleAnswer>& answers, int true_label) {
+  NVP_EXPECTS(answers.size() == modules_.size());
+  int at_risk = 0;
+  double p_trials = 0.0;
+  double p_errors = 0.0;
+  double events = 0.0;
+  for (std::size_t m = 0; m < modules_.size(); ++m) {
+    ModuleWindow& w = modules_[m];
+    const perception::ModuleAnswer& answer = answers[m];
+    if (!answer.responded) {
+      // Silent = failed or rejuvenating. Either way the module re-enters
+      // service good-as-new, so the detector restarts its evidence window.
+      w.reset();
+      w.flagged = false;
+      continue;
+    }
+    const bool wrong = answer.label != true_label;
+    w.wrong.push_back(wrong ? 1 : 0);
+    w.wrong_count += wrong ? 1 : 0;
+    while (static_cast<int>(w.wrong.size()) > config_.detector_window) {
+      w.wrong_count -= w.wrong.front();
+      w.wrong.pop_front();
+    }
+    const auto frames = static_cast<int>(w.wrong.size());
+    const double error_rate =
+        static_cast<double>(w.wrong_count) / static_cast<double>(frames);
+    if (!w.flagged) {
+      ++at_risk;  // exposure accrued while the module looked healthy
+      if (frames >= config_.detector_min_frames &&
+          error_rate >= config_.flag_threshold) {
+        w.flagged = true;
+        events += 1.0;
+        ++detections_;
+      }
+    } else {
+      p_trials += 1.0;
+      p_errors += wrong ? 1.0 : 0.0;
+      if (frames >= config_.detector_min_frames &&
+          error_rate <= config_.clear_threshold)
+        w.flagged = false;
+    }
+  }
+  // Single-server semantics: the attack transition is enabled (at the
+  // system-level rate 1/mttc) whenever any at-risk module exists, so a
+  // frame contributes dt of exposure regardless of how many modules could
+  // be hit. Infinite-server: each at-risk module is its own server.
+  const double exposure =
+      config_.semantics == core::FiringSemantics::kInfiniteServer
+          ? static_cast<double>(at_risk) * dt
+          : (at_risk > 0 ? dt : 0.0);
+  rate_.observe(time, events, exposure);
+  if (p_trials > 0.0) probability_.observe(time, p_errors, p_trials);
+}
+
+int VerdictStreamEstimator::flagged() const {
+  int n = 0;
+  for (const ModuleWindow& w : modules_)
+    if (w.flagged) ++n;
+  return n;
+}
+
+}  // namespace nvp::monitor

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/core/params.hpp"
+#include "src/perception/module_sim.hpp"
+
+namespace nvp::monitor {
+
+/// One online estimate of a drifting quantity: the windowed MLE, the
+/// conjugate-posterior mean, and a central 95% credible interval. `events`
+/// and `exposure` are the raw windowed counts backing it, so callers can
+/// gate decisions on evidence volume instead of trusting a prior-dominated
+/// posterior.
+struct Estimate {
+  double mle = 0.0;
+  double mean = 0.0;
+  double lo95 = 0.0;
+  double hi95 = 0.0;
+  double events = 0.0;
+  double exposure = 0.0;
+};
+
+/// Sliding-window estimator of a Poisson event rate λ (events per unit of
+/// exposure). Observations are accumulated into fixed-width exposure
+/// buckets; buckets older than `window` are dropped, so the estimate tracks
+/// drift with a bounded memory. The windowed MLE is k/T; the Bayesian
+/// estimate is the conjugate Gamma(a0 + k, b0 + T) posterior, whose
+/// quantiles are computed with the Wilson–Hilferty approximation (exact
+/// enough for interval reporting, and free of special-function code).
+///
+/// Fully deterministic: no RNG, no clocks — the same observation sequence
+/// always yields the same estimates.
+class RateEstimator {
+ public:
+  struct Config {
+    double window = 20000.0;  ///< seconds of history retained
+    double bucket = 500.0;    ///< accumulation bucket width (seconds)
+    double prior_shape = 1.0;       ///< Gamma a0 (pseudo-events)
+    double prior_exposure = 500.0;  ///< Gamma b0 (pseudo-exposure)
+  };
+
+  explicit RateEstimator(const Config& config);
+
+  /// Records `events` occurrences over `exposure` additional units observed
+  /// at simulation time `time` (monotone non-decreasing across calls).
+  void observe(double time, double events, double exposure);
+
+  Estimate estimate() const;
+
+ private:
+  struct Bucket {
+    std::int64_t index = 0;
+    double events = 0.0;
+    double exposure = 0.0;
+  };
+
+  void evict(std::int64_t newest);
+
+  Config config_;
+  std::deque<Bucket> buckets_;
+};
+
+/// Sliding-window estimator of a Bernoulli probability (per-trial error
+/// rate p′). Same bucketing discipline as RateEstimator; the Bayesian
+/// estimate is the conjugate Beta(a0 + errors, b0 + trials - errors)
+/// posterior with a normal-approximation credible interval clamped to
+/// [0, 1].
+class ProbabilityEstimator {
+ public:
+  struct Config {
+    double window = 20000.0;
+    double bucket = 500.0;
+    double prior_errors = 1.0;     ///< Beta a0
+    double prior_successes = 1.0;  ///< Beta b0
+  };
+
+  explicit ProbabilityEstimator(const Config& config);
+
+  void observe(double time, double errors, double trials);
+
+  Estimate estimate() const;
+
+ private:
+  struct Bucket {
+    std::int64_t index = 0;
+    double errors = 0.0;
+    double trials = 0.0;
+  };
+
+  void evict(std::int64_t newest);
+
+  Config config_;
+  std::deque<Bucket> buckets_;
+};
+
+/// Turns raw per-frame module verdicts into (λc, p′) observations.
+///
+/// The monitor sees what production would see: per frame, each module's
+/// answer plus the reference label of audited traffic. It cannot observe
+/// module state directly, so compromises are *detected*: each module keeps
+/// a ring window of its recent answered frames; when its windowed error
+/// rate crosses `flag_threshold` the module is flagged (one compromise
+/// event for the λc estimator), and it is unflagged on `clear_threshold`
+/// or when it goes silent (failure/rejuvenation restarts its life-cycle,
+/// which is exactly the DSPN's H-state re-entry). Exposure accrual follows
+/// the model's firing semantics, so λ̂c is directly comparable with
+/// 1/mean_time_to_compromise: under single-server semantics (the paper's)
+/// the attack transition is enabled at the system level whenever at least
+/// one at-risk module exists, so exposure is Δt; under infinite-server it
+/// is (answering unflagged modules) × Δt. Flagged modules' answers feed
+/// the p′ estimator.
+///
+/// Detection latency biases λ̂c slightly low and the threshold discipline
+/// can miss near-p′≈p compromises; both effects are second-order for the
+/// paper's parameterization (p = 0.08 vs p′ = 0.5) and are covered by the
+/// credible intervals.
+class VerdictStreamEstimator {
+ public:
+  struct Config {
+    int detector_window = 40;       ///< answered frames per module window
+    int detector_min_frames = 12;   ///< evidence needed before flagging
+    double flag_threshold = 0.3;    ///< windowed error rate that flags
+    double clear_threshold = 0.12;  ///< windowed error rate that unflags
+    /// Exposure model for the λc estimate — must match the solved model's
+    /// transition semantics (see the class comment).
+    core::FiringSemantics semantics = core::FiringSemantics::kSingleServer;
+    RateEstimator::Config rate{};
+    ProbabilityEstimator::Config probability{};
+  };
+
+  VerdictStreamEstimator(int num_modules, const Config& config);
+
+  /// Feeds one frame: per-module answers, the reference label, and the
+  /// frame timestamp. `dt` is the exposure carried by this frame (the
+  /// frame interval).
+  void observe_frame(double time, double dt,
+                     const std::vector<perception::ModuleAnswer>& answers,
+                     int true_label);
+
+  Estimate lambda() const { return rate_.estimate(); }
+  Estimate p_prime() const { return probability_.estimate(); }
+
+  /// Modules currently flagged as compromised by the detector.
+  int flagged() const;
+
+  /// Total compromise detections since construction.
+  std::uint64_t detections() const { return detections_; }
+
+ private:
+  struct ModuleWindow {
+    std::deque<char> wrong;  ///< ring of recent answered frames
+    int wrong_count = 0;
+    bool flagged = false;
+
+    void reset() {
+      wrong.clear();
+      wrong_count = 0;
+    }
+  };
+
+  Config config_;
+  std::vector<ModuleWindow> modules_;
+  RateEstimator rate_;
+  ProbabilityEstimator probability_;
+  std::uint64_t detections_ = 0;
+};
+
+}  // namespace nvp::monitor

@@ -1,0 +1,46 @@
+#include "src/monitor/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/fault/error.hpp"
+#include "src/util/contracts.hpp"
+
+namespace nvp::monitor {
+
+PolicyDecision StaticPolicy::decide(double current_interval,
+                                    double optimal_interval) {
+  (void)optimal_interval;
+  return PolicyDecision{current_interval, false};
+}
+
+HysteresisPolicy::HysteresisPolicy(const Config& config) : config_(config) {
+  NVP_EXPECTS(config.band >= 0.0);
+  NVP_EXPECTS(config.min_interval > 0.0);
+  NVP_EXPECTS(config.max_interval >= config.min_interval);
+}
+
+PolicyDecision HysteresisPolicy::decide(double current_interval,
+                                        double optimal_interval) {
+  const double target = std::clamp(optimal_interval, config_.min_interval,
+                                   config_.max_interval);
+  const double drift =
+      std::abs(target - current_interval) / std::max(current_interval, 1e-9);
+  if (drift <= config_.band) return PolicyDecision{current_interval, false};
+  return PolicyDecision{target, true};
+}
+
+std::unique_ptr<RejuvenationPolicy> make_policy(
+    const std::string& name, const HysteresisPolicy::Config& hysteresis) {
+  if (name == "static") return std::make_unique<StaticPolicy>();
+  if (name == "hysteresis")
+    return std::make_unique<HysteresisPolicy>(hysteresis);
+  fault::Context context;
+  context.site = "monitor.policy";
+  throw fault::Error(fault::Category::kInvalidModel,
+                     "unknown rejuvenation policy '" + name +
+                         "' (expected static|hysteresis)",
+                     std::move(context));
+}
+
+}  // namespace nvp::monitor

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace nvp::monitor {
+
+/// What a policy decided about the rejuvenation clock for one update.
+struct PolicyDecision {
+  double interval = 0.0;  ///< interval the clock should run at now
+  bool retune = false;    ///< true when the clock should be re-armed
+};
+
+/// Pluggable set-point controller for the rejuvenation clock. The monitor
+/// controller feeds it the currently applied interval plus the model's
+/// freshly re-solved optimum; the policy decides whether the clock moves.
+/// Implementations must be deterministic pure functions of their inputs.
+class RejuvenationPolicy {
+ public:
+  virtual ~RejuvenationPolicy() = default;
+
+  virtual PolicyDecision decide(double current_interval,
+                                double optimal_interval) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Baseline: never touches the clock (the paper's offline static interval).
+/// Keeping it as a Policy lets the adaptive and static arms of an
+/// experiment share every other line of the control loop.
+class StaticPolicy final : public RejuvenationPolicy {
+ public:
+  PolicyDecision decide(double current_interval,
+                        double optimal_interval) override;
+  std::string name() const override { return "static"; }
+};
+
+/// Hysteresis-banded set-point controller: retunes the clock to the model
+/// optimum only when it has drifted out of a relative dead band around the
+/// current interval, and clamps the target into [min_interval,
+/// max_interval]. The band suppresses chatter from estimator noise; the
+/// clamp keeps a wild early estimate from parking the clock somewhere
+/// pathological.
+class HysteresisPolicy final : public RejuvenationPolicy {
+ public:
+  struct Config {
+    double band = 0.15;  ///< relative dead band around the current value
+    double min_interval = 30.0;
+    double max_interval = 10000.0;
+  };
+
+  explicit HysteresisPolicy(const Config& config);
+
+  PolicyDecision decide(double current_interval,
+                        double optimal_interval) override;
+  std::string name() const override { return "hysteresis"; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Factory for the CLI/daemon policy knob ("static" | "hysteresis").
+/// Throws fault::Error (kInvalidArgument) on an unknown name.
+std::unique_ptr<RejuvenationPolicy> make_policy(
+    const std::string& name, const HysteresisPolicy::Config& hysteresis);
+
+}  // namespace nvp::monitor

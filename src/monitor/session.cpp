@@ -1,0 +1,168 @@
+#include "src/monitor/session.hpp"
+
+#include <cmath>
+
+#include "src/fault/error.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace nvp::monitor {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double DriftSchedule::multiplier_at(double t) const {
+  switch (kind) {
+    case Kind::kStep:
+      return t >= period ? multiplier : 1.0;
+    case Kind::kRamp: {
+      if (t < period) return 1.0;
+      if (t >= 2.0 * period) return multiplier;
+      return 1.0 + (multiplier - 1.0) * (t - period) / period;
+    }
+    case Kind::kSinusoid:
+      return 1.0 +
+             (multiplier - 1.0) * 0.5 *
+                 (1.0 - std::cos(2.0 * kPi * t / period));
+  }
+  return 1.0;
+}
+
+DriftSchedule::Kind DriftSchedule::parse_kind(const std::string& name) {
+  if (name == "step") return Kind::kStep;
+  if (name == "ramp") return Kind::kRamp;
+  if (name == "sinusoid") return Kind::kSinusoid;
+  fault::Context context;
+  context.site = "monitor.session";
+  throw fault::Error(fault::Category::kInvalidModel,
+                     "unknown drift schedule '" + name +
+                         "' (expected step|ramp|sinusoid)",
+                     std::move(context));
+}
+
+const char* DriftSchedule::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kStep:
+      return "step";
+    case Kind::kRamp:
+      return "ramp";
+    case Kind::kSinusoid:
+      return "sinusoid";
+  }
+  return "?";
+}
+
+std::vector<perception::FaultInjector::AttackWindow> make_drift_windows(
+    const DriftSchedule& schedule, double duration) {
+  NVP_EXPECTS(duration > 0.0);
+  NVP_EXPECTS(schedule.segment > 0.0);
+  NVP_EXPECTS(schedule.multiplier >= 1.0);
+  NVP_EXPECTS(schedule.period > 0.0);
+  std::vector<perception::FaultInjector::AttackWindow> windows;
+  const auto segments =
+      static_cast<std::size_t>(std::ceil(duration / schedule.segment));
+  for (std::size_t i = 0; i < segments; ++i) {
+    const double start = static_cast<double>(i) * schedule.segment;
+    const double end = std::min(duration, start + schedule.segment);
+    // Sample at the segment midpoint: the piecewise-constant realization
+    // of the continuous schedule.
+    const double m = schedule.multiplier_at(0.5 * (start + end));
+    if (std::abs(m - 1.0) < 1e-9) continue;
+    // Consecutive equal-multiplier segments merge into one window.
+    if (!windows.empty() && windows.back().end == start &&
+        windows.back().rate_multiplier == m) {
+      windows.back().end = end;
+      continue;
+    }
+    windows.push_back({start, end, m});
+  }
+  return windows;
+}
+
+namespace {
+
+perception::NVersionPerceptionSystem make_system(
+    const SessionConfig& config, double rejuvenation_interval) {
+  NVP_EXPECTS_MSG(config.params.rejuvenation,
+                  "monitor sessions steer the rejuvenation clock; configure "
+                  "the rejuvenating model");
+  perception::NVersionPerceptionSystem::Config system_config;
+  system_config.params = config.params;
+  system_config.params.rejuvenation_interval = rejuvenation_interval;
+  system_config.frame_interval = config.frame_interval;
+  // The campaign consumes substream 0 of the session seed; substreams ≥ 1
+  // are reserved for future stochastic monitor components.
+  system_config.seed = util::substream_seed(config.seed, 0);
+  perception::NVersionPerceptionSystem system(system_config);
+  for (const auto& window : make_drift_windows(config.schedule,
+                                               config.duration))
+    system.add_attack_window(window);
+  return system;
+}
+
+/// Time-weighted mean of the applied interval over [0, duration], from the
+/// piecewise-constant record log.
+double mean_applied_interval(const std::vector<ControlRecord>& records,
+                             double initial, double duration) {
+  double mean = 0.0;
+  double last_time = 0.0;
+  double current = initial;
+  for (const ControlRecord& r : records) {
+    if (!r.retuned) continue;
+    mean += current * (r.time - last_time);
+    last_time = r.time;
+    current = r.applied_interval;
+  }
+  mean += current * (duration - last_time);
+  return duration > 0.0 ? mean / duration : initial;
+}
+
+}  // namespace
+
+SessionResult run_monitor_session(const core::Engine& engine,
+                                  const SessionConfig& config) {
+  perception::NVersionPerceptionSystem system =
+      make_system(config, config.params.rejuvenation_interval);
+
+  MonitorController::Config controller_config = config.controller;
+  controller_config.params = config.params;
+  MonitorController controller(engine, controller_config,
+                               make_policy(config.policy, config.hysteresis));
+  controller.set_retune_callback(
+      [&system](double interval) {
+        system.set_rejuvenation_interval(interval);
+      });
+  system.set_frame_observer(
+      [&controller, &config](
+          const perception::Frame& frame,
+          const std::vector<perception::ModuleAnswer>& answers,
+          const perception::VoteResult& vote) {
+        (void)vote;
+        controller.observe_frame(frame.time, config.frame_interval, answers,
+                                 frame.label);
+      });
+
+  SessionResult result;
+  result.campaign = system.run(config.duration);
+  result.records = controller.records();
+  result.updates = controller.updates();
+  result.resolves = controller.resolves();
+  result.retunes = controller.retunes();
+  result.degraded_updates = controller.degraded_updates();
+  result.detections = controller.estimator().detections();
+  result.final_interval = controller.applied_interval();
+  result.mean_interval = mean_applied_interval(
+      result.records, config.params.rejuvenation_interval, config.duration);
+  result.reliability = result.campaign.paper_reliability();
+  return result;
+}
+
+perception::CampaignResult run_static_campaign(const SessionConfig& config,
+                                               double interval) {
+  perception::NVersionPerceptionSystem system =
+      make_system(config, interval);
+  return system.run(config.duration);
+}
+
+}  // namespace nvp::monitor

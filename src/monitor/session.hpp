@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/core/params.hpp"
+#include "src/monitor/controller.hpp"
+#include "src/perception/system.hpp"
+
+namespace nvp::monitor {
+
+/// A drifting-attack scenario script: how the true compromise rate λc(t)
+/// moves during a session, expressed as a multiplier on the nominal rate.
+/// Realized as piecewise-constant attack windows on the Monte-Carlo
+/// perception system (overlap-free, so multipliers are absolute).
+struct DriftSchedule {
+  enum class Kind { kStep, kRamp, kSinusoid };
+
+  Kind kind = Kind::kStep;
+  double multiplier = 8.0;  ///< peak λc multiplier (≥ 1)
+  /// Sinusoid period; for step/ramp, the onset time of the drift (the
+  /// step fires at `period`, the ramp rises over [period, 2·period]).
+  double period = 60000.0;
+  double segment = 2000.0;  ///< piecewise-constant segment width
+
+  /// True multiplier at time `t` (the reference the estimator chases).
+  double multiplier_at(double t) const;
+
+  static Kind parse_kind(const std::string& name);  ///< throws fault::Error
+  static const char* kind_name(Kind kind);
+};
+
+/// Expands a schedule into non-overlapping attack windows over
+/// [0, duration] (segments with multiplier ≈ 1 are skipped).
+std::vector<perception::FaultInjector::AttackWindow> make_drift_windows(
+    const DriftSchedule& schedule, double duration);
+
+/// One controlled monitor session: perception campaign + control loop.
+struct SessionConfig {
+  core::SystemParameters params;  ///< nominal model (paper defaults)
+  DriftSchedule schedule;
+  double duration = 200000.0;
+  double frame_interval = 1.0;
+  std::uint64_t seed = 1;
+  std::string policy = "hysteresis";  ///< "hysteresis" | "static"
+  HysteresisPolicy::Config hysteresis{};
+  MonitorController::Config controller{};
+};
+
+struct SessionResult {
+  perception::CampaignResult campaign;
+  std::vector<ControlRecord> records;
+  std::uint64_t updates = 0;
+  std::uint64_t resolves = 0;
+  std::uint64_t retunes = 0;
+  std::uint64_t degraded_updates = 0;
+  std::uint64_t detections = 0;
+  double final_interval = 0.0;
+  double mean_interval = 0.0;  ///< time-weighted mean applied interval
+  double reliability = 0.0;    ///< campaign paper_reliability()
+};
+
+/// Runs a closed-loop session: the Monte-Carlo perception system plays
+/// production traffic under the drifting-attack schedule, the controller
+/// estimates (λc, p′) from the verdict stream, re-solves through the
+/// staged rates-only path, and steers the rejuvenation clock per the
+/// policy. Deterministic for a fixed (config, seed) at any --jobs.
+SessionResult run_monitor_session(const core::Engine& engine,
+                                  const SessionConfig& config);
+
+/// Open-loop reference arm: the same campaign at a fixed rejuvenation
+/// interval, no controller (what the paper's offline choice would do under
+/// this drift). Used by benches/tests to find the best static interval.
+perception::CampaignResult run_static_campaign(const SessionConfig& config,
+                                               double interval);
+
+}  // namespace nvp::monitor

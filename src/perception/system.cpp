@@ -302,6 +302,7 @@ void NVersionPerceptionSystem::process_frame(const Frame& frame,
     }
   }
   const VoteResult vote = voter_->vote(answers, frame.label);
+  if (frame_observer_) frame_observer_(frame, answers, vote);
   ++result.frames;
   switch (vote.verdict) {
     case core::Verdict::kCorrect:

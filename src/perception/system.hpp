@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -95,6 +96,26 @@ class NVersionPerceptionSystem {
   /// Registers an adversarial burst multiplying the compromise rate.
   void add_attack_window(const FaultInjector::AttackWindow& window);
 
+  /// Per-frame tap for external observers (the runtime monitor): invoked
+  /// after every vote with the frame, the raw per-module answers, and the
+  /// vote result. The observer consumes no campaign randomness, so a
+  /// campaign is bit-identical with or without one installed.
+  using FrameObserver = std::function<void(
+      const Frame&, const std::vector<ModuleAnswer>&, const VoteResult&)>;
+  void set_frame_observer(FrameObserver observer) {
+    frame_observer_ = std::move(observer);
+  }
+
+  /// Retunes the rejuvenation clock in-loop (closed-loop adaptive
+  /// rejuvenation): future re-arms use the new interval, and a pending
+  /// expiry is pulled in when the new interval would fire sooner.
+  void set_rejuvenation_interval(double interval) {
+    rejuvenator_.set_interval(interval, now_);
+  }
+
+  /// The interval the rejuvenation clock currently runs at.
+  double rejuvenation_interval() const { return rejuvenator_.interval(); }
+
   /// Read-only module access for inspection/examples.
   const std::vector<MlModuleSim>& modules() const { return modules_; }
 
@@ -134,6 +155,7 @@ class NVersionPerceptionSystem {
   FaultInjector injector_;
   TimedRejuvenator rejuvenator_;
   std::unique_ptr<Voter> voter_;
+  FrameObserver frame_observer_;
   std::optional<AdaptiveIntervalController> adaptive_;
   Environment environment_;
   /// Module groups of a heterogeneous campaign (empty = homogeneous, the

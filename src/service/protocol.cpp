@@ -32,6 +32,7 @@ const char* to_string(Method method) {
     case Method::kAnalyze: return "analyze";
     case Method::kSweep: return "sweep";
     case Method::kSimulate: return "simulate";
+    case Method::kMonitor: return "monitor";
     case Method::kStats: return "stats";
     case Method::kShutdown: return "shutdown";
   }
@@ -278,6 +279,8 @@ bool parse_request(const wire::Value& payload, Request* request,
     request->method = Method::kSweep;
   else if (method == "simulate")
     request->method = Method::kSimulate;
+  else if (method == "monitor")
+    request->method = Method::kMonitor;
   else if (method == "stats")
     request->method = Method::kStats;
   else if (method == "shutdown")
@@ -296,7 +299,8 @@ bool parse_request(const wire::Value& payload, Request* request,
 
   const bool needs_model = request->method == Method::kAnalyze ||
                            request->method == Method::kSweep ||
-                           request->method == Method::kSimulate;
+                           request->method == Method::kSimulate ||
+                           request->method == Method::kMonitor;
   if (!needs_model) return true;
 
   const wire::Value* params_node = payload.get("params");
@@ -362,6 +366,61 @@ bool parse_request(const wire::Value& payload, Request* request,
     }
     if (!(request->sim_horizon > 0.0) || request->sim_replications == 0) {
       *error = "simulate needs horizon > 0 and reps >= 1";
+      return false;
+    }
+  }
+  if (request->method == Method::kMonitor) {
+    const wire::Value* mon = payload.get("monitor");
+    if (mon != nullptr) {
+      if (!mon->is_object()) {
+        *error = "monitor must be an object";
+        return false;
+      }
+      request->mon_schedule = mon->string_or("schedule",
+                                             request->mon_schedule);
+      request->mon_horizon = mon->number_or("horizon", request->mon_horizon);
+      request->mon_multiplier =
+          mon->number_or("multiplier", request->mon_multiplier);
+      request->mon_period = mon->number_or("period", request->mon_period);
+      request->mon_segment = mon->number_or("segment", request->mon_segment);
+      request->mon_policy = mon->string_or("policy", request->mon_policy);
+      request->mon_update_every =
+          mon->number_or("update_every", request->mon_update_every);
+      request->mon_interval_lo =
+          mon->number_or("interval_lo", request->mon_interval_lo);
+      request->mon_interval_hi =
+          mon->number_or("interval_hi", request->mon_interval_hi);
+      request->mon_grid_points = static_cast<std::size_t>(
+          mon->number_or("grid_points", double(request->mon_grid_points)));
+      request->mon_band = mon->number_or("band", request->mon_band);
+      request->mon_seed = mon->u64_or("seed", request->mon_seed);
+    }
+    if (request->mon_schedule != "step" && request->mon_schedule != "ramp" &&
+        request->mon_schedule != "sinusoid") {
+      *error = "monitor.schedule must be one of step|ramp|sinusoid";
+      return false;
+    }
+    if (request->mon_policy != "hysteresis" &&
+        request->mon_policy != "static") {
+      *error = "monitor.policy must be one of hysteresis|static";
+      return false;
+    }
+    if (!(request->mon_horizon > 0.0) || !(request->mon_multiplier >= 1.0) ||
+        !(request->mon_period > 0.0) || !(request->mon_segment > 0.0) ||
+        !(request->mon_update_every > 0.0)) {
+      *error = "monitor needs horizon/period/segment/update_every > 0 and "
+               "multiplier >= 1";
+      return false;
+    }
+    if (!(request->mon_interval_hi > request->mon_interval_lo) ||
+        !(request->mon_interval_lo > 0.0) || request->mon_grid_points < 2) {
+      *error = "monitor needs 0 < interval_lo < interval_hi and "
+               "grid_points >= 2";
+      return false;
+    }
+    if (request->mon_horizon / request->mon_update_every > 100000.0) {
+      *error = "monitor.horizon/update_every exceeds the per-request limit "
+               "(100000 updates)";
       return false;
     }
   }

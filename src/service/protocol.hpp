@@ -18,13 +18,18 @@ namespace nvp::service {
 ///
 /// Request object:
 ///   { "id": <u64>, "method": "ping"|"analyze"|"sweep"|"simulate"|
-///                            "stats"|"shutdown",
+///                            "monitor"|"stats"|"shutdown",
 ///     "deadline_ms": <ms, optional>,
 ///     "params":  { "paper": "4v"|"6v", ...numeric overrides... },
 ///     "options": { "convention": ..., "attachment": ..., "solver": ...,
 ///                  "fallback": "stage,stage,..." },
 ///     "sweep":    { "param": ..., "from": ..., "to": ..., "points": ... },
-///     "simulate": { "horizon": ..., "reps": ..., "seed": ... } }
+///     "simulate": { "horizon": ..., "reps": ..., "seed": ... },
+///     "monitor":  { "schedule": ..., "horizon": ..., "multiplier": ...,
+///                   "period": ..., "segment": ..., "policy": ...,
+///                   "update_every": ..., "interval_lo": ...,
+///                   "interval_hi": ..., "grid_points": ..., "band": ...,
+///                   "seed": ... } }
 ///
 /// Response object:
 ///   { "id": <u64>, "ok": true,  "result": { ... } }
@@ -66,7 +71,9 @@ bool write_frame(int fd, std::string_view payload);
 // ---------------------------------------------------------------------------
 // Typed requests.
 
-enum class Method { kPing, kAnalyze, kSweep, kSimulate, kStats, kShutdown };
+enum class Method {
+  kPing, kAnalyze, kSweep, kSimulate, kMonitor, kStats, kShutdown
+};
 const char* to_string(Method method);
 
 /// One parsed protocol request. Defaults mirror the CLI's.
@@ -92,6 +99,22 @@ struct Request {
   double sim_horizon = 1.0e6;
   std::size_t sim_replications = 8;
   std::uint64_t sim_seed = 1;
+
+  // monitor — kept as plain fields (not a monitor::SessionConfig) so the
+  // protocol layer stays decoupled from the monitor subsystem; the server
+  // assembles the session config at execution time.
+  std::string mon_schedule = "step";
+  double mon_horizon = 200000.0;
+  double mon_multiplier = 8.0;
+  double mon_period = 60000.0;
+  double mon_segment = 2000.0;
+  std::string mon_policy = "hysteresis";
+  double mon_update_every = 2500.0;
+  double mon_interval_lo = 60.0;
+  double mon_interval_hi = 3000.0;
+  std::size_t mon_grid_points = 10;
+  double mon_band = 0.15;
+  std::uint64_t mon_seed = 1;
 };
 
 /// Parses a decoded JSON payload into a Request. On failure returns false
@@ -105,8 +128,8 @@ bool parse_request(const wire::Value& payload, Request* request,
 /// equal keys are guaranteed to produce identical result payloads, so they
 /// can share one solve. analyze keys reuse the staged pipeline's
 /// analysis_cache_key; sweep keys extend it with the sweep spec. Returns 0
-/// for methods that never coalesce (simulate is seed-dependent stochastic
-/// work; ping/stats/shutdown are trivial).
+/// for methods that never coalesce (simulate and monitor are seed-dependent
+/// stochastic work; ping/stats/shutdown are trivial).
 std::uint64_t coalesce_key(const Request& request);
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@
 
 #include "src/core/staged.hpp"
 #include "src/core/sweep.hpp"
+#include "src/monitor/session.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -497,6 +498,7 @@ bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
     case Method::kAnalyze:
     case Method::kSweep:
     case Method::kSimulate:
+    case Method::kMonitor:
       requests_total().add();
       admit(conn, std::move(request));
       return true;
@@ -729,6 +731,60 @@ std::string Server::run_engine(const Request& request, bool* ok,
               static_cast<std::uint64_t>(sim.replications));
       json.kv("seed", static_cast<std::uint64_t>(sim.seed));
       json.end_object();
+      return json.str();
+    }
+    case Method::kMonitor: {
+      monitor::SessionConfig config;
+      config.params = request.params;
+      config.schedule.kind =
+          monitor::DriftSchedule::parse_kind(request.mon_schedule);
+      config.schedule.multiplier = request.mon_multiplier;
+      config.schedule.period = request.mon_period;
+      config.schedule.segment = request.mon_segment;
+      config.duration = request.mon_horizon;
+      config.seed = request.mon_seed;
+      config.policy = request.mon_policy;
+      config.controller.update_every = request.mon_update_every;
+      config.controller.interval_lo = request.mon_interval_lo;
+      config.controller.interval_hi = request.mon_interval_hi;
+      config.controller.grid_points = request.mon_grid_points;
+      config.hysteresis.band = request.mon_band;
+      config.hysteresis.min_interval = request.mon_interval_lo;
+      config.hysteresis.max_interval = request.mon_interval_hi;
+      const monitor::SessionResult session =
+          monitor::run_monitor_session(engine, config);
+      obs::JsonWriter json;
+      json.begin_object();
+      json.kv("schedule",
+              monitor::DriftSchedule::kind_name(config.schedule.kind));
+      json.kv("horizon", config.duration);
+      json.kv("policy", config.policy);
+      json.kv("seed", static_cast<std::uint64_t>(config.seed));
+      json.kv("reliability", session.reliability);
+      json.kv("updates", session.updates);
+      json.kv("resolves", session.resolves);
+      json.kv("retunes", session.retunes);
+      json.kv("degraded_updates", session.degraded_updates);
+      json.kv("detections", session.detections);
+      json.kv("final_interval", session.final_interval);
+      json.kv("mean_interval", session.mean_interval);
+      json.key("records").begin_array();
+      for (const monitor::ControlRecord& r : session.records) {
+        json.begin_object();
+        json.kv("time", r.time);
+        json.kv("lambda_mean", r.lambda.mean);
+        json.kv("pprime_mean", r.p_prime.mean);
+        json.kv("target", r.target_interval);
+        json.kv("applied", r.applied_interval);
+        // Evidence-gated records (mttc_hat == 0, no solve yet) and degraded
+        // records carry no fresh solve value, matching the CLI's empty cell.
+        if (!r.degraded && r.mttc_hat > 0.0)
+          json.kv("expected_reliability", r.expected_reliability);
+        json.kv("retuned", r.retuned);
+        if (r.degraded) json.kv("error", r.error);
+        json.end_object();
+      }
+      json.end_array().end_object();
       return json.str();
     }
     default:

@@ -226,6 +226,37 @@ TEST(RequestTest, RejectsBadRequests) {
           "sweep": {"param": "mttc", "from": 5, "to": 2, "points": 5}})");
   check_fails(
       R"({"id": 1, "method": "simulate", "simulate": {"horizon": -1}})");
+  check_fails(
+      R"({"id": 1, "method": "monitor", "monitor": {"schedule": "bogus"}})");
+  check_fails(
+      R"({"id": 1, "method": "monitor", "monitor": {"policy": "bogus"}})");
+  check_fails(
+      R"({"id": 1, "method": "monitor",
+          "monitor": {"interval_lo": 500, "interval_hi": 100}})");
+  check_fails(
+      R"({"id": 1, "method": "monitor",
+          "monitor": {"horizon": 1e9, "update_every": 1}})");
+}
+
+TEST(RequestTest, ParsesMonitorWithDefaultsAndOverrides) {
+  const auto request = must_parse(
+      R"({"id": 9, "method": "monitor", "params": {"paper": "6v"},
+          "monitor": {"schedule": "ramp", "horizon": 50000,
+                      "multiplier": 10, "policy": "static",
+                      "update_every": 1250, "seed": 42}})");
+  EXPECT_EQ(request.method, service::Method::kMonitor);
+  EXPECT_EQ(request.mon_schedule, "ramp");
+  EXPECT_DOUBLE_EQ(request.mon_horizon, 50000.0);
+  EXPECT_DOUBLE_EQ(request.mon_multiplier, 10.0);
+  EXPECT_EQ(request.mon_policy, "static");
+  EXPECT_DOUBLE_EQ(request.mon_update_every, 1250.0);
+  EXPECT_EQ(request.mon_seed, 42u);
+  // Absent keys keep their CLI-matching defaults.
+  EXPECT_DOUBLE_EQ(request.mon_period, 60000.0);
+  EXPECT_DOUBLE_EQ(request.mon_interval_lo, 60.0);
+  EXPECT_DOUBLE_EQ(request.mon_interval_hi, 3000.0);
+  // Monitor sessions are seed-dependent stochastic work: never coalesced.
+  EXPECT_EQ(service::coalesce_key(request), 0u);
 }
 
 TEST(RequestTest, CoalesceKeyTracksSolveIdentity) {

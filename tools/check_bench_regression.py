@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate benchmark regressions against the recorded baselines.
 
-Three modes:
+Modes:
 
 Runtime mode (default) reads a google-benchmark JSON report
 (``--benchmark_format=json`` output of ``bench_perf_solvers``) and compares
@@ -61,15 +61,32 @@ an order-of-magnitude bound, the warm path replaces full DSPN solves with
 store reads — these restate deterministic counters and model mathematics,
 so they take no tolerance.
 
+Monitor mode (``--monitor``) reads the document written by
+``bench_monitor`` (``bench_results/BENCH_monitor.json``) and gates the
+closed-loop adaptive rejuvenation contract: the adaptive session must beat
+the best static interval (strictly positive margin), suffer zero degraded
+re-solves, stay on the structure cache (at most one reachability build for
+the whole session), and have actually re-solved and retuned. On top of the
+fresh-run table, the measured margin is compared against the recorded
+baseline (``--baseline bench_results/BENCH_monitor.json``): the fresh
+margin must reach the recorded margin minus the tolerance fraction of it,
+so a controller change that quietly halves the adaptive advantage fails
+even while the sign stays positive.
+
 ``--list`` prints the numeric metric names available in the baseline file
 (so CI logs and humans can see what is being gated) and exits.
 
-The tolerance is a fraction of the runtime baseline (default 0.25 = +25%),
-settable with ``--tolerance`` or the ``NVP_BENCH_TOLERANCE`` environment
-variable — CI hardware is noisy, so the default is deliberately generous:
-this gate is meant to catch order-of-magnitude mistakes (an accidentally
-quadratic loop, a dropped cache), not single-digit-percent drift. The sweep
-floors are already order-of-magnitude bounds and take no tolerance.
+``--self-test`` runs the tool's own unit checks (table evaluation, metric
+flattening, schema gating, monitor margin arithmetic) against synthetic
+in-memory documents and exits; the lint CI job invokes it so a refactor of
+this gate cannot silently break the gating logic itself.
+
+The tolerance is a fraction of the baseline (default 0.25 = +25%), settable
+with ``--tolerance`` or the ``NVP_BENCH_TOLERANCE`` environment variable —
+CI hardware is noisy, so the default is deliberately generous: this gate is
+meant to catch order-of-magnitude mistakes (an accidentally quadratic loop,
+a dropped cache), not single-digit-percent drift. The sweep floors are
+already order-of-magnitude bounds and take no tolerance.
 
 Usage:
     bench_perf_solvers --benchmark_format=json --benchmark_out=report.json
@@ -96,8 +113,15 @@ Usage:
     python3 tools/check_bench_regression.py --archspace \
         bench_results/BENCH_archspace.json
 
+    bench_monitor            # writes bench_results/BENCH_monitor.json
+    python3 tools/check_bench_regression.py --monitor \
+        bench_results/BENCH_monitor.json \
+        --baseline bench_results/BENCH_monitor.json
+
     python3 tools/check_bench_regression.py --list \
         --baseline bench_results/BENCH_sweep.json
+
+    python3 tools/check_bench_regression.py --self-test
 """
 
 from __future__ import annotations
@@ -119,24 +143,36 @@ BASELINE_KEY = "full_analyzer_six_version_uncached_ms"
 SUPPORTED_SCHEMA_VERSION = 1
 EXIT_SCHEMA = 3
 
-# Sweep-mode gates: (section, field, minimum value). The floors restate the
-# staged pipeline's contract, not a machine-specific measurement, so they
-# hold on any hardware: reuse ratios and counter invariants are wall-clock
-# independent apart from the speedups, which sit far above their floors.
+# ---------------------------------------------------------------------------
+# Table-driven gate specs. Every tabular mode shares one shape — a list of
+# (section, field, op, bound) rows evaluated by check_table — so adding a
+# mode means adding a table and a MODES entry, not another walking loop.
+
+OPS = {
+    "ge": (lambda value, bound: value >= bound, ">="),
+    "gt": (lambda value, bound: value > bound, ">"),
+    "le": (lambda value, bound: value <= bound, "<="),
+    "eq": (lambda value, bound: value == bound, "=="),
+}
+
+# Sweep-mode gates: the floors restate the staged pipeline's contract, not
+# a machine-specific measurement, so they hold on any hardware: reuse
+# ratios and counter invariants are wall-clock independent apart from the
+# speedups, which sit far above their floors.
 SWEEP_CHECKS = [
-    ("alpha_sweep_6v", "speedup", 10.0),
-    ("alpha_sweep_6v", "bit_identical_to_cold", 1.0),
-    ("alpha_sweep_6v", "staged_explorations", None),  # exactly 1
-    ("alpha_sweep_6v", "staged_solves", None),  # exactly 1
-    ("mttc_sweep_n40", "speedup", 2.0),
-    ("mttc_sweep_n40", "bit_identical_to_cold", 1.0),
-    ("mttc_sweep_n40", "staged_explorations", None),  # exactly 1
+    ("alpha_sweep_6v", "speedup", "ge", 10.0),
+    ("alpha_sweep_6v", "bit_identical_to_cold", "eq", 1.0),
+    ("alpha_sweep_6v", "staged_explorations", "eq", 1.0),
+    ("alpha_sweep_6v", "staged_solves", "eq", 1.0),
+    ("mttc_sweep_n40", "speedup", "ge", 2.0),
+    ("mttc_sweep_n40", "bit_identical_to_cold", "eq", 1.0),
+    ("mttc_sweep_n40", "staged_explorations", "eq", 1.0),
 ]
 
-# Store-mode gates: (section, field, op, bound). The warm sweep replaces
-# full MRGP solves with mmap + checksum + decode, so a 5x floor is an
-# order-of-magnitude bound, not a machine timing; everything else restates
-# the disk tier's counter contract (all hits, no misses, no recompute).
+# Store-mode gates: the warm sweep replaces full MRGP solves with mmap +
+# checksum + decode, so a 5x floor is an order-of-magnitude bound, not a
+# machine timing; everything else restates the disk tier's counter contract
+# (all hits, no misses, no recompute).
 STORE_CHECKS = [
     ("warm_sweep", "speedup", "ge", 5.0),
     ("warm_sweep", "bit_identical_to_cold", "eq", 1.0),
@@ -150,10 +186,10 @@ STORE_CHECKS = [
     ("latency", "read_ms_mean", "gt", 0.0),
 ]
 
-# Archspace-mode gates: (section, field, op, bound). Candidate-family size,
-# warm-reuse counters, and the quality comparison are deterministic; the
-# 5x warm-speedup floor is an order-of-magnitude bound (store reads vs full
-# DSPN solves), not a machine timing.
+# Archspace-mode gates: candidate-family size, warm-reuse counters, and the
+# quality comparison are deterministic; the 5x warm-speedup floor is an
+# order-of-magnitude bound (store reads vs full DSPN solves), not a machine
+# timing.
 ARCHSPACE_CHECKS = [
     ("family", "candidates", "ge", 200.0),
     ("family", "cold_candidates_per_s", "gt", 0.0),
@@ -167,8 +203,21 @@ ARCHSPACE_CHECKS = [
     ("quality", "hetero_wins", "ge", 1.0),
 ]
 
-# Service-mode gates on the named loadgen scenario: (field, op, bound).
-# "ge" = floor, "gt" = strictly positive, "eq" = exact. The burst scenario
+# Monitor-mode gates: the adaptive-vs-static comparison is a seeded
+# deterministic replay and the controller counters restate the closed
+# loop's cache contract, so the fresh-run table takes no tolerance; only
+# the recorded-margin comparison (check_monitor) is tolerance-scaled.
+MONITOR_CHECKS = [
+    ("drift", "adaptive_beats_best_static", "eq", 1.0),
+    ("drift", "margin", "gt", 0.0),
+    ("drift", "best_static_interval", "gt", 0.0),
+    ("controller", "degraded_updates", "eq", 0.0),
+    ("controller", "structure_explorations", "le", 1.0),
+    ("controller", "resolves", "gt", 0.0),
+    ("controller", "retunes", "gt", 0.0),
+]
+
+# Service-mode gates on the named loadgen scenario. The burst scenario
 # is the acceptance run: >= 10k requests simultaneously in flight against
 # one daemon, >= 90% of them answered from a coalesced in-flight solve,
 # and not a single connection-level failure.
@@ -198,6 +247,12 @@ def load_json(path: str, role: str) -> dict:
         raise SystemExit(f"error: cannot read {role} '{path}': {e.strerror}")
     except json.JSONDecodeError as e:
         raise SystemExit(f"error: {role} '{path}' is not valid JSON: {e}")
+    check_schema(doc, path, role)
+    return doc
+
+
+def check_schema(doc, path: str, role: str) -> None:
+    """Exits with EXIT_SCHEMA when the document postdates this tool."""
     version = doc.get("schema_version", 1) if isinstance(doc, dict) else 1
     if isinstance(version, (int, float)) and version > SUPPORTED_SCHEMA_VERSION:
         print(
@@ -206,7 +261,41 @@ def load_json(path: str, role: str) -> dict:
             f"tools/check_bench_regression.py"
         )
         raise SystemExit(EXIT_SCHEMA)
-    return doc
+
+
+def walk_field(doc: dict, section: str, field: str, path: str,
+               label: str) -> float:
+    """Numeric value of ``section.field``, or a one-line SystemExit."""
+    block = doc.get(section)
+    if not isinstance(block, dict) or field not in block:
+        raise SystemExit(
+            f"error: {label} report '{path}' lacks '{section}.{field}'"
+        )
+    return float(block[field])
+
+
+def evaluate(name: str, value: float, op: str, bound: float) -> bool:
+    """Prints one gate line and returns whether it held."""
+    predicate, symbol = OPS[op]
+    ok = predicate(value, bound)
+    print(f"{name}: {value:g} (want {symbol} {bound:g}) "
+          f"{'ok' if ok else 'FAIL'}")
+    return ok
+
+
+def check_table(report: dict, report_path: str, checks, label: str,
+                ok_message: str) -> int:
+    """Evaluates one (section, field, op, bound) table against a report."""
+    failures = 0
+    for section, field, op, bound in checks:
+        value = walk_field(report, section, field, report_path, label)
+        failures += 0 if evaluate(f"{section}.{field}", value, op,
+                                  bound) else 1
+    if failures:
+        print(f"FAIL: {failures} {label} gate(s) violated")
+        return 1
+    print(f"OK: {ok_message}")
+    return 0
 
 
 def metric_names(doc: dict, prefix: str = "") -> list[str]:
@@ -272,47 +361,54 @@ def check_runtime(report: dict, baseline_path: str, tolerance: float) -> int:
     return 0
 
 
-def check_sweep(report: dict, report_path: str) -> int:
-    failures = 0
-    for section, field, floor in SWEEP_CHECKS:
-        block = report.get(section)
-        if not isinstance(block, dict) or field not in block:
-            raise SystemExit(
-                f"error: sweep report '{report_path}' lacks "
-                f"'{section}.{field}'"
-            )
-        value = float(block[field])
-        if floor is None:
-            ok = value == 1.0
-            bound = "== 1"
-        else:
-            ok = value >= floor
-            bound = f">= {floor:g}"
-        print(
-            f"{section}.{field}: {value:g} (want {bound}) "
-            f"{'ok' if ok else 'FAIL'}"
-        )
-        failures += 0 if ok else 1
-    if failures:
-        print(f"FAIL: {failures} staged-sweep gate(s) violated")
+def monitor_margin_floor(recorded_margin: float, tolerance: float) -> float:
+    """Fresh-margin floor: the recorded margin shrunk by the tolerance.
+
+    The adaptive-vs-best-static margin is the deliverable of the drift
+    experiment; letting it silently decay to barely-positive would keep the
+    sign gate green while losing the result. The floor never goes below
+    zero — a negative recorded margin (which the table gate rejects anyway)
+    must not manufacture permission to lose.
+    """
+    return max(0.0, recorded_margin * (1.0 - tolerance))
+
+
+def check_monitor(report: dict, report_path: str, baseline_path: str,
+                  tolerance: float) -> int:
+    status = check_table(report, report_path, MONITOR_CHECKS, "monitor",
+                         "closed-loop adaptive rejuvenation contract holds")
+    # Recorded-margin comparison — skipped when the report IS the recorded
+    # baseline (fresh-run gating in CI passes the fresh file plus the
+    # committed baseline; gating the committed file alone still works).
+    baseline = load_json(baseline_path, "baseline")
+    recorded = walk_field(baseline, "drift", "margin", baseline_path,
+                          "monitor baseline")
+    measured = walk_field(report, "drift", "margin", report_path, "monitor")
+    floor = monitor_margin_floor(recorded, tolerance)
+    ok = measured >= floor
+    print(
+        f"drift.margin vs recorded: measured {measured:g}, recorded "
+        f"{recorded:g}, floor {floor:g} (-{tolerance:.0%}) "
+        f"{'ok' if ok else 'FAIL'}"
+    )
+    if not ok:
+        print("FAIL: adaptive margin decayed below the recorded baseline")
         return 1
-    print("OK: staged sweep reuse within contract")
-    return 0
-
-
-# MRGP-mode bounds (see the module docstring): equivalence budget against
-# the dense oracle, the state range the scaling series must reach, and the
-# storage bound that keeps the operator honest about never assembling the
-# embedded chain.
-MRGP_MAX_ABS_DIFF = 1e-10
-MRGP_SPEEDUP_FLOOR_STATES = 256
-MRGP_MIN_SCALING_STATES = 10_000
-MRGP_MAX_SCALING_STATES_FLOOR = 50_000
-MRGP_NONZEROS_PER_STATE = 64
-MRGP_MASS_BUDGET = 1e-9
+    return status
 
 
 def check_mrgp(report: dict, report_path: str) -> int:
+    # MRGP-mode bounds (see the module docstring): equivalence budget
+    # against the dense oracle, the state range the scaling series must
+    # reach, and the storage bound that keeps the operator honest about
+    # never assembling the embedded chain.
+    max_abs_diff = 1e-10
+    speedup_floor_states = 256
+    min_scaling_states = 10_000
+    max_scaling_states_floor = 50_000
+    nonzeros_per_state = 64
+    mass_budget = 1e-9
+
     def rows(section: str) -> list[dict]:
         block = report.get(section)
         if not isinstance(block, list) or not block:
@@ -341,12 +437,12 @@ def check_mrgp(report: dict, report_path: str) -> int:
     for row in rows("crossover"):
         label = f"crossover[n={row.get('n')},f={row.get('f')},r={row.get('r')}]"
         diff = num(row, "max_abs_diff", label)
-        check(label, diff <= MRGP_MAX_ABS_DIFF,
-              f"max_abs_diff {diff:.2e} (want <= {MRGP_MAX_ABS_DIFF:g})")
+        check(label, diff <= max_abs_diff,
+              f"max_abs_diff {diff:.2e} (want <= {max_abs_diff:g})")
         states = num(row, "states", label)
         speedup = num(row, "speedup", label)
         big_speedup = max(big_speedup, speedup)
-        if states >= MRGP_SPEEDUP_FLOOR_STATES:
+        if states >= speedup_floor_states:
             check(label, speedup >= 1.0,
                   f"speedup {speedup:.2f}x at {states:g} states (want >= 1)")
     check("crossover", big_speedup >= 10.0,
@@ -364,18 +460,18 @@ def check_mrgp(report: dict, report_path: str) -> int:
         solve_ms = num(row, "solve_ms", label)
         check(label, solve_ms > 0.0, f"solve_ms {solve_ms:g} (want > 0)")
         nnz = num(row, "stored_nonzeros", label)
-        check(label, nnz <= MRGP_NONZEROS_PER_STATE * states,
-              f"stored_nonzeros {nnz:g} (want <= {MRGP_NONZEROS_PER_STATE} "
+        check(label, nnz <= nonzeros_per_state * states,
+              f"stored_nonzeros {nnz:g} (want <= {nonzeros_per_state} "
               "per state)")
         mass = num(row, "prob_mass_error", label)
-        check(label, mass <= MRGP_MASS_BUDGET,
-              f"prob_mass_error {mass:.2e} (want <= {MRGP_MASS_BUDGET:g})")
-    check("scaling", min_states >= MRGP_MIN_SCALING_STATES,
+        check(label, mass <= mass_budget,
+              f"prob_mass_error {mass:.2e} (want <= {mass_budget:g})")
+    check("scaling", min_states >= min_scaling_states,
           f"smallest family {min_states:g} states "
-          f"(want >= {MRGP_MIN_SCALING_STATES})")
-    check("scaling", max_states >= MRGP_MAX_SCALING_STATES_FLOOR,
+          f"(want >= {min_scaling_states})")
+    check("scaling", max_states >= max_scaling_states_floor,
           f"largest family {max_states:g} states "
-          f"(want >= {MRGP_MAX_SCALING_STATES_FLOOR})")
+          f"(want >= {max_scaling_states_floor})")
 
     if failures:
         print(f"FAIL: {failures} mrgp gate(s) violated")
@@ -385,62 +481,18 @@ def check_mrgp(report: dict, report_path: str) -> int:
 
 
 def check_store(report: dict, report_path: str) -> int:
-    failures = 0
-    for section, field, op, bound in STORE_CHECKS:
-        block = report.get(section)
-        if not isinstance(block, dict) or field not in block:
-            raise SystemExit(
-                f"error: store report '{report_path}' lacks "
-                f"'{section}.{field}'"
-            )
-        value = float(block[field])
-        ok = {"ge": value >= bound, "gt": value > bound,
-              "eq": value == bound}[op]
-        symbol = {"ge": ">=", "gt": ">", "eq": "=="}[op]
-        print(
-            f"{section}.{field}: {value:g} (want {symbol} {bound:g}) "
-            f"{'ok' if ok else 'FAIL'}"
-        )
-        failures += 0 if ok else 1
+    status = check_table(report, report_path, STORE_CHECKS, "store",
+                         "persistent-store warm-start contract holds")
     # Every synthetic read probe must have hit: a short count means get()
-    # rejected entries the same process just wrote.
+    # rejected entries the same process just wrote. A self-relative gate
+    # (reads_hit == ops), so it cannot live in the static table.
     latency = report["latency"]
     if "reads_hit" in latency and "ops" in latency:
-        hit, ops = float(latency["reads_hit"]), float(latency["ops"])
-        ok = hit == ops
-        print(f"latency.reads_hit: {hit:g} (want == ops {ops:g}) "
-              f"{'ok' if ok else 'FAIL'}")
-        failures += 0 if ok else 1
-    if failures:
-        print(f"FAIL: {failures} store gate(s) violated")
-        return 1
-    print("OK: persistent-store warm-start contract holds")
-    return 0
-
-
-def check_archspace(report: dict, report_path: str) -> int:
-    failures = 0
-    for section, field, op, bound in ARCHSPACE_CHECKS:
-        block = report.get(section)
-        if not isinstance(block, dict) or field not in block:
-            raise SystemExit(
-                f"error: archspace report '{report_path}' lacks "
-                f"'{section}.{field}'"
-            )
-        value = float(block[field])
-        ok = {"ge": value >= bound, "gt": value > bound,
-              "eq": value == bound}[op]
-        symbol = {"ge": ">=", "gt": ">", "eq": "=="}[op]
-        print(
-            f"{section}.{field}: {value:g} (want {symbol} {bound:g}) "
-            f"{'ok' if ok else 'FAIL'}"
-        )
-        failures += 0 if ok else 1
-    if failures:
-        print(f"FAIL: {failures} archspace gate(s) violated")
-        return 1
-    print("OK: heterogeneous architecture-space contract holds")
-    return 0
+        if not evaluate("latency.reads_hit", float(latency["reads_hit"]),
+                        "eq", float(latency["ops"])):
+            print("FAIL: store read probes missed")
+            return 1
+    return status
 
 
 def check_service(report: dict, report_path: str) -> int:
@@ -455,23 +507,6 @@ def check_service(report: dict, report_path: str) -> int:
             f"'{SERVICE_BURST_SCENARIO}' scenario"
         )
 
-    def evaluate(name: str, block: dict, field: str, op: str,
-                 bound: float) -> bool:
-        if field not in block:
-            raise SystemExit(
-                f"error: service report '{report_path}' lacks "
-                f"'{name}.{field}'"
-            )
-        value = float(block[field])
-        ok = {"ge": value >= bound, "gt": value > bound,
-              "eq": value == bound}[op]
-        symbol = {"ge": ">=", "gt": ">", "eq": "=="}[op]
-        print(
-            f"{name}.{field}: {value:g} (want {symbol} {bound:g}) "
-            f"{'ok' if ok else 'FAIL'}"
-        )
-        return ok
-
     failures = 0
     for name, block in sorted(scenarios.items()):
         if not isinstance(block, dict):
@@ -483,11 +518,97 @@ def check_service(report: dict, report_path: str) -> int:
         if name == SERVICE_BURST_SCENARIO:
             checks = SERVICE_BURST_CHECKS + checks
         for field, op, bound in checks:
-            failures += 0 if evaluate(name, block, field, op, bound) else 1
+            if field not in block:
+                raise SystemExit(
+                    f"error: service report '{report_path}' lacks "
+                    f"'{name}.{field}'"
+                )
+            failures += 0 if evaluate(f"{name}.{field}",
+                                      float(block[field]), op, bound) else 1
     if failures:
         print(f"FAIL: {failures} service gate(s) violated")
         return 1
     print("OK: service load-test contract holds")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Mode registry: flag name -> (checks table, label, success line). Modes
+# with extra logic beyond the table (runtime, mrgp, service, store's
+# self-relative probe check, monitor's recorded-margin comparison) wrap the
+# shared pieces in their own check_* function above.
+
+TABLE_MODES = {
+    "sweep": (SWEEP_CHECKS, "staged-sweep",
+              "staged sweep reuse within contract"),
+    "archspace": (ARCHSPACE_CHECKS, "archspace",
+                  "heterogeneous architecture-space contract holds"),
+}
+
+
+def self_test() -> int:
+    """Unit checks of the gating logic against synthetic documents."""
+    failures = 0
+
+    def expect(name: str, ok: bool) -> None:
+        nonlocal failures
+        print(f"self-test {name}: {'ok' if ok else 'FAIL'}")
+        failures += 0 if ok else 1
+
+    # Op semantics, including the boundary cases that gates rely on.
+    expect("ops.ge_boundary", OPS["ge"][0](5.0, 5.0))
+    expect("ops.gt_boundary", not OPS["gt"][0](0.0, 0.0))
+    expect("ops.le_boundary", OPS["le"][0](1.0, 1.0))
+    expect("ops.eq", OPS["eq"][0](1.0, 1.0) and not OPS["eq"][0](1.0, 0.0))
+
+    # Table evaluation: a passing and a failing document through the same
+    # table the monitor mode uses.
+    good = {
+        "drift": {"adaptive_beats_best_static": 1, "margin": 0.01,
+                  "best_static_interval": 150},
+        "controller": {"degraded_updates": 0, "structure_explorations": 1,
+                       "resolves": 39, "retunes": 14},
+    }
+    bad = json.loads(json.dumps(good))
+    bad["controller"]["structure_explorations"] = 2
+    expect("table.pass", check_table(good, "<mem>", MONITOR_CHECKS,
+                                     "monitor", "synthetic") == 0)
+    expect("table.fail", check_table(bad, "<mem>", MONITOR_CHECKS,
+                                     "monitor", "synthetic") == 1)
+
+    # Missing-field walking exits with a one-line error, not a traceback.
+    try:
+        walk_field({}, "drift", "margin", "<mem>", "monitor")
+        expect("walk.missing", False)
+    except SystemExit as e:
+        expect("walk.missing", "drift.margin" in str(e.code))
+
+    # Margin floor arithmetic: tolerance shrinks the recorded margin and a
+    # negative record cannot license a loss.
+    expect("margin.floor", monitor_margin_floor(0.02, 0.25) == 0.015)
+    expect("margin.nonneg", monitor_margin_floor(-0.5, 0.25) == 0.0)
+
+    # Schema gating: newer documents exit with the dedicated code.
+    try:
+        check_schema({"schema_version": SUPPORTED_SCHEMA_VERSION + 1},
+                     "<mem>", "baseline")
+        expect("schema.newer", False)
+    except SystemExit as e:
+        expect("schema.newer", e.code == EXIT_SCHEMA)
+    check_schema({"schema_version": SUPPORTED_SCHEMA_VERSION}, "<mem>",
+                 "baseline")
+    expect("schema.current", True)
+
+    # Metric flattening covers nested objects and row arrays, skips bools.
+    names = metric_names({"a": 1, "b": {"c": 2.5, "flag": True},
+                          "rows": [{"x": 1}, 3]})
+    expect("metrics.flatten",
+           names == ["a", "b.c", "rows.0.x", "rows.1"])
+
+    if failures:
+        print(f"FAIL: {failures} self-test check(s) violated")
+        return 1
+    print("OK: gating logic self-test passed")
     return 0
 
 
@@ -497,7 +618,7 @@ def main() -> int:
         "report",
         nargs="?",
         help="JSON report: google-benchmark output (runtime mode) or the "
-        "bench_sweep_throughput document (--sweep)",
+        "bench document of the selected mode",
     )
     parser.add_argument(
         "--baseline",
@@ -508,7 +629,7 @@ def main() -> int:
         "--tolerance",
         type=float,
         default=float(os.environ.get("NVP_BENCH_TOLERANCE", "0.25")),
-        help="allowed fractional slowdown over the runtime baseline "
+        help="allowed fractional drift against the recorded baseline "
         "(default 0.25, or NVP_BENCH_TOLERANCE)",
     )
     parser.add_argument(
@@ -542,17 +663,33 @@ def main() -> int:
         "instead of the google-benchmark runtime report",
     )
     parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="gate a bench_monitor BENCH_monitor.json report (fresh-run "
+        "table plus the recorded-margin comparison against --baseline)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the numeric metric names in the baseline file and exit",
     )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the tool's own unit checks against synthetic documents "
+        "and exit",
+    )
     args = parser.parse_args()
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
-    if sum([args.sweep, args.service, args.mrgp, args.store,
-            args.archspace]) > 1:
-        parser.error("--sweep, --service, --mrgp, --store, and "
-                     "--archspace are mutually exclusive")
+    mode_flags = [args.sweep, args.service, args.mrgp, args.store,
+                  args.archspace, args.monitor]
+    if sum(mode_flags) > 1:
+        parser.error("--sweep, --service, --mrgp, --store, --archspace, "
+                     "and --monitor are mutually exclusive")
+
+    if args.self_test:
+        return self_test()
 
     if args.list:
         for name in metric_names(load_json(args.baseline, "baseline")):
@@ -560,10 +697,12 @@ def main() -> int:
         return 0
 
     if args.report is None:
-        parser.error("a report file is required unless --list is given")
+        parser.error("a report file is required unless --list or "
+                     "--self-test is given")
     report = load_json(args.report, "report")
     if args.sweep:
-        return check_sweep(report, args.report)
+        checks, label, ok_message = TABLE_MODES["sweep"]
+        return check_table(report, args.report, checks, label, ok_message)
     if args.service:
         return check_service(report, args.report)
     if args.mrgp:
@@ -571,7 +710,13 @@ def main() -> int:
     if args.store:
         return check_store(report, args.report)
     if args.archspace:
-        return check_archspace(report, args.report)
+        checks, label, ok_message = TABLE_MODES["archspace"]
+        return check_table(report, args.report, checks, label, ok_message)
+    if args.monitor:
+        baseline = args.baseline
+        if baseline == "bench_results/BENCH_runtime.json":
+            baseline = "bench_results/BENCH_monitor.json"
+        return check_monitor(report, args.report, baseline, args.tolerance)
     return check_runtime(report, args.baseline, args.tolerance)
 
 

@@ -43,11 +43,23 @@ exactly along the rejuvenation axis — candidates with the deterministic
 rejuvenation clock (MRGP solves) envelope, plain candidates (pure CTMC
 solves) match the clean baseline bit for bit.
 
+Monitor mode (--monitor) drives a closed-loop `nvpcli monitor` session
+(drifting attack rate, online estimation, rates-only re-solves steering the
+rejuvenation clock) under the same injection sites. The controller must
+never abort: forced cache misses and store read/write faults are cost-only
+(the per-update CSV stays bit-identical to the clean baseline), the
+matrix-free stage failure degrades to the fallback chain (values for every
+update, no envelopes), and allocation faults — which kill every re-solve —
+must degrade each update into an envelope row that holds the last-good
+target (the clock keeps its initial set-point) while the session still
+exits 0 with a full CSV.
+
 Usage: tools/fault_gauntlet.py [--cli build/tools/nvpcli] [--points 50]
                                [--out gauntlet-out]
                                [--service [--loadgen build/tools/loadgen]]
                                [--store]
                                [--archspace [--max-n 7]]
+                               [--monitor]
 """
 
 import argparse
@@ -588,6 +600,163 @@ def run_archspace_gauntlet(args):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Monitor mode: the closed-loop rejuvenation controller under injection.
+# The perception campaign's RNG is independent of the analytic solves, so
+# cost-only schedules replay the exact same frames and must reproduce the
+# per-update CSV byte for byte; only the alloc schedule — which fails every
+# re-solve — changes the records, and then only into envelope rows.
+
+# (schedule, NVP_FAULT_INJECT spec, expectation, needs_store). "identical"
+# pins the CSV to the clean baseline; "clean" requires values everywhere
+# (the mfree site degrades onto the fallback chain, whose last ulps may
+# differ); "envelopes" requires every re-solve to degrade into an error row
+# that falls back to the last-good target.
+MONITOR_SCHEDULES = [
+    ("clean", None, "clean", False),
+    ("cache", "cache:1.0:5", "identical", False),
+    ("store-read", "store-read:1.0:41", "identical", True),
+    ("store-write", "store-write:1.0:43", "identical", True),
+    ("mfree-fallback", "mfree:1.0:31", "clean", False),
+    ("alloc", "alloc:1.0:23", "envelopes", False),
+]
+
+# The session's initial set-point (the paper default): with every re-solve
+# failing from the first update, last-good never moves off it.
+MONITOR_INITIAL_INTERVAL = 600.0
+
+
+def run_monitor(cli, spec, store_dir=None):
+    env = dict(os.environ)
+    env.pop("NVP_FAULT_INJECT", None)
+    env.pop("NVP_STORE", None)
+    env.pop("NVP_STORE_CAP_MB", None)
+    if spec is not None:
+        env["NVP_FAULT_INJECT"] = spec
+    cmd = [
+        cli, "monitor", "--paper", "6v", "--schedule", "step",
+        "--multiplier", "10", "--period", "8000", "--horizon", "25000",
+        "--update-every", "2500", "--interval-hi", "2400", "--seed", "1",
+        "--format", "csv", "--metrics",
+    ]
+    if store_dir is not None:
+        cmd += ["--store", store_dir]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                          timeout=600)
+    rows = []
+    if proc.returncode == 0:
+        rows = list(csv.DictReader(io.StringIO(proc.stdout)))
+    return {
+        "command": " ".join(cmd),
+        "fault_inject": spec,
+        "exit_code": proc.returncode,
+        "stdout": proc.stdout,
+        "stderr": proc.stderr.strip(),
+        "counters": parse_counters(proc.stderr),
+        "rows": rows,
+    }
+
+
+def check_monitor_run(run, expectation, baseline):
+    errors = []
+    if run["exit_code"] != 0:
+        errors.append("aborted with exit code %d: %s"
+                      % (run["exit_code"], run["stderr"]))
+        return errors
+    rows = run["rows"]
+    if not rows:
+        errors.append("no controller updates in the output")
+        return errors
+    if baseline is not None and len(rows) != len(baseline["rows"]):
+        errors.append("expected %d updates, got %d"
+                      % (len(baseline["rows"]), len(rows)))
+    solved = 0
+    for i, row in enumerate(rows):
+        value = row.get("E[R_sys]", "")
+        envelope = row.get("error", "")
+        if not row.get("mttc_hat", ""):
+            # Evidence-gated update: no solve was attempted, so neither a
+            # value nor an envelope belongs here, whatever the schedule.
+            if envelope:
+                errors.append("row %d: envelope on an evidence-gated update"
+                              % i)
+            continue
+        solved += 1
+        if expectation == "envelopes":
+            if not envelope:
+                errors.append("row %d: expected an error envelope" % i)
+            if value:
+                errors.append("row %d: degraded update still has a value"
+                              % i)
+            # Degraded updates fall back to the last-good target, which
+            # never moves off the initial set-point when every solve fails.
+            if float(row.get("target", "0") or 0) != MONITOR_INITIAL_INTERVAL:
+                errors.append("row %d: degraded target %s is not the "
+                              "last-good set-point" % (i, row.get("target")))
+            if float(row.get("applied", "0") or 0) \
+                    != MONITOR_INITIAL_INTERVAL:
+                errors.append("row %d: degraded session retuned the clock "
+                              "to %s" % (i, row.get("applied")))
+        else:
+            if envelope:
+                errors.append("row %d: unexpected envelope: %s"
+                              % (i, envelope))
+            if not value:
+                errors.append("row %d: missing reliability value" % i)
+    if solved == 0:
+        errors.append("no update ever reached the re-solve path")
+    if expectation == "identical" and baseline is not None and not errors:
+        if run["stdout"] != baseline["stdout"]:
+            errors.append("per-update CSV differs from the clean baseline")
+    if expectation == "envelopes" and not errors:
+        if run["counters"].get("monitor.degraded", 0) <= 0:
+            errors.append("monitor.degraded counter never fired")
+    return errors
+
+
+def run_monitor_gauntlet(args):
+    os.makedirs(args.out, exist_ok=True)
+    baseline = None
+    summary = {"mode": "monitor", "runs": [], "failures": 0}
+    failed = False
+    for schedule, spec, expectation, needs_store in MONITOR_SCHEDULES:
+        store_dir = None
+        if needs_store:
+            store_dir = os.path.join(args.out,
+                                     "gauntlet-monitor-%s" % schedule)
+            shutil.rmtree(store_dir, ignore_errors=True)
+        run = run_monitor(args.cli, spec, store_dir)
+        if schedule == "clean":
+            baseline = run
+        errors = check_monitor_run(run, expectation, baseline)
+        if spec is not None and not errors:
+            site = spec.split(":")[0]
+            if run["counters"].get("fault.injected.%s" % site, 0) <= 0:
+                errors.append("fault site %s never armed" % site)
+        run["expectation"] = expectation
+        run["check_errors"] = errors
+        name = "monitor-%s" % schedule
+        with open(os.path.join(args.out, name + ".json"), "w") as f:
+            json.dump(run, f, indent=2)
+        status = "ok" if not errors else "FAIL"
+        print("[%s] %s (%s, %d updates): %s"
+              % (status, name, expectation, len(run["rows"]),
+                 errors or "pass"))
+        summary["runs"].append({"name": name, "expectation": expectation,
+                                "ok": not errors, "errors": errors})
+        if errors:
+            failed = True
+            summary["failures"] += 1
+    with open(os.path.join(args.out, "monitor_summary.json"), "w") as f:
+        json.dump(summary, f, indent=2)
+    if failed:
+        print("monitor gauntlet FAILED (%d run(s)); artifacts in %s"
+              % (summary["failures"], args.out))
+        return 1
+    print("monitor gauntlet passed; artifacts in %s" % args.out)
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cli", default="build/tools/nvpcli")
@@ -604,17 +773,22 @@ def main():
     parser.add_argument("--max-n", type=int, default=7,
                         help="archspace mode: largest module count in the "
                              "candidate family")
+    parser.add_argument("--monitor", action="store_true",
+                        help="run the closed-loop rejuvenation monitor "
+                             "gauntlet")
     args = parser.parse_args()
 
-    if sum([args.service, args.store, args.archspace]) > 1:
-        parser.error("--service, --store, and --archspace are mutually "
-                     "exclusive")
+    if sum([args.service, args.store, args.archspace, args.monitor]) > 1:
+        parser.error("--service, --store, --archspace, and --monitor are "
+                     "mutually exclusive")
     if args.service:
         return run_service_gauntlet(args)
     if args.store:
         return run_store_gauntlet(args)
     if args.archspace:
         return run_archspace_gauntlet(args)
+    if args.monitor:
+        return run_monitor_gauntlet(args)
 
     os.makedirs(args.out, exist_ok=True)
     baselines = {}

@@ -40,6 +40,7 @@
 #include "src/core/reliability.hpp"
 #include "src/core/staged.hpp"
 #include "src/markov/dspn_solver.hpp"
+#include "src/monitor/session.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
@@ -79,6 +80,11 @@ int usage() {
       "  nvpcli archspace   --paper 4v|6v [--max-n 10] [--max-f 2] "
       "[--max-r 2] [--top N] [--hetero] [--hardened-mtc-factor 4] "
       "[--hardened-weight 2] [--hardened-repair-q 0]\n"
+      "  nvpcli monitor     --paper 6v [--schedule step|ramp|sinusoid] "
+      "[--horizon 200000] [--multiplier 8] [--period 60000] "
+      "[--segment 2000] [--policy hysteresis|static] [--update-every 2500] "
+      "[--interval-lo 60] [--interval-hi 3000] [--grid-points 10] "
+      "[--band 0.15]\n"
       "  nvpcli export      (--paper 4v|6v | --model <file.dspn>) [--dot]\n"
       "  nvpcli serve       [--host 127.0.0.1] [--port 0] "
       "[--service-workers N] [--queue-capacity 1024] "
@@ -95,7 +101,17 @@ int usage() {
       "hit/corruption counters, `store gc` re-scans and evicts to "
       "--target-mb (default: the configured cap).\n"
       "\n"
-      "remote mode: analyze/sweep/simulate accept --remote <host:port> to "
+      "closed-loop monitoring: `monitor` replays a drifting-attack scenario "
+      "against the Monte-Carlo perception system, estimates lambda_c/p' "
+      "online from module verdicts (windowed MLE + Gamma/Beta credible "
+      "intervals), re-solves the model through the staged rates-only path "
+      "at --update-every, and steers the rejuvenation clock per --policy "
+      "(hysteresis dead band --band, clamped to [--interval-lo, "
+      "--interval-hi]). Output is one row per controller update; failed "
+      "re-solves degrade to envelope rows with the last-good target.\n"
+      "\n"
+      "remote mode: analyze/sweep/simulate/monitor accept --remote "
+      "<host:port> to "
       "run on a nvpd daemon (started with `nvpcli serve`); responses are "
       "emitted as JSON. --deadline-ms <ms> bounds a request (local analyze "
       "or any remote request); an overrun degrades into a structured "
@@ -701,6 +717,137 @@ int optimize(const core::Engine& engine, const util::CliArgs& args,
   return 0;
 }
 
+/// Builds a monitor SessionConfig from CLI arguments (shared shape with
+/// the nvpd `monitor` request, which carries the same knobs).
+monitor::SessionConfig monitor_config(const util::CliArgs& args,
+                                      const util::CommonOptions& common) {
+  monitor::SessionConfig config;
+  config.params = paper_params(args);
+  config.schedule.kind =
+      monitor::DriftSchedule::parse_kind(args.get("schedule", "step"));
+  config.schedule.multiplier = args.get_double("multiplier", 8.0);
+  config.schedule.period = args.get_double("period", 60000.0);
+  config.schedule.segment = args.get_double("segment", 2000.0);
+  // Session length is `--horizon` (the simulate convention); `--duration`
+  // stays reserved for the model's rejuvenation duration in paper_params.
+  config.duration = args.get_double("horizon", 200000.0);
+  config.seed = common.seed;
+  config.policy = args.get("policy", "hysteresis");
+  config.controller.update_every = args.get_double("update-every", 2500.0);
+  config.controller.interval_lo = args.get_double("interval-lo", 60.0);
+  config.controller.interval_hi = args.get_double("interval-hi", 3000.0);
+  config.controller.grid_points =
+      static_cast<std::size_t>(args.get_int("grid-points", 10));
+  config.hysteresis.band = args.get_double("band", 0.15);
+  // The policy clamp matches the optimizer's search range.
+  config.hysteresis.min_interval = config.controller.interval_lo;
+  config.hysteresis.max_interval = config.controller.interval_hi;
+  return config;
+}
+
+int monitor_session(const core::Engine& engine, const util::CliArgs& args,
+                    const util::CommonOptions& common, std::string& out) {
+  const monitor::SessionConfig config = monitor_config(args, common);
+  if (!(config.duration > 0.0) || !(config.schedule.multiplier >= 1.0) ||
+      !(config.schedule.period > 0.0) ||
+      !(config.controller.update_every > 0.0))
+    return usage();
+  const monitor::SessionResult result =
+      run_monitor_session(engine, config);
+
+  // One row per controller update; degraded re-solves render an empty
+  // E[R_sys] cell plus an error column (added only when needed), the same
+  // envelope convention as sweep.
+  bool any_degraded = false;
+  for (const auto& r : result.records) any_degraded |= r.degraded;
+  Report report;
+  report.columns = {"time",          "lambda_mle",  "lambda_mean",
+                    "lambda_lo95",   "lambda_hi95", "pprime_mean",
+                    "mttc_hat",      "target",      "applied",
+                    "E[R_sys]",      "retuned"};
+  if (any_degraded) report.columns.push_back("error");
+  for (const auto& r : result.records) {
+    std::vector<std::string> row = {
+        util::format("%.0f", r.time),
+        util::format("%.6g", r.lambda.mle),
+        util::format("%.6g", r.lambda.mean),
+        util::format("%.6g", r.lambda.lo95),
+        util::format("%.6g", r.lambda.hi95),
+        util::format("%.6g", r.p_prime.mean),
+        r.mttc_hat > 0.0 ? util::format("%.6g", r.mttc_hat) : std::string(),
+        util::format("%.1f", r.target_interval),
+        util::format("%.1f", r.applied_interval),
+        !r.degraded && r.expected_reliability > 0.0
+            ? util::format("%.7f", r.expected_reliability)
+            : std::string(),
+        r.retuned ? "1" : "0"};
+    if (any_degraded) row.push_back(r.degraded ? r.error : std::string());
+    report.rows.push_back(std::move(row));
+  }
+
+  if (common.format == util::OutputFormat::kTable) {
+    out += util::format(
+        "monitor session: schedule=%s x%.1f period=%.0fs horizon=%.0fs "
+        "policy=%s seed=%llu\n",
+        monitor::DriftSchedule::kind_name(config.schedule.kind),
+        config.schedule.multiplier, config.schedule.period, config.duration,
+        config.policy.c_str(),
+        static_cast<unsigned long long>(config.seed));
+    out += util::format(
+        "reliability=%.6f updates=%llu resolves=%llu retunes=%llu "
+        "degraded=%llu detections=%llu\n",
+        result.reliability,
+        static_cast<unsigned long long>(result.updates),
+        static_cast<unsigned long long>(result.resolves),
+        static_cast<unsigned long long>(result.retunes),
+        static_cast<unsigned long long>(result.degraded_updates),
+        static_cast<unsigned long long>(result.detections));
+    out += util::format("final_interval=%.1f mean_interval=%.1f\n",
+                        result.final_interval, result.mean_interval);
+    out += render(report, common.format);
+    return 0;
+  }
+  if (common.format == util::OutputFormat::kJson) {
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("schedule",
+            monitor::DriftSchedule::kind_name(config.schedule.kind));
+    json.kv("multiplier", config.schedule.multiplier);
+    json.kv("horizon", config.duration);
+    json.kv("policy", config.policy);
+    json.kv("seed", static_cast<std::uint64_t>(config.seed));
+    json.kv("reliability", result.reliability);
+    json.kv("updates", result.updates);
+    json.kv("resolves", result.resolves);
+    json.kv("retunes", result.retunes);
+    json.kv("degraded_updates", result.degraded_updates);
+    json.kv("detections", result.detections);
+    json.kv("final_interval", result.final_interval);
+    json.kv("mean_interval", result.mean_interval);
+    json.key("records").begin_array();
+    for (const auto& r : result.records) {
+      json.begin_object();
+      json.kv("time", r.time);
+      json.kv("lambda_mle", r.lambda.mle);
+      json.kv("lambda_mean", r.lambda.mean);
+      json.kv("lambda_lo95", r.lambda.lo95);
+      json.kv("lambda_hi95", r.lambda.hi95);
+      json.kv("pprime_mean", r.p_prime.mean);
+      json.kv("target", r.target_interval);
+      json.kv("applied", r.applied_interval);
+      if (!r.degraded) json.kv("expected_reliability", r.expected_reliability);
+      json.kv("retuned", r.retuned);
+      if (r.degraded) json.kv("error", r.error);
+      json.end_object();
+    }
+    json.end_array().end_object();
+    out = json.str() + "\n";
+    return 0;
+  }
+  out = render(report, common.format);
+  return 0;
+}
+
 int sensitivity(const core::Engine& engine, const util::CliArgs& args,
                 const util::CommonOptions& common, std::string& out) {
   const auto params = paper_params(args);
@@ -822,7 +969,8 @@ std::string remote_request_json(std::uint64_t id, const std::string& method,
   json.kv("method", method);
   if (args.has("deadline-ms"))
     json.kv("deadline_ms", args.get_double("deadline-ms", 0.0));
-  if (method == "analyze" || method == "sweep" || method == "simulate") {
+  if (method == "analyze" || method == "sweep" || method == "simulate" ||
+      method == "monitor") {
     json.key("params").begin_object();
     json.kv("paper", args.get("paper", "6v"));
     for (const char* key : {"n", "f", "r"})
@@ -878,6 +1026,23 @@ std::string remote_request_json(std::uint64_t id, const std::string& method,
     json.key("simulate").begin_object();
     json.kv("horizon", args.get_double("horizon", 1e6));
     json.kv("reps", static_cast<std::int64_t>(args.get_int("reps", 8)));
+    json.kv("seed", static_cast<std::uint64_t>(common.seed));
+    json.end_object();
+  }
+  if (method == "monitor") {
+    json.key("monitor").begin_object();
+    json.kv("schedule", args.get("schedule", "step"));
+    json.kv("horizon", args.get_double("horizon", 200000.0));
+    json.kv("multiplier", args.get_double("multiplier", 8.0));
+    json.kv("period", args.get_double("period", 60000.0));
+    json.kv("segment", args.get_double("segment", 2000.0));
+    json.kv("policy", args.get("policy", "hysteresis"));
+    json.kv("update_every", args.get_double("update-every", 2500.0));
+    json.kv("interval_lo", args.get_double("interval-lo", 60.0));
+    json.kv("interval_hi", args.get_double("interval-hi", 3000.0));
+    json.kv("grid_points",
+            static_cast<std::int64_t>(args.get_int("grid-points", 10)));
+    json.kv("band", args.get_double("band", 0.15));
     json.kv("seed", static_cast<std::uint64_t>(common.seed));
     json.end_object();
   }
@@ -1036,6 +1201,9 @@ int main(int argc, char** argv) {
     else if (command == "sweep")
       status = remote ? run_remote(command, args, common, out)
                       : sweep(engine, args, common, out);
+    else if (command == "monitor")
+      status = remote ? run_remote(command, args, common, out)
+                      : monitor_session(engine, args, common, out);
     else if (command == "crossovers")
       status = crossovers(engine, args, common, out);
     else if (command == "optimize")
